@@ -1,0 +1,195 @@
+//! All-pairs shortest distance map `D` (paper Table II).
+//!
+//! Distances are hop counts on the coupling graph, computed by one BFS
+//! per qubit (O(N·E)); disconnected pairs are [`DistanceMatrix::INF`]
+//! (the paper's `INT_MAX`).
+
+use crate::graph::{CouplingGraph, PhysQubit};
+
+/// All-pairs hop distances on a [`CouplingGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use codar_arch::{CouplingGraph, DistanceMatrix};
+///
+/// let g = CouplingGraph::line(4);
+/// let d = DistanceMatrix::new(&g);
+/// assert_eq!(d.get(0, 3), 3);
+/// assert_eq!(d.get(2, 2), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Distance reported for disconnected pairs.
+    pub const INF: u32 = u32::MAX;
+
+    /// Computes all-pairs distances by repeated BFS.
+    pub fn new(graph: &CouplingGraph) -> Self {
+        let n = graph.num_qubits();
+        let mut dist = vec![Self::INF; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for source in 0..n {
+            let row = &mut dist[source * n..(source + 1) * n];
+            row[source] = 0;
+            queue.clear();
+            queue.push_back(source);
+            while let Some(q) = queue.pop_front() {
+                let dq = row[q];
+                for &next in graph.neighbors(q) {
+                    if row[next] == Self::INF {
+                        row[next] = dq + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of qubits this matrix covers.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance between `a` and `b` ([`Self::INF`] if disconnected).
+    #[inline]
+    pub fn get(&self, a: PhysQubit, b: PhysQubit) -> u32 {
+        self.dist[a * self.n + b]
+    }
+
+    /// Whether `a` and `b` are in the same connected component.
+    pub fn connected(&self, a: PhysQubit, b: PhysQubit) -> bool {
+        self.get(a, b) != Self::INF
+    }
+
+    /// The graph diameter (max finite distance), or 0 for empty graphs.
+    pub fn diameter(&self) -> u32 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != Self::INF)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One shortest path from `a` to `b` (inclusive), or `None` when
+    /// disconnected. Greedy descent over the distance matrix.
+    pub fn shortest_path(
+        &self,
+        graph: &CouplingGraph,
+        a: PhysQubit,
+        b: PhysQubit,
+    ) -> Option<Vec<PhysQubit>> {
+        if !self.connected(a, b) {
+            return None;
+        }
+        let mut path = vec![a];
+        let mut here = a;
+        while here != b {
+            let next = graph
+                .neighbors(here)
+                .iter()
+                .copied()
+                .find(|&n| self.get(n, b) + 1 == self.get(here, b))
+                .expect("distance matrix is consistent with the graph");
+            path.push(next);
+            here = next;
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distances() {
+        let g = CouplingGraph::line(5);
+        let d = DistanceMatrix::new(&g);
+        for a in 0..5usize {
+            for b in 0..5usize {
+                assert_eq!(d.get(a, b), (a as i64 - b as i64).unsigned_abs() as u32);
+            }
+        }
+        assert_eq!(d.diameter(), 4);
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let g = CouplingGraph::grid(3, 3);
+        let d = DistanceMatrix::new(&g);
+        // corner to corner
+        assert_eq!(d.get(0, 8), 4);
+        // center to corner
+        assert_eq!(d.get(4, 0), 2);
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = CouplingGraph::grid(3, 4);
+        let d = DistanceMatrix::new(&g);
+        for a in 0..12 {
+            for b in 0..12 {
+                assert_eq!(d.get(a, b), d.get(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_inf() {
+        let g = CouplingGraph::new(4, &[(0, 1), (2, 3)]);
+        let d = DistanceMatrix::new(&g);
+        assert_eq!(d.get(0, 2), DistanceMatrix::INF);
+        assert!(!d.connected(1, 3));
+        assert!(d.connected(0, 1));
+        assert_eq!(d.diameter(), 1);
+    }
+
+    #[test]
+    fn triangle_inequality_on_ring() {
+        let g = CouplingGraph::ring(8);
+        let d = DistanceMatrix::new(&g);
+        for a in 0..8 {
+            for b in 0..8 {
+                for c in 0..8 {
+                    assert!(d.get(a, c) <= d.get(a, b) + d.get(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = CouplingGraph::grid(3, 3);
+        let d = DistanceMatrix::new(&g);
+        let p = d.shortest_path(&g, 0, 8).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&8));
+        assert_eq!(p.len() as u32, d.get(0, 8) + 1);
+        for w in p.windows(2) {
+            assert!(g.are_adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_disconnected_is_none() {
+        let g = CouplingGraph::new(4, &[(0, 1), (2, 3)]);
+        let d = DistanceMatrix::new(&g);
+        assert!(d.shortest_path(&g, 0, 3).is_none());
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let g = CouplingGraph::complete(3);
+        let d = DistanceMatrix::new(&g);
+        for q in 0..3 {
+            assert_eq!(d.get(q, q), 0);
+        }
+    }
+}

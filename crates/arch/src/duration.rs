@@ -1,0 +1,187 @@
+//! The gate duration map `τ` (paper Table II and Sec. III-B).
+//!
+//! Durations are multiples of the quantum clock cycle `τu`. The paper's
+//! evaluation uses the superconducting profile: single-qubit gates take
+//! 1 cycle, two-qubit gates 2 cycles, and a SWAP 6 cycles (3 CNOTs).
+
+use codar_circuit::schedule::Time;
+use codar_circuit::{Gate, GateKind};
+
+/// Duration model mapping gate kinds to cycle counts.
+///
+/// # Examples
+///
+/// ```
+/// use codar_arch::GateDurations;
+/// use codar_circuit::{Gate, GateKind};
+///
+/// let tau = GateDurations::superconducting();
+/// assert_eq!(tau.of_kind(GateKind::T), 1);
+/// assert_eq!(tau.of_kind(GateKind::Cx), 2);
+/// assert_eq!(tau.of_kind(GateKind::Swap), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateDurations {
+    single_qubit: Time,
+    two_qubit: Time,
+    swap: Time,
+    measure: Time,
+    reset: Time,
+}
+
+impl GateDurations {
+    /// Builds a duration model from the three headline numbers; measure
+    /// and reset default to the single-qubit duration.
+    pub fn new(single_qubit: Time, two_qubit: Time, swap: Time) -> Self {
+        assert!(single_qubit > 0, "single-qubit duration must be positive");
+        assert!(two_qubit > 0, "two-qubit duration must be positive");
+        assert!(swap > 0, "swap duration must be positive");
+        GateDurations {
+            single_qubit,
+            two_qubit,
+            swap,
+            measure: single_qubit,
+            reset: single_qubit,
+        }
+    }
+
+    /// Overrides the measurement duration.
+    pub fn with_measure(mut self, measure: Time) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Overrides the reset duration.
+    pub fn with_reset(mut self, reset: Time) -> Self {
+        self.reset = reset;
+        self
+    }
+
+    /// The paper's evaluation profile (superconducting, Table I):
+    /// 1q = 1 cycle, 2q = 2 cycles, SWAP = 6 cycles.
+    pub fn superconducting() -> Self {
+        GateDurations::new(1, 2, 6)
+    }
+
+    /// Ion-trap profile (Table I: 1q ≈ 20 µs, 2q ≈ 250 µs → ratio ~12;
+    /// SWAP = 3 two-qubit gates).
+    pub fn ion_trap() -> Self {
+        GateDurations::new(1, 12, 36)
+    }
+
+    /// Neutral-atom profile (Table I: the two-qubit gate "may not perform
+    /// slower than a single-qubit gate": 1q ≈ 2q; SWAP = 3 × 2q).
+    pub fn neutral_atom() -> Self {
+        GateDurations::new(2, 2, 6)
+    }
+
+    /// A uniform model (every gate 1 cycle) — what duration-unaware
+    /// mappers implicitly assume; used by the ablation benches.
+    pub fn uniform() -> Self {
+        GateDurations::new(1, 1, 1)
+    }
+
+    /// Single-qubit gate duration.
+    pub fn single_qubit(&self) -> Time {
+        self.single_qubit
+    }
+
+    /// Two-qubit gate duration.
+    pub fn two_qubit(&self) -> Time {
+        self.two_qubit
+    }
+
+    /// SWAP duration.
+    pub fn swap(&self) -> Time {
+        self.swap
+    }
+
+    /// Duration of a gate kind, in cycles. Barriers take 0 cycles.
+    pub fn of_kind(&self, kind: GateKind) -> Time {
+        match kind {
+            GateKind::Barrier => 0,
+            GateKind::Swap => self.swap,
+            GateKind::Measure => self.measure,
+            GateKind::Reset => self.reset,
+            GateKind::Cswap => self.swap + 2 * self.two_qubit,
+            // A Toffoli decomposes into 6 CNOTs + single-qubit gates;
+            // routers decompose it before routing, but if one survives we
+            // account for its critical path.
+            GateKind::Ccx => 6 * self.two_qubit,
+            k if k.is_two_qubit() => self.two_qubit,
+            _ => self.single_qubit,
+        }
+    }
+
+    /// Duration of a concrete gate.
+    pub fn of(&self, gate: &Gate) -> Time {
+        self.of_kind(gate.kind)
+    }
+}
+
+impl Default for GateDurations {
+    /// The paper's evaluation profile ([`GateDurations::superconducting`]).
+    fn default() -> Self {
+        GateDurations::superconducting()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superconducting_matches_paper() {
+        let tau = GateDurations::superconducting();
+        assert_eq!(tau.of_kind(GateKind::H), 1);
+        assert_eq!(tau.of_kind(GateKind::T), 1);
+        assert_eq!(tau.of_kind(GateKind::Cx), 2);
+        assert_eq!(tau.of_kind(GateKind::Cz), 2);
+        assert_eq!(tau.of_kind(GateKind::Swap), 6);
+        assert_eq!(tau.of_kind(GateKind::Barrier), 0);
+    }
+
+    #[test]
+    fn ion_trap_ratio() {
+        let tau = GateDurations::ion_trap();
+        assert_eq!(tau.of_kind(GateKind::Cx) / tau.of_kind(GateKind::X), 12);
+    }
+
+    #[test]
+    fn neutral_atom_two_qubit_not_slower() {
+        let tau = GateDurations::neutral_atom();
+        assert!(tau.of_kind(GateKind::Cx) <= tau.of_kind(GateKind::H));
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let tau = GateDurations::uniform();
+        assert_eq!(tau.of_kind(GateKind::H), tau.of_kind(GateKind::Cx));
+        assert_eq!(tau.of_kind(GateKind::Swap), 1);
+    }
+
+    #[test]
+    fn overrides() {
+        let tau = GateDurations::new(1, 2, 6).with_measure(5).with_reset(3);
+        assert_eq!(tau.of_kind(GateKind::Measure), 5);
+        assert_eq!(tau.of_kind(GateKind::Reset), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_rejected() {
+        GateDurations::new(0, 2, 6);
+    }
+
+    #[test]
+    fn of_gate_uses_kind() {
+        let tau = GateDurations::superconducting();
+        let g = Gate::new(GateKind::Cx, vec![0, 1], vec![]);
+        assert_eq!(tau.of(&g), 2);
+    }
+
+    #[test]
+    fn default_is_superconducting() {
+        assert_eq!(GateDurations::default(), GateDurations::superconducting());
+    }
+}

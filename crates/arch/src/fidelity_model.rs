@@ -1,0 +1,207 @@
+//! Analytic circuit success estimation from device error rates.
+//!
+//! The reliability-oriented mappers the paper discusses (Sec. II-A-b)
+//! score circuits by their *estimated success probability* — the
+//! product of per-gate fidelities, optionally discounted by idle
+//! decoherence. This module provides that metric over the Table I
+//! numbers, complementing the trajectory simulator (which is exact but
+//! only feasible for small circuits).
+
+use crate::duration::GateDurations;
+use crate::technology::TechnologyParams;
+use codar_circuit::schedule::Schedule;
+use codar_circuit::{Circuit, GateKind};
+
+/// Per-operation fidelities of a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityModel {
+    /// Single-qubit gate fidelity.
+    pub single_qubit: f64,
+    /// Two-qubit gate fidelity.
+    pub two_qubit: f64,
+    /// Readout fidelity (per measurement).
+    pub readout: f64,
+    /// Coherence time expressed in *cycles* (T2 / cycle time); idle
+    /// qubits decay as `exp(-idle_cycles / t2_cycles)`. `None` disables
+    /// the idle penalty.
+    pub t2_cycles: Option<f64>,
+}
+
+impl FidelityModel {
+    /// Builds a model from explicit fidelities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fidelity is outside `(0, 1]`.
+    pub fn new(single_qubit: f64, two_qubit: f64, readout: f64) -> Self {
+        for (name, f) in [
+            ("single-qubit", single_qubit),
+            ("two-qubit", two_qubit),
+            ("readout", readout),
+        ] {
+            assert!(f > 0.0 && f <= 1.0, "{name} fidelity {f} out of (0, 1]");
+        }
+        FidelityModel {
+            single_qubit,
+            two_qubit,
+            readout,
+            t2_cycles: None,
+        }
+    }
+
+    /// Adds an idle-decoherence penalty with the given T2 in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t2_cycles` is not positive.
+    pub fn with_t2_cycles(mut self, t2_cycles: f64) -> Self {
+        assert!(t2_cycles > 0.0, "T2 must be positive");
+        self.t2_cycles = Some(t2_cycles);
+        self
+    }
+
+    /// Builds the model from a Table I column (readout defaults to 0.95
+    /// when unreported; T2 converted using the device's 1q gate time as
+    /// the cycle).
+    pub fn from_technology(params: &TechnologyParams) -> Self {
+        let mut model = FidelityModel::new(
+            params.fidelity_1q,
+            params.fidelity_2q,
+            params.fidelity_readout.unwrap_or(0.95),
+        );
+        if let (Some(t2_us), Some(t1q_ns)) = (params.t2_us, params.time_1q_ns) {
+            if t1q_ns > 0.0 {
+                model = model.with_t2_cycles(t2_us * 1000.0 / t1q_ns);
+            }
+        }
+        model
+    }
+
+    /// The fidelity charged for one gate.
+    pub fn of_gate(&self, kind: GateKind) -> f64 {
+        match kind {
+            GateKind::Barrier => 1.0,
+            GateKind::Measure => self.readout,
+            GateKind::Reset => self.single_qubit,
+            GateKind::Swap => self.two_qubit.powi(3), // 3 CNOTs
+            GateKind::Ccx | GateKind::Cswap => self.two_qubit.powi(6),
+            k if k.is_two_qubit() => self.two_qubit,
+            _ => self.single_qubit,
+        }
+    }
+
+    /// Estimated success probability of `circuit`: the product of gate
+    /// fidelities, times an idle-decoherence factor when T2 is set
+    /// (idle time measured on the ASAP schedule under `durations`).
+    pub fn success_probability(&self, circuit: &Circuit, durations: &GateDurations) -> f64 {
+        let mut p: f64 = circuit.gates().iter().map(|g| self.of_gate(g.kind)).product();
+        if let Some(t2) = self.t2_cycles {
+            let schedule = Schedule::asap(circuit, |g| durations.of(g));
+            let mut busy = vec![0u64; circuit.num_qubits()];
+            for (i, gate) in circuit.gates().iter().enumerate() {
+                let dur = durations.of(gate);
+                let _ = schedule.start[i];
+                for &q in &gate.qubits {
+                    busy[q] += dur;
+                }
+            }
+            // A qubit idles from its first gate to the makespan minus
+            // its busy time; approximate the active window as the whole
+            // makespan for qubits that are used at all.
+            let idle_total: u64 = busy
+                .iter()
+                .filter(|&&b| b > 0)
+                .map(|&b| schedule.makespan.saturating_sub(b))
+                .sum();
+            p *= (-(idle_total as f64) / t2).exp();
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_circuit::Circuit;
+
+    fn model() -> FidelityModel {
+        FidelityModel::new(0.999, 0.97, 0.95)
+    }
+
+    #[test]
+    fn empty_circuit_succeeds_certainly() {
+        let c = Circuit::new(3);
+        let p = model().success_probability(&c, &GateDurations::superconducting());
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn gate_fidelities_multiply() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.measure(0, 0);
+        let p = model().success_probability(&c, &GateDurations::superconducting());
+        assert!((p - 0.999 * 0.97 * 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_costs_three_cnots() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let p = model().success_probability(&c, &GateDurations::superconducting());
+        assert!((p - 0.97f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_penalty_reduces_success() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        for _ in 0..20 {
+            c.t(1); // q0 idles 19 cycles
+        }
+        let tau = GateDurations::superconducting();
+        let without = model().success_probability(&c, &tau);
+        let with = model().with_t2_cycles(100.0).success_probability(&c, &tau);
+        assert!(with < without);
+    }
+
+    #[test]
+    fn shorter_schedule_scores_higher_with_t2() {
+        // Same unitary gate multiset; barriers force the serial variant
+        // into twice the makespan, so each qubit idles half the time.
+        let mut serial = Circuit::new(2);
+        for _ in 0..10 {
+            serial.t(0);
+            serial.barrier(vec![0, 1]);
+            serial.t(1);
+            serial.barrier(vec![0, 1]);
+        }
+        let parallel = {
+            let mut c = Circuit::new(2);
+            for _ in 0..10 {
+                c.t(0);
+                c.t(1);
+            }
+            c
+        };
+        let m = model().with_t2_cycles(50.0);
+        let tau = GateDurations::superconducting();
+        assert!(m.success_probability(&parallel, &tau) > m.success_probability(&serial, &tau));
+    }
+
+    #[test]
+    fn from_table1_produces_valid_models() {
+        for params in TechnologyParams::table1() {
+            let m = FidelityModel::from_technology(&params);
+            assert!(m.single_qubit > 0.9);
+            assert!(m.two_qubit > 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fidelity")]
+    fn invalid_fidelity_rejected() {
+        FidelityModel::new(1.2, 0.9, 0.9);
+    }
+}

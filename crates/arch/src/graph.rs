@@ -1,0 +1,260 @@
+//! Coupling graphs: which physical qubit pairs admit a two-qubit gate.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a physical qubit on a device.
+pub type PhysQubit = usize;
+
+/// An undirected coupling graph `M = (QH, EH)` (paper Table II).
+///
+/// Two-qubit gates may be applied only across edges. The graph is
+/// undirected: modern devices (and the paper) treat CNOT direction as
+/// free, since a reversed CNOT costs only single-qubit basis changes.
+///
+/// # Examples
+///
+/// ```
+/// use codar_arch::CouplingGraph;
+///
+/// let line = CouplingGraph::line(4);
+/// assert!(line.are_adjacent(1, 2));
+/// assert!(!line.are_adjacent(0, 3));
+/// assert_eq!(line.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingGraph {
+    num_qubits: usize,
+    adjacency: Vec<Vec<PhysQubit>>,
+    edges: Vec<(PhysQubit, PhysQubit)>,
+}
+
+impl CouplingGraph {
+    /// Builds a graph over `num_qubits` qubits from an edge list.
+    ///
+    /// Duplicate and reversed duplicates are deduplicated; self-loops are
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range or a self-loop appears.
+    pub fn new(num_qubits: usize, edge_list: &[(PhysQubit, PhysQubit)]) -> Self {
+        let mut set: BTreeSet<(PhysQubit, PhysQubit)> = BTreeSet::new();
+        for &(a, b) in edge_list {
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range for {num_qubits} qubits"
+            );
+            assert_ne!(a, b, "self-loop ({a},{a}) is not a valid coupling");
+            set.insert((a.min(b), a.max(b)));
+        }
+        let edges: Vec<(PhysQubit, PhysQubit)> = set.into_iter().collect();
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        for &(a, b) in &edges {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for neighbors in &mut adjacency {
+            neighbors.sort_unstable();
+        }
+        CouplingGraph {
+            num_qubits,
+            adjacency,
+            edges,
+        }
+    }
+
+    /// Number of physical qubits `N`.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The deduplicated, canonically ordered edge list.
+    pub fn edges(&self) -> &[(PhysQubit, PhysQubit)] {
+        &self.edges
+    }
+
+    /// Neighbors of `q` in ascending order.
+    pub fn neighbors(&self, q: PhysQubit) -> &[PhysQubit] {
+        &self.adjacency[q]
+    }
+
+    /// Degree of `q`.
+    pub fn degree(&self, q: PhysQubit) -> usize {
+        self.adjacency[q].len()
+    }
+
+    /// Whether a two-qubit gate may be applied across `(a, b)`.
+    pub fn are_adjacent(&self, a: PhysQubit, b: PhysQubit) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// Whether the graph is connected (empty and 1-qubit graphs are).
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_qubits];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(q) = stack.pop() {
+            for &n in self.neighbors(q) {
+                if !seen[n] {
+                    seen[n] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == self.num_qubits
+    }
+
+    // ---- generators -------------------------------------------------
+
+    /// A path `0 — 1 — … — n-1`.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+        CouplingGraph::new(n, &edges)
+    }
+
+    /// A cycle of `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 qubits");
+        let mut edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+        edges.push((n - 1, 0));
+        CouplingGraph::new(n, &edges)
+    }
+
+    /// A `rows × cols` 2-D lattice, row-major numbering.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((q, q + cols));
+                }
+            }
+        }
+        CouplingGraph::new(rows * cols, &edges)
+    }
+
+    /// The fully connected graph (ion-trap-style all-to-all coupling).
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        CouplingGraph::new(n, &edges)
+    }
+}
+
+impl fmt::Display for CouplingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coupling graph: {} qubits, {} edges",
+            self.num_qubits,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sorting() {
+        let g = CouplingGraph::new(3, &[(1, 0), (0, 1), (2, 1)]);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        CouplingGraph::new(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CouplingGraph::new(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn line_topology() {
+        let g = CouplingGraph::line(5);
+        assert_eq!(g.num_qubits(), 5);
+        assert_eq!(g.edges().len(), 4);
+        assert!(g.are_adjacent(2, 3));
+        assert!(!g.are_adjacent(0, 2));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_topology() {
+        let g = CouplingGraph::ring(4);
+        assert!(g.are_adjacent(3, 0));
+        assert_eq!(g.edges().len(), 4);
+        for q in 0..4 {
+            assert_eq!(g.degree(q), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        CouplingGraph::ring(2);
+    }
+
+    #[test]
+    fn grid_topology() {
+        let g = CouplingGraph::grid(2, 3);
+        // 0 1 2
+        // 3 4 5
+        assert!(g.are_adjacent(0, 1));
+        assert!(g.are_adjacent(1, 4));
+        assert!(!g.are_adjacent(0, 4));
+        assert_eq!(g.edges().len(), 7);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn complete_topology() {
+        let g = CouplingGraph::complete(5);
+        assert_eq!(g.edges().len(), 10);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    assert!(g.are_adjacent(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = CouplingGraph::new(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn single_qubit_graph_is_connected() {
+        assert!(CouplingGraph::new(1, &[]).is_connected());
+        assert!(CouplingGraph::new(0, &[]).is_connected());
+    }
+}

@@ -1,0 +1,101 @@
+//! 2-D physical layouts for lattice devices.
+//!
+//! CODAR's fine heuristic `Hfine` (paper Eq. 2) needs the horizontal and
+//! vertical distance between two physical qubits on a 2-D lattice. A
+//! [`Layout2d`] assigns integer coordinates to each qubit; devices that
+//! are not lattices simply have no layout and `Hfine` degrades to 0.
+
+use crate::graph::PhysQubit;
+
+/// Integer 2-D coordinates for each physical qubit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout2d {
+    coords: Vec<(i32, i32)>,
+}
+
+impl Layout2d {
+    /// Creates a layout from per-qubit `(row, col)` coordinates.
+    pub fn new(coords: Vec<(i32, i32)>) -> Self {
+        Layout2d { coords }
+    }
+
+    /// Row-major grid coordinates for `rows × cols` qubits.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut coords = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                coords.push((r as i32, c as i32));
+            }
+        }
+        Layout2d { coords }
+    }
+
+    /// Number of qubits covered.
+    pub fn num_qubits(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinates of `q`.
+    pub fn coord(&self, q: PhysQubit) -> (i32, i32) {
+        self.coords[q]
+    }
+
+    /// Vertical distance `VD` between two qubits (paper Eq. 2).
+    pub fn vertical_distance(&self, a: PhysQubit, b: PhysQubit) -> u32 {
+        (self.coords[a].0 - self.coords[b].0).unsigned_abs()
+    }
+
+    /// Horizontal distance `HD` between two qubits (paper Eq. 2).
+    pub fn horizontal_distance(&self, a: PhysQubit, b: PhysQubit) -> u32 {
+        (self.coords[a].1 - self.coords[b].1).unsigned_abs()
+    }
+
+    /// `|VD − HD|` — the quantity `Hfine` minimizes: the smaller it is,
+    /// the more shortest Manhattan routes remain available.
+    pub fn axis_imbalance(&self, a: PhysQubit, b: PhysQubit) -> u32 {
+        self.vertical_distance(a, b).abs_diff(self.horizontal_distance(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_coords_row_major() {
+        let l = Layout2d::grid(2, 3);
+        assert_eq!(l.coord(0), (0, 0));
+        assert_eq!(l.coord(2), (0, 2));
+        assert_eq!(l.coord(3), (1, 0));
+        assert_eq!(l.num_qubits(), 6);
+    }
+
+    #[test]
+    fn distances() {
+        let l = Layout2d::grid(3, 3);
+        // q0 = (0,0), q8 = (2,2)
+        assert_eq!(l.vertical_distance(0, 8), 2);
+        assert_eq!(l.horizontal_distance(0, 8), 2);
+        assert_eq!(l.axis_imbalance(0, 8), 0);
+        // q0 = (0,0), q2 = (0,2)
+        assert_eq!(l.axis_imbalance(0, 2), 2);
+    }
+
+    #[test]
+    fn imbalance_symmetric() {
+        let l = Layout2d::grid(4, 5);
+        for a in 0..20 {
+            for b in 0..20 {
+                assert_eq!(l.axis_imbalance(a, b), l.axis_imbalance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn custom_coordinates() {
+        let l = Layout2d::new(vec![(0, 0), (5, -3)]);
+        assert_eq!(l.vertical_distance(0, 1), 5);
+        assert_eq!(l.horizontal_distance(0, 1), 3);
+        assert_eq!(l.axis_imbalance(0, 1), 2);
+    }
+}

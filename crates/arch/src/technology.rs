@@ -1,0 +1,209 @@
+//! Technology parameter presets (paper Table I).
+//!
+//! These record the published per-technology gate sets, fidelities and
+//! timescales for ion-trap, superconducting and neutral-atom devices.
+//! The experiment harness prints Table I from this data; the noisy
+//! simulator derives its per-cycle error rates from the T1/T2 numbers.
+
+use std::fmt;
+
+/// The quantum hardware technology families surveyed in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Trapped-ion devices (IonQ 5/11 qubit machines).
+    IonTrap,
+    /// Superconducting transmon devices (IBM Q series, Google Sycamore).
+    Superconducting,
+    /// Neutral-atom (Rydberg) devices.
+    NeutralAtom,
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Technology::IonTrap => write!(f, "ion trap"),
+            Technology::Superconducting => write!(f, "superconducting"),
+            Technology::NeutralAtom => write!(f, "neutral atom"),
+        }
+    }
+}
+
+/// One column of Table I: the published parameters of a specific device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechnologyParams {
+    /// Device name as reported in the paper.
+    pub device: &'static str,
+    /// Technology family.
+    pub technology: Technology,
+    /// Available single-qubit gate set description.
+    pub single_qubit_gates: &'static str,
+    /// Available two-qubit gate set description.
+    pub two_qubit_gates: &'static str,
+    /// Single-qubit gate fidelity (fraction, e.g. 0.991).
+    pub fidelity_1q: f64,
+    /// Two-qubit gate fidelity.
+    pub fidelity_2q: f64,
+    /// Single-qubit readout fidelity (when reported).
+    pub fidelity_readout: Option<f64>,
+    /// Single-qubit gate time in nanoseconds (when reported).
+    pub time_1q_ns: Option<f64>,
+    /// Two-qubit gate time in nanoseconds (when reported).
+    pub time_2q_ns: Option<f64>,
+    /// Depolarization time T1 in microseconds (when reported/finite).
+    pub t1_us: Option<f64>,
+    /// Spin dephasing time T2 in microseconds (when reported).
+    pub t2_us: Option<f64>,
+}
+
+impl TechnologyParams {
+    /// Ratio of two-qubit to single-qubit gate time, when both known.
+    pub fn duration_ratio(&self) -> Option<f64> {
+        match (self.time_1q_ns, self.time_2q_ns) {
+            (Some(a), Some(b)) if a > 0.0 => Some(b / a),
+            _ => None,
+        }
+    }
+
+    /// All Table I columns.
+    pub fn table1() -> Vec<TechnologyParams> {
+        vec![
+            TechnologyParams {
+                device: "Ion Q5",
+                technology: Technology::IonTrap,
+                single_qubit_gates: "R(theta, alpha)",
+                two_qubit_gates: "XX",
+                fidelity_1q: 0.991,
+                fidelity_2q: 0.97,
+                fidelity_readout: Some(0.994), // avg of |0>:99.7, |1>:99.1
+                time_1q_ns: Some(20_000.0),
+                time_2q_ns: Some(250_000.0),
+                t1_us: None, // ~infinite
+                t2_us: Some(500_000.0),
+            },
+            TechnologyParams {
+                device: "Ion Q11",
+                technology: Technology::IonTrap,
+                single_qubit_gates: "R(theta, alpha)",
+                two_qubit_gates: "XX",
+                fidelity_1q: 0.995,
+                fidelity_2q: 0.975,
+                fidelity_readout: Some(0.993),
+                time_1q_ns: None,
+                time_2q_ns: None,
+                t1_us: None,
+                t2_us: None,
+            },
+            TechnologyParams {
+                device: "IBM Q5",
+                technology: Technology::Superconducting,
+                single_qubit_gates: "X, Y, Z, H, S, T",
+                two_qubit_gates: "CNOT",
+                fidelity_1q: 0.997,
+                fidelity_2q: 0.965,
+                fidelity_readout: Some(0.96),
+                time_1q_ns: Some(130.0),
+                time_2q_ns: Some(350.0), // 250-450ns midpoint
+                t1_us: Some(60.0),
+                t2_us: Some(60.0),
+            },
+            TechnologyParams {
+                device: "IBM Q16",
+                technology: Technology::Superconducting,
+                single_qubit_gates: "X, Y, Z, H, S, T",
+                two_qubit_gates: "CNOT",
+                fidelity_1q: 0.998,
+                fidelity_2q: 0.96,
+                fidelity_readout: Some(0.93),
+                time_1q_ns: Some(80.0),
+                time_2q_ns: Some(280.0), // 170-391ns midpoint
+                t1_us: Some(70.0),
+                t2_us: Some(70.0),
+            },
+            TechnologyParams {
+                device: "IBM Q20",
+                technology: Technology::Superconducting,
+                single_qubit_gates: "X, Y, Z, H, S, T",
+                two_qubit_gates: "CNOT",
+                fidelity_1q: 0.9956,
+                fidelity_2q: 0.97,
+                fidelity_readout: Some(0.912),
+                time_1q_ns: None,
+                time_2q_ns: None,
+                t1_us: Some(87.29),
+                t2_us: Some(54.43),
+            },
+            TechnologyParams {
+                device: "Neutral Atom",
+                technology: Technology::NeutralAtom,
+                single_qubit_gates: "R(theta, alpha)",
+                two_qubit_gates: "CNOT",
+                fidelity_1q: 0.99995,
+                fidelity_2q: 0.82,
+                fidelity_readout: Some(0.986),
+                time_1q_ns: Some(10_000.0), // 1-20 µs band
+                time_2q_ns: Some(10_000.0),
+                t1_us: Some(10_000_000.0), // >10 s
+                t2_us: Some(1_000_000.0),  // ~1 s
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_columns() {
+        assert_eq!(TechnologyParams::table1().len(), 6);
+    }
+
+    #[test]
+    fn superconducting_two_qubit_slower() {
+        // Table I: 2-qubit gates are at least 2x slower than 1-qubit on
+        // superconducting platforms (this motivates the CODAR profile).
+        for p in TechnologyParams::table1() {
+            if p.technology == Technology::Superconducting {
+                if let Some(ratio) = p.duration_ratio() {
+                    assert!(ratio >= 2.0, "{}: ratio {ratio}", p.device);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ion_trap_much_slower_than_superconducting() {
+        let table = TechnologyParams::table1();
+        let ion = table.iter().find(|p| p.device == "Ion Q5").unwrap();
+        let ibm = table.iter().find(|p| p.device == "IBM Q16").unwrap();
+        let ratio = ion.time_1q_ns.unwrap() / ibm.time_1q_ns.unwrap();
+        assert!(ratio > 100.0, "ion traps are ~1000x slower, got {ratio}");
+    }
+
+    #[test]
+    fn neutral_atom_two_qubit_not_slower() {
+        let table = TechnologyParams::table1();
+        let na = table.iter().find(|p| p.device == "Neutral Atom").unwrap();
+        assert!(na.duration_ratio().unwrap() <= 1.0 + 1e-12);
+        // ... but with much worse fidelity.
+        assert!(na.fidelity_2q < 0.9);
+    }
+
+    #[test]
+    fn fidelities_are_probabilities() {
+        for p in TechnologyParams::table1() {
+            assert!(p.fidelity_1q > 0.9 && p.fidelity_1q <= 1.0);
+            assert!(p.fidelity_2q > 0.5 && p.fidelity_2q <= 1.0);
+            if let Some(r) = p.fidelity_readout {
+                assert!(r > 0.5 && r <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Technology::IonTrap.to_string(), "ion trap");
+        assert_eq!(Technology::Superconducting.to_string(), "superconducting");
+        assert_eq!(Technology::NeutralAtom.to_string(), "neutral atom");
+    }
+}

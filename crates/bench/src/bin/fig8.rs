@@ -1,0 +1,57 @@
+//! Regenerates Fig. 8: speedup ratio (SABRE weighted depth / CODAR
+//! weighted depth) of the benchmark suite on the four architectures.
+//!
+//! Usage: `cargo run -p codar-bench --release --bin fig8 [--quick]`
+//!
+//! `--quick` restricts the run to benchmarks below 2000 gates (useful
+//! for smoke tests; the full run covers all 71 benchmarks).
+
+use codar_arch::Device;
+use codar_bench::{average_speedup, fig8_for_device};
+use codar_benchmarks::full_suite;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut suite = full_suite();
+    if quick {
+        suite.retain(|e| e.circuit.len() < 2000);
+    }
+    println!(
+        "Fig. 8: CODAR vs SABRE speedup on {} benchmarks (ascending qubit count)\n",
+        suite.len()
+    );
+    let mut averages = Vec::new();
+    for device in Device::paper_architectures() {
+        println!("=== {device} ===");
+        println!(
+            "{:<14}{:>7}{:>9}{:>12}{:>12}{:>10}{:>10}{:>9}",
+            "benchmark", "qubits", "gates", "codar WD", "sabre WD", "codar SW", "sabre SW", "speedup"
+        );
+        let rows = fig8_for_device(&device, &suite, 0);
+        for r in &rows {
+            println!(
+                "{:<14}{:>7}{:>9}{:>12}{:>12}{:>10}{:>10}{:>9.3}",
+                r.name,
+                r.num_qubits,
+                r.gates,
+                r.codar_depth,
+                r.sabre_depth,
+                r.codar_swaps,
+                r.sabre_swaps,
+                r.speedup()
+            );
+        }
+        let avg = average_speedup(&rows);
+        println!(
+            "--- average speedup on {}: {:.3} ({} benchmarks) ---\n",
+            device.name(),
+            avg,
+            rows.len()
+        );
+        averages.push((device.name().to_string(), avg, rows.len()));
+    }
+    println!("Summary (paper reports 1.212 / 1.241 / 1.214 / 1.258):");
+    for (name, avg, n) in &averages {
+        println!("  {name:<22} {avg:.3}  ({n} benchmarks)");
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation sweep: how much each CODAR mechanism (duration awareness,
+//! commutativity detection, Hfine) contributes to the weighted-depth
+//! win, quantifying Sec. IV's design choices.
+//!
+//! Usage: `cargo run -p codar-bench --release --bin sweep [--quick]`
+
+use codar_arch::Device;
+use codar_bench::ablation_configs;
+use codar_benchmarks::full_suite;
+use codar_router::sabre::reverse_traversal_mapping;
+use codar_router::CodarRouter;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut suite = full_suite();
+    suite.retain(|e| e.circuit.len() < if quick { 800 } else { 5000 });
+    let device = Device::ibm_q20_tokyo();
+    let configs = ablation_configs();
+
+    println!(
+        "Ablation sweep on {} ({} benchmarks)\n",
+        device.name(),
+        suite
+            .iter()
+            .filter(|e| e.num_qubits <= device.num_qubits())
+            .count()
+    );
+    let mut header = format!("{:<14}", "benchmark");
+    for (name, _) in &configs {
+        header.push_str(&format!("{name:>22}"));
+    }
+    println!("{header}");
+
+    let mut totals = vec![0.0f64; configs.len()];
+    let mut counted = 0usize;
+    for entry in suite
+        .iter()
+        .filter(|e| e.num_qubits <= device.num_qubits())
+    {
+        let initial = reverse_traversal_mapping(&entry.circuit, &device, 0);
+        let mut row = format!("{:<14}", entry.name);
+        let mut depths = Vec::new();
+        for (_, config) in &configs {
+            let routed = CodarRouter::with_config(&device, config.clone())
+                .route_with_mapping(&entry.circuit, initial.clone())
+                .expect("suite circuits fit the device");
+            depths.push(routed.weighted_depth);
+            row.push_str(&format!("{:>22}", routed.weighted_depth));
+        }
+        println!("{row}");
+        let full = depths[0] as f64;
+        if full > 0.0 {
+            for (i, &d) in depths.iter().enumerate() {
+                totals[i] += d as f64 / full;
+            }
+            counted += 1;
+        }
+    }
+    println!("\nAverage weighted depth relative to full CODAR (lower is better):");
+    for (i, (name, _)) in configs.iter().enumerate() {
+        println!("  {:<24} {:.3}", name, totals[i] / counted.max(1) as f64);
+    }
+}

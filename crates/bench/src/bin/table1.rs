@@ -1,0 +1,49 @@
+//! Regenerates Table I: parameter information of several quantum
+//! computing devices.
+
+use codar_arch::TechnologyParams;
+
+fn fmt_opt(x: Option<f64>, unit: &str) -> String {
+    match x {
+        Some(v) if v >= 1000.0 => format!("{:.1} µs", v / 1000.0),
+        Some(v) => format!("{v:.0} {unit}"),
+        None => "-".to_string(),
+    }
+}
+
+fn main() {
+    println!("Table I: Parameter information of several quantum computing devices\n");
+    println!(
+        "{:<14}{:<16}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}",
+        "device", "technology", "1q fid", "2q fid", "readout", "t(1q)", "t(2q)", "T1", "T2"
+    );
+    for p in TechnologyParams::table1() {
+        println!(
+            "{:<14}{:<16}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}",
+            p.device,
+            p.technology.to_string(),
+            format!("{:.3}%", p.fidelity_1q * 100.0),
+            format!("{:.2}%", p.fidelity_2q * 100.0),
+            p.fidelity_readout
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "-".to_string()),
+            fmt_opt(p.time_1q_ns, "ns"),
+            fmt_opt(p.time_2q_ns, "ns"),
+            p.t1_us
+                .map(|v| format!("{v:.0} µs"))
+                .unwrap_or_else(|| "~inf".to_string()),
+            p.t2_us
+                .map(|v| format!("{v:.0} µs"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    println!(
+        "\nDerived duration ratios (2q/1q): {}",
+        TechnologyParams::table1()
+            .iter()
+            .filter_map(|p| p.duration_ratio().map(|r| format!("{} {:.1}x", p.device, r)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("The CODAR evaluation profile (superconducting): 1q = 1 cycle, 2q = 2 cycles, SWAP = 6 cycles.");
+}

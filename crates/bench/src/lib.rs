@@ -1,0 +1,221 @@
+//! Experiment harness: the code behind every table and figure of the
+//! paper (see DESIGN.md for the experiment index).
+//!
+//! Binaries:
+//!
+//! * `table1` — prints the Table I technology survey,
+//! * `fig8` — CODAR-vs-SABRE weighted-depth speedups on the 71-benchmark
+//!   suite across the four architectures,
+//! * `fig9` — fidelity of the 7 famous algorithms under dephasing- and
+//!   damping-dominant noise,
+//! * `sweep` — ablation study over CODAR's three mechanisms.
+
+use codar_arch::Device;
+use codar_benchmarks::suite::SuiteEntry;
+use codar_circuit::schedule::Time;
+use codar_router::sabre::reverse_traversal_mapping;
+use codar_router::{CodarConfig, CodarRouter, InitialMapping, RouteError, SabreRouter};
+use codar_sim::{FidelityReport, NoiseModel};
+
+/// One benchmark's CODAR-vs-SABRE comparison on one device.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Qubits used by the benchmark.
+    pub num_qubits: usize,
+    /// Input gate count.
+    pub gates: usize,
+    /// CODAR weighted depth.
+    pub codar_depth: Time,
+    /// SABRE weighted depth.
+    pub sabre_depth: Time,
+    /// SWAPs inserted by CODAR.
+    pub codar_swaps: usize,
+    /// SWAPs inserted by SABRE.
+    pub sabre_swaps: usize,
+}
+
+impl ComparisonRow {
+    /// The Fig. 8 metric: SABRE weighted depth over CODAR weighted depth
+    /// (> 1 means CODAR is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.codar_depth == 0 {
+            1.0
+        } else {
+            self.sabre_depth as f64 / self.codar_depth as f64
+        }
+    }
+}
+
+/// Routes one benchmark with both routers from the *same* initial
+/// mapping (the paper's protocol) and reports the comparison.
+///
+/// # Errors
+///
+/// Propagates router errors (e.g. the benchmark does not fit).
+pub fn compare_on(
+    device: &Device,
+    entry: &SuiteEntry,
+    seed: u64,
+) -> Result<ComparisonRow, RouteError> {
+    let initial = reverse_traversal_mapping(&entry.circuit, device, seed);
+    let codar = CodarRouter::new(device).route_with_mapping(&entry.circuit, initial.clone())?;
+    let sabre = SabreRouter::new(device).route_with_mapping(&entry.circuit, initial)?;
+    Ok(ComparisonRow {
+        name: entry.name.clone(),
+        num_qubits: entry.num_qubits,
+        gates: entry.circuit.len(),
+        codar_depth: codar.weighted_depth,
+        sabre_depth: sabre.weighted_depth,
+        codar_swaps: codar.swaps_inserted,
+        sabre_swaps: sabre.swaps_inserted,
+    })
+}
+
+/// Runs the Fig. 8 experiment for one device over every suite entry
+/// that fits it, returning rows in suite order.
+pub fn fig8_for_device(device: &Device, suite: &[SuiteEntry], seed: u64) -> Vec<ComparisonRow> {
+    suite
+        .iter()
+        .filter(|e| e.num_qubits <= device.num_qubits())
+        .filter_map(|e| compare_on(device, e, seed).ok())
+        .collect()
+}
+
+/// Geometric-free average speedup of a set of rows (the paper reports
+/// arithmetic means per architecture).
+pub fn average_speedup(rows: &[ComparisonRow]) -> f64 {
+    if rows.is_empty() {
+        return 1.0;
+    }
+    rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64
+}
+
+/// One algorithm's fidelity comparison (Fig. 9).
+#[derive(Debug, Clone)]
+pub struct FidelityRow {
+    /// Benchmark name.
+    pub name: String,
+    /// CODAR weighted depth.
+    pub codar_depth: Time,
+    /// SABRE weighted depth.
+    pub sabre_depth: Time,
+    /// CODAR circuit fidelity under the noise model.
+    pub codar_fidelity: FidelityReport,
+    /// SABRE circuit fidelity under the noise model.
+    pub sabre_fidelity: FidelityReport,
+}
+
+/// Runs the Fig. 9 fidelity experiment for one algorithm on `device`
+/// under `noise`.
+///
+/// # Errors
+///
+/// Propagates router errors.
+pub fn fidelity_compare(
+    device: &Device,
+    entry: &SuiteEntry,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> Result<FidelityRow, RouteError> {
+    let initial = reverse_traversal_mapping(&entry.circuit, device, seed);
+    let codar = CodarRouter::new(device).route_with_mapping(&entry.circuit, initial.clone())?;
+    let sabre = SabreRouter::new(device).route_with_mapping(&entry.circuit, initial)?;
+    let tau = device.durations().clone();
+    let codar_fidelity =
+        FidelityReport::estimate(&codar.circuit, |g| tau.of(g), noise, trajectories, seed);
+    let sabre_fidelity =
+        FidelityReport::estimate(&sabre.circuit, |g| tau.of(g), noise, trajectories, seed);
+    Ok(FidelityRow {
+        name: entry.name.clone(),
+        codar_depth: codar.weighted_depth,
+        sabre_depth: sabre.weighted_depth,
+        codar_fidelity,
+        sabre_fidelity,
+    })
+}
+
+/// The ablation configurations of the `sweep` binary.
+pub fn ablation_configs() -> Vec<(&'static str, CodarConfig)> {
+    let base = CodarConfig {
+        initial_mapping: InitialMapping::Identity,
+        ..CodarConfig::default()
+    };
+    vec![
+        ("full codar", base.clone()),
+        (
+            "no duration awareness",
+            CodarConfig {
+                enable_duration_awareness: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no commutativity",
+            CodarConfig {
+                enable_commutativity: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no hfine",
+            CodarConfig {
+                enable_hfine: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Formats a ratio table row.
+pub fn fmt_row(name: &str, cols: &[String]) -> String {
+    let mut line = format!("{name:<24}");
+    for c in cols {
+        line.push_str(&format!("{c:>14}"));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_benchmarks::suite::fidelity_suite;
+
+    #[test]
+    fn compare_runs_and_is_valid() {
+        let device = Device::ibm_q20_tokyo();
+        let suite = codar_benchmarks::full_suite();
+        let entry = suite.iter().find(|e| e.name == "qft_8").unwrap();
+        let row = compare_on(&device, entry, 0).unwrap();
+        assert!(row.codar_depth > 0);
+        assert!(row.sabre_depth > 0);
+        assert!(row.speedup() > 0.3 && row.speedup() < 5.0);
+    }
+
+    #[test]
+    fn average_speedup_of_empty_is_one() {
+        assert_eq!(average_speedup(&[]), 1.0);
+    }
+
+    #[test]
+    fn fidelity_compare_produces_probabilities() {
+        let device = Device::ibm_q20_tokyo();
+        let suite = fidelity_suite();
+        let entry = &suite[1]; // ghz_6
+        let row = fidelity_compare(&device, entry, &NoiseModel::dephasing_dominant(), 20, 0)
+            .unwrap();
+        assert!(row.codar_fidelity.mean > 0.0 && row.codar_fidelity.mean <= 1.0 + 1e-9);
+        assert!(row.sabre_fidelity.mean > 0.0 && row.sabre_fidelity.mean <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ablation_configs_cover_all_mechanisms() {
+        let configs = ablation_configs();
+        assert_eq!(configs.len(), 4);
+        assert!(configs.iter().any(|(_, c)| !c.enable_duration_awareness));
+        assert!(configs.iter().any(|(_, c)| !c.enable_commutativity));
+        assert!(configs.iter().any(|(_, c)| !c.enable_hfine));
+    }
+}

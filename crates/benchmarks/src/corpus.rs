@@ -1,0 +1,191 @@
+//! Embedded OpenQASM benchmark sources.
+//!
+//! A handful of hand-written programs in the style of the public corpora
+//! the paper draws from (IBM Qiskit examples, RevLib netlists, ScaffCC
+//! output). They exercise the full frontend pipeline — parsing, gate
+//! definitions, register broadcast — on realistic inputs.
+
+use codar_circuit::from_qasm::circuit_from_source;
+use codar_circuit::Circuit;
+use codar_qasm::QasmError;
+
+/// 3-qubit Toffoli test (RevLib `toffoli_double` style).
+pub const TOFFOLI_QASM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+x q[0];
+x q[1];
+ccx q[0], q[1], q[2];
+measure q -> c;
+"#;
+
+/// 4-qubit QFT as emitted by ScaffCC-style compilers (explicit u1/cx
+/// decomposition of the controlled phases).
+pub const QFT4_QASM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cu1(pi/2) q[1], q[0];
+h q[1];
+cu1(pi/4) q[2], q[0];
+cu1(pi/2) q[2], q[1];
+h q[2];
+cu1(pi/8) q[3], q[0];
+cu1(pi/4) q[3], q[1];
+cu1(pi/2) q[3], q[2];
+h q[3];
+"#;
+
+/// The paper's Fig. 1 motivating fragment (context impact).
+pub const FIG1_QASM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+t q[2];
+cx q[0], q[3];
+"#;
+
+/// The paper's Fig. 2 motivating fragment (4-qubit QFT prefix;
+/// duration impact).
+pub const FIG2_QASM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+t q[2];
+cx q[0], q[2];
+cx q[0], q[3];
+"#;
+
+/// A user-defined-gate workout: Cuccaro majority/unmajority adder cell
+/// exactly as published (uses composite `gate` definitions).
+pub const MAJ_ADDER_QASM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority a,b,c
+{
+  cx c,b;
+  cx c,a;
+  ccx a,b,c;
+}
+gate unmaj a,b,c
+{
+  ccx a,b,c;
+  cx c,a;
+  cx a,b;
+}
+qreg cin[1];
+qreg a[4];
+qreg b[4];
+qreg cout[1];
+creg ans[5];
+x a[0];
+x b;
+majority cin[0],b[0],a[0];
+majority a[0],b[1],a[1];
+majority a[1],b[2],a[2];
+majority a[2],b[3],a[3];
+cx a[3],cout[0];
+unmaj a[2],b[3],a[3];
+unmaj a[1],b[2],a[2];
+unmaj a[0],b[1],a[1];
+unmaj cin[0],b[0],a[0];
+measure b[0] -> ans[0];
+measure b[1] -> ans[1];
+measure b[2] -> ans[2];
+measure b[3] -> ans[3];
+measure cout[0] -> ans[4];
+"#;
+
+/// A GHZ-with-broadcast program (register-level operands).
+pub const GHZ_BROADCAST_QASM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+barrier q;
+measure q -> c;
+"#;
+
+/// All embedded sources with their names.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("toffoli", TOFFOLI_QASM),
+        ("qft4", QFT4_QASM),
+        ("paper_fig1", FIG1_QASM),
+        ("paper_fig2", FIG2_QASM),
+        ("maj_adder", MAJ_ADDER_QASM),
+        ("ghz_broadcast", GHZ_BROADCAST_QASM),
+    ]
+}
+
+/// Parses an embedded source into a circuit.
+///
+/// # Errors
+///
+/// Propagates frontend errors (none occur for the embedded sources —
+/// see the tests).
+pub fn load(source: &str) -> Result<Circuit, QasmError> {
+    circuit_from_source(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_circuit::GateKind;
+
+    #[test]
+    fn every_embedded_source_parses() {
+        for (name, src) in all() {
+            let circuit = load(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!circuit.is_empty(), "{name} is empty");
+        }
+    }
+
+    #[test]
+    fn toffoli_counts() {
+        let c = load(TOFFOLI_QASM).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.count_kind(GateKind::Ccx), 1);
+        assert_eq!(c.count_kind(GateKind::Measure), 3);
+    }
+
+    #[test]
+    fn qft4_structure() {
+        let c = load(QFT4_QASM).unwrap();
+        assert_eq!(c.count_kind(GateKind::H), 4);
+        assert_eq!(c.count_kind(GateKind::Cu1), 6);
+    }
+
+    #[test]
+    fn maj_adder_expands_composite_gates() {
+        let c = load(MAJ_ADDER_QASM).unwrap();
+        assert_eq!(c.num_qubits(), 10);
+        // 8 majority/unmaj cells × 3 gates = 24, plus 1 cx, 5 x, 5 measure.
+        assert_eq!(c.count_kind(GateKind::Ccx), 8);
+        assert_eq!(c.count_kind(GateKind::Cx), 2 * 8 + 1);
+        assert_eq!(c.count_kind(GateKind::X), 5);
+    }
+
+    #[test]
+    fn ghz_broadcast_measures_whole_register() {
+        let c = load(GHZ_BROADCAST_QASM).unwrap();
+        assert_eq!(c.count_kind(GateKind::Measure), 5);
+        assert_eq!(c.count_kind(GateKind::Barrier), 1);
+    }
+
+    #[test]
+    fn fig_fragments_match_paper() {
+        let fig1 = load(FIG1_QASM).unwrap();
+        assert_eq!(fig1.len(), 2);
+        let fig2 = load(FIG2_QASM).unwrap();
+        assert_eq!(fig2.len(), 3);
+    }
+}

@@ -1,0 +1,649 @@
+//! Parameterised benchmark circuit generators.
+//!
+//! All generators are deterministic (random families take an explicit
+//! seed), so every experiment in the repository is reproducible.
+
+use codar_circuit::{Circuit, GateKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// `n`-qubit Quantum Fourier Transform (the ScaffCC-style ladder of
+/// Hadamards and controlled phases; no terminal reversal swaps).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qft(n: usize) -> Circuit {
+    assert!(n > 0, "qft needs at least one qubit");
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.h(i);
+        for j in i + 1..n {
+            c.cu1(PI / (1u64 << (j - i)) as f64, j, i);
+        }
+    }
+    c
+}
+
+/// Bernstein–Vazirani with an `n`-bit secret (bit `i` of `secret`) and
+/// one ancilla (qubit `n`).
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Circuit {
+    let mut c = Circuit::with_bits(n + 1, n);
+    c.x(n);
+    c.h(n);
+    for i in 0..n {
+        c.h(i);
+    }
+    for i in 0..n {
+        if secret >> i & 1 == 1 {
+            c.cx(i, n);
+        }
+    }
+    for i in 0..n {
+        c.h(i);
+        c.measure(i, i);
+    }
+    c
+}
+
+/// `n`-qubit GHZ state preparation (H + CNOT chain).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n > 0, "ghz needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for i in 1..n {
+        c.cx(i - 1, i);
+    }
+    c
+}
+
+/// Cuccaro ripple-carry adder on two `n`-bit registers
+/// (`2n + 2` qubits: carry-in, interleaved a/b, carry-out).
+///
+/// Uses the MAJ/UMA construction; contains Toffolis (decompose before
+/// routing).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn cuccaro_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder needs at least one bit");
+    let qubits = 2 * n + 2;
+    let mut c = Circuit::new(qubits);
+    // Layout: cin = 0, a_i = 1 + 2i, b_i = 2 + 2i, cout = 2n + 1.
+    let a = |i: usize| 1 + 2 * i;
+    let b = |i: usize| 2 + 2 * i;
+    let cin = 0;
+    let cout = qubits - 1;
+    // Prepare a non-trivial input so simulation-based tests see carries.
+    for i in 0..n {
+        c.x(a(i));
+        if i % 2 == 0 {
+            c.x(b(i));
+        }
+    }
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..n {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(n - 1), cout);
+    for i in (1..n).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+    c
+}
+
+/// Chain of `n - 2` Toffolis over `n` qubits (RevLib-style reversible
+/// network shape).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn toffoli_chain(n: usize) -> Circuit {
+    assert!(n >= 3, "toffoli chain needs at least 3 qubits");
+    let mut c = Circuit::new(n);
+    c.x(0);
+    c.x(1);
+    for i in 0..n - 2 {
+        c.ccx(i, i + 1, i + 2);
+    }
+    c
+}
+
+/// Grover search over `n` data qubits marking the all-ones item, with
+/// `iterations` rounds. The multi-controlled Z uses a ccx cascade with
+/// `n - 2` ancillas (total `2n - 2` qubits for `n ≥ 3`; `n` otherwise).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn grover(n: usize, iterations: usize) -> Circuit {
+    assert!(n >= 2, "grover needs at least 2 data qubits");
+    let total = if n >= 3 { 2 * n - 2 } else { n };
+    let mut c = Circuit::new(total);
+    for q in 0..n {
+        c.h(q);
+    }
+    let mcz = |c: &mut Circuit| {
+        // Multi-controlled Z over qubits 0..n via H (on n-1) + MCX + H.
+        c.h(n - 1);
+        if n == 2 {
+            c.cx(0, 1);
+        } else {
+            // cascade: ancillas at n..n + (n-2)
+            let anc = |i: usize| n + i;
+            c.ccx(0, 1, anc(0));
+            for i in 2..n - 1 {
+                c.ccx(i, anc(i - 2), anc(i - 1));
+            }
+            c.cx(anc(n - 3), n - 1);
+            for i in (2..n - 1).rev() {
+                c.ccx(i, anc(i - 2), anc(i - 1));
+            }
+            c.ccx(0, 1, anc(0));
+        }
+        c.h(n - 1);
+    };
+    for _ in 0..iterations {
+        // Oracle: flip phase of |1...1>.
+        mcz(&mut c);
+        // Diffusion.
+        for q in 0..n {
+            c.h(q);
+            c.x(q);
+        }
+        mcz(&mut c);
+        for q in 0..n {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// Hidden-shift benchmark (Qiskit's benchmark family): H layer, a
+/// bent-function phase pattern shifted by `shift`, another H layer.
+pub fn hidden_shift(n: usize, shift: u64) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n {
+        if shift >> q & 1 == 1 {
+            c.z(q);
+        }
+    }
+    for q in (0..n).step_by(2) {
+        if q + 1 < n {
+            c.cz(q, q + 1);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in (0..n).step_by(2) {
+        if q + 1 < n {
+            c.cz(q, q + 1);
+        }
+    }
+    for q in 0..n {
+        if shift >> q & 1 == 1 {
+            c.z(q);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// Transverse-field Ising / QAOA-style circuit: `layers` rounds of
+/// nearest-neighbor + seeded random long-range `rzz` followed by `rx`.
+pub fn ising_qaoa(n: usize, layers: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for layer in 0..layers {
+        let gamma = 0.3 + 0.1 * layer as f64;
+        for q in 0..n.saturating_sub(1) {
+            c.rzz(gamma, q, q + 1);
+        }
+        // A few random long-range couplings stress the router.
+        for _ in 0..n / 3 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                c.rzz(gamma, a, b);
+            }
+        }
+        for q in 0..n {
+            c.rx(0.7, q);
+        }
+    }
+    c
+}
+
+/// Deutsch–Jozsa over `n` data qubits (+1 ancilla); `balanced` selects
+/// the balanced oracle (CNOT fan-in) over the constant one.
+pub fn deutsch_jozsa(n: usize, balanced: bool) -> Circuit {
+    let mut c = Circuit::with_bits(n + 1, n);
+    c.x(n);
+    for q in 0..=n {
+        c.h(q);
+    }
+    if balanced {
+        for q in 0..n {
+            c.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+        c.measure(q, q);
+    }
+    c
+}
+
+/// Seeded random Clifford+T circuit with `gates` operations over `n`
+/// qubits (the SABRE-style "random" stress family).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn random_clifford_t(n: usize, gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "random circuits need at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        match rng.gen_range(0..10) {
+            0 => c.h(rng.gen_range(0..n)),
+            1 => c.t(rng.gen_range(0..n)),
+            2 => c.tdg(rng.gen_range(0..n)),
+            3 => c.s(rng.gen_range(0..n)),
+            4 => c.x(rng.gen_range(0..n)),
+            5 => c.rz(rng.gen::<f64>() * PI, rng.gen_range(0..n)),
+            _ => {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                c.cx(a, b);
+            }
+        }
+    }
+    c
+}
+
+/// Quantum-volume-style model circuit: `depth` layers of random
+/// permuted two-qubit blocks (each block = CX + parameterized 1q gates).
+pub fn quantum_volume(n: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..depth {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for pair in perm.chunks(2) {
+            if let [a, b] = *pair {
+                c.add(
+                    GateKind::U3,
+                    vec![a],
+                    vec![rng.gen::<f64>() * PI, rng.gen::<f64>() * PI, rng.gen::<f64>() * PI],
+                );
+                c.add(
+                    GateKind::U3,
+                    vec![b],
+                    vec![rng.gen::<f64>() * PI, rng.gen::<f64>() * PI, rng.gen::<f64>() * PI],
+                );
+                c.cx(a, b);
+                c.add(
+                    GateKind::U3,
+                    vec![b],
+                    vec![rng.gen::<f64>() * PI, rng.gen::<f64>() * PI, rng.gen::<f64>() * PI],
+                );
+            }
+        }
+    }
+    c
+}
+
+/// A reversible ripple counter incrementing `rounds` times (RevLib-style
+/// arithmetic shape built from X/CX/CCX cascades).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ripple_counter(n: usize, rounds: usize) -> Circuit {
+    assert!(n >= 2, "counter needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    for _ in 0..rounds {
+        // Increment: bit k flips when all lower bits are 1; realized
+        // most-significant-first so carries read the pre-increment bits.
+        for k in (1..n).rev() {
+            match k {
+                1 => c.cx(0, 1),
+                2 => c.ccx(0, 1, 2),
+                _ => {
+                    // Approximate multi-control with a ccx ladder over
+                    // the two highest relevant bits (keeps the circuit
+                    // 3-qubit-gate bounded like RevLib's mapped netlists).
+                    c.ccx(k - 2, k - 1, k);
+                }
+            }
+        }
+        c.x(0);
+    }
+    c
+}
+
+/// `n`-qubit W-state preparation (Cruz et al. construction: a cascade
+/// of controlled-Ry "distribution" blocks followed by CNOTs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n > 0, "w state needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.x(0);
+    for i in 0..n - 1 {
+        // Controlled-Ry(θ) from qubit i to i+1 with
+        // θ = 2·acos(sqrt(1/(n-i))): splits off 1/(n-i) of the
+        // excitation amplitude. cry(θ) = cu3(θ, 0, 0).
+        let theta = 2.0 * (1.0 / (n - i) as f64).sqrt().acos();
+        c.add(GateKind::Cu3, vec![i, i + 1], vec![theta, 0.0, 0.0]);
+        c.cx(i + 1, i);
+    }
+    c
+}
+
+/// Three-qubit bit-flip code: encode, `rounds` syndrome extractions
+/// into two ancillas (measured each round), decode. 5 qubits total.
+pub fn bit_flip_code(rounds: usize) -> Circuit {
+    let mut c = Circuit::with_bits(5, 2 * rounds.max(1));
+    // Prepare a non-trivial data state and encode it.
+    c.ry(0.7, 0);
+    c.cx(0, 1);
+    c.cx(0, 2);
+    for round in 0..rounds {
+        // Syndrome extraction: Z0Z1 -> ancilla 3, Z1Z2 -> ancilla 4.
+        c.cx(0, 3);
+        c.cx(1, 3);
+        c.cx(1, 4);
+        c.cx(2, 4);
+        c.measure(3, 2 * round);
+        c.measure(4, 2 * round + 1);
+        c.add(GateKind::Reset, vec![3], vec![]);
+        c.add(GateKind::Reset, vec![4], vec![]);
+    }
+    // Decode.
+    c.cx(0, 2);
+    c.cx(0, 1);
+    c
+}
+
+/// Iterative quantum phase estimation of a `u1(2π·phase)` eigenvalue
+/// with `bits` counting qubits (+1 target). Controlled powers + inverse
+/// QFT on the counting register.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn phase_estimation(bits: usize, phase: f64) -> Circuit {
+    assert!(bits > 0, "phase estimation needs counting qubits");
+    let n = bits + 1;
+    let target = bits;
+    let mut c = Circuit::with_bits(n, bits);
+    c.x(target); // eigenstate |1> of u1
+    for q in 0..bits {
+        c.h(q);
+    }
+    for (q, _) in (0..bits).enumerate() {
+        // Counting qubit q controls u1(2π·phase·2^q).
+        let angle = 2.0 * PI * phase * (1u64 << q) as f64;
+        c.cu1(angle, q, target);
+    }
+    // Inverse QFT on the counting register.
+    for i in (0..bits).rev() {
+        for j in (i + 1..bits).rev() {
+            c.cu1(-PI / (1u64 << (j - i)) as f64, j, i);
+        }
+        c.h(i);
+    }
+    for q in 0..bits {
+        c.measure(q, q);
+    }
+    c
+}
+
+/// Hardware-efficient VQE ansatz: `layers` of RY rotations and a CX
+/// entangling ladder, seeded angles.
+pub fn vqe_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.ry(rng.gen::<f64>() * PI, q);
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    for q in 0..n {
+        c.ry(rng.gen::<f64>() * PI, q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_circuit::decompose::decompose_three_qubit_gates;
+
+    #[test]
+    fn qft_gate_count() {
+        // n H's + n(n-1)/2 controlled phases.
+        let c = qft(5);
+        assert_eq!(c.len(), 5 + 10);
+        assert_eq!(c.count_kind(GateKind::H), 5);
+        assert_eq!(c.count_kind(GateKind::Cu1), 10);
+    }
+
+    #[test]
+    fn qft_is_unitary_sized() {
+        assert_eq!(qft(1).len(), 1);
+        assert_eq!(qft(2).len(), 3);
+    }
+
+    #[test]
+    fn bv_encodes_secret() {
+        let c = bernstein_vazirani(6, 0b101001);
+        assert_eq!(c.count_kind(GateKind::Cx), 3);
+        assert_eq!(c.num_qubits(), 7);
+        assert_eq!(c.count_kind(GateKind::Measure), 6);
+    }
+
+    #[test]
+    fn ghz_shape() {
+        let c = ghz(8);
+        assert_eq!(c.count_kind(GateKind::H), 1);
+        assert_eq!(c.count_kind(GateKind::Cx), 7);
+    }
+
+    #[test]
+    fn adder_uses_expected_registers() {
+        let c = cuccaro_adder(4);
+        assert_eq!(c.num_qubits(), 10);
+        assert!(c.count_kind(GateKind::Ccx) == 2 * 4); // one MAJ + one UMA per bit
+        // Decomposable for routing.
+        let d = decompose_three_qubit_gates(&c);
+        assert!(d.gates().iter().all(|g| g.qubits.len() <= 2));
+    }
+
+    #[test]
+    fn toffoli_chain_counts() {
+        let c = toffoli_chain(6);
+        assert_eq!(c.count_kind(GateKind::Ccx), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_toffoli_chain_panics() {
+        toffoli_chain(2);
+    }
+
+    #[test]
+    fn grover_small_sizes() {
+        let g2 = grover(2, 1);
+        assert_eq!(g2.num_qubits(), 2);
+        let g4 = grover(4, 2);
+        assert_eq!(g4.num_qubits(), 6);
+        assert!(g4.count_kind(GateKind::Ccx) > 0);
+    }
+
+    #[test]
+    fn hidden_shift_is_h_sandwich() {
+        let c = hidden_shift(6, 0b110100);
+        assert_eq!(c.count_kind(GateKind::H), 18);
+        assert!(c.count_kind(GateKind::Cz) > 0);
+    }
+
+    #[test]
+    fn ising_deterministic() {
+        let a = ising_qaoa(8, 2, 5);
+        let b = ising_qaoa(8, 2, 5);
+        assert_eq!(a.gates(), b.gates());
+        assert!(a.count_kind(GateKind::Rzz) >= 2 * 7);
+    }
+
+    #[test]
+    fn deutsch_jozsa_variants() {
+        let balanced = deutsch_jozsa(5, true);
+        let constant = deutsch_jozsa(5, false);
+        assert!(balanced.count_kind(GateKind::Cx) == 5);
+        assert!(constant.count_kind(GateKind::Cx) == 0);
+    }
+
+    #[test]
+    fn random_circuit_is_seeded() {
+        let a = random_clifford_t(6, 100, 9);
+        let b = random_clifford_t(6, 100, 9);
+        let c = random_clifford_t(6, 100, 10);
+        assert_eq!(a.gates(), b.gates());
+        assert_ne!(a.gates(), c.gates());
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn random_circuit_no_self_loops() {
+        let c = random_clifford_t(4, 500, 3);
+        for g in c.gates() {
+            if g.qubits.len() == 2 {
+                assert_ne!(g.qubits[0], g.qubits[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn quantum_volume_layers() {
+        let c = quantum_volume(6, 4, 1);
+        // 3 blocks per layer, 1 cx each.
+        assert_eq!(c.count_kind(GateKind::Cx), 12);
+    }
+
+    #[test]
+    fn counter_increments() {
+        // Simulate 3 increments of a 3-bit counter: expect |011> (3).
+        let c = ripple_counter(3, 3);
+        let state = codar_sim_free::run(&c);
+        assert!(state.0 == 3, "counter reads {}", state.0);
+    }
+
+    // A tiny classical simulator for X/CX/CCX-only circuits (enough to
+    // check the counter without depending on codar-sim).
+    mod codar_sim_free {
+        use codar_circuit::{Circuit, GateKind};
+
+        pub fn run(c: &Circuit) -> (u64,) {
+            let mut bits = vec![false; c.num_qubits()];
+            for g in c.gates() {
+                match g.kind {
+                    GateKind::X => bits[g.qubits[0]] ^= true,
+                    GateKind::Cx => {
+                        if bits[g.qubits[0]] {
+                            bits[g.qubits[1]] ^= true;
+                        }
+                    }
+                    GateKind::Ccx => {
+                        if bits[g.qubits[0]] && bits[g.qubits[1]] {
+                            bits[g.qubits[2]] ^= true;
+                        }
+                    }
+                    other => panic!("unexpected {other} in classical circuit"),
+                }
+            }
+            let mut v = 0u64;
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    v |= 1 << i;
+                }
+            }
+            (v,)
+        }
+    }
+
+    #[test]
+    fn w_state_shape() {
+        let c = w_state(5);
+        assert_eq!(c.count_kind(GateKind::X), 1);
+        assert_eq!(c.count_kind(GateKind::Cu3), 4);
+        assert_eq!(c.count_kind(GateKind::Cx), 4);
+    }
+
+    #[test]
+    fn bit_flip_code_rounds() {
+        let c = bit_flip_code(3);
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.count_kind(GateKind::Measure), 6);
+        assert_eq!(c.count_kind(GateKind::Reset), 6);
+        // encode 2 + decode 2 + 4 per round
+        assert_eq!(c.count_kind(GateKind::Cx), 4 + 12);
+    }
+
+    #[test]
+    fn phase_estimation_shape() {
+        let c = phase_estimation(4, 0.3125);
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.count_kind(GateKind::H), 4 + 4); // forward + inverse
+        assert_eq!(c.count_kind(GateKind::Measure), 4);
+        // 4 controlled powers + 6 inverse-QFT phases.
+        assert_eq!(c.count_kind(GateKind::Cu1), 10);
+    }
+
+    #[test]
+    fn vqe_ansatz_shape() {
+        let c = vqe_ansatz(5, 3, 0);
+        assert_eq!(c.count_kind(GateKind::Ry), 5 * 4);
+        assert_eq!(c.count_kind(GateKind::Cx), 4 * 3);
+    }
+}

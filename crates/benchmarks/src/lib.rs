@@ -1,0 +1,34 @@
+//! Benchmark circuits for the CODAR evaluation.
+//!
+//! The paper collects 71 benchmarks from IBM Qiskit's GitHub, RevLib,
+//! ScaffCC, Quipper and the SABRE suite (3–36 qubits, up to ~30k gates).
+//! Those artifacts are external; this crate regenerates the same circuit
+//! *families* deterministically:
+//!
+//! * [`generators`] — parameterised constructors (QFT, Bernstein–Vazirani,
+//!   GHZ, Cuccaro adders, Grover, hidden shift, Ising/QAOA, reversible
+//!   Toffoli networks, random Clifford+T, …),
+//! * [`suite`] — the fixed 71-entry evaluation suite spanning the same
+//!   size range as the paper's corpus,
+//! * [`corpus`] — a small set of embedded OpenQASM sources exercising
+//!   the full frontend pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! let qft = codar_benchmarks::qft(5);
+//! assert_eq!(qft.num_qubits(), 5);
+//! let suite = codar_benchmarks::suite::full_suite();
+//! assert_eq!(suite.len(), 71);
+//! ```
+
+pub mod corpus;
+pub mod generators;
+pub mod suite;
+
+pub use generators::{
+    bernstein_vazirani, bit_flip_code, cuccaro_adder, deutsch_jozsa, ghz, grover, hidden_shift,
+    ising_qaoa, phase_estimation, qft, quantum_volume, random_clifford_t, ripple_counter,
+    toffoli_chain, vqe_ansatz, w_state,
+};
+pub use suite::{full_suite, SuiteEntry};

@@ -1,0 +1,237 @@
+//! The fixed 71-entry evaluation suite.
+//!
+//! Mirrors the paper's corpus shape: 71 benchmarks, 3–36 qubits, drawn
+//! from the same families (QFT/arithmetic from ScaffCC, reversible
+//! networks from RevLib, algorithm kernels from Qiskit/Quipper, random
+//! circuits from the SABRE set). Entries are sorted by qubit count, as
+//! in Fig. 8 ("listed from left to right in ascending order of the
+//! number of qubits used").
+
+use crate::generators as g;
+use codar_circuit::decompose::decompose_three_qubit_gates;
+use codar_circuit::Circuit;
+
+/// One suite entry: a named, deterministic benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Human-readable benchmark name (family + size).
+    pub name: String,
+    /// Qubits used by the circuit.
+    pub num_qubits: usize,
+    /// The circuit, already decomposed to ≤ 2-qubit gates (router-ready).
+    pub circuit: Circuit,
+}
+
+impl SuiteEntry {
+    fn new(name: impl Into<String>, circuit: Circuit) -> Self {
+        let circuit = decompose_three_qubit_gates(&circuit);
+        SuiteEntry {
+            name: name.into(),
+            num_qubits: circuit.num_qubits(),
+            circuit,
+        }
+    }
+}
+
+/// Builds the full 71-benchmark suite, sorted by qubit count.
+///
+/// Deterministic: every entry is generated from fixed parameters/seeds.
+pub fn full_suite() -> Vec<SuiteEntry> {
+    let mut entries = vec![
+        // --- small algorithm kernels (3-6 qubits) ---------------------
+        SuiteEntry::new("ghz_3", g::ghz(3)),
+        SuiteEntry::new("toffoli_3", g::toffoli_chain(3)),
+        SuiteEntry::new("qft_3", g::qft(3)),
+        SuiteEntry::new("counter_3", g::ripple_counter(3, 4)),
+        SuiteEntry::new("bv_3", g::bernstein_vazirani(3, 0b101)),
+        SuiteEntry::new("qft_4", g::qft(4)),
+        SuiteEntry::new("ghz_4", g::ghz(4)),
+        SuiteEntry::new("toffoli_4", g::toffoli_chain(4)),
+        SuiteEntry::new("hs_4", g::hidden_shift(4, 0b1010)),
+        SuiteEntry::new("adder_1", g::cuccaro_adder(1)),
+        SuiteEntry::new("qft_5", g::qft(5)),
+        SuiteEntry::new("ghz_5", g::ghz(5)),
+        SuiteEntry::new("counter_5", g::ripple_counter(5, 6)),
+        SuiteEntry::new("bv_5", g::bernstein_vazirani(5, 0b11011)),
+        SuiteEntry::new("vqe_5", g::vqe_ansatz(5, 4, 11)),
+        SuiteEntry::new("qft_6", g::qft(6)),
+        SuiteEntry::new("ising_6", g::ising_qaoa(6, 3, 21)),
+        SuiteEntry::new("adder_2", g::cuccaro_adder(2)),
+        SuiteEntry::new("toffoli_6", g::toffoli_chain(6)),
+        SuiteEntry::new("grover_4", g::grover(4, 2)),
+        SuiteEntry::new("hs_6", g::hidden_shift(6, 0b110110)),
+        SuiteEntry::new("random_6", g::random_clifford_t(6, 150, 1)),
+        // --- medium (7-12 qubits) --------------------------------------
+        SuiteEntry::new("qft_7", g::qft(7)),
+        SuiteEntry::new("bv_7", g::bernstein_vazirani(7, 0b1010101)),
+        SuiteEntry::new("dj_7", g::deutsch_jozsa(7, true)),
+        SuiteEntry::new("ghz_8", g::ghz(8)),
+        SuiteEntry::new("qft_8", g::qft(8)),
+        SuiteEntry::new("adder_3", g::cuccaro_adder(3)),
+        SuiteEntry::new("hs_8", g::hidden_shift(8, 0b10110101)),
+        SuiteEntry::new("ising_8", g::ising_qaoa(8, 4, 22)),
+        SuiteEntry::new("vqe_8", g::vqe_ansatz(8, 5, 12)),
+        SuiteEntry::new("random_8", g::random_clifford_t(8, 300, 2)),
+        SuiteEntry::new("counter_8", g::ripple_counter(8, 10)),
+        SuiteEntry::new("qft_9", g::qft(9)),
+        SuiteEntry::new("toffoli_9", g::toffoli_chain(9)),
+        SuiteEntry::new("ghz_10", g::ghz(10)),
+        SuiteEntry::new("qft_10", g::qft(10)),
+        SuiteEntry::new("bv_10", g::bernstein_vazirani(10, 0b1100110011)),
+        SuiteEntry::new("adder_4", g::cuccaro_adder(4)),
+        SuiteEntry::new("grover_6", g::grover(6, 1)),
+        SuiteEntry::new("ising_10", g::ising_qaoa(10, 4, 23)),
+        SuiteEntry::new("random_10", g::random_clifford_t(10, 500, 3)),
+        SuiteEntry::new("hs_10", g::hidden_shift(10, 0b1011010110)),
+        SuiteEntry::new("vqe_12", g::vqe_ansatz(12, 6, 13)),
+        SuiteEntry::new("qft_12", g::qft(12)),
+        SuiteEntry::new("qv_12", g::quantum_volume(12, 10, 32)),
+        SuiteEntry::new("adder_5", g::cuccaro_adder(5)),
+        SuiteEntry::new("random_12", g::random_clifford_t(12, 800, 4)),
+        // --- large (13-16 qubits, the IBM Q16 ceiling) ------------------
+        SuiteEntry::new("qft_13", g::qft(13)),
+        SuiteEntry::new("ising_13", g::ising_qaoa(13, 5, 24)),
+        SuiteEntry::new("counter_14", g::ripple_counter(14, 12)),
+        SuiteEntry::new("bv_14", g::bernstein_vazirani(14, 0x2AAA)),
+        SuiteEntry::new("adder_6", g::cuccaro_adder(6)),
+        SuiteEntry::new("random_14", g::random_clifford_t(14, 1000, 5)),
+        SuiteEntry::new("qft_15", g::qft(15)),
+        SuiteEntry::new("ghz_16", g::ghz(16)),
+        SuiteEntry::new("qft_16", g::qft(16)),
+        SuiteEntry::new("vqe_16", g::vqe_ansatz(16, 8, 14)),
+        SuiteEntry::new("qv_16", g::quantum_volume(16, 12, 33)),
+        SuiteEntry::new("random_16", g::random_clifford_t(16, 1500, 6)),
+        // --- 17-20 qubits (Q20 / 6x6 / Q54) -----------------------------
+        SuiteEntry::new("ising_18", g::ising_qaoa(18, 5, 25)),
+        SuiteEntry::new("adder_8", g::cuccaro_adder(8)),
+        SuiteEntry::new("qft_20", g::qft(20)),
+        SuiteEntry::new("random_20", g::random_clifford_t(20, 2500, 7)),
+        SuiteEntry::new("vqe_20", g::vqe_ansatz(20, 10, 15)),
+        // --- 21-36 qubits (the 36-qubit entries skip IBM Q16/Q20) -------
+        SuiteEntry::new("ising_24", g::ising_qaoa(24, 6, 26)),
+        SuiteEntry::new("adder_11", g::cuccaro_adder(11)),
+        SuiteEntry::new("random_28", g::random_clifford_t(28, 6000, 8)),
+        SuiteEntry::new("qft_36", g::qft(36)),
+        SuiteEntry::new("ising_36", g::ising_qaoa(36, 8, 27)),
+        // The paper's largest benchmarks reach ~30,000 gates.
+        SuiteEntry::new("random_36", g::random_clifford_t(36, 15000, 9)),
+    ];
+    entries.sort_by_key(|e| (e.num_qubits, e.name.clone()));
+    entries
+}
+
+/// The subset fitting a device with `max_qubits` physical qubits — the
+/// paper tests 68 of 71 on the 16/20/36-qubit machines (excluding the
+/// three 36-qubit programs) and all 71 on Sycamore.
+pub fn suite_for_device(max_qubits: usize) -> Vec<SuiteEntry> {
+    full_suite()
+        .into_iter()
+        .filter(|e| e.num_qubits <= max_qubits)
+        .collect()
+}
+
+/// The seven "famous algorithm" circuits of the fidelity experiment
+/// (Fig. 9): small enough to simulate, covering distinct structures.
+pub fn fidelity_suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry::new("qft_5", g::qft(5)),
+        SuiteEntry::new("ghz_6", g::ghz(6)),
+        SuiteEntry::new("bv_6", g::bernstein_vazirani(6, 0b110101)),
+        SuiteEntry::new("adder_2", g::cuccaro_adder(2)),
+        SuiteEntry::new("grover_3", g::grover(3, 2)),
+        SuiteEntry::new("hs_6", g::hidden_shift(6, 0b101101)),
+        SuiteEntry::new("ising_6", g::ising_qaoa(6, 2, 28)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_71_entries() {
+        assert_eq!(full_suite().len(), 71);
+    }
+
+    #[test]
+    fn suite_spans_3_to_36_qubits() {
+        let suite = full_suite();
+        assert_eq!(suite.first().map(|e| e.num_qubits), Some(3));
+        assert_eq!(suite.last().map(|e| e.num_qubits), Some(36));
+    }
+
+    #[test]
+    fn suite_is_sorted_by_qubits() {
+        let suite = full_suite();
+        for w in suite.windows(2) {
+            assert!(w[0].num_qubits <= w[1].num_qubits);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = full_suite();
+        let names: std::collections::BTreeSet<&str> =
+            suite.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn every_entry_is_router_ready() {
+        for e in full_suite() {
+            for gate in e.circuit.gates() {
+                assert!(
+                    gate.qubits.len() <= 2,
+                    "{}: gate {gate} spans >2 qubits",
+                    e.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn device_filter_matches_paper_counts() {
+        // All 71 fit Sycamore (54 qubits); the three 36-qubit programs
+        // (qft_36, ising_36, random_36) are the largest, matching the
+        // paper's "68 benchmarks out of the 71 except 3 36-qubit
+        // programs".
+        assert_eq!(suite_for_device(54).len(), 71);
+        assert_eq!(suite_for_device(35).len(), 68);
+        let thirty_six = full_suite()
+            .iter()
+            .filter(|e| e.num_qubits == 36)
+            .count();
+        assert_eq!(thirty_six, 3);
+    }
+
+    #[test]
+    fn fidelity_suite_is_seven_small_circuits() {
+        let suite = fidelity_suite();
+        assert_eq!(suite.len(), 7);
+        for e in &suite {
+            assert!(e.num_qubits <= 10, "{} too big to simulate", e.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = full_suite();
+        let b = full_suite();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.circuit.gates(), y.circuit.gates());
+        }
+    }
+
+    #[test]
+    fn gate_counts_reach_paper_scale() {
+        // Largest benchmarks should be in the thousands of gates
+        // (paper: "about 30,000 gates").
+        let max_gates = full_suite()
+            .iter()
+            .map(|e| e.circuit.len())
+            .max()
+            .unwrap_or(0);
+        assert!(max_gates >= 5000, "largest benchmark only {max_gates} gates");
+    }
+}

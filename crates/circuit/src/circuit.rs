@@ -1,0 +1,417 @@
+//! The [`Circuit`] container and its builder API.
+
+use crate::gate::{Gate, GateKind, QubitId};
+use std::fmt;
+
+/// A quantum circuit: an ordered list of [`Gate`]s over `num_qubits`
+/// logical qubits.
+///
+/// The builder methods (`h`, `cx`, …) push gates in program order and
+/// panic on out-of-range operands — circuits are construction-checked so
+/// every downstream pass can assume well-formedness.
+///
+/// # Examples
+///
+/// ```
+/// use codar_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0);
+/// bell.cx(0, 1);
+/// assert_eq!(bell.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_bits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            num_bits: 0,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates an empty circuit with classical bits (for measurements).
+    pub fn with_bits(num_qubits: usize, num_bits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            num_bits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of logical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a pre-built gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is out of range for this circuit.
+    pub fn push(&mut self, gate: Gate) {
+        for &q in &gate.qubits {
+            assert!(
+                q < self.num_qubits,
+                "qubit q[{q}] out of range for circuit of {} qubits",
+                self.num_qubits
+            );
+        }
+        if let Some(bit) = gate.classical_bit {
+            if bit >= self.num_bits {
+                self.num_bits = bit + 1;
+            }
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends a gate by kind, operands and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity/parameter/range violations.
+    pub fn add(&mut self, kind: GateKind, qubits: Vec<QubitId>, params: Vec<f64>) {
+        self.push(Gate::new(kind, qubits, params));
+    }
+
+    /// Grows the circuit to at least `n` qubits.
+    pub fn expand_to(&mut self, n: usize) {
+        if n > self.num_qubits {
+            self.num_qubits = n;
+        }
+    }
+
+    /// Returns the same circuit with gates in reverse order (used by
+    /// SABRE's reverse-traversal initial-mapping search).
+    pub fn reversed(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            num_bits: self.num_bits,
+            gates: self.gates.iter().rev().cloned().collect(),
+        }
+    }
+
+    /// Returns the circuit with every qubit relabelled through `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` maps an operand out of `[0, num_qubits)`.
+    pub fn map_qubits(&self, mut f: impl FnMut(QubitId) -> QubitId) -> Circuit {
+        let mut out = Circuit::with_bits(self.num_qubits, self.num_bits);
+        for g in &self.gates {
+            out.push(g.map_qubits(&mut f));
+        }
+        out
+    }
+
+    /// Unweighted circuit depth: longest chain of overlapping gates
+    /// (barriers synchronize but do not add depth).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut max = 0;
+        for g in &self.gates {
+            let start = g.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+            let end = if g.kind == GateKind::Barrier {
+                start
+            } else {
+                start + 1
+            };
+            for &q in &g.qubits {
+                level[q] = end;
+            }
+            max = max.max(end);
+        }
+        max
+    }
+
+    /// Number of coupling-constrained (2-qubit unitary) gates.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Number of gates of a given kind.
+    pub fn count_kind(&self, kind: GateKind) -> usize {
+        self.gates.iter().filter(|g| g.kind == kind).count()
+    }
+
+    /// Iterator over the gates.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// The highest qubit index actually used, plus one (0 for empty).
+    pub fn qubits_used(&self) -> usize {
+        self.gates
+            .iter()
+            .flat_map(|g| g.qubits.iter())
+            .map(|&q| q + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ---- builder convenience methods -------------------------------
+
+    /// Appends a Hadamard on `q`.
+    pub fn h(&mut self, q: QubitId) {
+        self.add(GateKind::H, vec![q], vec![]);
+    }
+
+    /// Appends a Pauli-X on `q`.
+    pub fn x(&mut self, q: QubitId) {
+        self.add(GateKind::X, vec![q], vec![]);
+    }
+
+    /// Appends a Pauli-Y on `q`.
+    pub fn y(&mut self, q: QubitId) {
+        self.add(GateKind::Y, vec![q], vec![]);
+    }
+
+    /// Appends a Pauli-Z on `q`.
+    pub fn z(&mut self, q: QubitId) {
+        self.add(GateKind::Z, vec![q], vec![]);
+    }
+
+    /// Appends an S gate on `q`.
+    pub fn s(&mut self, q: QubitId) {
+        self.add(GateKind::S, vec![q], vec![]);
+    }
+
+    /// Appends an S† gate on `q`.
+    pub fn sdg(&mut self, q: QubitId) {
+        self.add(GateKind::Sdg, vec![q], vec![]);
+    }
+
+    /// Appends a T gate on `q`.
+    pub fn t(&mut self, q: QubitId) {
+        self.add(GateKind::T, vec![q], vec![]);
+    }
+
+    /// Appends a T† gate on `q`.
+    pub fn tdg(&mut self, q: QubitId) {
+        self.add(GateKind::Tdg, vec![q], vec![]);
+    }
+
+    /// Appends `rx(theta)` on `q`.
+    pub fn rx(&mut self, theta: f64, q: QubitId) {
+        self.add(GateKind::Rx, vec![q], vec![theta]);
+    }
+
+    /// Appends `ry(theta)` on `q`.
+    pub fn ry(&mut self, theta: f64, q: QubitId) {
+        self.add(GateKind::Ry, vec![q], vec![theta]);
+    }
+
+    /// Appends `rz(phi)` on `q`.
+    pub fn rz(&mut self, phi: f64, q: QubitId) {
+        self.add(GateKind::Rz, vec![q], vec![phi]);
+    }
+
+    /// Appends `u1(lambda)` on `q`.
+    pub fn u1(&mut self, lambda: f64, q: QubitId) {
+        self.add(GateKind::U1, vec![q], vec![lambda]);
+    }
+
+    /// Appends a CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: QubitId, target: QubitId) {
+        self.add(GateKind::Cx, vec![control, target], vec![]);
+    }
+
+    /// Appends a controlled-Z.
+    pub fn cz(&mut self, a: QubitId, b: QubitId) {
+        self.add(GateKind::Cz, vec![a, b], vec![]);
+    }
+
+    /// Appends a controlled-`u1(lambda)`.
+    pub fn cu1(&mut self, lambda: f64, control: QubitId, target: QubitId) {
+        self.add(GateKind::Cu1, vec![control, target], vec![lambda]);
+    }
+
+    /// Appends `rzz(theta)` between `a` and `b`.
+    pub fn rzz(&mut self, theta: f64, a: QubitId, b: QubitId) {
+        self.add(GateKind::Rzz, vec![a, b], vec![theta]);
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: QubitId, b: QubitId) {
+        self.add(GateKind::Swap, vec![a, b], vec![]);
+    }
+
+    /// Appends a Toffoli with controls `a`, `b` and target `c`.
+    pub fn ccx(&mut self, a: QubitId, b: QubitId, c: QubitId) {
+        self.add(GateKind::Ccx, vec![a, b, c], vec![]);
+    }
+
+    /// Appends a measurement of `q` into classical bit `bit`.
+    pub fn measure(&mut self, q: QubitId, bit: usize) {
+        self.push(Gate::measure(q, bit));
+    }
+
+    /// Appends a barrier over the given qubits.
+    pub fn barrier(&mut self, qubits: Vec<QubitId>) {
+        self.push(Gate::barrier(qubits));
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.gates.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {g};")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_pushes_in_order() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.gates()[0].kind, GateKind::H);
+        assert_eq!(c.gates()[1].kind, GateKind::Cx);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_operand_panics() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        let mut c = Circuit::new(3);
+        c.h(0); // level 1 on q0
+        c.h(1); // level 1 on q1
+        c.cx(0, 1); // level 2
+        c.h(2); // level 1 on q2 (parallel)
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_without_depth() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        a.barrier(vec![0, 1]);
+        a.h(1);
+        // h(1) must wait for the barrier (which waited for h(0)),
+        // so depth is 2 even though the two h's touch different qubits.
+        assert_eq!(a.depth(), 2);
+    }
+
+    #[test]
+    fn reversed_reverses_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let r = c.reversed();
+        assert_eq!(r.gates()[0].kind, GateKind::Cx);
+        assert_eq!(r.gates()[1].kind, GateKind::H);
+    }
+
+    #[test]
+    fn map_qubits_relabels_whole_circuit() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.h(2);
+        let perm = [2, 0, 1];
+        let mapped = c.map_qubits(|q| perm[q]);
+        assert_eq!(mapped.gates()[0].qubits, vec![2, 0]);
+        assert_eq!(mapped.gates()[1].qubits, vec![1]);
+    }
+
+    #[test]
+    fn measure_grows_classical_bits() {
+        let mut c = Circuit::new(2);
+        assert_eq!(c.num_bits(), 0);
+        c.measure(0, 5);
+        assert_eq!(c.num_bits(), 6);
+    }
+
+    #[test]
+    fn counts() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.ccx(0, 1, 2);
+        assert_eq!(c.two_qubit_gate_count(), 2); // ccx is 3-qubit
+        assert_eq!(c.count_kind(GateKind::Cx), 2);
+        assert_eq!(c.qubits_used(), 3);
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut c = Circuit::new(2);
+        c.extend(vec![
+            Gate::new(GateKind::H, vec![0], vec![]),
+            Gate::new(GateKind::Cx, vec![0, 1], vec![]),
+        ]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let s = c.to_string();
+        assert!(s.contains("cx q[0], q[1];"));
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.qubits_used(), 0);
+    }
+}

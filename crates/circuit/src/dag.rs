@@ -1,0 +1,263 @@
+//! Dependency DAG over a circuit's gates.
+//!
+//! Edges follow per-qubit program order: gate *v* depends on gate *u*
+//! when *u* is the most recent earlier gate touching one of *v*'s qubits.
+//! This is the structure SABRE's front layer is computed on; CODAR's
+//! commutative front is computed separately (it relaxes these edges by
+//! commutation, see `codar-router`).
+
+use crate::circuit::Circuit;
+
+/// An immutable dependency DAG for a [`Circuit`].
+///
+/// # Examples
+///
+/// ```
+/// use codar_circuit::{Circuit, CircuitDag};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// c.h(0);
+/// let dag = CircuitDag::new(&c);
+/// // cx(1,2) depends on cx(0,1); h(0) also depends on cx(0,1).
+/// assert_eq!(dag.predecessors(1), &[0]);
+/// assert_eq!(dag.predecessors(2), &[0]);
+/// assert_eq!(dag.front_layer(), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl CircuitDag {
+    /// Builds the DAG for `circuit` in O(gates × arity).
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            for &q in &gate.qubits {
+                if let Some(p) = last_on_qubit[q] {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+                last_on_qubit[q] = Some(i);
+            }
+        }
+        CircuitDag { preds, succs }
+    }
+
+    /// Number of nodes (gates).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Direct predecessors of gate `i`.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Direct successors of gate `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Gates with no predecessors (the initial front layer).
+    pub fn front_layer(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .collect()
+    }
+
+    /// A topological order (program order is always one).
+    pub fn topological_order(&self) -> Vec<usize> {
+        (0..self.len()).collect()
+    }
+
+    /// Length of the longest path (in gates) through the DAG — equals the
+    /// circuit depth when every gate has unit duration and barriers are
+    /// counted as nodes.
+    pub fn longest_path_len(&self) -> usize {
+        let mut dist = vec![0usize; self.len()];
+        let mut best = 0;
+        for i in 0..self.len() {
+            let d = self.preds[i]
+                .iter()
+                .map(|&p| dist[p] + 1)
+                .max()
+                .unwrap_or(1);
+            dist[i] = d;
+            best = best.max(d);
+        }
+        best
+    }
+}
+
+/// Tracks how many unresolved dependencies each gate has, supporting
+/// incremental front-layer maintenance during routing.
+#[derive(Debug, Clone)]
+pub struct FrontTracker {
+    remaining_preds: Vec<usize>,
+    resolved: Vec<bool>,
+    front: Vec<usize>,
+    num_resolved: usize,
+}
+
+impl FrontTracker {
+    /// Creates a tracker with nothing resolved.
+    pub fn new(dag: &CircuitDag) -> Self {
+        let remaining_preds: Vec<usize> = (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+        let front = dag.front_layer();
+        FrontTracker {
+            remaining_preds,
+            resolved: vec![false; dag.len()],
+            front,
+            num_resolved: 0,
+        }
+    }
+
+    /// The current front layer (gates whose predecessors are all resolved).
+    pub fn front(&self) -> &[usize] {
+        &self.front
+    }
+
+    /// Number of gates already resolved.
+    pub fn num_resolved(&self) -> usize {
+        self.num_resolved
+    }
+
+    /// True when every gate has been resolved.
+    pub fn is_done(&self) -> bool {
+        self.num_resolved == self.resolved.len()
+    }
+
+    /// Whether gate `i` has been resolved.
+    pub fn is_resolved(&self, i: usize) -> bool {
+        self.resolved[i]
+    }
+
+    /// Marks gate `i` (which must be in the front) as executed and
+    /// promotes any successors that become ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not currently in the front layer.
+    pub fn resolve(&mut self, i: usize, dag: &CircuitDag) {
+        let pos = self
+            .front
+            .iter()
+            .position(|&g| g == i)
+            .expect("gate to resolve must be in the front layer");
+        self.front.swap_remove(pos);
+        self.resolved[i] = true;
+        self.num_resolved += 1;
+        for &s in dag.successors(i) {
+            self.remaining_preds[s] -= 1;
+            if self.remaining_preds[s] == 0 {
+                self.front.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1); // 0
+        c.cx(1, 2); // 1 depends on 0
+        c.cx(0, 2); // 2 depends on 0 (q0) and 1 (q2)
+        c
+    }
+
+    #[test]
+    fn builds_expected_edges() {
+        let c = chain();
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.predecessors(0), &[] as &[usize]);
+        assert_eq!(dag.predecessors(1), &[0]);
+        let mut p2 = dag.predecessors(2).to_vec();
+        p2.sort_unstable();
+        assert_eq!(p2, vec![0, 1]);
+        assert_eq!(dag.front_layer(), vec![0]);
+    }
+
+    #[test]
+    fn no_duplicate_edges_for_two_shared_qubits() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.cx(1, 0); // shares both qubits with the first
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn parallel_gates_are_both_front() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.front_layer(), vec![0, 1]);
+    }
+
+    #[test]
+    fn longest_path() {
+        let dag = CircuitDag::new(&chain());
+        assert_eq!(dag.longest_path_len(), 3);
+    }
+
+    #[test]
+    fn longest_path_empty() {
+        let dag = CircuitDag::new(&Circuit::new(2));
+        assert_eq!(dag.longest_path_len(), 0);
+        assert!(dag.is_empty());
+    }
+
+    #[test]
+    fn front_tracker_walks_the_dag() {
+        let c = chain();
+        let dag = CircuitDag::new(&c);
+        let mut tracker = FrontTracker::new(&dag);
+        assert_eq!(tracker.front(), &[0]);
+        tracker.resolve(0, &dag);
+        assert_eq!(tracker.front(), &[1]);
+        tracker.resolve(1, &dag);
+        assert_eq!(tracker.front(), &[2]);
+        assert!(!tracker.is_done());
+        tracker.resolve(2, &dag);
+        assert!(tracker.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "front layer")]
+    fn resolving_non_front_gate_panics() {
+        let c = chain();
+        let dag = CircuitDag::new(&c);
+        let mut tracker = FrontTracker::new(&dag);
+        tracker.resolve(2, &dag);
+    }
+
+    #[test]
+    fn barrier_creates_dependencies() {
+        let mut c = Circuit::new(2);
+        c.h(0); // 0
+        c.barrier(vec![0, 1]); // 1
+        c.h(1); // 2
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1]);
+    }
+}

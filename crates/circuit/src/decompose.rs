@@ -1,0 +1,322 @@
+//! Gate decomposition passes.
+//!
+//! NISQ devices implement one- and two-qubit primitives only, and the
+//! routers operate on at-most-two-qubit gates. [`decompose_three_qubit_gates`]
+//! lowers `ccx`/`cswap` using the textbook `qelib1.inc` constructions;
+//! [`decompose_to_cx_basis`] goes further and rewrites every multi-qubit
+//! gate into `{1q, cx}` (useful for devices whose only 2-qubit primitive
+//! is CNOT, and for the simulator's noise accounting).
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+fn push_ccx(out: &mut Circuit, a: usize, b: usize, c: usize) {
+    // Standard 6-CNOT Toffoli (qelib1.inc).
+    out.h(c);
+    out.cx(b, c);
+    out.tdg(c);
+    out.cx(a, c);
+    out.t(c);
+    out.cx(b, c);
+    out.tdg(c);
+    out.cx(a, c);
+    out.t(b);
+    out.t(c);
+    out.h(c);
+    out.cx(a, b);
+    out.t(a);
+    out.tdg(b);
+    out.cx(a, b);
+}
+
+fn push_cswap(out: &mut Circuit, a: usize, b: usize, c: usize) {
+    // qelib1.inc: cswap a,b,c = cx c,b; ccx a,b,c; cx c,b
+    out.cx(c, b);
+    push_ccx(out, a, b, c);
+    out.cx(c, b);
+}
+
+/// Rewrites all 3-qubit gates (`ccx`, `cswap`) into 1- and 2-qubit gates.
+///
+/// All other gates pass through unchanged. The result is suitable input
+/// for the routers, which require at-most-2-qubit operations.
+///
+/// # Examples
+///
+/// ```
+/// use codar_circuit::{Circuit, decompose::decompose_three_qubit_gates};
+///
+/// let mut c = Circuit::new(3);
+/// c.ccx(0, 1, 2);
+/// let lowered = decompose_three_qubit_gates(&c);
+/// assert!(lowered.gates().iter().all(|g| g.qubits.len() <= 2));
+/// ```
+pub fn decompose_three_qubit_gates(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_bits(circuit.num_qubits(), circuit.num_bits());
+    for g in circuit.gates() {
+        match g.kind {
+            GateKind::Ccx => push_ccx(&mut out, g.qubits[0], g.qubits[1], g.qubits[2]),
+            GateKind::Cswap => push_cswap(&mut out, g.qubits[0], g.qubits[1], g.qubits[2]),
+            _ => out.push(g.clone()),
+        }
+    }
+    out
+}
+
+/// Rewrites every multi-qubit gate into the `{single-qubit, cx}` basis.
+///
+/// SWAPs become 3 CNOTs; `cz`, `cy`, `ch`, `crz`, `cu1`, `cu3`, `rzz` use
+/// their `qelib1.inc` definitions; 3-qubit gates are lowered first.
+pub fn decompose_to_cx_basis(circuit: &Circuit) -> Circuit {
+    let two = decompose_three_qubit_gates(circuit);
+    let mut out = Circuit::with_bits(two.num_qubits(), two.num_bits());
+    for g in two.gates() {
+        match g.kind {
+            GateKind::Swap => {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                out.cx(a, b);
+                out.cx(b, a);
+                out.cx(a, b);
+            }
+            GateKind::Cz => {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                out.h(b);
+                out.cx(a, b);
+                out.h(b);
+            }
+            GateKind::Cy => {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                out.sdg(b);
+                out.cx(a, b);
+                out.s(b);
+            }
+            GateKind::Ch => {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                out.h(b);
+                out.sdg(b);
+                out.cx(a, b);
+                out.h(b);
+                out.t(b);
+                out.cx(a, b);
+                out.t(b);
+                out.h(b);
+                out.s(b);
+                out.x(b);
+                out.s(a);
+            }
+            GateKind::Crz => {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                let lambda = g.params[0];
+                out.u1(lambda / 2.0, b);
+                out.cx(a, b);
+                out.u1(-lambda / 2.0, b);
+                out.cx(a, b);
+            }
+            GateKind::Cu1 => {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                let lambda = g.params[0];
+                out.u1(lambda / 2.0, a);
+                out.cx(a, b);
+                out.u1(-lambda / 2.0, b);
+                out.cx(a, b);
+                out.u1(lambda / 2.0, b);
+            }
+            GateKind::Cu3 => {
+                let (c, t) = (g.qubits[0], g.qubits[1]);
+                let (theta, phi, lambda) = (g.params[0], g.params[1], g.params[2]);
+                out.u1((lambda - phi) / 2.0, t);
+                out.cx(c, t);
+                out.add(
+                    GateKind::U3,
+                    vec![t],
+                    vec![-theta / 2.0, 0.0, -(phi + lambda) / 2.0],
+                );
+                out.cx(c, t);
+                out.add(GateKind::U3, vec![t], vec![theta / 2.0, phi, 0.0]);
+            }
+            GateKind::Rzz => {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                out.cx(a, b);
+                out.u1(g.params[0], b);
+                out.cx(a, b);
+            }
+            _ => out.push(g.clone()),
+        }
+    }
+    out
+}
+
+/// Translates a `{1q, cx}` circuit into the ion-trap native basis
+/// `{rz, r(θ,φ), rxx}` (Table I: single-qubit `R^θ_α` rotations and the
+/// Mølmer–Sørensen `XX` interaction).
+///
+/// * every CNOT becomes one `rxx(π/2)` and four `R` rotations (the
+///   standard trapped-ion construction, cf. Debnath et al. 2016),
+/// * every single-qubit gate becomes `rz · r(θ, π/2) · rz` (ZYZ Euler
+///   form; `rz` is a free virtual frame rotation on ion hardware),
+/// * other multi-qubit gates are first lowered via
+///   [`decompose_to_cx_basis`].
+///
+/// The result is exact up to global phase.
+pub fn translate_to_ion_basis(circuit: &Circuit) -> Circuit {
+    use crate::optimize::euler_angles;
+    let cx_basis = decompose_to_cx_basis(circuit);
+    let mut out = Circuit::with_bits(cx_basis.num_qubits(), cx_basis.num_bits());
+    let push_1q = |out: &mut Circuit, q: usize, theta: f64, phi: f64, lambda: f64| {
+        // u3(θ, φ, λ) = Rz(φ) · Ry(θ) · Rz(λ) up to global phase,
+        // and Ry(θ) = r(θ, π/2).
+        if lambda.abs() > 1e-12 {
+            out.rz(lambda, q);
+        }
+        if theta.abs() > 1e-12 {
+            out.add(GateKind::R, vec![q], vec![theta, FRAC_PI_2]);
+        }
+        if phi.abs() > 1e-12 {
+            out.rz(phi, q);
+        }
+    };
+    for g in cx_basis.gates() {
+        match g.kind {
+            GateKind::Cx => {
+                let (c, t) = (g.qubits[0], g.qubits[1]);
+                // CNOT = (Ry(-π/2) ⊗ I) · (Rx(-π/2) ⊗ Rx(-π/2)) ·
+                //        XX(π/2-worth of MS) · (Ry(π/2) ⊗ I), reading
+                //        right-to-left; in circuit (time) order:
+                out.add(GateKind::R, vec![c], vec![FRAC_PI_2, FRAC_PI_2]); // Ry(π/2) on control
+                out.add(GateKind::Rxx, vec![c, t], vec![FRAC_PI_2]);
+                out.add(GateKind::R, vec![c], vec![-FRAC_PI_2, 0.0]); // Rx(-π/2)
+                out.add(GateKind::R, vec![t], vec![-FRAC_PI_2, 0.0]); // Rx(-π/2)
+                out.add(GateKind::R, vec![c], vec![-FRAC_PI_2, FRAC_PI_2]); // Ry(-π/2)
+            }
+            kind if kind.arity() == Some(1) && kind.is_unitary() => {
+                let (theta, phi, lambda) = euler_angles(kind, &g.params)
+                    .expect("single-qubit unitaries have Euler angles");
+                push_1q(&mut out, g.qubits[0], theta, phi, lambda);
+            }
+            _ => out.push(g.clone()),
+        }
+    }
+    out
+}
+
+/// Rewrites every single-qubit gate into `u3` form (its `(θ, φ, λ)`
+/// Euler angles) while leaving multi-qubit and non-unitary operations
+/// untouched. Useful for uniform duration/noise treatment.
+pub fn canonicalize_single_qubit_gates(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_bits(circuit.num_qubits(), circuit.num_bits());
+    for g in circuit.gates() {
+        let angles = match g.kind {
+            GateKind::Id => Some((0.0, 0.0, 0.0)),
+            GateKind::X => Some((std::f64::consts::PI, 0.0, std::f64::consts::PI)),
+            GateKind::Y => Some((std::f64::consts::PI, FRAC_PI_2, FRAC_PI_2)),
+            GateKind::Z => Some((0.0, 0.0, std::f64::consts::PI)),
+            GateKind::H => Some((FRAC_PI_2, 0.0, std::f64::consts::PI)),
+            GateKind::S => Some((0.0, 0.0, FRAC_PI_2)),
+            GateKind::Sdg => Some((0.0, 0.0, -FRAC_PI_2)),
+            GateKind::T => Some((0.0, 0.0, FRAC_PI_4)),
+            GateKind::Tdg => Some((0.0, 0.0, -FRAC_PI_4)),
+            GateKind::Rx => Some((g.params[0], -FRAC_PI_2, FRAC_PI_2)),
+            GateKind::Ry => Some((g.params[0], 0.0, 0.0)),
+            GateKind::Rz | GateKind::U1 => Some((0.0, 0.0, g.params[0])),
+            GateKind::R => Some((g.params[0], g.params[1] - FRAC_PI_2, FRAC_PI_2 - g.params[1])),
+            GateKind::U2 => Some((FRAC_PI_2, g.params[0], g.params[1])),
+            GateKind::U3 => Some((g.params[0], g.params[1], g.params[2])),
+            _ => None,
+        };
+        match angles {
+            Some((theta, phi, lambda)) => {
+                out.add(GateKind::U3, g.qubits.clone(), vec![theta, phi, lambda]);
+            }
+            None => out.push(g.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccx_becomes_six_cnots() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let d = decompose_three_qubit_gates(&c);
+        assert_eq!(d.count_kind(GateKind::Cx), 6);
+        assert!(d.gates().iter().all(|g| g.qubits.len() <= 2));
+    }
+
+    #[test]
+    fn cswap_lowered() {
+        let mut c = Circuit::new(3);
+        c.add(GateKind::Cswap, vec![0, 1, 2], vec![]);
+        let d = decompose_three_qubit_gates(&c);
+        assert_eq!(d.count_kind(GateKind::Cx), 8);
+        assert!(d.gates().iter().all(|g| g.qubits.len() <= 2));
+    }
+
+    #[test]
+    fn other_gates_pass_through() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.measure(1, 0);
+        let d = decompose_three_qubit_gates(&c);
+        assert_eq!(d.gates(), c.gates());
+    }
+
+    #[test]
+    fn cx_basis_leaves_only_cx_and_1q() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 1);
+        c.swap(1, 2);
+        c.rzz(0.5, 0, 2);
+        c.ccx(0, 1, 2);
+        c.add(GateKind::Cu3, vec![0, 1], vec![0.1, 0.2, 0.3]);
+        c.add(GateKind::Crz, vec![0, 1], vec![0.7]);
+        c.add(GateKind::Cu1, vec![0, 1], vec![0.7]);
+        c.add(GateKind::Cy, vec![0, 1], vec![]);
+        c.add(GateKind::Ch, vec![0, 1], vec![]);
+        let d = decompose_to_cx_basis(&c);
+        for g in d.gates() {
+            assert!(
+                g.qubits.len() == 1 || g.kind == GateKind::Cx,
+                "unexpected {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_is_three_cnots() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let d = decompose_to_cx_basis(&c);
+        assert_eq!(d.count_kind(GateKind::Cx), 3);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn canonicalize_rewrites_1q_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.t(1);
+        c.rx(0.3, 0);
+        c.cx(0, 1);
+        let d = canonicalize_single_qubit_gates(&c);
+        assert_eq!(d.count_kind(GateKind::U3), 3);
+        assert_eq!(d.count_kind(GateKind::Cx), 1);
+    }
+
+    #[test]
+    fn decomposition_preserves_qubit_counts() {
+        let mut c = Circuit::new(5);
+        c.ccx(0, 2, 4);
+        let d = decompose_three_qubit_gates(&c);
+        assert_eq!(d.num_qubits(), 5);
+        // Only the three operand qubits are touched.
+        let touched: std::collections::BTreeSet<usize> =
+            d.gates().iter().flat_map(|g| g.qubits.clone()).collect();
+        assert_eq!(touched.into_iter().collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Conversion from the OpenQASM frontend's [`FlatProgram`] to the circuit
+//! IR, and back.
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use codar_qasm::semantic::{FlatOp, FlatProgram, PrimitiveGate};
+use codar_qasm::{QasmError, QasmErrorKind};
+
+/// Maps a frontend primitive gate to the IR gate kind.
+///
+/// `U` is identified with `u3` (they denote the same unitary).
+pub fn gate_kind_of(primitive: PrimitiveGate) -> GateKind {
+    match primitive {
+        PrimitiveGate::U | PrimitiveGate::U3 => GateKind::U3,
+        PrimitiveGate::Id => GateKind::Id,
+        PrimitiveGate::U1 => GateKind::U1,
+        PrimitiveGate::U2 => GateKind::U2,
+        PrimitiveGate::X => GateKind::X,
+        PrimitiveGate::Y => GateKind::Y,
+        PrimitiveGate::Z => GateKind::Z,
+        PrimitiveGate::H => GateKind::H,
+        PrimitiveGate::S => GateKind::S,
+        PrimitiveGate::Sdg => GateKind::Sdg,
+        PrimitiveGate::T => GateKind::T,
+        PrimitiveGate::Tdg => GateKind::Tdg,
+        PrimitiveGate::Rx => GateKind::Rx,
+        PrimitiveGate::Ry => GateKind::Ry,
+        PrimitiveGate::Rz => GateKind::Rz,
+        PrimitiveGate::R => GateKind::R,
+        PrimitiveGate::Cx => GateKind::Cx,
+        PrimitiveGate::Cy => GateKind::Cy,
+        PrimitiveGate::Cz => GateKind::Cz,
+        PrimitiveGate::Ch => GateKind::Ch,
+        PrimitiveGate::Crz => GateKind::Crz,
+        PrimitiveGate::Cu1 => GateKind::Cu1,
+        PrimitiveGate::Cu3 => GateKind::Cu3,
+        PrimitiveGate::Swap => GateKind::Swap,
+        PrimitiveGate::Ccx => GateKind::Ccx,
+        PrimitiveGate::Cswap => GateKind::Cswap,
+        PrimitiveGate::Rzz => GateKind::Rzz,
+        PrimitiveGate::Rxx => GateKind::Rxx,
+    }
+}
+
+/// Maps an IR gate kind back to a frontend primitive gate, when one
+/// exists (`Measure`/`Reset`/`Barrier` have no primitive form).
+pub fn primitive_of(kind: GateKind) -> Option<PrimitiveGate> {
+    Some(match kind {
+        GateKind::U3 => PrimitiveGate::U3,
+        GateKind::Id => PrimitiveGate::Id,
+        GateKind::U1 => PrimitiveGate::U1,
+        GateKind::U2 => PrimitiveGate::U2,
+        GateKind::X => PrimitiveGate::X,
+        GateKind::Y => PrimitiveGate::Y,
+        GateKind::Z => PrimitiveGate::Z,
+        GateKind::H => PrimitiveGate::H,
+        GateKind::S => PrimitiveGate::S,
+        GateKind::Sdg => PrimitiveGate::Sdg,
+        GateKind::T => PrimitiveGate::T,
+        GateKind::Tdg => PrimitiveGate::Tdg,
+        GateKind::Rx => PrimitiveGate::Rx,
+        GateKind::Ry => PrimitiveGate::Ry,
+        GateKind::Rz => PrimitiveGate::Rz,
+        GateKind::R => PrimitiveGate::R,
+        GateKind::Cx => PrimitiveGate::Cx,
+        GateKind::Cy => PrimitiveGate::Cy,
+        GateKind::Cz => PrimitiveGate::Cz,
+        GateKind::Ch => PrimitiveGate::Ch,
+        GateKind::Crz => PrimitiveGate::Crz,
+        GateKind::Cu1 => PrimitiveGate::Cu1,
+        GateKind::Cu3 => PrimitiveGate::Cu3,
+        GateKind::Swap => PrimitiveGate::Swap,
+        GateKind::Ccx => PrimitiveGate::Ccx,
+        GateKind::Cswap => PrimitiveGate::Cswap,
+        GateKind::Rzz => PrimitiveGate::Rzz,
+        GateKind::Rxx => PrimitiveGate::Rxx,
+        GateKind::Measure | GateKind::Reset | GateKind::Barrier => return None,
+    })
+}
+
+/// Builds a [`Circuit`] from a lowered OpenQASM program.
+///
+/// Classical conditions on gates are dropped (routing must be valid for
+/// either branch, see the `codar-qasm` crate docs).
+pub fn circuit_from_flat(flat: &FlatProgram) -> Circuit {
+    let mut circuit = Circuit::with_bits(flat.num_qubits, flat.num_bits);
+    for op in &flat.ops {
+        match op {
+            FlatOp::Gate {
+                gate,
+                params,
+                qubits,
+                conditional: _,
+            } => {
+                circuit.add(gate_kind_of(*gate), qubits.clone(), params.clone());
+            }
+            FlatOp::Measure { qubit, bit } => circuit.measure(*qubit, *bit),
+            FlatOp::Reset { qubit } => {
+                circuit.add(GateKind::Reset, vec![*qubit], vec![]);
+            }
+            FlatOp::Barrier { qubits } => circuit.barrier(qubits.clone()),
+        }
+    }
+    circuit
+}
+
+/// Parses OpenQASM 2.0 source straight into a [`Circuit`].
+///
+/// # Errors
+///
+/// Propagates any [`QasmError`] from parsing or lowering.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), codar_qasm::QasmError> {
+/// let c = codar_circuit::from_qasm::circuit_from_source(
+///     "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; h q[0]; cx q[0],q[1];",
+/// )?;
+/// assert_eq!(c.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn circuit_from_source(source: &str) -> Result<Circuit, QasmError> {
+    Ok(circuit_from_flat(&codar_qasm::parse_and_flatten(source)?))
+}
+
+/// Converts a circuit back into a [`FlatProgram`] (for QASM emission).
+///
+/// # Errors
+///
+/// Returns a semantic [`QasmError`] if the circuit contains a `Measure`
+/// without classical destination.
+pub fn flat_from_circuit(circuit: &Circuit) -> Result<FlatProgram, QasmError> {
+    let mut flat = FlatProgram {
+        num_qubits: circuit.num_qubits(),
+        num_bits: circuit.num_bits(),
+        qregs: vec![("q".to_string(), circuit.num_qubits())],
+        cregs: if circuit.num_bits() > 0 {
+            vec![("c".to_string(), circuit.num_bits())]
+        } else {
+            vec![]
+        },
+        ops: Vec::new(),
+    };
+    for gate in circuit.gates() {
+        match gate.kind {
+            GateKind::Measure => {
+                let bit = gate.classical_bit.ok_or_else(|| {
+                    QasmError::new(
+                        QasmErrorKind::Semantic,
+                        "measure without classical destination cannot be emitted",
+                    )
+                })?;
+                flat.ops.push(FlatOp::Measure {
+                    qubit: gate.qubits[0],
+                    bit,
+                });
+            }
+            GateKind::Reset => flat.ops.push(FlatOp::Reset {
+                qubit: gate.qubits[0],
+            }),
+            GateKind::Barrier => flat.ops.push(FlatOp::Barrier {
+                qubits: gate.qubits.clone(),
+            }),
+            kind => {
+                let primitive =
+                    primitive_of(kind).expect("unitary kinds always have a primitive form");
+                flat.ops.push(FlatOp::Gate {
+                    gate: primitive,
+                    params: gate.params.clone(),
+                    qubits: gate.qubits.clone(),
+                    conditional: None,
+                });
+            }
+        }
+    }
+    Ok(flat)
+}
+
+/// Renders a circuit as OpenQASM 2.0 source.
+///
+/// # Errors
+///
+/// Same conditions as [`flat_from_circuit`].
+pub fn circuit_to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
+    Ok(codar_qasm::writer::write(&flat_from_circuit(circuit)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_simple_program() {
+        let c = circuit_from_source(
+            "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[3]; creg c[3]; \
+             h q[0]; cx q[0], q[1]; ccx q[0], q[1], q[2]; measure q -> c;",
+        )
+        .unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.count_kind(GateKind::Measure), 3);
+    }
+
+    #[test]
+    fn u_builtin_becomes_u3() {
+        let c = circuit_from_source("qreg q[1]; U(0.1, 0.2, 0.3) q[0];").unwrap();
+        assert_eq!(c.gates()[0].kind, GateKind::U3);
+        assert_eq!(c.gates()[0].params, vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn qasm_round_trip_through_ir() {
+        let src = "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[4]; creg c[4]; \
+                   h q[0]; cx q[0], q[1]; rz(pi/8) q[2]; swap q[2], q[3]; \
+                   barrier q[0], q[1]; measure q[0] -> c[0];";
+        let c1 = circuit_from_source(src).unwrap();
+        let emitted = circuit_to_qasm(&c1).unwrap();
+        let c2 = circuit_from_source(&emitted).unwrap();
+        assert_eq!(c1.gates(), c2.gates());
+    }
+
+    #[test]
+    fn primitive_mapping_is_inverse() {
+        for &kind in GateKind::all_unitary() {
+            if kind == GateKind::U3 {
+                continue; // U and u3 both map to U3; inverse picks u3
+            }
+            let p = primitive_of(kind).unwrap();
+            assert_eq!(gate_kind_of(p), kind);
+        }
+    }
+
+    #[test]
+    fn reset_round_trips() {
+        let c = circuit_from_source("qreg q[2]; reset q[1];").unwrap();
+        assert_eq!(c.gates()[0].kind, GateKind::Reset);
+        let qasm = circuit_to_qasm(&c).unwrap();
+        assert!(qasm.contains("reset q[1];"));
+    }
+}

@@ -1,0 +1,169 @@
+//! The logical qubit interaction graph of a circuit.
+//!
+//! Nodes are logical qubits; the weight of edge `(a, b)` counts the
+//! two-qubit gates between `a` and `b`. Initial-mapping heuristics use
+//! this structure: frequently-interacting qubits should be placed on
+//! adjacent (or near) physical qubits.
+
+use crate::circuit::Circuit;
+use crate::gate::QubitId;
+use std::collections::BTreeMap;
+
+/// Weighted interaction graph over a circuit's logical qubits.
+///
+/// # Examples
+///
+/// ```
+/// use codar_circuit::{Circuit, interaction::InteractionGraph};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// let ig = InteractionGraph::of(&c);
+/// assert_eq!(ig.weight(0, 1), 2);
+/// assert_eq!(ig.weight(1, 2), 1);
+/// assert_eq!(ig.weight(0, 2), 0);
+/// assert_eq!(ig.degree(1), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteractionGraph {
+    num_qubits: usize,
+    weights: BTreeMap<(QubitId, QubitId), usize>,
+    degree: Vec<usize>,
+}
+
+impl InteractionGraph {
+    /// Builds the interaction graph of `circuit` (barriers and 1-qubit
+    /// operations contribute nothing; 3-qubit gates contribute each of
+    /// their qubit pairs).
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut weights: BTreeMap<(QubitId, QubitId), usize> = BTreeMap::new();
+        let mut degree = vec![0usize; circuit.num_qubits()];
+        for gate in circuit.gates() {
+            if !gate.kind.is_unitary() || gate.qubits.len() < 2 {
+                continue;
+            }
+            for (i, &a) in gate.qubits.iter().enumerate() {
+                for &b in &gate.qubits[i + 1..] {
+                    let key = (a.min(b), a.max(b));
+                    *weights.entry(key).or_insert(0) += 1;
+                    degree[a] += 1;
+                    degree[b] += 1;
+                }
+            }
+        }
+        InteractionGraph {
+            num_qubits: circuit.num_qubits(),
+            weights,
+            degree,
+        }
+    }
+
+    /// Number of logical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of two-qubit interactions between `a` and `b`.
+    pub fn weight(&self, a: QubitId, b: QubitId) -> usize {
+        *self.weights.get(&(a.min(b), a.max(b))).unwrap_or(&0)
+    }
+
+    /// Total interaction count incident to `q`.
+    pub fn degree(&self, q: QubitId) -> usize {
+        self.degree[q]
+    }
+
+    /// All weighted edges `((a, b), weight)` in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = ((QubitId, QubitId), usize)> + '_ {
+        self.weights.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Logical qubits sorted by descending interaction degree — the
+    /// placement priority order used by density-based initial mappings.
+    pub fn qubits_by_degree(&self) -> Vec<QubitId> {
+        let mut order: Vec<QubitId> = (0..self.num_qubits).collect();
+        order.sort_by_key(|&q| std::cmp::Reverse(self.degree[q]));
+        order
+    }
+
+    /// The neighbors of `q` with their weights, heaviest first.
+    pub fn neighbors(&self, q: QubitId) -> Vec<(QubitId, usize)> {
+        let mut out: Vec<(QubitId, usize)> = self
+            .weights
+            .iter()
+            .filter_map(|(&(a, b), &w)| {
+                if a == q {
+                    Some((b, w))
+                } else if b == q {
+                    Some((a, w))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_pairwise_interactions() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cz(1, 0); // same pair, other order/kind
+        c.cx(2, 3);
+        c.h(0); // ignored
+        let ig = InteractionGraph::of(&c);
+        assert_eq!(ig.weight(0, 1), 2);
+        assert_eq!(ig.weight(2, 3), 1);
+        assert_eq!(ig.degree(1), 2);
+    }
+
+    #[test]
+    fn three_qubit_gate_counts_all_pairs() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let ig = InteractionGraph::of(&c);
+        assert_eq!(ig.weight(0, 1), 1);
+        assert_eq!(ig.weight(0, 2), 1);
+        assert_eq!(ig.weight(1, 2), 1);
+    }
+
+    #[test]
+    fn barriers_do_not_count() {
+        let mut c = Circuit::new(3);
+        c.barrier(vec![0, 1, 2]);
+        let ig = InteractionGraph::of(&c);
+        assert_eq!(ig.edges().count(), 0);
+    }
+
+    #[test]
+    fn degree_ordering() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(0, 3);
+        c.cx(1, 2);
+        let ig = InteractionGraph::of(&c);
+        let order = ig.qubits_by_degree();
+        assert_eq!(order[0], 0); // degree 3
+        assert_eq!(*order.last().expect("non-empty"), 3); // degree 1
+    }
+
+    #[test]
+    fn neighbors_sorted_by_weight() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(0, 2);
+        let ig = InteractionGraph::of(&c);
+        assert_eq!(ig.neighbors(0), vec![(2, 2), (1, 1)]);
+        assert_eq!(ig.neighbors(1), vec![(0, 1)]);
+    }
+}

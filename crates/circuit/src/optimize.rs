@@ -1,0 +1,548 @@
+//! Peephole circuit optimization passes.
+//!
+//! Qubit mapping quality depends on the input circuit; real toolchains
+//! clean circuits up before routing. This module provides the classic
+//! passes:
+//!
+//! * [`cancel_inverse_pairs`] — drops adjacent self-inverse pairs
+//!   (`h h`, `cx cx`, `s sdg`, …),
+//! * [`merge_rotations`] — fuses adjacent same-axis rotations
+//!   (`rz(a) rz(b)` → `rz(a+b)`, likewise `rx`/`ry`/`u1`/`cu1`/`crz`/
+//!   `rzz`) and drops the result when the angle vanishes,
+//! * [`fuse_single_qubit_gates`] — collapses every maximal run of
+//!   single-qubit gates on a qubit into one `u3`,
+//! * [`optimize`] — runs the cheap passes to a fixpoint.
+//!
+//! "Adjacent" means adjacent in the per-qubit dependency order: for a
+//! multi-qubit gate, *all* operand qubits must see the candidate as
+//! their immediately preceding gate.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// Whether `kind` is its own inverse (for identical operand lists).
+fn self_inverse(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::H
+            | GateKind::Cx
+            | GateKind::Cy
+            | GateKind::Cz
+            | GateKind::Ch
+            | GateKind::Swap
+            | GateKind::Ccx
+            | GateKind::Cswap
+    )
+}
+
+/// Whether gates `a` then `b` cancel to the identity.
+fn are_inverse_pair(a: &Gate, b: &Gate) -> bool {
+    if a.qubits != b.qubits {
+        // Symmetric gates cancel regardless of operand order.
+        let symmetric = matches!(a.kind, GateKind::Cz | GateKind::Swap | GateKind::Rzz);
+        let same_set = a.qubits.len() == b.qubits.len()
+            && a.qubits.iter().all(|q| b.qubits.contains(q));
+        if !(symmetric && same_set && a.kind == b.kind && a.params == b.params) {
+            return false;
+        }
+        return matches!(a.kind, GateKind::Cz | GateKind::Swap);
+    }
+    match (a.kind, b.kind) {
+        (x, y) if x == y && self_inverse(x) => true,
+        (GateKind::S, GateKind::Sdg) | (GateKind::Sdg, GateKind::S) => true,
+        (GateKind::T, GateKind::Tdg) | (GateKind::Tdg, GateKind::T) => true,
+        _ => false,
+    }
+}
+
+/// One pass of inverse-pair cancellation; returns the cleaned circuit
+/// and whether anything changed.
+fn cancel_pass(circuit: &Circuit) -> (Circuit, bool) {
+    let gates = circuit.gates();
+    let mut removed = vec![false; gates.len()];
+    // last_on_qubit[q] = index of the latest surviving gate touching q.
+    let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    let mut changed = false;
+    for (i, gate) in gates.iter().enumerate() {
+        if gate.kind == GateKind::Barrier {
+            for &q in &gate.qubits {
+                last_on_qubit[q] = Some(i);
+            }
+            continue;
+        }
+        // The candidate predecessor must be the immediately preceding
+        // gate on every operand qubit.
+        let pred = gate.qubits.iter().map(|&q| last_on_qubit[q]).collect::<Vec<_>>();
+        let cancellable = match pred.first() {
+            Some(&Some(p)) if pred.iter().all(|&x| x == Some(p)) => {
+                !removed[p]
+                    && gates[p].kind != GateKind::Barrier
+                    && gates[p].qubits.len() == gate.qubits.len()
+                    && are_inverse_pair(&gates[p], gate)
+            }
+            _ => false,
+        };
+        if cancellable {
+            let p = pred[0].expect("checked above");
+            removed[p] = true;
+            removed[i] = true;
+            changed = true;
+            // Roll the per-qubit pointers back past the removed pair.
+            for &q in &gate.qubits {
+                let mut newest = None;
+                for (j, g) in gates.iter().enumerate().take(i) {
+                    if !removed[j] && g.acts_on(q) {
+                        newest = Some(j);
+                    }
+                }
+                last_on_qubit[q] = newest;
+            }
+        } else {
+            for &q in &gate.qubits {
+                last_on_qubit[q] = Some(i);
+            }
+        }
+    }
+    let mut out = Circuit::with_bits(circuit.num_qubits(), circuit.num_bits());
+    for (i, gate) in gates.iter().enumerate() {
+        if !removed[i] {
+            out.push(gate.clone());
+        }
+    }
+    (out, changed)
+}
+
+/// Removes adjacent inverse pairs (`h h`, `cx cx`, `t tdg`, symmetric
+/// `cz`/`swap` in either operand order) until none remain.
+pub fn cancel_inverse_pairs(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    loop {
+        let (next, changed) = cancel_pass(&current);
+        current = next;
+        if !changed {
+            return current;
+        }
+    }
+}
+
+/// Whether the rotation kind is periodic in 2π and droppable at 0.
+fn mergeable_rotation(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::U1
+            | GateKind::Crz
+            | GateKind::Cu1
+            | GateKind::Rzz
+    )
+}
+
+fn angle_is_zero(angle: f64) -> bool {
+    let tau = 2.0 * std::f64::consts::PI;
+    let r = angle.rem_euclid(tau);
+    r.abs() < 1e-12 || (tau - r).abs() < 1e-12
+}
+
+/// Merges adjacent same-kind rotations on identical operands; drops
+/// rotations whose merged angle is a multiple of 2π.
+///
+/// Note: `rz(2π) = −I` (a global phase), so dropping it is exact up to
+/// global phase — the standard compiler convention.
+pub fn merge_rotations(circuit: &Circuit) -> Circuit {
+    let gates = circuit.gates();
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for gate in gates {
+        let gate = gate.clone();
+        if mergeable_rotation(gate.kind) {
+            let pred: Vec<Option<usize>> =
+                gate.qubits.iter().map(|&q| last_on_qubit[q]).collect();
+            if let Some(&Some(p)) = pred.first() {
+                if pred.iter().all(|&x| x == Some(p))
+                    && out[p].kind == gate.kind
+                    && out[p].qubits == gate.qubits
+                {
+                    // Merge into the predecessor in place.
+                    let merged = out[p].params[0] + gate.params[0];
+                    if angle_is_zero(merged) {
+                        // Remove the predecessor entirely.
+                        out.remove(p);
+                        for slot in last_on_qubit.iter_mut() {
+                            *slot = match *slot {
+                                Some(j) if j == p => None,
+                                Some(j) if j > p => Some(j - 1),
+                                other => other,
+                            };
+                        }
+                        // Recompute the freed qubits' predecessors.
+                        for &q in &gate.qubits {
+                            let mut newest = None;
+                            for (j, g) in out.iter().enumerate() {
+                                if g.acts_on(q) {
+                                    newest = Some(j);
+                                }
+                            }
+                            last_on_qubit[q] = newest;
+                        }
+                    } else {
+                        out[p].params[0] = merged;
+                    }
+                    continue;
+                }
+            }
+            if angle_is_zero(gate.params[0]) {
+                continue; // rotation by 0: drop outright
+            }
+        }
+        let index = out.len();
+        for &q in &gate.qubits {
+            last_on_qubit[q] = Some(index);
+        }
+        out.push(gate);
+    }
+    let mut result = Circuit::with_bits(circuit.num_qubits(), circuit.num_bits());
+    result.extend(out);
+    result
+}
+
+// ---- single-qubit fusion ---------------------------------------------
+
+#[derive(Clone, Copy)]
+struct C(f64, f64); // re, im
+
+impl C {
+    const ZERO: C = C(0.0, 0.0);
+    fn mul(self, o: C) -> C {
+        C(self.0 * o.0 - self.1 * o.1, self.0 * o.1 + self.1 * o.0)
+    }
+    fn add(self, o: C) -> C {
+        C(self.0 + o.0, self.1 + o.1)
+    }
+    fn expi(t: f64) -> C {
+        C(t.cos(), t.sin())
+    }
+    fn scale(self, k: f64) -> C {
+        C(self.0 * k, self.1 * k)
+    }
+    fn abs(self) -> f64 {
+        (self.0 * self.0 + self.1 * self.1).sqrt()
+    }
+    fn arg(self) -> f64 {
+        self.1.atan2(self.0)
+    }
+}
+
+type Mat = [[C; 2]; 2];
+
+fn u3_mat(theta: f64, phi: f64, lambda: f64) -> Mat {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    [
+        [C(c, 0.0), C::expi(lambda).scale(-s)],
+        [C::expi(phi).scale(s), C::expi(phi + lambda).scale(c)],
+    ]
+}
+
+fn mat_mul(a: &Mat, b: &Mat) -> Mat {
+    let mut m = [[C::ZERO; 2]; 2];
+    for (i, row) in m.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0].mul(b[0][j]).add(a[i][1].mul(b[1][j]));
+        }
+    }
+    m
+}
+
+/// Euler angles of a single-qubit gate kind (same table as the
+/// simulator's; `None` for non-1q or non-unitary kinds).
+pub fn euler_angles(kind: GateKind, params: &[f64]) -> Option<(f64, f64, f64)> {
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+    Some(match kind {
+        GateKind::Id => (0.0, 0.0, 0.0),
+        GateKind::X => (PI, 0.0, PI),
+        GateKind::Y => (PI, FRAC_PI_2, FRAC_PI_2),
+        GateKind::Z => (0.0, 0.0, PI),
+        GateKind::H => (FRAC_PI_2, 0.0, PI),
+        GateKind::S => (0.0, 0.0, FRAC_PI_2),
+        GateKind::Sdg => (0.0, 0.0, -FRAC_PI_2),
+        GateKind::T => (0.0, 0.0, FRAC_PI_4),
+        GateKind::Tdg => (0.0, 0.0, -FRAC_PI_4),
+        GateKind::Rx => (params[0], -FRAC_PI_2, FRAC_PI_2),
+        GateKind::Ry => (params[0], 0.0, 0.0),
+        GateKind::Rz | GateKind::U1 => (0.0, 0.0, params[0]),
+        GateKind::R => (params[0], params[1] - FRAC_PI_2, FRAC_PI_2 - params[1]),
+        GateKind::U2 => (FRAC_PI_2, params[0], params[1]),
+        GateKind::U3 => (params[0], params[1], params[2]),
+        _ => return None,
+    })
+}
+
+/// Recovers `u3` angles from a unitary 2×2 matrix, up to global phase.
+fn mat_to_u3(m: &Mat) -> (f64, f64, f64) {
+    let theta = 2.0 * m[1][0].abs().atan2(m[0][0].abs());
+    // Normalize the global phase so that m00 is real non-negative.
+    let g = m[0][0].arg();
+    let phi = if m[1][0].abs() > 1e-12 { m[1][0].arg() - g } else { 0.0 };
+    let lambda = if m[0][1].abs() > 1e-12 {
+        (m[0][1].arg() - g) - std::f64::consts::PI - 0.0
+    } else if m[1][1].abs() > 1e-12 {
+        (m[1][1].arg() - g) - phi
+    } else {
+        0.0
+    };
+    (theta, phi, lambda)
+}
+
+/// Collapses every maximal run of single-qubit unitaries on each qubit
+/// into a single `u3` gate (runs of length 1 are kept verbatim, and
+/// runs that multiply out to the identity are dropped).
+pub fn fuse_single_qubit_gates(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_bits(circuit.num_qubits(), circuit.num_bits());
+    // Pending accumulated matrix per qubit.
+    let mut pending: Vec<Option<(Mat, usize)>> = vec![None; circuit.num_qubits()];
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<(Mat, usize)>>, q: usize| {
+        if let Some((m, count)) = pending[q].take() {
+            let (theta, phi, lambda) = mat_to_u3(&m);
+            let trivial = theta.abs() < 1e-12 && angle_is_zero(phi + lambda);
+            if !trivial {
+                let _ = count;
+                out.add(GateKind::U3, vec![q], vec![theta, phi, lambda]);
+            }
+        }
+    };
+    for gate in circuit.gates() {
+        if gate.qubits.len() == 1 {
+            if let Some((theta, phi, lambda)) = euler_angles(gate.kind, &gate.params) {
+                let m = u3_mat(theta, phi, lambda);
+                let q = gate.qubits[0];
+                pending[q] = Some(match pending[q].take() {
+                    Some((acc, n)) => (mat_mul(&m, &acc), n + 1),
+                    None => (m, 1),
+                });
+                continue;
+            }
+        }
+        for &q in &gate.qubits {
+            flush(&mut out, &mut pending, q);
+        }
+        out.push(gate.clone());
+    }
+    for q in 0..circuit.num_qubits() {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+/// Runs [`cancel_inverse_pairs`] and [`merge_rotations`] to a fixpoint.
+///
+/// (Single-qubit fusion is *not* included: it rewrites named gates into
+/// `u3`, which destroys the commutation classes CODAR exploits; apply
+/// it explicitly when targeting hardware that executes raw `u3`.)
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    loop {
+        let before = current.len();
+        current = merge_rotations(&cancel_inverse_pairs(&current));
+        if current.len() == before {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_hadamard_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.h(0);
+        assert!(cancel_inverse_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn chained_cancellation() {
+        // h x x h -> h h -> empty, needs the fixpoint loop.
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.x(0);
+        c.x(0);
+        c.h(0);
+        assert!(cancel_inverse_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.t(0);
+        c.h(0);
+        assert_eq!(cancel_inverse_pairs(&c).len(), 3);
+    }
+
+    #[test]
+    fn cx_pair_cancels_only_with_same_orientation() {
+        let mut same = Circuit::new(2);
+        same.cx(0, 1);
+        same.cx(0, 1);
+        assert!(cancel_inverse_pairs(&same).is_empty());
+        let mut flipped = Circuit::new(2);
+        flipped.cx(0, 1);
+        flipped.cx(1, 0);
+        assert_eq!(cancel_inverse_pairs(&flipped).len(), 2);
+    }
+
+    #[test]
+    fn symmetric_gates_cancel_in_either_order() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1);
+        c.cz(1, 0);
+        assert!(cancel_inverse_pairs(&c).is_empty());
+        let mut s = Circuit::new(2);
+        s.swap(0, 1);
+        s.swap(1, 0);
+        assert!(cancel_inverse_pairs(&s).is_empty());
+    }
+
+    #[test]
+    fn partial_overlap_blocks_two_qubit_cancellation() {
+        // cx(0,1) t(1) cx(0,1): the t on the target blocks it.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.t(1);
+        c.cx(0, 1);
+        assert_eq!(cancel_inverse_pairs(&c).len(), 3);
+    }
+
+    #[test]
+    fn t_tdg_cancels() {
+        let mut c = Circuit::new(1);
+        c.t(0);
+        c.tdg(0);
+        assert!(cancel_inverse_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn barrier_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.barrier(vec![0]);
+        c.h(0);
+        assert_eq!(cancel_inverse_pairs(&c).len(), 3);
+    }
+
+    #[test]
+    fn rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0);
+        c.rz(0.4, 0);
+        let m = merge_rotations(&c);
+        assert_eq!(m.len(), 1);
+        assert!((m.gates()[0].params[0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let mut c = Circuit::new(1);
+        c.rz(0.5, 0);
+        c.rz(-0.5, 0);
+        assert!(merge_rotations(&c).is_empty());
+    }
+
+    #[test]
+    fn zero_rotation_dropped() {
+        let mut c = Circuit::new(1);
+        c.rz(0.0, 0);
+        c.h(0);
+        let m = merge_rotations(&c);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.gates()[0].kind, GateKind::H);
+    }
+
+    #[test]
+    fn two_qubit_rotations_merge() {
+        let mut c = Circuit::new(2);
+        c.rzz(0.2, 0, 1);
+        c.rzz(0.3, 0, 1);
+        c.cu1(0.1, 0, 1);
+        c.cu1(0.1, 0, 1);
+        let m = merge_rotations(&c);
+        assert_eq!(m.len(), 2);
+        assert!((m.gates()[0].params[0] - 0.5).abs() < 1e-12);
+        assert!((m.gates()[1].params[0] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_respects_intervening_gates() {
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 0);
+        c.cx(0, 1);
+        c.rz(0.4, 0);
+        assert_eq!(merge_rotations(&c).len(), 3);
+    }
+
+    #[test]
+    fn fusion_collapses_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.t(0);
+        c.s(0);
+        c.cx(0, 1);
+        c.h(1);
+        let f = fuse_single_qubit_gates(&c);
+        // one u3 (fused h t s), cx, one u3 (lone h — still rewritten).
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.gates()[0].kind, GateKind::U3);
+        assert_eq!(f.gates()[1].kind, GateKind::Cx);
+        assert_eq!(f.gates()[2].kind, GateKind::U3);
+    }
+
+    #[test]
+    fn fusion_drops_identity_runs() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.h(0);
+        assert!(fuse_single_qubit_gates(&c).is_empty());
+        let mut c2 = Circuit::new(1);
+        c2.s(0);
+        c2.sdg(0);
+        assert!(fuse_single_qubit_gates(&c2).is_empty());
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(0);
+        c.rz(0.25, 1);
+        c.rz(-0.25, 1);
+        c.cx(0, 1);
+        c.cx(0, 1);
+        c.t(0);
+        assert_eq!(optimize(&c).len(), 1);
+    }
+
+    #[test]
+    fn optimize_keeps_meaningful_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(0.5, 1);
+        assert_eq!(optimize(&c).len(), 3);
+    }
+
+    #[test]
+    fn measure_and_reset_pass_through() {
+        let mut c = Circuit::new(1);
+        c.measure(0, 0);
+        c.add(GateKind::Reset, vec![0], vec![]);
+        assert_eq!(optimize(&c).len(), 2);
+        assert_eq!(fuse_single_qubit_gates(&c).len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! ASCII rendering of scheduled circuits.
+//!
+//! Turns a circuit plus its ASAP schedule into a per-qubit timeline,
+//! making duration effects visible at a glance — the same pictures the
+//! paper draws in Figs. 1–3:
+//!
+//! ```text
+//! q0: |CX CX|SWAP SWAP SWAP SWAP SWAP SWAP|..
+//! q1: |T |SWAP SWAP SWAP SWAP SWAP SWAP|....
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+use crate::schedule::{Schedule, Time};
+
+/// Renders a per-qubit timeline of `circuit` under `duration_of`.
+///
+/// Each qubit gets one row; each cycle one column slot filled with the
+/// (upper-cased) gate name while the gate occupies the qubit, `.` when
+/// idle. Rendering is clamped to `max_cycles` columns (a trailing `>`
+/// marks truncation).
+///
+/// # Examples
+///
+/// ```
+/// use codar_circuit::{Circuit, GateKind};
+/// use codar_circuit::render::render_timeline;
+///
+/// let mut c = Circuit::new(2);
+/// c.t(0);
+/// c.cx(0, 1);
+/// let text = render_timeline(&c, |g| match g.kind {
+///     GateKind::Cx => 2,
+///     _ => 1,
+/// }, 80);
+/// assert!(text.contains("q0"));
+/// assert!(text.contains("T"));
+/// ```
+pub fn render_timeline(
+    circuit: &Circuit,
+    mut duration_of: impl FnMut(&Gate) -> Time,
+    max_cycles: usize,
+) -> String {
+    let schedule = Schedule::asap(circuit, &mut duration_of);
+    render_with_schedule(circuit, &schedule, duration_of, max_cycles)
+}
+
+/// Renders against a precomputed schedule (e.g. a router's own start
+/// times).
+pub fn render_with_schedule(
+    circuit: &Circuit,
+    schedule: &Schedule,
+    mut duration_of: impl FnMut(&Gate) -> Time,
+    max_cycles: usize,
+) -> String {
+    let cycles = (schedule.makespan as usize).min(max_cycles);
+    // cell[q][t] = label occupying qubit q at cycle t.
+    let mut cells: Vec<Vec<Option<String>>> = vec![vec![None; cycles]; circuit.num_qubits()];
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let start = schedule.start[i] as usize;
+        let dur = if gate.kind == GateKind::Barrier {
+            0
+        } else {
+            duration_of(gate) as usize
+        };
+        let label = gate.kind.name().to_ascii_uppercase();
+        for t in start..(start + dur.max(0)).min(cycles) {
+            for &q in &gate.qubits {
+                cells[q][t] = Some(label.clone());
+            }
+        }
+    }
+    // Column widths: widest label in that cycle (min 1).
+    let width_at = |t: usize| -> usize {
+        cells
+            .iter()
+            .filter_map(|row| row[t].as_ref().map(|s| s.len()))
+            .max()
+            .unwrap_or(1)
+    };
+    let widths: Vec<usize> = (0..cycles).map(width_at).collect();
+    let mut out = String::new();
+    for (q, row) in cells.iter().enumerate() {
+        out.push_str(&format!("q{q:<3}|"));
+        for (t, cell) in row.iter().enumerate() {
+            let text = cell.clone().unwrap_or_else(|| ".".to_string());
+            out.push_str(&format!("{text:^w$}|", w = widths[t]));
+        }
+        if (schedule.makespan as usize) > cycles {
+            out.push('>');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tau(g: &Gate) -> Time {
+        match g.kind {
+            GateKind::Swap => 6,
+            k if k.is_two_qubit() => 2,
+            GateKind::Barrier => 0,
+            _ => 1,
+        }
+    }
+
+    #[test]
+    fn renders_paper_fig2_shape() {
+        // t q1 (1 cycle) in parallel with cx q0,q2 (2 cycles).
+        let mut c = Circuit::new(3);
+        c.t(1);
+        c.cx(0, 2);
+        let text = render_timeline(&c, tau, 80);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains('T'));
+        assert!(lines[0].contains("CX"));
+        // q1 idles in cycle 2 while the CX still runs.
+        assert!(lines[1].contains('.'));
+    }
+
+    #[test]
+    fn swap_occupies_six_cells() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let text = render_timeline(&c, tau, 80);
+        assert_eq!(text.matches("SWAP").count(), 12); // 6 cycles x 2 qubits
+    }
+
+    #[test]
+    fn truncation_marks_overflow() {
+        let mut c = Circuit::new(1);
+        for _ in 0..20 {
+            c.t(0);
+        }
+        let text = render_timeline(&c, tau, 5);
+        assert!(text.ends_with(">\n"));
+        assert_eq!(text.matches('T').count(), 5);
+    }
+
+    #[test]
+    fn empty_circuit_renders_rows() {
+        let c = Circuit::new(2);
+        let text = render_timeline(&c, tau, 10);
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn idle_cells_are_dots() {
+        let mut c = Circuit::new(2);
+        c.t(0);
+        c.t(0);
+        let text = render_timeline(&c, tau, 80);
+        let q1 = text.lines().nth(1).expect("two rows");
+        assert!(q1.contains('.'));
+        assert!(!q1.contains('T'));
+    }
+}

@@ -1,0 +1,212 @@
+//! ASAP scheduling and the *weighted depth* metric.
+//!
+//! The paper's execution-time model: each gate kind has a duration in
+//! quantum clock cycles (`τ`); a gate starts as soon as all its operand
+//! qubits are free; the circuit's *weighted depth* is the makespan of
+//! this as-soon-as-possible schedule. This is the quantity Fig. 8
+//! compares between CODAR and SABRE.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// Time in quantum clock cycles.
+pub type Time = u64;
+
+/// An ASAP schedule for a circuit: per-gate start times and the makespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Start time of each gate, indexed like `circuit.gates()`.
+    pub start: Vec<Time>,
+    /// Completion time of the whole circuit (the weighted depth).
+    pub makespan: Time,
+}
+
+impl Schedule {
+    /// Computes the ASAP schedule of `circuit` under the duration model
+    /// `duration_of` (cycles per gate; barriers should return 0).
+    ///
+    /// Gates are scheduled in program order: each starts at the max
+    /// free-time of its operands, exactly the semantics of the paper's
+    /// qubit locks for an already-ordered gate sequence.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use codar_circuit::{Circuit, GateKind, Schedule};
+    ///
+    /// let mut c = Circuit::new(3);
+    /// c.t(1);          // duration 1
+    /// c.cx(0, 2);      // duration 2, parallel with the t
+    /// c.cx(1, 2);      // must wait for both
+    /// let s = Schedule::asap(&c, |g| match g.kind {
+    ///     GateKind::Cx => 2,
+    ///     _ => 1,
+    /// });
+    /// assert_eq!(s.start, vec![0, 0, 2]);
+    /// assert_eq!(s.makespan, 4);
+    /// ```
+    pub fn asap(circuit: &Circuit, mut duration_of: impl FnMut(&Gate) -> Time) -> Schedule {
+        let mut free_at = vec![0u64; circuit.num_qubits()];
+        let mut start = Vec::with_capacity(circuit.len());
+        let mut makespan = 0;
+        for gate in circuit.gates() {
+            let begin = gate.qubits.iter().map(|&q| free_at[q]).max().unwrap_or(0);
+            let dur = if gate.kind == GateKind::Barrier {
+                0
+            } else {
+                duration_of(gate)
+            };
+            let end = begin + dur;
+            for &q in &gate.qubits {
+                free_at[q] = end;
+            }
+            start.push(begin);
+            makespan = makespan.max(end);
+        }
+        Schedule { start, makespan }
+    }
+
+    /// End time of gate `i` under the same duration model used to build
+    /// the schedule.
+    pub fn end_of(&self, i: usize, duration: Time) -> Time {
+        self.start[i] + duration
+    }
+
+    /// Groups gate indices by start time, ascending — a time-slice view
+    /// used by the noisy simulator.
+    pub fn slices(&self) -> Vec<(Time, Vec<usize>)> {
+        let mut order: Vec<usize> = (0..self.start.len()).collect();
+        order.sort_by_key(|&i| self.start[i]);
+        let mut out: Vec<(Time, Vec<usize>)> = Vec::new();
+        for i in order {
+            match out.last_mut() {
+                Some((t, v)) if *t == self.start[i] => v.push(i),
+                _ => out.push((self.start[i], vec![i])),
+            }
+        }
+        out
+    }
+}
+
+/// Computes the weighted depth (makespan) of `circuit` under
+/// `duration_of` without keeping the per-gate schedule.
+pub fn weighted_depth(circuit: &Circuit, duration_of: impl FnMut(&Gate) -> Time) -> Time {
+    Schedule::asap(circuit, duration_of).makespan
+}
+
+/// A simple lower bound on any schedule's makespan: the maximum over
+/// qubits of the total busy time of that qubit.
+pub fn busy_time_lower_bound(
+    circuit: &Circuit,
+    mut duration_of: impl FnMut(&Gate) -> Time,
+) -> Time {
+    let mut busy = vec![0u64; circuit.num_qubits()];
+    for gate in circuit.gates() {
+        if gate.kind == GateKind::Barrier {
+            continue;
+        }
+        let dur = duration_of(gate);
+        for &q in &gate.qubits {
+            busy[q] += dur;
+        }
+    }
+    busy.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dur(g: &Gate) -> Time {
+        match g.kind {
+            GateKind::Cx | GateKind::Cz => 2,
+            GateKind::Swap => 6,
+            GateKind::Barrier => 0,
+            _ => 1,
+        }
+    }
+
+    #[test]
+    fn paper_fig2_durations() {
+        // T q2 and CX q0,q2 both start at 0 if independent; with the
+        // duration model T finishes at 1, CX at 2.
+        let mut c = Circuit::new(4);
+        c.t(1);
+        c.cx(0, 2);
+        let s = Schedule::asap(&c, dur);
+        assert_eq!(s.start, vec![0, 0]);
+        assert_eq!(s.makespan, 2);
+    }
+
+    #[test]
+    fn serial_dependency_accumulates() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.cx(0, 1);
+        c.h(0);
+        let s = Schedule::asap(&c, dur);
+        assert_eq!(s.start, vec![0, 2, 4]);
+        assert_eq!(s.makespan, 5);
+    }
+
+    #[test]
+    fn swap_costs_six() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        assert_eq!(weighted_depth(&c, dur), 6);
+    }
+
+    #[test]
+    fn barrier_synchronizes_at_zero_cost() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1); // ends at 2
+        c.barrier(vec![0, 1]);
+        c.t(0);
+        c.t(1);
+        let s = Schedule::asap(&c, dur);
+        assert_eq!(s.start, vec![0, 2, 2, 2]);
+        assert_eq!(s.makespan, 3);
+    }
+
+    #[test]
+    fn slices_group_by_start() {
+        let mut c = Circuit::new(3);
+        c.t(0);
+        c.t(1);
+        c.cx(0, 1);
+        let s = Schedule::asap(&c, dur);
+        let slices = s.slices();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0], (0, vec![0, 1]));
+        assert_eq!(slices[1], (1, vec![2]));
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_makespan() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.t(0);
+        c.swap(0, 2);
+        let lb = busy_time_lower_bound(&c, dur);
+        let ws = weighted_depth(&c, dur);
+        assert!(lb <= ws, "lb {lb} > makespan {ws}");
+    }
+
+    #[test]
+    fn empty_circuit_zero_makespan() {
+        let c = Circuit::new(3);
+        assert_eq!(weighted_depth(&c, dur), 0);
+    }
+
+    #[test]
+    fn unit_durations_match_depth() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.h(2);
+        let wd = weighted_depth(&c, |_| 1);
+        assert_eq!(wd as usize, c.depth());
+    }
+}

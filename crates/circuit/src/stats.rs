@@ -1,0 +1,270 @@
+//! Circuit statistics: a one-stop summary used by the experiment
+//! harnesses and reports.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+use crate::schedule::{weighted_depth, Time};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A summary of a circuit's size and composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Declared number of qubits.
+    pub num_qubits: usize,
+    /// Qubits actually touched by gates.
+    pub qubits_used: usize,
+    /// Total operation count.
+    pub gate_count: usize,
+    /// Count of coupling-constrained (2-qubit unitary) gates.
+    pub two_qubit_gates: usize,
+    /// Count of SWAPs (routing overhead when diffed against the input).
+    pub swap_count: usize,
+    /// Unweighted depth.
+    pub depth: usize,
+    /// Per-kind gate histogram.
+    pub histogram: BTreeMap<GateKind, usize>,
+}
+
+impl CircuitStats {
+    /// Gathers statistics for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut histogram = BTreeMap::new();
+        for g in circuit.gates() {
+            *histogram.entry(g.kind).or_insert(0) += 1;
+        }
+        CircuitStats {
+            num_qubits: circuit.num_qubits(),
+            qubits_used: circuit.qubits_used(),
+            gate_count: circuit.len(),
+            two_qubit_gates: circuit.two_qubit_gate_count(),
+            swap_count: circuit.count_kind(GateKind::Swap),
+            depth: circuit.depth(),
+            histogram,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} qubits ({} used), {} gates ({} two-qubit, {} swap), depth {}",
+            self.num_qubits,
+            self.qubits_used,
+            self.gate_count,
+            self.two_qubit_gates,
+            self.swap_count,
+            self.depth
+        )?;
+        for (kind, count) in &self.histogram {
+            writeln!(f, "  {kind:>8}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares an input circuit with its routed version under a duration
+/// model, producing the numbers reported by the paper's evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingReport {
+    /// Gates in the original circuit.
+    pub original_gates: usize,
+    /// Gates after routing (includes inserted SWAPs).
+    pub routed_gates: usize,
+    /// SWAPs inserted by the router.
+    pub swaps_inserted: usize,
+    /// Weighted depth of the original circuit (coupling ignored).
+    pub original_weighted_depth: Time,
+    /// Weighted depth of the routed circuit.
+    pub routed_weighted_depth: Time,
+}
+
+impl RoutingReport {
+    /// Builds a report from the original and routed circuits.
+    pub fn new(
+        original: &Circuit,
+        routed: &Circuit,
+        mut duration_of: impl FnMut(&Gate) -> Time,
+    ) -> Self {
+        RoutingReport {
+            original_gates: original.len(),
+            routed_gates: routed.len(),
+            swaps_inserted: routed.count_kind(GateKind::Swap)
+                - original.count_kind(GateKind::Swap),
+            original_weighted_depth: weighted_depth(original, &mut duration_of),
+            routed_weighted_depth: weighted_depth(routed, &mut duration_of),
+        }
+    }
+
+    /// Routed-over-original weighted depth: the slowdown incurred to
+    /// satisfy the coupling constraints (≥ 1 in practice).
+    pub fn depth_overhead(&self) -> f64 {
+        if self.original_weighted_depth == 0 {
+            1.0
+        } else {
+            self.routed_weighted_depth as f64 / self.original_weighted_depth as f64
+        }
+    }
+}
+
+/// Parallelism profile of a scheduled circuit: how many qubits are busy
+/// at each cycle, and the average utilization.
+///
+/// This is the quantity CODAR optimizes for — a duration-aware remap
+/// raises the busy-qubit average of the same gate multiset by packing
+/// work into fewer cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelismProfile {
+    /// `busy[t]` = number of qubits occupied during cycle `t`.
+    pub busy_per_cycle: Vec<usize>,
+    /// Mean busy qubits per cycle over the makespan.
+    pub average_busy: f64,
+    /// Peak busy qubits in any cycle.
+    pub peak_busy: usize,
+    /// Fraction of qubit-cycles spent busy among qubits that are used
+    /// at all (1.0 = perfectly packed).
+    pub utilization: f64,
+}
+
+impl ParallelismProfile {
+    /// Computes the profile of `circuit` under `duration_of` (ASAP
+    /// schedule).
+    pub fn of(circuit: &Circuit, mut duration_of: impl FnMut(&Gate) -> Time) -> Self {
+        let schedule = crate::schedule::Schedule::asap(circuit, &mut duration_of);
+        let makespan = schedule.makespan as usize;
+        let mut busy_per_cycle = vec![0usize; makespan];
+        let mut used = vec![false; circuit.num_qubits()];
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            let dur = if gate.kind == GateKind::Barrier {
+                0
+            } else {
+                duration_of(gate) as usize
+            };
+            let start = schedule.start[i] as usize;
+            for t in start..start + dur {
+                busy_per_cycle[t] += gate.qubits.len();
+            }
+            for &q in &gate.qubits {
+                used[q] = true;
+            }
+        }
+        let total_busy: usize = busy_per_cycle.iter().sum();
+        let average_busy = if makespan == 0 {
+            0.0
+        } else {
+            total_busy as f64 / makespan as f64
+        };
+        let used_qubits = used.iter().filter(|&&u| u).count();
+        let utilization = if makespan == 0 || used_qubits == 0 {
+            1.0
+        } else {
+            total_busy as f64 / (makespan * used_qubits) as f64
+        };
+        ParallelismProfile {
+            peak_busy: busy_per_cycle.iter().copied().max().unwrap_or(0),
+            busy_per_cycle,
+            average_busy,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_of_parallel_layer() {
+        let mut c = Circuit::new(4);
+        c.t(0);
+        c.t(1);
+        c.t(2);
+        c.t(3);
+        let p = ParallelismProfile::of(&c, |_| 1);
+        assert_eq!(p.busy_per_cycle, vec![4]);
+        assert_eq!(p.peak_busy, 4);
+        assert!((p.average_busy - 4.0).abs() < 1e-12);
+        assert!((p.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallelism_of_serial_chain() {
+        let mut c = Circuit::new(2);
+        c.t(0);
+        c.t(0);
+        c.t(1);
+        // ASAP: t(1) runs parallel to the first t(0): cycles = 2,
+        // busy = [2, 1].
+        let p = ParallelismProfile::of(&c, |_| 1);
+        assert_eq!(p.busy_per_cycle, vec![2, 1]);
+        assert!((p.utilization - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durations_weight_the_profile() {
+        let mut c = Circuit::new(3);
+        c.t(1); // 1 cycle
+        c.cx(0, 2); // 2 cycles
+        let p = ParallelismProfile::of(&c, |g| if g.kind == GateKind::Cx { 2 } else { 1 });
+        assert_eq!(p.busy_per_cycle, vec![3, 2]);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = ParallelismProfile::of(&Circuit::new(3), |_| 1);
+        assert_eq!(p.average_busy, 0.0);
+        assert_eq!(p.peak_busy, 0);
+        assert_eq!(p.utilization, 1.0);
+    }
+
+    #[test]
+    fn stats_collects_histogram() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.h(1);
+        c.cx(0, 1);
+        c.swap(1, 2);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.gate_count, 4);
+        assert_eq!(s.two_qubit_gates, 2);
+        assert_eq!(s.swap_count, 1);
+        assert_eq!(s.histogram[&GateKind::H], 2);
+        assert_eq!(s.qubits_used, 3);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let text = CircuitStats::of(&c).to_string();
+        assert!(text.contains("1 gates"));
+        assert!(text.contains("cx"));
+    }
+
+    #[test]
+    fn routing_report_diffs_swaps() {
+        let mut original = Circuit::new(3);
+        original.cx(0, 2);
+        let mut routed = Circuit::new(3);
+        routed.swap(0, 1);
+        routed.cx(1, 2);
+        let dur = |g: &Gate| match g.kind {
+            GateKind::Swap => 6,
+            GateKind::Cx => 2,
+            _ => 1,
+        };
+        let report = RoutingReport::new(&original, &routed, dur);
+        assert_eq!(report.swaps_inserted, 1);
+        assert_eq!(report.original_weighted_depth, 2);
+        assert_eq!(report.routed_weighted_depth, 8);
+        assert!((report.depth_overhead() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_overhead_is_one() {
+        let c = Circuit::new(1);
+        let report = RoutingReport::new(&c, &c, |_| 1);
+        assert_eq!(report.depth_overhead(), 1.0);
+    }
+}

@@ -1,0 +1,592 @@
+//! The CODAR remapping algorithm (paper Sec. IV-C, Fig. 4).
+//!
+//! CODAR simulates the execution timeline while it routes. At each event
+//! time it:
+//!
+//! 1. collects the commutative-front (CF) gates of the remaining input,
+//! 2. launches every CF gate that is *lock free* (all operand qubits
+//!    free) and coupling-compliant, updating the qubit locks with the
+//!    gate's duration,
+//! 3. for the remaining (non-adjacent) CF two-qubit gates, gathers the
+//!    lock-free edges adjacent to their endpoints as candidate SWAPs and
+//!    greedily inserts the highest-priority SWAP while any candidate has
+//!    positive `Hbasic`,
+//!
+//! then advances the clock to the next lock release. When nothing can be
+//! launched and all qubits are free (the paper's "deadlock"), a SWAP is
+//! forced; we pick, among the best-priority SWAPs, one that strictly
+//! shortens the oldest blocked gate's distance, which guarantees
+//! termination (the paper forces "a SWAP with the highest priority"
+//! without tie-breaking, which can oscillate).
+
+use crate::error::RouteError;
+use crate::front::{CommutativeFront, DEFAULT_WINDOW};
+use crate::heuristic::{priority, SwapPriority};
+use crate::locks::QubitLocks;
+use crate::mapping::{InitialMapping, Mapping};
+use crate::result::RoutedCircuit;
+use codar_arch::{Device, GateDurations};
+use codar_circuit::schedule::{Schedule, Time};
+use codar_circuit::{Circuit, Gate, GateKind};
+
+/// Tuning knobs for [`CodarRouter`]. The defaults reproduce the paper's
+/// configuration; the `enable_*` flags exist for the ablation studies.
+#[derive(Debug, Clone)]
+pub struct CodarConfig {
+    /// How the initial logical→physical mapping is chosen.
+    pub initial_mapping: InitialMapping,
+    /// Use commutativity detection for the front set (Sec. IV-B).
+    /// Disabled, the front degrades to plain data dependence.
+    pub enable_commutativity: bool,
+    /// Use real gate durations for the qubit locks (Sec. IV-A).
+    /// Disabled, every gate is treated as taking one cycle during
+    /// routing (the duration-unaware assumption of prior work); the
+    /// reported weighted depth still uses the true durations.
+    pub enable_duration_awareness: bool,
+    /// Use the fine-priority tie-break `Hfine` (Sec. IV-D).
+    pub enable_hfine: bool,
+    /// Per-qubit lookahead window of the CF scan.
+    pub window: usize,
+}
+
+impl Default for CodarConfig {
+    fn default() -> Self {
+        CodarConfig {
+            initial_mapping: InitialMapping::default(),
+            enable_commutativity: true,
+            enable_duration_awareness: true,
+            enable_hfine: true,
+            window: DEFAULT_WINDOW,
+        }
+    }
+}
+
+/// The CODAR router bound to a device.
+///
+/// # Examples
+///
+/// ```
+/// use codar_arch::Device;
+/// use codar_circuit::Circuit;
+/// use codar_router::CodarRouter;
+///
+/// # fn main() -> Result<(), codar_router::RouteError> {
+/// use codar_router::Mapping;
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 2); // non-adjacent on a line under the identity placement
+/// let device = Device::linear(3);
+/// let routed = CodarRouter::new(&device)
+///     .route_with_mapping(&c, Mapping::identity(3, 3))?;
+/// assert_eq!(routed.swaps_inserted, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodarRouter {
+    device: Device,
+    config: CodarConfig,
+}
+
+impl CodarRouter {
+    /// Creates a router with the default (paper) configuration.
+    pub fn new(device: &Device) -> Self {
+        CodarRouter {
+            device: device.clone(),
+            config: CodarConfig::default(),
+        }
+    }
+
+    /// Creates a router with an explicit configuration.
+    pub fn with_config(device: &Device, config: CodarConfig) -> Self {
+        CodarRouter {
+            device: device.clone(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CodarConfig {
+        &self.config
+    }
+
+    /// Routes `circuit`, producing a hardware-compliant physical circuit.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::TooManyQubits`] when the circuit needs more qubits
+    ///   than the device has,
+    /// * [`RouteError::UnsupportedGate`] when a unitary gate spans 3+
+    ///   qubits (decompose first),
+    /// * [`RouteError::Disconnected`] when a two-qubit gate's operands
+    ///   sit in different components of the coupling graph.
+    pub fn route(&self, circuit: &Circuit) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, &self.device)?;
+        let pi0 = self.config.initial_mapping.build(circuit, &self.device);
+        self.route_with_mapping(circuit, pi0)
+    }
+
+    /// Routes `circuit` starting from an explicit initial mapping
+    /// (used by the experiments to feed CODAR and SABRE identical
+    /// initial placements).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CodarRouter::route`].
+    pub fn route_with_mapping(
+        &self,
+        circuit: &Circuit,
+        initial: Mapping,
+    ) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, &self.device)?;
+        let device = &self.device;
+        let graph = device.graph();
+        let dist = device.distances();
+        let layout = if self.config.enable_hfine {
+            device.layout()
+        } else {
+            None
+        };
+        let route_tau: GateDurations = if self.config.enable_duration_awareness {
+            device.durations().clone()
+        } else {
+            GateDurations::uniform()
+        };
+        let swap_dur = route_tau.of_kind(GateKind::Swap);
+
+        let mut pi = initial.clone();
+        let mut locks = QubitLocks::new(device.num_qubits());
+        let mut front =
+            CommutativeFront::new(circuit, self.config.enable_commutativity, self.config.window);
+        let mut out = Circuit::with_bits(device.num_qubits(), circuit.num_bits());
+        let mut starts: Vec<Time> = Vec::with_capacity(circuit.len());
+        let mut now: Time = 0;
+        let mut swaps_inserted = 0usize;
+        let mut inserted_swap_indices: Vec<usize> = Vec::new();
+
+        while !front.is_done() {
+            // Steps 1-2: launch every executable CF gate, to fixpoint.
+            let mut launched = false;
+            loop {
+                let cf = front.cf_gates(circuit);
+                let mut launched_this_pass = false;
+                for g in cf {
+                    let gate = &circuit.gates()[g];
+                    let phys: Vec<usize> =
+                        gate.qubits.iter().map(|&q| pi.phys_of(q)).collect();
+                    if !locks.all_free(&phys, now) {
+                        continue;
+                    }
+                    let executable = match gate.kind {
+                        GateKind::Barrier => true,
+                        _ if phys.len() == 2 => graph.are_adjacent(phys[0], phys[1]),
+                        _ => true, // 1-qubit operations
+                    };
+                    if !executable {
+                        continue;
+                    }
+                    let dur = route_tau.of(gate);
+                    for &p in &phys {
+                        locks.acquire(p, now, dur);
+                    }
+                    out.push(remap_gate(gate, &phys));
+                    starts.push(now);
+                    front.emit(g, circuit);
+                    launched_this_pass = true;
+                }
+                if !launched_this_pass {
+                    break;
+                }
+                launched = true;
+            }
+            if front.is_done() {
+                break;
+            }
+
+            // Step 3: greedy positive-priority SWAP insertion.
+            let cf = front.cf_gates(circuit);
+            let cf_two_qubit: Vec<usize> = cf
+                .iter()
+                .copied()
+                .filter(|&g| circuit.gates()[g].is_two_qubit())
+                .collect();
+            let mut swapped = false;
+            loop {
+                // Physical endpoint pairs of every CF 2-qubit gate (Eq. 1
+                // sums over all of ICF), and the blocked (non-adjacent)
+                // subset that actually needs routing.
+                let cf_pairs: Vec<(usize, usize)> = cf_two_qubit
+                    .iter()
+                    .map(|&g| {
+                        let q = &circuit.gates()[g].qubits;
+                        (pi.phys_of(q[0]), pi.phys_of(q[1]))
+                    })
+                    .collect();
+                let blocked: Vec<(usize, usize)> = cf_pairs
+                    .iter()
+                    .copied()
+                    .filter(|&(a, b)| !graph.are_adjacent(a, b))
+                    .collect();
+                if blocked.is_empty() {
+                    break;
+                }
+                // Candidate SWAPs: lock-free edges touching a blocked
+                // gate's endpoints.
+                let mut candidates: Vec<(usize, usize)> = Vec::new();
+                for &(pa, pb) in &blocked {
+                    for &endpoint in &[pa, pb] {
+                        for &nb in graph.neighbors(endpoint) {
+                            let edge = (endpoint.min(nb), endpoint.max(nb));
+                            if locks.all_free(&[edge.0, edge.1], now)
+                                && !candidates.contains(&edge)
+                            {
+                                candidates.push(edge);
+                            }
+                        }
+                    }
+                }
+                let best = candidates
+                    .iter()
+                    .map(|&edge| {
+                        (
+                            priority(edge, &cf_pairs, dist, layout, self.config.enable_hfine),
+                            edge,
+                        )
+                    })
+                    .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+                match best {
+                    Some((p, edge)) if p.basic > 0 => {
+                        locks.acquire(edge.0, now, swap_dur);
+                        locks.acquire(edge.1, now, swap_dur);
+                        inserted_swap_indices.push(out.len());
+                        out.add(GateKind::Swap, vec![edge.0, edge.1], vec![]);
+                        starts.push(now);
+                        pi.apply_swap(edge.0, edge.1);
+                        swaps_inserted += 1;
+                        swapped = true;
+                    }
+                    _ => break,
+                }
+            }
+
+            if front.is_done() {
+                break;
+            }
+            // Advance the clock; detect and break deadlocks.
+            match locks.next_release_after(now) {
+                Some(t) => now = t,
+                None => {
+                    if !launched && !swapped {
+                        let edge = self.forced_swap(circuit, &mut front, &pi)?;
+                        locks.acquire(edge.0, now, swap_dur);
+                        locks.acquire(edge.1, now, swap_dur);
+                        inserted_swap_indices.push(out.len());
+                        out.add(GateKind::Swap, vec![edge.0, edge.1], vec![]);
+                        starts.push(now);
+                        pi.apply_swap(edge.0, edge.1);
+                        swaps_inserted += 1;
+                    }
+                    // If we did launch zero-duration ops (barriers) the
+                    // front shrank, so the loop still progresses.
+                }
+            }
+        }
+
+        let tau = device.durations().clone();
+        let schedule = Schedule::asap(&out, |g| tau.of(g));
+        Ok(RoutedCircuit {
+            weighted_depth: schedule.makespan,
+            start_times: starts,
+            circuit: out,
+            swaps_inserted,
+            inserted_swap_indices,
+            initial_mapping: initial,
+            final_mapping: pi,
+            router: "codar",
+        })
+    }
+
+    /// Deadlock breaker: among lock-free edges adjacent to the oldest
+    /// blocked CF gate's endpoints, pick the highest-priority SWAP that
+    /// strictly reduces that gate's distance.
+    fn forced_swap(
+        &self,
+        circuit: &Circuit,
+        front: &mut CommutativeFront,
+        pi: &Mapping,
+    ) -> Result<(usize, usize), RouteError> {
+        let graph = self.device.graph();
+        let dist = self.device.distances();
+        let layout = if self.config.enable_hfine {
+            self.device.layout()
+        } else {
+            None
+        };
+        let cf = front.cf_gates(circuit);
+        let oldest = cf
+            .iter()
+            .copied()
+            .find(|&g| {
+                let gate = &circuit.gates()[g];
+                gate.is_two_qubit()
+                    && !graph.are_adjacent(pi.phys_of(gate.qubits[0]), pi.phys_of(gate.qubits[1]))
+            })
+            .expect("deadlock implies a blocked two-qubit CF gate");
+        let gate = &circuit.gates()[oldest];
+        let (pa, pb) = (pi.phys_of(gate.qubits[0]), pi.phys_of(gate.qubits[1]));
+        if !dist.connected(pa, pb) {
+            return Err(RouteError::Disconnected { a: pa, b: pb });
+        }
+        let d0 = dist.get(pa, pb);
+        let mut best: Option<(SwapPriority, (usize, usize))> = None;
+        for &endpoint in &[pa, pb] {
+            let other = if endpoint == pa { pb } else { pa };
+            for &nb in graph.neighbors(endpoint) {
+                if dist.get(nb, other) >= d0 {
+                    continue; // must strictly shorten the oldest gate
+                }
+                let edge = (endpoint.min(nb), endpoint.max(nb));
+                let p = priority(edge, &[(pa, pb)], dist, layout, self.config.enable_hfine);
+                if best.map_or(true, |(bp, be)| (p, std::cmp::Reverse(edge)) > (bp, std::cmp::Reverse(be))) {
+                    best = Some((p, edge));
+                }
+            }
+        }
+        Ok(best.expect("a connected pair always has a distance-reducing neighbor").1)
+    }
+}
+
+/// Maps a logical gate onto its physical operands.
+fn remap_gate(gate: &Gate, phys: &[usize]) -> Gate {
+    let mut out = gate.clone();
+    out.qubits = phys.to_vec();
+    out
+}
+
+/// Shared input validation for the routers.
+pub(crate) fn validate(circuit: &Circuit, device: &Device) -> Result<(), RouteError> {
+    if circuit.num_qubits() > device.num_qubits() {
+        return Err(RouteError::TooManyQubits {
+            logical: circuit.num_qubits(),
+            physical: device.num_qubits(),
+        });
+    }
+    for gate in circuit.gates() {
+        if gate.kind != GateKind::Barrier && gate.qubits.len() > 2 {
+            return Err(RouteError::UnsupportedGate {
+                gate: gate.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_coupling, check_equivalence};
+    use codar_arch::Device;
+
+    fn route_identity(device: &Device, circuit: &Circuit) -> RoutedCircuit {
+        let config = CodarConfig {
+            initial_mapping: InitialMapping::Identity,
+            ..CodarConfig::default()
+        };
+        CodarRouter::with_config(device, config).route(circuit).unwrap()
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let device = Device::linear(3);
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        let r = route_identity(&device, &c);
+        assert_eq!(r.swaps_inserted, 0);
+        assert_eq!(r.gate_count(), 3);
+        check_coupling(&r.circuit, &device).unwrap();
+        // weighted depth: h(1) + cx(2) + cx(2) serial on q1's chain = 5
+        assert_eq!(r.weighted_depth, 5);
+    }
+
+    #[test]
+    fn distant_gate_gets_routed() {
+        let device = Device::linear(4);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let r = route_identity(&device, &c);
+        assert!(r.swaps_inserted >= 2);
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+    }
+
+    #[test]
+    fn paper_fig1_context_example() {
+        // Line of 4: Q0-Q1-Q2-Q3. Program: T q2; CX q0,q3.
+        // The SWAP must avoid busy q2: CODAR picks an edge not touching
+        // Q2 at time 0 if one helps — here (Q0,Q1) or (Q3,Q2)... (Q3,Q2)
+        // touches Q2 which is locked by the T for 1 cycle, while (Q0,Q1)
+        // and... on a line the useful swaps are (0,1),(1,2),(2,3).
+        // (1,2) and (2,3) touch Q2 (busy). (0,1) is free and reduces
+        // distance: CODAR should start it at cycle 0.
+        let device = Device::linear(4);
+        let mut c = Circuit::new(4);
+        c.t(2);
+        c.cx(0, 3);
+        let r = route_identity(&device, &c);
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+        // First swap starts at cycle 0 in parallel with the T.
+        let first_swap = r
+            .circuit
+            .gates()
+            .iter()
+            .position(|g| g.kind == GateKind::Swap)
+            .unwrap();
+        assert_eq!(r.start_times[first_swap], 0);
+        let swap_gate = &r.circuit.gates()[first_swap];
+        assert!(
+            !swap_gate.qubits.contains(&2),
+            "first SWAP must avoid the busy qubit Q2, got {swap_gate}"
+        );
+    }
+
+    #[test]
+    fn deadlock_is_broken() {
+        // A ring where the only blocked gate needs a forced swap: craft a
+        // situation with no positive swap: two gates pulling in exactly
+        // opposite directions on a line.
+        // Program: cx(0,2) and cx(2,0) variants... simpler: single gate
+        // at distance 2 with all qubits free and symmetric pulls can
+        // still find positive swaps, so emulate the paper's case by a
+        // pair of crossing gates on a 4-line.
+        let device = Device::linear(4);
+        let mut c = Circuit::new(4);
+        // cx(0,3) and cx(3,0)-style crossing pressure:
+        c.cx(0, 3);
+        c.cx(3, 0);
+        c.cx(1, 2);
+        let r = route_identity(&device, &c);
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+    }
+
+    #[test]
+    fn barrier_and_measure_are_routed() {
+        let device = Device::linear(3);
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.barrier(vec![0, 1, 2]);
+        c.cx(0, 2);
+        c.measure(2, 0);
+        let r = route_identity(&device, &c);
+        check_coupling(&r.circuit, &device).unwrap();
+        assert_eq!(r.circuit.count_kind(GateKind::Measure), 1);
+        assert_eq!(r.circuit.count_kind(GateKind::Barrier), 1);
+    }
+
+    #[test]
+    fn too_many_qubits_is_error() {
+        let device = Device::linear(2);
+        let c = Circuit::new(3);
+        let err = CodarRouter::new(&device).route(&c).unwrap_err();
+        assert!(matches!(err, RouteError::TooManyQubits { .. }));
+    }
+
+    #[test]
+    fn three_qubit_gate_is_error() {
+        let device = Device::linear(3);
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let err = CodarRouter::new(&device).route(&c).unwrap_err();
+        assert!(matches!(err, RouteError::UnsupportedGate { .. }));
+    }
+
+    #[test]
+    fn disconnected_device_is_error() {
+        let graph = codar_arch::CouplingGraph::new(4, &[(0, 1), (2, 3)]);
+        let device = Device::from_graph("split", graph);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let config = CodarConfig {
+            initial_mapping: InitialMapping::Identity,
+            ..CodarConfig::default()
+        };
+        let err = CodarRouter::with_config(&device, config)
+            .route(&c)
+            .unwrap_err();
+        assert!(matches!(err, RouteError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn more_physical_than_logical_qubits() {
+        let device = Device::grid(3, 3);
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.cx(2, 3);
+        c.cx(3, 0);
+        let r = route_identity(&device, &c);
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+    }
+
+    #[test]
+    fn duration_unaware_ablation_still_correct() {
+        let device = Device::grid(2, 3);
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        c.t(1);
+        c.cx(2, 3);
+        let config = CodarConfig {
+            initial_mapping: InitialMapping::Identity,
+            enable_duration_awareness: false,
+            ..CodarConfig::default()
+        };
+        let r = CodarRouter::with_config(&device, config).route(&c).unwrap();
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+    }
+
+    #[test]
+    fn no_commutativity_ablation_still_correct() {
+        let device = Device::linear(4);
+        let mut c = Circuit::new(4);
+        c.cx(1, 3);
+        c.cx(2, 3);
+        c.cx(0, 3);
+        let config = CodarConfig {
+            initial_mapping: InitialMapping::Identity,
+            enable_commutativity: false,
+            ..CodarConfig::default()
+        };
+        let r = CodarRouter::with_config(&device, config).route(&c).unwrap();
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+    }
+
+    #[test]
+    fn empty_circuit_routes_to_empty() {
+        let device = Device::linear(2);
+        let r = route_identity(&device, &Circuit::new(2));
+        assert_eq!(r.gate_count(), 0);
+        assert_eq!(r.weighted_depth, 0);
+    }
+
+    #[test]
+    fn start_times_match_asap() {
+        // The router's own timeline must agree with re-scheduling its
+        // output (it is an ASAP schedule by construction).
+        let device = Device::linear(4);
+        let mut c = Circuit::new(4);
+        c.t(2);
+        c.cx(0, 3);
+        c.h(1);
+        let r = route_identity(&device, &c);
+        let tau = device.durations().clone();
+        let s = Schedule::asap(&r.circuit, |g| tau.of(g));
+        assert_eq!(s.start, r.start_times);
+        assert_eq!(s.makespan, r.weighted_depth);
+    }
+}

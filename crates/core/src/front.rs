@@ -1,0 +1,270 @@
+//! Commutative-front maintenance (paper Sec. IV-B, Definition 1).
+//!
+//! A pending gate is a *commutative forward (CF) gate* iff it commutes
+//! with every pending gate that precedes it in program order. CF gates
+//! can be moved to the head of the remaining sequence, i.e. they are
+//! logically executable right now. Compared to a plain data-dependence
+//! front layer, the CF set exposes more context to the SWAP search —
+//! e.g. `CX q1,q3; CX q2,q3` are *both* CF because CNOTs sharing a
+//! target commute.
+//!
+//! Implementation: pending gates are kept in per-qubit queues in program
+//! order. A gate commutes trivially with anything it shares no qubit
+//! with, so it is CF iff, in each of its queues, it commutes with every
+//! earlier entry. A scan window bounds the per-queue lookahead so the
+//! check stays O(window²) per queue.
+
+use codar_circuit::{commutes, Circuit};
+use std::collections::VecDeque;
+
+/// Default per-qubit lookahead window for the CF scan.
+pub const DEFAULT_WINDOW: usize = 16;
+
+/// Tracks the pending portion of a circuit and computes its CF set.
+///
+/// The per-queue locally-CF scan is cached and invalidated only when a
+/// gate is emitted from that queue, so the common case (repeated CF
+/// queries between emissions) costs a cheap merge instead of an
+/// O(window²) commutation rescan per qubit.
+#[derive(Debug, Clone)]
+pub struct CommutativeFront {
+    queues: Vec<VecDeque<usize>>,
+    pending: Vec<bool>,
+    num_pending: usize,
+    window: usize,
+    commutativity: bool,
+    // cache[q] = locally-CF gate indices of queue q, None when stale.
+    cache: Vec<Option<Vec<usize>>>,
+}
+
+impl CommutativeFront {
+    /// Builds the tracker with every gate of `circuit` pending.
+    ///
+    /// With `commutativity = false` the CF set degrades to the plain
+    /// data-dependence front layer (the ablation case).
+    pub fn new(circuit: &Circuit, commutativity: bool, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        let mut queues = vec![VecDeque::new(); circuit.num_qubits()];
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            for &q in &gate.qubits {
+                queues[q].push_back(i);
+            }
+        }
+        let cache = vec![None; circuit.num_qubits()];
+        CommutativeFront {
+            queues,
+            pending: vec![true; circuit.len()],
+            num_pending: circuit.len(),
+            window,
+            commutativity,
+            cache,
+        }
+    }
+
+    fn locally_cf_of_queue(&self, q: usize, circuit: &Circuit) -> Vec<usize> {
+        let queue = &self.queues[q];
+        let limit = queue.len().min(self.window);
+        let mut out = Vec::with_capacity(limit.min(8));
+        for pos in 0..limit {
+            let g = queue[pos];
+            let locally_cf = if self.commutativity {
+                (0..pos).all(|earlier| {
+                    commutes(&circuit.gates()[queue[earlier]], &circuit.gates()[g])
+                })
+            } else {
+                pos == 0
+            };
+            if locally_cf {
+                out.push(g);
+            }
+        }
+        out
+    }
+
+    /// Number of gates not yet emitted.
+    pub fn num_pending(&self) -> usize {
+        self.num_pending
+    }
+
+    /// True when every gate has been emitted.
+    pub fn is_done(&self) -> bool {
+        self.num_pending == 0
+    }
+
+    /// Whether gate `i` is still pending.
+    pub fn is_pending(&self, i: usize) -> bool {
+        self.pending[i]
+    }
+
+    /// Computes the current CF set, in program order.
+    ///
+    /// A gate qualifies iff it is *locally CF* in every queue it belongs
+    /// to: within the scan window and commuting with every earlier entry
+    /// of that queue. Gates with no qubit operands qualify trivially.
+    pub fn cf_gates(&mut self, circuit: &Circuit) -> Vec<usize> {
+        // Refresh stale per-queue caches.
+        for q in 0..self.queues.len() {
+            if self.cache[q].is_none() {
+                self.cache[q] = Some(self.locally_cf_of_queue(q, circuit));
+            }
+        }
+        let mut qualify_count: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for cached in self.cache.iter().flatten() {
+            for &g in cached {
+                *qualify_count.entry(g).or_insert(0) += 1;
+            }
+        }
+        let mut cf: Vec<usize> = qualify_count
+            .into_iter()
+            .filter(|&(g, count)| count == circuit.gates()[g].qubits.len())
+            .map(|(g, _)| g)
+            .collect();
+        // Gates with no qubit operands (possible only for synthetic
+        // barriers) are always CF.
+        cf.extend(
+            (0..circuit.len())
+                .filter(|&i| self.pending[i] && circuit.gates()[i].qubits.is_empty()),
+        );
+        cf.sort_unstable();
+        cf
+    }
+
+    /// Emits gate `i`: removes it from all queues (invalidating their
+    /// CF caches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate was already emitted.
+    pub fn emit(&mut self, i: usize, circuit: &Circuit) {
+        assert!(self.pending[i], "gate {i} was already emitted");
+        self.pending[i] = false;
+        self.num_pending -= 1;
+        for &q in &circuit.gates()[i].qubits {
+            let pos = self.queues[q]
+                .iter()
+                .position(|&g| g == i)
+                .expect("pending gate must be in its qubit queues");
+            self.queues[q].remove(pos);
+            self.cache[q] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_circuit::Circuit;
+
+    fn cf(circuit: &Circuit, commutativity: bool) -> Vec<usize> {
+        CommutativeFront::new(circuit, commutativity, DEFAULT_WINDOW).cf_gates(circuit)
+    }
+
+    #[test]
+    fn paper_example_shared_target() {
+        // Sec. IV-B: "CX q1,q3 and CX q2,q3 in order ... both of the
+        // gates are CF gates".
+        let mut c = Circuit::new(4);
+        c.cx(1, 3);
+        c.cx(2, 3);
+        assert_eq!(cf(&c, true), vec![0, 1]);
+        // Without commutativity only the first is exposed.
+        assert_eq!(cf(&c, false), vec![0]);
+    }
+
+    #[test]
+    fn dependent_gates_are_hidden() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.cx(1, 2); // control on q1 conflicts with target of gate 0
+        assert_eq!(cf(&c, true), vec![0]);
+    }
+
+    #[test]
+    fn disjoint_gates_all_front() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        c.h(0); // blocked by gate 0
+        assert_eq!(cf(&c, true), vec![0, 1]);
+    }
+
+    #[test]
+    fn diagonal_chain_exposes_deep_gates() {
+        let mut c = Circuit::new(3);
+        c.t(0);
+        c.rz(0.1, 0);
+        c.cz(0, 1);
+        c.cz(0, 2);
+        // All four are mutually commuting (diagonal), so all are CF.
+        assert_eq!(cf(&c, true), vec![0, 1, 2, 3]);
+        assert_eq!(cf(&c, false), vec![0]);
+    }
+
+    #[test]
+    fn emit_exposes_successors() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let mut front = CommutativeFront::new(&c, true, DEFAULT_WINDOW);
+        assert_eq!(front.cf_gates(&c), vec![0]);
+        front.emit(0, &c);
+        assert_eq!(front.cf_gates(&c), vec![1]);
+        front.emit(1, &c);
+        assert!(front.is_done());
+        assert!(front.cf_gates(&c).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already emitted")]
+    fn double_emit_panics() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut front = CommutativeFront::new(&c, true, DEFAULT_WINDOW);
+        front.emit(0, &c);
+        front.emit(0, &c);
+    }
+
+    #[test]
+    fn window_bounds_lookahead() {
+        // 5 mutually commuting gates on one qubit, window 2: only the
+        // first two are visible.
+        let mut c = Circuit::new(1);
+        for _ in 0..5 {
+            c.t(0);
+        }
+        let mut front = CommutativeFront::new(&c, true, 2);
+        assert_eq!(front.cf_gates(&c), vec![0, 1]);
+    }
+
+    #[test]
+    fn barrier_fences_commutation() {
+        let mut c = Circuit::new(2);
+        c.t(0);
+        c.barrier(vec![0, 1]);
+        c.t(0); // commutes with gate 0 but the barrier blocks it
+        assert_eq!(cf(&c, true), vec![0]);
+    }
+
+    #[test]
+    fn identical_gates_commute() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(0);
+        // h·h = identity: both exposable.
+        assert_eq!(cf(&c, true), vec![0, 1]);
+    }
+
+    #[test]
+    fn pending_bookkeeping() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(1);
+        let mut front = CommutativeFront::new(&c, true, DEFAULT_WINDOW);
+        assert_eq!(front.num_pending(), 2);
+        assert!(front.is_pending(1));
+        front.emit(1, &c);
+        assert!(!front.is_pending(1));
+        assert_eq!(front.num_pending(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The SWAP priority heuristic `⟨Hbasic, Hfine⟩` (paper Sec. IV-D).
+//!
+//! `Hbasic` (Eq. 1) is the total coupling-distance reduction a candidate
+//! SWAP brings to the CF gates: `Σ_{g∈ICF} L(π,g) − L(π',g)`, where `L`
+//! is the hop distance between the gate's two physical endpoints and
+//! `π'` is the mapping after the SWAP. A SWAP with `Hbasic ≤ 0` brings
+//! no benefit.
+//!
+//! `Hfine` (Eq. 2) breaks ties on 2-D lattices: it prefers SWAPs that
+//! balance the vertical and horizontal distance of the remaining
+//! two-qubit gates (`−|VD − HD|`), because a balanced gate has more
+//! shortest Manhattan routes available and is less likely to be blocked
+//! by a busy qubit (paper Fig. 6).
+
+use codar_arch::{DistanceMatrix, Layout2d};
+
+/// A candidate SWAP's priority; compared lexicographically
+/// (`basic` first, then `fine`), exactly the paper's ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SwapPriority {
+    /// `Hbasic` — total distance reduction over the CF gates.
+    pub basic: i64,
+    /// `Hfine` — negated total axis imbalance under the new mapping.
+    pub fine: i64,
+}
+
+/// Remaps a physical endpoint through a candidate SWAP `(a, b)`.
+#[inline]
+fn through_swap(p: usize, swap: (usize, usize)) -> usize {
+    if p == swap.0 {
+        swap.1
+    } else if p == swap.1 {
+        swap.0
+    } else {
+        p
+    }
+}
+
+/// Computes `Hbasic` (paper Eq. 1) for a candidate SWAP of physical
+/// qubits `swap`, given the *physical endpoint pairs* of every CF
+/// two-qubit gate under the current mapping.
+pub fn h_basic(swap: (usize, usize), cf_pairs: &[(usize, usize)], dist: &DistanceMatrix) -> i64 {
+    let mut total = 0i64;
+    for &(pa, pb) in cf_pairs {
+        let old = dist.get(pa, pb);
+        let na = through_swap(pa, swap);
+        let nb = through_swap(pb, swap);
+        if na == pa && nb == pb {
+            continue; // unaffected gate contributes 0
+        }
+        let new = dist.get(na, nb);
+        total += old as i64 - new as i64;
+    }
+    total
+}
+
+/// Computes `Hfine` (paper Eq. 2) for a candidate SWAP: the negated sum
+/// of `|VD − HD|` over the CF two-qubit gates under the new mapping.
+///
+/// Gates unaffected by the SWAP contribute equally to every candidate,
+/// so including them preserves the paper's pairwise comparisons while
+/// keeping the value well-defined when one SWAP serves several gates.
+/// Returns 0 when the device has no 2-D layout.
+pub fn h_fine(
+    swap: (usize, usize),
+    cf_pairs: &[(usize, usize)],
+    layout: Option<&Layout2d>,
+) -> i64 {
+    let Some(layout) = layout else { return 0 };
+    let mut total = 0i64;
+    for &(pa, pb) in cf_pairs {
+        let na = through_swap(pa, swap);
+        let nb = through_swap(pb, swap);
+        total -= layout.axis_imbalance(na, nb) as i64;
+    }
+    total
+}
+
+/// Computes the full priority of a candidate SWAP.
+pub fn priority(
+    swap: (usize, usize),
+    cf_pairs: &[(usize, usize)],
+    dist: &DistanceMatrix,
+    layout: Option<&Layout2d>,
+    use_fine: bool,
+) -> SwapPriority {
+    SwapPriority {
+        basic: h_basic(swap, cf_pairs, dist),
+        fine: if use_fine {
+            h_fine(swap, cf_pairs, layout)
+        } else {
+            0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_arch::CouplingGraph;
+
+    #[test]
+    fn swap_toward_target_is_positive() {
+        // line 0-1-2-3, gate between phys 0 and 3.
+        let g = CouplingGraph::line(4);
+        let d = DistanceMatrix::new(&g);
+        let pairs = [(0usize, 3usize)];
+        // Swapping (0,1) moves the q at 0 to 1: distance 3 -> 2.
+        assert_eq!(h_basic((0, 1), &pairs, &d), 1);
+        // Swapping (1,2) does not involve either endpoint: 0.
+        assert_eq!(h_basic((1, 2), &pairs, &d), 0);
+    }
+
+    #[test]
+    fn swap_away_is_negative() {
+        let g = CouplingGraph::line(5);
+        let d = DistanceMatrix::new(&g);
+        let pairs = [(1usize, 3usize)];
+        // Moving endpoint 1 to 0 increases distance 2 -> 3.
+        assert_eq!(h_basic((0, 1), &pairs, &d), -1);
+    }
+
+    #[test]
+    fn multiple_gates_accumulate() {
+        let g = CouplingGraph::line(4);
+        let d = DistanceMatrix::new(&g);
+        // Two gates both benefit from moving phys 0 toward phys 2/3.
+        let pairs = [(0usize, 2usize), (0usize, 3usize)];
+        assert_eq!(h_basic((0, 1), &pairs, &d), 2);
+    }
+
+    #[test]
+    fn swap_between_both_endpoints_is_zero() {
+        let g = CouplingGraph::line(3);
+        let d = DistanceMatrix::new(&g);
+        // Gate (0,2): swapping 0 and 2 exchanges the endpoints; the
+        // distance is unchanged.
+        assert_eq!(h_basic((0, 2), &[(0, 2)], &d), 0);
+    }
+
+    #[test]
+    fn fine_prefers_balanced_routes() {
+        // 3x3 grid; gate endpoints at corners of the same row are
+        // imbalanced (|VD-HD| = 2); moving one endpoint diagonally
+        // balances it.
+        let layout = Layout2d::grid(3, 3);
+        // phys 0=(0,0), 2=(0,2), 5=(1,2)
+        // Gate (0,2): imbalance |0-2| = 2 -> Hfine = -2.
+        assert_eq!(h_fine((8, 7), &[(0, 2)], Some(&layout)), -2);
+        // Swap (2,5): gate becomes (0,5): |1-2| = 1 -> Hfine = -1 (better).
+        assert_eq!(h_fine((2, 5), &[(0, 2)], Some(&layout)), -1);
+    }
+
+    #[test]
+    fn no_layout_fine_is_zero() {
+        assert_eq!(h_fine((0, 1), &[(0, 1)], None), 0);
+    }
+
+    #[test]
+    fn priority_orders_lexicographically() {
+        let a = SwapPriority { basic: 2, fine: -5 };
+        let b = SwapPriority { basic: 1, fine: 100 };
+        let c = SwapPriority { basic: 2, fine: -3 };
+        assert!(a > b);
+        assert!(c > a);
+    }
+
+    #[test]
+    fn priority_combines_both() {
+        let g = CouplingGraph::grid(3, 3);
+        let d = DistanceMatrix::new(&g);
+        let layout = Layout2d::grid(3, 3);
+        let p = priority((0, 1), &[(0, 8)], &d, Some(&layout), true);
+        assert_eq!(p.basic, 1);
+        // New pair (1,8): VD 2, HD 1 -> fine -1.
+        assert_eq!(p.fine, -1);
+        let p0 = priority((0, 1), &[(0, 8)], &d, Some(&layout), false);
+        assert_eq!(p0.fine, 0);
+    }
+}

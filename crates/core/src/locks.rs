@@ -1,0 +1,155 @@
+//! Qubit locks `tend` (paper Sec. IV-A).
+//!
+//! When a gate of duration `τg` starts at time `t` on a qubit, that
+//! qubit's lock becomes `t + τg`: the qubit is busy before then. A qubit
+//! is *free* at time `t` iff `tend ≤ t`. Locks are what make CODAR aware
+//! of both the past program context (which qubits a started gate still
+//! occupies) and the gate duration differences (shorter gates release
+//! their qubits earlier).
+
+use codar_circuit::schedule::Time;
+
+/// Per-physical-qubit busy-until times.
+///
+/// # Examples
+///
+/// ```
+/// use codar_router::locks::QubitLocks;
+///
+/// let mut locks = QubitLocks::new(4);
+/// locks.acquire(2, 0, 2); // a CX occupying q2 during [0, 2)
+/// assert!(!locks.is_free(2, 1));
+/// assert!(locks.is_free(2, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QubitLocks {
+    tend: Vec<Time>,
+}
+
+impl QubitLocks {
+    /// All qubits free at time 0.
+    pub fn new(num_qubits: usize) -> Self {
+        QubitLocks {
+            tend: vec![0; num_qubits],
+        }
+    }
+
+    /// Number of qubits tracked.
+    pub fn len(&self) -> usize {
+        self.tend.len()
+    }
+
+    /// True when no qubits are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tend.is_empty()
+    }
+
+    /// The lock (busy-until time) of qubit `q`.
+    #[inline]
+    pub fn tend(&self, q: usize) -> Time {
+        self.tend[q]
+    }
+
+    /// Whether qubit `q` is free at time `now`.
+    #[inline]
+    pub fn is_free(&self, q: usize, now: Time) -> bool {
+        self.tend[q] <= now
+    }
+
+    /// Whether every qubit in `qs` is free at `now`.
+    pub fn all_free(&self, qs: &[usize], now: Time) -> bool {
+        qs.iter().all(|&q| self.is_free(q, now))
+    }
+
+    /// Marks qubit `q` busy from `start` for `duration` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the qubit was still locked at `start` — that
+    /// would mean two gates overlap on one qubit, violating the paper's
+    /// core assumption.
+    pub fn acquire(&mut self, q: usize, start: Time, duration: Time) {
+        debug_assert!(
+            self.tend[q] <= start,
+            "qubit {q} is locked until {} but a gate starts at {start}",
+            self.tend[q]
+        );
+        self.tend[q] = start + duration;
+    }
+
+    /// The earliest time strictly after `now` at which some lock
+    /// expires, or `None` when everything is already free.
+    pub fn next_release_after(&self, now: Time) -> Option<Time> {
+        self.tend.iter().copied().filter(|&t| t > now).min()
+    }
+
+    /// The latest lock expiry — once all emitted gates are accounted,
+    /// this is the schedule makespan.
+    pub fn makespan(&self) -> Time {
+        self.tend.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_locks_are_free() {
+        let locks = QubitLocks::new(3);
+        assert!(locks.all_free(&[0, 1, 2], 0));
+        assert_eq!(locks.makespan(), 0);
+        assert_eq!(locks.next_release_after(0), None);
+    }
+
+    #[test]
+    fn acquire_locks_until_end() {
+        let mut locks = QubitLocks::new(2);
+        locks.acquire(0, 0, 6);
+        assert!(!locks.is_free(0, 5));
+        assert!(locks.is_free(0, 6));
+        assert!(locks.is_free(1, 0));
+        assert_eq!(locks.makespan(), 6);
+    }
+
+    #[test]
+    fn paper_fig3_example() {
+        // "Qubit lock tend of qubit q is 2 means q is busy until time 2."
+        let mut locks = QubitLocks::new(1);
+        locks.acquire(0, 0, 2);
+        assert_eq!(locks.tend(0), 2);
+        assert!(!locks.is_free(0, 0));
+        assert!(!locks.is_free(0, 1));
+        assert!(locks.is_free(0, 2));
+    }
+
+    #[test]
+    fn duration_difference_frees_qubits_at_different_times() {
+        // Paper Sec. IV-A: T on q1 (1 cycle) vs CX on q0,q2 (2 cycles).
+        let mut locks = QubitLocks::new(3);
+        locks.acquire(1, 0, 1); // T
+        locks.acquire(0, 0, 2); // CX
+        locks.acquire(2, 0, 2);
+        assert!(locks.is_free(1, 1));
+        assert!(!locks.is_free(2, 1));
+        assert_eq!(locks.next_release_after(0), Some(1));
+        assert_eq!(locks.next_release_after(1), Some(2));
+    }
+
+    #[test]
+    fn sequential_acquire_after_release() {
+        let mut locks = QubitLocks::new(1);
+        locks.acquire(0, 0, 2);
+        locks.acquire(0, 2, 1);
+        assert_eq!(locks.tend(0), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn overlapping_acquire_panics_in_debug() {
+        let mut locks = QubitLocks::new(1);
+        locks.acquire(0, 0, 5);
+        locks.acquire(0, 3, 1);
+    }
+}

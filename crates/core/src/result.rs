@@ -1,0 +1,95 @@
+//! The output of a routing run.
+
+use crate::mapping::Mapping;
+use codar_circuit::schedule::Time;
+use codar_circuit::{Circuit, GateKind};
+use std::fmt;
+
+/// A hardware-compliant circuit produced by a router, together with its
+/// schedule and mapping bookkeeping.
+///
+/// The contained [`circuit`](RoutedCircuit::circuit) operates on
+/// *physical* qubits; [`initial_mapping`](RoutedCircuit::initial_mapping)
+/// records where each logical qubit started and
+/// [`final_mapping`](RoutedCircuit::final_mapping) where it ended after
+/// all inserted SWAPs.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The physical circuit (gate operands are physical qubit indices).
+    pub circuit: Circuit,
+    /// Start time of each gate in `circuit`, as scheduled by the router.
+    pub start_times: Vec<Time>,
+    /// The weighted depth (schedule makespan) under the device's
+    /// duration map — the paper's headline metric.
+    pub weighted_depth: Time,
+    /// Number of SWAPs the router inserted.
+    pub swaps_inserted: usize,
+    /// Indices (into `circuit`) of the SWAPs the router inserted — as
+    /// opposed to SWAP gates already present in the input program.
+    /// Verification folds exactly these into the mapping.
+    pub inserted_swap_indices: Vec<usize>,
+    /// The logical→physical mapping before the first gate.
+    pub initial_mapping: Mapping,
+    /// The logical→physical mapping after the last gate.
+    pub final_mapping: Mapping,
+    /// Which router produced this result (`"codar"` / `"sabre"`).
+    pub router: &'static str,
+}
+
+impl RoutedCircuit {
+    /// Unweighted depth of the routed circuit.
+    pub fn depth(&self) -> usize {
+        self.circuit.depth()
+    }
+
+    /// Total gate count including inserted SWAPs.
+    pub fn gate_count(&self) -> usize {
+        self.circuit.len()
+    }
+
+    /// Count of SWAP gates present in the output.
+    pub fn swap_gates(&self) -> usize {
+        self.circuit.count_kind(GateKind::Swap)
+    }
+}
+
+impl fmt::Display for RoutedCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates (+{} swaps), weighted depth {}",
+            self.router,
+            self.circuit.len(),
+            self.swaps_inserted,
+            self.weighted_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.swap(1, 2);
+        let r = RoutedCircuit {
+            circuit: c,
+            start_times: vec![0, 2],
+            weighted_depth: 8,
+            swaps_inserted: 1,
+            inserted_swap_indices: vec![1],
+            initial_mapping: Mapping::identity(3, 3),
+            final_mapping: Mapping::identity(3, 3),
+            router: "codar",
+        };
+        assert_eq!(r.gate_count(), 2);
+        assert_eq!(r.swap_gates(), 1);
+        assert_eq!(r.depth(), 2);
+        let text = r.to_string();
+        assert!(text.contains("codar"));
+        assert!(text.contains("weighted depth 8"));
+    }
+}

@@ -1,0 +1,475 @@
+//! The SABRE baseline router (Li, Ding, Xie — "Tackling the Qubit
+//! Mapping Problem for NISQ-Era Quantum Devices", ASPLOS 2019).
+//!
+//! SABRE is the best-known heuristic the paper compares against (Sec. V).
+//! It is duration-unaware: it maintains a data-dependence *front layer*
+//! `F`, executes every executable gate in `F`, and otherwise applies the
+//! SWAP minimizing
+//!
+//! ```text
+//! H = 1/|F| Σ_{g∈F} D[π(g.q1)][π(g.q2)]
+//!   + W · 1/|E| Σ_{g∈E} D[π(g.q1)][π(g.q2)]
+//! ```
+//!
+//! scaled by a per-qubit *decay* factor that discourages consecutive
+//! SWAPs on the same qubits (improving parallelism). `E` is a bounded
+//! *extended set* of lookahead successors. The *reverse traversal*
+//! technique runs the router forward and backward to derive a good
+//! initial mapping; the paper (and this reproduction) feeds the same
+//! initial mapping to both SABRE and CODAR for a fair comparison.
+
+use crate::codar::validate;
+use crate::error::RouteError;
+use crate::mapping::Mapping;
+use crate::result::RoutedCircuit;
+use codar_arch::Device;
+use codar_circuit::dag::FrontTracker;
+use codar_circuit::schedule::Schedule;
+use codar_circuit::{Circuit, CircuitDag, GateKind};
+
+/// Tuning knobs for [`SabreRouter`], defaulting to the published values.
+#[derive(Debug, Clone)]
+pub struct SabreConfig {
+    /// Weight `W` of the extended set in the cost function.
+    pub extended_set_weight: f64,
+    /// Maximum size of the extended set `E`.
+    pub extended_set_size: usize,
+    /// Additive decay increment per SWAP on a qubit.
+    pub decay_delta: f64,
+    /// Number of SWAP selections after which decay factors reset.
+    pub decay_reset_interval: usize,
+    /// Seed for the reverse-traversal initial mapping.
+    pub seed: u64,
+}
+
+impl Default for SabreConfig {
+    fn default() -> Self {
+        SabreConfig {
+            extended_set_weight: 0.5,
+            extended_set_size: 20,
+            decay_delta: 0.001,
+            decay_reset_interval: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// The SABRE router bound to a device.
+///
+/// # Examples
+///
+/// ```
+/// use codar_arch::Device;
+/// use codar_circuit::Circuit;
+/// use codar_router::SabreRouter;
+///
+/// # fn main() -> Result<(), codar_router::RouteError> {
+/// use codar_router::Mapping;
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 2);
+/// let device = Device::linear(3);
+/// let routed = SabreRouter::new(&device)
+///     .route_with_mapping(&c, Mapping::identity(3, 3))?;
+/// assert!(routed.swaps_inserted >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SabreRouter {
+    device: Device,
+    config: SabreConfig,
+}
+
+impl SabreRouter {
+    /// Creates a router with the published default parameters.
+    pub fn new(device: &Device) -> Self {
+        SabreRouter {
+            device: device.clone(),
+            config: SabreConfig::default(),
+        }
+    }
+
+    /// Creates a router with an explicit configuration.
+    pub fn with_config(device: &Device, config: SabreConfig) -> Self {
+        SabreRouter {
+            device: device.clone(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SabreConfig {
+        &self.config
+    }
+
+    /// Routes `circuit` with a reverse-traversal initial mapping.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::CodarRouter::route`].
+    pub fn route(&self, circuit: &Circuit) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, &self.device)?;
+        let initial = reverse_traversal_mapping(circuit, &self.device, self.config.seed);
+        self.route_with_mapping(circuit, initial)
+    }
+
+    /// Routes `circuit` from an explicit initial mapping.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::CodarRouter::route`].
+    pub fn route_with_mapping(
+        &self,
+        circuit: &Circuit,
+        initial: Mapping,
+    ) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, &self.device)?;
+        let (out, final_mapping, swaps) =
+            route_core(circuit, &self.device, initial.clone(), &self.config)?;
+        let tau = self.device.durations().clone();
+        let schedule = Schedule::asap(&out, |g| tau.of(g));
+        Ok(RoutedCircuit {
+            weighted_depth: schedule.makespan,
+            start_times: schedule.start,
+            circuit: out,
+            swaps_inserted: swaps.len(),
+            inserted_swap_indices: swaps,
+            initial_mapping: initial,
+            final_mapping,
+            router: "sabre",
+        })
+    }
+}
+
+/// One forward SABRE pass. Returns the physical circuit, the final
+/// mapping and the output indices of the inserted SWAPs.
+fn route_core(
+    circuit: &Circuit,
+    device: &Device,
+    mut pi: Mapping,
+    config: &SabreConfig,
+) -> Result<(Circuit, Mapping, Vec<usize>), RouteError> {
+    let graph = device.graph();
+    let dist = device.distances();
+    let dag = CircuitDag::new(circuit);
+    let mut tracker = FrontTracker::new(&dag);
+    let mut out = Circuit::with_bits(device.num_qubits(), circuit.num_bits());
+    let mut decay = vec![1.0f64; device.num_qubits()];
+    let mut inserted_swaps: Vec<usize> = Vec::new();
+    let mut swaps_since_reset = 0usize;
+    // Safety valve: SABRE provably terminates with decay in practice,
+    // but we bound the run to fail loudly instead of hanging.
+    let budget = 1000 + circuit.len() * (dist.diameter().max(1) as usize) * 8;
+
+    while !tracker.is_done() {
+        // Execute every executable gate in the front layer.
+        let mut executed = false;
+        loop {
+            let executable: Vec<usize> = tracker
+                .front()
+                .iter()
+                .copied()
+                .filter(|&g| {
+                    let gate = &circuit.gates()[g];
+                    match gate.kind {
+                        GateKind::Barrier => true,
+                        _ if gate.qubits.len() == 2 => {
+                            graph.are_adjacent(pi.phys_of(gate.qubits[0]), pi.phys_of(gate.qubits[1]))
+                        }
+                        _ => true,
+                    }
+                })
+                .collect();
+            if executable.is_empty() {
+                break;
+            }
+            for g in executable {
+                let gate = &circuit.gates()[g];
+                let phys: Vec<usize> = gate.qubits.iter().map(|&q| pi.phys_of(q)).collect();
+                let mut mapped = gate.clone();
+                mapped.qubits = phys;
+                out.push(mapped);
+                tracker.resolve(g, &dag);
+            }
+            executed = true;
+        }
+        if tracker.is_done() {
+            break;
+        }
+        if executed {
+            // Gate progress resets the decay window (as in the paper's
+            // reference implementation).
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            swaps_since_reset = 0;
+        }
+
+        // All front gates are blocked two-qubit gates now. Collect the
+        // extended set: successors of the front, breadth-first, bounded.
+        let front: Vec<usize> = tracker.front().to_vec();
+        let mut extended: Vec<usize> = Vec::new();
+        let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
+        let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
+        while let Some(g) = queue.pop_front() {
+            if extended.len() >= config.extended_set_size {
+                break;
+            }
+            for &s in dag.successors(g) {
+                if seen.insert(s) {
+                    if circuit.gates()[s].qubits.len() == 2 {
+                        extended.push(s);
+                    }
+                    queue.push_back(s);
+                }
+            }
+        }
+
+        // Candidate SWAPs: edges touching any front gate's endpoints.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for &g in &front {
+            for &q in &circuit.gates()[g].qubits {
+                let p = pi.phys_of(q);
+                for &nb in graph.neighbors(p) {
+                    let edge = (p.min(nb), p.max(nb));
+                    if !candidates.contains(&edge) {
+                        candidates.push(edge);
+                    }
+                }
+            }
+        }
+        debug_assert!(!candidates.is_empty(), "front gates always touch edges");
+
+        let score = |edge: (usize, usize), pi: &Mapping| -> f64 {
+            let dist_through = |g: usize| -> f64 {
+                let q = &circuit.gates()[g].qubits;
+                let mut a = pi.phys_of(q[0]);
+                let mut b = pi.phys_of(q[1]);
+                if a == edge.0 {
+                    a = edge.1;
+                } else if a == edge.1 {
+                    a = edge.0;
+                }
+                if b == edge.0 {
+                    b = edge.1;
+                } else if b == edge.1 {
+                    b = edge.0;
+                }
+                dist.get(a, b) as f64
+            };
+            let f_term: f64 = front
+                .iter()
+                .filter(|&&g| circuit.gates()[g].qubits.len() == 2)
+                .map(|&g| dist_through(g))
+                .sum::<f64>()
+                / front.len().max(1) as f64;
+            let e_term: f64 = if extended.is_empty() {
+                0.0
+            } else {
+                config.extended_set_weight
+                    * extended.iter().map(|&g| dist_through(g)).sum::<f64>()
+                    / extended.len() as f64
+            };
+            let decay_factor = decay[edge.0].max(decay[edge.1]);
+            decay_factor * (f_term + e_term)
+        };
+
+        let best = candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                score(a, &pi)
+                    .partial_cmp(&score(b, &pi))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.cmp(&b))
+            })
+            .expect("candidates is non-empty");
+
+        inserted_swaps.push(out.len());
+        out.add(GateKind::Swap, vec![best.0, best.1], vec![]);
+        pi.apply_swap(best.0, best.1);
+        decay[best.0] += config.decay_delta;
+        decay[best.1] += config.decay_delta;
+        swaps_since_reset += 1;
+        if swaps_since_reset >= config.decay_reset_interval {
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            swaps_since_reset = 0;
+        }
+        if inserted_swaps.len() > budget {
+            // A disconnected pair is the only way to make no progress.
+            let g = front[0];
+            let q = &circuit.gates()[g].qubits;
+            return Err(RouteError::Disconnected {
+                a: pi.phys_of(q[0]),
+                b: pi.phys_of(q[1]),
+            });
+        }
+    }
+    Ok((out, pi, inserted_swaps))
+}
+
+/// SABRE's reverse-traversal initial mapping (shared by both routers in
+/// the experiments, as in the paper).
+///
+/// Routes the circuit forward from a seeded random placement, routes the
+/// reversed circuit from the resulting final mapping, and returns that
+/// pass's final mapping: it reflects where the *early* gates of the
+/// forward circuit want their qubits.
+///
+/// Falls back to the identity mapping for circuits with no two-qubit
+/// gates or devices where routing fails (disconnected graphs).
+pub fn reverse_traversal_mapping(circuit: &Circuit, device: &Device, seed: u64) -> Mapping {
+    let config = SabreConfig {
+        seed,
+        ..SabreConfig::default()
+    };
+    let start = crate::mapping::InitialMapping::Random { seed }.build(circuit, device);
+    let Ok((_, after_forward, _)) = route_core(circuit, device, start, &config) else {
+        return Mapping::identity(circuit.num_qubits(), device.num_qubits());
+    };
+    let reversed = circuit.reversed();
+    match route_core(&reversed, device, after_forward, &config) {
+        Ok((_, after_backward, _)) => after_backward,
+        Err(_) => Mapping::identity(circuit.num_qubits(), device.num_qubits()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_coupling, check_equivalence};
+    use codar_arch::Device;
+
+    fn route_identity(device: &Device, circuit: &Circuit) -> RoutedCircuit {
+        SabreRouter::new(device)
+            .route_with_mapping(
+                circuit,
+                Mapping::identity(circuit.num_qubits(), device.num_qubits()),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn adjacent_gates_pass_through() {
+        let device = Device::linear(3);
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        let r = route_identity(&device, &c);
+        assert_eq!(r.swaps_inserted, 0);
+        check_coupling(&r.circuit, &device).unwrap();
+    }
+
+    #[test]
+    fn distant_gate_gets_routed() {
+        let device = Device::linear(5);
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let r = route_identity(&device, &c);
+        assert!(r.swaps_inserted >= 3);
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+    }
+
+    #[test]
+    fn preserves_gate_order_semantics() {
+        let device = Device::grid(2, 3);
+        let mut c = Circuit::new(5);
+        c.h(0);
+        c.cx(0, 4);
+        c.cx(4, 2);
+        c.t(2);
+        c.cx(2, 0);
+        c.measure(0, 0);
+        let r = route_identity(&device, &c);
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+    }
+
+    #[test]
+    fn reverse_traversal_is_deterministic() {
+        let device = Device::ibm_q20_tokyo();
+        let mut c = Circuit::new(6);
+        for i in 0..5 {
+            c.cx(i, i + 1);
+        }
+        c.cx(0, 5);
+        let a = reverse_traversal_mapping(&c, &device, 42);
+        let b = reverse_traversal_mapping(&c, &device, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reverse_traversal_differs_by_seed() {
+        let device = Device::ibm_q20_tokyo();
+        let mut c = Circuit::new(6);
+        for i in 0..5 {
+            c.cx(i, i + 1);
+        }
+        let a = reverse_traversal_mapping(&c, &device, 1);
+        let b = reverse_traversal_mapping(&c, &device, 2);
+        // Different seeds usually give different placements; at minimum
+        // both are valid injective mappings.
+        let check = |m: &Mapping| {
+            let mut seen = std::collections::BTreeSet::new();
+            for l in 0..6 {
+                assert!(seen.insert(m.phys_of(l)));
+            }
+        };
+        check(&a);
+        check(&b);
+    }
+
+    #[test]
+    fn qft_on_tokyo_is_compliant() {
+        let device = Device::ibm_q20_tokyo();
+        let mut c = Circuit::new(8);
+        for i in 0..8usize {
+            c.h(i);
+            for j in i + 1..8 {
+                c.cu1(0.5, j, i);
+            }
+        }
+        let r = SabreRouter::new(&device).route(&c).unwrap();
+        check_coupling(&r.circuit, &device).unwrap();
+        check_equivalence(&c, &r).unwrap();
+    }
+
+    #[test]
+    fn barrier_handled() {
+        let device = Device::linear(3);
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.barrier(vec![0, 1, 2]);
+        c.cx(0, 2);
+        let r = route_identity(&device, &c);
+        check_coupling(&r.circuit, &device).unwrap();
+        assert_eq!(r.circuit.count_kind(GateKind::Barrier), 1);
+    }
+
+    #[test]
+    fn disconnected_is_error() {
+        let graph = codar_arch::CouplingGraph::new(4, &[(0, 1), (2, 3)]);
+        let device = Device::from_graph("split", graph);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let err = SabreRouter::new(&device)
+            .route_with_mapping(&c, Mapping::identity(4, 4))
+            .unwrap_err();
+        assert!(matches!(err, RouteError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn weighted_depth_consistent_with_schedule() {
+        let device = Device::linear(4);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        c.t(1);
+        let r = route_identity(&device, &c);
+        let tau = device.durations().clone();
+        assert_eq!(
+            r.weighted_depth,
+            codar_circuit::weighted_depth(&r.circuit, |g| tau.of(g))
+        );
+    }
+}

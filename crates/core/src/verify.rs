@@ -1,0 +1,301 @@
+//! Validity and equivalence checks for routed circuits.
+//!
+//! Routing must (a) respect the coupling graph and (b) preserve the
+//! program's semantics up to the tracked qubit permutation. These checks
+//! are used throughout the test suite and are cheap enough to run after
+//! every experiment.
+
+use crate::error::RouteError;
+use crate::mapping::Mapping;
+use crate::result::RoutedCircuit;
+use codar_arch::Device;
+use codar_circuit::{commutes, Circuit, Gate, GateKind};
+
+/// Checks that every two-qubit gate of `circuit` acts on a coupled pair.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Verification`] naming the first offending gate.
+pub fn check_coupling(circuit: &Circuit, device: &Device) -> Result<(), RouteError> {
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        if gate.qubits.len() == 2
+            && gate.kind != GateKind::Barrier
+            && !device.graph().are_adjacent(gate.qubits[0], gate.qubits[1])
+        {
+            return Err(RouteError::Verification(format!(
+                "gate #{i} ({gate}) acts on uncoupled physical qubits"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Undoes the routing: walks the physical circuit, tracking the
+/// physical→logical correspondence through the *router-inserted* SWAPs
+/// (given by output index in `inserted`, ascending), and returns the
+/// circuit re-expressed on logical qubits with those SWAPs removed.
+/// SWAP gates that came from the input program are kept as gates.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Verification`] if a non-SWAP gate touches a
+/// physical qubit that holds no logical qubit.
+pub fn reconstruct_logical(
+    routed: &Circuit,
+    initial: &Mapping,
+    logical_qubits: usize,
+    inserted: &[usize],
+) -> Result<Circuit, RouteError> {
+    let mut pi = initial.clone();
+    let mut out = Circuit::with_bits(logical_qubits, routed.num_bits());
+    let mut inserted_iter = inserted.iter().peekable();
+    for (i, gate) in routed.gates().iter().enumerate() {
+        if inserted_iter.peek() == Some(&&i) {
+            inserted_iter.next();
+            if gate.kind != GateKind::Swap {
+                return Err(RouteError::Verification(format!(
+                    "inserted-swap index {i} does not point at a SWAP (found {gate})"
+                )));
+            }
+            pi.apply_swap(gate.qubits[0], gate.qubits[1]);
+            continue;
+        }
+        let logical: Option<Vec<usize>> =
+            gate.qubits.iter().map(|&p| pi.logical_of(p)).collect();
+        let Some(logical) = logical else {
+            // Barriers may legitimately cover unoccupied qubits; drop
+            // those operands instead of failing.
+            if gate.kind == GateKind::Barrier {
+                let kept: Vec<usize> = gate
+                    .qubits
+                    .iter()
+                    .filter_map(|&p| pi.logical_of(p))
+                    .collect();
+                out.push(Gate::barrier(kept));
+                continue;
+            }
+            return Err(RouteError::Verification(format!(
+                "gate {gate} touches an unoccupied physical qubit"
+            )));
+        };
+        let mut mapped = gate.clone();
+        mapped.qubits = logical;
+        out.push(mapped);
+    }
+    Ok(out)
+}
+
+/// Checks that `routed` implements `original` exactly, up to
+/// commutation-safe reordering and the tracked qubit movement.
+///
+/// The check reconstructs the logical circuit (see
+/// [`reconstruct_logical`]), matches each original gate to its k-th
+/// identical occurrence, and verifies that every *non-commuting* pair of
+/// gates appears in the same relative order — which implies the two
+/// circuits denote the same operator. O(n²) in gate count; intended for
+/// tests and experiment validation, not hot loops.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Verification`] describing the first mismatch.
+pub fn check_equivalence(original: &Circuit, routed: &RoutedCircuit) -> Result<(), RouteError> {
+    let logical = reconstruct_logical(
+        &routed.circuit,
+        &routed.initial_mapping,
+        original.num_qubits(),
+        &routed.inserted_swap_indices,
+    )?;
+    if logical.len() != original.len() {
+        return Err(RouteError::Verification(format!(
+            "gate count mismatch: original {} vs reconstructed {}",
+            original.len(),
+            logical.len()
+        )));
+    }
+    // Match each reconstructed gate to an original occurrence.
+    let key = |g: &Gate| {
+        (
+            g.kind,
+            g.qubits.clone(),
+            g.params.iter().map(|p| p.to_bits()).collect::<Vec<u64>>(),
+            g.classical_bit,
+        )
+    };
+    let mut occurrence: std::collections::HashMap<_, std::collections::VecDeque<usize>> =
+        std::collections::HashMap::new();
+    for (i, g) in original.gates().iter().enumerate() {
+        occurrence.entry(key(g)).or_default().push_back(i);
+    }
+    // position_in_original[j] = index of the original gate that the j-th
+    // reconstructed gate realizes.
+    let mut position_in_original = Vec::with_capacity(logical.len());
+    for g in logical.gates() {
+        let Some(queue) = occurrence.get_mut(&key(g)) else {
+            return Err(RouteError::Verification(format!(
+                "reconstructed gate {g} does not occur in the original circuit"
+            )));
+        };
+        let Some(idx) = queue.pop_front() else {
+            return Err(RouteError::Verification(format!(
+                "gate {g} occurs more often in the routed circuit"
+            )));
+        };
+        position_in_original.push(idx);
+    }
+    // Every non-commuting pair must keep its original relative order.
+    for j in 0..logical.len() {
+        for k in j + 1..logical.len() {
+            let a = &logical.gates()[j];
+            let b = &logical.gates()[k];
+            if !commutes(a, b) && position_in_original[j] > position_in_original[k] {
+                return Err(RouteError::Verification(format!(
+                    "non-commuting gates reordered: {a} (orig #{}) now precedes {b} (orig #{})",
+                    position_in_original[j], position_in_original[k]
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_circuit::schedule::Time;
+
+    fn wrap(original: &Circuit, physical: Circuit, initial: Mapping) -> RoutedCircuit {
+        let _ = original;
+        // In these hand-built fixtures every SWAP is router-inserted.
+        let inserted: Vec<usize> = physical
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == GateKind::Swap)
+            .map(|(i, _)| i)
+            .collect();
+        RoutedCircuit {
+            start_times: vec![0; physical.len()],
+            weighted_depth: 0 as Time,
+            swaps_inserted: inserted.len(),
+            inserted_swap_indices: inserted,
+            initial_mapping: initial.clone(),
+            final_mapping: initial,
+            circuit: physical,
+            router: "test",
+        }
+    }
+
+    #[test]
+    fn coupling_check_flags_bad_gate() {
+        let device = Device::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let err = check_coupling(&c, &device).unwrap_err();
+        assert!(err.to_string().contains("uncoupled"));
+        let mut ok = Circuit::new(3);
+        ok.cx(0, 1);
+        check_coupling(&ok, &device).unwrap();
+    }
+
+    #[test]
+    fn reconstruction_inverts_a_swap() {
+        // Physical: swap(1,2); cx(0,1)  with identity init
+        // Logical q2 moves to phys 1, so cx(0,1) realizes cx(0,2).
+        let mut phys = Circuit::new(3);
+        phys.swap(1, 2);
+        phys.cx(0, 1);
+        let logical = reconstruct_logical(&phys, &Mapping::identity(3, 3), 3, &[0]).unwrap();
+        assert_eq!(logical.len(), 1);
+        assert_eq!(logical.gates()[0].qubits, vec![0, 2]);
+    }
+
+    #[test]
+    fn user_swaps_survive_reconstruction() {
+        // The same physical circuit, but the SWAP belongs to the input
+        // program: it must stay a gate and the CX maps back unchanged.
+        let mut phys = Circuit::new(3);
+        phys.swap(1, 2);
+        phys.cx(0, 1);
+        let logical = reconstruct_logical(&phys, &Mapping::identity(3, 3), 3, &[]).unwrap();
+        assert_eq!(logical.len(), 2);
+        assert_eq!(logical.gates()[0].kind, GateKind::Swap);
+        assert_eq!(logical.gates()[1].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    fn equivalence_accepts_faithful_routing() {
+        let mut original = Circuit::new(3);
+        original.cx(0, 2);
+        original.h(0);
+        let mut phys = Circuit::new(3);
+        phys.swap(1, 2);
+        phys.cx(0, 1);
+        phys.h(0);
+        let routed = wrap(&original, phys, Mapping::identity(3, 3));
+        check_equivalence(&original, &routed).unwrap();
+    }
+
+    #[test]
+    fn equivalence_accepts_commuting_reorder() {
+        // Original: cx(1,0); cx(2,0)  (share target: commute)
+        let mut original = Circuit::new(3);
+        original.cx(1, 0);
+        original.cx(2, 0);
+        let mut phys = Circuit::new(3);
+        phys.cx(2, 0); // reordered — allowed
+        phys.cx(1, 0);
+        let routed = wrap(&original, phys, Mapping::identity(3, 3));
+        check_equivalence(&original, &routed).unwrap();
+    }
+
+    #[test]
+    fn equivalence_rejects_noncommuting_reorder() {
+        let mut original = Circuit::new(2);
+        original.h(0);
+        original.t(0);
+        let mut phys = Circuit::new(2);
+        phys.t(0);
+        phys.h(0);
+        let routed = wrap(&original, phys, Mapping::identity(2, 2));
+        let err = check_equivalence(&original, &routed).unwrap_err();
+        assert!(err.to_string().contains("reordered"));
+    }
+
+    #[test]
+    fn equivalence_rejects_missing_gate() {
+        let mut original = Circuit::new(2);
+        original.h(0);
+        original.t(0);
+        let mut phys = Circuit::new(2);
+        phys.h(0);
+        let routed = wrap(&original, phys, Mapping::identity(2, 2));
+        assert!(check_equivalence(&original, &routed).is_err());
+    }
+
+    #[test]
+    fn equivalence_rejects_wrong_qubit() {
+        let mut original = Circuit::new(2);
+        original.h(0);
+        let mut phys = Circuit::new(2);
+        phys.h(1);
+        let routed = wrap(&original, phys, Mapping::identity(2, 2));
+        assert!(check_equivalence(&original, &routed).is_err());
+    }
+
+    #[test]
+    fn unoccupied_qubit_in_gate_is_error() {
+        // 1 logical on 2 physical; gate on phys 1 (empty) is invalid.
+        let mut phys = Circuit::new(2);
+        phys.h(1);
+        let err = reconstruct_logical(&phys, &Mapping::identity(1, 2), 1, &[]).unwrap_err();
+        assert!(err.to_string().contains("unoccupied"));
+    }
+
+    #[test]
+    fn barrier_over_unoccupied_qubits_is_tolerated() {
+        let mut phys = Circuit::new(3);
+        phys.barrier(vec![0, 2]); // phys 2 unoccupied
+        let logical = reconstruct_logical(&phys, &Mapping::identity(1, 3), 1, &[]).unwrap();
+        assert_eq!(logical.gates()[0].qubits, vec![0]);
+    }
+}

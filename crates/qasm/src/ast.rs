@@ -1,0 +1,296 @@
+//! Abstract syntax tree for OpenQASM 2.0 programs.
+
+use std::fmt;
+
+/// A parameter expression appearing in a gate application or definition.
+///
+/// Expressions are evaluated to `f64` during semantic analysis; inside gate
+/// bodies they may refer to the formal parameters of the enclosing `gate`
+/// definition by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A real literal such as `0.5`.
+    Real(f64),
+    /// An integer literal such as `3`.
+    Int(u64),
+    /// The constant `pi`.
+    Pi,
+    /// A reference to a formal gate parameter.
+    Param(String),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Built-in unary function call (`sin`, `cos`, `tan`, `exp`, `ln`, `sqrt`).
+    Call(UnaryFn, Box<Expr>),
+}
+
+/// Binary arithmetic operators usable in parameter expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Addition `+`.
+    Add,
+    /// Subtraction `-`.
+    Sub,
+    /// Multiplication `*`.
+    Mul,
+    /// Division `/`.
+    Div,
+    /// Exponentiation `^` (right associative).
+    Pow,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryOp::Add => write!(f, "+"),
+            BinaryOp::Sub => write!(f, "-"),
+            BinaryOp::Mul => write!(f, "*"),
+            BinaryOp::Div => write!(f, "/"),
+            BinaryOp::Pow => write!(f, "^"),
+        }
+    }
+}
+
+/// Built-in unary functions of the OpenQASM expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryFn {
+    /// `sin`
+    Sin,
+    /// `cos`
+    Cos,
+    /// `tan`
+    Tan,
+    /// `exp`
+    Exp,
+    /// `ln`
+    Ln,
+    /// `sqrt`
+    Sqrt,
+}
+
+impl UnaryFn {
+    /// Looks up a function by its OpenQASM name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sin" => Some(UnaryFn::Sin),
+            "cos" => Some(UnaryFn::Cos),
+            "tan" => Some(UnaryFn::Tan),
+            "exp" => Some(UnaryFn::Exp),
+            "ln" => Some(UnaryFn::Ln),
+            "sqrt" => Some(UnaryFn::Sqrt),
+            _ => None,
+        }
+    }
+
+    /// The OpenQASM surface name of this function.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryFn::Sin => "sin",
+            UnaryFn::Cos => "cos",
+            UnaryFn::Tan => "tan",
+            UnaryFn::Exp => "exp",
+            UnaryFn::Ln => "ln",
+            UnaryFn::Sqrt => "sqrt",
+        }
+    }
+
+    /// Applies this function to a value.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnaryFn::Sin => x.sin(),
+            UnaryFn::Cos => x.cos(),
+            UnaryFn::Tan => x.tan(),
+            UnaryFn::Exp => x.exp(),
+            UnaryFn::Ln => x.ln(),
+            UnaryFn::Sqrt => x.sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for UnaryFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A reference to a whole register (`q`) or a single element (`q[2]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Argument {
+    /// The register name.
+    pub register: String,
+    /// The element index, or `None` for whole-register broadcast.
+    pub index: Option<u64>,
+}
+
+impl Argument {
+    /// A whole-register reference `name`.
+    pub fn register(name: impl Into<String>) -> Self {
+        Argument {
+            register: name.into(),
+            index: None,
+        }
+    }
+
+    /// A single-element reference `name[index]`.
+    pub fn indexed(name: impl Into<String>, index: u64) -> Self {
+        Argument {
+            register: name.into(),
+            index: Some(index),
+        }
+    }
+}
+
+impl fmt::Display for Argument {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{}]", self.register, i),
+            None => write!(f, "{}", self.register),
+        }
+    }
+}
+
+/// A quantum operation as written in the source: gate name, parameter
+/// expressions and operand list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCall {
+    /// Gate name (`U` and `CX` are spelled exactly so).
+    pub name: String,
+    /// Parameter expressions (empty when the gate takes no parameters).
+    pub params: Vec<Expr>,
+    /// Quantum operands.
+    pub args: Vec<Argument>,
+}
+
+/// A statement inside a `gate` body: either a gate call or a `barrier`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateBodyStmt {
+    /// Application of a gate to formal qubit arguments.
+    Call(GateCall),
+    /// `barrier` over formal arguments.
+    Barrier(Vec<Argument>),
+}
+
+/// A user (or library) `gate` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateDef {
+    /// The gate's name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Formal qubit argument names.
+    pub qargs: Vec<String>,
+    /// The body, in terms of the formal names.
+    pub body: Vec<GateBodyStmt>,
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `qreg name[size];`
+    QReg {
+        /// Register name.
+        name: String,
+        /// Number of qubits.
+        size: u64,
+    },
+    /// `creg name[size];`
+    CReg {
+        /// Register name.
+        name: String,
+        /// Number of bits.
+        size: u64,
+    },
+    /// `include "file";` — recorded for fidelity; `qelib1.inc` is resolved
+    /// internally during semantic analysis.
+    Include(String),
+    /// A gate definition.
+    GateDef(GateDef),
+    /// `opaque name(params) qargs;`
+    Opaque {
+        /// Gate name.
+        name: String,
+        /// Formal parameter names.
+        params: Vec<String>,
+        /// Formal qubit argument names.
+        qargs: Vec<String>,
+    },
+    /// Application of a gate at the top level.
+    GateCall(GateCall),
+    /// `measure src -> dst;`
+    Measure {
+        /// Quantum source.
+        src: Argument,
+        /// Classical destination.
+        dst: Argument,
+    },
+    /// `reset arg;`
+    Reset(Argument),
+    /// `barrier args;`
+    Barrier(Vec<Argument>),
+    /// `if (creg == value) stmt;`
+    If {
+        /// Classical register compared.
+        creg: String,
+        /// Comparison value.
+        value: u64,
+        /// The guarded operation.
+        then: Box<Statement>,
+    },
+}
+
+/// A parsed OpenQASM 2.0 program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Declared language version (major, minor); `(2, 0)` for OpenQASM 2.0.
+    pub version: (u32, u32),
+    /// Top-level statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+impl Program {
+    /// Creates an empty OpenQASM 2.0 program.
+    pub fn new() -> Self {
+        Program {
+            version: (2, 0),
+            statements: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_fn_round_trip() {
+        for f in [
+            UnaryFn::Sin,
+            UnaryFn::Cos,
+            UnaryFn::Tan,
+            UnaryFn::Exp,
+            UnaryFn::Ln,
+            UnaryFn::Sqrt,
+        ] {
+            assert_eq!(UnaryFn::from_name(f.name()), Some(f));
+        }
+        assert_eq!(UnaryFn::from_name("sinh"), None);
+    }
+
+    #[test]
+    fn unary_fn_apply() {
+        assert!((UnaryFn::Sqrt.apply(4.0) - 2.0).abs() < 1e-12);
+        assert!((UnaryFn::Ln.apply(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argument_display() {
+        assert_eq!(Argument::register("q").to_string(), "q");
+        assert_eq!(Argument::indexed("q", 3).to_string(), "q[3]");
+    }
+
+    #[test]
+    fn program_default_version() {
+        assert_eq!(Program::new().version, (2, 0));
+    }
+}

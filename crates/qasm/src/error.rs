@@ -1,0 +1,114 @@
+//! Error types for the OpenQASM frontend.
+
+use crate::token::Pos;
+use std::error::Error;
+use std::fmt;
+
+/// What category of failure occurred while processing OpenQASM source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QasmErrorKind {
+    /// The lexer met a character it cannot tokenize.
+    Lex,
+    /// The parser met an unexpected token.
+    Parse,
+    /// Semantic analysis failed (unknown names, arity/range errors, …).
+    Semantic,
+}
+
+impl fmt::Display for QasmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmErrorKind::Lex => write!(f, "lexical error"),
+            QasmErrorKind::Parse => write!(f, "parse error"),
+            QasmErrorKind::Semantic => write!(f, "semantic error"),
+        }
+    }
+}
+
+/// An error raised by any stage of the OpenQASM frontend.
+///
+/// Carries the failing stage, a human-readable message and, when known,
+/// the source position of the offending construct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QasmError {
+    kind: QasmErrorKind,
+    message: String,
+    pos: Option<Pos>,
+}
+
+impl QasmError {
+    /// Creates an error of the given kind at a known source position.
+    pub fn at(kind: QasmErrorKind, pos: Pos, message: impl Into<String>) -> Self {
+        QasmError {
+            kind,
+            message: message.into(),
+            pos: Some(pos),
+        }
+    }
+
+    /// Creates an error of the given kind without position information.
+    pub fn new(kind: QasmErrorKind, message: impl Into<String>) -> Self {
+        QasmError {
+            kind,
+            message: message.into(),
+            pos: None,
+        }
+    }
+
+    /// The stage that produced this error.
+    pub fn kind(&self) -> &QasmErrorKind {
+        &self.kind
+    }
+
+    /// The source position of the offending construct, when known.
+    pub fn pos(&self) -> Option<Pos> {
+        self.pos
+    }
+
+    /// The human-readable message (without stage or position prefix).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "{} at {}: {}", self.kind, pos, self.message),
+            None => write!(f, "{}: {}", self.kind, self.message),
+        }
+    }
+}
+
+impl Error for QasmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_position() {
+        let e = QasmError::at(QasmErrorKind::Parse, Pos::new(2, 7), "unexpected `;`");
+        assert_eq!(e.to_string(), "parse error at 2:7: unexpected `;`");
+    }
+
+    #[test]
+    fn display_without_position() {
+        let e = QasmError::new(QasmErrorKind::Semantic, "unknown gate `foo`");
+        assert_eq!(e.to_string(), "semantic error: unknown gate `foo`");
+    }
+
+    #[test]
+    fn accessors() {
+        let e = QasmError::at(QasmErrorKind::Lex, Pos::new(1, 1), "bad char");
+        assert_eq!(*e.kind(), QasmErrorKind::Lex);
+        assert_eq!(e.pos(), Some(Pos::new(1, 1)));
+        assert_eq!(e.message(), "bad char");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QasmError>();
+    }
+}

@@ -1,0 +1,395 @@
+//! Hand-written lexer for OpenQASM 2.0.
+//!
+//! Supports `//` line comments, real and integer literals, string literals
+//! (for `include`), all punctuation used by the language, and distinguishes
+//! keywords from identifiers. Every token carries its source [`Pos`].
+
+use crate::error::{QasmError, QasmErrorKind};
+use crate::token::{Pos, Token, TokenKind};
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Possible `//` comment; a lone `/` is the division
+                    // operator and must be left for the token loop.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'/') {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    } else {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: Pos) -> Result<Token, QasmError> {
+        let mut text = String::new();
+        let mut is_real = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                is_real = true;
+                text.push(c);
+                self.bump();
+            } else if c == 'e' || c == 'E' {
+                // Exponent part; may be followed by a sign.
+                is_real = true;
+                text.push(c);
+                self.bump();
+                if let Some(s) = self.peek() {
+                    if s == '+' || s == '-' {
+                        text.push(s);
+                        self.bump();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if is_real {
+            text.parse::<f64>()
+                .map(|x| Token::new(TokenKind::Real(x), start))
+                .map_err(|_| {
+                    QasmError::at(QasmErrorKind::Lex, start, format!("invalid real literal `{text}`"))
+                })
+        } else {
+            text.parse::<u64>()
+                .map(|x| Token::new(TokenKind::Int(x), start))
+                .map_err(|_| {
+                    QasmError::at(
+                        QasmErrorKind::Lex,
+                        start,
+                        format!("invalid integer literal `{text}`"),
+                    )
+                })
+        }
+    }
+
+    fn lex_word(&mut self, start: Pos) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = match text.as_str() {
+            "OPENQASM" => TokenKind::OpenQasm,
+            "include" => TokenKind::Include,
+            "qreg" => TokenKind::QReg,
+            "creg" => TokenKind::CReg,
+            "gate" => TokenKind::Gate,
+            "opaque" => TokenKind::Opaque,
+            "measure" => TokenKind::Measure,
+            "reset" => TokenKind::Reset,
+            "barrier" => TokenKind::Barrier,
+            "if" => TokenKind::If,
+            "U" => TokenKind::U,
+            "CX" => TokenKind::Cx,
+            "pi" => TokenKind::Pi,
+            _ => TokenKind::Ident(text),
+        };
+        Token::new(kind, start)
+    }
+
+    fn lex_string(&mut self, start: Pos) -> Result<Token, QasmError> {
+        self.bump(); // consume opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Token::new(TokenKind::Str(text), start)),
+                Some(c) => text.push(c),
+                None => {
+                    return Err(QasmError::at(
+                        QasmErrorKind::Lex,
+                        start,
+                        "unterminated string literal",
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Tokenizes OpenQASM 2.0 source.
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] on characters outside the language, malformed
+/// numeric literals or unterminated strings.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), codar_qasm::QasmError> {
+/// let tokens = codar_qasm::lexer::lex("qreg q[3]; // my register")?;
+/// assert_eq!(tokens.len(), 6); // qreg, q, [, 3, ], ;
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, QasmError> {
+    let mut lx = Lexer::new(source);
+    let mut tokens = Vec::new();
+    loop {
+        lx.skip_trivia();
+        let start = lx.pos();
+        let Some(c) = lx.peek() else { break };
+        match c {
+            '0'..='9' | '.' => tokens.push(lx.lex_number(start)?),
+            'a'..='z' | 'A'..='Z' | '_' => tokens.push(lx.lex_word(start)),
+            '"' => tokens.push(lx.lex_string(start)?),
+            ';' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::Semicolon, start));
+            }
+            ',' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::Comma, start));
+            }
+            '(' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::LParen, start));
+            }
+            ')' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::RParen, start));
+            }
+            '[' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::LBracket, start));
+            }
+            ']' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::RBracket, start));
+            }
+            '{' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::LBrace, start));
+            }
+            '}' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::RBrace, start));
+            }
+            '+' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::Plus, start));
+            }
+            '*' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::Star, start));
+            }
+            '/' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::Slash, start));
+            }
+            '^' => {
+                lx.bump();
+                tokens.push(Token::new(TokenKind::Caret, start));
+            }
+            '-' => {
+                lx.bump();
+                if lx.peek() == Some('>') {
+                    lx.bump();
+                    tokens.push(Token::new(TokenKind::Arrow, start));
+                } else {
+                    tokens.push(Token::new(TokenKind::Minus, start));
+                }
+            }
+            '=' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    tokens.push(Token::new(TokenKind::EqEq, start));
+                } else {
+                    return Err(QasmError::at(
+                        QasmErrorKind::Lex,
+                        start,
+                        "expected `==` (single `=` is not valid OpenQASM)",
+                    ));
+                }
+            }
+            other => {
+                return Err(QasmError::at(
+                    QasmErrorKind::Lex,
+                    start,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_header() {
+        assert_eq!(
+            kinds("OPENQASM 2.0;"),
+            vec![TokenKind::OpenQasm, TokenKind::Real(2.0), TokenKind::Semicolon]
+        );
+    }
+
+    #[test]
+    fn lexes_register_declaration() {
+        assert_eq!(
+            kinds("qreg q[4];"),
+            vec![
+                TokenKind::QReg,
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(4),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_minus() {
+        assert_eq!(
+            kinds("measure q -> c; -1"),
+            vec![
+                TokenKind::Measure,
+                TokenKind::Ident("q".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("c".into()),
+                TokenKind::Semicolon,
+                TokenKind::Minus,
+                TokenKind::Int(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(
+            kinds("pi // comment with symbols !@#\npi"),
+            vec![TokenKind::Pi, TokenKind::Pi]
+        );
+    }
+
+    #[test]
+    fn lexes_real_with_exponent() {
+        assert_eq!(kinds("1.5e-3"), vec![TokenKind::Real(1.5e-3)]);
+        assert_eq!(kinds("2E4"), vec![TokenKind::Real(2e4)]);
+    }
+
+    #[test]
+    fn lexes_string_literal() {
+        assert_eq!(
+            kinds("include \"qelib1.inc\";"),
+            vec![
+                TokenKind::Include,
+                TokenKind::Str("qelib1.inc".into()),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_keywords_from_identifiers() {
+        assert_eq!(
+            kinds("gate gates U u"),
+            vec![
+                TokenKind::Gate,
+                TokenKind::Ident("gates".into()),
+                TokenKind::U,
+                TokenKind::Ident("u".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unexpected_character() {
+        let err = lex("qreg q[1]; @").unwrap_err();
+        assert_eq!(*err.kind(), QasmErrorKind::Lex);
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("include \"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_single_equals() {
+        assert!(lex("if (c = 1)").is_err());
+    }
+
+    #[test]
+    fn tracks_positions_across_lines() {
+        let toks = lex("pi\n  pi").unwrap();
+        assert_eq!(toks[0].pos, Pos::new(1, 1));
+        assert_eq!(toks[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn division_operator_not_comment() {
+        assert_eq!(
+            kinds("pi/2"),
+            vec![TokenKind::Pi, TokenKind::Slash, TokenKind::Int(2)]
+        );
+    }
+
+    #[test]
+    fn empty_source() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \n\t ").unwrap().is_empty());
+    }
+}

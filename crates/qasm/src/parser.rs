@@ -1,0 +1,658 @@
+//! Recursive-descent parser for OpenQASM 2.0.
+//!
+//! Grammar implemented (after Cross et al., "Open Quantum Assembly
+//! Language", arXiv:1707.03429):
+//!
+//! ```text
+//! program   := "OPENQASM" real ";" { statement }
+//! statement := decl | gatedef | opaque | qop | "if" "(" id "==" int ")" qop
+//!            | "barrier" anylist ";" | "include" string ";"
+//! qop       := uop | "measure" arg "->" arg ";" | "reset" arg ";"
+//! uop       := "U" "(" explist ")" arg ";" | "CX" arg "," arg ";"
+//!            | id [ "(" explist ")" ] anylist ";"
+//! exp       := additive with "+,-,*,/,^", unary minus, functions, pi
+//! ```
+
+use crate::ast::*;
+use crate::error::{QasmError, QasmErrorKind};
+use crate::token::{Pos, Token, TokenKind};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.pos)
+            .unwrap_or_default()
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> QasmError {
+        QasmError::at(QasmErrorKind::Parse, self.here(), message)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), QasmError> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.bump();
+                Ok(())
+            }
+            Some(k) => Err(self.error(format!("expected `{kind}`, found `{k}`"))),
+            None => Err(self.error(format!("expected `{kind}`, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QasmError> {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            Some(k) => Err(self.error(format!("expected identifier, found `{k}`"))),
+            None => Err(self.error("expected identifier, found end of input")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, QasmError> {
+        match self.peek() {
+            Some(TokenKind::Int(x)) => {
+                let x = *x;
+                self.bump();
+                Ok(x)
+            }
+            Some(k) => Err(self.error(format!("expected integer, found `{k}`"))),
+            None => Err(self.error("expected integer, found end of input")),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, QasmError> {
+        let mut program = Program::new();
+        // The version header is conventionally required; we accept programs
+        // without it for convenience with benchmark fragments.
+        if self.peek() == Some(&TokenKind::OpenQasm) {
+            self.bump();
+            let version = match self.peek() {
+                Some(TokenKind::Real(x)) => {
+                    let x = *x;
+                    self.bump();
+                    (x.trunc() as u32, ((x.fract() * 10.0).round()) as u32)
+                }
+                Some(TokenKind::Int(x)) => {
+                    let x = *x as u32;
+                    self.bump();
+                    (x, 0)
+                }
+                _ => return Err(self.error("expected version number after OPENQASM")),
+            };
+            if version.0 != 2 {
+                return Err(self.error(format!(
+                    "unsupported OpenQASM version {}.{} (only 2.0 is supported)",
+                    version.0, version.1
+                )));
+            }
+            program.version = version;
+            self.expect(&TokenKind::Semicolon)?;
+        }
+        while self.peek().is_some() {
+            program.statements.push(self.parse_statement()?);
+        }
+        Ok(program)
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement, QasmError> {
+        match self.peek() {
+            Some(TokenKind::Include) => {
+                self.bump();
+                let file = match self.peek() {
+                    Some(TokenKind::Str(s)) => {
+                        let s = s.clone();
+                        self.bump();
+                        s
+                    }
+                    _ => return Err(self.error("expected string after `include`")),
+                };
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Include(file))
+            }
+            Some(TokenKind::QReg) => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let size = self.expect_int()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::QReg { name, size })
+            }
+            Some(TokenKind::CReg) => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let size = self.expect_int()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::CReg { name, size })
+            }
+            Some(TokenKind::Gate) => self.parse_gatedef(),
+            Some(TokenKind::Opaque) => {
+                self.bump();
+                let name = self.expect_ident()?;
+                let params = if self.peek() == Some(&TokenKind::LParen) {
+                    self.bump();
+                    let p = self.parse_ident_list()?;
+                    self.expect(&TokenKind::RParen)?;
+                    p
+                } else {
+                    Vec::new()
+                };
+                let qargs = self.parse_ident_list()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Opaque { name, params, qargs })
+            }
+            Some(TokenKind::If) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let creg = self.expect_ident()?;
+                self.expect(&TokenKind::EqEq)?;
+                let value = self.expect_int()?;
+                self.expect(&TokenKind::RParen)?;
+                let then = self.parse_statement()?;
+                match &then {
+                    Statement::GateCall(_) | Statement::Measure { .. } | Statement::Reset(_) => {}
+                    _ => return Err(self.error("`if` may only guard a quantum operation")),
+                }
+                Ok(Statement::If {
+                    creg,
+                    value,
+                    then: Box::new(then),
+                })
+            }
+            Some(TokenKind::Measure) => {
+                self.bump();
+                let src = self.parse_argument()?;
+                self.expect(&TokenKind::Arrow)?;
+                let dst = self.parse_argument()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Measure { src, dst })
+            }
+            Some(TokenKind::Reset) => {
+                self.bump();
+                let arg = self.parse_argument()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Reset(arg))
+            }
+            Some(TokenKind::Barrier) => {
+                self.bump();
+                let args = self.parse_argument_list()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Statement::Barrier(args))
+            }
+            Some(TokenKind::U) | Some(TokenKind::Cx) | Some(TokenKind::Ident(_)) => {
+                let call = self.parse_gate_call()?;
+                Ok(Statement::GateCall(call))
+            }
+            Some(k) => Err(self.error(format!("unexpected token `{k}` at statement start"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_gatedef(&mut self) -> Result<Statement, QasmError> {
+        self.expect(&TokenKind::Gate)?;
+        let name = self.expect_ident()?;
+        let params = if self.peek() == Some(&TokenKind::LParen) {
+            self.bump();
+            let p = if self.peek() == Some(&TokenKind::RParen) {
+                Vec::new()
+            } else {
+                self.parse_ident_list()?
+            };
+            self.expect(&TokenKind::RParen)?;
+            p
+        } else {
+            Vec::new()
+        };
+        let qargs = self.parse_ident_list()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&TokenKind::RBrace) {
+            match self.peek() {
+                Some(TokenKind::Barrier) => {
+                    self.bump();
+                    let args = self.parse_argument_list()?;
+                    self.expect(&TokenKind::Semicolon)?;
+                    body.push(GateBodyStmt::Barrier(args));
+                }
+                Some(TokenKind::U) | Some(TokenKind::Cx) | Some(TokenKind::Ident(_)) => {
+                    body.push(GateBodyStmt::Call(self.parse_gate_call()?));
+                }
+                Some(k) => {
+                    return Err(self.error(format!("unexpected `{k}` inside gate body")))
+                }
+                None => return Err(self.error("unterminated gate body")),
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Statement::GateDef(GateDef {
+            name,
+            params,
+            qargs,
+            body,
+        }))
+    }
+
+    fn parse_gate_call(&mut self) -> Result<GateCall, QasmError> {
+        let name = match self.peek() {
+            Some(TokenKind::U) => {
+                self.bump();
+                "U".to_string()
+            }
+            Some(TokenKind::Cx) => {
+                self.bump();
+                "CX".to_string()
+            }
+            Some(TokenKind::Ident(s)) => {
+                let s = s.clone();
+                self.bump();
+                s
+            }
+            _ => return Err(self.error("expected gate name")),
+        };
+        let params = if self.peek() == Some(&TokenKind::LParen) {
+            self.bump();
+            let mut exprs = Vec::new();
+            if self.peek() != Some(&TokenKind::RParen) {
+                exprs.push(self.parse_expr()?);
+                while self.peek() == Some(&TokenKind::Comma) {
+                    self.bump();
+                    exprs.push(self.parse_expr()?);
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            exprs
+        } else {
+            Vec::new()
+        };
+        let args = self.parse_argument_list()?;
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(GateCall { name, params, args })
+    }
+
+    fn parse_ident_list(&mut self) -> Result<Vec<String>, QasmError> {
+        let mut idents = vec![self.expect_ident()?];
+        while self.peek() == Some(&TokenKind::Comma) {
+            self.bump();
+            idents.push(self.expect_ident()?);
+        }
+        Ok(idents)
+    }
+
+    fn parse_argument(&mut self) -> Result<Argument, QasmError> {
+        let register = self.expect_ident()?;
+        if self.peek() == Some(&TokenKind::LBracket) {
+            self.bump();
+            let index = self.expect_int()?;
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Argument::indexed(register, index))
+        } else {
+            Ok(Argument::register(register))
+        }
+    }
+
+    fn parse_argument_list(&mut self) -> Result<Vec<Argument>, QasmError> {
+        let mut args = vec![self.parse_argument()?];
+        while self.peek() == Some(&TokenKind::Comma) {
+            self.bump();
+            args.push(self.parse_argument()?);
+        }
+        Ok(args)
+    }
+
+    // Expression grammar: additive > multiplicative > power > unary > atom.
+    fn parse_expr(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinaryOp::Add,
+                Some(TokenKind::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_term()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.parse_power()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinaryOp::Mul,
+                Some(TokenKind::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_power()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_power(&mut self) -> Result<Expr, QasmError> {
+        let base = self.parse_unary()?;
+        if self.peek() == Some(&TokenKind::Caret) {
+            self.bump();
+            // Right associative.
+            let exp = self.parse_power()?;
+            Ok(Expr::Binary(BinaryOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, QasmError> {
+        if self.peek() == Some(&TokenKind::Minus) {
+            self.bump();
+            Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+        } else {
+            self.parse_atom()
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, QasmError> {
+        match self.peek() {
+            Some(TokenKind::Real(x)) => {
+                let x = *x;
+                self.bump();
+                Ok(Expr::Real(x))
+            }
+            Some(TokenKind::Int(x)) => {
+                let x = *x;
+                self.bump();
+                Ok(Expr::Int(x))
+            }
+            Some(TokenKind::Pi) => {
+                self.bump();
+                Ok(Expr::Pi)
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            Some(TokenKind::Ident(name)) => {
+                let name = name.clone();
+                self.bump();
+                if self.peek() == Some(&TokenKind::LParen) {
+                    let Some(func) = UnaryFn::from_name(&name) else {
+                        return Err(self.error(format!("unknown function `{name}`")));
+                    };
+                    self.bump();
+                    let arg = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call(func, Box::new(arg)))
+                } else {
+                    Ok(Expr::Param(name))
+                }
+            }
+            Some(k) => Err(self.error(format!("expected expression, found `{k}`"))),
+            None => Err(self.error("expected expression, found end of input")),
+        }
+    }
+}
+
+/// Parses a token stream produced by [`crate::lexer::lex`] into a
+/// [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] with the position of the first syntax error.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), codar_qasm::QasmError> {
+/// let tokens = codar_qasm::lexer::lex("OPENQASM 2.0; qreg q[2]; CX q[0], q[1];")?;
+/// let program = codar_qasm::parser::parse_tokens(&tokens)?;
+/// assert_eq!(program.statements.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_tokens(tokens: &[Token]) -> Result<Program, QasmError> {
+    Parser::new(tokens).parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Result<Program, QasmError> {
+        parse_tokens(&lex(src)?)
+    }
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("OPENQASM 2.0; qreg q[3];").unwrap();
+        assert_eq!(p.version, (2, 0));
+        assert_eq!(
+            p.statements,
+            vec![Statement::QReg {
+                name: "q".into(),
+                size: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        assert!(parse("OPENQASM 3.0; qreg q[1];").is_err());
+    }
+
+    #[test]
+    fn parses_builtin_gates() {
+        let p = parse("U(0, pi/2, -pi) q[0]; CX q[0], q[1];").unwrap();
+        match &p.statements[0] {
+            Statement::GateCall(c) => {
+                assert_eq!(c.name, "U");
+                assert_eq!(c.params.len(), 3);
+                assert_eq!(c.args, vec![Argument::indexed("q", 0)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.statements[1] {
+            Statement::GateCall(c) => {
+                assert_eq!(c.name, "CX");
+                assert_eq!(c.args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_gate_definition() {
+        let src = "gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }";
+        let p = parse(src).unwrap();
+        match &p.statements[0] {
+            Statement::GateDef(def) => {
+                assert_eq!(def.name, "majority");
+                assert!(def.params.is_empty());
+                assert_eq!(def.qargs, vec!["a", "b", "c"]);
+                assert_eq!(def.body.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parameterized_gate_definition() {
+        let src = "gate rzz(theta) a,b { cx a,b; u1(theta) b; cx a,b; }";
+        let p = parse(src).unwrap();
+        match &p.statements[0] {
+            Statement::GateDef(def) => {
+                assert_eq!(def.params, vec!["theta"]);
+                match &def.body[1] {
+                    GateBodyStmt::Call(c) => {
+                        assert_eq!(c.params, vec![Expr::Param("theta".into())]);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_measure_and_reset() {
+        let p = parse("measure q[0] -> c[0]; reset q[1]; measure q -> c;").unwrap();
+        assert!(matches!(p.statements[0], Statement::Measure { .. }));
+        assert!(matches!(p.statements[1], Statement::Reset(_)));
+        match &p.statements[2] {
+            Statement::Measure { src, dst } => {
+                assert_eq!(src.index, None);
+                assert_eq!(dst.index, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_barrier() {
+        let p = parse("barrier q[0], q[1], r;").unwrap();
+        match &p.statements[0] {
+            Statement::Barrier(args) => assert_eq!(args.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_statement() {
+        let p = parse("if (c == 3) x q[0];").unwrap();
+        match &p.statements[0] {
+            Statement::If { creg, value, then } => {
+                assert_eq!(creg, "c");
+                assert_eq!(*value, 3);
+                assert!(matches!(**then, Statement::GateCall(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_if_guarding_declaration() {
+        assert!(parse("if (c == 1) qreg q[1];").is_err());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let p = parse("u1(1 + 2 * 3) q[0];").unwrap();
+        match &p.statements[0] {
+            Statement::GateCall(c) => match &c.params[0] {
+                Expr::Binary(BinaryOp::Add, lhs, _) => {
+                    assert_eq!(**lhs, Expr::Int(1));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let p = parse("u1(2 ^ 3 ^ 2) q[0];").unwrap();
+        match &p.statements[0] {
+            Statement::GateCall(c) => match &c.params[0] {
+                Expr::Binary(BinaryOp::Pow, _, rhs) => {
+                    assert!(matches!(**rhs, Expr::Binary(BinaryOp::Pow, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_call_expression() {
+        let p = parse("u1(sin(pi/4)) q[0];").unwrap();
+        match &p.statements[0] {
+            Statement::GateCall(c) => {
+                assert!(matches!(c.params[0], Expr::Call(UnaryFn::Sin, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_opaque_declaration() {
+        let p = parse("opaque custom(alpha) a, b;").unwrap();
+        match &p.statements[0] {
+            Statement::Opaque { name, params, qargs } => {
+                assert_eq!(name, "custom");
+                assert_eq!(params, &vec!["alpha".to_string()]);
+                assert_eq!(qargs.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_mentions_position() {
+        let err = parse("qreg q[;").unwrap_err();
+        assert!(err.pos().is_some());
+        assert!(err.to_string().contains("expected integer"));
+    }
+
+    #[test]
+    fn parses_include() {
+        let p = parse("include \"qelib1.inc\";").unwrap();
+        assert_eq!(p.statements[0], Statement::Include("qelib1.inc".into()));
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse("qreg q[2]").is_err());
+    }
+
+    #[test]
+    fn gate_without_params_no_parens() {
+        let p = parse("h q[0];").unwrap();
+        match &p.statements[0] {
+            Statement::GateCall(c) => {
+                assert_eq!(c.name, "h");
+                assert!(c.params.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_with_empty_parens() {
+        let p = parse("gate nop() a { }").unwrap();
+        match &p.statements[0] {
+            Statement::GateDef(def) => assert!(def.params.is_empty() && def.body.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

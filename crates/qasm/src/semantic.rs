@@ -1,0 +1,1119 @@
+//! Semantic analysis: lowering a parsed [`Program`] to a flat sequence of
+//! primitive operations on globally-numbered qubits.
+//!
+//! The lowering performs:
+//!
+//! * register resolution — quantum registers are concatenated in
+//!   declaration order into one global qubit numbering (classical
+//!   registers likewise into a global bit numbering),
+//! * whole-register broadcast — `h q;` becomes one `h` per element, and
+//!   `cx q, r;` (equal sizes) becomes element-wise `cx`,
+//! * composite-gate expansion — user-defined `gate` bodies are inlined
+//!   recursively with parameter substitution, stopping at the
+//!   [`PrimitiveGate`] set (the `qelib1.inc` standard library gates plus
+//!   the builtins `U` and `CX`),
+//! * constant folding of parameter expressions to `f64`.
+//!
+//! Classical conditions (`if (c == n) …`) are flattened to their guarded
+//! operation: qubit mapping must produce hardware-compliant circuits for
+//! either branch, so conditions are irrelevant to routing (they are
+//! recorded in [`FlatOp::conditional`] for completeness).
+
+use crate::ast::{Argument, Expr, GateBodyStmt, GateCall, GateDef, Program, Statement};
+use crate::error::{QasmError, QasmErrorKind};
+use std::collections::HashMap;
+
+/// The standard `qelib1.inc` gate library, embedded so that programs can
+/// `include "qelib1.inc";` without filesystem access.
+///
+/// This is the canonical library distributed with the OpenQASM 2.0 paper:
+/// every gate is ultimately defined in terms of the builtins `U` and `CX`.
+pub const QELIB1: &str = r#"
+// Quantum Experience (QE) Standard Header
+gate u3(theta,phi,lambda) q { U(theta,phi,lambda) q; }
+gate u2(phi,lambda) q { U(pi/2,phi,lambda) q; }
+gate u1(lambda) q { U(0,0,lambda) q; }
+gate cx c,t { CX c,t; }
+gate id a { U(0,0,0) a; }
+gate u0(gamma) q { U(0,0,0) q; }
+gate x a { u3(pi,0,pi) a; }
+gate y a { u3(pi,pi/2,pi/2) a; }
+gate z a { u1(pi) a; }
+gate h a { u2(0,pi) a; }
+gate s a { u1(pi/2) a; }
+gate sdg a { u1(-pi/2) a; }
+gate t a { u1(pi/4) a; }
+gate tdg a { u1(-pi/4) a; }
+gate rx(theta) a { u3(theta,-pi/2,pi/2) a; }
+gate ry(theta) a { u3(theta,0,0) a; }
+gate rz(phi) a { u1(phi) a; }
+gate cz a,b { h b; cx a,b; h b; }
+gate cy a,b { sdg b; cx a,b; s b; }
+gate swap a,b { cx a,b; cx b,a; cx a,b; }
+gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b; t b; h b; s b; x b; s a; }
+gate ccx a,b,c
+{
+  h c;
+  cx b,c; tdg c;
+  cx a,c; t c;
+  cx b,c; tdg c;
+  cx a,c; t b; t c; h c;
+  cx a,b; t a; tdg b;
+  cx a,b;
+}
+gate cswap a,b,c { cx c,b; ccx a,b,c; cx c,b; }
+gate crz(lambda) a,b
+{
+  u1(lambda/2) b;
+  cx a,b;
+  u1(-lambda/2) b;
+  cx a,b;
+}
+gate cu1(lambda) a,b
+{
+  u1(lambda/2) a;
+  cx a,b;
+  u1(-lambda/2) b;
+  cx a,b;
+  u1(lambda/2) b;
+}
+gate cu3(theta,phi,lambda) c,t
+{
+  u1((lambda-phi)/2) t;
+  cx c,t;
+  u3(-theta/2,0,-(phi+lambda)/2) t;
+  cx c,t;
+  u3(theta/2,phi,0) t;
+}
+gate rzz(theta) a,b { cx a,b; u1(theta) b; cx a,b; }
+"#;
+
+/// The primitive gate set the lowering stops at.
+///
+/// These are the gates of `qelib1.inc` plus the OpenQASM builtins. The
+/// circuit IR (crate `codar-circuit`) understands exactly this set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrimitiveGate {
+    /// Builtin single-qubit unitary `U(theta, phi, lambda)`.
+    U,
+    /// Identity / idle.
+    Id,
+    /// Generic 1-qubit rotations `u1`, `u2`, `u3`.
+    U1,
+    /// `u2(phi, lambda)`.
+    U2,
+    /// `u3(theta, phi, lambda)`.
+    U3,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `S`.
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T gate (π/8).
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// X rotation `rx(theta)`.
+    Rx,
+    /// Y rotation `ry(theta)`.
+    Ry,
+    /// Z rotation `rz(phi)`.
+    Rz,
+    /// Ion-trap rotation `r(theta, phi)` about an axis in the XY plane.
+    R,
+    /// Controlled-NOT (both the builtin `CX` and library `cx`).
+    Cx,
+    /// Controlled-Y.
+    Cy,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled-Hadamard.
+    Ch,
+    /// Controlled phase `crz(lambda)`.
+    Crz,
+    /// Controlled `u1(lambda)`.
+    Cu1,
+    /// Controlled `u3(theta, phi, lambda)`.
+    Cu3,
+    /// SWAP.
+    Swap,
+    /// Toffoli (CCX).
+    Ccx,
+    /// Fredkin (controlled SWAP).
+    Cswap,
+    /// Ising ZZ interaction `rzz(theta)`.
+    Rzz,
+    /// Mølmer–Sørensen XX interaction `rxx(theta)`.
+    Rxx,
+}
+
+impl PrimitiveGate {
+    /// Looks up a primitive gate by its OpenQASM surface name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "U" => PrimitiveGate::U,
+            "id" | "u0" => PrimitiveGate::Id,
+            "u1" => PrimitiveGate::U1,
+            "u2" => PrimitiveGate::U2,
+            "u3" => PrimitiveGate::U3,
+            "x" => PrimitiveGate::X,
+            "y" => PrimitiveGate::Y,
+            "z" => PrimitiveGate::Z,
+            "h" => PrimitiveGate::H,
+            "s" => PrimitiveGate::S,
+            "sdg" => PrimitiveGate::Sdg,
+            "t" => PrimitiveGate::T,
+            "tdg" => PrimitiveGate::Tdg,
+            "rx" => PrimitiveGate::Rx,
+            "ry" => PrimitiveGate::Ry,
+            "rz" => PrimitiveGate::Rz,
+            "r" => PrimitiveGate::R,
+            "CX" | "cx" => PrimitiveGate::Cx,
+            "cy" => PrimitiveGate::Cy,
+            "cz" => PrimitiveGate::Cz,
+            "ch" => PrimitiveGate::Ch,
+            "crz" => PrimitiveGate::Crz,
+            "cu1" => PrimitiveGate::Cu1,
+            "cu3" => PrimitiveGate::Cu3,
+            "swap" => PrimitiveGate::Swap,
+            "ccx" => PrimitiveGate::Ccx,
+            "cswap" => PrimitiveGate::Cswap,
+            "rzz" => PrimitiveGate::Rzz,
+            "rxx" => PrimitiveGate::Rxx,
+            _ => return None,
+        })
+    }
+
+    /// The OpenQASM surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimitiveGate::U => "U",
+            PrimitiveGate::Id => "id",
+            PrimitiveGate::U1 => "u1",
+            PrimitiveGate::U2 => "u2",
+            PrimitiveGate::U3 => "u3",
+            PrimitiveGate::X => "x",
+            PrimitiveGate::Y => "y",
+            PrimitiveGate::Z => "z",
+            PrimitiveGate::H => "h",
+            PrimitiveGate::S => "s",
+            PrimitiveGate::Sdg => "sdg",
+            PrimitiveGate::T => "t",
+            PrimitiveGate::Tdg => "tdg",
+            PrimitiveGate::Rx => "rx",
+            PrimitiveGate::Ry => "ry",
+            PrimitiveGate::Rz => "rz",
+            PrimitiveGate::R => "r",
+            PrimitiveGate::Cx => "cx",
+            PrimitiveGate::Cy => "cy",
+            PrimitiveGate::Cz => "cz",
+            PrimitiveGate::Ch => "ch",
+            PrimitiveGate::Crz => "crz",
+            PrimitiveGate::Cu1 => "cu1",
+            PrimitiveGate::Cu3 => "cu3",
+            PrimitiveGate::Swap => "swap",
+            PrimitiveGate::Ccx => "ccx",
+            PrimitiveGate::Cswap => "cswap",
+            PrimitiveGate::Rzz => "rzz",
+            PrimitiveGate::Rxx => "rxx",
+        }
+    }
+
+    /// Number of qubit operands this gate takes.
+    pub fn num_qubits(self) -> usize {
+        match self {
+            PrimitiveGate::U
+            | PrimitiveGate::Id
+            | PrimitiveGate::U1
+            | PrimitiveGate::U2
+            | PrimitiveGate::U3
+            | PrimitiveGate::X
+            | PrimitiveGate::Y
+            | PrimitiveGate::Z
+            | PrimitiveGate::H
+            | PrimitiveGate::S
+            | PrimitiveGate::Sdg
+            | PrimitiveGate::T
+            | PrimitiveGate::Tdg
+            | PrimitiveGate::Rx
+            | PrimitiveGate::Ry
+            | PrimitiveGate::Rz
+            | PrimitiveGate::R => 1,
+            PrimitiveGate::Cx
+            | PrimitiveGate::Cy
+            | PrimitiveGate::Cz
+            | PrimitiveGate::Ch
+            | PrimitiveGate::Crz
+            | PrimitiveGate::Cu1
+            | PrimitiveGate::Cu3
+            | PrimitiveGate::Swap
+            | PrimitiveGate::Rzz
+            | PrimitiveGate::Rxx => 2,
+            PrimitiveGate::Ccx | PrimitiveGate::Cswap => 3,
+        }
+    }
+
+    /// Number of real parameters this gate takes.
+    pub fn num_params(self) -> usize {
+        match self {
+            PrimitiveGate::U | PrimitiveGate::U3 | PrimitiveGate::Cu3 => 3,
+            PrimitiveGate::U2 | PrimitiveGate::R => 2,
+            PrimitiveGate::U1
+            | PrimitiveGate::Rx
+            | PrimitiveGate::Ry
+            | PrimitiveGate::Rz
+            | PrimitiveGate::Crz
+            | PrimitiveGate::Cu1
+            | PrimitiveGate::Rzz
+            | PrimitiveGate::Rxx => 1,
+            _ => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for PrimitiveGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A single lowered operation on globally-numbered qubits/bits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatOp {
+    /// A primitive gate application.
+    Gate {
+        /// Which primitive gate.
+        gate: PrimitiveGate,
+        /// Evaluated parameters (length = `gate.num_params()`).
+        params: Vec<f64>,
+        /// Global qubit indices (length = `gate.num_qubits()`).
+        qubits: Vec<usize>,
+        /// Classical condition `(creg_name, value)` when lowered from an
+        /// `if` statement; ignored by routing.
+        conditional: Option<(String, u64)>,
+    },
+    /// A measurement `qubit -> bit`.
+    Measure {
+        /// Global qubit index.
+        qubit: usize,
+        /// Global classical bit index.
+        bit: usize,
+    },
+    /// Reset of a qubit to |0⟩.
+    Reset {
+        /// Global qubit index.
+        qubit: usize,
+    },
+    /// Synchronization barrier over the given qubits.
+    Barrier {
+        /// Global qubit indices.
+        qubits: Vec<usize>,
+    },
+}
+
+/// A lowered OpenQASM program: flat primitive operations over a single
+/// global qubit numbering.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlatProgram {
+    /// Total number of qubits (sum of all `qreg` sizes).
+    pub num_qubits: usize,
+    /// Total number of classical bits (sum of all `creg` sizes).
+    pub num_bits: usize,
+    /// Names and sizes of quantum registers in declaration order.
+    pub qregs: Vec<(String, usize)>,
+    /// Names and sizes of classical registers in declaration order.
+    pub cregs: Vec<(String, usize)>,
+    /// The lowered operations in program order.
+    pub ops: Vec<FlatOp>,
+}
+
+struct RegisterTable {
+    // name -> (global offset, size)
+    qregs: HashMap<String, (usize, usize)>,
+    cregs: HashMap<String, (usize, usize)>,
+}
+
+impl RegisterTable {
+    fn qubit(&self, arg: &Argument) -> Result<usize, QasmError> {
+        let (offset, size) = self.qregs.get(&arg.register).ok_or_else(|| {
+            QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("undeclared quantum register `{}`", arg.register),
+            )
+        })?;
+        let idx = arg.index.ok_or_else(|| {
+            QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("expected indexed reference for `{}`", arg.register),
+            )
+        })? as usize;
+        if idx >= *size {
+            return Err(QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("index {idx} out of range for `{}[{size}]`", arg.register),
+            ));
+        }
+        Ok(offset + idx)
+    }
+
+    fn bit(&self, arg: &Argument) -> Result<usize, QasmError> {
+        let (offset, size) = self.cregs.get(&arg.register).ok_or_else(|| {
+            QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("undeclared classical register `{}`", arg.register),
+            )
+        })?;
+        let idx = arg.index.ok_or_else(|| {
+            QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("expected indexed reference for `{}`", arg.register),
+            )
+        })? as usize;
+        if idx >= *size {
+            return Err(QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("index {idx} out of range for `{}[{size}]`", arg.register),
+            ));
+        }
+        Ok(offset + idx)
+    }
+
+    fn qreg_size(&self, name: &str) -> Option<usize> {
+        self.qregs.get(name).map(|&(_, s)| s)
+    }
+
+    fn creg_size(&self, name: &str) -> Option<usize> {
+        self.cregs.get(name).map(|&(_, s)| s)
+    }
+}
+
+struct Lowering {
+    regs: RegisterTable,
+    gatedefs: HashMap<String, GateDef>,
+    opaques: HashMap<String, (usize, usize)>, // name -> (#params, #qargs)
+    flat: FlatProgram,
+}
+
+const MAX_EXPANSION_DEPTH: usize = 64;
+
+/// Evaluates a constant parameter expression given bindings for formal
+/// parameter names.
+///
+/// # Errors
+///
+/// Returns a semantic [`QasmError`] if the expression references an
+/// unbound parameter name.
+pub fn eval_expr(expr: &Expr, env: &HashMap<String, f64>) -> Result<f64, QasmError> {
+    Ok(match expr {
+        Expr::Real(x) => *x,
+        Expr::Int(x) => *x as f64,
+        Expr::Pi => std::f64::consts::PI,
+        Expr::Param(name) => *env.get(name).ok_or_else(|| {
+            QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("unbound parameter `{name}` in expression"),
+            )
+        })?,
+        Expr::Binary(op, a, b) => {
+            let a = eval_expr(a, env)?;
+            let b = eval_expr(b, env)?;
+            match op {
+                crate::ast::BinaryOp::Add => a + b,
+                crate::ast::BinaryOp::Sub => a - b,
+                crate::ast::BinaryOp::Mul => a * b,
+                crate::ast::BinaryOp::Div => a / b,
+                crate::ast::BinaryOp::Pow => a.powf(b),
+            }
+        }
+        Expr::Neg(a) => -eval_expr(a, env)?,
+        Expr::Call(f, a) => f.apply(eval_expr(a, env)?),
+    })
+}
+
+impl Lowering {
+    fn new() -> Self {
+        Lowering {
+            regs: RegisterTable {
+                qregs: HashMap::new(),
+                cregs: HashMap::new(),
+            },
+            gatedefs: HashMap::new(),
+            opaques: HashMap::new(),
+            flat: FlatProgram::default(),
+        }
+    }
+
+    fn register_library(&mut self) -> Result<(), QasmError> {
+        let lib = crate::parse(QELIB1)?;
+        for stmt in lib.statements {
+            if let Statement::GateDef(def) = stmt {
+                self.gatedefs.insert(def.name.clone(), def);
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self, program: &Program) -> Result<FlatProgram, QasmError> {
+        for stmt in &program.statements {
+            self.lower_statement(stmt, None)?;
+        }
+        Ok(self.flat)
+    }
+
+    fn lower_statement(
+        &mut self,
+        stmt: &Statement,
+        conditional: Option<&(String, u64)>,
+    ) -> Result<(), QasmError> {
+        match stmt {
+            Statement::Include(file) => {
+                // qelib1.inc is embedded; other includes are unsupported
+                // because the frontend is filesystem-free.
+                if file == "qelib1.inc" {
+                    self.register_library()
+                } else {
+                    Err(QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("cannot resolve include \"{file}\" (only qelib1.inc is embedded)"),
+                    ))
+                }
+            }
+            Statement::QReg { name, size } => {
+                if self.regs.qregs.contains_key(name) {
+                    return Err(QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("duplicate quantum register `{name}`"),
+                    ));
+                }
+                let offset = self.flat.num_qubits;
+                self.regs.qregs.insert(name.clone(), (offset, *size as usize));
+                self.flat.num_qubits += *size as usize;
+                self.flat.qregs.push((name.clone(), *size as usize));
+                Ok(())
+            }
+            Statement::CReg { name, size } => {
+                if self.regs.cregs.contains_key(name) {
+                    return Err(QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("duplicate classical register `{name}`"),
+                    ));
+                }
+                let offset = self.flat.num_bits;
+                self.regs.cregs.insert(name.clone(), (offset, *size as usize));
+                self.flat.num_bits += *size as usize;
+                self.flat.cregs.push((name.clone(), *size as usize));
+                Ok(())
+            }
+            Statement::GateDef(def) => {
+                self.gatedefs.insert(def.name.clone(), def.clone());
+                Ok(())
+            }
+            Statement::Opaque { name, params, qargs } => {
+                self.opaques
+                    .insert(name.clone(), (params.len(), qargs.len()));
+                Ok(())
+            }
+            Statement::GateCall(call) => self.lower_call_broadcast(call, conditional),
+            Statement::Measure { src, dst } => self.lower_measure(src, dst),
+            Statement::Reset(arg) => {
+                for q in self.broadcast_qubits(arg)? {
+                    self.flat.ops.push(FlatOp::Reset { qubit: q });
+                }
+                Ok(())
+            }
+            Statement::Barrier(args) => {
+                let mut qubits = Vec::new();
+                for arg in args {
+                    qubits.extend(self.broadcast_qubits(arg)?);
+                }
+                self.flat.ops.push(FlatOp::Barrier { qubits });
+                Ok(())
+            }
+            Statement::If { creg, value, then } => {
+                if self.regs.creg_size(creg).is_none() {
+                    return Err(QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("undeclared classical register `{creg}` in if"),
+                    ));
+                }
+                self.lower_statement(then, Some(&(creg.clone(), *value)))
+            }
+        }
+    }
+
+    /// Expands an argument into all the global qubit indices it denotes
+    /// (one for indexed refs, the whole register otherwise).
+    fn broadcast_qubits(&self, arg: &Argument) -> Result<Vec<usize>, QasmError> {
+        match arg.index {
+            Some(_) => Ok(vec![self.regs.qubit(arg)?]),
+            None => {
+                let size = self.regs.qreg_size(&arg.register).ok_or_else(|| {
+                    QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("undeclared quantum register `{}`", arg.register),
+                    )
+                })?;
+                let (offset, _) = self.regs.qregs[&arg.register];
+                Ok((offset..offset + size).collect())
+            }
+        }
+    }
+
+    fn lower_measure(&mut self, src: &Argument, dst: &Argument) -> Result<(), QasmError> {
+        match (src.index, dst.index) {
+            (Some(_), Some(_)) => {
+                let qubit = self.regs.qubit(src)?;
+                let bit = self.regs.bit(dst)?;
+                self.flat.ops.push(FlatOp::Measure { qubit, bit });
+                Ok(())
+            }
+            (None, None) => {
+                let qsize = self.regs.qreg_size(&src.register).ok_or_else(|| {
+                    QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("undeclared quantum register `{}`", src.register),
+                    )
+                })?;
+                let csize = self.regs.creg_size(&dst.register).ok_or_else(|| {
+                    QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("undeclared classical register `{}`", dst.register),
+                    )
+                })?;
+                if qsize != csize {
+                    return Err(QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!(
+                            "register size mismatch in measure: {}[{qsize}] -> {}[{csize}]",
+                            src.register, dst.register
+                        ),
+                    ));
+                }
+                for i in 0..qsize {
+                    let qubit = self.regs.qubit(&Argument::indexed(&*src.register, i as u64))?;
+                    let bit = self.regs.bit(&Argument::indexed(&*dst.register, i as u64))?;
+                    self.flat.ops.push(FlatOp::Measure { qubit, bit });
+                }
+                Ok(())
+            }
+            _ => Err(QasmError::new(
+                QasmErrorKind::Semantic,
+                "measure must be register->register or element->element",
+            )),
+        }
+    }
+
+    /// Lowers a top-level gate call, broadcasting whole-register operands.
+    fn lower_call_broadcast(
+        &mut self,
+        call: &GateCall,
+        conditional: Option<&(String, u64)>,
+    ) -> Result<(), QasmError> {
+        // Determine broadcast width: all whole-register args must agree.
+        let mut width: Option<usize> = None;
+        for arg in &call.args {
+            if arg.index.is_none() {
+                let size = self.regs.qreg_size(&arg.register).ok_or_else(|| {
+                    QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("undeclared quantum register `{}`", arg.register),
+                    )
+                })?;
+                match width {
+                    None => width = Some(size),
+                    Some(w) if w == size => {}
+                    Some(w) => {
+                        return Err(QasmError::new(
+                            QasmErrorKind::Semantic,
+                            format!(
+                                "broadcast size mismatch in `{}`: {w} vs {size}",
+                                call.name
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        let params: Vec<f64> = call
+            .params
+            .iter()
+            .map(|e| eval_expr(e, &HashMap::new()))
+            .collect::<Result<_, _>>()?;
+        let repeats = width.unwrap_or(1);
+        for i in 0..repeats {
+            let qubits: Vec<usize> = call
+                .args
+                .iter()
+                .map(|arg| {
+                    if arg.index.is_some() {
+                        self.regs.qubit(arg)
+                    } else {
+                        self.regs
+                            .qubit(&Argument::indexed(&*arg.register, i as u64))
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            self.emit_call(&call.name, &params, &qubits, conditional, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Emits a call on concrete qubits, expanding user-defined gates.
+    fn emit_call(
+        &mut self,
+        name: &str,
+        params: &[f64],
+        qubits: &[usize],
+        conditional: Option<&(String, u64)>,
+        depth: usize,
+    ) -> Result<(), QasmError> {
+        if depth > MAX_EXPANSION_DEPTH {
+            return Err(QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("gate expansion exceeds depth {MAX_EXPANSION_DEPTH} (recursive definition of `{name}`?)"),
+            ));
+        }
+        // Repeated operands are invalid quantum operations (e.g. cx q[0],q[0]).
+        for (i, a) in qubits.iter().enumerate() {
+            for b in &qubits[i + 1..] {
+                if a == b {
+                    return Err(QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!("gate `{name}` applied with repeated qubit operand"),
+                    ));
+                }
+            }
+        }
+        if let Some(gate) = PrimitiveGate::from_name(name) {
+            if gate.num_qubits() != qubits.len() {
+                return Err(QasmError::new(
+                    QasmErrorKind::Semantic,
+                    format!(
+                        "gate `{name}` expects {} qubits, got {}",
+                        gate.num_qubits(),
+                        qubits.len()
+                    ),
+                ));
+            }
+            if gate.num_params() != params.len() {
+                // `u0(gamma)` folds to Id which takes 0 params; tolerate
+                // parameter loss only for Id.
+                if !(gate == PrimitiveGate::Id) {
+                    return Err(QasmError::new(
+                        QasmErrorKind::Semantic,
+                        format!(
+                            "gate `{name}` expects {} parameters, got {}",
+                            gate.num_params(),
+                            params.len()
+                        ),
+                    ));
+                }
+            }
+            let params = if gate == PrimitiveGate::Id {
+                Vec::new()
+            } else {
+                params.to_vec()
+            };
+            self.flat.ops.push(FlatOp::Gate {
+                gate,
+                params,
+                qubits: qubits.to_vec(),
+                conditional: conditional.cloned(),
+            });
+            return Ok(());
+        }
+        if let Some(&(nparams, nqargs)) = self.opaques.get(name) {
+            return Err(QasmError::new(
+                QasmErrorKind::Semantic,
+                format!(
+                    "cannot lower opaque gate `{name}` ({nparams} params, {nqargs} qubits): no definition available"
+                ),
+            ));
+        }
+        let Some(def) = self.gatedefs.get(name).cloned() else {
+            return Err(QasmError::new(
+                QasmErrorKind::Semantic,
+                format!("unknown gate `{name}`"),
+            ));
+        };
+        if def.qargs.len() != qubits.len() {
+            return Err(QasmError::new(
+                QasmErrorKind::Semantic,
+                format!(
+                    "gate `{name}` expects {} qubits, got {}",
+                    def.qargs.len(),
+                    qubits.len()
+                ),
+            ));
+        }
+        if def.params.len() != params.len() {
+            return Err(QasmError::new(
+                QasmErrorKind::Semantic,
+                format!(
+                    "gate `{name}` expects {} parameters, got {}",
+                    def.params.len(),
+                    params.len()
+                ),
+            ));
+        }
+        let param_env: HashMap<String, f64> = def
+            .params
+            .iter()
+            .cloned()
+            .zip(params.iter().copied())
+            .collect();
+        let qubit_env: HashMap<&str, usize> = def
+            .qargs
+            .iter()
+            .map(|s| s.as_str())
+            .zip(qubits.iter().copied())
+            .collect();
+        for stmt in &def.body {
+            match stmt {
+                GateBodyStmt::Call(inner) => {
+                    let inner_params: Vec<f64> = inner
+                        .params
+                        .iter()
+                        .map(|e| eval_expr(e, &param_env))
+                        .collect::<Result<_, _>>()?;
+                    let inner_qubits: Vec<usize> = inner
+                        .args
+                        .iter()
+                        .map(|a| {
+                            if a.index.is_some() {
+                                Err(QasmError::new(
+                                    QasmErrorKind::Semantic,
+                                    format!(
+                                        "indexed reference `{a}` not allowed inside gate body"
+                                    ),
+                                ))
+                            } else {
+                                qubit_env.get(a.register.as_str()).copied().ok_or_else(|| {
+                                    QasmError::new(
+                                        QasmErrorKind::Semantic,
+                                        format!(
+                                            "unbound qubit argument `{}` in gate `{name}`",
+                                            a.register
+                                        ),
+                                    )
+                                })
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
+                    self.emit_call(&inner.name, &inner_params, &inner_qubits, conditional, depth + 1)?;
+                }
+                GateBodyStmt::Barrier(args) => {
+                    let qubits: Vec<usize> = args
+                        .iter()
+                        .map(|a| {
+                            qubit_env.get(a.register.as_str()).copied().ok_or_else(|| {
+                                QasmError::new(
+                                    QasmErrorKind::Semantic,
+                                    format!(
+                                        "unbound qubit argument `{}` in gate `{name}`",
+                                        a.register
+                                    ),
+                                )
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    self.flat.ops.push(FlatOp::Barrier { qubits });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowers a parsed program to a [`FlatProgram`].
+///
+/// The `qelib1.inc` standard library is honoured when included; all
+/// `qelib1` gate names are kept as primitives (not expanded to `U`/`CX`),
+/// which preserves gate identities for duration assignment and
+/// commutativity analysis downstream.
+///
+/// # Errors
+///
+/// Returns a semantic [`QasmError`] for undeclared registers,
+/// out-of-range indices, arity mismatches, broadcast size mismatches,
+/// repeated qubit operands, unknown gates, non-embedded includes and
+/// over-deep (recursive) gate expansions.
+pub fn flatten(program: &Program) -> Result<FlatProgram, QasmError> {
+    Lowering::new().run(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(src: &str) -> FlatProgram {
+        crate::parse_and_flatten(src).unwrap()
+    }
+
+    fn flat_err(src: &str) -> QasmError {
+        crate::parse_and_flatten(src).unwrap_err()
+    }
+
+    #[test]
+    fn lowers_simple_circuit() {
+        let f = flat("OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; h q[0]; cx q[0],q[1];");
+        assert_eq!(f.num_qubits, 2);
+        assert_eq!(
+            f.ops,
+            vec![
+                FlatOp::Gate {
+                    gate: PrimitiveGate::H,
+                    params: vec![],
+                    qubits: vec![0],
+                    conditional: None
+                },
+                FlatOp::Gate {
+                    gate: PrimitiveGate::Cx,
+                    params: vec![],
+                    qubits: vec![0, 1],
+                    conditional: None
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn concatenates_registers() {
+        let f = flat("include \"qelib1.inc\"; qreg a[2]; qreg b[3]; x b[0];");
+        assert_eq!(f.num_qubits, 5);
+        match &f.ops[0] {
+            FlatOp::Gate { qubits, .. } => assert_eq!(qubits, &vec![2]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcasts_single_qubit_gate() {
+        let f = flat("include \"qelib1.inc\"; qreg q[3]; h q;");
+        assert_eq!(f.ops.len(), 3);
+    }
+
+    #[test]
+    fn broadcasts_two_qubit_gate_elementwise() {
+        let f = flat("include \"qelib1.inc\"; qreg a[2]; qreg b[2]; cx a, b;");
+        assert_eq!(f.ops.len(), 2);
+        match (&f.ops[0], &f.ops[1]) {
+            (FlatOp::Gate { qubits: q0, .. }, FlatOp::Gate { qubits: q1, .. }) => {
+                assert_eq!(q0, &vec![0, 2]);
+                assert_eq!(q1, &vec![1, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_mixed_register_and_index() {
+        let f = flat("include \"qelib1.inc\"; qreg a[3]; qreg b[1]; cx a, b[0];");
+        assert_eq!(f.ops.len(), 3);
+        for (i, op) in f.ops.iter().enumerate() {
+            match op {
+                FlatOp::Gate { qubits, .. } => assert_eq!(qubits, &vec![i, 3]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_size_mismatch_is_error() {
+        let e = flat_err("include \"qelib1.inc\"; qreg a[2]; qreg b[3]; cx a, b;");
+        assert!(e.to_string().contains("broadcast size mismatch"));
+    }
+
+    #[test]
+    fn expands_user_defined_gate() {
+        let f = flat(
+            "include \"qelib1.inc\"; qreg q[3]; \
+             gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; } \
+             majority q[0], q[1], q[2];",
+        );
+        let gates: Vec<PrimitiveGate> = f
+            .ops
+            .iter()
+            .map(|op| match op {
+                FlatOp::Gate { gate, .. } => *gate,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            gates,
+            vec![PrimitiveGate::Cx, PrimitiveGate::Cx, PrimitiveGate::Ccx]
+        );
+    }
+
+    #[test]
+    fn expands_parameterized_gate_with_substitution() {
+        let f = flat(
+            "include \"qelib1.inc\"; qreg q[1]; \
+             gate half(theta) a { rz(theta/2) a; } \
+             half(pi) q[0];",
+        );
+        match &f.ops[0] {
+            FlatOp::Gate { gate, params, .. } => {
+                assert_eq!(*gate, PrimitiveGate::Rz);
+                assert!((params[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qelib_gates_stay_primitive() {
+        // ccx must NOT be decomposed during lowering; it is a primitive of
+        // the IR (decomposition is a separate, explicit circuit pass).
+        let f = flat("include \"qelib1.inc\"; qreg q[3]; ccx q[0],q[1],q[2];");
+        assert_eq!(f.ops.len(), 1);
+    }
+
+    #[test]
+    fn measure_broadcast() {
+        let f = flat("include \"qelib1.inc\"; qreg q[2]; creg c[2]; measure q -> c;");
+        assert_eq!(
+            f.ops,
+            vec![
+                FlatOp::Measure { qubit: 0, bit: 0 },
+                FlatOp::Measure { qubit: 1, bit: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn measure_size_mismatch_is_error() {
+        let e = flat_err("qreg q[2]; creg c[3]; measure q -> c;");
+        assert!(e.to_string().contains("size mismatch"));
+    }
+
+    #[test]
+    fn conditional_is_recorded() {
+        let f = flat("include \"qelib1.inc\"; qreg q[1]; creg c[1]; if (c == 1) x q[0];");
+        match &f.ops[0] {
+            FlatOp::Gate { conditional, .. } => {
+                assert_eq!(conditional, &Some(("c".to_string(), 1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_collects_qubits() {
+        let f = flat("include \"qelib1.inc\"; qreg q[3]; barrier q[0], q[2];");
+        assert_eq!(f.ops, vec![FlatOp::Barrier { qubits: vec![0, 2] }]);
+    }
+
+    #[test]
+    fn barrier_whole_register() {
+        let f = flat("qreg q[3]; barrier q;");
+        assert_eq!(f.ops, vec![FlatOp::Barrier { qubits: vec![0, 1, 2] }]);
+    }
+
+    #[test]
+    fn reset_broadcast() {
+        let f = flat("qreg q[2]; reset q;");
+        assert_eq!(f.ops.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let e = flat_err("qreg q[1]; foo q[0];");
+        assert!(e.to_string().contains("unknown gate"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let e = flat_err("include \"qelib1.inc\"; qreg q[2]; x q[5];");
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_duplicate_register() {
+        let e = flat_err("qreg q[2]; qreg q[3];");
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_repeated_operand() {
+        let e = flat_err("include \"qelib1.inc\"; qreg q[2]; cx q[0], q[0];");
+        assert!(e.to_string().contains("repeated"));
+    }
+
+    #[test]
+    fn rejects_recursive_gate() {
+        let e = flat_err("qreg q[1]; gate loop a { loop a; } loop q[0];");
+        assert!(e.to_string().contains("depth"));
+    }
+
+    #[test]
+    fn rejects_unresolvable_include() {
+        let e = flat_err("include \"mylib.inc\"; qreg q[1];");
+        assert!(e.to_string().contains("mylib.inc"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let e = flat_err("include \"qelib1.inc\"; qreg q[2]; h q[0], q[1];");
+        assert!(e.to_string().contains("expects"));
+    }
+
+    #[test]
+    fn rejects_wrong_param_count() {
+        let e = flat_err("include \"qelib1.inc\"; qreg q[1]; rz q[0];");
+        assert!(e.to_string().contains("parameters"));
+    }
+
+    #[test]
+    fn opaque_cannot_be_lowered() {
+        let e = flat_err("qreg q[1]; opaque mystery a; mystery q[0];");
+        assert!(e.to_string().contains("opaque"));
+    }
+
+    #[test]
+    fn eval_expr_constants() {
+        let env = HashMap::new();
+        assert_eq!(eval_expr(&Expr::Int(3), &env).unwrap(), 3.0);
+        assert!((eval_expr(&Expr::Pi, &env).unwrap() - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eval_expr_unbound_param_is_error() {
+        let env = HashMap::new();
+        assert!(eval_expr(&Expr::Param("theta".into()), &env).is_err());
+    }
+
+    #[test]
+    fn u_builtin_without_include() {
+        // U and CX work without qelib1.
+        let f = flat("OPENQASM 2.0; qreg q[2]; U(0, 0, pi) q[0]; CX q[0], q[1];");
+        assert_eq!(f.ops.len(), 2);
+        match &f.ops[0] {
+            FlatOp::Gate { gate, params, .. } => {
+                assert_eq!(*gate, PrimitiveGate::U);
+                assert_eq!(params.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn primitive_arities_consistent() {
+        for name in [
+            "u1", "u2", "u3", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "cx",
+            "cy", "cz", "ch", "crz", "cu1", "cu3", "swap", "ccx", "cswap", "rzz", "id",
+        ] {
+            let g = PrimitiveGate::from_name(name).unwrap();
+            assert!(g.num_qubits() >= 1 && g.num_qubits() <= 3);
+            // names round-trip except aliases (u0 -> id, CX -> cx)
+            assert_eq!(PrimitiveGate::from_name(g.name()), Some(g));
+        }
+    }
+}

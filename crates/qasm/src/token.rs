@@ -1,0 +1,184 @@
+//! Token definitions for the OpenQASM 2.0 lexer.
+
+use std::fmt;
+
+/// A source position (1-based line and column), attached to every token
+/// and error for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position from 1-based line and column numbers.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Keywords.
+    /// `OPENQASM` version header keyword.
+    OpenQasm,
+    /// `include` directive keyword.
+    Include,
+    /// `qreg` quantum register declaration keyword.
+    QReg,
+    /// `creg` classical register declaration keyword.
+    CReg,
+    /// `gate` composite gate definition keyword.
+    Gate,
+    /// `opaque` gate declaration keyword.
+    Opaque,
+    /// `measure` statement keyword.
+    Measure,
+    /// `reset` statement keyword.
+    Reset,
+    /// `barrier` statement keyword.
+    Barrier,
+    /// `if` conditional keyword.
+    If,
+    /// Built-in single-qubit unitary `U`.
+    U,
+    /// Built-in controlled-NOT `CX`.
+    Cx,
+    /// The constant `pi`.
+    Pi,
+
+    // Literals and identifiers.
+    /// Identifier (gate or register name).
+    Ident(String),
+    /// Real number literal.
+    Real(f64),
+    /// Non-negative integer literal.
+    Int(u64),
+    /// String literal (only used by `include`).
+    Str(String),
+
+    // Punctuation.
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::OpenQasm => write!(f, "OPENQASM"),
+            TokenKind::Include => write!(f, "include"),
+            TokenKind::QReg => write!(f, "qreg"),
+            TokenKind::CReg => write!(f, "creg"),
+            TokenKind::Gate => write!(f, "gate"),
+            TokenKind::Opaque => write!(f, "opaque"),
+            TokenKind::Measure => write!(f, "measure"),
+            TokenKind::Reset => write!(f, "reset"),
+            TokenKind::Barrier => write!(f, "barrier"),
+            TokenKind::If => write!(f, "if"),
+            TokenKind::U => write!(f, "U"),
+            TokenKind::Cx => write!(f, "CX"),
+            TokenKind::Pi => write!(f, "pi"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Real(x) => write!(f, "{x}"),
+            TokenKind::Int(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Caret => write!(f, "^"),
+        }
+    }
+}
+
+/// A lexical token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source this token begins.
+    pub pos: Pos,
+}
+
+impl Token {
+    /// Creates a token of `kind` at position `pos`.
+    pub fn new(kind: TokenKind, pos: Pos) -> Self {
+        Token { kind, pos }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos::new(3, 14).to_string(), "3:14");
+    }
+
+    #[test]
+    fn token_kind_display_round_trip_punct() {
+        for (k, s) in [
+            (TokenKind::Semicolon, ";"),
+            (TokenKind::Arrow, "->"),
+            (TokenKind::EqEq, "=="),
+            (TokenKind::Caret, "^"),
+        ] {
+            assert_eq!(k.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn token_carries_position() {
+        let t = Token::new(TokenKind::Pi, Pos::new(1, 5));
+        assert_eq!(t.pos.col, 5);
+        assert_eq!(t.kind, TokenKind::Pi);
+    }
+}

@@ -1,0 +1,377 @@
+//! Serialization of [`FlatProgram`]s back to OpenQASM 2.0 source.
+//!
+//! The writer emits one statement per line against the global register
+//! layout recorded in the program (or a single synthetic `q` register if
+//! none is recorded). Round-tripping through [`crate::parse_and_flatten`]
+//! reproduces the same operation sequence.
+
+use crate::semantic::{FlatOp, FlatProgram};
+use std::fmt::Write as _;
+
+/// Finds the `(register name, local index)` for a global qubit index.
+fn locate(regs: &[(String, usize)], mut index: usize) -> Option<(&str, usize)> {
+    for (name, size) in regs {
+        if index < *size {
+            return Some((name, index));
+        }
+        index -= size;
+    }
+    None
+}
+
+fn fmt_param(x: f64) -> String {
+    // Render common multiples of pi symbolically for readability; fall
+    // back to full precision so round-trips are exact.
+    let pi = std::f64::consts::PI;
+    for (num, den) in [
+        (1i32, 1i32),
+        (1, 2),
+        (-1, 2),
+        (1, 4),
+        (-1, 4),
+        (-1, 1),
+        (2, 1),
+        (1, 8),
+        (-1, 8),
+        (1, 16),
+        (-1, 16),
+    ] {
+        if (x - pi * num as f64 / den as f64).abs() < 1e-15 {
+            return match (num, den) {
+                (1, 1) => "pi".to_string(),
+                (-1, 1) => "-pi".to_string(),
+                (n, 1) => format!("{n}*pi"),
+                (1, d) => format!("pi/{d}"),
+                (-1, d) => format!("-pi/{d}"),
+                (n, d) => format!("{n}*pi/{d}"),
+            };
+        }
+    }
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        // {:?} gives a shortest representation that round-trips through f64.
+        format!("{x:?}")
+    }
+}
+
+/// Renders a flat program as OpenQASM 2.0 source.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), codar_qasm::QasmError> {
+/// let flat = codar_qasm::parse_and_flatten(
+///     "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; cx q[0], q[1];",
+/// )?;
+/// let src = codar_qasm::writer::write(&flat);
+/// assert!(src.contains("cx q[0], q[1];"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write(program: &FlatProgram) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+
+    let synthetic_qreg;
+    let qregs: &[(String, usize)] = if program.qregs.is_empty() && program.num_qubits > 0 {
+        synthetic_qreg = [("q".to_string(), program.num_qubits)];
+        &synthetic_qreg
+    } else {
+        &program.qregs
+    };
+    let synthetic_creg;
+    let cregs: &[(String, usize)] = if program.cregs.is_empty() && program.num_bits > 0 {
+        synthetic_creg = [("c".to_string(), program.num_bits)];
+        &synthetic_creg
+    } else {
+        &program.cregs
+    };
+
+    for (name, size) in qregs {
+        let _ = writeln!(out, "qreg {name}[{size}];");
+    }
+    for (name, size) in cregs {
+        let _ = writeln!(out, "creg {name}[{size}];");
+    }
+
+    let q = |idx: usize| -> String {
+        match locate(qregs, idx) {
+            Some((name, i)) => format!("{name}[{i}]"),
+            None => format!("q[{idx}]"),
+        }
+    };
+    let c = |idx: usize| -> String {
+        match locate(cregs, idx) {
+            Some((name, i)) => format!("{name}[{i}]"),
+            None => format!("c[{idx}]"),
+        }
+    };
+
+    for op in &program.ops {
+        match op {
+            FlatOp::Gate {
+                gate,
+                params,
+                qubits,
+                conditional,
+            } => {
+                if let Some((creg, value)) = conditional {
+                    let _ = write!(out, "if ({creg} == {value}) ");
+                }
+                let _ = write!(out, "{}", gate.name());
+                if !params.is_empty() {
+                    let rendered: Vec<String> = params.iter().map(|&p| fmt_param(p)).collect();
+                    let _ = write!(out, "({})", rendered.join(", "));
+                }
+                let rendered: Vec<String> = qubits.iter().map(|&i| q(i)).collect();
+                let _ = writeln!(out, " {};", rendered.join(", "));
+            }
+            FlatOp::Measure { qubit, bit } => {
+                let _ = writeln!(out, "measure {} -> {};", q(*qubit), c(*bit));
+            }
+            FlatOp::Reset { qubit } => {
+                let _ = writeln!(out, "reset {};", q(*qubit));
+            }
+            FlatOp::Barrier { qubits } => {
+                let rendered: Vec<String> = qubits.iter().map(|&i| q(i)).collect();
+                let _ = writeln!(out, "barrier {};", rendered.join(", "));
+            }
+        }
+    }
+    out
+}
+
+// ---- AST-level pretty printing -----------------------------------------
+
+fn fmt_expr(expr: &crate::ast::Expr, parent_prec: u8) -> String {
+    use crate::ast::{BinaryOp, Expr};
+    let (text, prec) = match expr {
+        Expr::Real(x) => (format!("{x:?}"), 3),
+        Expr::Int(x) => (x.to_string(), 3),
+        Expr::Pi => ("pi".to_string(), 3),
+        Expr::Param(name) => (name.clone(), 3),
+        Expr::Neg(inner) => (format!("-{}", fmt_expr(inner, 2)), 2),
+        Expr::Call(f, arg) => (format!("{}({})", f.name(), fmt_expr(arg, 0)), 3),
+        Expr::Binary(op, a, b) => {
+            let prec = match op {
+                BinaryOp::Add | BinaryOp::Sub => 0,
+                BinaryOp::Mul | BinaryOp::Div => 1,
+                BinaryOp::Pow => 2,
+            };
+            (
+                format!("{} {op} {}", fmt_expr(a, prec), fmt_expr(b, prec + 1)),
+                prec,
+            )
+        }
+    };
+    if prec < parent_prec {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+fn fmt_call(call: &crate::ast::GateCall) -> String {
+    let mut out = call.name.clone();
+    if !call.params.is_empty() {
+        let rendered: Vec<String> = call.params.iter().map(|e| fmt_expr(e, 0)).collect();
+        out.push_str(&format!("({})", rendered.join(", ")));
+    }
+    let args: Vec<String> = call.args.iter().map(|a| a.to_string()).collect();
+    out.push_str(&format!(" {};", args.join(", ")));
+    out
+}
+
+/// Pretty-prints a parsed [`Program`] back to OpenQASM source,
+/// preserving gate definitions, includes and conditionals (unlike
+/// [`write`], which operates on the flattened form).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), codar_qasm::QasmError> {
+/// let src = "OPENQASM 2.0;\ngate rot(t) a { rz(t) a; }\nqreg q[1];\nrot(pi/2) q[0];\n";
+/// let program = codar_qasm::parse(src)?;
+/// let printed = codar_qasm::writer::write_program(&program);
+/// let reparsed = codar_qasm::parse(&printed)?;
+/// assert_eq!(program, reparsed);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_program(program: &crate::ast::Program) -> String {
+    use crate::ast::{GateBodyStmt, Statement};
+    let mut out = format!("OPENQASM {}.{};\n", program.version.0, program.version.1);
+    fn fmt_statement(stmt: &Statement, out: &mut String) {
+        match stmt {
+            Statement::Include(file) => {
+                let _ = writeln!(out, "include \"{file}\";");
+            }
+            Statement::QReg { name, size } => {
+                let _ = writeln!(out, "qreg {name}[{size}];");
+            }
+            Statement::CReg { name, size } => {
+                let _ = writeln!(out, "creg {name}[{size}];");
+            }
+            Statement::GateDef(def) => {
+                let _ = write!(out, "gate {}", def.name);
+                if !def.params.is_empty() {
+                    let _ = write!(out, "({})", def.params.join(", "));
+                }
+                let _ = writeln!(out, " {} {{", def.qargs.join(", "));
+                for body in &def.body {
+                    match body {
+                        GateBodyStmt::Call(call) => {
+                            let _ = writeln!(out, "  {}", fmt_call(call));
+                        }
+                        GateBodyStmt::Barrier(args) => {
+                            let rendered: Vec<String> =
+                                args.iter().map(|a| a.to_string()).collect();
+                            let _ = writeln!(out, "  barrier {};", rendered.join(", "));
+                        }
+                    }
+                }
+                let _ = writeln!(out, "}}");
+            }
+            Statement::Opaque { name, params, qargs } => {
+                let _ = write!(out, "opaque {name}");
+                if !params.is_empty() {
+                    let _ = write!(out, "({})", params.join(", "));
+                }
+                let _ = writeln!(out, " {};", qargs.join(", "));
+            }
+            Statement::GateCall(call) => {
+                let _ = writeln!(out, "{}", fmt_call(call));
+            }
+            Statement::Measure { src, dst } => {
+                let _ = writeln!(out, "measure {src} -> {dst};");
+            }
+            Statement::Reset(arg) => {
+                let _ = writeln!(out, "reset {arg};");
+            }
+            Statement::Barrier(args) => {
+                let rendered: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(out, "barrier {};", rendered.join(", "));
+            }
+            Statement::If { creg, value, then } => {
+                let _ = write!(out, "if ({creg} == {value}) ");
+                let mut inner = String::new();
+                fmt_statement(then, &mut inner);
+                out.push_str(&inner);
+            }
+        }
+    }
+    for stmt in &program.statements {
+        fmt_statement(stmt, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_flatten;
+
+    #[test]
+    fn round_trip_preserves_ops() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\n\
+                   h q[0];\ncx q[0], q[1];\nrz(pi/4) q[2];\nccx q[0], q[1], q[2];\n\
+                   barrier q[0], q[1];\nmeasure q[0] -> c[0];\nreset q[1];\n";
+        let flat = parse_and_flatten(src).unwrap();
+        let emitted = write(&flat);
+        let reflat = parse_and_flatten(&emitted).unwrap();
+        assert_eq!(flat.ops, reflat.ops);
+        assert_eq!(flat.num_qubits, reflat.num_qubits);
+    }
+
+    #[test]
+    fn round_trip_multi_register() {
+        let src = "OPENQASM 2.0; include \"qelib1.inc\"; qreg a[2]; qreg b[2]; creg c[2]; \
+                   cx a[1], b[0]; measure b[1] -> c[1];";
+        let flat = parse_and_flatten(src).unwrap();
+        let emitted = write(&flat);
+        assert!(emitted.contains("cx a[1], b[0];"));
+        assert!(emitted.contains("measure b[1] -> c[1];"));
+        let reflat = parse_and_flatten(&emitted).unwrap();
+        assert_eq!(flat.ops, reflat.ops);
+    }
+
+    #[test]
+    fn round_trip_conditional() {
+        let src = "include \"qelib1.inc\"; qreg q[1]; creg c[1]; if (c == 1) x q[0];";
+        let flat = parse_and_flatten(src).unwrap();
+        let emitted = write(&flat);
+        assert!(emitted.contains("if (c == 1) x q[0];"));
+        let reflat = parse_and_flatten(&emitted).unwrap();
+        assert_eq!(flat.ops, reflat.ops);
+    }
+
+    #[test]
+    fn pi_fractions_are_symbolic() {
+        assert_eq!(fmt_param(std::f64::consts::PI), "pi");
+        assert_eq!(fmt_param(-std::f64::consts::PI), "-pi");
+        assert_eq!(fmt_param(std::f64::consts::FRAC_PI_2), "pi/2");
+        assert_eq!(fmt_param(std::f64::consts::FRAC_PI_4), "pi/4");
+        assert_eq!(fmt_param(0.0), "0");
+    }
+
+    #[test]
+    fn arbitrary_params_round_trip_exactly() {
+        let src = "include \"qelib1.inc\"; qreg q[1]; rz(0.12345678901234567) q[0];";
+        let flat = parse_and_flatten(src).unwrap();
+        let emitted = write(&flat);
+        let reflat = parse_and_flatten(&emitted).unwrap();
+        assert_eq!(flat.ops, reflat.ops);
+    }
+
+    #[test]
+    fn ast_round_trip_with_gate_defs() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n\
+                   gate majority a, b, c {\n  cx c, b;\n  cx c, a;\n  ccx a, b, c;\n}\n\
+                   qreg q[3];\ncreg c[3];\nmajority q[0], q[1], q[2];\n\
+                   if (c == 2) x q[0];\nbarrier q[0], q[1];\nmeasure q[0] -> c[0];\n";
+        let program = crate::parse(src).unwrap();
+        let printed = write_program(&program);
+        let reparsed = crate::parse(&printed).unwrap();
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn ast_round_trip_preserves_expressions() {
+        // Precedence-sensitive parameter expressions survive printing.
+        let src = "OPENQASM 2.0;\nqreg q[1];\nU(1 + 2 * 3, -(2 + 1), sin(pi / 4) ^ 2) q[0];\n";
+        let program = crate::parse(src).unwrap();
+        let printed = write_program(&program);
+        let reparsed = crate::parse(&printed).unwrap();
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn ast_printer_renders_opaque_and_reset() {
+        let src = "OPENQASM 2.0;\nopaque magic(a) x, y;\nqreg q[2];\nreset q[1];\n";
+        let program = crate::parse(src).unwrap();
+        let printed = write_program(&program);
+        assert!(printed.contains("opaque magic(a) x, y;"));
+        assert!(printed.contains("reset q[1];"));
+        assert_eq!(crate::parse(&printed).unwrap(), program);
+    }
+
+    #[test]
+    fn synthetic_register_when_missing() {
+        let flat = crate::semantic::FlatProgram {
+            num_qubits: 2,
+            num_bits: 0,
+            qregs: vec![],
+            cregs: vec![],
+            ops: vec![crate::semantic::FlatOp::Gate {
+                gate: crate::semantic::PrimitiveGate::Cx,
+                params: vec![],
+                qubits: vec![0, 1],
+                conditional: None,
+            }],
+        };
+        let emitted = write(&flat);
+        assert!(emitted.contains("qreg q[2];"));
+        assert!(emitted.contains("cx q[0], q[1];"));
+    }
+}

@@ -1,0 +1,181 @@
+//! A minimal complex number type (the offline dependency set has no
+//! `num-complex`, and we need only a handful of operations).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// 0 + 0i.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// 0 + 1i.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^{iθ}` — a unit phase.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// `|z|²` (no square root).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// `|z|`.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert!(close(a + b, Complex64::new(4.0, 1.0)));
+        assert!(close(a - b, Complex64::new(-2.0, 3.0)));
+        assert!(close(a * b, Complex64::new(5.0, 5.0)));
+        assert!(close(-a, Complex64::new(-1.0, -2.0)));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, -Complex64::ONE));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+        assert!(close(z.conj(), Complex64::new(3.0, -4.0)));
+        assert!(close(z * z.conj(), Complex64::from(25.0)));
+    }
+
+    #[test]
+    fn from_angle_is_unit() {
+        for k in 0..8 {
+            let z = Complex64::from_angle(k as f64 * 0.7853981633974483);
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!(close(
+            Complex64::from_angle(std::f64::consts::PI),
+            -Complex64::ONE
+        ));
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+    }
+
+    #[test]
+    fn mul_assign_and_add_assign() {
+        let mut z = Complex64::ONE;
+        z *= Complex64::I;
+        z += Complex64::ONE;
+        assert!(close(z, Complex64::new(1.0, 1.0)));
+    }
+}

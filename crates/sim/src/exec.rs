@@ -1,0 +1,216 @@
+//! Schedule-aware circuit execution.
+//!
+//! The key point of the fidelity experiment: noise accumulates *per
+//! cycle of wall-clock schedule time*, not per gate. A qubit that idles
+//! while others run keeps dephasing, so a router that produces a shorter
+//! weighted depth (CODAR) loses less fidelity than one that produces a
+//! longer one (SABRE) under the same noise rates.
+
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+use codar_circuit::schedule::{Schedule, Time};
+use codar_circuit::{Circuit, Gate, GateKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs `circuit` without noise, applying gates in program order.
+///
+/// Measurements and resets consume a fixed-seed RNG, so this function is
+/// deterministic; for fidelity experiments strip measurements first
+/// (see [`strip_measurements`]).
+pub fn run_ideal(circuit: &Circuit) -> StateVector {
+    let mut state = StateVector::zero(circuit.num_qubits());
+    let mut rng = StdRng::seed_from_u64(0);
+    for gate in circuit.gates() {
+        crate::gates::apply_gate(&mut state, gate, &mut rng);
+    }
+    state
+}
+
+/// Removes `Measure` gates (fidelity is evaluated on the pre-measurement
+/// state, as the paper's noisy-QVM comparison does).
+pub fn strip_measurements(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_bits(circuit.num_qubits(), circuit.num_bits());
+    for gate in circuit.gates() {
+        if gate.kind != GateKind::Measure {
+            out.push(gate.clone());
+        }
+    }
+    out
+}
+
+/// Relabels the circuit onto its actually-used qubits, returning the
+/// compacted circuit and the old-index-per-new-index table.
+///
+/// Routed circuits live on the full device (e.g. 20 or 54 qubits) but
+/// touch only a region; compaction keeps the state vector small.
+pub fn compact_qubits(circuit: &Circuit) -> (Circuit, Vec<usize>) {
+    let mut used: Vec<usize> = circuit
+        .gates()
+        .iter()
+        .flat_map(|g| g.qubits.iter().copied())
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    let mut new_of_old = vec![usize::MAX; circuit.num_qubits()];
+    for (new, &old) in used.iter().enumerate() {
+        new_of_old[old] = new;
+    }
+    let mut out = Circuit::with_bits(used.len(), circuit.num_bits());
+    for gate in circuit.gates() {
+        out.push(gate.map_qubits(|q| new_of_old[q]));
+    }
+    (out, used)
+}
+
+/// Runs one noisy trajectory of `circuit` under the ASAP schedule
+/// induced by `duration_of`, with per-cycle `noise`.
+///
+/// Each qubit tracks its own clock: before a gate, the qubit receives
+/// noise for the cycles it sat idle since its previous gate; during the
+/// gate it receives noise for the gate's duration; at the end every
+/// qubit is advanced to the schedule makespan.
+pub fn run_noisy_trajectory(
+    circuit: &Circuit,
+    mut duration_of: impl FnMut(&Gate) -> Time,
+    noise: &NoiseModel,
+    rng: &mut impl Rng,
+) -> StateVector {
+    let schedule = Schedule::asap(circuit, &mut duration_of);
+    let mut state = StateVector::zero(circuit.num_qubits());
+    let mut qubit_clock: Vec<Time> = vec![0; circuit.num_qubits()];
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let start = schedule.start[i];
+        let dur = if gate.kind == GateKind::Barrier {
+            0
+        } else {
+            duration_of(gate)
+        };
+        for &q in &gate.qubits {
+            debug_assert!(qubit_clock[q] <= start, "schedule must be causal");
+            // Idle decoherence while waiting for the gate to start.
+            noise.apply(&mut state, q, start - qubit_clock[q], rng);
+        }
+        crate::gates::apply_gate(&mut state, gate, rng);
+        for &q in &gate.qubits {
+            // Decoherence during the gate itself.
+            noise.apply(&mut state, q, dur, rng);
+            qubit_clock[q] = start + dur;
+        }
+    }
+    for q in 0..circuit.num_qubits() {
+        noise.apply(&mut state, q, schedule.makespan - qubit_clock[q], rng);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_bell() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let s = run_ideal(&c);
+        assert!((s.probability_of(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strip_measurements_removes_only_measures() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.measure(0, 0);
+        c.cx(0, 1);
+        c.measure(1, 1);
+        let stripped = strip_measurements(&c);
+        assert_eq!(stripped.len(), 2);
+        assert_eq!(stripped.count_kind(GateKind::Measure), 0);
+    }
+
+    #[test]
+    fn compact_relabels_sparse_circuit() {
+        let mut c = Circuit::new(20);
+        c.h(3);
+        c.cx(3, 17);
+        c.cx(17, 9);
+        let (compact, used) = compact_qubits(&c);
+        assert_eq!(compact.num_qubits(), 3);
+        assert_eq!(used, vec![3, 9, 17]);
+        // Gate operands remapped consistently.
+        assert_eq!(compact.gates()[1].qubits, vec![0, 2]);
+        assert_eq!(compact.gates()[2].qubits, vec![2, 1]);
+    }
+
+    #[test]
+    fn compact_of_dense_circuit_is_identity() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let (compact, used) = compact_qubits(&c);
+        assert_eq!(compact.gates(), c.gates());
+        assert_eq!(used, vec![0, 1]);
+    }
+
+    #[test]
+    fn noiseless_trajectory_equals_ideal() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.t(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = run_noisy_trajectory(&c, |_| 1, &NoiseModel::ideal(), &mut rng);
+        let ideal = run_ideal(&c);
+        assert!((s.fidelity_with(&ideal) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_trajectory_damages_fidelity() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        for _ in 0..30 {
+            c.t(1); // long tail keeps q0 idle and dephasing
+        }
+        let ideal = run_ideal(&c);
+        let noise = NoiseModel::new(0.05, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total = 0.0;
+        let trials = 300;
+        for _ in 0..trials {
+            let s = run_noisy_trajectory(&c, |_| 1, &noise, &mut rng);
+            total += s.fidelity_with(&ideal);
+        }
+        let mean = total / trials as f64;
+        assert!(mean < 0.95, "expected visible damage, got {mean}");
+    }
+
+    #[test]
+    fn longer_schedule_hurts_more() {
+        // Same gates, but stretched durations: more idle cycles on the
+        // spectator qubit -> lower fidelity. This is the mechanism the
+        // whole Fig. 9 experiment rests on.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(1);
+        for _ in 0..10 {
+            c.t(1);
+        }
+        let ideal = run_ideal(&c);
+        let noise = NoiseModel::new(0.01, 0.0);
+        let mean_fid = |stretch: Time| {
+            let mut rng = StdRng::seed_from_u64(8);
+            let trials = 1500;
+            let mut total = 0.0;
+            for _ in 0..trials {
+                let s = run_noisy_trajectory(&c, |_| stretch, &noise, &mut rng);
+                total += s.fidelity_with(&ideal);
+            }
+            total / trials as f64
+        };
+        let fast = mean_fid(1);
+        let slow = mean_fid(6);
+        assert!(fast > slow + 0.02, "fast {fast} vs slow {slow}");
+    }
+}

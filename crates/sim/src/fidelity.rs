@@ -1,0 +1,162 @@
+//! Monte-Carlo fidelity estimation (the paper's Fig. 9 measurement).
+
+use crate::exec::{compact_qubits, run_noisy_trajectory, strip_measurements};
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+use codar_circuit::schedule::Time;
+use codar_circuit::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `|⟨a|b⟩|²` for two pure states.
+///
+/// # Panics
+///
+/// Panics if the states have different qubit counts.
+pub fn fidelity(a: &StateVector, b: &StateVector) -> f64 {
+    a.fidelity_with(b)
+}
+
+/// The result of a trajectory-averaged fidelity estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// Mean fidelity over trajectories.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of trajectories averaged.
+    pub trajectories: usize,
+}
+
+impl FidelityReport {
+    /// Estimates the fidelity of `circuit` (a *scheduled physical*
+    /// circuit, e.g. a router output) under `noise`, against its own
+    /// noiseless execution.
+    ///
+    /// Measurements are stripped, unused device qubits compacted away,
+    /// and `trajectories` quantum-jump runs averaged. Deterministic for
+    /// a fixed `seed`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use codar_circuit::Circuit;
+    /// use codar_sim::{FidelityReport, NoiseModel};
+    ///
+    /// let mut bell = Circuit::new(2);
+    /// bell.h(0);
+    /// bell.cx(0, 1);
+    /// let report = FidelityReport::estimate(
+    ///     &bell,
+    ///     |_| 1,
+    ///     &NoiseModel::ideal(),
+    ///     10,
+    ///     0,
+    /// );
+    /// assert!((report.mean - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn estimate(
+        circuit: &Circuit,
+        mut duration_of: impl FnMut(&Gate) -> Time,
+        noise: &NoiseModel,
+        trajectories: usize,
+        seed: u64,
+    ) -> FidelityReport {
+        assert!(trajectories > 0, "need at least one trajectory");
+        let (compacted, _) = compact_qubits(&strip_measurements(circuit));
+        let ideal = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_noisy_trajectory(&compacted, &mut duration_of, &NoiseModel::ideal(), &mut rng)
+        };
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..trajectories {
+            let state = run_noisy_trajectory(&compacted, &mut duration_of, noise, &mut rng);
+            let f = fidelity(&ideal, &state);
+            sum += f;
+            sum_sq += f * f;
+        }
+        let n = trajectories as f64;
+        let mean = sum / n;
+        let variance = (sum_sq / n - mean * mean).max(0.0);
+        FidelityReport {
+            mean,
+            std_error: (variance / n).sqrt(),
+            trajectories,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for i in 1..n {
+            c.cx(i - 1, i);
+        }
+        c
+    }
+
+    #[test]
+    fn ideal_noise_gives_unit_fidelity() {
+        let report =
+            FidelityReport::estimate(&ghz(3), |_| 1, &NoiseModel::ideal(), 5, 42);
+        assert!((report.mean - 1.0).abs() < 1e-12);
+        assert!(report.std_error < 1e-12);
+    }
+
+    #[test]
+    fn estimation_is_deterministic_per_seed() {
+        let noise = NoiseModel::new(0.01, 0.001);
+        let a = FidelityReport::estimate(&ghz(3), |_| 1, &noise, 50, 7);
+        let b = FidelityReport::estimate(&ghz(3), |_| 1, &noise, 50, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_reduces_fidelity() {
+        let mut c = ghz(3);
+        for _ in 0..20 {
+            c.t(0);
+        }
+        let noise = NoiseModel::new(0.02, 0.0);
+        let report = FidelityReport::estimate(&c, |_| 1, &noise, 200, 3);
+        assert!(report.mean < 0.99, "mean {}", report.mean);
+        assert!(report.mean > 0.1);
+        assert!(report.std_error > 0.0);
+    }
+
+    #[test]
+    fn measurements_are_stripped() {
+        let mut c = ghz(2);
+        c.measure(0, 0);
+        c.measure(1, 1);
+        // Without stripping, the fidelity would be that of collapsed
+        // states; stripped, the ideal run is deterministic and fidelity
+        // under zero noise is exactly 1.
+        let report = FidelityReport::estimate(&c, |_| 1, &NoiseModel::ideal(), 5, 0);
+        assert!((report.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_physical_circuit_is_compacted() {
+        // A "device-sized" circuit touching 3 of 20 qubits must not
+        // allocate 2^20 amplitudes.
+        let mut c = Circuit::new(20);
+        c.h(5);
+        c.cx(5, 12);
+        c.cx(12, 19);
+        let report = FidelityReport::estimate(&c, |_| 1, &NoiseModel::ideal(), 3, 0);
+        assert!((report.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_trajectories_panics() {
+        FidelityReport::estimate(&ghz(2), |_| 1, &NoiseModel::ideal(), 0, 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Unitary application for every IR gate kind.
+
+use crate::complex::Complex64;
+use crate::state::StateVector;
+use codar_circuit::{Gate, GateKind};
+use rand::Rng;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// The 2×2 matrix of `u3(θ, φ, λ)` — the general single-qubit unitary
+/// in the OpenQASM convention.
+pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> [[Complex64; 2]; 2] {
+    let half = theta / 2.0;
+    let c = Complex64::from(half.cos());
+    let s = Complex64::from(half.sin());
+    [
+        [c, -(Complex64::from_angle(lambda) * s)],
+        [
+            Complex64::from_angle(phi) * s,
+            Complex64::from_angle(phi + lambda) * c,
+        ],
+    ]
+}
+
+/// The single-qubit matrix for a gate kind, when it has one.
+pub fn single_qubit_matrix(kind: GateKind, params: &[f64]) -> Option<[[Complex64; 2]; 2]> {
+    Some(match kind {
+        GateKind::Id => u3_matrix(0.0, 0.0, 0.0),
+        GateKind::X => u3_matrix(PI, 0.0, PI),
+        GateKind::Y => u3_matrix(PI, FRAC_PI_2, FRAC_PI_2),
+        GateKind::Z => u3_matrix(0.0, 0.0, PI),
+        GateKind::H => u3_matrix(FRAC_PI_2, 0.0, PI),
+        GateKind::S => u3_matrix(0.0, 0.0, FRAC_PI_2),
+        GateKind::Sdg => u3_matrix(0.0, 0.0, -FRAC_PI_2),
+        GateKind::T => u3_matrix(0.0, 0.0, FRAC_PI_4),
+        GateKind::Tdg => u3_matrix(0.0, 0.0, -FRAC_PI_4),
+        GateKind::Rx => u3_matrix(params[0], -FRAC_PI_2, FRAC_PI_2),
+        GateKind::Ry => u3_matrix(params[0], 0.0, 0.0),
+        GateKind::Rz | GateKind::U1 => u3_matrix(0.0, 0.0, params[0]),
+        // r(θ, φ) rotates about cos(φ)X + sin(φ)Y:
+        // u3(θ, φ − π/2, π/2 − φ) up to global phase.
+        GateKind::R => u3_matrix(params[0], params[1] - FRAC_PI_2, FRAC_PI_2 - params[1]),
+        GateKind::U2 => u3_matrix(FRAC_PI_2, params[0], params[1]),
+        GateKind::U3 => u3_matrix(params[0], params[1], params[2]),
+        _ => return None,
+    })
+}
+
+/// Applies one IR gate to `state`.
+///
+/// `Measure` and `Reset` are stochastic and consume randomness from
+/// `rng`; `Barrier` is a no-op on the state.
+///
+/// # Panics
+///
+/// Panics if a gate's qubit index exceeds the state's qubit count.
+pub fn apply_gate(state: &mut StateVector, gate: &Gate, rng: &mut impl Rng) {
+    let q = &gate.qubits;
+    match gate.kind {
+        GateKind::Barrier => {}
+        GateKind::Measure => {
+            state.measure_qubit(q[0], rng);
+        }
+        GateKind::Reset => {
+            if state.measure_qubit(q[0], rng) {
+                let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+                state.apply_single(q[0], &x);
+            }
+        }
+        GateKind::Swap => state.apply_swap(q[0], q[1]),
+        GateKind::Cx => {
+            let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+            state.apply_controlled(&[q[0]], q[1], &x);
+        }
+        GateKind::Cy => {
+            let y = single_qubit_matrix(GateKind::Y, &[]).expect("Y is single-qubit");
+            state.apply_controlled(&[q[0]], q[1], &y);
+        }
+        GateKind::Cz => {
+            let z = single_qubit_matrix(GateKind::Z, &[]).expect("Z is single-qubit");
+            state.apply_controlled(&[q[0]], q[1], &z);
+        }
+        GateKind::Ch => {
+            let h = single_qubit_matrix(GateKind::H, &[]).expect("H is single-qubit");
+            state.apply_controlled(&[q[0]], q[1], &h);
+        }
+        GateKind::Crz => {
+            // Controlled rz(λ) = diag(1, 1, e^{-iλ/2}, e^{iλ/2}).
+            let m = rz_matrix(gate.params[0]);
+            state.apply_controlled(&[q[0]], q[1], &m);
+        }
+        GateKind::Cu1 => {
+            let m = u3_matrix(0.0, 0.0, gate.params[0]);
+            state.apply_controlled(&[q[0]], q[1], &m);
+        }
+        GateKind::Cu3 => {
+            let m = u3_matrix(gate.params[0], gate.params[1], gate.params[2]);
+            state.apply_controlled(&[q[0]], q[1], &m);
+        }
+        GateKind::Rzz => {
+            // exp(-iθ/2 Z⊗Z): phase e^{-iθ/2} on even parity, e^{iθ/2}
+            // on odd parity; realized as cx; rz(θ); cx up to global
+            // phase — apply directly for exactness.
+            apply_rzz(state, q[0], q[1], gate.params[0]);
+        }
+        GateKind::Rxx => {
+            // exp(-iθ/2 X⊗X) = (H⊗H) · exp(-iθ/2 Z⊗Z) · (H⊗H).
+            let h = single_qubit_matrix(GateKind::H, &[]).expect("H is single-qubit");
+            state.apply_single(q[0], &h);
+            state.apply_single(q[1], &h);
+            apply_rzz(state, q[0], q[1], gate.params[0]);
+            state.apply_single(q[0], &h);
+            state.apply_single(q[1], &h);
+        }
+        GateKind::Ccx => {
+            let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+            state.apply_controlled(&[q[0], q[1]], q[2], &x);
+        }
+        GateKind::Cswap => {
+            // Fredkin: swap q1,q2 when q0 is 1 = three Toffolis, or
+            // directly: controlled swap via cx+ccx identity.
+            let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+            state.apply_controlled(&[q[2]], q[1], &x);
+            state.apply_controlled(&[q[0], q[1]], q[2], &x);
+            state.apply_controlled(&[q[2]], q[1], &x);
+        }
+        kind => {
+            let m = single_qubit_matrix(kind, &gate.params)
+                .expect("all remaining kinds are single-qubit");
+            state.apply_single(q[0], &m);
+        }
+    }
+}
+
+/// The `rz(φ)` matrix in its symmetric convention
+/// `diag(e^{-iφ/2}, e^{iφ/2})` (used for `crz`, matching `qelib1.inc`).
+fn rz_matrix(phi: f64) -> [[Complex64; 2]; 2] {
+    [
+        [Complex64::from_angle(-phi / 2.0), Complex64::ZERO],
+        [Complex64::ZERO, Complex64::from_angle(phi / 2.0)],
+    ]
+}
+
+fn apply_rzz(state: &mut StateVector, a: usize, b: usize, theta: f64) {
+    // cx a,b ; u1(theta) b ; cx a,b — matches the qelib1 definition.
+    let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+    let u1 = u3_matrix(0.0, 0.0, theta);
+    state.apply_controlled(&[a], b, &x);
+    state.apply_single(b, &u1);
+    state.apply_controlled(&[a], b, &x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(circuit: &Circuit) -> StateVector {
+        let mut state = StateVector::zero(circuit.num_qubits());
+        let mut rng = StdRng::seed_from_u64(0);
+        for g in circuit.gates() {
+            apply_gate(&mut state, g, &mut rng);
+        }
+        state
+    }
+
+    fn assert_prob(state: &StateVector, index: usize, p: f64) {
+        assert!(
+            (state.probability_of(index) - p).abs() < 1e-10,
+            "P[{index}] = {} != {p}",
+            state.probability_of(index)
+        );
+    }
+
+    #[test]
+    fn bell_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let s = run(&c);
+        assert_prob(&s, 0b00, 0.5);
+        assert_prob(&s, 0b11, 0.5);
+    }
+
+    #[test]
+    fn unitarity_of_every_single_qubit_matrix() {
+        for &kind in GateKind::all_unitary() {
+            let params = vec![0.37; kind.num_params()];
+            if let Some(m) = single_qubit_matrix(kind, &params) {
+                // M†M = I
+                for i in 0..2 {
+                    for j in 0..2 {
+                        let mut acc = Complex64::ZERO;
+                        for k in 0..2 {
+                            acc += m[k][i].conj() * m[k][j];
+                        }
+                        let expect = if i == j { 1.0 } else { 0.0 };
+                        assert!(
+                            (acc - Complex64::from(expect)).norm() < 1e-12,
+                            "{kind}: M†M[{i}][{j}] = {acc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_gate_and_three_cnots_agree() {
+        let mut prep = Circuit::new(2);
+        prep.h(0);
+        prep.t(0);
+        prep.ry(0.3, 1);
+        let mut with_swap = prep.clone();
+        with_swap.swap(0, 1);
+        let mut with_cnots = prep.clone();
+        with_cnots.cx(0, 1);
+        with_cnots.cx(1, 0);
+        with_cnots.cx(0, 1);
+        let a = run(&with_swap);
+        let b = run(&with_cnots);
+        assert!((a.fidelity_with(&b) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ccx_and_decomposition_agree() {
+        let mut prep = Circuit::new(3);
+        prep.h(0);
+        prep.h(1);
+        prep.ry(0.7, 2);
+        let mut direct = prep.clone();
+        direct.ccx(0, 1, 2);
+        let decomposed = codar_circuit::decompose::decompose_three_qubit_gates(&direct);
+        let a = run(&direct);
+        let b = run(&decomposed);
+        assert!((a.fidelity_with(&b) - 1.0).abs() < 1e-10, "fidelity {}", a.fidelity_with(&b));
+    }
+
+    #[test]
+    fn cz_symmetry() {
+        // CZ is symmetric: cz(a,b) == cz(b,a).
+        let mut prep = Circuit::new(2);
+        prep.h(0);
+        prep.h(1);
+        let mut ab = prep.clone();
+        ab.cz(0, 1);
+        let mut ba = prep.clone();
+        ba.cz(1, 0);
+        let a = run(&ab);
+        let b = run(&ba);
+        assert!((a.fidelity_with(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rzz_matches_qelib_definition() {
+        let mut prep = Circuit::new(2);
+        prep.h(0);
+        prep.ry(1.1, 1);
+        let mut direct = prep.clone();
+        direct.rzz(0.9, 0, 1);
+        let mut expanded = prep.clone();
+        expanded.cx(0, 1);
+        expanded.u1(0.9, 1);
+        expanded.cx(0, 1);
+        let a = run(&direct);
+        let b = run(&expanded);
+        assert!((a.fidelity_with(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cswap_is_conditional_swap() {
+        // Control 0: nothing happens.
+        let mut c = Circuit::new(3);
+        c.x(1); // |010>
+        c.add(GateKind::Cswap, vec![0, 1, 2], vec![]);
+        let s = run(&c);
+        assert_prob(&s, 0b010, 1.0);
+        // Control 1: swap targets.
+        let mut c = Circuit::new(3);
+        c.x(0);
+        c.x(1); // |011>
+        c.add(GateKind::Cswap, vec![0, 1, 2], vec![]);
+        let s = run(&c);
+        assert_prob(&s, 0b101, 1.0);
+    }
+
+    #[test]
+    fn reset_restores_zero() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.add(GateKind::Reset, vec![0], vec![]);
+        let s = run(&c);
+        assert_prob(&s, 0, 1.0);
+    }
+
+    #[test]
+    fn measure_collapses_in_circuit() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.measure(0, 0);
+        let s = run(&c);
+        // Collapsed to one basis state.
+        let p0 = s.probability_of(0);
+        assert!((p0 - 1.0).abs() < 1e-12 || p0 < 1e-12);
+    }
+
+    #[test]
+    fn qft2_amplitudes() {
+        // QFT on |00>: uniform superposition.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cu1(std::f64::consts::FRAC_PI_2, 1, 0);
+        c.h(1);
+        let s = run(&c);
+        for i in 0..4 {
+            assert!((s.probability_of(i) - 0.25).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn x_via_hzh() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.z(0);
+        c.h(0);
+        let s = run(&c);
+        assert_prob(&s, 1, 1.0);
+    }
+
+    #[test]
+    fn s_t_phases_compose() {
+        // T·T = S; S·S = Z.
+        let mut a = Circuit::new(1);
+        a.h(0);
+        a.t(0);
+        a.t(0);
+        a.sdg(0);
+        a.h(0);
+        let s = run(&a);
+        assert_prob(&s, 0, 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Noisy state-vector simulation for the fidelity experiments (paper
+//! Sec. V-B, Fig. 9).
+//!
+//! The paper evaluates fidelity on the OriginQ noisy quantum virtual
+//! machine, "based on Qubit Dephasing and Damping model". This crate
+//! reproduces that substrate:
+//!
+//! * [`complex`] / [`state`] — a dependency-free complex state vector,
+//! * [`gates`] — unitary application for every IR gate kind,
+//! * [`noise`] — per-cycle dephasing and amplitude-damping channels,
+//! * [`exec`] — schedule-aware execution: each qubit accumulates noise
+//!   for exactly the cycles it spends between gates, so *shorter
+//!   schedules suffer less decoherence* — the effect CODAR exploits,
+//! * [`fidelity`] — Monte-Carlo trajectory fidelity estimation.
+//!
+//! # Examples
+//!
+//! ```
+//! use codar_circuit::Circuit;
+//! use codar_sim::{NoiseModel, StateVector};
+//! use codar_sim::exec::run_ideal;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0);
+//! bell.cx(0, 1);
+//! let state = run_ideal(&bell);
+//! // |00> and |11> each with probability 1/2.
+//! assert!((state.probability_of(0b00) - 0.5).abs() < 1e-12);
+//! assert!((state.probability_of(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod complex;
+pub mod exec;
+pub mod fidelity;
+pub mod gates;
+pub mod measure;
+pub mod noise;
+pub mod state;
+
+pub use complex::Complex64;
+pub use fidelity::{fidelity, FidelityReport};
+pub use noise::NoiseModel;
+pub use state::StateVector;

@@ -1,0 +1,128 @@
+//! Measurement sampling and observable expectations.
+//!
+//! The fidelity experiments compare states directly; downstream users
+//! of a simulator usually want shot counts and Pauli expectations —
+//! provided here.
+
+use crate::state::StateVector;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Samples `shots` computational-basis measurements of the whole
+/// register, returning counts keyed by basis-state index (qubit `q` is
+/// bit `q`).
+///
+/// The state is *not* collapsed: this models re-preparing and measuring
+/// the circuit `shots` times, as hardware does.
+pub fn sample_counts(
+    state: &StateVector,
+    shots: usize,
+    rng: &mut impl Rng,
+) -> BTreeMap<usize, usize> {
+    // Cumulative distribution over basis states.
+    let mut cumulative = Vec::with_capacity(state.amplitudes().len());
+    let mut acc = 0.0;
+    for a in state.amplitudes() {
+        acc += a.norm_sqr();
+        cumulative.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    let mut counts = BTreeMap::new();
+    for _ in 0..shots {
+        let r = rng.gen::<f64>() * total;
+        let idx = cumulative.partition_point(|&c| c < r);
+        *counts.entry(idx.min(cumulative.len() - 1)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// `⟨Z_q⟩` — expectation of Pauli-Z on qubit `q`.
+pub fn expectation_z(state: &StateVector, q: usize) -> f64 {
+    1.0 - 2.0 * state.prob_one(q)
+}
+
+/// `⟨Z_a Z_b⟩` — the two-point correlator measured by Ising/QAOA
+/// workloads.
+pub fn expectation_zz(state: &StateVector, a: usize, b: usize) -> f64 {
+    let (ma, mb) = (1usize << a, 1usize << b);
+    state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .map(|(i, amp)| {
+            let parity = ((i & ma != 0) as i32 + (i & mb != 0) as i32) % 2;
+            let sign = if parity == 0 { 1.0 } else { -1.0 };
+            sign * amp.norm_sqr()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_ideal;
+    use codar_circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell() -> StateVector {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        run_ideal(&c)
+    }
+
+    #[test]
+    fn counts_sum_to_shots() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let counts = sample_counts(&bell(), 1000, &mut rng);
+        assert_eq!(counts.values().sum::<usize>(), 1000);
+        // Only |00> and |11> appear.
+        assert!(counts.keys().all(|&k| k == 0b00 || k == 0b11));
+    }
+
+    #[test]
+    fn counts_follow_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = sample_counts(&bell(), 4000, &mut rng);
+        let zeros = *counts.get(&0).unwrap_or(&0);
+        assert!((1700..2300).contains(&zeros), "got {zeros}/4000");
+    }
+
+    #[test]
+    fn deterministic_state_samples_one_outcome() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let state = run_ideal(&c);
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = sample_counts(&state, 50, &mut rng);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&0b10], 50);
+    }
+
+    #[test]
+    fn z_expectations() {
+        let zero = StateVector::zero(1);
+        assert!((expectation_z(&zero, 0) - 1.0).abs() < 1e-12);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        assert!((expectation_z(&run_ideal(&c), 0) + 1.0).abs() < 1e-12);
+        let mut h = Circuit::new(1);
+        h.h(0);
+        assert!(expectation_z(&run_ideal(&h), 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_correlation_of_bell_state() {
+        // Bell state: perfectly correlated in Z.
+        assert!((expectation_zz(&bell(), 0, 1) - 1.0).abs() < 1e-12);
+        // Product |+>|0>: uncorrelated -> <Z0 Z1> = <Z0><Z1> = 0.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        assert!(expectation_zz(&run_ideal(&c), 0, 1).abs() < 1e-12);
+        // |01>: anti-correlated.
+        let mut c = Circuit::new(2);
+        c.x(0);
+        assert!((expectation_zz(&run_ideal(&c), 0, 1) + 1.0).abs() < 1e-12);
+    }
+}

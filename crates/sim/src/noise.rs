@@ -1,0 +1,313 @@
+//! Qubit dephasing and amplitude damping channels (Nielsen & Chuang),
+//! applied per quantum clock cycle — the noise model of the OriginQ
+//! noisy virtual machine the paper evaluates on.
+//!
+//! Both channels are simulated by Monte-Carlo trajectories (quantum
+//! jumps), which keeps the simulation in state-vector space:
+//!
+//! * **Dephasing** with per-cycle probability `p`: a Z flip occurs with
+//!   probability `p` each cycle. Over `k` cycles the net flip
+//!   probability is `(1 − (1−2p)^k)/2`.
+//! * **Amplitude damping** with per-cycle rate `γ`: over `k` cycles the
+//!   effective rate is `γ_k = 1 − (1−γ)^k`. A jump (relaxation to |0⟩)
+//!   occurs with probability `γ_k · P(|1⟩)`; otherwise the no-jump
+//!   Kraus operator `diag(1, √(1−γ_k))` is applied and the state
+//!   renormalized.
+
+use crate::complex::Complex64;
+use crate::state::StateVector;
+use rand::Rng;
+
+/// Per-cycle noise parameters.
+///
+/// # Examples
+///
+/// ```
+/// use codar_sim::NoiseModel;
+///
+/// let noise = NoiseModel::dephasing_dominant();
+/// assert!(noise.dephasing_prob > noise.damping_rate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Probability of a phase (Z) flip per qubit per cycle.
+    pub dephasing_prob: f64,
+    /// Amplitude-damping rate γ per qubit per cycle.
+    pub damping_rate: f64,
+    /// Probability of a uniformly random Pauli (X/Y/Z) error per qubit
+    /// per cycle — an optional extension beyond the paper's two
+    /// channels.
+    pub depolarizing_prob: f64,
+}
+
+impl NoiseModel {
+    /// No noise at all.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            dephasing_prob: 0.0,
+            damping_rate: 0.0,
+            depolarizing_prob: 0.0,
+        }
+    }
+
+    /// Builds a model from explicit rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate is outside `[0, 0.5]` (dephasing) or `[0, 1]`
+    /// (damping).
+    pub fn new(dephasing_prob: f64, damping_rate: f64) -> Self {
+        assert!(
+            (0.0..=0.5).contains(&dephasing_prob),
+            "dephasing probability must be in [0, 0.5]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&damping_rate),
+            "damping rate must be in [0, 1]"
+        );
+        NoiseModel {
+            dephasing_prob,
+            damping_rate,
+            depolarizing_prob: 0.0,
+        }
+    }
+
+    /// Adds a depolarizing channel on top of the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is outside `[0, 0.75]` (the depolarizing
+    /// channel's physical range).
+    pub fn with_depolarizing(mut self, depolarizing_prob: f64) -> Self {
+        assert!(
+            (0.0..=0.75).contains(&depolarizing_prob),
+            "depolarizing probability must be in [0, 0.75]"
+        );
+        self.depolarizing_prob = depolarizing_prob;
+        self
+    }
+
+    /// The paper's "noise mainly caused by qubit dephasing" regime.
+    pub fn dephasing_dominant() -> Self {
+        NoiseModel::new(2e-3, 1e-5)
+    }
+
+    /// The paper's "noise mainly caused by qubit damping" regime.
+    pub fn damping_dominant() -> Self {
+        NoiseModel::new(1e-5, 2e-3)
+    }
+
+    /// Whether this model induces no errors.
+    pub fn is_ideal(&self) -> bool {
+        self.dephasing_prob == 0.0 && self.damping_rate == 0.0 && self.depolarizing_prob == 0.0
+    }
+
+    /// Applies `cycles` cycles of noise to qubit `q` of `state`.
+    pub fn apply(&self, state: &mut StateVector, q: usize, cycles: u64, rng: &mut impl Rng) {
+        if cycles == 0 || self.is_ideal() {
+            return;
+        }
+        // Dephasing: net Z flip over `cycles` steps.
+        if self.dephasing_prob > 0.0 {
+            let keep = 1.0 - 2.0 * self.dephasing_prob;
+            let flip = (1.0 - keep.powi(cycles as i32)) / 2.0;
+            if rng.gen_bool(flip.clamp(0.0, 1.0)) {
+                state.apply_phase_if_one(q, -Complex64::ONE);
+            }
+        }
+        // Depolarizing: per cycle, a uniformly random Pauli with
+        // probability p (trajectory form of the depolarizing channel).
+        if self.depolarizing_prob > 0.0 {
+            for _ in 0..cycles {
+                if rng.gen_bool(self.depolarizing_prob) {
+                    let x = crate::gates::single_qubit_matrix(codar_circuit::GateKind::X, &[])
+                        .expect("X is single-qubit");
+                    let y = crate::gates::single_qubit_matrix(codar_circuit::GateKind::Y, &[])
+                        .expect("Y is single-qubit");
+                    match rng.gen_range(0..3) {
+                        0 => state.apply_single(q, &x),
+                        1 => state.apply_single(q, &y),
+                        _ => state.apply_phase_if_one(q, -Complex64::ONE),
+                    }
+                }
+            }
+        }
+        // Amplitude damping: composed single step of rate γ_k.
+        if self.damping_rate > 0.0 {
+            let gamma_k = 1.0 - (1.0 - self.damping_rate).powi(cycles as i32);
+            let p_jump = gamma_k * state.prob_one(q);
+            if p_jump > 0.0 && rng.gen_bool(p_jump.clamp(0.0, 1.0)) {
+                // Quantum jump: relax |1⟩ → |0⟩.
+                state.project(q, true);
+                let x = crate::gates::single_qubit_matrix(codar_circuit::GateKind::X, &[])
+                    .expect("X is single-qubit");
+                state.apply_single(q, &x);
+            } else if gamma_k > 0.0 {
+                // No-jump evolution: K0 = diag(1, sqrt(1-γ_k)).
+                let k0 = [
+                    [Complex64::ONE, Complex64::ZERO],
+                    [Complex64::ZERO, Complex64::from((1.0 - gamma_k).sqrt())],
+                ];
+                state.apply_single(q, &k0);
+                state.renormalize();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plus_state() -> StateVector {
+        let mut s = StateVector::zero(1);
+        let m = crate::gates::single_qubit_matrix(codar_circuit::GateKind::H, &[])
+            .expect("H is single-qubit");
+        s.apply_single(0, &m);
+        s
+    }
+
+    #[test]
+    fn ideal_noise_is_identity() {
+        let mut s = plus_state();
+        let before = s.clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        NoiseModel::ideal().apply(&mut s, 0, 100, &mut rng);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn zero_cycles_is_identity() {
+        let mut s = plus_state();
+        let before = s.clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        NoiseModel::dephasing_dominant().apply(&mut s, 0, 0, &mut rng);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn dephasing_damages_plus_state_on_average() {
+        // |+> is maximally sensitive to dephasing: average fidelity over
+        // trajectories after heavy dephasing tends toward 1/2.
+        let noise = NoiseModel::new(0.4, 0.0);
+        let ideal = plus_state();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0.0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let mut s = plus_state();
+            noise.apply(&mut s, 0, 50, &mut rng);
+            total += ideal.fidelity_with(&s);
+        }
+        let mean = total / trials as f64;
+        assert!((0.45..0.55).contains(&mean), "mean fidelity {mean}");
+    }
+
+    #[test]
+    fn dephasing_leaves_zero_state_alone() {
+        // |0> is a Z eigenstate: dephasing cannot hurt it.
+        let noise = NoiseModel::new(0.4, 0.0);
+        let ideal = StateVector::zero(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = StateVector::zero(1);
+        noise.apply(&mut s, 0, 100, &mut rng);
+        assert!((ideal.fidelity_with(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_decays_excited_state() {
+        // |1> decays toward |0> under amplitude damping.
+        let noise = NoiseModel::new(0.0, 0.05);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut decayed = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            let mut s = StateVector::zero(1);
+            let x = crate::gates::single_qubit_matrix(codar_circuit::GateKind::X, &[])
+                .expect("X is single-qubit");
+            s.apply_single(0, &x); // |1>
+            noise.apply(&mut s, 0, 100, &mut rng);
+            if s.probability_of(0) > 0.99 {
+                decayed += 1;
+            }
+        }
+        // gamma_100 = 1 - 0.95^100 ~ 0.994: nearly all trajectories decay.
+        assert!(decayed > 450, "only {decayed}/{trials} decayed");
+    }
+
+    #[test]
+    fn damping_preserves_ground_state() {
+        let noise = NoiseModel::new(0.0, 0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = StateVector::zero(1);
+        noise.apply(&mut s, 0, 50, &mut rng);
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_cycles_more_damage() {
+        // Average fidelity after k cycles decreases with k.
+        let noise = NoiseModel::new(0.02, 0.0);
+        let ideal = plus_state();
+        let mean_fid = |cycles: u64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 3000;
+            let mut total = 0.0;
+            for _ in 0..trials {
+                let mut s = plus_state();
+                noise.apply(&mut s, 0, cycles, &mut rng);
+                total += ideal.fidelity_with(&s);
+            }
+            total / trials as f64
+        };
+        let short = mean_fid(2, 1);
+        let long = mean_fid(40, 1);
+        assert!(
+            short > long + 0.05,
+            "fidelity should drop with idle time: {short} vs {long}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dephasing")]
+    fn invalid_dephasing_rejected() {
+        NoiseModel::new(0.9, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depolarizing")]
+    fn invalid_depolarizing_rejected() {
+        NoiseModel::ideal().with_depolarizing(0.9);
+    }
+
+    #[test]
+    fn depolarizing_damages_any_state() {
+        // Unlike dephasing, depolarizing hurts |0> too.
+        let noise = NoiseModel::ideal().with_depolarizing(0.2);
+        assert!(!noise.is_ideal());
+        let ideal = StateVector::zero(1);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut total = 0.0;
+        let trials = 1500;
+        for _ in 0..trials {
+            let mut s = StateVector::zero(1);
+            noise.apply(&mut s, 0, 10, &mut rng);
+            total += ideal.fidelity_with(&s);
+        }
+        let mean = total / trials as f64;
+        assert!(mean < 0.9, "mean fidelity {mean}");
+        assert!(mean > 0.3);
+    }
+
+    #[test]
+    fn presets_are_complementary() {
+        let de = NoiseModel::dephasing_dominant();
+        let da = NoiseModel::damping_dominant();
+        assert!(de.dephasing_prob > de.damping_rate);
+        assert!(da.damping_rate > da.dephasing_prob);
+        assert!(!de.is_ideal());
+        assert!(NoiseModel::ideal().is_ideal());
+    }
+}

@@ -1,0 +1,341 @@
+//! The state vector and its primitive operations.
+//!
+//! Qubit `q` is bit `q` of the basis-state index (little-endian): basis
+//! state `|b_{n-1} … b_1 b_0⟩` has index `Σ b_q · 2^q`.
+
+use crate::complex::Complex64;
+use rand::Rng;
+
+/// A pure `n`-qubit state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 26` (amplitude storage would exceed 1 GiB).
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        let mut amps = vec![Complex64::ZERO; 1 << num_qubits];
+        amps[0] = Complex64::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Builds a state from explicit amplitudes (must have power-of-two
+    /// length and unit norm up to `1e-6`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm is off.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-6, "state is not normalized: {norm}");
+        StateVector {
+            num_qubits: amps.len().trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes.
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Probability of measuring the computational basis state `index`.
+    pub fn probability_of(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn inner_product(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        let mut acc = Complex64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// `|⟨self|other⟩|²` — the fidelity between two pure states.
+    pub fn fidelity_with(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Squared norm (1 for a valid state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescales to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is (numerically) zero.
+    pub fn renormalize(&mut self) {
+        let norm = self.norm_sqr().sqrt();
+        assert!(norm > 1e-300, "cannot normalize the zero vector");
+        let inv = 1.0 / norm;
+        for a in &mut self.amps {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Applies a single-qubit unitary `m` (row-major 2×2) to qubit `q`.
+    pub fn apply_single(&mut self, q: usize, m: &[[Complex64; 2]; 2]) {
+        let mask = 1usize << q;
+        for base in 0..self.amps.len() {
+            if base & mask == 0 {
+                let other = base | mask;
+                let a0 = self.amps[base];
+                let a1 = self.amps[other];
+                self.amps[base] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[other] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies a single-qubit unitary to qubit `target`, controlled on
+    /// every qubit in `controls` being 1.
+    pub fn apply_controlled(&mut self, controls: &[usize], target: usize, m: &[[Complex64; 2]; 2]) {
+        let tmask = 1usize << target;
+        let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        for base in 0..self.amps.len() {
+            if base & tmask == 0 && base & cmask == cmask {
+                let other = base | tmask;
+                let a0 = self.amps[base];
+                let a1 = self.amps[other];
+                self.amps[base] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[other] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Swaps qubits `a` and `b`.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for i in 0..self.amps.len() {
+            let bit_a = (i & amask) != 0;
+            let bit_b = (i & bmask) != 0;
+            if bit_a && !bit_b {
+                let j = (i & !amask) | bmask;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Multiplies the amplitude of every basis state where `q` is 1 by a
+    /// phase (used by diagonal gates and dephasing).
+    pub fn apply_phase_if_one(&mut self, q: usize, phase: Complex64) {
+        let mask = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *a *= phase;
+            }
+        }
+    }
+
+    /// Projectively measures qubit `q`, collapsing the state; returns
+    /// the observed bit.
+    pub fn measure_qubit(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        self.project(q, outcome);
+        outcome
+    }
+
+    /// Projects qubit `q` onto `value` and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has zero probability.
+    pub fn project(&mut self, q: usize, value: bool) {
+        let mask = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if ((i & mask) != 0) != value {
+                *a = Complex64::ZERO;
+            }
+        }
+        self.renormalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn h_matrix() -> [[Complex64; 2]; 2] {
+        let s = Complex64::from(std::f64::consts::FRAC_1_SQRT_2);
+        [[s, s], [s, -s]]
+    }
+
+    fn x_matrix() -> [[Complex64; 2]; 2] {
+        [
+            [Complex64::ZERO, Complex64::ONE],
+            [Complex64::ONE, Complex64::ZERO],
+        ]
+    }
+
+    #[test]
+    fn zero_state() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.num_qubits(), 3);
+        assert_eq!(s.probability_of(0), 1.0);
+        assert_eq!(s.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(1, &x_matrix());
+        assert!((s.probability_of(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_superposes() {
+        let mut s = StateVector::zero(1);
+        s.apply_single(0, &h_matrix());
+        assert!((s.probability_of(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability_of(1) - 0.5).abs() < 1e-12);
+        // H·H = I
+        s.apply_single(0, &h_matrix());
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_x_is_cnot() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &x_matrix()); // |01> (q0 = 1)
+        s.apply_controlled(&[0], 1, &x_matrix()); // flips q1
+        assert!((s.probability_of(0b11) - 1.0).abs() < 1e-12);
+        // Control 0: no action.
+        let mut s = StateVector::zero(2);
+        s.apply_controlled(&[0], 1, &x_matrix());
+        assert!((s.probability_of(0b00) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toffoli_via_two_controls() {
+        let mut s = StateVector::zero(3);
+        s.apply_single(0, &x_matrix());
+        s.apply_single(1, &x_matrix()); // |011>
+        s.apply_controlled(&[0, 1], 2, &x_matrix());
+        assert!((s.probability_of(0b111) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &x_matrix()); // |01>
+        s.apply_swap(0, 1); // |10>
+        assert!((s.probability_of(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_on_entangled_state() {
+        // (|00> + |01>)/sqrt2, swap -> (|00> + |10>)/sqrt2
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &h_matrix());
+        s.apply_swap(0, 1);
+        assert!((s.probability_of(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability_of(0b10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_one_counts_correctly() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &h_matrix());
+        assert!((s.prob_one(0) - 0.5).abs() < 1e-12);
+        assert!(s.prob_one(1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_orthogonal_and_self() {
+        let z = StateVector::zero(2);
+        let mut x = StateVector::zero(2);
+        x.apply_single(0, &x_matrix());
+        assert!(z.inner_product(&x).norm() < 1e-12);
+        assert!((z.fidelity_with(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_if_one() {
+        let mut s = StateVector::zero(1);
+        s.apply_single(0, &h_matrix());
+        s.apply_phase_if_one(0, -Complex64::ONE); // Z
+        s.apply_single(0, &h_matrix()); // HZH = X
+        assert!((s.probability_of(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = StateVector::zero(1);
+        s.apply_single(0, &h_matrix());
+        let outcome = s.measure_qubit(0, &mut rng);
+        let expected = if outcome { 1 } else { 0 };
+        assert!((s.probability_of(expected) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ones = 0;
+        for _ in 0..1000 {
+            let mut s = StateVector::zero(1);
+            s.apply_single(0, &h_matrix());
+            if s.measure_qubit(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        assert!((400..600).contains(&ones), "got {ones}/1000 ones");
+    }
+
+    #[test]
+    fn project_forces_outcome() {
+        let mut s = StateVector::zero(1);
+        s.apply_single(0, &h_matrix());
+        s.project(0, true);
+        assert!((s.probability_of(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn bad_amplitudes_panic() {
+        StateVector::from_amplitudes(vec![Complex64::ONE, Complex64::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_length_panics() {
+        StateVector::from_amplitudes(vec![Complex64::ONE; 3]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Fidelity comparison on the noisy simulator (the Fig. 9 experiment,
+//! single algorithm): route a QAOA/Ising circuit with CODAR and SABRE,
+//! then estimate each routed circuit's fidelity under dephasing- and
+//! damping-dominant noise.
+//!
+//! Run with: `cargo run --release --example fidelity_compare`
+
+use codar_repro::arch::Device;
+use codar_repro::benchmarks::generators;
+use codar_repro::router::sabre::reverse_traversal_mapping;
+use codar_repro::router::{CodarRouter, SabreRouter};
+use codar_repro::sim::{FidelityReport, NoiseModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::ibm_q20_tokyo();
+    let circuit = generators::ising_qaoa(6, 2, 28);
+    let initial = reverse_traversal_mapping(&circuit, &device, 0);
+    let codar = CodarRouter::new(&device).route_with_mapping(&circuit, initial.clone())?;
+    let sabre = SabreRouter::new(&device).route_with_mapping(&circuit, initial)?;
+    println!("ising/QAOA on {}:", device.name());
+    println!("  codar weighted depth {}", codar.weighted_depth);
+    println!("  sabre weighted depth {}\n", sabre.weighted_depth);
+
+    let tau = device.durations().clone();
+    let trajectories = 400;
+    for (regime, noise) in [
+        ("dephasing-dominant", NoiseModel::dephasing_dominant()),
+        ("damping-dominant", NoiseModel::damping_dominant()),
+    ] {
+        let fc = FidelityReport::estimate(&codar.circuit, |g| tau.of(g), &noise, trajectories, 1);
+        let fs = FidelityReport::estimate(&sabre.circuit, |g| tau.of(g), &noise, trajectories, 1);
+        println!("{regime} noise ({trajectories} trajectories):");
+        println!("  codar fidelity {:.4} ± {:.4}", fc.mean, fc.std_error);
+        println!("  sabre fidelity {:.4} ± {:.4}", fs.mean, fs.std_error);
+        println!();
+    }
+    println!("shorter schedules accumulate less idle decoherence — the effect");
+    println!("behind the paper's Fig. 9 dephasing results.");
+    Ok(())
+}

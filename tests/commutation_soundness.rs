@@ -1,0 +1,191 @@
+//! Soundness of the structural commutation rules (paper Sec. IV-B),
+//! verified against the state-vector simulator: whenever `commutes(a, b)`
+//! claims two unitary gates commute, applying them in either order must
+//! give the same state on random inputs.
+//!
+//! This is the property CODAR's correctness rests on — a false positive
+//! here would let the router reorder gates illegally.
+
+use codar_repro::circuit::{commutes, Circuit, Gate, GateKind};
+use codar_repro::sim::exec::run_ideal;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 4;
+
+/// Builds one random gate over `N` qubits from proptest raw material.
+fn make_gate(kind_pick: u8, qubit_picks: (usize, usize, usize), angle: f64) -> Gate {
+    let kinds = GateKind::all_unitary();
+    let kind = kinds[kind_pick as usize % kinds.len()];
+    let arity = kind.arity().expect("unitary kinds have fixed arity");
+    let (a, b, c) = qubit_picks;
+    let a = a % N;
+    let mut b = b % N;
+    let mut c = c % N;
+    if arity >= 2 && b == a {
+        b = (a + 1) % N;
+    }
+    if arity >= 3 {
+        while c == a || c == b {
+            c = (c + 1) % N;
+        }
+    }
+    let qubits = match arity {
+        1 => vec![a],
+        2 => vec![a, b],
+        _ => vec![a, b, c],
+    };
+    let params = vec![angle; kind.num_params()];
+    Gate::new(kind, qubits, params)
+}
+
+fn random_prep(seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut prep = Circuit::new(N);
+    for q in 0..N {
+        prep.add(
+            GateKind::U3,
+            vec![q],
+            vec![
+                rng.gen::<f64>() * 3.0,
+                rng.gen::<f64>() * 3.0,
+                rng.gen::<f64>() * 3.0,
+            ],
+        );
+    }
+    // Entangle so two-qubit reorderings are visible.
+    prep.cx(0, 1);
+    prep.cx(2, 3);
+    prep.cx(1, 2);
+    prep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn claimed_commutation_is_real(
+        k1 in 0u8..=255,
+        k2 in 0u8..=255,
+        q1 in (0usize..N, 0usize..N, 0usize..N),
+        q2 in (0usize..N, 0usize..N, 0usize..N),
+        angle1 in 0.1f64..3.0,
+        angle2 in 0.1f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let a = make_gate(k1, q1, angle1);
+        let b = make_gate(k2, q2, angle2);
+        prop_assume!(commutes(&a, &b));
+        let prep = random_prep(seed);
+        let run = |first: &Gate, second: &Gate| {
+            let mut c = prep.clone();
+            c.push(first.clone());
+            c.push(second.clone());
+            run_ideal(&c)
+        };
+        let ab = run(&a, &b);
+        let ba = run(&b, &a);
+        let fidelity = ab.fidelity_with(&ba);
+        prop_assert!(
+            (fidelity - 1.0).abs() < 1e-9,
+            "claimed commuting pair diverges: {a} vs {b} (fidelity {fidelity})"
+        );
+    }
+}
+
+/// The specific pairs the paper's mechanism depends on, exhaustively.
+#[test]
+fn paper_critical_pairs_commute_physically() {
+    let pairs: Vec<(Gate, Gate)> = vec![
+        // CNOTs sharing a target (the Sec. IV-B example).
+        (
+            Gate::new(GateKind::Cx, vec![1, 3], vec![]),
+            Gate::new(GateKind::Cx, vec![2, 3], vec![]),
+        ),
+        // CNOTs sharing a control.
+        (
+            Gate::new(GateKind::Cx, vec![0, 1], vec![]),
+            Gate::new(GateKind::Cx, vec![0, 2], vec![]),
+        ),
+        // Diagonal gate on a CNOT control.
+        (
+            Gate::new(GateKind::T, vec![0], vec![]),
+            Gate::new(GateKind::Cx, vec![0, 1], vec![]),
+        ),
+        // X-type gate on a CNOT target.
+        (
+            Gate::new(GateKind::Rx, vec![1], vec![0.7]),
+            Gate::new(GateKind::Cx, vec![0, 1], vec![]),
+        ),
+        // CZ with CX control overlap.
+        (
+            Gate::new(GateKind::Cz, vec![0, 2], vec![]),
+            Gate::new(GateKind::Cx, vec![0, 1], vec![]),
+        ),
+        // RZZ with a diagonal single-qubit gate.
+        (
+            Gate::new(GateKind::Rzz, vec![1, 2], vec![0.5]),
+            Gate::new(GateKind::Rz, vec![1], vec![0.3]),
+        ),
+        // Toffoli sharing controls with a CX.
+        (
+            Gate::new(GateKind::Ccx, vec![0, 1, 3], vec![]),
+            Gate::new(GateKind::Cx, vec![0, 2], vec![]),
+        ),
+    ];
+    for (a, b) in pairs {
+        assert!(commutes(&a, &b), "{a} should commute with {b}");
+        let prep = random_prep(17);
+        let run = |first: &Gate, second: &Gate| {
+            let mut c = prep.clone();
+            c.push(first.clone());
+            c.push(second.clone());
+            run_ideal(&c)
+        };
+        let fidelity = run(&a, &b).fidelity_with(&run(&b, &a));
+        assert!(
+            (fidelity - 1.0).abs() < 1e-9,
+            "{a} / {b}: fidelity {fidelity}"
+        );
+    }
+}
+
+/// Sanity: the checker is not trivially returning `true` — known
+/// non-commuting pairs are rejected and physically diverge.
+#[test]
+fn non_commuting_pairs_are_rejected() {
+    let pairs: Vec<(Gate, Gate)> = vec![
+        (
+            Gate::new(GateKind::H, vec![0], vec![]),
+            Gate::new(GateKind::T, vec![0], vec![]),
+        ),
+        (
+            Gate::new(GateKind::Cx, vec![0, 1], vec![]),
+            Gate::new(GateKind::Cx, vec![1, 0], vec![]),
+        ),
+        (
+            Gate::new(GateKind::Cx, vec![0, 1], vec![]),
+            Gate::new(GateKind::Cx, vec![1, 2], vec![]),
+        ),
+        (
+            Gate::new(GateKind::X, vec![0], vec![]),
+            Gate::new(GateKind::Cx, vec![0, 1], vec![]),
+        ),
+    ];
+    for (a, b) in pairs {
+        assert!(!commutes(&a, &b), "{a} must not commute with {b}");
+        let prep = random_prep(23);
+        let run = |first: &Gate, second: &Gate| {
+            let mut c = prep.clone();
+            c.push(first.clone());
+            c.push(second.clone());
+            run_ideal(&c)
+        };
+        let fidelity = run(&a, &b).fidelity_with(&run(&b, &a));
+        assert!(
+            fidelity < 1.0 - 1e-6,
+            "{a} / {b} actually commute (fidelity {fidelity}) — rule too conservative is fine, but this pair was chosen to diverge"
+        );
+    }
+}

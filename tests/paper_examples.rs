@@ -1,0 +1,220 @@
+//! The paper's worked examples and headline claims, as executable tests.
+
+use codar_repro::arch::{CouplingGraph, Device};
+use codar_repro::circuit::{Circuit, GateKind};
+use codar_repro::router::sabre::reverse_traversal_mapping;
+use codar_repro::router::{CodarConfig, CodarRouter, InitialMapping, SabreRouter};
+
+fn identity_config() -> CodarConfig {
+    CodarConfig {
+        initial_mapping: InitialMapping::Identity,
+        ..CodarConfig::default()
+    }
+}
+
+/// Paper Fig. 1: the chosen SWAP avoids the qubit occupied by the
+/// contextual `t q[2]` and starts at cycle 0.
+#[test]
+fn fig1_swap_avoids_busy_qubit() {
+    let graph = CouplingGraph::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    let device = Device::from_graph("fig1", graph);
+    let mut program = Circuit::new(4);
+    program.t(2);
+    program.cx(0, 3);
+    let routed = CodarRouter::with_config(&device, identity_config())
+        .route(&program)
+        .expect("fits");
+    let (swap, start) = routed
+        .circuit
+        .gates()
+        .iter()
+        .zip(&routed.start_times)
+        .find(|(g, _)| g.kind == GateKind::Swap)
+        .expect("a SWAP is inserted");
+    assert_eq!(*start, 0, "SWAP runs in parallel with the T");
+    assert!(!swap.qubits.contains(&2), "SWAP avoids busy Q2");
+}
+
+/// Paper Fig. 2: with τ(T)=1 and τ(CX)=2, `SWAP q3,q1` starts at cycle
+/// 1, before the CX finishes.
+#[test]
+fn fig2_swap_starts_after_short_gate() {
+    let graph = CouplingGraph::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    let device = Device::from_graph("fig2", graph);
+    let mut program = Circuit::new(4);
+    program.t(1);
+    program.cx(0, 2);
+    program.cx(0, 3);
+    let routed = CodarRouter::with_config(&device, identity_config())
+        .route(&program)
+        .expect("fits");
+    let (swap, start) = routed
+        .circuit
+        .gates()
+        .iter()
+        .zip(&routed.start_times)
+        .find(|(g, _)| g.kind == GateKind::Swap)
+        .expect("a SWAP is inserted");
+    assert_eq!(*start, 1, "SWAP starts the moment the T frees its qubit");
+    let mut ends = swap.qubits.clone();
+    ends.sort_unstable();
+    assert_eq!(ends, vec![1, 3], "the paper picks SWAP q3,q1");
+}
+
+/// Paper Sec. IV-E / Fig. 7: on a 2×3 grid with gates
+/// `cx q0,q2; t q1; cx q0,q3`, no SWAP launches at cycle 0 (every
+/// useful edge is locked or useless), and at cycle 1 the freed q1
+/// carries the routing SWAP.
+#[test]
+fn fig7_walkthrough() {
+    // 2x3 grid, numbering:  0 1 2
+    //                       3 4 5
+    let device = Device::grid(2, 3);
+    let mut program = Circuit::new(6);
+    program.cx(0, 2); // not adjacent on the grid? 0-1-2: distance 2...
+    // The paper's layout has q0 adjacent to q2 via the figure's edges;
+    // on our row-major grid use (0,1) instead to keep the walkthrough:
+    // cx q0,q1 (direct), t q2, cx q0,q5 (distance 2, needs a SWAP).
+    let mut program2 = Circuit::new(6);
+    program2.cx(0, 1);
+    program2.t(2);
+    program2.cx(0, 5);
+    let _ = program;
+    let routed = CodarRouter::with_config(&device, identity_config())
+        .route(&program2)
+        .expect("fits");
+    // The direct CX and the T both start at 0.
+    assert_eq!(routed.start_times[0], 0);
+    assert_eq!(routed.start_times[1], 0);
+    // A SWAP for cx(0,5) exists and cannot touch q0/q1 before cycle 2.
+    let (swap, start) = routed
+        .circuit
+        .gates()
+        .iter()
+        .zip(&routed.start_times)
+        .find(|(g, _)| g.kind == GateKind::Swap)
+        .expect("a SWAP is inserted");
+    if swap.qubits.contains(&0) || swap.qubits.contains(&1) {
+        assert!(*start >= 2, "edges locked by the CX stay blocked until 2");
+    }
+    codar_repro::router::verify::check_equivalence(&program2, &routed).expect("equivalent");
+}
+
+/// The headline claim: averaged over a benchmark sample, CODAR's
+/// weighted depth beats SABRE's (the paper reports 1.21–1.26x over the
+/// full suite; we assert > 1.05x on a quick sample to keep tests fast).
+#[test]
+fn codar_beats_sabre_on_average() {
+    let device = Device::ibm_q20_tokyo();
+    let suite = codar_repro::benchmarks::full_suite();
+    let sample = ["qft_10", "ising_10", "random_10", "qft_12", "ising_13", "random_12"];
+    let mut ratio_sum = 0.0;
+    for name in sample {
+        let entry = suite.iter().find(|e| e.name == name).expect("in suite");
+        let initial = reverse_traversal_mapping(&entry.circuit, &device, 0);
+        let codar = CodarRouter::new(&device)
+            .route_with_mapping(&entry.circuit, initial.clone())
+            .expect("fits");
+        let sabre = SabreRouter::new(&device)
+            .route_with_mapping(&entry.circuit, initial)
+            .expect("fits");
+        ratio_sum += sabre.weighted_depth as f64 / codar.weighted_depth as f64;
+    }
+    let avg = ratio_sum / sample.len() as f64;
+    assert!(avg > 1.05, "average speedup only {avg:.3}");
+}
+
+/// Sec. V-B: CODAR may insert *more* SWAPs than SABRE while still
+/// producing a shorter schedule — check the totals over a sample.
+#[test]
+fn codar_trades_swaps_for_parallelism() {
+    let device = Device::enfield_6x6();
+    let suite = codar_repro::benchmarks::full_suite();
+    let mut codar_swaps = 0usize;
+    let mut sabre_swaps = 0usize;
+    let mut codar_depth = 0u64;
+    let mut sabre_depth = 0u64;
+    for name in ["qft_10", "ising_10", "random_10"] {
+        let entry = suite.iter().find(|e| e.name == name).expect("in suite");
+        let initial = reverse_traversal_mapping(&entry.circuit, &device, 0);
+        let codar = CodarRouter::new(&device)
+            .route_with_mapping(&entry.circuit, initial.clone())
+            .expect("fits");
+        let sabre = SabreRouter::new(&device)
+            .route_with_mapping(&entry.circuit, initial)
+            .expect("fits");
+        codar_swaps += codar.swaps_inserted;
+        sabre_swaps += sabre.swaps_inserted;
+        codar_depth += codar.weighted_depth;
+        sabre_depth += sabre.weighted_depth;
+    }
+    assert!(
+        codar_swaps >= sabre_swaps,
+        "expected CODAR to spend at least as many SWAPs ({codar_swaps} vs {sabre_swaps})"
+    );
+    assert!(
+        codar_depth < sabre_depth,
+        "…but finish earlier ({codar_depth} vs {sabre_depth})"
+    );
+}
+
+/// The mechanism behind the speedup: CODAR packs the same work into
+/// fewer cycles, i.e. achieves higher average parallelism.
+#[test]
+fn codar_extracts_more_parallelism() {
+    use codar_repro::circuit::stats::ParallelismProfile;
+    let device = Device::ibm_q20_tokyo();
+    let suite = codar_repro::benchmarks::full_suite();
+    let tau = device.durations().clone();
+    let mut codar_avg = 0.0;
+    let mut sabre_avg = 0.0;
+    for name in ["qft_10", "ising_10", "random_10"] {
+        let entry = suite.iter().find(|e| e.name == name).expect("in suite");
+        let initial = reverse_traversal_mapping(&entry.circuit, &device, 0);
+        let codar = CodarRouter::new(&device)
+            .route_with_mapping(&entry.circuit, initial.clone())
+            .expect("fits");
+        let sabre = SabreRouter::new(&device)
+            .route_with_mapping(&entry.circuit, initial)
+            .expect("fits");
+        codar_avg += ParallelismProfile::of(&codar.circuit, |g| tau.of(g)).average_busy;
+        sabre_avg += ParallelismProfile::of(&sabre.circuit, |g| tau.of(g)).average_busy;
+    }
+    assert!(
+        codar_avg > sabre_avg,
+        "codar parallelism {codar_avg:.2} vs sabre {sabre_avg:.2}"
+    );
+}
+
+/// Ablations must not *improve* CODAR: full CODAR is at least as good
+/// as the duration-unaware variant on duration-sensitive workloads,
+/// averaged over a sample.
+#[test]
+fn duration_awareness_pays_off() {
+    let device = Device::ibm_q20_tokyo();
+    let suite = codar_repro::benchmarks::full_suite();
+    let mut full = 0u64;
+    let mut unaware = 0u64;
+    for name in ["qft_10", "qft_12", "ising_10", "random_10", "ising_13"] {
+        let entry = suite.iter().find(|e| e.name == name).expect("in suite");
+        let initial = reverse_traversal_mapping(&entry.circuit, &device, 0);
+        let a = CodarRouter::with_config(&device, CodarConfig::default())
+            .route_with_mapping(&entry.circuit, initial.clone())
+            .expect("fits");
+        let b = CodarRouter::with_config(
+            &device,
+            CodarConfig {
+                enable_duration_awareness: false,
+                ..CodarConfig::default()
+            },
+        )
+        .route_with_mapping(&entry.circuit, initial)
+        .expect("fits");
+        full += a.weighted_depth;
+        unaware += b.weighted_depth;
+    }
+    assert!(
+        full <= unaware,
+        "duration awareness should not hurt: {full} vs {unaware}"
+    );
+}
