@@ -94,7 +94,11 @@ impl FidelityModel {
     /// fidelities, times an idle-decoherence factor when T2 is set
     /// (idle time measured on the ASAP schedule under `durations`).
     pub fn success_probability(&self, circuit: &Circuit, durations: &GateDurations) -> f64 {
-        let mut p: f64 = circuit.gates().iter().map(|g| self.of_gate(g.kind)).product();
+        let mut p: f64 = circuit
+            .gates()
+            .iter()
+            .map(|g| self.of_gate(g.kind))
+            .product();
         if let Some(t2) = self.t2_cycles {
             let schedule = Schedule::asap(circuit, |g| durations.of(g));
             let mut busy = vec![0u64; circuit.num_qubits()];

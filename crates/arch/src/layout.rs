@@ -53,7 +53,8 @@ impl Layout2d {
     /// `|VD − HD|` — the quantity `Hfine` minimizes: the smaller it is,
     /// the more shortest Manhattan routes remain available.
     pub fn axis_imbalance(&self, a: PhysQubit, b: PhysQubit) -> u32 {
-        self.vertical_distance(a, b).abs_diff(self.horizontal_distance(a, b))
+        self.vertical_distance(a, b)
+            .abs_diff(self.horizontal_distance(a, b))
     }
 }
 

@@ -1,57 +1,178 @@
 //! Regenerates Fig. 8: speedup ratio (SABRE weighted depth / CODAR
 //! weighted depth) of the benchmark suite on the four architectures.
 //!
-//! Usage: `cargo run -p codar-bench --release --bin fig8 [--quick]`
+//! Usage: `cargo run -p codar-bench --release --bin fig8 [--quick] [--threads N]`
 //!
 //! `--quick` restricts the run to benchmarks below 2000 gates (useful
 //! for smoke tests; the full run covers all 71 benchmarks).
+//!
+//! The heavy lifting goes through [`codar_engine::SuiteRunner`]: all
+//! four architectures route in parallel with shared per-device
+//! distance caches, and every routed circuit is verified.
 
 use codar_arch::Device;
-use codar_bench::{average_speedup, fig8_for_device};
 use codar_benchmarks::full_suite;
+use codar_engine::{EngineConfig, RouterKind, SuiteRunner};
+use std::collections::HashMap;
+
+fn parse_args(args: &[String]) -> Result<(bool, usize), String> {
+    let mut quick = false;
+    let mut threads = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((quick, threads))
+}
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (quick, threads) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}\nusage: fig8 [--quick] [--threads N]");
+            std::process::exit(1);
+        }
+    };
+
     let mut suite = full_suite();
     if quick {
         suite.retain(|e| e.circuit.len() < 2000);
     }
+    let suite_order: HashMap<String, usize> = suite
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.name.clone(), i))
+        .collect();
     println!(
         "Fig. 8: CODAR vs SABRE speedup on {} benchmarks (ascending qubit count)\n",
         suite.len()
     );
+
+    let devices = Device::paper_architectures();
+    let result = SuiteRunner::new(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    })
+    .devices(devices.iter().cloned())
+    .entries(suite)
+    .run();
+    for failure in &result.failures {
+        eprintln!(
+            "warning: {} on {} failed: {}",
+            failure.circuit, failure.device, failure.error
+        );
+    }
+
+    // Join codar/sabre rows per (device, circuit) for the swap columns.
+    let mut swaps: HashMap<(&str, &str, RouterKind), usize> = HashMap::new();
+    let mut unverified = 0usize;
+    for row in &result.summary.rows {
+        swaps.insert((&row.device, &row.circuit, row.router), row.swaps);
+        if row.verified == Some(false) {
+            eprintln!(
+                "warning: {} ({}) on {} failed verification",
+                row.circuit,
+                row.router.name(),
+                row.device
+            );
+            unverified += 1;
+        }
+    }
+    let gates: HashMap<&str, (usize, usize)> = result
+        .summary
+        .rows
+        .iter()
+        .map(|r| (r.circuit.as_str(), (r.num_qubits, r.input_gates)))
+        .collect();
+
+    let device_means: HashMap<String, f64> = result
+        .summary
+        .mean_speedup_by_device()
+        .into_iter()
+        .collect();
     let mut averages = Vec::new();
-    for device in Device::paper_architectures() {
+    for device in &devices {
         println!("=== {device} ===");
         println!(
             "{:<14}{:>7}{:>9}{:>12}{:>12}{:>10}{:>10}{:>9}",
-            "benchmark", "qubits", "gates", "codar WD", "sabre WD", "codar SW", "sabre SW", "speedup"
+            "benchmark",
+            "qubits",
+            "gates",
+            "codar WD",
+            "sabre WD",
+            "codar SW",
+            "sabre SW",
+            "speedup"
         );
-        let rows = fig8_for_device(&device, &suite, 0);
-        for r in &rows {
+        let mut rows: Vec<_> = result
+            .summary
+            .comparisons
+            .iter()
+            .filter(|c| c.device == device.name())
+            .collect();
+        rows.sort_by_key(|c| suite_order.get(&c.circuit).copied().unwrap_or(usize::MAX));
+        for c in &rows {
+            let (qubits, gate_count) = gates.get(c.circuit.as_str()).copied().unwrap_or((0, 0));
             println!(
                 "{:<14}{:>7}{:>9}{:>12}{:>12}{:>10}{:>10}{:>9.3}",
-                r.name,
-                r.num_qubits,
-                r.gates,
-                r.codar_depth,
-                r.sabre_depth,
-                r.codar_swaps,
-                r.sabre_swaps,
-                r.speedup()
+                c.circuit,
+                qubits,
+                gate_count,
+                c.codar_depth,
+                c.sabre_depth,
+                swaps
+                    .get(&(device.name(), c.circuit.as_str(), RouterKind::Codar))
+                    .copied()
+                    .unwrap_or(0),
+                swaps
+                    .get(&(device.name(), c.circuit.as_str(), RouterKind::Sabre))
+                    .copied()
+                    .unwrap_or(0),
+                c.speedup()
             );
         }
-        let avg = average_speedup(&rows);
-        println!(
-            "--- average speedup on {}: {:.3} ({} benchmarks) ---\n",
-            device.name(),
-            avg,
-            rows.len()
-        );
-        averages.push((device.name().to_string(), avg, rows.len()));
+        match device_means.get(device.name()).copied() {
+            Some(avg) => {
+                println!(
+                    "--- average speedup on {}: {:.3} ({} benchmarks) ---\n",
+                    device.name(),
+                    avg,
+                    rows.len()
+                );
+                averages.push((device.name().to_string(), avg, rows.len()));
+            }
+            None => println!("--- no benchmarks fit {} ---\n", device.name()),
+        }
     }
     println!("Summary (paper reports 1.212 / 1.241 / 1.214 / 1.258):");
     for (name, avg, n) in &averages {
         println!("  {name:<22} {avg:.3}  ({n} benchmarks)");
+    }
+    println!(
+        "\n[{} jobs, {} threads, wall {:.2?}]",
+        result.stats.jobs, result.stats.threads, result.stats.wall
+    );
+    if !result.failures.is_empty() || unverified > 0 {
+        eprintln!(
+            "{} routing jobs failed, {} routed circuits failed verification",
+            result.failures.len(),
+            unverified
+        );
+        std::process::exit(1);
     }
 }

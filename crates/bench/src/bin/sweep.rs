@@ -33,10 +33,7 @@ fn main() {
 
     let mut totals = vec![0.0f64; configs.len()];
     let mut counted = 0usize;
-    for entry in suite
-        .iter()
-        .filter(|e| e.num_qubits <= device.num_qubits())
-    {
+    for entry in suite.iter().filter(|e| e.num_qubits <= device.num_qubits()) {
         let initial = reverse_traversal_mapping(&entry.circuit, &device, 0);
         let mut row = format!("{:<14}", entry.name);
         let mut depths = Vec::new();

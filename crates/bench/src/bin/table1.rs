@@ -41,7 +41,9 @@ fn main() {
         "\nDerived duration ratios (2q/1q): {}",
         TechnologyParams::table1()
             .iter()
-            .filter_map(|p| p.duration_ratio().map(|r| format!("{} {:.1}x", p.device, r)))
+            .filter_map(|p| p
+                .duration_ratio()
+                .map(|r| format!("{} {:.1}x", p.device, r)))
             .collect::<Vec<_>>()
             .join(", ")
     );

@@ -73,25 +73,6 @@ pub fn compare_on(
     })
 }
 
-/// Runs the Fig. 8 experiment for one device over every suite entry
-/// that fits it, returning rows in suite order.
-pub fn fig8_for_device(device: &Device, suite: &[SuiteEntry], seed: u64) -> Vec<ComparisonRow> {
-    suite
-        .iter()
-        .filter(|e| e.num_qubits <= device.num_qubits())
-        .filter_map(|e| compare_on(device, e, seed).ok())
-        .collect()
-}
-
-/// Geometric-free average speedup of a set of rows (the paper reports
-/// arithmetic means per architecture).
-pub fn average_speedup(rows: &[ComparisonRow]) -> f64 {
-    if rows.is_empty() {
-        return 1.0;
-    }
-    rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64
-}
-
 /// One algorithm's fidelity comparison (Fig. 9).
 #[derive(Debug, Clone)]
 pub struct FidelityRow {
@@ -195,17 +176,12 @@ mod tests {
     }
 
     #[test]
-    fn average_speedup_of_empty_is_one() {
-        assert_eq!(average_speedup(&[]), 1.0);
-    }
-
-    #[test]
     fn fidelity_compare_produces_probabilities() {
         let device = Device::ibm_q20_tokyo();
         let suite = fidelity_suite();
         let entry = &suite[1]; // ghz_6
-        let row = fidelity_compare(&device, entry, &NoiseModel::dephasing_dominant(), 20, 0)
-            .unwrap();
+        let row =
+            fidelity_compare(&device, entry, &NoiseModel::dephasing_dominant(), 20, 0).unwrap();
         assert!(row.codar_fidelity.mean > 0.0 && row.codar_fidelity.mean <= 1.0 + 1e-9);
         assert!(row.sabre_fidelity.mean > 0.0 && row.sabre_fidelity.mean <= 1.0 + 1e-9);
     }

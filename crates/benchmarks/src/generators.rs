@@ -308,18 +308,30 @@ pub fn quantum_volume(n: usize, depth: usize, seed: u64) -> Circuit {
                 c.add(
                     GateKind::U3,
                     vec![a],
-                    vec![rng.gen::<f64>() * PI, rng.gen::<f64>() * PI, rng.gen::<f64>() * PI],
+                    vec![
+                        rng.gen::<f64>() * PI,
+                        rng.gen::<f64>() * PI,
+                        rng.gen::<f64>() * PI,
+                    ],
                 );
                 c.add(
                     GateKind::U3,
                     vec![b],
-                    vec![rng.gen::<f64>() * PI, rng.gen::<f64>() * PI, rng.gen::<f64>() * PI],
+                    vec![
+                        rng.gen::<f64>() * PI,
+                        rng.gen::<f64>() * PI,
+                        rng.gen::<f64>() * PI,
+                    ],
                 );
                 c.cx(a, b);
                 c.add(
                     GateKind::U3,
                     vec![b],
-                    vec![rng.gen::<f64>() * PI, rng.gen::<f64>() * PI, rng.gen::<f64>() * PI],
+                    vec![
+                        rng.gen::<f64>() * PI,
+                        rng.gen::<f64>() * PI,
+                        rng.gen::<f64>() * PI,
+                    ],
                 );
             }
         }
@@ -495,7 +507,7 @@ mod tests {
         let c = cuccaro_adder(4);
         assert_eq!(c.num_qubits(), 10);
         assert!(c.count_kind(GateKind::Ccx) == 2 * 4); // one MAJ + one UMA per bit
-        // Decomposable for routing.
+                                                       // Decomposable for routing.
         let d = decompose_three_qubit_gates(&c);
         assert!(d.gates().iter().all(|g| g.qubits.len() <= 2));
     }

@@ -197,10 +197,7 @@ mod tests {
         // programs".
         assert_eq!(suite_for_device(54).len(), 71);
         assert_eq!(suite_for_device(35).len(), 68);
-        let thirty_six = full_suite()
-            .iter()
-            .filter(|e| e.num_qubits == 36)
-            .count();
+        let thirty_six = full_suite().iter().filter(|e| e.num_qubits == 36).count();
         assert_eq!(thirty_six, 3);
     }
 
@@ -232,6 +229,9 @@ mod tests {
             .map(|e| e.circuit.len())
             .max()
             .unwrap_or(0);
-        assert!(max_gates >= 5000, "largest benchmark only {max_gates} gates");
+        assert!(
+            max_gates >= 5000,
+            "largest benchmark only {max_gates} gates"
+        );
     }
 }

@@ -72,8 +72,13 @@ pub fn action_on(gate: &Gate, qubit: QubitId) -> QubitAction {
         .expect("qubit is not an operand of this gate");
     match gate.kind {
         GateKind::Id => QubitAction::Identity,
-        GateKind::Z | GateKind::S | GateKind::Sdg | GateKind::T | GateKind::Tdg
-        | GateKind::Rz | GateKind::U1 => QubitAction::ZDiagonal,
+        GateKind::Z
+        | GateKind::S
+        | GateKind::Sdg
+        | GateKind::T
+        | GateKind::Tdg
+        | GateKind::Rz
+        | GateKind::U1 => QubitAction::ZDiagonal,
         GateKind::X | GateKind::Rx => QubitAction::XAxis,
         GateKind::Y | GateKind::Ry => QubitAction::YAxis,
         GateKind::H | GateKind::U2 | GateKind::U3 => QubitAction::Arbitrary,
@@ -205,7 +210,13 @@ mod tests {
 
     #[test]
     fn diagonal_commutes_with_control() {
-        for kind in [GateKind::Z, GateKind::S, GateKind::T, GateKind::Rz, GateKind::U1] {
+        for kind in [
+            GateKind::Z,
+            GateKind::S,
+            GateKind::T,
+            GateKind::Rz,
+            GateKind::U1,
+        ] {
             assert!(commutes(&g1(kind, 0), &cx(0, 1)), "{kind} vs control");
             assert!(!commutes(&g1(kind, 1), &cx(0, 1)), "{kind} vs target");
         }

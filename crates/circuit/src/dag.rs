@@ -116,7 +116,8 @@ pub struct FrontTracker {
 impl FrontTracker {
     /// Creates a tracker with nothing resolved.
     pub fn new(dag: &CircuitDag) -> Self {
-        let remaining_preds: Vec<usize> = (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+        let remaining_preds: Vec<usize> =
+            (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
         let front = dag.front_layer();
         FrontTracker {
             remaining_preds,

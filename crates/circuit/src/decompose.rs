@@ -219,7 +219,11 @@ pub fn canonicalize_single_qubit_gates(circuit: &Circuit) -> Circuit {
             GateKind::Rx => Some((g.params[0], -FRAC_PI_2, FRAC_PI_2)),
             GateKind::Ry => Some((g.params[0], 0.0, 0.0)),
             GateKind::Rz | GateKind::U1 => Some((0.0, 0.0, g.params[0])),
-            GateKind::R => Some((g.params[0], g.params[1] - FRAC_PI_2, FRAC_PI_2 - g.params[1])),
+            GateKind::R => Some((
+                g.params[0],
+                g.params[1] - FRAC_PI_2,
+                FRAC_PI_2 - g.params[1],
+            )),
             GateKind::U2 => Some((FRAC_PI_2, g.params[0], g.params[1])),
             GateKind::U3 => Some((g.params[0], g.params[1], g.params[2])),
             _ => None,

@@ -101,8 +101,14 @@ impl GateKind {
     /// Number of real parameters.
     pub fn num_params(self) -> usize {
         match self {
-            GateKind::Rx | GateKind::Ry | GateKind::Rz | GateKind::U1 | GateKind::Crz
-            | GateKind::Cu1 | GateKind::Rzz | GateKind::Rxx => 1,
+            GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::U1
+            | GateKind::Crz
+            | GateKind::Cu1
+            | GateKind::Rzz
+            | GateKind::Rxx => 1,
             GateKind::U2 | GateKind::R => 2,
             GateKind::U3 | GateKind::Cu3 => 3,
             _ => 0,
@@ -111,7 +117,10 @@ impl GateKind {
 
     /// True for unitary gate operations (not measure/reset/barrier).
     pub fn is_unitary(self) -> bool {
-        !matches!(self, GateKind::Measure | GateKind::Reset | GateKind::Barrier)
+        !matches!(
+            self,
+            GateKind::Measure | GateKind::Reset | GateKind::Barrier
+        )
     }
 
     /// True for 2-qubit unitary gates (the ones constrained by coupling).

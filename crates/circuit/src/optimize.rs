@@ -43,8 +43,8 @@ fn are_inverse_pair(a: &Gate, b: &Gate) -> bool {
     if a.qubits != b.qubits {
         // Symmetric gates cancel regardless of operand order.
         let symmetric = matches!(a.kind, GateKind::Cz | GateKind::Swap | GateKind::Rzz);
-        let same_set = a.qubits.len() == b.qubits.len()
-            && a.qubits.iter().all(|q| b.qubits.contains(q));
+        let same_set =
+            a.qubits.len() == b.qubits.len() && a.qubits.iter().all(|q| b.qubits.contains(q));
         if !(symmetric && same_set && a.kind == b.kind && a.params == b.params) {
             return false;
         }
@@ -75,7 +75,11 @@ fn cancel_pass(circuit: &Circuit) -> (Circuit, bool) {
         }
         // The candidate predecessor must be the immediately preceding
         // gate on every operand qubit.
-        let pred = gate.qubits.iter().map(|&q| last_on_qubit[q]).collect::<Vec<_>>();
+        let pred = gate
+            .qubits
+            .iter()
+            .map(|&q| last_on_qubit[q])
+            .collect::<Vec<_>>();
         let cancellable = match pred.first() {
             Some(&Some(p)) if pred.iter().all(|&x| x == Some(p)) => {
                 !removed[p]
@@ -160,8 +164,7 @@ pub fn merge_rotations(circuit: &Circuit) -> Circuit {
     for gate in gates {
         let gate = gate.clone();
         if mergeable_rotation(gate.kind) {
-            let pred: Vec<Option<usize>> =
-                gate.qubits.iter().map(|&q| last_on_qubit[q]).collect();
+            let pred: Vec<Option<usize>> = gate.qubits.iter().map(|&q| last_on_qubit[q]).collect();
             if let Some(&Some(p)) = pred.first() {
                 if pred.iter().all(|&x| x == Some(p))
                     && out[p].kind == gate.kind
@@ -287,7 +290,11 @@ fn mat_to_u3(m: &Mat) -> (f64, f64, f64) {
     let theta = 2.0 * m[1][0].abs().atan2(m[0][0].abs());
     // Normalize the global phase so that m00 is real non-negative.
     let g = m[0][0].arg();
-    let phi = if m[1][0].abs() > 1e-12 { m[1][0].arg() - g } else { 0.0 };
+    let phi = if m[1][0].abs() > 1e-12 {
+        m[1][0].arg() - g
+    } else {
+        0.0
+    };
     let lambda = if m[0][1].abs() > 1e-12 {
         (m[0][1].arg() - g) - std::f64::consts::PI - 0.0
     } else if m[1][1].abs() > 1e-12 {

@@ -90,8 +90,7 @@ impl RoutingReport {
         RoutingReport {
             original_gates: original.len(),
             routed_gates: routed.len(),
-            swaps_inserted: routed.count_kind(GateKind::Swap)
-                - original.count_kind(GateKind::Swap),
+            swaps_inserted: routed.count_kind(GateKind::Swap) - original.count_kind(GateKind::Swap),
             original_weighted_depth: weighted_depth(original, &mut duration_of),
             routed_weighted_depth: weighted_depth(routed, &mut duration_of),
         }

@@ -156,8 +156,11 @@ impl CodarRouter {
 
         let mut pi = initial.clone();
         let mut locks = QubitLocks::new(device.num_qubits());
-        let mut front =
-            CommutativeFront::new(circuit, self.config.enable_commutativity, self.config.window);
+        let mut front = CommutativeFront::new(
+            circuit,
+            self.config.enable_commutativity,
+            self.config.window,
+        );
         let mut out = Circuit::with_bits(device.num_qubits(), circuit.num_bits());
         let mut starts: Vec<Time> = Vec::with_capacity(circuit.len());
         let mut now: Time = 0;
@@ -172,8 +175,7 @@ impl CodarRouter {
                 let mut launched_this_pass = false;
                 for g in cf {
                     let gate = &circuit.gates()[g];
-                    let phys: Vec<usize> =
-                        gate.qubits.iter().map(|&q| pi.phys_of(q)).collect();
+                    let phys: Vec<usize> = gate.qubits.iter().map(|&q| pi.phys_of(q)).collect();
                     if !locks.all_free(&phys, now) {
                         continue;
                     }
@@ -237,8 +239,7 @@ impl CodarRouter {
                     for &endpoint in &[pa, pb] {
                         for &nb in graph.neighbors(endpoint) {
                             let edge = (endpoint.min(nb), endpoint.max(nb));
-                            if locks.all_free(&[edge.0, edge.1], now)
-                                && !candidates.contains(&edge)
+                            if locks.all_free(&[edge.0, edge.1], now) && !candidates.contains(&edge)
                             {
                                 candidates.push(edge);
                             }
@@ -347,12 +348,16 @@ impl CodarRouter {
                 }
                 let edge = (endpoint.min(nb), endpoint.max(nb));
                 let p = priority(edge, &[(pa, pb)], dist, layout, self.config.enable_hfine);
-                if best.map_or(true, |(bp, be)| (p, std::cmp::Reverse(edge)) > (bp, std::cmp::Reverse(be))) {
+                if best.map_or(true, |(bp, be)| {
+                    (p, std::cmp::Reverse(edge)) > (bp, std::cmp::Reverse(be))
+                }) {
                     best = Some((p, edge));
                 }
             }
         }
-        Ok(best.expect("a connected pair always has a distance-reducing neighbor").1)
+        Ok(best
+            .expect("a connected pair always has a distance-reducing neighbor")
+            .1)
     }
 }
 
@@ -392,7 +397,9 @@ mod tests {
             initial_mapping: InitialMapping::Identity,
             ..CodarConfig::default()
         };
-        CodarRouter::with_config(device, config).route(circuit).unwrap()
+        CodarRouter::with_config(device, config)
+            .route(circuit)
+            .unwrap()
     }
 
     #[test]

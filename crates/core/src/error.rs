@@ -39,7 +39,10 @@ impl fmt::Display for RouteError {
                 "circuit needs {logical} qubits but the device has only {physical}"
             ),
             RouteError::UnsupportedGate { gate } => {
-                write!(f, "unsupported gate for routing: {gate} (decompose to <=2 qubits first)")
+                write!(
+                    f,
+                    "unsupported gate for routing: {gate} (decompose to <=2 qubits first)"
+                )
             }
             RouteError::Disconnected { a, b } => {
                 write!(f, "no coupling path between physical qubits {a} and {b}")

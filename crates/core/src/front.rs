@@ -68,9 +68,8 @@ impl CommutativeFront {
         for pos in 0..limit {
             let g = queue[pos];
             let locally_cf = if self.commutativity {
-                (0..pos).all(|earlier| {
-                    commutes(&circuit.gates()[queue[earlier]], &circuit.gates()[g])
-                })
+                (0..pos)
+                    .all(|earlier| commutes(&circuit.gates()[queue[earlier]], &circuit.gates()[g]))
             } else {
                 pos == 0
             };
@@ -123,8 +122,7 @@ impl CommutativeFront {
         // Gates with no qubit operands (possible only for synthetic
         // barriers) are always CF.
         cf.extend(
-            (0..circuit.len())
-                .filter(|&i| self.pending[i] && circuit.gates()[i].qubits.is_empty()),
+            (0..circuit.len()).filter(|&i| self.pending[i] && circuit.gates()[i].qubits.is_empty()),
         );
         cf.sort_unstable();
         cf

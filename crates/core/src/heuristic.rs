@@ -61,11 +61,7 @@ pub fn h_basic(swap: (usize, usize), cf_pairs: &[(usize, usize)], dist: &Distanc
 /// so including them preserves the paper's pairwise comparisons while
 /// keeping the value well-defined when one SWAP serves several gates.
 /// Returns 0 when the device has no 2-D layout.
-pub fn h_fine(
-    swap: (usize, usize),
-    cf_pairs: &[(usize, usize)],
-    layout: Option<&Layout2d>,
-) -> i64 {
+pub fn h_fine(swap: (usize, usize), cf_pairs: &[(usize, usize)], layout: Option<&Layout2d>) -> i64 {
     let Some(layout) = layout else { return 0 };
     let mut total = 0i64;
     for &(pa, pb) in cf_pairs {
@@ -159,7 +155,10 @@ mod tests {
     #[test]
     fn priority_orders_lexicographically() {
         let a = SwapPriority { basic: 2, fine: -5 };
-        let b = SwapPriority { basic: 1, fine: 100 };
+        let b = SwapPriority {
+            basic: 1,
+            fine: 100,
+        };
         let c = SwapPriority { basic: 2, fine: -3 };
         assert!(a > b);
         assert!(c > a);

@@ -304,9 +304,7 @@ mod tests {
         c.cx(1, 2);
         let pi = InitialMapping::DenseLayout.build(&c, &device);
         // The heavy pair (0,1) must land on coupled sites.
-        assert!(device
-            .graph()
-            .are_adjacent(pi.phys_of(0), pi.phys_of(1)));
+        assert!(device.graph().are_adjacent(pi.phys_of(0), pi.phys_of(1)));
         // The light pair should still be close.
         assert!(device.distance(pi.phys_of(1), pi.phys_of(2)) <= 2);
     }

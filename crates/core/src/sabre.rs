@@ -174,9 +174,8 @@ fn route_core(
                     let gate = &circuit.gates()[g];
                     match gate.kind {
                         GateKind::Barrier => true,
-                        _ if gate.qubits.len() == 2 => {
-                            graph.are_adjacent(pi.phys_of(gate.qubits[0]), pi.phys_of(gate.qubits[1]))
-                        }
+                        _ if gate.qubits.len() == 2 => graph
+                            .are_adjacent(pi.phys_of(gate.qubits[0]), pi.phys_of(gate.qubits[1])),
                         _ => true,
                     }
                 })
@@ -265,8 +264,7 @@ fn route_core(
             let e_term: f64 = if extended.is_empty() {
                 0.0
             } else {
-                config.extended_set_weight
-                    * extended.iter().map(|&g| dist_through(g)).sum::<f64>()
+                config.extended_set_weight * extended.iter().map(|&g| dist_through(g)).sum::<f64>()
                     / extended.len() as f64
             };
             let decay_factor = decay[edge.0].max(decay[edge.1]);

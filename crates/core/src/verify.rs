@@ -60,8 +60,7 @@ pub fn reconstruct_logical(
             pi.apply_swap(gate.qubits[0], gate.qubits[1]);
             continue;
         }
-        let logical: Option<Vec<usize>> =
-            gate.qubits.iter().map(|&p| pi.logical_of(p)).collect();
+        let logical: Option<Vec<usize>> = gate.qubits.iter().map(|&p| pi.logical_of(p)).collect();
         let Some(logical) = logical else {
             // Barriers may legitimately cover unoccupied qubits; drop
             // those operands instead of failing.

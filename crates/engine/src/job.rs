@@ -1,0 +1,146 @@
+//! Job matrix: the cross product circuit × device × router that the
+//! engine fans across its worker pool.
+
+use codar_arch::Device;
+use codar_benchmarks::suite::SuiteEntry;
+use codar_router::{CodarConfig, SabreConfig};
+use std::sync::Arc;
+
+/// Which router a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouterKind {
+    /// The paper's context- and duration-aware remapper.
+    Codar,
+    /// The SABRE baseline (Li et al., ASPLOS 2019).
+    Sabre,
+    /// The nearest-neighbor greedy baseline.
+    Greedy,
+}
+
+impl RouterKind {
+    /// Stable lowercase name used in summaries and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterKind::Codar => "codar",
+            RouterKind::Sabre => "sabre",
+            RouterKind::Greedy => "greedy",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "codar" => Some(RouterKind::Codar),
+            "sabre" => Some(RouterKind::Sabre),
+            "greedy" => Some(RouterKind::Greedy),
+            _ => None,
+        }
+    }
+}
+
+/// Engine-wide knobs. The defaults reproduce the paper's protocol:
+/// CODAR and SABRE from identical reverse-traversal initial mappings.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Seed for the per-(circuit, device) initial mapping.
+    pub seed: u64,
+    /// Run `codar_router::verify` on every routed circuit.
+    pub verify: bool,
+    /// Routers included in the matrix.
+    pub routers: Vec<RouterKind>,
+    /// CODAR mechanism switches (ablations reuse the engine).
+    pub codar: CodarConfig,
+    /// SABRE parameters.
+    pub sabre: SabreConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            seed: 0,
+            verify: true,
+            routers: vec![RouterKind::Codar, RouterKind::Sabre],
+            codar: CodarConfig::default(),
+            sabre: SabreConfig::default(),
+        }
+    }
+}
+
+/// One unit of work: route suite entry `entry` on device `device` with
+/// `router`. Indices point into the runner's shared entry/device
+/// tables so jobs stay cheap to clone and queue.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// Dense job id; also the job's position in the report vector.
+    pub id: usize,
+    /// Index into the shared suite-entry table.
+    pub entry: usize,
+    /// Index into the shared device table.
+    pub device: usize,
+    /// Router to run.
+    pub router: RouterKind,
+}
+
+/// Expands the job matrix, skipping (entry, device) pairs where the
+/// circuit does not fit. Order is deterministic: device-major, then
+/// entry, then router (in `config.routers` order).
+pub fn build_matrix(
+    entries: &[SuiteEntry],
+    devices: &[Arc<Device>],
+    routers: &[RouterKind],
+) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for (d, device) in devices.iter().enumerate() {
+        for (e, entry) in entries.iter().enumerate() {
+            if entry.num_qubits > device.num_qubits() {
+                continue;
+            }
+            for &router in routers {
+                jobs.push(JobSpec {
+                    id: jobs.len(),
+                    entry: e,
+                    device: d,
+                    router,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_benchmarks::suite::full_suite;
+
+    #[test]
+    fn router_names_round_trip() {
+        for kind in [RouterKind::Codar, RouterKind::Sabre, RouterKind::Greedy] {
+            assert_eq!(RouterKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(RouterKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn matrix_skips_oversized_circuits() {
+        let entries = full_suite();
+        let small = Arc::new(Device::linear(5));
+        let big = Arc::new(Device::ibm_q20_tokyo());
+        let routers = [RouterKind::Codar, RouterKind::Sabre];
+        let jobs = build_matrix(&entries, &[small.clone(), big], &routers);
+        // Every job fits its device, ids are dense, and both routers
+        // appear for each (entry, device) pair.
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.id, i);
+            let dev_qubits = if job.device == 0 { 5 } else { 20 };
+            assert!(entries[job.entry].num_qubits <= dev_qubits);
+        }
+        assert_eq!(jobs.len() % routers.len(), 0);
+        let small_jobs = jobs.iter().filter(|j| j.device == 0).count();
+        let big_jobs = jobs.iter().filter(|j| j.device == 1).count();
+        assert!(small_jobs < big_jobs, "fewer circuits fit 5 qubits than 20");
+    }
+}

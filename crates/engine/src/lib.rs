@@ -1,0 +1,55 @@
+//! # codar-engine — parallel suite-routing engine
+//!
+//! The CODAR evaluation is an embarrassingly parallel matrix: every
+//! (circuit, device, router) cell routes independently. This crate is
+//! the chassis that exploits that: a [`SuiteRunner`] expands the job
+//! matrix ([`job::build_matrix`]), fans it across a `std::thread`
+//! worker pool, and folds the per-job [`RouteReport`]s into a
+//! [`Summary`] whose JSON/CSV serializations are **byte-identical for
+//! any thread count** — timing lives in the separate [`RunStats`].
+//!
+//! Key properties:
+//!
+//! * **Shared device caches** — each [`codar_arch::Device`] (and with
+//!   it the all-pairs distance matrix it precomputes) is built once
+//!   and shared behind an `Arc` by every job on that device.
+//! * **Paper protocol** — CODAR and SABRE route each cell from the
+//!   *same* reverse-traversal initial mapping, as in the paper's
+//!   Fig. 8 setup.
+//! * **Built-in verification** — with [`EngineConfig::verify`] on
+//!   (default), every routed circuit is checked for coupling
+//!   compliance and semantic equivalence before it is reported.
+//! * **Determinism** — job ids key all output; reports are sorted, so
+//!   scheduling order never leaks into the summary.
+//!
+//! # Examples
+//!
+//! Route a small subset of the suite on two devices with both routers
+//! and print the Fig. 8-style speedups:
+//!
+//! ```
+//! use codar_arch::Device;
+//! use codar_benchmarks::suite::full_suite;
+//! use codar_engine::{EngineConfig, SuiteRunner};
+//!
+//! let entries: Vec<_> = full_suite().into_iter().take(6).collect();
+//! let result = SuiteRunner::new(EngineConfig::default())
+//!     .device(Device::ibm_q16_melbourne())
+//!     .device(Device::ibm_q20_tokyo())
+//!     .entries(entries)
+//!     .run();
+//! assert!(result.failures.is_empty());
+//! for (device, mean) in result.summary.mean_speedup_by_device() {
+//!     println!("{device}: mean speedup {mean:.3}");
+//! }
+//! let json = result.summary.to_json(); // byte-stable across thread counts
+//! assert!(json.contains("\"comparisons\""));
+//! ```
+
+pub mod job;
+pub mod report;
+pub mod runner;
+
+pub use job::{EngineConfig, JobSpec, RouterKind};
+pub use report::{Comparison, RouteReport, RunStats, Summary};
+pub use runner::{JobFailure, SuiteResult, SuiteRunner};

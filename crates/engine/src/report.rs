@@ -1,0 +1,369 @@
+//! Per-job reports and the deterministic suite summary.
+//!
+//! [`RouteReport`] carries everything measured about one job, including
+//! wall time. The [`Summary`] built from the reports deliberately
+//! excludes wall times so that its JSON/CSV serializations are
+//! **byte-identical across thread counts and machines** — the engine's
+//! determinism tests diff them directly.
+
+use crate::job::RouterKind;
+use codar_circuit::schedule::Time;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Everything measured about one completed routing job.
+#[derive(Debug, Clone)]
+pub struct RouteReport {
+    /// Dense job id (position in the matrix).
+    pub job_id: usize,
+    /// Benchmark name.
+    pub circuit: String,
+    /// Device name.
+    pub device: String,
+    /// Qubits used by the input circuit.
+    pub num_qubits: usize,
+    /// Input gate count.
+    pub input_gates: usize,
+    /// Router that produced the result.
+    pub router: RouterKind,
+    /// Weighted depth (schedule makespan) of the routed circuit.
+    pub weighted_depth: Time,
+    /// Unweighted depth of the routed circuit.
+    pub depth: usize,
+    /// SWAPs the router inserted.
+    pub swaps: usize,
+    /// Output gate count (input + inserted SWAPs).
+    pub output_gates: usize,
+    /// Whether coupling + equivalence verification ran and passed
+    /// (`None` when verification was disabled).
+    pub verified: Option<bool>,
+    /// Wall time of the whole job — initial mapping, routing and
+    /// verification (not part of the summary).
+    pub wall: Duration,
+}
+
+/// CODAR-vs-SABRE pairing for one (device, circuit) cell.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Device name.
+    pub device: String,
+    /// Benchmark name.
+    pub circuit: String,
+    /// CODAR weighted depth.
+    pub codar_depth: Time,
+    /// SABRE weighted depth.
+    pub sabre_depth: Time,
+}
+
+impl Comparison {
+    /// The Fig. 8 metric: SABRE weighted depth over CODAR weighted
+    /// depth (> 1 means CODAR produces faster schedules).
+    pub fn speedup(&self) -> f64 {
+        if self.codar_depth == 0 {
+            1.0
+        } else {
+            self.sabre_depth as f64 / self.codar_depth as f64
+        }
+    }
+}
+
+/// Timing and sizing of one engine run. Kept separate from
+/// [`Summary`] because wall clocks are inherently nondeterministic.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Jobs executed (including failed ones).
+    pub jobs: usize,
+    /// Jobs that returned a router error.
+    pub failures: usize,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+    /// Sum of per-job wall times (the work the pool parallelized).
+    pub total_route_time: Duration,
+}
+
+/// Deterministic summary of a suite run.
+///
+/// Rows are sorted by (device, circuit, router) and contain no timing,
+/// so [`Summary::to_json`] and [`Summary::to_csv`] are byte-identical
+/// for identical inputs regardless of thread count.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Seed the run used for initial mappings.
+    pub seed: u64,
+    /// Per-job rows in deterministic order.
+    pub rows: Vec<RouteReport>,
+    /// CODAR-vs-SABRE comparisons in deterministic order.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Summary {
+    /// Builds a summary from raw (unordered) reports.
+    pub fn from_reports(seed: u64, mut rows: Vec<RouteReport>) -> Self {
+        rows.sort_by(|a, b| {
+            (&a.device, &a.circuit, a.router).cmp(&(&b.device, &b.circuit, b.router))
+        });
+        let mut cells: BTreeMap<(String, String), (Option<Time>, Option<Time>)> = BTreeMap::new();
+        for row in &rows {
+            let cell = cells
+                .entry((row.device.clone(), row.circuit.clone()))
+                .or_default();
+            match row.router {
+                RouterKind::Codar => cell.0 = Some(row.weighted_depth),
+                RouterKind::Sabre => cell.1 = Some(row.weighted_depth),
+                RouterKind::Greedy => {}
+            }
+        }
+        let comparisons = cells
+            .into_iter()
+            .filter_map(|((device, circuit), cell)| match cell {
+                (Some(codar_depth), Some(sabre_depth)) => Some(Comparison {
+                    device,
+                    circuit,
+                    codar_depth,
+                    sabre_depth,
+                }),
+                _ => None,
+            })
+            .collect();
+        Summary {
+            seed,
+            rows,
+            comparisons,
+        }
+    }
+
+    /// Mean CODAR-vs-SABRE speedup per device, in device-name order.
+    pub fn mean_speedup_by_device(&self) -> Vec<(String, f64)> {
+        let mut acc: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+        for comparison in &self.comparisons {
+            let entry = acc.entry(&comparison.device).or_default();
+            entry.0 += comparison.speedup();
+            entry.1 += 1;
+        }
+        acc.into_iter()
+            .map(|(device, (sum, n))| (device.to_string(), sum / n as f64))
+            .collect()
+    }
+
+    /// Serializes the summary as deterministic JSON (stable key order,
+    /// fixed float formatting, no timing fields).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"device\": {}, \"circuit\": {}, \"qubits\": {}, \"input_gates\": {}, \
+                 \"router\": {}, \"weighted_depth\": {}, \"depth\": {}, \"swaps\": {}, \
+                 \"output_gates\": {}, \"verified\": {}}}",
+                json_string(&row.device),
+                json_string(&row.circuit),
+                row.num_qubits,
+                row.input_gates,
+                json_string(row.router.name()),
+                row.weighted_depth,
+                row.depth,
+                row.swaps,
+                row.output_gates,
+                match row.verified {
+                    Some(true) => "true",
+                    Some(false) => "false",
+                    None => "null",
+                },
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"comparisons\": [\n");
+        for (i, cmp) in self.comparisons.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"device\": {}, \"circuit\": {}, \"codar_depth\": {}, \
+                 \"sabre_depth\": {}, \"speedup\": {}}}",
+                json_string(&cmp.device),
+                json_string(&cmp.circuit),
+                cmp.codar_depth,
+                cmp.sabre_depth,
+                json_float(cmp.speedup()),
+            );
+            out.push_str(if i + 1 < self.comparisons.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"mean_speedup_by_device\": {\n");
+        let means = self.mean_speedup_by_device();
+        for (i, (device, mean)) in means.iter().enumerate() {
+            let _ = write!(out, "    {}: {}", json_string(device), json_float(*mean));
+            out.push_str(if i + 1 < means.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Serializes the per-job rows as deterministic CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "device,circuit,qubits,input_gates,router,weighted_depth,depth,swaps,output_gates,verified\n",
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                csv_field(&row.device),
+                csv_field(&row.circuit),
+                row.num_qubits,
+                row.input_gates,
+                row.router.name(),
+                row.weighted_depth,
+                row.depth,
+                row.swaps,
+                row.output_gates,
+                match row.verified {
+                    Some(true) => "yes",
+                    Some(false) => "no",
+                    None => "skipped",
+                },
+            );
+        }
+        out
+    }
+
+    /// Serializes the comparisons as deterministic CSV.
+    pub fn comparisons_to_csv(&self) -> String {
+        let mut out = String::from("device,circuit,codar_depth,sabre_depth,speedup\n");
+        for cmp in &self.comparisons {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                csv_field(&cmp.device),
+                csv_field(&cmp.circuit),
+                cmp.codar_depth,
+                cmp.sabre_depth,
+                json_float(cmp.speedup()),
+            );
+        }
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Fixed-precision float so serializations never depend on shortest-
+/// round-trip formatting quirks.
+fn json_float(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// CSV field, quoted only when needed.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(device: &str, circuit: &str, router: RouterKind, wd: Time) -> RouteReport {
+        RouteReport {
+            job_id: 0,
+            circuit: circuit.into(),
+            device: device.into(),
+            num_qubits: 4,
+            input_gates: 10,
+            router,
+            weighted_depth: wd,
+            depth: 5,
+            swaps: 2,
+            output_gates: 12,
+            verified: Some(true),
+            wall: Duration::from_millis(3),
+        }
+    }
+
+    #[test]
+    fn summary_sorts_and_pairs() {
+        let rows = vec![
+            report("q20", "qft_4", RouterKind::Sabre, 90),
+            report("q16", "ghz_3", RouterKind::Codar, 40),
+            report("q20", "qft_4", RouterKind::Codar, 60),
+            report("q16", "ghz_3", RouterKind::Sabre, 40),
+        ];
+        let summary = Summary::from_reports(7, rows);
+        assert_eq!(summary.rows[0].device, "q16");
+        assert_eq!(summary.comparisons.len(), 2);
+        let qft = summary
+            .comparisons
+            .iter()
+            .find(|c| c.circuit == "qft_4")
+            .unwrap();
+        assert!((qft.speedup() - 1.5).abs() < 1e-12);
+        let means = summary.mean_speedup_by_device();
+        assert_eq!(means.len(), 2);
+        assert!((means[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serializations_are_stable_under_input_order() {
+        let a = Summary::from_reports(
+            0,
+            vec![
+                report("q20", "qft_4", RouterKind::Codar, 60),
+                report("q20", "qft_4", RouterKind::Sabre, 90),
+            ],
+        );
+        let b = Summary::from_reports(
+            0,
+            vec![
+                report("q20", "qft_4", RouterKind::Sabre, 90),
+                report("q20", "qft_4", RouterKind::Codar, 60),
+            ],
+        );
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.comparisons_to_csv(), b.comparisons_to_csv());
+    }
+
+    #[test]
+    fn json_escapes_and_floats_are_fixed() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_float(1.5), "1.500000");
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+    }
+
+    #[test]
+    fn empty_summary_serializes() {
+        let summary = Summary::from_reports(0, Vec::new());
+        let json = summary.to_json();
+        assert!(json.contains("\"rows\": ["));
+        assert!(summary.to_csv().ends_with("verified\n"));
+    }
+}

@@ -1,0 +1,302 @@
+//! The [`SuiteRunner`]: fans the job matrix across a worker pool.
+//!
+//! Workers are plain `std::thread`s inside a [`std::thread::scope`];
+//! they claim jobs from a shared atomic cursor (cheap work stealing —
+//! job granularity is a whole route call, so contention is negligible)
+//! and stream `(job id, result)` pairs back over an mpsc channel.
+//! Because every job is independent and its output is keyed by job id,
+//! the assembled [`Summary`] is identical for any thread count.
+//!
+//! Each [`Device`] is constructed **once** and shared as an
+//! [`Arc<Device>`]; its all-pairs distance matrix (computed eagerly at
+//! construction) is therefore paid once per device, not once per job —
+//! on a 54-qubit Sycamore that matrix alone is ~3k BFS visits a job
+//! would otherwise repeat.
+
+use crate::job::{build_matrix, EngineConfig, JobSpec, RouterKind};
+use crate::report::{RouteReport, RunStats, Summary};
+use codar_arch::Device;
+use codar_benchmarks::suite::SuiteEntry;
+use codar_router::sabre::reverse_traversal_mapping;
+use codar_router::verify::{check_coupling, check_equivalence};
+use codar_router::{CodarRouter, GreedyRouter, Mapping, RoutedCircuit, SabreRouter};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A job that returned a router error (e.g. disconnected coupling).
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// The failed job.
+    pub job: JobSpec,
+    /// Benchmark name.
+    pub circuit: String,
+    /// Device name.
+    pub device: String,
+    /// Stringified router error.
+    pub error: String,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Deterministic summary (see [`Summary`] for the guarantees).
+    pub summary: Summary,
+    /// Wall-clock and sizing statistics (nondeterministic).
+    pub stats: RunStats,
+    /// Jobs that errored, in job-id order.
+    pub failures: Vec<JobFailure>,
+}
+
+/// Parallel suite-routing engine.
+///
+/// # Examples
+///
+/// ```
+/// use codar_arch::Device;
+/// use codar_benchmarks::suite::full_suite;
+/// use codar_engine::{EngineConfig, SuiteRunner};
+///
+/// let entries: Vec<_> = full_suite().into_iter().take(4).collect();
+/// let result = SuiteRunner::new(EngineConfig::default())
+///     .device(Device::ibm_q20_tokyo())
+///     .entries(entries)
+///     .run();
+/// assert!(result.failures.is_empty());
+/// assert_eq!(result.summary.rows.len(), 8); // 4 circuits x 2 routers
+/// assert!(result.summary.rows.iter().all(|r| r.verified == Some(true)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuiteRunner {
+    config: EngineConfig,
+    devices: Vec<Arc<Device>>,
+    entries: Vec<SuiteEntry>,
+}
+
+impl SuiteRunner {
+    /// Creates an empty runner with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        SuiteRunner {
+            config,
+            devices: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds one target device.
+    #[must_use]
+    pub fn device(mut self, device: Device) -> Self {
+        self.devices.push(Arc::new(device));
+        self
+    }
+
+    /// Adds several target devices.
+    #[must_use]
+    pub fn devices(mut self, devices: impl IntoIterator<Item = Device>) -> Self {
+        self.devices.extend(devices.into_iter().map(Arc::new));
+        self
+    }
+
+    /// Sets the benchmark entries to route.
+    #[must_use]
+    pub fn entries(mut self, entries: Vec<SuiteEntry>) -> Self {
+        self.entries = entries;
+        self
+    }
+
+    /// Worker threads the run will use (resolving `threads == 0`).
+    pub fn effective_threads(&self) -> usize {
+        if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        }
+    }
+
+    /// Routes the full matrix and assembles the deterministic summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (propagated by the scope).
+    pub fn run(&self) -> SuiteResult {
+        let jobs = build_matrix(&self.entries, &self.devices, &self.config.routers);
+        let threads = self.effective_threads().clamp(1, jobs.len().max(1));
+        let started = Instant::now();
+
+        // One initial-mapping slot per (entry, device) cell: the
+        // reverse-traversal mapping is itself two routing passes, and
+        // every router job in a cell shares the same one (the paper's
+        // protocol), so compute it once — whichever worker gets there
+        // first fills the slot.
+        let mappings: Vec<OnceLock<Mapping>> = (0..self.entries.len() * self.devices.len())
+            .map(|_| OnceLock::new())
+            .collect();
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(JobSpec, Result<RouteReport, String>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let jobs = &jobs;
+                let mappings = &mappings;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&job) = jobs.get(i) else { break };
+                    let outcome = self.run_job(job, mappings);
+                    if tx.send((job, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+
+        let mut reports = Vec::with_capacity(jobs.len());
+        let mut failures = Vec::new();
+        let mut total_route_time = Duration::ZERO;
+        for (job, outcome) in rx {
+            match outcome {
+                Ok(report) => {
+                    total_route_time += report.wall;
+                    reports.push(report);
+                }
+                Err(error) => failures.push(JobFailure {
+                    job,
+                    circuit: self.entries[job.entry].name.clone(),
+                    device: self.devices[job.device].name().to_string(),
+                    error,
+                }),
+            }
+        }
+        failures.sort_by_key(|f| f.job.id);
+
+        let stats = RunStats {
+            threads,
+            jobs: jobs.len(),
+            failures: failures.len(),
+            wall: started.elapsed(),
+            total_route_time,
+        };
+        SuiteResult {
+            summary: Summary::from_reports(self.config.seed, reports),
+            stats,
+            failures,
+        }
+    }
+
+    fn run_job(&self, job: JobSpec, mappings: &[OnceLock<Mapping>]) -> Result<RouteReport, String> {
+        let entry = &self.entries[job.entry];
+        let device = &self.devices[job.device];
+        let started = Instant::now();
+        let initial = mappings[job.device * self.entries.len() + job.entry]
+            .get_or_init(|| reverse_traversal_mapping(&entry.circuit, device, self.config.seed))
+            .clone();
+        let routed: RoutedCircuit = match job.router {
+            RouterKind::Codar => CodarRouter::with_config(device, self.config.codar.clone())
+                .route_with_mapping(&entry.circuit, initial),
+            RouterKind::Sabre => SabreRouter::with_config(device, self.config.sabre.clone())
+                .route_with_mapping(&entry.circuit, initial),
+            RouterKind::Greedy => {
+                GreedyRouter::new(device).route_with_mapping(&entry.circuit, initial)
+            }
+        }
+        .map_err(|e| e.to_string())?;
+
+        let verified = if self.config.verify {
+            Some(
+                check_coupling(&routed.circuit, device).is_ok()
+                    && check_equivalence(&entry.circuit, &routed).is_ok(),
+            )
+        } else {
+            None
+        };
+        let wall = started.elapsed();
+
+        Ok(RouteReport {
+            job_id: job.id,
+            circuit: entry.name.clone(),
+            device: device.name().to_string(),
+            num_qubits: entry.num_qubits,
+            input_gates: entry.circuit.len(),
+            router: job.router,
+            weighted_depth: routed.weighted_depth,
+            depth: routed.depth(),
+            swaps: routed.swaps_inserted,
+            output_gates: routed.gate_count(),
+            verified,
+            wall,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_benchmarks::suite::full_suite;
+
+    fn small_entries(n: usize) -> Vec<SuiteEntry> {
+        full_suite().into_iter().take(n).collect()
+    }
+
+    #[test]
+    fn single_thread_run_completes_and_verifies() {
+        let result = SuiteRunner::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        })
+        .device(Device::ibm_q20_tokyo())
+        .entries(small_entries(5))
+        .run();
+        assert_eq!(result.stats.jobs, 10);
+        assert_eq!(result.stats.threads, 1);
+        assert!(result.failures.is_empty());
+        assert!(result.summary.rows.iter().all(|r| r.verified == Some(true)));
+        assert_eq!(result.summary.comparisons.len(), 5);
+    }
+
+    #[test]
+    fn oversized_devices_are_skipped_not_failed() {
+        let result = SuiteRunner::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        })
+        .device(Device::linear(4))
+        .entries(small_entries(8))
+        .run();
+        // Only circuits with <= 4 qubits become jobs at all.
+        assert!(result.summary.rows.iter().all(|r| r.num_qubits <= 4));
+        assert!(result.failures.is_empty());
+    }
+
+    #[test]
+    fn greedy_router_is_supported() {
+        let result = SuiteRunner::new(EngineConfig {
+            threads: 2,
+            routers: vec![RouterKind::Codar, RouterKind::Sabre, RouterKind::Greedy],
+            ..EngineConfig::default()
+        })
+        .device(Device::ibm_q20_tokyo())
+        .entries(small_entries(3))
+        .run();
+        assert_eq!(result.stats.jobs, 9);
+        assert!(result.failures.is_empty());
+        // Greedy rows exist but don't produce comparisons on their own.
+        assert_eq!(result.summary.comparisons.len(), 3);
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let result = SuiteRunner::new(EngineConfig {
+            threads: 1,
+            verify: false,
+            ..EngineConfig::default()
+        })
+        .device(Device::ibm_q20_tokyo())
+        .entries(small_entries(2))
+        .run();
+        assert!(result.summary.rows.iter().all(|r| r.verified.is_none()));
+    }
+}

@@ -1,0 +1,103 @@
+//! Engine-level integration tests: summary determinism across thread
+//! counts, and a parallel smoke run of a real suite subset on the
+//! paper's IBM Q20 Tokyo device.
+
+use codar_arch::Device;
+use codar_benchmarks::suite::full_suite;
+use codar_engine::{EngineConfig, RouterKind, SuiteRunner};
+
+fn config(threads: usize) -> EngineConfig {
+    EngineConfig {
+        threads,
+        seed: 3,
+        ..EngineConfig::default()
+    }
+}
+
+/// The acceptance property: 1-thread and N-thread runs of the same
+/// matrix serialize to byte-identical JSON and CSV.
+#[test]
+fn summary_is_byte_identical_across_thread_counts() {
+    let entries: Vec<_> = full_suite().into_iter().take(12).collect();
+    let run = |threads: usize| {
+        SuiteRunner::new(config(threads))
+            .device(Device::ibm_q16_melbourne())
+            .device(Device::ibm_q20_tokyo())
+            .entries(entries.clone())
+            .run()
+    };
+    let one = run(1);
+    let four = run(4);
+    let eight = run(8);
+    assert!(one.failures.is_empty());
+    assert_eq!(one.summary.to_json(), four.summary.to_json());
+    assert_eq!(one.summary.to_json(), eight.summary.to_json());
+    assert_eq!(one.summary.to_csv(), four.summary.to_csv());
+    assert_eq!(
+        one.summary.comparisons_to_csv(),
+        eight.summary.comparisons_to_csv()
+    );
+    assert_eq!(four.stats.threads, 4);
+}
+
+/// Smoke test: a 10-circuit subset routes on `ibm_q20_tokyo` in
+/// parallel with both routers, everything verifies, and the summary
+/// has the expected shape.
+#[test]
+fn ten_circuit_smoke_on_tokyo_in_parallel() {
+    let entries: Vec<_> = full_suite().into_iter().take(10).collect();
+    let result = SuiteRunner::new(config(4))
+        .device(Device::ibm_q20_tokyo())
+        .entries(entries)
+        .run();
+    assert_eq!(result.stats.jobs, 20, "10 circuits x 2 routers");
+    assert!(result.failures.is_empty());
+    assert_eq!(result.summary.rows.len(), 20);
+    assert_eq!(result.summary.comparisons.len(), 10);
+    assert!(
+        result.summary.rows.iter().all(|r| r.verified == Some(true)),
+        "every routed circuit must pass coupling + equivalence checks"
+    );
+    assert!(result.summary.rows.iter().all(|r| r.weighted_depth > 0));
+    // Output gate accounting: input + inserted swaps.
+    for row in &result.summary.rows {
+        assert_eq!(row.output_gates, row.input_gates + row.swaps);
+    }
+    let means = result.summary.mean_speedup_by_device();
+    assert_eq!(means.len(), 1);
+    assert!(means[0].1 > 0.5, "mean speedup should be sane: {means:?}");
+}
+
+/// The seed flows into initial mappings: different seeds may produce
+/// different routes, but the same seed always reproduces the summary.
+#[test]
+fn same_seed_reproduces_summary() {
+    let entries: Vec<_> = full_suite().into_iter().take(6).collect();
+    let run = |seed: u64| {
+        SuiteRunner::new(EngineConfig {
+            threads: 3,
+            seed,
+            ..EngineConfig::default()
+        })
+        .device(Device::enfield_6x6())
+        .entries(entries.clone())
+        .run()
+    };
+    assert_eq!(run(11).summary.to_json(), run(11).summary.to_json());
+}
+
+/// Router subsets work and single-router runs yield no comparisons.
+#[test]
+fn codar_only_run_has_no_comparisons() {
+    let entries: Vec<_> = full_suite().into_iter().take(4).collect();
+    let result = SuiteRunner::new(EngineConfig {
+        threads: 2,
+        routers: vec![RouterKind::Codar],
+        ..EngineConfig::default()
+    })
+    .device(Device::ibm_q20_tokyo())
+    .entries(entries)
+    .run();
+    assert_eq!(result.summary.rows.len(), 4);
+    assert!(result.summary.comparisons.is_empty());
+}

@@ -97,7 +97,11 @@ impl<'a> Lexer<'a> {
             text.parse::<f64>()
                 .map(|x| Token::new(TokenKind::Real(x), start))
                 .map_err(|_| {
-                    QasmError::at(QasmErrorKind::Lex, start, format!("invalid real literal `{text}`"))
+                    QasmError::at(
+                        QasmErrorKind::Lex,
+                        start,
+                        format!("invalid real literal `{text}`"),
+                    )
                 })
         } else {
             text.parse::<u64>()
@@ -281,7 +285,11 @@ mod tests {
     fn lexes_header() {
         assert_eq!(
             kinds("OPENQASM 2.0;"),
-            vec![TokenKind::OpenQasm, TokenKind::Real(2.0), TokenKind::Semicolon]
+            vec![
+                TokenKind::OpenQasm,
+                TokenKind::Real(2.0),
+                TokenKind::Semicolon
+            ]
         );
     }
 

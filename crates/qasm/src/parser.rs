@@ -167,7 +167,11 @@ impl<'a> Parser<'a> {
                 };
                 let qargs = self.parse_ident_list()?;
                 self.expect(&TokenKind::Semicolon)?;
-                Ok(Statement::Opaque { name, params, qargs })
+                Ok(Statement::Opaque {
+                    name,
+                    params,
+                    qargs,
+                })
             }
             Some(TokenKind::If) => {
                 self.bump();
@@ -245,9 +249,7 @@ impl<'a> Parser<'a> {
                 Some(TokenKind::U) | Some(TokenKind::Cx) | Some(TokenKind::Ident(_)) => {
                     body.push(GateBodyStmt::Call(self.parse_gate_call()?));
                 }
-                Some(k) => {
-                    return Err(self.error(format!("unexpected `{k}` inside gate body")))
-                }
+                Some(k) => return Err(self.error(format!("unexpected `{k}` inside gate body"))),
                 None => return Err(self.error("unterminated gate body")),
             }
         }
@@ -608,7 +610,11 @@ mod tests {
     fn parses_opaque_declaration() {
         let p = parse("opaque custom(alpha) a, b;").unwrap();
         match &p.statements[0] {
-            Statement::Opaque { name, params, qargs } => {
+            Statement::Opaque {
+                name,
+                params,
+                qargs,
+            } => {
                 assert_eq!(name, "custom");
                 assert_eq!(params, &vec!["alpha".to_string()]);
                 assert_eq!(qargs.len(), 2);

@@ -493,7 +493,9 @@ impl Lowering {
                     ));
                 }
                 let offset = self.flat.num_qubits;
-                self.regs.qregs.insert(name.clone(), (offset, *size as usize));
+                self.regs
+                    .qregs
+                    .insert(name.clone(), (offset, *size as usize));
                 self.flat.num_qubits += *size as usize;
                 self.flat.qregs.push((name.clone(), *size as usize));
                 Ok(())
@@ -506,7 +508,9 @@ impl Lowering {
                     ));
                 }
                 let offset = self.flat.num_bits;
-                self.regs.cregs.insert(name.clone(), (offset, *size as usize));
+                self.regs
+                    .cregs
+                    .insert(name.clone(), (offset, *size as usize));
                 self.flat.num_bits += *size as usize;
                 self.flat.cregs.push((name.clone(), *size as usize));
                 Ok(())
@@ -515,7 +519,11 @@ impl Lowering {
                 self.gatedefs.insert(def.name.clone(), def.clone());
                 Ok(())
             }
-            Statement::Opaque { name, params, qargs } => {
+            Statement::Opaque {
+                name,
+                params,
+                qargs,
+            } => {
                 self.opaques
                     .insert(name.clone(), (params.len(), qargs.len()));
                 Ok(())
@@ -597,8 +605,12 @@ impl Lowering {
                     ));
                 }
                 for i in 0..qsize {
-                    let qubit = self.regs.qubit(&Argument::indexed(&*src.register, i as u64))?;
-                    let bit = self.regs.bit(&Argument::indexed(&*dst.register, i as u64))?;
+                    let qubit = self
+                        .regs
+                        .qubit(&Argument::indexed(&*src.register, i as u64))?;
+                    let bit = self
+                        .regs
+                        .bit(&Argument::indexed(&*dst.register, i as u64))?;
                     self.flat.ops.push(FlatOp::Measure { qubit, bit });
                 }
                 Ok(())
@@ -632,10 +644,7 @@ impl Lowering {
                     Some(w) => {
                         return Err(QasmError::new(
                             QasmErrorKind::Semantic,
-                            format!(
-                                "broadcast size mismatch in `{}`: {w} vs {size}",
-                                call.name
-                            ),
+                            format!("broadcast size mismatch in `{}`: {w} vs {size}", call.name),
                         ))
                     }
                 }
@@ -790,9 +799,7 @@ impl Lowering {
                             if a.index.is_some() {
                                 Err(QasmError::new(
                                     QasmErrorKind::Semantic,
-                                    format!(
-                                        "indexed reference `{a}` not allowed inside gate body"
-                                    ),
+                                    format!("indexed reference `{a}` not allowed inside gate body"),
                                 ))
                             } else {
                                 qubit_env.get(a.register.as_str()).copied().ok_or_else(|| {
@@ -807,7 +814,13 @@ impl Lowering {
                             }
                         })
                         .collect::<Result<_, _>>()?;
-                    self.emit_call(&inner.name, &inner_params, &inner_qubits, conditional, depth + 1)?;
+                    self.emit_call(
+                        &inner.name,
+                        &inner_params,
+                        &inner_qubits,
+                        conditional,
+                        depth + 1,
+                    )?;
                 }
                 GateBodyStmt::Barrier(args) => {
                     let qubits: Vec<usize> = args
@@ -1014,7 +1027,12 @@ mod tests {
     #[test]
     fn barrier_whole_register() {
         let f = flat("qreg q[3]; barrier q;");
-        assert_eq!(f.ops, vec![FlatOp::Barrier { qubits: vec![0, 1, 2] }]);
+        assert_eq!(
+            f.ops,
+            vec![FlatOp::Barrier {
+                qubits: vec![0, 1, 2]
+            }]
+        );
     }
 
     #[test]

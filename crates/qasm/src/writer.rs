@@ -233,7 +233,11 @@ pub fn write_program(program: &crate::ast::Program) -> String {
                 }
                 let _ = writeln!(out, "}}");
             }
-            Statement::Opaque { name, params, qargs } => {
+            Statement::Opaque {
+                name,
+                params,
+                qargs,
+            } => {
                 let _ = write!(out, "opaque {name}");
                 if !params.is_empty() {
                     let _ = write!(out, "({})", params.join(", "));

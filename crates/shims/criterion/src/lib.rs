@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! ships a minimal wall-clock benchmarking harness with criterion's
+//! macro-level API: [`criterion_group!`], [`criterion_main!`],
+//! [`Criterion::benchmark_group`], [`Criterion::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`] and
+//! [`Bencher::iter`]. No statistics, plots or comparisons — each
+//! benchmark runs `sample_size` timed iterations after one warm-up
+//! iteration and prints mean/min time per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let sample_size = self.criterion.sample_size;
+        run_one(&id.label, sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing only; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (subset of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    min: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `routine` (after one warm-up call).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        sample_size,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {label:<40} (no iterations)");
+    } else {
+        let mean = bencher.total / bencher.iters as u32;
+        println!(
+            "  {label:<40} mean {mean:>12?}  min {:>12?}  ({} iters)",
+            bencher.min, bencher.iters
+        );
+    }
+}
+
+/// Declares a group of benchmark targets (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_iterations() {
+        let mut counter = 0usize;
+        let mut criterion = Criterion::default().sample_size(5);
+        criterion.bench_function("count", |b| b.iter(|| counter += 1));
+        // One warm-up + 5 timed iterations.
+        assert_eq!(counter, 6);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut group = criterion.benchmark_group("g");
+        let input = vec![1, 2, 3];
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::new("sum", 3), &input, |b, input| {
+            b.iter(|| {
+                seen = input.iter().sum::<i32>();
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("qft", 8).label, "qft/8");
+        assert_eq!(
+            BenchmarkId::from_parameter("full_codar").label,
+            "full_codar"
+        );
+    }
+}

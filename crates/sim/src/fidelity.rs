@@ -103,8 +103,7 @@ mod tests {
 
     #[test]
     fn ideal_noise_gives_unit_fidelity() {
-        let report =
-            FidelityReport::estimate(&ghz(3), |_| 1, &NoiseModel::ideal(), 5, 42);
+        let report = FidelityReport::estimate(&ghz(3), |_| 1, &NoiseModel::ideal(), 5, 42);
         assert!((report.mean - 1.0).abs() < 1e-12);
         assert!(report.std_error < 1e-12);
     }

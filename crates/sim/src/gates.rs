@@ -234,7 +234,11 @@ mod tests {
         let decomposed = codar_circuit::decompose::decompose_three_qubit_gates(&direct);
         let a = run(&direct);
         let b = run(&decomposed);
-        assert!((a.fidelity_with(&b) - 1.0).abs() < 1e-10, "fidelity {}", a.fidelity_with(&b));
+        assert!(
+            (a.fidelity_with(&b) - 1.0).abs() < 1e-10,
+            "fidelity {}",
+            a.fidelity_with(&b)
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl StateVector {
     ///
     /// Panics if `num_qubits > 26` (amplitude storage would exceed 1 GiB).
     pub fn zero(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        assert!(
+            num_qubits <= 26,
+            "state vector too large: {num_qubits} qubits"
+        );
         let mut amps = vec![Complex64::ZERO; 1 << num_qubits];
         amps[0] = Complex64::ONE;
         StateVector { num_qubits, amps }
@@ -33,7 +36,10 @@ impl StateVector {
     ///
     /// Panics if the length is not a power of two or the norm is off.
     pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
-        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        assert!(
+            amps.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!((norm - 1.0).abs() < 1e-6, "state is not normalized: {norm}");
         StateVector {

@@ -41,7 +41,10 @@ fn route(duration_aware: bool) -> codar_repro::router::RoutedCircuit {
 
 fn main() {
     println!("paper Fig. 2 — impact of gate duration difference\n");
-    for (label, aware) in [("duration-aware (CODAR)", true), ("duration-unaware", false)] {
+    for (label, aware) in [
+        ("duration-aware (CODAR)", true),
+        ("duration-unaware", false),
+    ] {
         let routed = route(aware);
         println!("{label}:");
         for (gate, start) in routed.circuit.gates().iter().zip(&routed.start_times) {

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         h q[3];
     "#;
     let circuit = circuit_from_source(source)?;
-    println!("input: {} gates on {} qubits", circuit.len(), circuit.num_qubits());
+    println!(
+        "input: {} gates on {} qubits",
+        circuit.len(),
+        circuit.num_qubits()
+    );
 
     // 2. Pick a device model (maQAM): IBM Q20 Tokyo with the paper's
     //    superconducting durations (1q = 1 cycle, 2q = 2, SWAP = 6).

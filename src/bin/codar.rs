@@ -83,13 +83,14 @@ fn load_circuit(path: &str, do_optimize: bool) -> Result<Circuit, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let circuit = circuit_from_source(&source).map_err(|e| format!("{path}: {e}"))?;
     let circuit = decompose_three_qubit_gates(&circuit);
-    Ok(if do_optimize { optimize(&circuit) } else { circuit })
+    Ok(if do_optimize {
+        optimize(&circuit)
+    } else {
+        circuit
+    })
 }
 
-fn route_one(
-    circuit: &Circuit,
-    options: &Options,
-) -> Result<RoutedCircuit, String> {
+fn route_one(circuit: &Circuit, options: &Options) -> Result<RoutedCircuit, String> {
     let initial = reverse_traversal_mapping(circuit, &options.device, options.seed);
     let routed = match options.router.as_str() {
         "codar" => CodarRouter::new(&options.device).route_with_mapping(circuit, initial),
@@ -103,7 +104,10 @@ fn route_one(
 }
 
 fn cmd_devices() {
-    println!("{:<12}{:<26}{:>8}{:>8}{:>10}", "alias", "device", "qubits", "edges", "diameter");
+    println!(
+        "{:<12}{:<26}{:>8}{:>8}{:>10}",
+        "alias", "device", "qubits", "edges", "diameter"
+    );
     for (alias, device) in Device::presets() {
         println!(
             "{:<12}{:<26}{:>8}{:>8}{:>10}",

@@ -45,7 +45,11 @@ fn r_gate_specializes_to_rx_and_ry() {
         let mut ry = Circuit::new(1);
         ry.ry(theta, 0);
         let mut r90 = Circuit::new(1);
-        r90.add(GateKind::R, vec![0], vec![theta, std::f64::consts::FRAC_PI_2]);
+        r90.add(
+            GateKind::R,
+            vec![0],
+            vec![theta, std::f64::consts::FRAC_PI_2],
+        );
         assert_equivalent(&ry, &r90, 2);
     }
 }

@@ -32,7 +32,10 @@ fn assert_equivalent(a: &Circuit, b: &Circuit, seed: u64) {
         run_ideal(&all)
     };
     let f = run(a).fidelity_with(&run(b));
-    assert!((f - 1.0).abs() < 1e-9, "pass changed semantics: fidelity {f}");
+    assert!(
+        (f - 1.0).abs() < 1e-9,
+        "pass changed semantics: fidelity {f}"
+    );
 }
 
 fn random_unitary_circuit(n: usize, gates: usize, seed: u64) -> Circuit {

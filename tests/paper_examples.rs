@@ -72,9 +72,9 @@ fn fig7_walkthrough() {
     let device = Device::grid(2, 3);
     let mut program = Circuit::new(6);
     program.cx(0, 2); // not adjacent on the grid? 0-1-2: distance 2...
-    // The paper's layout has q0 adjacent to q2 via the figure's edges;
-    // on our row-major grid use (0,1) instead to keep the walkthrough:
-    // cx q0,q1 (direct), t q2, cx q0,q5 (distance 2, needs a SWAP).
+                      // The paper's layout has q0 adjacent to q2 via the figure's edges;
+                      // on our row-major grid use (0,1) instead to keep the walkthrough:
+                      // cx q0,q1 (direct), t q2, cx q0,q5 (distance 2, needs a SWAP).
     let mut program2 = Circuit::new(6);
     program2.cx(0, 1);
     program2.t(2);
@@ -107,7 +107,14 @@ fn fig7_walkthrough() {
 fn codar_beats_sabre_on_average() {
     let device = Device::ibm_q20_tokyo();
     let suite = codar_repro::benchmarks::full_suite();
-    let sample = ["qft_10", "ising_10", "random_10", "qft_12", "ising_13", "random_12"];
+    let sample = [
+        "qft_10",
+        "ising_10",
+        "random_10",
+        "qft_12",
+        "ising_13",
+        "random_12",
+    ];
     let mut ratio_sum = 0.0;
     for name in sample {
         let entry = suite.iter().find(|e| e.name == name).expect("in suite");

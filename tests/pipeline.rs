@@ -51,7 +51,9 @@ fn suite_subset_full_pipeline() {
     // routers with verification (the full sweep is the fig8 binary).
     let device = Device::ibm_q20_tokyo();
     let suite = codar_repro::benchmarks::full_suite();
-    let names = ["qft_8", "adder_3", "ising_8", "random_6", "bv_7", "grover_4"];
+    let names = [
+        "qft_8", "adder_3", "ising_8", "random_6", "bv_7", "grover_4",
+    ];
     for name in names {
         let entry = suite
             .iter()
@@ -70,10 +72,10 @@ fn suite_subset_full_pipeline() {
             // Weighted depth of a routed circuit can never beat the
             // coupling-free lower bound of the original program.
             let tau = device.durations().clone();
-            let lower = codar_repro::circuit::schedule::busy_time_lower_bound(
-                &entry.circuit,
-                |g| tau.of(g),
-            );
+            let lower =
+                codar_repro::circuit::schedule::busy_time_lower_bound(&entry.circuit, |g| {
+                    tau.of(g)
+                });
             assert!(
                 routed.weighted_depth >= lower,
                 "{name}: {} < lower bound {lower}",
@@ -88,7 +90,10 @@ fn whole_suite_is_loadable_and_sized() {
     let suite = codar_repro::benchmarks::full_suite();
     assert_eq!(suite.len(), 71);
     let total_gates: usize = suite.iter().map(|e| e.circuit.len()).sum();
-    assert!(total_gates > 35_000, "suite totals only {total_gates} gates");
+    assert!(
+        total_gates > 35_000,
+        "suite totals only {total_gates} gates"
+    );
     let largest = suite.iter().map(|e| e.circuit.len()).max().unwrap_or(0);
     assert!(largest >= 15_000, "largest benchmark only {largest} gates");
 }

@@ -24,7 +24,13 @@ fn random_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> 
                 5 => c.cz(a, b),
                 6 => c.cu1(angle, a, b),
                 7 => c.rzz(angle, a, b),
-                8 => c.barrier(vec![a, b].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect()),
+                8 => c.barrier(
+                    vec![a, b]
+                        .into_iter()
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .into_iter()
+                        .collect(),
+                ),
                 _ => c.cx(b, a),
             }
         }

@@ -21,7 +21,11 @@ fn assert_same_unitary(original: &Circuit, reconstructed: &Circuit, seed: u64) {
         prep.add(
             GateKind::U3,
             vec![q],
-            vec![rng.gen::<f64>() * 3.0, rng.gen::<f64>() * 3.0, rng.gen::<f64>() * 3.0],
+            vec![
+                rng.gen::<f64>() * 3.0,
+                rng.gen::<f64>() * 3.0,
+                rng.gen::<f64>() * 3.0,
+            ],
         );
     }
     let run = |circuit: &Circuit| -> StateVector {
@@ -78,14 +82,13 @@ fn codar_preserves_unitaries_on_line() {
         let routed = CodarRouter::with_config(&device, config)
             .route(&circuit)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let reconstructed =
-            reconstruct_logical(
-                &routed.circuit,
-                &routed.initial_mapping,
-                circuit.num_qubits(),
-                &routed.inserted_swap_indices,
-            )
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reconstructed = reconstruct_logical(
+            &routed.circuit,
+            &routed.initial_mapping,
+            circuit.num_qubits(),
+            &routed.inserted_swap_indices,
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_same_unitary(&circuit, &reconstructed, 42);
     }
 }
@@ -97,14 +100,13 @@ fn codar_preserves_unitaries_on_grid_with_spare_qubits() {
         let routed = CodarRouter::new(&device)
             .route(&circuit)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let reconstructed =
-            reconstruct_logical(
-                &routed.circuit,
-                &routed.initial_mapping,
-                circuit.num_qubits(),
-                &routed.inserted_swap_indices,
-            )
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reconstructed = reconstruct_logical(
+            &routed.circuit,
+            &routed.initial_mapping,
+            circuit.num_qubits(),
+            &routed.inserted_swap_indices,
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_same_unitary(&circuit, &reconstructed, 7);
     }
 }
@@ -116,14 +118,13 @@ fn sabre_preserves_unitaries() {
         let routed = SabreRouter::new(&device)
             .route(&circuit)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let reconstructed =
-            reconstruct_logical(
-                &routed.circuit,
-                &routed.initial_mapping,
-                circuit.num_qubits(),
-                &routed.inserted_swap_indices,
-            )
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reconstructed = reconstruct_logical(
+            &routed.circuit,
+            &routed.initial_mapping,
+            circuit.num_qubits(),
+            &routed.inserted_swap_indices,
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_same_unitary(&circuit, &reconstructed, 13);
     }
 }
@@ -161,14 +162,13 @@ fn ablated_codar_variants_preserve_unitaries() {
         let routed = CodarRouter::with_config(&device, config)
             .route(&circuit)
             .unwrap_or_else(|e| panic!("{flag}: {e}"));
-        let reconstructed =
-            reconstruct_logical(
-                &routed.circuit,
-                &routed.initial_mapping,
-                circuit.num_qubits(),
-                &routed.inserted_swap_indices,
-            )
-                .unwrap_or_else(|e| panic!("{flag}: {e}"));
+        let reconstructed = reconstruct_logical(
+            &routed.circuit,
+            &routed.initial_mapping,
+            circuit.num_qubits(),
+            &routed.inserted_swap_indices,
+        )
+        .unwrap_or_else(|e| panic!("{flag}: {e}"));
         assert_same_unitary(&circuit, &reconstructed, 99);
     }
 }
@@ -187,8 +187,13 @@ fn toffoli_decomposition_survives_routing() {
     let routed = CodarRouter::with_config(&device, config)
         .route(&decomposed)
         .expect("fits");
-    let reconstructed =
-        reconstruct_logical(&routed.circuit, &routed.initial_mapping, 3, &routed.inserted_swap_indices).expect("valid");
+    let reconstructed = reconstruct_logical(
+        &routed.circuit,
+        &routed.initial_mapping,
+        3,
+        &routed.inserted_swap_indices,
+    )
+    .expect("valid");
     // Compare against the *original* Toffoli semantics.
     assert_same_unitary(&original, &reconstructed, 5);
 }
