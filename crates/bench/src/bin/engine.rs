@@ -4,16 +4,22 @@
 //! ```text
 //! engine [--devices q16,q20] [--routers codar,sabre] [--threads N]
 //!        [--seed S] [--limit K] [--json PATH] [--csv PATH]
-//!        [--no-verify] [--check-determinism]
+//!        [--timings PATH] [--no-verify] [--check-determinism]
 //! ```
 //!
 //! `--check-determinism` runs the same matrix once on 1 thread and
 //! once on N threads, asserts the two summaries are byte-identical,
 //! and reports the measured wall-clock speedup.
+//!
+//! `--timings PATH` writes the run's [`codar_engine::RunStats`] as
+//! JSON — the `BENCH_timings.json` perf baseline (circuits/sec, mean
+//! route time per router, pool speedup; plus the measured speedup vs
+//! 1 thread under `--check-determinism`).
 
 use codar_arch::Device;
+use codar_bench::check_health;
 use codar_benchmarks::suite::full_suite;
-use codar_engine::{EngineConfig, RouterKind, SuiteResult, SuiteRunner};
+use codar_engine::{EngineConfig, RouterKind, RunStats, SuiteResult, SuiteRunner};
 use std::process::ExitCode;
 
 struct Args {
@@ -24,6 +30,7 @@ struct Args {
     limit: usize,
     json: Option<String>,
     csv: Option<String>,
+    timings: Option<String>,
     verify: bool,
     check_determinism: bool,
 }
@@ -37,6 +44,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         limit: usize::MAX,
         json: None,
         csv: None,
+        timings: None,
         verify: true,
         check_determinism: false,
     };
@@ -96,6 +104,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 parsed.csv = Some(value(args, i, "--csv")?);
                 i += 2;
             }
+            "--timings" => {
+                parsed.timings = Some(value(args, i, "--timings")?);
+                i += 2;
+            }
             "--no-verify" => {
                 parsed.verify = false;
                 i += 1;
@@ -152,38 +164,25 @@ fn print_result(result: &SuiteResult) {
     for (device, mean) in result.summary.mean_speedup_by_device() {
         println!("mean speedup (sabre/codar) on {device}: {mean:.3}");
     }
-    for failure in &result.failures {
-        eprintln!(
-            "job {} failed: {} on {}: {}",
-            failure.job.id, failure.circuit, failure.device, failure.error
-        );
-    }
     println!(
-        "{} jobs on {} threads in {:.2?} (sum of route times {:.2?}, pool speedup {:.2}x)",
+        "{} jobs on {} threads in {:.2?} (sum of route times {:.2?}, pool speedup {:.2}x, \
+         {:.1} circuits/sec)",
         result.stats.jobs,
         result.stats.threads,
         result.stats.wall,
         result.stats.total_route_time,
-        result.stats.total_route_time.as_secs_f64() / result.stats.wall.as_secs_f64().max(1e-9),
+        result.stats.pool_speedup(),
+        result.stats.circuits_per_sec(),
     );
-}
-
-/// Errors when any job failed to route or any routed circuit failed
-/// verification — so CI runs of this binary catch router regressions.
-fn check_health(result: &SuiteResult) -> Result<(), String> {
-    if !result.failures.is_empty() {
-        return Err(format!("{} routing jobs failed", result.failures.len()));
+    for t in &result.stats.per_router {
+        println!(
+            "  {:<20} {:>5} jobs, total {:.2?}, mean {:.2?}",
+            t.router,
+            t.jobs,
+            t.total,
+            t.mean()
+        );
     }
-    let unverified = result
-        .summary
-        .rows
-        .iter()
-        .filter(|r| r.verified == Some(false))
-        .count();
-    if unverified > 0 {
-        return Err(format!("{unverified} routed circuits failed verification"));
-    }
-    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -204,17 +203,21 @@ fn run(args: &Args) -> Result<(), String> {
             parallel.stats.wall,
             single.stats.wall.as_secs_f64() / parallel.stats.wall.as_secs_f64().max(1e-9),
         );
-        write_outputs(args, &parallel)?;
+        write_outputs(args, &parallel, Some(&single.stats))?;
         check_health(&parallel)
     } else {
         let result = run_once(args, args.threads);
         print_result(&result);
-        write_outputs(args, &result)?;
+        write_outputs(args, &result, None)?;
         check_health(&result)
     }
 }
 
-fn write_outputs(args: &Args, result: &SuiteResult) -> Result<(), String> {
+fn write_outputs(
+    args: &Args,
+    result: &SuiteResult,
+    baseline: Option<&RunStats>,
+) -> Result<(), String> {
     if let Some(path) = &args.json {
         std::fs::write(path, result.summary.to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -222,6 +225,11 @@ fn write_outputs(args: &Args, result: &SuiteResult) -> Result<(), String> {
     }
     if let Some(path) = &args.csv {
         std::fs::write(path, result.summary.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.timings {
+        std::fs::write(path, result.stats.to_json(baseline))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
     }

@@ -2,55 +2,138 @@
 //! SABRE for seven famous quantum algorithms, under dephasing-dominant
 //! and damping-dominant noise, on the IBM Q20 Tokyo model.
 //!
-//! Usage: `cargo run -p codar-bench --release --bin fig9 [trajectories]`
+//! Usage: `fig9 [--trajectories N] [--threads N] [--seed S]`
+//! (a bare positional trajectory count is also accepted).
+//!
+//! All (algorithm × router × regime) cells fan out across the
+//! [`codar_engine::SuiteRunner`] worker pool; per-job RNG seeding
+//! keeps the table byte-identical for any `--threads` value.
 
 use codar_arch::Device;
-use codar_bench::fidelity_compare;
+use codar_bench::{check_health, cli, report_timing, suite_order};
 use codar_benchmarks::suite::fidelity_suite;
+use codar_engine::{Comparison, EngineConfig, NoiseSpec, SuiteRunner};
 use codar_sim::NoiseModel;
+use std::process::ExitCode;
 
-fn main() {
-    let trajectories: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+const USAGE: &str = "usage: fig9 [--trajectories N] [--threads N] [--seed S]";
+
+struct Args {
+    trajectories: usize,
+    threads: usize,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        trajectories: 200,
+        threads: 0,
+        seed: 0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trajectories" => {
+                parsed.trajectories = cli::flag_value(args, i, "--trajectories")?;
+                i += 2;
+            }
+            "--threads" => {
+                parsed.threads = cli::flag_value(args, i, "--threads")?;
+                i += 2;
+            }
+            "--seed" => {
+                parsed.seed = cli::flag_value(args, i, "--seed")?;
+                i += 2;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            positional => {
+                parsed.trajectories = cli::positional(positional, "trajectory count")?;
+                i += 1;
+            }
+        }
+    }
+    if parsed.trajectories == 0 {
+        return Err("--trajectories must be at least 1".into());
+    }
+    Ok(parsed)
+}
+
+fn run(args: &Args) -> Result<(), String> {
     let device = Device::ibm_q20_tokyo();
     let suite = fidelity_suite();
+    let order = suite_order(&suite);
+    let regimes = [
+        ("dephasing", NoiseModel::dephasing_dominant()),
+        ("damping", NoiseModel::damping_dominant()),
+    ];
     println!(
         "Fig. 9: circuit fidelity, CODAR vs SABRE on {} ({} trajectories)\n",
         device.name(),
-        trajectories
+        args.trajectories
     );
-    for (regime, noise) in [
-        ("dephasing-dominant", NoiseModel::dephasing_dominant()),
-        ("damping-dominant", NoiseModel::damping_dominant()),
-    ] {
+
+    let result = SuiteRunner::new(EngineConfig {
+        threads: args.threads,
+        seed: args.seed,
+        ..EngineConfig::default()
+    })
+    .device(device.clone())
+    .entries(suite)
+    .noise_specs(
+        regimes
+            .iter()
+            .map(|(label, model)| NoiseSpec::new(*label, model.clone(), args.trajectories)),
+    )
+    .run();
+
+    for (regime, noise) in &regimes {
         println!(
-            "--- {regime} noise (p_z = {}, gamma = {}) ---",
+            "--- {regime}-dominant noise (p_z = {}, gamma = {}) ---",
             noise.dephasing_prob, noise.damping_rate
         );
         println!(
             "{:<12}{:>11}{:>11}{:>16}{:>16}{:>9}",
             "algorithm", "codar WD", "sabre WD", "codar fidelity", "sabre fidelity", "delta"
         );
-        for entry in &suite {
-            match fidelity_compare(&device, entry, &noise, trajectories, 0) {
-                Ok(row) => println!(
-                    "{:<12}{:>11}{:>11}{:>10.4} ±{:.3}{:>10.4} ±{:.3}{:>+9.4}",
-                    row.name,
-                    row.codar_depth,
-                    row.sabre_depth,
-                    row.codar_fidelity.mean,
-                    row.codar_fidelity.std_error,
-                    row.sabre_fidelity.mean,
-                    row.sabre_fidelity.std_error,
-                    row.codar_fidelity.mean - row.sabre_fidelity.mean,
-                ),
-                Err(e) => println!("{:<12} failed: {e}", entry.name),
-            }
+        let mut cells: Vec<&Comparison> = result
+            .summary
+            .comparisons
+            .iter()
+            .filter(|c| c.noise.as_deref() == Some(regime))
+            .collect();
+        cells.sort_by_key(|c| order.get(&c.circuit).copied().unwrap_or(usize::MAX));
+        for c in cells {
+            let (codar, sabre) = match (c.codar_fidelity, c.sabre_fidelity) {
+                (Some(codar), Some(sabre)) => (codar, sabre),
+                _ => continue,
+            };
+            println!(
+                "{:<12}{:>11}{:>11}{:>10.4} ±{:.3}{:>10.4} ±{:.3}{:>+9.4}",
+                c.circuit,
+                c.codar_depth,
+                c.sabre_depth,
+                codar.mean,
+                codar.std_error,
+                sabre.mean,
+                sabre.std_error,
+                codar.mean - sabre.mean,
+            );
         }
         println!();
     }
     println!("Expected shape (paper): under dephasing CODAR >= SABRE (shorter schedules");
     println!("idle less); under damping the two are about the same.");
+    report_timing(&result.stats);
+    check_health(&result)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,18 +1,57 @@
 //! Initial-mapping study: the paper notes "initial mapping has been
 //! proved to be significant for the qubit mapping problem". This binary
-//! quantifies it: CODAR's weighted depth under identity, random and
-//! SABRE reverse-traversal initial mappings.
+//! quantifies it: CODAR's weighted depth under identity, random,
+//! dense-layout and SABRE reverse-traversal initial mappings.
 //!
-//! Usage: `cargo run -p codar-bench --release --bin mappings`
+//! Usage: `mappings [--threads N] [--max-gates G]`
+//!
+//! Each strategy is a [`codar_engine::RouterVariant`] with
+//! `shared_initial_mapping` off, so every variant builds its own
+//! placement — all (benchmark × strategy) cells route in one parallel
+//! matrix. Stdout is byte-identical for any `--threads` value.
 
 use codar_arch::Device;
+use codar_bench::{check_health, cli, report_timing, suite_order};
 use codar_benchmarks::full_suite;
-use codar_router::{CodarRouter, InitialMapping};
+use codar_engine::{EngineConfig, RouterVariant, SuiteRunner};
+use codar_router::{CodarConfig, InitialMapping};
+use std::collections::HashMap;
+use std::process::ExitCode;
 
-fn main() {
+const USAGE: &str = "usage: mappings [--threads N] [--max-gates G]";
+
+struct Args {
+    threads: usize,
+    max_gates: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        threads: 0,
+        max_gates: 2000,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                parsed.threads = cli::flag_value(args, i, "--threads")?;
+                i += 2;
+            }
+            "--max-gates" => {
+                parsed.max_gates = cli::flag_value(args, i, "--max-gates")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run(args: &Args) -> Result<(), String> {
     let device = Device::ibm_q20_tokyo();
     let mut suite = full_suite();
-    suite.retain(|e| e.num_qubits <= device.num_qubits() && e.circuit.len() < 2000);
+    suite.retain(|e| e.num_qubits <= device.num_qubits() && e.circuit.len() < args.max_gates);
+    let order = suite_order(&suite);
     let strategies: Vec<(&str, InitialMapping)> = vec![
         ("identity", InitialMapping::Identity),
         ("random(0)", InitialMapping::Random { seed: 0 }),
@@ -28,6 +67,38 @@ fn main() {
         device.name(),
         suite.len()
     );
+
+    let result = SuiteRunner::new(EngineConfig {
+        threads: args.threads,
+        shared_initial_mapping: false,
+        ..EngineConfig::default()
+    })
+    .device(device.clone())
+    .entries(suite)
+    .variants(strategies.iter().map(|(name, strategy)| {
+        RouterVariant::codar(
+            *name,
+            CodarConfig {
+                initial_mapping: strategy.clone(),
+                ..CodarConfig::default()
+            },
+        )
+    }))
+    .run();
+
+    let mut depth: HashMap<(&str, &str), u64> = HashMap::new();
+    for row in &result.summary.rows {
+        depth.insert((&row.circuit, &row.variant), row.weighted_depth);
+    }
+    let mut circuits: Vec<&str> = result
+        .summary
+        .rows
+        .iter()
+        .map(|r| r.circuit.as_str())
+        .collect();
+    circuits.sort_by_key(|name| order.get(*name).copied().unwrap_or(usize::MAX));
+    circuits.dedup();
+
     let mut header = format!("{:<14}", "benchmark");
     for (name, _) in &strategies {
         header.push_str(&format!("{name:>20}"));
@@ -35,25 +106,30 @@ fn main() {
     println!("{header}");
     let mut totals = vec![0.0f64; strategies.len()];
     let mut counted = 0usize;
-    for entry in &suite {
-        let mut row = format!("{:<14}", entry.name);
+    for circuit in circuits {
+        let mut row = format!("{circuit:<14}");
         let mut depths = Vec::new();
-        for (_, strategy) in &strategies {
-            let config = codar_router::CodarConfig {
-                initial_mapping: strategy.clone(),
-                ..codar_router::CodarConfig::default()
-            };
-            let routed = CodarRouter::with_config(&device, config)
-                .route(&entry.circuit)
-                .expect("suite fits");
-            row.push_str(&format!("{:>20}", routed.weighted_depth));
-            depths.push(routed.weighted_depth as f64);
+        for (name, _) in &strategies {
+            let d = depth.get(&(circuit, *name)).copied();
+            depths.push(d);
+            match d {
+                Some(d) => row.push_str(&format!("{d:>20}")),
+                None => row.push_str(&format!("{:>20}", "-")),
+            }
         }
         println!("{row}");
-        let best = depths.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Skip circuits with a failed strategy: a missing depth would
+        // otherwise masquerade as the per-benchmark best.
+        let Some(depths): Option<Vec<u64>> = depths.into_iter().collect() else {
+            continue;
+        };
+        let best = depths
+            .iter()
+            .map(|&d| d as f64)
+            .fold(f64::INFINITY, f64::min);
         if best > 0.0 {
-            for (i, d) in depths.iter().enumerate() {
-                totals[i] += d / best;
+            for (i, &d) in depths.iter().enumerate() {
+                totals[i] += d as f64 / best;
             }
             counted += 1;
         }
@@ -61,5 +137,18 @@ fn main() {
     println!("\nAverage weighted depth relative to per-benchmark best (lower is better):");
     for (i, (name, _)) in strategies.iter().enumerate() {
         println!("  {:<20} {:.3}", name, totals[i] / counted.max(1) as f64);
+    }
+    report_timing(&result.stats);
+    check_health(&result)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            ExitCode::FAILURE
+        }
     }
 }

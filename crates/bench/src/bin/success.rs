@@ -7,14 +7,55 @@
 //! (hurting the gate-fidelity product) but shortens the schedule
 //! (helping the decoherence factor).
 //!
-//! Usage: `cargo run -p codar-bench --release --bin success`
+//! Usage: `success [--threads N] [--max-gates G] [--seed S]`
+//!
+//! Routing fans out across the [`codar_engine::SuiteRunner`] pool with
+//! `keep_routed` on; the analytic model then scores the kept circuits.
+//! Stdout is byte-identical for any `--threads` value.
 
 use codar_arch::{Device, FidelityModel, TechnologyParams};
+use codar_bench::{check_health, cli, report_timing, suite_order};
 use codar_benchmarks::full_suite;
-use codar_router::sabre::reverse_traversal_mapping;
-use codar_router::{CodarRouter, SabreRouter};
+use codar_engine::{EngineConfig, SuiteRunner};
+use std::collections::HashMap;
+use std::process::ExitCode;
 
-fn main() {
+const USAGE: &str = "usage: success [--threads N] [--max-gates G] [--seed S]";
+
+struct Args {
+    threads: usize,
+    max_gates: usize,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        threads: 0,
+        max_gates: 500,
+        seed: 0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                parsed.threads = cli::flag_value(args, i, "--threads")?;
+                i += 2;
+            }
+            "--max-gates" => {
+                parsed.max_gates = cli::flag_value(args, i, "--max-gates")?;
+                i += 2;
+            }
+            "--seed" => {
+                parsed.seed = cli::flag_value(args, i, "--seed")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run(args: &Args) -> Result<(), String> {
     let device = Device::ibm_q20_tokyo();
     let q20 = TechnologyParams::table1()
         .into_iter()
@@ -31,7 +72,8 @@ fn main() {
     .with_t2_cycles(t2_cycles);
 
     let mut suite = full_suite();
-    suite.retain(|e| e.num_qubits <= device.num_qubits() && e.circuit.len() <= 500);
+    suite.retain(|e| e.num_qubits <= device.num_qubits() && e.circuit.len() <= args.max_gates);
+    let order = suite_order(&suite);
     println!(
         "Analytic success probability on {} (T2 = {:.0} cycles, {} benchmarks)\n",
         device.name(),
@@ -42,31 +84,46 @@ fn main() {
         "{:<14}{:>10}{:>10}{:>12}{:>12}{:>14}{:>14}",
         "benchmark", "codar SW", "sabre SW", "codar WD", "sabre WD", "codar P", "sabre P"
     );
+
+    let result = SuiteRunner::new(EngineConfig {
+        threads: args.threads,
+        seed: args.seed,
+        keep_routed: true,
+        ..EngineConfig::default()
+    })
+    .device(device.clone())
+    .entries(suite)
+    .run();
+
+    // Rows are deterministic; re-key them per (variant, circuit) so
+    // the table prints in suite order with both routers side by side.
+    let rows: HashMap<(&str, &str), &codar_engine::RouteReport> = result
+        .summary
+        .rows
+        .iter()
+        .map(|r| ((r.variant.as_str(), r.circuit.as_str()), r))
+        .collect();
+    let mut cells: Vec<_> = result.summary.comparisons.iter().collect();
+    cells.sort_by_key(|c| order.get(&c.circuit).copied().unwrap_or(usize::MAX));
+
     let tau = device.durations().clone();
     let mut codar_wins = 0usize;
     let mut total = 0usize;
-    for entry in &suite {
-        let initial = reverse_traversal_mapping(&entry.circuit, &device, 0);
-        let Ok(codar) =
-            CodarRouter::new(&device).route_with_mapping(&entry.circuit, initial.clone())
-        else {
+    for c in cells {
+        let (Some(codar), Some(sabre)) = (
+            rows.get(&("codar", c.circuit.as_str())),
+            rows.get(&("sabre", c.circuit.as_str())),
+        ) else {
             continue;
         };
-        let Ok(sabre) = SabreRouter::new(&device).route_with_mapping(&entry.circuit, initial)
-        else {
+        let (Some(codar_routed), Some(sabre_routed)) = (&codar.routed, &sabre.routed) else {
             continue;
         };
-        let pc = model.success_probability(&codar.circuit, &tau);
-        let ps = model.success_probability(&sabre.circuit, &tau);
+        let pc = model.success_probability(&codar_routed.circuit, &tau);
+        let ps = model.success_probability(&sabre_routed.circuit, &tau);
         println!(
             "{:<14}{:>10}{:>10}{:>12}{:>12}{:>14.4e}{:>14.4e}",
-            entry.name,
-            codar.swaps_inserted,
-            sabre.swaps_inserted,
-            codar.weighted_depth,
-            sabre.weighted_depth,
-            pc,
-            ps
+            c.circuit, codar.swaps, sabre.swaps, c.codar_depth, c.sabre_depth, pc, ps
         );
         if pc >= ps {
             codar_wins += 1;
@@ -77,4 +134,17 @@ fn main() {
         "\nCODAR's estimated success >= SABRE's on {codar_wins}/{total} benchmarks \
          (more SWAPs, but less idle decoherence)."
     );
+    report_timing(&result.stats);
+    check_health(&result)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
 }

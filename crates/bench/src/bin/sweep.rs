@@ -1,60 +1,182 @@
 //! Ablation sweep: how much each CODAR mechanism (duration awareness,
 //! commutativity detection, Hfine) contributes to the weighted-depth
-//! win, quantifying Sec. IV's design choices.
+//! win, quantifying Sec. IV's design choices — now across the **full
+//! device catalog** (IBM Q5/Q16/Q20, Enfield 6×6, Sycamore-54,
+//! Bristlecone-72, Falcon-27, Aspen-16) in one parallel run.
 //!
-//! Usage: `cargo run -p codar-bench --release --bin sweep [--quick]`
+//! Usage: `sweep [--quick | --full] [--threads N] [--devices a,b,..]`
+//!
+//! `--quick` restricts to benchmarks below 800 gates, the default
+//! below 2000, `--full` below 5000. All (benchmark × device × ablation
+//! config) cells are one [`codar_engine::SuiteRunner`] matrix; stdout
+//! is byte-identical for any `--threads` value.
 
 use codar_arch::Device;
-use codar_bench::ablation_configs;
+use codar_bench::{ablation_configs, check_health, cli, report_timing, suite_order};
 use codar_benchmarks::full_suite;
-use codar_router::sabre::reverse_traversal_mapping;
-use codar_router::CodarRouter;
+use codar_engine::{EngineConfig, RouterVariant, SuiteRunner};
+use std::collections::HashMap;
+use std::process::ExitCode;
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut suite = full_suite();
-    suite.retain(|e| e.circuit.len() < if quick { 800 } else { 5000 });
-    let device = Device::ibm_q20_tokyo();
-    let configs = ablation_configs();
+const USAGE: &str = "usage: sweep [--quick | --full] [--threads N] [--devices a,b,..]";
 
-    println!(
-        "Ablation sweep on {} ({} benchmarks)\n",
-        device.name(),
-        suite
-            .iter()
-            .filter(|e| e.num_qubits <= device.num_qubits())
-            .count()
-    );
-    let mut header = format!("{:<14}", "benchmark");
-    for (name, _) in &configs {
-        header.push_str(&format!("{name:>22}"));
-    }
-    println!("{header}");
+struct Args {
+    max_gates: usize,
+    threads: usize,
+    devices: Vec<Device>,
+}
 
-    let mut totals = vec![0.0f64; configs.len()];
-    let mut counted = 0usize;
-    for entry in suite.iter().filter(|e| e.num_qubits <= device.num_qubits()) {
-        let initial = reverse_traversal_mapping(&entry.circuit, &device, 0);
-        let mut row = format!("{:<14}", entry.name);
-        let mut depths = Vec::new();
-        for (_, config) in &configs {
-            let routed = CodarRouter::with_config(&device, config.clone())
-                .route_with_mapping(&entry.circuit, initial.clone())
-                .expect("suite circuits fit the device");
-            depths.push(routed.weighted_depth);
-            row.push_str(&format!("{:>22}", routed.weighted_depth));
-        }
-        println!("{row}");
-        let full = depths[0] as f64;
-        if full > 0.0 {
-            for (i, &d) in depths.iter().enumerate() {
-                totals[i] += d as f64 / full;
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        max_gates: 2000,
+        threads: 0,
+        devices: Device::presets().into_iter().map(|(_, d)| d).collect(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                parsed.max_gates = 800;
+                i += 1;
             }
-            counted += 1;
+            "--full" => {
+                parsed.max_gates = 5000;
+                i += 1;
+            }
+            "--threads" => {
+                parsed.threads = cli::flag_value(args, i, "--threads")?;
+                i += 2;
+            }
+            "--devices" => {
+                let names: String = cli::flag_value(args, i, "--devices")?;
+                parsed.devices = names
+                    .split(',')
+                    .map(|name| {
+                        Device::by_name(name.trim())
+                            .ok_or_else(|| format!("unknown device `{name}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    println!("\nAverage weighted depth relative to full CODAR (lower is better):");
+    Ok(parsed)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut suite = full_suite();
+    suite.retain(|e| e.circuit.len() < args.max_gates);
+    let order = suite_order(&suite);
+    let configs = ablation_configs();
+    println!(
+        "Ablation sweep over {} devices ({} benchmarks below {} gates)\n",
+        args.devices.len(),
+        suite.len(),
+        args.max_gates
+    );
+
+    let result = SuiteRunner::new(EngineConfig {
+        threads: args.threads,
+        ..EngineConfig::default()
+    })
+    .devices(args.devices.iter().cloned())
+    .entries(suite)
+    .variants(
+        configs
+            .iter()
+            .map(|(name, config)| RouterVariant::codar(*name, config.clone())),
+    )
+    .run();
+
+    // (device, circuit, variant) -> weighted depth, deterministic rows.
+    let mut depth: HashMap<(&str, &str, &str), u64> = HashMap::new();
+    for row in &result.summary.rows {
+        depth.insert(
+            (&row.device, &row.circuit, &row.variant),
+            row.weighted_depth,
+        );
+    }
+
+    let mut grand_totals = vec![0.0f64; configs.len()];
+    let mut grand_counted = 0usize;
+    for device in &args.devices {
+        let mut circuits: Vec<&str> = result
+            .summary
+            .rows
+            .iter()
+            .filter(|r| r.device == device.name())
+            .map(|r| r.circuit.as_str())
+            .collect();
+        circuits.sort_by_key(|name| order.get(*name).copied().unwrap_or(usize::MAX));
+        circuits.dedup();
+        if circuits.is_empty() {
+            println!("=== {} === (no benchmarks fit)\n", device.name());
+            continue;
+        }
+        println!("=== {} ({} benchmarks) ===", device.name(), circuits.len());
+        let mut header = format!("{:<14}", "benchmark");
+        for (name, _) in &configs {
+            header.push_str(&format!("{name:>22}"));
+        }
+        println!("{header}");
+
+        let mut totals = vec![0.0f64; configs.len()];
+        let mut counted = 0usize;
+        for circuit in circuits {
+            let mut row = format!("{circuit:<14}");
+            let mut depths = Vec::new();
+            for (name, _) in &configs {
+                let d = depth.get(&(device.name(), circuit, *name)).copied();
+                depths.push(d);
+                match d {
+                    Some(d) => row.push_str(&format!("{d:>22}")),
+                    None => row.push_str(&format!("{:>22}", "-")),
+                }
+            }
+            println!("{row}");
+            // A missing cell means that variant's job failed; ratios
+            // against it would be meaningless, so the circuit is
+            // excluded from the averages (check_health still fails
+            // the run afterwards).
+            let Some(depths): Option<Vec<u64>> = depths.into_iter().collect() else {
+                continue;
+            };
+            let full = depths[0] as f64;
+            if full > 0.0 {
+                for (i, &d) in depths.iter().enumerate() {
+                    totals[i] += d as f64 / full;
+                    grand_totals[i] += d as f64 / full;
+                }
+                counted += 1;
+                grand_counted += 1;
+            }
+        }
+        let mut line = format!("{:<14}", "rel. average");
+        for total in &totals {
+            line.push_str(&format!("{:>22.3}", total / counted.max(1) as f64));
+        }
+        println!("{line}\n");
+    }
+    println!("Average weighted depth relative to full CODAR, all devices (lower is better):");
     for (i, (name, _)) in configs.iter().enumerate() {
-        println!("  {:<24} {:.3}", name, totals[i] / counted.max(1) as f64);
+        println!(
+            "  {:<24} {:.3}",
+            name,
+            grand_totals[i] / grand_counted.max(1) as f64
+        );
+    }
+    report_timing(&result.stats);
+    check_health(&result)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            ExitCode::FAILURE
+        }
     }
 }

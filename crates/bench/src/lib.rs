@@ -1,14 +1,38 @@
 //! Experiment harness: the code behind every table and figure of the
-//! paper (see DESIGN.md for the experiment index).
+//! paper (see ARCHITECTURE.md for the experiment index).
+//!
+//! Every binary drives the parallel [`codar_engine::SuiteRunner`]; this
+//! crate holds what they share — comparison row types, ablation
+//! configurations, strict CLI parsing ([`cli`]) and the stderr timing
+//! report ([`report_timing`]).
 //!
 //! Binaries:
 //!
-//! * `table1` — prints the Table I technology survey,
-//! * `fig8` — CODAR-vs-SABRE weighted-depth speedups on the 71-benchmark
-//!   suite across the four architectures,
+//! * `engine` — general matrix runner; emits summaries and the
+//!   `BENCH_timings.json` perf baseline,
+//! * `table1` — the Table I technology survey plus a routed
+//!   calibration workload on the modeled devices,
+//! * `fig8` — CODAR-vs-SABRE weighted-depth speedups on the
+//!   71-benchmark suite across the four architectures,
 //! * `fig9` — fidelity of the 7 famous algorithms under dephasing- and
 //!   damping-dominant noise,
-//! * `sweep` — ablation study over CODAR's three mechanisms.
+//! * `success` — analytic success probabilities over the whole suite,
+//! * `sweep` — ablation study over CODAR's three mechanisms on the
+//!   full device catalog,
+//! * `mappings` — initial-mapping strategy study.
+//!
+//! # Examples
+//!
+//! ```
+//! use codar_arch::Device;
+//! use codar_bench::compare_on;
+//! use codar_benchmarks::suite::full_suite;
+//!
+//! let suite = full_suite();
+//! let entry = suite.iter().find(|e| e.name == "qft_8").unwrap();
+//! let row = compare_on(&Device::ibm_q20_tokyo(), entry, 0).unwrap();
+//! assert!(row.speedup() > 0.0);
+//! ```
 
 use codar_arch::Device;
 use codar_benchmarks::suite::SuiteEntry;
@@ -116,6 +140,112 @@ pub fn fidelity_compare(
         codar_fidelity,
         sabre_fidelity,
     })
+}
+
+/// Strict CLI argument parsing shared by every experiment binary.
+///
+/// The old binaries silently fell back to defaults on malformed
+/// values (`fig9 twohundred` quietly ran 200 trajectories); these
+/// helpers make every malformed flag a hard error so a typo can never
+/// masquerade as a measurement.
+pub mod cli {
+    use std::fmt::Display;
+    use std::str::FromStr;
+
+    /// Parses the value following the flag at `args[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the value is missing or does not parse as `T` —
+    /// never falls back to a default.
+    pub fn flag_value<T: FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String>
+    where
+        T::Err: Display,
+    {
+        let raw = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        raw.parse()
+            .map_err(|e| format!("{flag}: invalid value `{raw}`: {e}"))
+    }
+
+    /// Parses a bare positional value (same strictness as
+    /// [`flag_value`]).
+    ///
+    /// # Errors
+    ///
+    /// Errors when the value does not parse as `T`.
+    pub fn positional<T: FromStr>(raw: &str, what: &str) -> Result<T, String>
+    where
+        T::Err: Display,
+    {
+        raw.parse()
+            .map_err(|e| format!("invalid {what} `{raw}`: {e}"))
+    }
+}
+
+/// Maps each suite entry's name to its position, for re-sorting the
+/// engine's (alphabetical) deterministic rows back into suite order —
+/// the paper lists benchmarks by ascending qubit count.
+pub fn suite_order(entries: &[SuiteEntry]) -> std::collections::HashMap<String, usize> {
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.name.clone(), i))
+        .collect()
+}
+
+/// Prints an engine run's wall-clock statistics to **stderr**, keeping
+/// stdout byte-identical across thread counts (the golden tests diff
+/// stdout directly).
+pub fn report_timing(stats: &codar_engine::RunStats) {
+    eprintln!(
+        "[{} jobs on {} threads in {:.2?}; {:.1} circuits/sec; pool speedup {:.2}x]",
+        stats.jobs,
+        stats.threads,
+        stats.wall,
+        stats.circuits_per_sec(),
+        stats.pool_speedup(),
+    );
+    for t in &stats.per_router {
+        eprintln!(
+            "[  {:<20} {:>5} jobs, total {:.2?}, mean {:.2?}]",
+            t.router,
+            t.jobs,
+            t.total,
+            t.mean()
+        );
+    }
+}
+
+/// Errors when any job failed to route or any routed circuit failed
+/// verification — so CI runs of the binaries catch router regressions.
+/// Every failure's circuit, device and cause go to stderr first, so a
+/// red run is diagnosable from its log.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the failure counts.
+pub fn check_health(result: &codar_engine::SuiteResult) -> Result<(), String> {
+    for failure in &result.failures {
+        eprintln!(
+            "job {} failed: {} on {}: {}",
+            failure.job.id, failure.circuit, failure.device, failure.error
+        );
+    }
+    if !result.failures.is_empty() {
+        return Err(format!("{} routing jobs failed", result.failures.len()));
+    }
+    let unverified = result
+        .summary
+        .rows
+        .iter()
+        .filter(|r| r.verified == Some(false))
+        .count();
+    if unverified > 0 {
+        return Err(format!("{unverified} routed circuits failed verification"));
+    }
+    Ok(())
 }
 
 /// The ablation configurations of the `sweep` binary.

@@ -1,0 +1,122 @@
+//! Golden-summary regression tests for the experiment binaries.
+//!
+//! Each test runs a binary twice — `--threads 1` and `--threads 3` —
+//! and asserts that (a) stdout is byte-identical across thread counts
+//! (the engine's determinism contract, end to end through the CLI),
+//! and (b) stdout matches the committed golden file, so a router or
+//! formatting regression can't slip through silently.
+//!
+//! Regenerate the fixtures after an intentional output change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p codar-bench --test golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn run_bin(exe: &str, args: &[&str]) -> Output {
+    let output = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} {args:?} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+/// Runs `exe` with `args` at two thread counts; checks thread
+/// invariance and the committed golden file.
+fn check_golden(exe: &str, base_args: &[&str], golden: &str) {
+    let mut one_args = base_args.to_vec();
+    one_args.extend(["--threads", "1"]);
+    let mut three_args = base_args.to_vec();
+    three_args.extend(["--threads", "3"]);
+
+    let one = run_bin(exe, &one_args);
+    let three = run_bin(exe, &three_args);
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&three.stdout),
+        "stdout must be byte-identical between --threads 1 and --threads 3"
+    );
+
+    let path = golden_path(golden);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &one.stdout).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1", golden));
+    assert_eq!(
+        String::from_utf8_lossy(&expected),
+        String::from_utf8_lossy(&one.stdout),
+        "{golden} drifted; if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn table1_summary_is_golden_and_thread_invariant() {
+    check_golden(env!("CARGO_BIN_EXE_table1"), &[], "table1.txt");
+}
+
+#[test]
+fn success_summary_is_golden_and_thread_invariant() {
+    check_golden(
+        env!("CARGO_BIN_EXE_success"),
+        &["--max-gates", "150"],
+        "success.txt",
+    );
+}
+
+#[test]
+fn fig9_summary_is_thread_invariant() {
+    // No committed golden (trajectory simulation is the slowest of the
+    // bins); the cross-thread fidelity byte-identity is the property
+    // the paper pipeline depends on.
+    let exe = env!("CARGO_BIN_EXE_fig9");
+    let one = run_bin(exe, &["--trajectories", "5", "--threads", "1"]);
+    let four = run_bin(exe, &["--trajectories", "5", "--threads", "4"]);
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&four.stdout),
+        "fidelity summaries must not depend on the thread count"
+    );
+}
+
+#[test]
+fn malformed_cli_values_fail_loudly() {
+    // The satellite regression: a malformed count must error out, not
+    // silently fall back to a default measurement.
+    for (exe, args) in [
+        (env!("CARGO_BIN_EXE_fig9"), vec!["twohundred"]),
+        (env!("CARGO_BIN_EXE_fig9"), vec!["--threads", "x"]),
+        (env!("CARGO_BIN_EXE_success"), vec!["--max-gates", "many"]),
+        (env!("CARGO_BIN_EXE_table1"), vec!["--threads", "-1"]),
+        (env!("CARGO_BIN_EXE_mappings"), vec!["--bogus"]),
+        (env!("CARGO_BIN_EXE_sweep"), vec!["--threads"]),
+    ] {
+        let output = Command::new(exe)
+            .args(&args)
+            .output()
+            .unwrap_or_else(|e| panic!("cannot spawn {exe}: {e}"));
+        assert!(
+            !output.status.success(),
+            "{exe} {args:?} must exit non-zero"
+        );
+        assert!(
+            !output.stderr.is_empty(),
+            "{exe} {args:?} must print an error"
+        );
+    }
+}

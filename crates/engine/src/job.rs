@@ -1,12 +1,14 @@
-//! Job matrix: the cross product circuit × device × router that the
-//! engine fans across its worker pool.
+//! Job matrix: the cross product circuit × device × router variant
+//! (× noise model, for fidelity runs) that the engine fans across its
+//! worker pool.
 
 use codar_arch::Device;
 use codar_benchmarks::suite::SuiteEntry;
 use codar_router::{CodarConfig, SabreConfig};
+use codar_sim::NoiseModel;
 use std::sync::Arc;
 
-/// Which router a job runs.
+/// Which routing algorithm a variant runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RouterKind {
     /// The paper's context- and duration-aware remapper.
@@ -38,22 +40,116 @@ impl RouterKind {
     }
 }
 
+/// One column of the job matrix: a routing algorithm plus the exact
+/// configuration it runs with, under a stable label.
+///
+/// The plain CODAR-vs-SABRE runs use one variant per [`RouterKind`],
+/// but ablation sweeps (same algorithm, different mechanism switches)
+/// and initial-mapping studies are also just variant lists — which is
+/// what lets every experiment binary share the engine.
+#[derive(Debug, Clone)]
+pub struct RouterVariant {
+    /// Stable name used in summaries, e.g. `"codar"` or `"no hfine"`.
+    /// [`crate::Summary`] pairs the labels `"codar"` and `"sabre"`
+    /// into its speedup comparisons.
+    pub label: String,
+    /// The algorithm this variant runs.
+    pub kind: RouterKind,
+    /// CODAR configuration (used when `kind == Codar`).
+    pub codar: CodarConfig,
+    /// SABRE configuration (used when `kind == Sabre`).
+    pub sabre: SabreConfig,
+}
+
+impl RouterVariant {
+    /// A variant of `kind` under its default configuration, labelled
+    /// with the algorithm name.
+    pub fn of_kind(kind: RouterKind) -> Self {
+        RouterVariant {
+            label: kind.name().to_string(),
+            kind,
+            codar: CodarConfig::default(),
+            sabre: SabreConfig::default(),
+        }
+    }
+
+    /// A CODAR variant with an explicit configuration.
+    pub fn codar(label: impl Into<String>, config: CodarConfig) -> Self {
+        RouterVariant {
+            label: label.into(),
+            kind: RouterKind::Codar,
+            codar: config,
+            sabre: SabreConfig::default(),
+        }
+    }
+
+    /// A SABRE variant with an explicit configuration.
+    pub fn sabre(label: impl Into<String>, config: SabreConfig) -> Self {
+        RouterVariant {
+            label: label.into(),
+            kind: RouterKind::Sabre,
+            codar: CodarConfig::default(),
+            sabre: config,
+        }
+    }
+}
+
+/// One noise regime of a fidelity run: a label, the channel
+/// parameters, and how many quantum trajectories to average.
+///
+/// When a runner has noise specs, every job routes once and then
+/// simulates its routed circuit under **each** spec, reporting one
+/// [`crate::FidelityStats`]-carrying row per regime. Each simulation
+/// seeds its RNG from stable identity (circuit, device, variant,
+/// noise label), so fidelity numbers are byte-identical across thread
+/// counts and scheduling orders.
+#[derive(Debug, Clone)]
+pub struct NoiseSpec {
+    /// Stable regime name used in summaries, e.g. `"dephasing"`.
+    pub label: String,
+    /// The noise channels applied per idle/gate cycle.
+    pub model: NoiseModel,
+    /// Quantum-jump trajectories averaged per job.
+    pub trajectories: usize,
+}
+
+impl NoiseSpec {
+    /// Creates a named noise regime.
+    pub fn new(label: impl Into<String>, model: NoiseModel, trajectories: usize) -> Self {
+        NoiseSpec {
+            label: label.into(),
+            model,
+            trajectories,
+        }
+    }
+}
+
 /// Engine-wide knobs. The defaults reproduce the paper's protocol:
 /// CODAR and SABRE from identical reverse-traversal initial mappings.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads; `0` means one per available core.
     pub threads: usize,
-    /// Seed for the per-(circuit, device) initial mapping.
+    /// Seed for the per-(circuit, device) initial mapping and the
+    /// per-job noise RNG derivation.
     pub seed: u64,
     /// Run `codar_router::verify` on every routed circuit.
     pub verify: bool,
-    /// Routers included in the matrix.
+    /// Routers included in the matrix when no explicit variant list
+    /// is set on the runner (each becomes a default-config variant).
     pub routers: Vec<RouterKind>,
-    /// CODAR mechanism switches (ablations reuse the engine).
+    /// CODAR mechanism switches for the default `routers` variants.
     pub codar: CodarConfig,
-    /// SABRE parameters.
+    /// SABRE parameters for the default `routers` variants.
     pub sabre: SabreConfig,
+    /// Route every variant of a (circuit, device) cell from the *same*
+    /// shared reverse-traversal initial mapping (the paper's Fig. 8
+    /// protocol). Disable for initial-mapping studies, where each
+    /// variant must build its own placement from its config.
+    pub shared_initial_mapping: bool,
+    /// Attach the full [`codar_router::RoutedCircuit`] to every
+    /// report (off by default: routed circuits can be large).
+    pub keep_routed: bool,
 }
 
 impl Default for EngineConfig {
@@ -65,32 +161,38 @@ impl Default for EngineConfig {
             routers: vec![RouterKind::Codar, RouterKind::Sabre],
             codar: CodarConfig::default(),
             sabre: SabreConfig::default(),
+            shared_initial_mapping: true,
+            keep_routed: false,
         }
     }
 }
 
 /// One unit of work: route suite entry `entry` on device `device` with
-/// `router`. Indices point into the runner's shared entry/device
-/// tables so jobs stay cheap to clone and queue.
+/// router variant `variant`. In fidelity runs the job routes **once**
+/// and then simulates the result under every noise spec, emitting one
+/// report per regime — routing and verification are never repeated
+/// per regime. Indices point into the runner's shared
+/// entry/device/variant tables so jobs stay cheap to clone and queue.
 #[derive(Debug, Clone, Copy)]
 pub struct JobSpec {
-    /// Dense job id; also the job's position in the report vector.
+    /// Dense job id (the job's position in the matrix; in fidelity
+    /// runs all of a job's per-regime reports share it).
     pub id: usize,
     /// Index into the shared suite-entry table.
     pub entry: usize,
     /// Index into the shared device table.
     pub device: usize,
-    /// Router to run.
-    pub router: RouterKind,
+    /// Index into the shared router-variant table.
+    pub variant: usize,
 }
 
 /// Expands the job matrix, skipping (entry, device) pairs where the
 /// circuit does not fit. Order is deterministic: device-major, then
-/// entry, then router (in `config.routers` order).
+/// entry, then variant.
 pub fn build_matrix(
     entries: &[SuiteEntry],
     devices: &[Arc<Device>],
-    routers: &[RouterKind],
+    variants: &[RouterVariant],
 ) -> Vec<JobSpec> {
     let mut jobs = Vec::new();
     for (d, device) in devices.iter().enumerate() {
@@ -98,12 +200,12 @@ pub fn build_matrix(
             if entry.num_qubits > device.num_qubits() {
                 continue;
             }
-            for &router in routers {
+            for v in 0..variants.len() {
                 jobs.push(JobSpec {
                     id: jobs.len(),
                     entry: e,
                     device: d,
-                    router,
+                    variant: v,
                 });
             }
         }
@@ -129,8 +231,11 @@ mod tests {
         let entries = full_suite();
         let small = Arc::new(Device::linear(5));
         let big = Arc::new(Device::ibm_q20_tokyo());
-        let routers = [RouterKind::Codar, RouterKind::Sabre];
-        let jobs = build_matrix(&entries, &[small.clone(), big], &routers);
+        let variants = [
+            RouterVariant::of_kind(RouterKind::Codar),
+            RouterVariant::of_kind(RouterKind::Sabre),
+        ];
+        let jobs = build_matrix(&entries, &[small.clone(), big], &variants);
         // Every job fits its device, ids are dense, and both routers
         // appear for each (entry, device) pair.
         for (i, job) in jobs.iter().enumerate() {
@@ -138,9 +243,36 @@ mod tests {
             let dev_qubits = if job.device == 0 { 5 } else { 20 };
             assert!(entries[job.entry].num_qubits <= dev_qubits);
         }
-        assert_eq!(jobs.len() % routers.len(), 0);
+        assert_eq!(jobs.len() % variants.len(), 0);
         let small_jobs = jobs.iter().filter(|j| j.device == 0).count();
         let big_jobs = jobs.iter().filter(|j| j.device == 1).count();
         assert!(small_jobs < big_jobs, "fewer circuits fit 5 qubits than 20");
+    }
+
+    #[test]
+    fn noise_specs_describe_regimes() {
+        let spec = NoiseSpec::new("dephasing", NoiseModel::dephasing_dominant(), 10);
+        assert_eq!(spec.label, "dephasing");
+        assert_eq!(spec.trajectories, 10);
+        // Noise specs do NOT multiply the matrix: a job routes once
+        // and fans its result across the regimes.
+        let entries: Vec<_> = full_suite().into_iter().take(3).collect();
+        let device = Arc::new(Device::ibm_q20_tokyo());
+        let variants = [
+            RouterVariant::of_kind(RouterKind::Codar),
+            RouterVariant::of_kind(RouterKind::Sabre),
+        ];
+        let jobs = build_matrix(&entries, &[device], &variants);
+        assert_eq!(jobs.len(), 3 * 2);
+    }
+
+    #[test]
+    fn variant_constructors_set_kind_and_label() {
+        let ablation = RouterVariant::codar("no hfine", CodarConfig::default());
+        assert_eq!(ablation.kind, RouterKind::Codar);
+        assert_eq!(ablation.label, "no hfine");
+        let sabre = RouterVariant::sabre("sabre", SabreConfig::default());
+        assert_eq!(sabre.kind, RouterKind::Sabre);
+        assert_eq!(RouterVariant::of_kind(RouterKind::Greedy).label, "greedy");
     }
 }

@@ -1,12 +1,25 @@
 //! # codar-engine — parallel suite-routing engine
 //!
 //! The CODAR evaluation is an embarrassingly parallel matrix: every
-//! (circuit, device, router) cell routes independently. This crate is
-//! the chassis that exploits that: a [`SuiteRunner`] expands the job
-//! matrix ([`job::build_matrix`]), fans it across a `std::thread`
-//! worker pool, and folds the per-job [`RouteReport`]s into a
-//! [`Summary`] whose JSON/CSV serializations are **byte-identical for
-//! any thread count** — timing lives in the separate [`RunStats`].
+//! (circuit, device, router, noise-regime) cell routes and simulates
+//! independently. This crate is the chassis that exploits that: a
+//! [`SuiteRunner`] expands the job matrix ([`job::build_matrix`]),
+//! fans it across a `std::thread` worker pool, and folds the per-job
+//! [`RouteReport`]s into a [`Summary`] whose JSON/CSV serializations
+//! are **byte-identical for any thread count** — timing lives in the
+//! separate [`RunStats`], whose [`RunStats::to_json`] is the
+//! `BENCH_timings.json` perf baseline.
+//!
+//! Every paper experiment is a run of this engine:
+//!
+//! | Experiment | Matrix |
+//! |---|---|
+//! | Fig. 8 speedups (`fig8`) | suite × 4 architectures × {codar, sabre} |
+//! | Fig. 9 fidelity (`fig9`) | 7 algorithms × Q20 × {codar, sabre} × 2 noise regimes |
+//! | Table I calibration (`table1`) | calibration set × Table-I devices × {codar, sabre} |
+//! | Success probability (`success`) | suite × Q20 × {codar, sabre}, routed circuits kept |
+//! | Ablations (`sweep`) | suite × device catalog × 4 CODAR [`RouterVariant`]s |
+//! | Initial mappings (`mappings`) | suite × Q20 × 5 placement [`RouterVariant`]s |
 //!
 //! Key properties:
 //!
@@ -15,12 +28,14 @@
 //!   and shared behind an `Arc` by every job on that device.
 //! * **Paper protocol** — CODAR and SABRE route each cell from the
 //!   *same* reverse-traversal initial mapping, as in the paper's
-//!   Fig. 8 setup.
+//!   Fig. 8 setup (switchable via
+//!   [`EngineConfig::shared_initial_mapping`] for mapping studies).
 //! * **Built-in verification** — with [`EngineConfig::verify`] on
 //!   (default), every routed circuit is checked for coupling
 //!   compliance and semantic equivalence before it is reported.
-//! * **Determinism** — job ids key all output; reports are sorted, so
-//!   scheduling order never leaks into the summary.
+//! * **Determinism** — job ids key all output; reports are sorted; and
+//!   noise-simulation jobs derive their RNG seed from job identity,
+//!   so scheduling order never leaks into the summary.
 //!
 //! # Examples
 //!
@@ -45,11 +60,34 @@
 //! let json = result.summary.to_json(); // byte-stable across thread counts
 //! assert!(json.contains("\"comparisons\""));
 //! ```
+//!
+//! An ablation is the same run with custom router variants:
+//!
+//! ```
+//! use codar_arch::Device;
+//! use codar_benchmarks::suite::full_suite;
+//! use codar_engine::{EngineConfig, RouterVariant, SuiteRunner};
+//! use codar_router::CodarConfig;
+//!
+//! let entries: Vec<_> = full_suite().into_iter().take(3).collect();
+//! let result = SuiteRunner::new(EngineConfig::default())
+//!     .device(Device::ibm_q20_tokyo())
+//!     .entries(entries)
+//!     .variant(RouterVariant::codar("full", CodarConfig::default()))
+//!     .variant(RouterVariant::codar(
+//!         "no hfine",
+//!         CodarConfig { enable_hfine: false, ..CodarConfig::default() },
+//!     ))
+//!     .run();
+//! assert_eq!(result.summary.rows.len(), 6); // 3 circuits x 2 variants
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod job;
 pub mod report;
 pub mod runner;
 
-pub use job::{EngineConfig, JobSpec, RouterKind};
-pub use report::{Comparison, RouteReport, RunStats, Summary};
+pub use job::{EngineConfig, JobSpec, NoiseSpec, RouterKind, RouterVariant};
+pub use report::{Comparison, FidelityStats, RouteReport, RouterTiming, RunStats, Summary};
 pub use runner::{JobFailure, SuiteResult, SuiteRunner};

@@ -4,13 +4,28 @@
 //! wall time. The [`Summary`] built from the reports deliberately
 //! excludes wall times so that its JSON/CSV serializations are
 //! **byte-identical across thread counts and machines** — the engine's
-//! determinism tests diff them directly.
+//! determinism tests diff them directly. Timing lives in [`RunStats`],
+//! whose [`RunStats::to_json`] is the `BENCH_timings.json` perf
+//! baseline (explicitly nondeterministic: it is a measurement).
 
 use crate::job::RouterKind;
 use codar_circuit::schedule::Time;
+use codar_router::RoutedCircuit;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// Trajectory-averaged fidelity of one routed circuit under one noise
+/// regime (present on reports produced by noise-simulation jobs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityStats {
+    /// Mean fidelity over trajectories.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of trajectories averaged.
+    pub trajectories: usize,
+}
 
 /// Everything measured about one completed routing job.
 #[derive(Debug, Clone)]
@@ -25,8 +40,14 @@ pub struct RouteReport {
     pub num_qubits: usize,
     /// Input gate count.
     pub input_gates: usize,
-    /// Router that produced the result.
+    /// Algorithm of the variant that produced the result.
     pub router: RouterKind,
+    /// Label of the router variant that produced the result (equals
+    /// `router.name()` for plain runs; distinct per configuration in
+    /// ablation/mapping studies).
+    pub variant: String,
+    /// Noise regime label for fidelity jobs (`None` = routing only).
+    pub noise: Option<String>,
     /// Weighted depth (schedule makespan) of the routed circuit.
     pub weighted_depth: Time,
     /// Unweighted depth of the routed circuit.
@@ -38,22 +59,36 @@ pub struct RouteReport {
     /// Whether coupling + equivalence verification ran and passed
     /// (`None` when verification was disabled).
     pub verified: Option<bool>,
-    /// Wall time of the whole job — initial mapping, routing and
-    /// verification (not part of the summary).
+    /// Simulated fidelity (noise-simulation jobs only).
+    pub fidelity: Option<FidelityStats>,
+    /// The routed circuit itself, when
+    /// [`crate::EngineConfig::keep_routed`] is set (never serialized).
+    pub routed: Option<RoutedCircuit>,
+    /// Wall time of the whole job — initial mapping, routing,
+    /// verification and simulation (not part of the summary).
     pub wall: Duration,
 }
 
-/// CODAR-vs-SABRE pairing for one (device, circuit) cell.
+/// CODAR-vs-SABRE pairing for one (device, circuit, noise) cell.
+///
+/// Cells pair the rows whose variant labels are exactly `"codar"` and
+/// `"sabre"`; ablation variants never collide with them.
 #[derive(Debug, Clone)]
 pub struct Comparison {
     /// Device name.
     pub device: String,
     /// Benchmark name.
     pub circuit: String,
+    /// Noise regime label (fidelity runs only).
+    pub noise: Option<String>,
     /// CODAR weighted depth.
     pub codar_depth: Time,
     /// SABRE weighted depth.
     pub sabre_depth: Time,
+    /// CODAR simulated fidelity (fidelity runs only).
+    pub codar_fidelity: Option<FidelityStats>,
+    /// SABRE simulated fidelity (fidelity runs only).
+    pub sabre_fidelity: Option<FidelityStats>,
 }
 
 impl Comparison {
@@ -64,6 +99,34 @@ impl Comparison {
             1.0
         } else {
             self.sabre_depth as f64 / self.codar_depth as f64
+        }
+    }
+
+    /// The Fig. 9 metric: CODAR fidelity minus SABRE fidelity
+    /// (`None` unless both sides were simulated).
+    pub fn fidelity_delta(&self) -> Option<f64> {
+        Some(self.codar_fidelity?.mean - self.sabre_fidelity?.mean)
+    }
+}
+
+/// Wall-clock aggregate for every job of one router variant.
+#[derive(Debug, Clone)]
+pub struct RouterTiming {
+    /// Variant label.
+    pub router: String,
+    /// Jobs this variant completed.
+    pub jobs: usize,
+    /// Sum of the variant's per-job wall times.
+    pub total: Duration,
+}
+
+impl RouterTiming {
+    /// Mean wall time per job of this variant.
+    pub fn mean(&self) -> Duration {
+        if self.jobs == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.jobs as u32
         }
     }
 }
@@ -82,16 +145,92 @@ pub struct RunStats {
     pub wall: Duration,
     /// Sum of per-job wall times (the work the pool parallelized).
     pub total_route_time: Duration,
+    /// Per-variant timing aggregates, sorted by variant label.
+    pub per_router: Vec<RouterTiming>,
+}
+
+impl RunStats {
+    /// Completed jobs per wall-clock second — each job routes one
+    /// circuit, so this is the engine's circuits/sec throughput.
+    pub fn circuits_per_sec(&self) -> f64 {
+        (self.jobs - self.failures) as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Ratio of parallelized work to wall time: how many workers the
+    /// pool kept busy on average.
+    pub fn pool_speedup(&self) -> f64 {
+        self.total_route_time.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Serializes the timing baseline (the `BENCH_timings.json`
+    /// payload). Pass the stats of a 1-thread run of the same matrix
+    /// as `baseline` to include the measured end-to-end speedup;
+    /// without one, `"speedup_vs_1_thread"` is `null`.
+    pub fn to_json(&self, baseline: Option<&RunStats>) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"failures\": {},", self.failures);
+        let _ = writeln!(out, "  \"wall_seconds\": {:.6},", self.wall.as_secs_f64());
+        let _ = writeln!(
+            out,
+            "  \"total_route_seconds\": {:.6},",
+            self.total_route_time.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "  \"circuits_per_sec\": {:.3},",
+            self.circuits_per_sec()
+        );
+        let _ = writeln!(out, "  \"pool_speedup\": {:.3},", self.pool_speedup());
+        match baseline {
+            Some(single) => {
+                let _ = writeln!(
+                    out,
+                    "  \"baseline_1_thread_wall_seconds\": {:.6},",
+                    single.wall.as_secs_f64()
+                );
+                let _ = writeln!(
+                    out,
+                    "  \"speedup_vs_1_thread\": {:.3},",
+                    single.wall.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+                );
+            }
+            None => {
+                out.push_str("  \"baseline_1_thread_wall_seconds\": null,\n");
+                out.push_str("  \"speedup_vs_1_thread\": null,\n");
+            }
+        }
+        out.push_str("  \"per_router\": [\n");
+        for (i, t) in self.per_router.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"router\": {}, \"jobs\": {}, \"total_seconds\": {:.6}, \
+                 \"mean_ms\": {:.3}}}",
+                json_string(&t.router),
+                t.jobs,
+                t.total.as_secs_f64(),
+                t.mean().as_secs_f64() * 1e3,
+            );
+            out.push_str(if i + 1 < self.per_router.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 /// Deterministic summary of a suite run.
 ///
-/// Rows are sorted by (device, circuit, router) and contain no timing,
-/// so [`Summary::to_json`] and [`Summary::to_csv`] are byte-identical
-/// for identical inputs regardless of thread count.
+/// Rows are sorted by (device, circuit, variant, noise) and contain no
+/// timing, so [`Summary::to_json`] and [`Summary::to_csv`] are
+/// byte-identical for identical inputs regardless of thread count.
 #[derive(Debug, Clone)]
 pub struct Summary {
-    /// Seed the run used for initial mappings.
+    /// Seed the run used for initial mappings and noise RNGs.
     pub seed: u64,
     /// Per-job rows in deterministic order.
     pub rows: Vec<RouteReport>,
@@ -103,28 +242,38 @@ impl Summary {
     /// Builds a summary from raw (unordered) reports.
     pub fn from_reports(seed: u64, mut rows: Vec<RouteReport>) -> Self {
         rows.sort_by(|a, b| {
-            (&a.device, &a.circuit, a.router).cmp(&(&b.device, &b.circuit, b.router))
+            (&a.device, &a.circuit, &a.variant, &a.noise)
+                .cmp(&(&b.device, &b.circuit, &b.variant, &b.noise))
         });
-        let mut cells: BTreeMap<(String, String), (Option<Time>, Option<Time>)> = BTreeMap::new();
+        type Cell = (
+            Option<(Time, Option<FidelityStats>)>,
+            Option<(Time, Option<FidelityStats>)>,
+        );
+        let mut cells: BTreeMap<(String, String, Option<String>), Cell> = BTreeMap::new();
         for row in &rows {
             let cell = cells
-                .entry((row.device.clone(), row.circuit.clone()))
+                .entry((row.device.clone(), row.circuit.clone(), row.noise.clone()))
                 .or_default();
-            match row.router {
-                RouterKind::Codar => cell.0 = Some(row.weighted_depth),
-                RouterKind::Sabre => cell.1 = Some(row.weighted_depth),
-                RouterKind::Greedy => {}
+            match row.variant.as_str() {
+                "codar" => cell.0 = Some((row.weighted_depth, row.fidelity)),
+                "sabre" => cell.1 = Some((row.weighted_depth, row.fidelity)),
+                _ => {}
             }
         }
         let comparisons = cells
             .into_iter()
-            .filter_map(|((device, circuit), cell)| match cell {
-                (Some(codar_depth), Some(sabre_depth)) => Some(Comparison {
-                    device,
-                    circuit,
-                    codar_depth,
-                    sabre_depth,
-                }),
+            .filter_map(|((device, circuit, noise), cell)| match cell {
+                (Some((codar_depth, codar_fidelity)), Some((sabre_depth, sabre_fidelity))) => {
+                    Some(Comparison {
+                        device,
+                        circuit,
+                        noise,
+                        codar_depth,
+                        sabre_depth,
+                        codar_fidelity,
+                        sabre_fidelity,
+                    })
+                }
                 _ => None,
             })
             .collect();
@@ -158,13 +307,16 @@ impl Summary {
             let _ = write!(
                 out,
                 "    {{\"device\": {}, \"circuit\": {}, \"qubits\": {}, \"input_gates\": {}, \
-                 \"router\": {}, \"weighted_depth\": {}, \"depth\": {}, \"swaps\": {}, \
-                 \"output_gates\": {}, \"verified\": {}}}",
+                 \"router\": {}, \"variant\": {}, \"noise\": {}, \"weighted_depth\": {}, \
+                 \"depth\": {}, \"swaps\": {}, \"output_gates\": {}, \"verified\": {}, \
+                 \"fidelity\": {}}}",
                 json_string(&row.device),
                 json_string(&row.circuit),
                 row.num_qubits,
                 row.input_gates,
                 json_string(row.router.name()),
+                json_string(&row.variant),
+                json_opt_string(row.noise.as_deref()),
                 row.weighted_depth,
                 row.depth,
                 row.swaps,
@@ -174,6 +326,7 @@ impl Summary {
                     Some(false) => "false",
                     None => "null",
                 },
+                json_fidelity(row.fidelity.as_ref()),
             );
             out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
@@ -181,13 +334,17 @@ impl Summary {
         for (i, cmp) in self.comparisons.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"device\": {}, \"circuit\": {}, \"codar_depth\": {}, \
-                 \"sabre_depth\": {}, \"speedup\": {}}}",
+                "    {{\"device\": {}, \"circuit\": {}, \"noise\": {}, \"codar_depth\": {}, \
+                 \"sabre_depth\": {}, \"speedup\": {}, \"codar_fidelity\": {}, \
+                 \"sabre_fidelity\": {}}}",
                 json_string(&cmp.device),
                 json_string(&cmp.circuit),
+                json_opt_string(cmp.noise.as_deref()),
                 cmp.codar_depth,
                 cmp.sabre_depth,
                 json_float(cmp.speedup()),
+                json_fidelity(cmp.codar_fidelity.as_ref()),
+                json_fidelity(cmp.sabre_fidelity.as_ref()),
             );
             out.push_str(if i + 1 < self.comparisons.len() {
                 ",\n"
@@ -208,17 +365,24 @@ impl Summary {
     /// Serializes the per-job rows as deterministic CSV.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "device,circuit,qubits,input_gates,router,weighted_depth,depth,swaps,output_gates,verified\n",
+            "device,circuit,qubits,input_gates,router,variant,noise,weighted_depth,depth,\
+             swaps,output_gates,verified,fidelity_mean,fidelity_std_error\n",
         );
         for row in &self.rows {
+            let (fid_mean, fid_err) = match &row.fidelity {
+                Some(f) => (json_float(f.mean), json_float(f.std_error)),
+                None => (String::new(), String::new()),
+            };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_field(&row.device),
                 csv_field(&row.circuit),
                 row.num_qubits,
                 row.input_gates,
                 row.router.name(),
+                csv_field(&row.variant),
+                csv_field(row.noise.as_deref().unwrap_or("")),
                 row.weighted_depth,
                 row.depth,
                 row.swaps,
@@ -228,23 +392,36 @@ impl Summary {
                     Some(false) => "no",
                     None => "skipped",
                 },
+                fid_mean,
+                fid_err,
             );
         }
         out
     }
 
-    /// Serializes the comparisons as deterministic CSV.
+    /// Serializes the comparisons as deterministic CSV (fidelity
+    /// columns are empty for routing-only runs).
     pub fn comparisons_to_csv(&self) -> String {
-        let mut out = String::from("device,circuit,codar_depth,sabre_depth,speedup\n");
+        let mut out = String::from(
+            "device,circuit,noise,codar_depth,sabre_depth,speedup,\
+             codar_fidelity,sabre_fidelity,fidelity_delta\n",
+        );
         for cmp in &self.comparisons {
+            let fid = |f: Option<FidelityStats>| f.map(|f| json_float(f.mean)).unwrap_or_default();
             let _ = writeln!(
                 out,
-                "{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{}",
                 csv_field(&cmp.device),
                 csv_field(&cmp.circuit),
+                csv_field(cmp.noise.as_deref().unwrap_or("")),
                 cmp.codar_depth,
                 cmp.sabre_depth,
                 json_float(cmp.speedup()),
+                fid(cmp.codar_fidelity),
+                fid(cmp.sabre_fidelity),
+                cmp.fidelity_delta()
+                    .map(|d| json_float(d))
+                    .unwrap_or_default(),
             );
         }
         out
@@ -270,6 +447,27 @@ fn json_string(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// `"s"` or `null`.
+fn json_opt_string(s: Option<&str>) -> String {
+    match s {
+        Some(s) => json_string(s),
+        None => "null".to_string(),
+    }
+}
+
+/// Inline fidelity object or `null`.
+fn json_fidelity(f: Option<&FidelityStats>) -> String {
+    match f {
+        Some(f) => format!(
+            "{{\"mean\": {}, \"std_error\": {}, \"trajectories\": {}}}",
+            json_float(f.mean),
+            json_float(f.std_error),
+            f.trajectories
+        ),
+        None => "null".to_string(),
+    }
 }
 
 /// Fixed-precision float so serializations never depend on shortest-
@@ -299,11 +497,15 @@ mod tests {
             num_qubits: 4,
             input_gates: 10,
             router,
+            variant: router.name().to_string(),
+            noise: None,
             weighted_depth: wd,
             depth: 5,
             swaps: 2,
             output_gates: 12,
             verified: Some(true),
+            fidelity: None,
+            routed: None,
             wall: Duration::from_millis(3),
         }
     }
@@ -328,6 +530,52 @@ mod tests {
         let means = summary.mean_speedup_by_device();
         assert_eq!(means.len(), 2);
         assert!((means[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablation_variants_do_not_pair_into_comparisons() {
+        let mut no_hfine = report("q20", "qft_4", RouterKind::Codar, 70);
+        no_hfine.variant = "no hfine".into();
+        let rows = vec![
+            report("q20", "qft_4", RouterKind::Codar, 60),
+            report("q20", "qft_4", RouterKind::Sabre, 90),
+            no_hfine,
+        ];
+        let summary = Summary::from_reports(0, rows);
+        assert_eq!(summary.rows.len(), 3);
+        assert_eq!(summary.comparisons.len(), 1);
+        assert_eq!(summary.comparisons[0].codar_depth, 60);
+    }
+
+    #[test]
+    fn noise_labelled_rows_pair_per_regime() {
+        let fid = |mean| FidelityStats {
+            mean,
+            std_error: 0.01,
+            trajectories: 50,
+        };
+        let mut rows = Vec::new();
+        for (regime, cf, sf) in [("damping", 0.80, 0.79), ("dephasing", 0.90, 0.85)] {
+            let mut c = report("q20", "ghz_6", RouterKind::Codar, 60);
+            c.noise = Some(regime.into());
+            c.fidelity = Some(fid(cf));
+            let mut s = report("q20", "ghz_6", RouterKind::Sabre, 90);
+            s.noise = Some(regime.into());
+            s.fidelity = Some(fid(sf));
+            rows.push(c);
+            rows.push(s);
+        }
+        let summary = Summary::from_reports(0, rows);
+        assert_eq!(summary.comparisons.len(), 2);
+        let deph = summary
+            .comparisons
+            .iter()
+            .find(|c| c.noise.as_deref() == Some("dephasing"))
+            .unwrap();
+        assert!((deph.fidelity_delta().unwrap() - 0.05).abs() < 1e-12);
+        let json = summary.to_json();
+        assert!(json.contains("\"noise\": \"dephasing\""));
+        assert!(json.contains("\"mean\": 0.900000"));
     }
 
     #[test]
@@ -357,6 +605,7 @@ mod tests {
         assert_eq!(json_float(1.5), "1.500000");
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(json_opt_string(None), "null");
     }
 
     #[test]
@@ -364,6 +613,35 @@ mod tests {
         let summary = Summary::from_reports(0, Vec::new());
         let json = summary.to_json();
         assert!(json.contains("\"rows\": ["));
-        assert!(summary.to_csv().ends_with("verified\n"));
+        assert!(summary.to_csv().ends_with("fidelity_std_error\n"));
+    }
+
+    #[test]
+    fn run_stats_json_reports_throughput_and_speedup() {
+        let stats = RunStats {
+            threads: 4,
+            jobs: 40,
+            failures: 0,
+            wall: Duration::from_secs(2),
+            total_route_time: Duration::from_secs(6),
+            per_router: vec![RouterTiming {
+                router: "codar".into(),
+                jobs: 20,
+                total: Duration::from_secs(4),
+            }],
+        };
+        assert!((stats.circuits_per_sec() - 20.0).abs() < 1e-9);
+        assert!((stats.pool_speedup() - 3.0).abs() < 1e-9);
+        let single = RunStats {
+            threads: 1,
+            wall: Duration::from_secs(6),
+            ..stats.clone()
+        };
+        let json = stats.to_json(Some(&single));
+        assert!(json.contains("\"speedup_vs_1_thread\": 3.000"));
+        assert!(json.contains("\"router\": \"codar\""));
+        assert!(json.contains("\"mean_ms\": 200.000"));
+        let solo = stats.to_json(None);
+        assert!(solo.contains("\"speedup_vs_1_thread\": null"));
     }
 }

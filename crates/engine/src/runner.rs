@@ -12,14 +12,21 @@
 //! construction) is therefore paid once per device, not once per job —
 //! on a 54-qubit Sycamore that matrix alone is ~3k BFS visits a job
 //! would otherwise repeat.
+//!
+//! Noise-simulation jobs seed their trajectory RNG from the *identity*
+//! of the job (circuit, device, variant, noise labels folded into the
+//! engine seed), never from scheduling order — which is what keeps
+//! fidelity summaries byte-identical across thread counts.
 
-use crate::job::{build_matrix, EngineConfig, JobSpec, RouterKind};
-use crate::report::{RouteReport, RunStats, Summary};
+use crate::job::{build_matrix, EngineConfig, JobSpec, NoiseSpec, RouterKind, RouterVariant};
+use crate::report::{FidelityStats, RouteReport, RouterTiming, RunStats, Summary};
 use codar_arch::Device;
 use codar_benchmarks::suite::SuiteEntry;
 use codar_router::sabre::reverse_traversal_mapping;
 use codar_router::verify::{check_coupling, check_equivalence};
 use codar_router::{CodarRouter, GreedyRouter, Mapping, RoutedCircuit, SabreRouter};
+use codar_sim::FidelityReport;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -66,11 +73,30 @@ pub struct SuiteResult {
 /// assert_eq!(result.summary.rows.len(), 8); // 4 circuits x 2 routers
 /// assert!(result.summary.rows.iter().all(|r| r.verified == Some(true)));
 /// ```
+///
+/// Fidelity runs fan noise-simulation jobs across the same pool:
+///
+/// ```
+/// use codar_arch::Device;
+/// use codar_benchmarks::suite::fidelity_suite;
+/// use codar_engine::{EngineConfig, NoiseSpec, SuiteRunner};
+/// use codar_sim::NoiseModel;
+///
+/// let entries: Vec<_> = fidelity_suite().into_iter().take(2).collect();
+/// let result = SuiteRunner::new(EngineConfig::default())
+///     .device(Device::ibm_q20_tokyo())
+///     .entries(entries)
+///     .noise(NoiseSpec::new("dephasing", NoiseModel::dephasing_dominant(), 10))
+///     .run();
+/// assert!(result.summary.rows.iter().all(|r| r.fidelity.is_some()));
+/// ```
 #[derive(Debug, Clone)]
 pub struct SuiteRunner {
     config: EngineConfig,
     devices: Vec<Arc<Device>>,
     entries: Vec<SuiteEntry>,
+    variants: Vec<RouterVariant>,
+    noise: Vec<NoiseSpec>,
 }
 
 impl SuiteRunner {
@@ -80,6 +106,8 @@ impl SuiteRunner {
             config,
             devices: Vec::new(),
             entries: Vec::new(),
+            variants: Vec::new(),
+            noise: Vec::new(),
         }
     }
 
@@ -104,6 +132,36 @@ impl SuiteRunner {
         self
     }
 
+    /// Adds one router variant. When no variant is added, the runner
+    /// derives default-config variants from `config.routers`.
+    #[must_use]
+    pub fn variant(mut self, variant: RouterVariant) -> Self {
+        self.variants.push(variant);
+        self
+    }
+
+    /// Adds several router variants.
+    #[must_use]
+    pub fn variants(mut self, variants: impl IntoIterator<Item = RouterVariant>) -> Self {
+        self.variants.extend(variants);
+        self
+    }
+
+    /// Adds one noise regime: every job simulates its routed circuit
+    /// under it and reports a fidelity.
+    #[must_use]
+    pub fn noise(mut self, spec: NoiseSpec) -> Self {
+        self.noise.push(spec);
+        self
+    }
+
+    /// Adds several noise regimes.
+    #[must_use]
+    pub fn noise_specs(mut self, specs: impl IntoIterator<Item = NoiseSpec>) -> Self {
+        self.noise.extend(specs);
+        self
+    }
+
     /// Worker threads the run will use (resolving `threads == 0`).
     pub fn effective_threads(&self) -> usize {
         if self.config.threads == 0 {
@@ -115,13 +173,33 @@ impl SuiteRunner {
         }
     }
 
+    /// The variant table a run will use: the explicit `.variant()`
+    /// list, or default-config variants from `config.routers`.
+    fn effective_variants(&self) -> Vec<RouterVariant> {
+        if self.variants.is_empty() {
+            self.config
+                .routers
+                .iter()
+                .map(|&kind| RouterVariant {
+                    label: kind.name().to_string(),
+                    kind,
+                    codar: self.config.codar.clone(),
+                    sabre: self.config.sabre.clone(),
+                })
+                .collect()
+        } else {
+            self.variants.clone()
+        }
+    }
+
     /// Routes the full matrix and assembles the deterministic summary.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics (propagated by the scope).
     pub fn run(&self) -> SuiteResult {
-        let jobs = build_matrix(&self.entries, &self.devices, &self.config.routers);
+        let variants = self.effective_variants();
+        let jobs = build_matrix(&self.entries, &self.devices, &variants);
         let threads = self.effective_threads().clamp(1, jobs.len().max(1));
         let started = Instant::now();
 
@@ -135,17 +213,18 @@ impl SuiteRunner {
             .collect();
 
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(JobSpec, Result<RouteReport, String>)>();
+        let (tx, rx) = mpsc::channel::<(JobSpec, Result<Vec<RouteReport>, String>)>();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let jobs = &jobs;
                 let mappings = &mappings;
+                let variants = &variants;
                 scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&job) = jobs.get(i) else { break };
-                    let outcome = self.run_job(job, mappings);
+                    let outcome = self.run_job(job, variants, mappings);
                     if tx.send((job, outcome)).is_err() {
                         break;
                     }
@@ -157,11 +236,17 @@ impl SuiteRunner {
         let mut reports = Vec::with_capacity(jobs.len());
         let mut failures = Vec::new();
         let mut total_route_time = Duration::ZERO;
+        let mut by_router: BTreeMap<String, (usize, Duration)> = BTreeMap::new();
         for (job, outcome) in rx {
             match outcome {
-                Ok(report) => {
-                    total_route_time += report.wall;
-                    reports.push(report);
+                Ok(job_reports) => {
+                    for report in job_reports {
+                        total_route_time += report.wall;
+                        let slot = by_router.entry(report.variant.clone()).or_default();
+                        slot.0 += 1;
+                        slot.1 += report.wall;
+                        reports.push(report);
+                    }
                 }
                 Err(error) => failures.push(JobFailure {
                     job,
@@ -179,6 +264,14 @@ impl SuiteRunner {
             failures: failures.len(),
             wall: started.elapsed(),
             total_route_time,
+            per_router: by_router
+                .into_iter()
+                .map(|(router, (jobs, total))| RouterTiming {
+                    router,
+                    jobs,
+                    total,
+                })
+                .collect(),
         };
         SuiteResult {
             summary: Summary::from_reports(self.config.seed, reports),
@@ -187,20 +280,59 @@ impl SuiteRunner {
         }
     }
 
-    fn run_job(&self, job: JobSpec, mappings: &[OnceLock<Mapping>]) -> Result<RouteReport, String> {
+    /// Per-job noise RNG seed: the engine seed folded with a stable
+    /// FNV-1a hash of the job's identity. Deterministic for a given
+    /// matrix, independent of scheduling order and thread count.
+    fn job_seed(&self, circuit: &str, device: &str, variant: &str, noise: &str) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET ^ self.config.seed;
+        for part in [circuit, "\0", device, "\0", variant, "\0", noise] {
+            for byte in part.as_bytes() {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
+
+    /// Runs one job: route once, verify once, then (in fidelity runs)
+    /// simulate the routed circuit under every noise spec — one report
+    /// per regime, all sharing the single routing pass.
+    fn run_job(
+        &self,
+        job: JobSpec,
+        variants: &[RouterVariant],
+        mappings: &[OnceLock<Mapping>],
+    ) -> Result<Vec<RouteReport>, String> {
         let entry = &self.entries[job.entry];
         let device = &self.devices[job.device];
+        let variant = &variants[job.variant];
         let started = Instant::now();
-        let initial = mappings[job.device * self.entries.len() + job.entry]
-            .get_or_init(|| reverse_traversal_mapping(&entry.circuit, device, self.config.seed))
-            .clone();
-        let routed: RoutedCircuit = match job.router {
-            RouterKind::Codar => CodarRouter::with_config(device, self.config.codar.clone())
-                .route_with_mapping(&entry.circuit, initial),
-            RouterKind::Sabre => SabreRouter::with_config(device, self.config.sabre.clone())
-                .route_with_mapping(&entry.circuit, initial),
-            RouterKind::Greedy => {
-                GreedyRouter::new(device).route_with_mapping(&entry.circuit, initial)
+        let routed: RoutedCircuit = if self.config.shared_initial_mapping {
+            let initial = mappings[job.device * self.entries.len() + job.entry]
+                .get_or_init(|| reverse_traversal_mapping(&entry.circuit, device, self.config.seed))
+                .clone();
+            match variant.kind {
+                RouterKind::Codar => CodarRouter::with_config(device, variant.codar.clone())
+                    .route_with_mapping(&entry.circuit, initial),
+                RouterKind::Sabre => SabreRouter::with_config(device, variant.sabre.clone())
+                    .route_with_mapping(&entry.circuit, initial),
+                RouterKind::Greedy => {
+                    GreedyRouter::new(device).route_with_mapping(&entry.circuit, initial)
+                }
+            }
+        } else {
+            // Each variant builds its own placement from its config —
+            // the initial-mapping study protocol.
+            match variant.kind {
+                RouterKind::Codar => {
+                    CodarRouter::with_config(device, variant.codar.clone()).route(&entry.circuit)
+                }
+                RouterKind::Sabre => {
+                    SabreRouter::with_config(device, variant.sabre.clone()).route(&entry.circuit)
+                }
+                RouterKind::Greedy => GreedyRouter::new(device).route(&entry.circuit),
             }
         }
         .map_err(|e| e.to_string())?;
@@ -213,22 +345,69 @@ impl SuiteRunner {
         } else {
             None
         };
-        let wall = started.elapsed();
 
-        Ok(RouteReport {
+        let base_report = |noise: Option<String>,
+                           fidelity: Option<FidelityStats>,
+                           routed_out: Option<RoutedCircuit>,
+                           wall: Duration| RouteReport {
             job_id: job.id,
             circuit: entry.name.clone(),
             device: device.name().to_string(),
             num_qubits: entry.num_qubits,
             input_gates: entry.circuit.len(),
-            router: job.router,
+            router: variant.kind,
+            variant: variant.label.clone(),
+            noise,
             weighted_depth: routed.weighted_depth,
             depth: routed.depth(),
             swaps: routed.swaps_inserted,
             output_gates: routed.gate_count(),
             verified,
+            fidelity,
+            routed: routed_out,
             wall,
-        })
+        };
+
+        if self.noise.is_empty() {
+            let routed_out = self.config.keep_routed.then(|| routed.clone());
+            return Ok(vec![base_report(None, None, routed_out, started.elapsed())]);
+        }
+
+        // Fidelity run: the routing pass above is shared; each regime
+        // pays only its own simulation time (the first report also
+        // carries the routing wall).
+        let mut reports = Vec::with_capacity(self.noise.len());
+        let mut previous = started.elapsed();
+        for spec in &self.noise {
+            let seed = self.job_seed(&entry.name, device.name(), &variant.label, &spec.label);
+            let tau = device.durations();
+            let estimate = FidelityReport::estimate(
+                &routed.circuit,
+                |g| tau.of(g),
+                &spec.model,
+                spec.trajectories,
+                seed,
+            );
+            let now = started.elapsed();
+            let wall = if reports.is_empty() {
+                now
+            } else {
+                now - previous
+            };
+            let routed_out = self.config.keep_routed.then(|| routed.clone());
+            reports.push(base_report(
+                Some(spec.label.clone()),
+                Some(FidelityStats {
+                    mean: estimate.mean,
+                    std_error: estimate.std_error,
+                    trajectories: estimate.trajectories,
+                }),
+                routed_out,
+                wall,
+            ));
+            previous = now;
+        }
+        Ok(reports)
     }
 }
 
@@ -236,6 +415,8 @@ impl SuiteRunner {
 mod tests {
     use super::*;
     use codar_benchmarks::suite::full_suite;
+    use codar_router::{CodarConfig, InitialMapping};
+    use codar_sim::NoiseModel;
 
     fn small_entries(n: usize) -> Vec<SuiteEntry> {
         full_suite().into_iter().take(n).collect()
@@ -255,6 +436,9 @@ mod tests {
         assert!(result.failures.is_empty());
         assert!(result.summary.rows.iter().all(|r| r.verified == Some(true)));
         assert_eq!(result.summary.comparisons.len(), 5);
+        // Per-router timing: both variants accounted for every job.
+        assert_eq!(result.stats.per_router.len(), 2);
+        assert!(result.stats.per_router.iter().all(|t| t.jobs == 5));
     }
 
     #[test]
@@ -298,5 +482,115 @@ mod tests {
         .entries(small_entries(2))
         .run();
         assert!(result.summary.rows.iter().all(|r| r.verified.is_none()));
+    }
+
+    #[test]
+    fn ablation_variants_route_under_their_own_configs() {
+        let result = SuiteRunner::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        })
+        .device(Device::ibm_q20_tokyo())
+        .entries(small_entries(2))
+        .variant(RouterVariant::codar("full", CodarConfig::default()))
+        .variant(RouterVariant::codar(
+            "no duration",
+            CodarConfig {
+                enable_duration_awareness: false,
+                ..CodarConfig::default()
+            },
+        ))
+        .run();
+        assert_eq!(result.stats.jobs, 4);
+        assert!(result.failures.is_empty());
+        let labels: Vec<_> = result
+            .summary
+            .rows
+            .iter()
+            .map(|r| r.variant.as_str())
+            .collect();
+        assert!(labels.contains(&"full") && labels.contains(&"no duration"));
+        // No "codar"/"sabre" labels, so no speedup comparisons.
+        assert!(result.summary.comparisons.is_empty());
+    }
+
+    #[test]
+    fn per_variant_initial_mappings_differ_from_shared_protocol() {
+        let shared = SuiteRunner::new(EngineConfig {
+            threads: 1,
+            routers: vec![RouterKind::Codar],
+            ..EngineConfig::default()
+        })
+        .device(Device::ibm_q20_tokyo())
+        .entries(small_entries(3))
+        .run();
+        let own = SuiteRunner::new(EngineConfig {
+            threads: 1,
+            shared_initial_mapping: false,
+            ..EngineConfig::default()
+        })
+        .device(Device::ibm_q20_tokyo())
+        .entries(small_entries(3))
+        .variant(RouterVariant::codar(
+            "identity",
+            CodarConfig {
+                initial_mapping: InitialMapping::Identity,
+                ..CodarConfig::default()
+            },
+        ))
+        .run();
+        assert!(shared.failures.is_empty() && own.failures.is_empty());
+        assert!(own.summary.rows.iter().all(|r| r.verified == Some(true)));
+    }
+
+    #[test]
+    fn keep_routed_attaches_circuits() {
+        let result = SuiteRunner::new(EngineConfig {
+            threads: 1,
+            keep_routed: true,
+            ..EngineConfig::default()
+        })
+        .device(Device::ibm_q20_tokyo())
+        .entries(small_entries(2))
+        .run();
+        for row in &result.summary.rows {
+            let routed = row.routed.as_ref().expect("keep_routed attaches circuits");
+            assert_eq!(routed.gate_count(), row.output_gates);
+        }
+    }
+
+    #[test]
+    fn noise_jobs_report_fidelity_and_stay_deterministic() {
+        let run = |threads: usize| {
+            SuiteRunner::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            })
+            .device(Device::ibm_q20_tokyo())
+            .entries(small_entries(3))
+            .noise(NoiseSpec::new(
+                "dephasing",
+                NoiseModel::dephasing_dominant(),
+                8,
+            ))
+            .noise(NoiseSpec::new("damping", NoiseModel::damping_dominant(), 8))
+            .run()
+        };
+        let one = run(1);
+        let four = run(4);
+        // One job per (circuit, variant) cell; each emits a report per
+        // noise regime without re-routing.
+        assert_eq!(one.stats.jobs, 3 * 2);
+        assert_eq!(one.summary.rows.len(), 3 * 2 * 2);
+        assert!(one.failures.is_empty());
+        assert!(one.summary.rows.iter().all(|r| {
+            let f = r.fidelity.expect("noise jobs must report fidelity");
+            f.mean > 0.0 && f.mean <= 1.0 + 1e-9 && f.trajectories == 8
+        }));
+        assert_eq!(
+            one.summary.to_json(),
+            four.summary.to_json(),
+            "fidelity summaries must be byte-identical across thread counts"
+        );
     }
 }

@@ -17,7 +17,7 @@
 //! Classical conditions (`if (c == n) …`) are flattened to their guarded
 //! operation: qubit mapping must produce hardware-compliant circuits for
 //! either branch, so conditions are irrelevant to routing (they are
-//! recorded in [`FlatOp::conditional`] for completeness).
+//! recorded in the flat ops' `conditional` field for completeness).
 
 use crate::ast::{Argument, Expr, GateBodyStmt, GateCall, GateDef, Program, Statement};
 use crate::error::{QasmError, QasmErrorKind};

@@ -183,9 +183,9 @@ fn fmt_call(call: &crate::ast::GateCall) -> String {
     out
 }
 
-/// Pretty-prints a parsed [`Program`] back to OpenQASM source,
+/// Pretty-prints a parsed [`crate::ast::Program`] back to OpenQASM source,
 /// preserving gate definitions, includes and conditionals (unlike
-/// [`write`], which operates on the flattened form).
+/// [`write()`], which operates on the flattened form).
 ///
 /// # Examples
 ///

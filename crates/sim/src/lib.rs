@@ -11,7 +11,7 @@
 //! * [`exec`] — schedule-aware execution: each qubit accumulates noise
 //!   for exactly the cycles it spends between gates, so *shorter
 //!   schedules suffer less decoherence* — the effect CODAR exploits,
-//! * [`fidelity`] — Monte-Carlo trajectory fidelity estimation.
+//! * [`mod@fidelity`] — Monte-Carlo trajectory fidelity estimation.
 //!
 //! # Examples
 //!

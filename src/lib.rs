@@ -9,7 +9,9 @@
 //! * [`arch`] — maQAM devices, coupling graphs, durations,
 //! * [`router`] — the CODAR remapper and the SABRE baseline,
 //! * [`sim`] — noisy state-vector simulation,
-//! * [`benchmarks`] — benchmark generators and the 71-circuit suite.
+//! * [`benchmarks`] — benchmark generators and the 71-circuit suite,
+//! * [`engine`] — the parallel suite-routing engine every paper
+//!   experiment runs on (see `ARCHITECTURE.md`).
 //!
 //! # Examples
 //!
@@ -28,6 +30,7 @@
 pub use codar_arch as arch;
 pub use codar_benchmarks as benchmarks;
 pub use codar_circuit as circuit;
+pub use codar_engine as engine;
 pub use codar_qasm as qasm;
 pub use codar_router as router;
 pub use codar_sim as sim;
