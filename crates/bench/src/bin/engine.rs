@@ -13,8 +13,14 @@
 //!
 //! `--timings PATH` writes the run's [`codar_engine::RunStats`] as
 //! JSON — the `BENCH_timings.json` perf baseline (circuits/sec, mean
-//! route time per router, pool speedup; plus the measured speedup vs
-//! 1 thread under `--check-determinism`).
+//! route time per router, pool speedup; plus, under
+//! `--check-determinism`, the measured speedup vs 1 thread and the
+//! contention-free `per_router_1_thread` means the perf gate reads).
+//!
+//! All output files are gated on run health: if any job fails to
+//! route or verify, the binary exits non-zero **before** writing
+//! `--json`/`--csv`/`--timings`, so a broken run can never become the
+//! committed baseline.
 
 use codar_arch::Device;
 use codar_bench::check_health;
@@ -203,13 +209,17 @@ fn run(args: &Args) -> Result<(), String> {
             parallel.stats.wall,
             single.stats.wall.as_secs_f64() / parallel.stats.wall.as_secs_f64().max(1e-9),
         );
-        write_outputs(args, &parallel, Some(&single.stats))?;
-        check_health(&parallel)
+        // Health gates the outputs: a run with failed or unverified
+        // jobs must exit non-zero *without* emitting summary or timing
+        // files, so a broken run can never become the perf baseline.
+        check_health(&single)?;
+        check_health(&parallel)?;
+        write_outputs(args, &parallel, Some(&single.stats))
     } else {
         let result = run_once(args, args.threads);
         print_result(&result);
-        write_outputs(args, &result, None)?;
-        check_health(&result)
+        check_health(&result)?;
+        write_outputs(args, &result, None)
     }
 }
 

@@ -1,0 +1,127 @@
+//! Router hot-path benchmarks at the `codar-router` level: scratch
+//! reuse vs fresh allocation, the cached CF front, and the incremental
+//! SWAP scorer. Run with `cargo bench -p codar-router`.
+
+use codar_arch::Device;
+use codar_benchmarks::generators;
+use codar_router::front::{CommutativeFront, DEFAULT_WINDOW};
+use codar_router::heuristic::{priority, SwapScorer};
+use codar_router::{CodarRouter, Mapping, RouterScratch, SabreRouter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// CODAR and SABRE steady-state routing: one scratch reused across
+/// iterations (the engine-worker hot path) vs a fresh scratch per call.
+fn bench_scratch_reuse(c: &mut Criterion) {
+    let device = Device::ibm_q20_tokyo();
+    let mut group = c.benchmark_group("scratch_reuse");
+    for &n in &[8usize, 16] {
+        let circuit = generators::qft(n);
+        let initial = Mapping::identity(n, device.num_qubits());
+        let codar = CodarRouter::new(&device);
+        let mut scratch = RouterScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("codar_reused", n),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    black_box(
+                        codar
+                            .route_with_scratch(circuit, initial.clone(), &mut scratch)
+                            .expect("qft fits"),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("codar_fresh", n),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    black_box(
+                        codar
+                            .route_with_mapping(circuit, initial.clone())
+                            .expect("qft fits"),
+                    )
+                });
+            },
+        );
+        let sabre = SabreRouter::new(&device);
+        group.bench_with_input(
+            BenchmarkId::new("sabre_reused", n),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    black_box(
+                        sabre
+                            .route_with_scratch(circuit, initial.clone(), &mut scratch)
+                            .expect("qft fits"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The cached CF front: steady-state queries (cache hits between
+/// emissions) vs a full rebuild per query.
+fn bench_cf_cache(c: &mut Criterion) {
+    let circuit = generators::random_clifford_t(20, 1000, 3);
+    c.bench_function("cf_cached_query", |b| {
+        let mut front = CommutativeFront::new(&circuit, true, DEFAULT_WINDOW);
+        front.cf_gates(&circuit); // warm the cache
+        b.iter(|| black_box(front.cf_gates(&circuit).len()));
+    });
+    c.bench_function("cf_rebuild", |b| {
+        b.iter(|| {
+            let mut front = CommutativeFront::new(&circuit, true, DEFAULT_WINDOW);
+            black_box(front.cf_gates(&circuit).len())
+        });
+    });
+}
+
+/// Incremental SWAP scoring vs the reference full re-summation, on a
+/// Sycamore-sized pair set.
+fn bench_swap_scoring(c: &mut Criterion) {
+    let device = Device::google_sycamore54();
+    let dist = device.distances();
+    let layout = device.layout();
+    let graph = device.graph();
+    let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, 53 - i)).collect();
+    let edges: Vec<(usize, usize)> = (0..device.num_qubits())
+        .flat_map(|a| {
+            graph
+                .neighbors(a)
+                .iter()
+                .map(move |&b| (a.min(b), a.max(b)))
+        })
+        .collect();
+    c.bench_function("score_incremental_54q", |b| {
+        let mut scorer = SwapScorer::new();
+        b.iter(|| {
+            scorer.begin_round(&pairs, device.num_qubits(), layout);
+            let mut acc = 0i64;
+            for &edge in &edges {
+                acc += scorer.priority(edge, &pairs, dist, layout, true).basic;
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("score_reference_54q", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &edge in &edges {
+                acc += priority(edge, &pairs, dist, layout, true).basic;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scratch_reuse, bench_cf_cache, bench_swap_scoring
+}
+criterion_main!(benches);

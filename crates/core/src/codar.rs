@@ -25,9 +25,10 @@ use crate::heuristic::{priority, SwapPriority};
 use crate::locks::QubitLocks;
 use crate::mapping::{InitialMapping, Mapping};
 use crate::result::RoutedCircuit;
+use crate::scratch::RouterScratch;
 use codar_arch::{Device, GateDurations};
 use codar_circuit::schedule::{Schedule, Time};
-use codar_circuit::{Circuit, Gate, GateKind};
+use codar_circuit::{Circuit, GateKind};
 
 /// Tuning knobs for [`CodarRouter`]. The defaults reproduce the paper's
 /// configuration; the `enable_*` flags exist for the ablation studies.
@@ -61,7 +62,11 @@ impl Default for CodarConfig {
     }
 }
 
-/// The CODAR router bound to a device.
+/// The CODAR router bound to a (borrowed) device.
+///
+/// The router holds `&Device` rather than a clone: constructing one is
+/// free, and the engine can stamp out a router per job without copying
+/// distance matrices around.
 ///
 /// # Examples
 ///
@@ -83,26 +88,23 @@ impl Default for CodarConfig {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct CodarRouter {
-    device: Device,
+pub struct CodarRouter<'d> {
+    device: &'d Device,
     config: CodarConfig,
 }
 
-impl CodarRouter {
+impl<'d> CodarRouter<'d> {
     /// Creates a router with the default (paper) configuration.
-    pub fn new(device: &Device) -> Self {
+    pub fn new(device: &'d Device) -> Self {
         CodarRouter {
-            device: device.clone(),
+            device,
             config: CodarConfig::default(),
         }
     }
 
     /// Creates a router with an explicit configuration.
-    pub fn with_config(device: &Device, config: CodarConfig) -> Self {
-        CodarRouter {
-            device: device.clone(),
-            config,
-        }
+    pub fn with_config(device: &'d Device, config: CodarConfig) -> Self {
+        CodarRouter { device, config }
     }
 
     /// The configuration in use.
@@ -121,9 +123,25 @@ impl CodarRouter {
     /// * [`RouteError::Disconnected`] when a two-qubit gate's operands
     ///   sit in different components of the coupling graph.
     pub fn route(&self, circuit: &Circuit) -> Result<RoutedCircuit, RouteError> {
-        validate(circuit, &self.device)?;
-        let pi0 = self.config.initial_mapping.build(circuit, &self.device);
-        self.route_with_mapping(circuit, pi0)
+        self.route_scratch(circuit, &mut RouterScratch::new())
+    }
+
+    /// Routes `circuit` as [`CodarRouter::route`], reusing `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CodarRouter::route`].
+    pub fn route_scratch(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut RouterScratch,
+    ) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, self.device)?;
+        let pi0 = self
+            .config
+            .initial_mapping
+            .build_scratch(circuit, self.device, scratch);
+        self.route_with_scratch(circuit, pi0, scratch)
     }
 
     /// Routes `circuit` starting from an explicit initial mapping
@@ -138,30 +156,51 @@ impl CodarRouter {
         circuit: &Circuit,
         initial: Mapping,
     ) -> Result<RoutedCircuit, RouteError> {
-        validate(circuit, &self.device)?;
-        let device = &self.device;
+        self.route_with_scratch(circuit, initial, &mut RouterScratch::new())
+    }
+
+    /// Routes `circuit` from an explicit initial mapping, reusing the
+    /// buffers in `scratch` — the hot path for bulk routing (one
+    /// scratch per engine worker). Results are identical whether a
+    /// scratch is fresh or reused.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CodarRouter::route`].
+    pub fn route_with_scratch(
+        &self,
+        circuit: &Circuit,
+        initial: Mapping,
+        scratch: &mut RouterScratch,
+    ) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, self.device)?;
+        let device = self.device;
         let graph = device.graph();
         let dist = device.distances();
+        let num_qubits = device.num_qubits();
         let layout = if self.config.enable_hfine {
             device.layout()
         } else {
             None
         };
-        let route_tau: GateDurations = if self.config.enable_duration_awareness {
-            device.durations().clone()
+        let uniform_tau;
+        let route_tau: &GateDurations = if self.config.enable_duration_awareness {
+            device.durations()
         } else {
-            GateDurations::uniform()
+            uniform_tau = GateDurations::uniform();
+            &uniform_tau
         };
         let swap_dur = route_tau.of_kind(GateKind::Swap);
+        scratch.begin_device(num_qubits);
 
         let mut pi = initial.clone();
-        let mut locks = QubitLocks::new(device.num_qubits());
+        let mut locks = QubitLocks::new(num_qubits);
         let mut front = CommutativeFront::new(
             circuit,
             self.config.enable_commutativity,
             self.config.window,
         );
-        let mut out = Circuit::with_bits(device.num_qubits(), circuit.num_bits());
+        let mut out = Circuit::with_bits(num_qubits, circuit.num_bits());
         let mut starts: Vec<Time> = Vec::with_capacity(circuit.len());
         let mut now: Time = 0;
         let mut swaps_inserted = 0usize;
@@ -169,29 +208,39 @@ impl CodarRouter {
 
         while !front.is_done() {
             // Steps 1-2: launch every executable CF gate, to fixpoint.
+            // The CF set is snapshotted into scratch so the front can
+            // shrink while we iterate it.
             let mut launched = false;
             loop {
-                let cf = front.cf_gates(circuit);
+                scratch.cf.clear();
+                scratch.cf.extend_from_slice(front.cf_gates(circuit));
                 let mut launched_this_pass = false;
-                for g in cf {
+                for &g in &scratch.cf {
                     let gate = &circuit.gates()[g];
-                    let phys: Vec<usize> = gate.qubits.iter().map(|&q| pi.phys_of(q)).collect();
-                    if !locks.all_free(&phys, now) {
+                    scratch.phys.clear();
+                    scratch
+                        .phys
+                        .extend(gate.qubits.iter().map(|&q| pi.phys_of(q)));
+                    if !locks.all_free(&scratch.phys, now) {
                         continue;
                     }
                     let executable = match gate.kind {
                         GateKind::Barrier => true,
-                        _ if phys.len() == 2 => graph.are_adjacent(phys[0], phys[1]),
+                        _ if scratch.phys.len() == 2 => {
+                            graph.are_adjacent(scratch.phys[0], scratch.phys[1])
+                        }
                         _ => true, // 1-qubit operations
                     };
                     if !executable {
                         continue;
                     }
                     let dur = route_tau.of(gate);
-                    for &p in &phys {
+                    for &p in &scratch.phys {
                         locks.acquire(p, now, dur);
                     }
-                    out.push(remap_gate(gate, &phys));
+                    let mut mapped = gate.clone();
+                    mapped.qubits.copy_from_slice(&scratch.phys);
+                    out.push(mapped);
                     starts.push(now);
                     front.emit(g, circuit);
                     launched_this_pass = true;
@@ -206,51 +255,67 @@ impl CodarRouter {
             }
 
             // Step 3: greedy positive-priority SWAP insertion.
-            let cf = front.cf_gates(circuit);
-            let cf_two_qubit: Vec<usize> = cf
-                .iter()
-                .copied()
-                .filter(|&g| circuit.gates()[g].is_two_qubit())
-                .collect();
+            scratch.cf_two_qubit.clear();
+            for &g in front.cf_gates(circuit) {
+                if circuit.gates()[g].is_two_qubit() {
+                    scratch.cf_two_qubit.push(g);
+                }
+            }
             let mut swapped = false;
             loop {
                 // Physical endpoint pairs of every CF 2-qubit gate (Eq. 1
                 // sums over all of ICF), and the blocked (non-adjacent)
                 // subset that actually needs routing.
-                let cf_pairs: Vec<(usize, usize)> = cf_two_qubit
-                    .iter()
-                    .map(|&g| {
-                        let q = &circuit.gates()[g].qubits;
-                        (pi.phys_of(q[0]), pi.phys_of(q[1]))
-                    })
-                    .collect();
-                let blocked: Vec<(usize, usize)> = cf_pairs
-                    .iter()
-                    .copied()
-                    .filter(|&(a, b)| !graph.are_adjacent(a, b))
-                    .collect();
-                if blocked.is_empty() {
+                scratch.cf_pairs.clear();
+                for &g in &scratch.cf_two_qubit {
+                    let q = &circuit.gates()[g].qubits;
+                    scratch.cf_pairs.push((pi.phys_of(q[0]), pi.phys_of(q[1])));
+                }
+                scratch.blocked.clear();
+                for &(a, b) in &scratch.cf_pairs {
+                    if !graph.are_adjacent(a, b) {
+                        scratch.blocked.push((a, b));
+                    }
+                }
+                if scratch.blocked.is_empty() {
                     break;
                 }
                 // Candidate SWAPs: lock-free edges touching a blocked
-                // gate's endpoints.
-                let mut candidates: Vec<(usize, usize)> = Vec::new();
-                for &(pa, pb) in &blocked {
+                // gate's endpoints, stamp-deduplicated in O(1) each.
+                let stamp = scratch.next_stamp();
+                scratch.candidates.clear();
+                for bi in 0..scratch.blocked.len() {
+                    let (pa, pb) = scratch.blocked[bi];
                     for &endpoint in &[pa, pb] {
                         for &nb in graph.neighbors(endpoint) {
                             let edge = (endpoint.min(nb), endpoint.max(nb));
-                            if locks.all_free(&[edge.0, edge.1], now) && !candidates.contains(&edge)
+                            let id = edge.0 * num_qubits + edge.1;
+                            if locks.pair_free(edge.0, edge.1, now)
+                                && scratch.edge_stamp[id] != stamp
                             {
-                                candidates.push(edge);
+                                scratch.edge_stamp[id] = stamp;
+                                scratch.candidates.push(edge);
                             }
                         }
                     }
                 }
-                let best = candidates
+                // Incremental scoring: index the CF pairs once, then
+                // score each candidate on only the pairs it moves.
+                scratch
+                    .scorer
+                    .begin_round(&scratch.cf_pairs, num_qubits, layout);
+                let best = scratch
+                    .candidates
                     .iter()
                     .map(|&edge| {
                         (
-                            priority(edge, &cf_pairs, dist, layout, self.config.enable_hfine),
+                            scratch.scorer.priority(
+                                edge,
+                                &scratch.cf_pairs,
+                                dist,
+                                layout,
+                                self.config.enable_hfine,
+                            ),
                             edge,
                         )
                     })
@@ -293,7 +358,7 @@ impl CodarRouter {
             }
         }
 
-        let tau = device.durations().clone();
+        let tau = device.durations();
         let schedule = Schedule::asap(&out, |g| tau.of(g));
         Ok(RoutedCircuit {
             weighted_depth: schedule.makespan,
@@ -359,13 +424,6 @@ impl CodarRouter {
             .expect("a connected pair always has a distance-reducing neighbor")
             .1)
     }
-}
-
-/// Maps a logical gate onto its physical operands.
-fn remap_gate(gate: &Gate, phys: &[usize]) -> Gate {
-    let mut out = gate.clone();
-    out.qubits = phys.to_vec();
-    out
 }
 
 /// Shared input validation for the routers.

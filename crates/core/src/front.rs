@@ -23,9 +23,12 @@ pub const DEFAULT_WINDOW: usize = 16;
 /// Tracks the pending portion of a circuit and computes its CF set.
 ///
 /// The per-queue locally-CF scan is cached and invalidated only when a
-/// gate is emitted from that queue, so the common case (repeated CF
-/// queries between emissions) costs a cheap merge instead of an
-/// O(window²) commutation rescan per qubit.
+/// gate is emitted from that queue, and the merged CF set itself is
+/// cached between emissions, so the common case (repeated CF queries
+/// between emissions) returns a slice without recomputing — or
+/// allocating — anything. All buffers (per-queue caches, the qualify
+/// counters, the merged set) are reused across recomputations, so a
+/// routing loop in steady state allocates nothing here.
 #[derive(Debug, Clone)]
 pub struct CommutativeFront {
     queues: Vec<VecDeque<usize>>,
@@ -33,8 +36,22 @@ pub struct CommutativeFront {
     num_pending: usize,
     window: usize,
     commutativity: bool,
-    // cache[q] = locally-CF gate indices of queue q, None when stale.
-    cache: Vec<Option<Vec<usize>>>,
+    // cache[q] = locally-CF gate indices of queue q, stale when dirty.
+    cache: Vec<QueueCache>,
+    // How many of a gate's queues qualify it; zeroed outside cf_gates.
+    qualify: Vec<u32>,
+    // The merged CF set, valid while `cf_valid`.
+    cf: Vec<usize>,
+    cf_valid: bool,
+    // Pending gates with no qubit operands (always CF).
+    zero_qubit: Vec<usize>,
+}
+
+/// Reusable per-queue locally-CF cache entry.
+#[derive(Debug, Clone, Default)]
+struct QueueCache {
+    gates: Vec<usize>,
+    valid: bool,
 }
 
 impl CommutativeFront {
@@ -50,7 +67,10 @@ impl CommutativeFront {
                 queues[q].push_back(i);
             }
         }
-        let cache = vec![None; circuit.num_qubits()];
+        let cache = vec![QueueCache::default(); circuit.num_qubits()];
+        let zero_qubit = (0..circuit.len())
+            .filter(|&i| circuit.gates()[i].qubits.is_empty())
+            .collect();
         CommutativeFront {
             queues,
             pending: vec![true; circuit.len()],
@@ -58,13 +78,18 @@ impl CommutativeFront {
             window,
             commutativity,
             cache,
+            qualify: vec![0; circuit.len()],
+            cf: Vec::new(),
+            cf_valid: false,
+            zero_qubit,
         }
     }
 
-    fn locally_cf_of_queue(&self, q: usize, circuit: &Circuit) -> Vec<usize> {
+    fn refresh_queue_cache(&mut self, q: usize, circuit: &Circuit) {
         let queue = &self.queues[q];
         let limit = queue.len().min(self.window);
-        let mut out = Vec::with_capacity(limit.min(8));
+        let entry = &mut self.cache[q];
+        entry.gates.clear();
         for pos in 0..limit {
             let g = queue[pos];
             let locally_cf = if self.commutativity {
@@ -74,10 +99,10 @@ impl CommutativeFront {
                 pos == 0
             };
             if locally_cf {
-                out.push(g);
+                entry.gates.push(g);
             }
         }
-        out
+        entry.valid = true;
     }
 
     /// Number of gates not yet emitted.
@@ -95,41 +120,50 @@ impl CommutativeFront {
         self.pending[i]
     }
 
-    /// Computes the current CF set, in program order.
+    /// Computes the current CF set, in program order, returning a
+    /// cached slice (recomputed only after an emission invalidated it).
     ///
     /// A gate qualifies iff it is *locally CF* in every queue it belongs
     /// to: within the scan window and commuting with every earlier entry
     /// of that queue. Gates with no qubit operands qualify trivially.
-    pub fn cf_gates(&mut self, circuit: &Circuit) -> Vec<usize> {
+    pub fn cf_gates(&mut self, circuit: &Circuit) -> &[usize] {
+        if self.cf_valid {
+            return &self.cf;
+        }
         // Refresh stale per-queue caches.
         for q in 0..self.queues.len() {
-            if self.cache[q].is_none() {
-                self.cache[q] = Some(self.locally_cf_of_queue(q, circuit));
+            if !self.cache[q].valid {
+                self.refresh_queue_cache(q, circuit);
             }
         }
-        let mut qualify_count: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
-        for cached in self.cache.iter().flatten() {
-            for &g in cached {
-                *qualify_count.entry(g).or_insert(0) += 1;
+        // Count, per gate, how many of its queues expose it as locally
+        // CF; it joins the front exactly when the count reaches its
+        // operand count (each queue contributes at most one increment).
+        self.cf.clear();
+        for entry in &self.cache {
+            for &g in &entry.gates {
+                self.qualify[g] += 1;
+                if self.qualify[g] as usize == circuit.gates()[g].qubits.len() {
+                    self.cf.push(g);
+                }
             }
         }
-        let mut cf: Vec<usize> = qualify_count
-            .into_iter()
-            .filter(|&(g, count)| count == circuit.gates()[g].qubits.len())
-            .map(|(g, _)| g)
-            .collect();
+        // Zero the counters we touched (only those — no O(circuit) pass).
+        for entry in &self.cache {
+            for &g in &entry.gates {
+                self.qualify[g] = 0;
+            }
+        }
         // Gates with no qubit operands (possible only for synthetic
         // barriers) are always CF.
-        cf.extend(
-            (0..circuit.len()).filter(|&i| self.pending[i] && circuit.gates()[i].qubits.is_empty()),
-        );
-        cf.sort_unstable();
-        cf
+        self.cf.extend_from_slice(&self.zero_qubit);
+        self.cf.sort_unstable();
+        self.cf_valid = true;
+        &self.cf
     }
 
     /// Emits gate `i`: removes it from all queues (invalidating their
-    /// CF caches).
+    /// CF caches and the merged set).
     ///
     /// # Panics
     ///
@@ -138,13 +172,24 @@ impl CommutativeFront {
         assert!(self.pending[i], "gate {i} was already emitted");
         self.pending[i] = false;
         self.num_pending -= 1;
-        for &q in &circuit.gates()[i].qubits {
+        self.cf_valid = false;
+        let qubits = &circuit.gates()[i].qubits;
+        if qubits.is_empty() {
+            let pos = self
+                .zero_qubit
+                .iter()
+                .position(|&g| g == i)
+                .expect("pending zero-operand gate must be tracked");
+            self.zero_qubit.remove(pos);
+            return;
+        }
+        for &q in qubits {
             let pos = self.queues[q]
                 .iter()
                 .position(|&g| g == i)
                 .expect("pending gate must be in its qubit queues");
             self.queues[q].remove(pos);
-            self.cache[q] = None;
+            self.cache[q].valid = false;
         }
     }
 }
@@ -155,7 +200,9 @@ mod tests {
     use codar_circuit::Circuit;
 
     fn cf(circuit: &Circuit, commutativity: bool) -> Vec<usize> {
-        CommutativeFront::new(circuit, commutativity, DEFAULT_WINDOW).cf_gates(circuit)
+        CommutativeFront::new(circuit, commutativity, DEFAULT_WINDOW)
+            .cf_gates(circuit)
+            .to_vec()
     }
 
     #[test]
@@ -251,6 +298,84 @@ mod tests {
         c.h(0);
         // h·h = identity: both exposable.
         assert_eq!(cf(&c, true), vec![0, 1]);
+    }
+
+    /// The seed implementation of the CF set, straight from
+    /// Definition 1: rebuild the per-qubit queues from the pending set
+    /// and merge with a hash-map qualify count. The cached
+    /// [`CommutativeFront::cf_gates`] must return exactly this set
+    /// after any emission sequence.
+    fn naive_cf(circuit: &Circuit, front: &CommutativeFront) -> Vec<usize> {
+        let mut queues = vec![Vec::new(); circuit.num_qubits()];
+        for i in 0..circuit.len() {
+            if front.is_pending(i) {
+                for &q in &circuit.gates()[i].qubits {
+                    queues[q].push(i);
+                }
+            }
+        }
+        let mut count: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for queue in &queues {
+            let limit = queue.len().min(front.window);
+            for pos in 0..limit {
+                let g = queue[pos];
+                let ok = if front.commutativity {
+                    (0..pos).all(|e| commutes(&circuit.gates()[queue[e]], &circuit.gates()[g]))
+                } else {
+                    pos == 0
+                };
+                if ok {
+                    *count.entry(g).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut cf: Vec<usize> = count
+            .into_iter()
+            .filter(|&(g, c)| c == circuit.gates()[g].qubits.len())
+            .map(|(g, _)| g)
+            .collect();
+        cf.extend(
+            (0..circuit.len())
+                .filter(|&i| front.is_pending(i) && circuit.gates()[i].qubits.is_empty()),
+        );
+        cf.sort_unstable();
+        cf
+    }
+
+    #[test]
+    fn cached_cf_matches_naive_reference_across_emissions() {
+        // A mix of commuting chains, shared targets, barriers and
+        // 1q gates, emitted in a scrambled (but legal) order.
+        let mut c = Circuit::new(4);
+        c.cx(1, 3);
+        c.cx(2, 3);
+        c.t(0);
+        c.rz(0.25, 0);
+        c.cz(0, 1);
+        c.barrier(vec![0, 1, 2, 3]);
+        c.h(2);
+        c.cx(0, 2);
+        c.cx(2, 0);
+        c.measure(3, 0);
+        for window in [1, 2, DEFAULT_WINDOW] {
+            for commutativity in [true, false] {
+                let mut front = CommutativeFront::new(&c, commutativity, window);
+                while !front.is_done() {
+                    let expected = naive_cf(&c, &front);
+                    assert_eq!(
+                        front.cf_gates(&c),
+                        expected,
+                        "window {window}, commutativity {commutativity}"
+                    );
+                    // Repeated query must serve the cache unchanged.
+                    assert_eq!(front.cf_gates(&c), expected);
+                    // Emit the last CF gate to scramble emission order.
+                    let &g = front.cf_gates(&c).last().expect("nonempty while pending");
+                    front.emit(g, &c);
+                }
+                assert!(front.cf_gates(&c).is_empty());
+            }
+        }
     }
 
     #[test]

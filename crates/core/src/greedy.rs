@@ -12,6 +12,7 @@ use crate::codar::validate;
 use crate::error::RouteError;
 use crate::mapping::{InitialMapping, Mapping};
 use crate::result::RoutedCircuit;
+use crate::scratch::RouterScratch;
 use codar_arch::Device;
 use codar_circuit::schedule::Schedule;
 use codar_circuit::{Circuit, GateKind};
@@ -36,17 +37,17 @@ use codar_circuit::{Circuit, GateKind};
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct GreedyRouter {
-    device: Device,
+pub struct GreedyRouter<'d> {
+    device: &'d Device,
     initial_mapping: InitialMapping,
 }
 
-impl GreedyRouter {
+impl<'d> GreedyRouter<'d> {
     /// Creates a greedy router (identity initial mapping by default —
     /// the naive baseline has no mapping search either).
-    pub fn new(device: &Device) -> Self {
+    pub fn new(device: &'d Device) -> Self {
         GreedyRouter {
-            device: device.clone(),
+            device,
             initial_mapping: InitialMapping::Identity,
         }
     }
@@ -63,9 +64,24 @@ impl GreedyRouter {
     ///
     /// As for [`crate::CodarRouter::route`].
     pub fn route(&self, circuit: &Circuit) -> Result<RoutedCircuit, RouteError> {
-        validate(circuit, &self.device)?;
-        let initial = self.initial_mapping.build(circuit, &self.device);
-        self.route_with_mapping(circuit, initial)
+        self.route_scratch(circuit, &mut RouterScratch::new())
+    }
+
+    /// Routes `circuit` as [`GreedyRouter::route`], reusing `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::CodarRouter::route`].
+    pub fn route_scratch(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut RouterScratch,
+    ) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, self.device)?;
+        let initial = self
+            .initial_mapping
+            .build_scratch(circuit, self.device, scratch);
+        self.route_with_scratch(circuit, initial, scratch)
     }
 
     /// Routes `circuit` from an explicit initial mapping.
@@ -78,7 +94,23 @@ impl GreedyRouter {
         circuit: &Circuit,
         initial: Mapping,
     ) -> Result<RoutedCircuit, RouteError> {
-        validate(circuit, &self.device)?;
+        self.route_with_scratch(circuit, initial, &mut RouterScratch::new())
+    }
+
+    /// Routes `circuit` from an explicit initial mapping, reusing the
+    /// buffers in `scratch` (see
+    /// [`crate::CodarRouter::route_with_scratch`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::CodarRouter::route`].
+    pub fn route_with_scratch(
+        &self,
+        circuit: &Circuit,
+        initial: Mapping,
+        _scratch: &mut RouterScratch,
+    ) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, self.device)?;
         let graph = self.device.graph();
         let dist = self.device.distances();
         let mut pi = initial.clone();
@@ -101,12 +133,13 @@ impl GreedyRouter {
                     pi.apply_swap(x, y);
                 }
             }
-            let phys: Vec<usize> = gate.qubits.iter().map(|&q| pi.phys_of(q)).collect();
             let mut mapped = gate.clone();
-            mapped.qubits = phys;
+            for q in mapped.qubits.iter_mut() {
+                *q = pi.phys_of(*q);
+            }
             out.push(mapped);
         }
-        let tau = self.device.durations().clone();
+        let tau = self.device.durations();
         let schedule = Schedule::asap(&out, |g| tau.of(g));
         Ok(RoutedCircuit {
             weighted_depth: schedule.makespan,

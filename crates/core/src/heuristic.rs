@@ -90,6 +90,223 @@ pub fn priority(
     }
 }
 
+/// Incremental SWAP scorer: priority-per-candidate in `O(pairs touching
+/// the candidate's endpoints)` instead of `O(|ICF|)`.
+///
+/// [`priority`] re-walks every CF pair for every candidate edge, even
+/// though a SWAP only moves its own two endpoints — every pair touching
+/// neither endpoint contributes a candidate-independent constant. The
+/// scorer indexes the CF pairs by physical endpoint once per scoring
+/// round ([`SwapScorer::begin_round`]) and precomputes that constant
+/// (the `Hfine` base term), so [`SwapScorer::priority`] visits only the
+/// affected pairs. All arithmetic is the same integer arithmetic as the
+/// reference functions, so the returned [`SwapPriority`] is **equal**,
+/// not merely equivalent — `max_by` with the edge tie-break picks the
+/// identical SWAP (the property tests assert this).
+///
+/// The internal buffers are reused across rounds; steady-state scoring
+/// allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SwapScorer {
+    /// `pairs_of[p]` = indices into the round's `cf_pairs` of the pairs
+    /// with `p` as an endpoint. Only entries in `touched` are dirty.
+    pairs_of: Vec<Vec<u32>>,
+    touched: Vec<u32>,
+    /// Candidate-independent `Hfine` term: `-Σ imbalance(pa, pb)` over
+    /// every CF pair under the *current* mapping.
+    fine_base: i64,
+    /// Shape of the last `begin_round` (pair count, layout present) —
+    /// debug-asserted by `priority` to catch contract violations.
+    round: (usize, bool),
+}
+
+impl SwapScorer {
+    /// An empty scorer; buffers grow on first use.
+    pub fn new() -> Self {
+        SwapScorer::default()
+    }
+
+    /// Indexes `cf_pairs` by endpoint and precomputes the fine-term
+    /// base. Call once per scoring round — the CF pair set changes
+    /// after every accepted SWAP. Pass the layout only when `Hfine` is
+    /// enabled (mirroring [`priority`]'s `use_fine`/`layout` contract).
+    pub fn begin_round(
+        &mut self,
+        cf_pairs: &[(usize, usize)],
+        num_qubits: usize,
+        layout: Option<&Layout2d>,
+    ) {
+        for &q in &self.touched {
+            self.pairs_of[q as usize].clear();
+        }
+        self.touched.clear();
+        if self.pairs_of.len() < num_qubits {
+            self.pairs_of.resize_with(num_qubits, Vec::new);
+        }
+        self.fine_base = 0;
+        self.round = (cf_pairs.len(), layout.is_some());
+        for (i, &(pa, pb)) in cf_pairs.iter().enumerate() {
+            if self.pairs_of[pa].is_empty() {
+                self.touched.push(pa as u32);
+            }
+            self.pairs_of[pa].push(i as u32);
+            if pb != pa {
+                if self.pairs_of[pb].is_empty() {
+                    self.touched.push(pb as u32);
+                }
+                self.pairs_of[pb].push(i as u32);
+            }
+            if let Some(layout) = layout {
+                self.fine_base -= layout.axis_imbalance(pa, pb) as i64;
+            }
+        }
+    }
+
+    /// Computes the same [`SwapPriority`] as [`priority`] for `swap`,
+    /// visiting only the CF pairs that touch its endpoints.
+    ///
+    /// `cf_pairs` and `layout` must be the slices passed to the last
+    /// [`SwapScorer::begin_round`].
+    pub fn priority(
+        &self,
+        swap: (usize, usize),
+        cf_pairs: &[(usize, usize)],
+        dist: &DistanceMatrix,
+        layout: Option<&Layout2d>,
+        use_fine: bool,
+    ) -> SwapPriority {
+        debug_assert_eq!(
+            self.round,
+            (cf_pairs.len(), layout.is_some()),
+            "priority() called with different cf_pairs/layout than the last begin_round()"
+        );
+        let mut basic = 0i64;
+        let mut fine_delta = 0i64;
+        let mut visit = |i: u32| {
+            let (pa, pb) = cf_pairs[i as usize];
+            let na = through_swap(pa, swap);
+            let nb = through_swap(pb, swap);
+            basic += dist.get(pa, pb) as i64 - dist.get(na, nb) as i64;
+            if let Some(layout) = layout {
+                fine_delta +=
+                    layout.axis_imbalance(pa, pb) as i64 - layout.axis_imbalance(na, nb) as i64;
+            }
+        };
+        if let Some(list) = self.pairs_of.get(swap.0) {
+            for &i in list {
+                visit(i);
+            }
+        }
+        if let Some(list) = self.pairs_of.get(swap.1) {
+            for &i in list {
+                let (pa, pb) = cf_pairs[i as usize];
+                if pa == swap.0 || pb == swap.0 {
+                    continue; // already visited via the other endpoint
+                }
+                visit(i);
+            }
+        }
+        SwapPriority {
+            basic,
+            fine: if use_fine && layout.is_some() {
+                self.fine_base + fine_delta
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// Endpoint-indexed pair distances with an incremental
+/// "total distance if this SWAP were applied" query — the SABRE analog
+/// of [`SwapScorer`]. The base sum is held exactly (in `u64`), so
+/// [`PairDistIndex::sum_through`] returns the same integer the
+/// reference per-candidate re-summation produces.
+#[derive(Debug, Clone, Default)]
+pub struct PairDistIndex {
+    pairs_of: Vec<Vec<u32>>,
+    touched: Vec<u32>,
+    base: u64,
+    /// Pair count of the last `begin_round`, debug-asserted by
+    /// `sum_through` to catch contract violations.
+    round_len: usize,
+}
+
+impl PairDistIndex {
+    /// An empty index; buffers grow on first use.
+    pub fn new() -> Self {
+        PairDistIndex::default()
+    }
+
+    /// Indexes `pairs` by endpoint and sums their current distances.
+    pub fn begin_round(
+        &mut self,
+        pairs: &[(usize, usize)],
+        dist: &DistanceMatrix,
+        num_qubits: usize,
+    ) {
+        for &q in &self.touched {
+            self.pairs_of[q as usize].clear();
+        }
+        self.touched.clear();
+        if self.pairs_of.len() < num_qubits {
+            self.pairs_of.resize_with(num_qubits, Vec::new);
+        }
+        self.base = 0;
+        self.round_len = pairs.len();
+        for (i, &(pa, pb)) in pairs.iter().enumerate() {
+            if self.pairs_of[pa].is_empty() {
+                self.touched.push(pa as u32);
+            }
+            self.pairs_of[pa].push(i as u32);
+            if pb != pa {
+                if self.pairs_of[pb].is_empty() {
+                    self.touched.push(pb as u32);
+                }
+                self.pairs_of[pb].push(i as u32);
+            }
+            self.base += dist.get(pa, pb) as u64;
+        }
+    }
+
+    /// Total pair distance under the mapping that `swap` would produce:
+    /// the cached base plus the delta of the affected pairs only.
+    pub fn sum_through(
+        &self,
+        swap: (usize, usize),
+        pairs: &[(usize, usize)],
+        dist: &DistanceMatrix,
+    ) -> u64 {
+        debug_assert_eq!(
+            self.round_len,
+            pairs.len(),
+            "sum_through() called with different pairs than the last begin_round()"
+        );
+        let mut delta = 0i64;
+        let mut visit = |i: u32| {
+            let (pa, pb) = pairs[i as usize];
+            let na = through_swap(pa, swap);
+            let nb = through_swap(pb, swap);
+            delta += dist.get(na, nb) as i64 - dist.get(pa, pb) as i64;
+        };
+        if let Some(list) = self.pairs_of.get(swap.0) {
+            for &i in list {
+                visit(i);
+            }
+        }
+        if let Some(list) = self.pairs_of.get(swap.1) {
+            for &i in list {
+                let (pa, pb) = pairs[i as usize];
+                if pa == swap.0 || pb == swap.0 {
+                    continue;
+                }
+                visit(i);
+            }
+        }
+        (self.base as i64 + delta) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +379,108 @@ mod tests {
         let c = SwapPriority { basic: 2, fine: -3 };
         assert!(a > b);
         assert!(c > a);
+    }
+
+    /// Deterministic pseudo-random pair sets exercising the scorers
+    /// against the reference functions on a 4x4 grid.
+    fn pseudo_random_pairs(seed: u64, n: usize, count: usize) -> Vec<(usize, usize)> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as usize
+        };
+        (0..count)
+            .map(|_| {
+                let a = next() % n;
+                let b = (a + 1 + next() % (n - 1)) % n;
+                (a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swap_scorer_equals_reference_priority() {
+        let g = CouplingGraph::grid(4, 4);
+        let d = DistanceMatrix::new(&g);
+        let layout = Layout2d::grid(4, 4);
+        let mut scorer = SwapScorer::new();
+        for seed in 0..50u64 {
+            let pairs = pseudo_random_pairs(seed, 16, (seed % 7) as usize + 1);
+            for use_fine in [true, false] {
+                let l = if use_fine { Some(&layout) } else { None };
+                scorer.begin_round(&pairs, 16, l);
+                for a in 0..16usize {
+                    for &b in g.neighbors(a) {
+                        if b < a {
+                            continue;
+                        }
+                        let swap = (a, b);
+                        assert_eq!(
+                            scorer.priority(swap, &pairs, &d, l, use_fine),
+                            priority(swap, &pairs, &d, l, use_fine),
+                            "seed {seed}, swap {swap:?}, use_fine {use_fine}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_scorer_reuse_across_rounds_is_clean() {
+        // A big round followed by a small one: stale index entries from
+        // the big round must not leak into the small round's scores.
+        let g = CouplingGraph::grid(4, 4);
+        let d = DistanceMatrix::new(&g);
+        let layout = Layout2d::grid(4, 4);
+        let mut scorer = SwapScorer::new();
+        let big = pseudo_random_pairs(1, 16, 12);
+        scorer.begin_round(&big, 16, Some(&layout));
+        let small = [(0usize, 5usize)];
+        scorer.begin_round(&small, 16, Some(&layout));
+        for a in 0..16usize {
+            for &b in g.neighbors(a) {
+                if b < a {
+                    continue;
+                }
+                assert_eq!(
+                    scorer.priority((a, b), &small, &d, Some(&layout), true),
+                    priority((a, b), &small, &d, Some(&layout), true),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_dist_index_equals_reference_sum() {
+        let g = CouplingGraph::grid(4, 4);
+        let d = DistanceMatrix::new(&g);
+        let mut index = PairDistIndex::new();
+        for seed in 0..50u64 {
+            let pairs = pseudo_random_pairs(seed ^ 0xdead, 16, (seed % 9) as usize + 1);
+            index.begin_round(&pairs, &d, 16);
+            for a in 0..16usize {
+                for &b in g.neighbors(a) {
+                    if b < a {
+                        continue;
+                    }
+                    let swap = (a, b);
+                    let reference: u64 = pairs
+                        .iter()
+                        .map(|&(pa, pb)| {
+                            d.get(through_swap(pa, swap), through_swap(pb, swap)) as u64
+                        })
+                        .sum();
+                    assert_eq!(
+                        index.sum_through(swap, &pairs, &d),
+                        reference,
+                        "seed {seed}, swap {swap:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! * [`heuristic`] — the SWAP priority `⟨Hbasic, Hfine⟩` (Sec. IV-D),
 //! * [`codar`] — the CODAR event loop (Sec. IV-C, Fig. 4),
 //! * [`sabre`] — the SABRE baseline (Li et al., ASPLOS 2019),
+//! * [`scratch`] — reusable buffers keeping the router hot loops
+//!   allocation-free in steady state,
 //! * [`verify`] — routed-circuit validity and equivalence checks,
 //! * [`result`] — the [`RoutedCircuit`] output type.
 //!
@@ -64,6 +66,7 @@ pub mod locks;
 pub mod mapping;
 pub mod result;
 pub mod sabre;
+pub mod scratch;
 pub mod verify;
 
 pub use codar::{CodarConfig, CodarRouter};
@@ -72,3 +75,4 @@ pub use greedy::GreedyRouter;
 pub use mapping::{InitialMapping, Mapping};
 pub use result::RoutedCircuit;
 pub use sabre::{SabreConfig, SabreRouter};
+pub use scratch::RouterScratch;

@@ -61,6 +61,14 @@ impl QubitLocks {
         qs.iter().all(|&q| self.is_free(q, now))
     }
 
+    /// Whether both qubits of a pair are free at `now` — the swap
+    /// candidate loops call this instead of building a 2-element slice
+    /// for [`QubitLocks::all_free`].
+    #[inline]
+    pub fn pair_free(&self, a: usize, b: usize, now: Time) -> bool {
+        self.tend[a] <= now && self.tend[b] <= now
+    }
+
     /// Marks qubit `q` busy from `start` for `duration` cycles.
     ///
     /// # Panics
@@ -134,6 +142,20 @@ mod tests {
         assert!(!locks.is_free(2, 1));
         assert_eq!(locks.next_release_after(0), Some(1));
         assert_eq!(locks.next_release_after(1), Some(2));
+    }
+
+    #[test]
+    fn pair_free_matches_all_free() {
+        let mut locks = QubitLocks::new(3);
+        locks.acquire(1, 0, 2);
+        locks.acquire(2, 0, 5);
+        for now in 0..6 {
+            for a in 0..3 {
+                for b in 0..3 {
+                    assert_eq!(locks.pair_free(a, b, now), locks.all_free(&[a, b], now));
+                }
+            }
+        }
     }
 
     #[test]

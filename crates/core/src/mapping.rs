@@ -154,6 +154,21 @@ impl InitialMapping {
     /// Panics if the device is smaller than the circuit (callers check
     /// this and return [`crate::RouteError::TooManyQubits`] first).
     pub fn build(&self, circuit: &Circuit, device: &Device) -> Mapping {
+        self.build_scratch(circuit, device, &mut crate::scratch::RouterScratch::new())
+    }
+
+    /// As [`InitialMapping::build`], reusing `scratch` for the
+    /// strategies that route (reverse traversal runs two SABRE passes).
+    ///
+    /// # Panics
+    ///
+    /// As for [`InitialMapping::build`].
+    pub fn build_scratch(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        scratch: &mut crate::scratch::RouterScratch,
+    ) -> Mapping {
         let n = circuit.num_qubits();
         let big_n = device.num_qubits();
         match self {
@@ -166,7 +181,7 @@ impl InitialMapping {
                 Mapping::from_assignment(phys, big_n)
             }
             InitialMapping::SabreReverseTraversal { seed } => {
-                crate::sabre::reverse_traversal_mapping(circuit, device, *seed)
+                crate::sabre::reverse_traversal_mapping_scratch(circuit, device, *seed, scratch)
             }
             InitialMapping::DenseLayout => dense_layout(circuit, device),
             InitialMapping::Fixed(assignment) => {

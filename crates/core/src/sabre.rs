@@ -22,6 +22,7 @@ use crate::codar::validate;
 use crate::error::RouteError;
 use crate::mapping::Mapping;
 use crate::result::RoutedCircuit;
+use crate::scratch::RouterScratch;
 use codar_arch::Device;
 use codar_circuit::dag::FrontTracker;
 use codar_circuit::schedule::Schedule;
@@ -76,26 +77,23 @@ impl Default for SabreConfig {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct SabreRouter {
-    device: Device,
+pub struct SabreRouter<'d> {
+    device: &'d Device,
     config: SabreConfig,
 }
 
-impl SabreRouter {
+impl<'d> SabreRouter<'d> {
     /// Creates a router with the published default parameters.
-    pub fn new(device: &Device) -> Self {
+    pub fn new(device: &'d Device) -> Self {
         SabreRouter {
-            device: device.clone(),
+            device,
             config: SabreConfig::default(),
         }
     }
 
     /// Creates a router with an explicit configuration.
-    pub fn with_config(device: &Device, config: SabreConfig) -> Self {
-        SabreRouter {
-            device: device.clone(),
-            config,
-        }
+    pub fn with_config(device: &'d Device, config: SabreConfig) -> Self {
+        SabreRouter { device, config }
     }
 
     /// The configuration in use.
@@ -109,9 +107,23 @@ impl SabreRouter {
     ///
     /// As for [`crate::CodarRouter::route`].
     pub fn route(&self, circuit: &Circuit) -> Result<RoutedCircuit, RouteError> {
-        validate(circuit, &self.device)?;
-        let initial = reverse_traversal_mapping(circuit, &self.device, self.config.seed);
-        self.route_with_mapping(circuit, initial)
+        self.route_scratch(circuit, &mut RouterScratch::new())
+    }
+
+    /// Routes `circuit` as [`SabreRouter::route`], reusing `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::CodarRouter::route`].
+    pub fn route_scratch(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut RouterScratch,
+    ) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, self.device)?;
+        let initial =
+            reverse_traversal_mapping_scratch(circuit, self.device, self.config.seed, scratch);
+        self.route_with_scratch(circuit, initial, scratch)
     }
 
     /// Routes `circuit` from an explicit initial mapping.
@@ -124,10 +136,26 @@ impl SabreRouter {
         circuit: &Circuit,
         initial: Mapping,
     ) -> Result<RoutedCircuit, RouteError> {
-        validate(circuit, &self.device)?;
+        self.route_with_scratch(circuit, initial, &mut RouterScratch::new())
+    }
+
+    /// Routes `circuit` from an explicit initial mapping, reusing the
+    /// buffers in `scratch` (see
+    /// [`crate::CodarRouter::route_with_scratch`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::CodarRouter::route`].
+    pub fn route_with_scratch(
+        &self,
+        circuit: &Circuit,
+        initial: Mapping,
+        scratch: &mut RouterScratch,
+    ) -> Result<RoutedCircuit, RouteError> {
+        validate(circuit, self.device)?;
         let (out, final_mapping, swaps) =
-            route_core(circuit, &self.device, initial.clone(), &self.config)?;
-        let tau = self.device.durations().clone();
+            route_core(circuit, self.device, initial.clone(), &self.config, scratch)?;
+        let tau = self.device.durations();
         let schedule = Schedule::asap(&out, |g| tau.of(g));
         Ok(RoutedCircuit {
             weighted_depth: schedule.makespan,
@@ -144,18 +172,30 @@ impl SabreRouter {
 
 /// One forward SABRE pass. Returns the physical circuit, the final
 /// mapping and the output indices of the inserted SWAPs.
+///
+/// The pass reuses `scratch` for every per-tick collection (executable
+/// set, extended-set BFS, candidate edges, endpoint pairs) and scores
+/// candidates through the incremental
+/// [`crate::heuristic::PairDistIndex`] sums — the distance totals are
+/// held as exact integers, so every score is bit-identical to the
+/// per-candidate re-summation it replaces and `min_by` picks the same
+/// SWAP.
 fn route_core(
     circuit: &Circuit,
     device: &Device,
     mut pi: Mapping,
     config: &SabreConfig,
+    scratch: &mut RouterScratch,
 ) -> Result<(Circuit, Mapping, Vec<usize>), RouteError> {
     let graph = device.graph();
     let dist = device.distances();
+    let num_qubits = device.num_qubits();
     let dag = CircuitDag::new(circuit);
     let mut tracker = FrontTracker::new(&dag);
-    let mut out = Circuit::with_bits(device.num_qubits(), circuit.num_bits());
-    let mut decay = vec![1.0f64; device.num_qubits()];
+    let mut out = Circuit::with_bits(num_qubits, circuit.num_bits());
+    scratch.begin_device(num_qubits);
+    scratch.begin_circuit(circuit.len());
+    scratch.decay[..num_qubits].fill(1.0);
     let mut inserted_swaps: Vec<usize> = Vec::new();
     let mut swaps_since_reset = 0usize;
     // Safety valve: SABRE provably terminates with decay in practice,
@@ -166,28 +206,29 @@ fn route_core(
         // Execute every executable gate in the front layer.
         let mut executed = false;
         loop {
-            let executable: Vec<usize> = tracker
-                .front()
-                .iter()
-                .copied()
-                .filter(|&g| {
-                    let gate = &circuit.gates()[g];
-                    match gate.kind {
-                        GateKind::Barrier => true,
-                        _ if gate.qubits.len() == 2 => graph
-                            .are_adjacent(pi.phys_of(gate.qubits[0]), pi.phys_of(gate.qubits[1])),
-                        _ => true,
+            scratch.executable.clear();
+            for &g in tracker.front() {
+                let gate = &circuit.gates()[g];
+                let ok = match gate.kind {
+                    GateKind::Barrier => true,
+                    _ if gate.qubits.len() == 2 => {
+                        graph.are_adjacent(pi.phys_of(gate.qubits[0]), pi.phys_of(gate.qubits[1]))
                     }
-                })
-                .collect();
-            if executable.is_empty() {
+                    _ => true,
+                };
+                if ok {
+                    scratch.executable.push(g);
+                }
+            }
+            if scratch.executable.is_empty() {
                 break;
             }
-            for g in executable {
+            for &g in &scratch.executable {
                 let gate = &circuit.gates()[g];
-                let phys: Vec<usize> = gate.qubits.iter().map(|&q| pi.phys_of(q)).collect();
                 let mut mapped = gate.clone();
-                mapped.qubits = phys;
+                for q in mapped.qubits.iter_mut() {
+                    *q = pi.phys_of(*q);
+                }
                 out.push(mapped);
                 tracker.resolve(g, &dag);
             }
@@ -199,84 +240,109 @@ fn route_core(
         if executed {
             // Gate progress resets the decay window (as in the paper's
             // reference implementation).
-            decay.iter_mut().for_each(|d| *d = 1.0);
+            scratch.decay[..num_qubits].fill(1.0);
             swaps_since_reset = 0;
         }
 
         // All front gates are blocked two-qubit gates now. Collect the
         // extended set: successors of the front, breadth-first, bounded.
-        let front: Vec<usize> = tracker.front().to_vec();
-        let mut extended: Vec<usize> = Vec::new();
-        let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
-        let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
-        while let Some(g) = queue.pop_front() {
-            if extended.len() >= config.extended_set_size {
+        let front = tracker.front();
+        let stamp = scratch.next_stamp();
+        scratch.extended.clear();
+        scratch.bfs_queue.clear();
+        for &g in front {
+            scratch.gate_stamp[g] = stamp;
+            scratch.bfs_queue.push_back(g);
+        }
+        while let Some(g) = scratch.bfs_queue.pop_front() {
+            if scratch.extended.len() >= config.extended_set_size {
                 break;
             }
             for &s in dag.successors(g) {
-                if seen.insert(s) {
+                if scratch.gate_stamp[s] != stamp {
+                    scratch.gate_stamp[s] = stamp;
                     if circuit.gates()[s].qubits.len() == 2 {
-                        extended.push(s);
+                        scratch.extended.push(s);
                     }
-                    queue.push_back(s);
+                    scratch.bfs_queue.push_back(s);
                 }
             }
         }
 
-        // Candidate SWAPs: edges touching any front gate's endpoints.
-        let mut candidates: Vec<(usize, usize)> = Vec::new();
-        for &g in &front {
+        // Candidate SWAPs: edges touching any front gate's endpoints,
+        // stamp-deduplicated in O(1) each.
+        let stamp = scratch.next_stamp();
+        scratch.candidates.clear();
+        for &g in front {
             for &q in &circuit.gates()[g].qubits {
                 let p = pi.phys_of(q);
                 for &nb in graph.neighbors(p) {
                     let edge = (p.min(nb), p.max(nb));
-                    if !candidates.contains(&edge) {
-                        candidates.push(edge);
+                    let id = edge.0 * num_qubits + edge.1;
+                    if scratch.edge_stamp[id] != stamp {
+                        scratch.edge_stamp[id] = stamp;
+                        scratch.candidates.push(edge);
                     }
                 }
             }
         }
-        debug_assert!(!candidates.is_empty(), "front gates always touch edges");
+        debug_assert!(
+            !scratch.candidates.is_empty(),
+            "front gates always touch edges"
+        );
 
-        let score = |edge: (usize, usize), pi: &Mapping| -> f64 {
-            let dist_through = |g: usize| -> f64 {
-                let q = &circuit.gates()[g].qubits;
-                let mut a = pi.phys_of(q[0]);
-                let mut b = pi.phys_of(q[1]);
-                if a == edge.0 {
-                    a = edge.1;
-                } else if a == edge.1 {
-                    a = edge.0;
-                }
-                if b == edge.0 {
-                    b = edge.1;
-                } else if b == edge.1 {
-                    b = edge.0;
-                }
-                dist.get(a, b) as f64
-            };
-            let f_term: f64 = front
-                .iter()
-                .filter(|&&g| circuit.gates()[g].qubits.len() == 2)
-                .map(|&g| dist_through(g))
-                .sum::<f64>()
-                / front.len().max(1) as f64;
-            let e_term: f64 = if extended.is_empty() {
+        // Physical endpoint pairs of the front and extended gates,
+        // indexed once; each candidate then pays only for the pairs it
+        // actually moves.
+        scratch.front_pairs.clear();
+        for &g in front {
+            let q = &circuit.gates()[g].qubits;
+            if q.len() == 2 {
+                scratch
+                    .front_pairs
+                    .push((pi.phys_of(q[0]), pi.phys_of(q[1])));
+            }
+        }
+        scratch.extended_pairs.clear();
+        for &g in &scratch.extended {
+            let q = &circuit.gates()[g].qubits;
+            scratch
+                .extended_pairs
+                .push((pi.phys_of(q[0]), pi.phys_of(q[1])));
+        }
+        scratch
+            .front_index
+            .begin_round(&scratch.front_pairs, dist, num_qubits);
+        scratch
+            .extended_index
+            .begin_round(&scratch.extended_pairs, dist, num_qubits);
+
+        let front_len = front.len().max(1) as f64;
+        let extended_len = scratch.extended.len();
+        let score = |edge: (usize, usize)| -> f64 {
+            let f_sum = scratch
+                .front_index
+                .sum_through(edge, &scratch.front_pairs, dist);
+            let f_term = f_sum as f64 / front_len;
+            let e_term: f64 = if extended_len == 0 {
                 0.0
             } else {
-                config.extended_set_weight * extended.iter().map(|&g| dist_through(g)).sum::<f64>()
-                    / extended.len() as f64
+                let e_sum = scratch
+                    .extended_index
+                    .sum_through(edge, &scratch.extended_pairs, dist);
+                config.extended_set_weight * e_sum as f64 / extended_len as f64
             };
-            let decay_factor = decay[edge.0].max(decay[edge.1]);
+            let decay_factor = scratch.decay[edge.0].max(scratch.decay[edge.1]);
             decay_factor * (f_term + e_term)
         };
 
-        let best = candidates
+        let best = scratch
+            .candidates
             .iter()
             .copied()
             .min_by(|&a, &b| {
-                score(a, &pi)
-                    .partial_cmp(&score(b, &pi))
+                score(a)
+                    .partial_cmp(&score(b))
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.cmp(&b))
             })
@@ -285,16 +351,16 @@ fn route_core(
         inserted_swaps.push(out.len());
         out.add(GateKind::Swap, vec![best.0, best.1], vec![]);
         pi.apply_swap(best.0, best.1);
-        decay[best.0] += config.decay_delta;
-        decay[best.1] += config.decay_delta;
+        scratch.decay[best.0] += config.decay_delta;
+        scratch.decay[best.1] += config.decay_delta;
         swaps_since_reset += 1;
         if swaps_since_reset >= config.decay_reset_interval {
-            decay.iter_mut().for_each(|d| *d = 1.0);
+            scratch.decay[..num_qubits].fill(1.0);
             swaps_since_reset = 0;
         }
         if inserted_swaps.len() > budget {
             // A disconnected pair is the only way to make no progress.
-            let g = front[0];
+            let g = tracker.front()[0];
             let q = &circuit.gates()[g].qubits;
             return Err(RouteError::Disconnected {
                 a: pi.phys_of(q[0]),
@@ -316,16 +382,27 @@ fn route_core(
 /// Falls back to the identity mapping for circuits with no two-qubit
 /// gates or devices where routing fails (disconnected graphs).
 pub fn reverse_traversal_mapping(circuit: &Circuit, device: &Device, seed: u64) -> Mapping {
+    reverse_traversal_mapping_scratch(circuit, device, seed, &mut RouterScratch::new())
+}
+
+/// As [`reverse_traversal_mapping`], reusing `scratch` across the two
+/// underlying SABRE passes (the engine threads one scratch per worker).
+pub fn reverse_traversal_mapping_scratch(
+    circuit: &Circuit,
+    device: &Device,
+    seed: u64,
+    scratch: &mut RouterScratch,
+) -> Mapping {
     let config = SabreConfig {
         seed,
         ..SabreConfig::default()
     };
     let start = crate::mapping::InitialMapping::Random { seed }.build(circuit, device);
-    let Ok((_, after_forward, _)) = route_core(circuit, device, start, &config) else {
+    let Ok((_, after_forward, _)) = route_core(circuit, device, start, &config, scratch) else {
         return Mapping::identity(circuit.num_qubits(), device.num_qubits());
     };
     let reversed = circuit.reversed();
-    match route_core(&reversed, device, after_forward, &config) {
+    match route_core(&reversed, device, after_forward, &config, scratch) {
         Ok((_, after_backward, _)) => after_backward,
         Err(_) => Mapping::identity(circuit.num_qubits(), device.num_qubits()),
     }

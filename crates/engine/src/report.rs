@@ -164,8 +164,11 @@ impl RunStats {
 
     /// Serializes the timing baseline (the `BENCH_timings.json`
     /// payload). Pass the stats of a 1-thread run of the same matrix
-    /// as `baseline` to include the measured end-to-end speedup;
-    /// without one, `"speedup_vs_1_thread"` is `null`.
+    /// as `baseline` to include the measured end-to-end speedup and
+    /// the per-router 1-thread means (`"per_router_1_thread"` — the
+    /// contention-free mean_ms that perf work is gated on; the
+    /// top-level `"per_router"` means include pool contention when the
+    /// run was parallel). Without a baseline both are `null`.
     pub fn to_json(&self, baseline: Option<&RunStats>) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
@@ -202,23 +205,17 @@ impl RunStats {
             }
         }
         out.push_str("  \"per_router\": [\n");
-        for (i, t) in self.per_router.iter().enumerate() {
-            let _ = write!(
-                out,
-                "    {{\"router\": {}, \"jobs\": {}, \"total_seconds\": {:.6}, \
-                 \"mean_ms\": {:.3}}}",
-                json_string(&t.router),
-                t.jobs,
-                t.total.as_secs_f64(),
-                t.mean().as_secs_f64() * 1e3,
-            );
-            out.push_str(if i + 1 < self.per_router.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
+        out.push_str(&per_router_json(&self.per_router));
+        match baseline {
+            Some(single) => {
+                out.push_str("  ],\n  \"per_router_1_thread\": [\n");
+                out.push_str(&per_router_json(&single.per_router));
+                out.push_str("  ]\n}\n");
+            }
+            None => {
+                out.push_str("  ],\n  \"per_router_1_thread\": null\n}\n");
+            }
         }
-        out.push_str("  ]\n}\n");
         out
     }
 }
@@ -426,6 +423,25 @@ impl Summary {
         }
         out
     }
+}
+
+/// The shared `per_router` array body (rows indented for both the
+/// parallel and the 1-thread-baseline sections).
+fn per_router_json(timings: &[RouterTiming]) -> String {
+    let mut out = String::new();
+    for (i, t) in timings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"router\": {}, \"jobs\": {}, \"total_seconds\": {:.6}, \
+             \"mean_ms\": {:.3}}}",
+            json_string(&t.router),
+            t.jobs,
+            t.total.as_secs_f64(),
+            t.mean().as_secs_f64() * 1e3,
+        );
+        out.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    out
 }
 
 /// JSON string literal with escaping.
@@ -641,7 +657,11 @@ mod tests {
         assert!(json.contains("\"speedup_vs_1_thread\": 3.000"));
         assert!(json.contains("\"router\": \"codar\""));
         assert!(json.contains("\"mean_ms\": 200.000"));
+        // The baseline run's per-router means ride along for the
+        // contention-free perf gate.
+        assert!(json.contains("\"per_router_1_thread\": [\n"));
         let solo = stats.to_json(None);
         assert!(solo.contains("\"speedup_vs_1_thread\": null"));
+        assert!(solo.contains("\"per_router_1_thread\": null"));
     }
 }

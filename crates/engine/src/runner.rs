@@ -22,9 +22,9 @@ use crate::job::{build_matrix, EngineConfig, JobSpec, NoiseSpec, RouterKind, Rou
 use crate::report::{FidelityStats, RouteReport, RouterTiming, RunStats, Summary};
 use codar_arch::Device;
 use codar_benchmarks::suite::SuiteEntry;
-use codar_router::sabre::reverse_traversal_mapping;
+use codar_router::sabre::reverse_traversal_mapping_scratch;
 use codar_router::verify::{check_coupling, check_equivalence};
-use codar_router::{CodarRouter, GreedyRouter, Mapping, RoutedCircuit, SabreRouter};
+use codar_router::{CodarRouter, GreedyRouter, Mapping, RoutedCircuit, RouterScratch, SabreRouter};
 use codar_sim::FidelityReport;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -221,12 +221,18 @@ impl SuiteRunner {
                 let jobs = &jobs;
                 let mappings = &mappings;
                 let variants = &variants;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&job) = jobs.get(i) else { break };
-                    let outcome = self.run_job(job, variants, mappings);
-                    if tx.send((job, outcome)).is_err() {
-                        break;
+                scope.spawn(move || {
+                    // One scratch per worker: every route call on this
+                    // thread reuses the same buffers (results are
+                    // scratch-independent; see codar_router::scratch).
+                    let mut scratch = RouterScratch::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&job) = jobs.get(i) else { break };
+                        let outcome = self.run_job(job, variants, mappings, &mut scratch);
+                        if tx.send((job, outcome)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -304,6 +310,7 @@ impl SuiteRunner {
         job: JobSpec,
         variants: &[RouterVariant],
         mappings: &[OnceLock<Mapping>],
+        scratch: &mut RouterScratch,
     ) -> Result<Vec<RouteReport>, String> {
         let entry = &self.entries[job.entry];
         let device = &self.devices[job.device];
@@ -311,28 +318,35 @@ impl SuiteRunner {
         let started = Instant::now();
         let routed: RoutedCircuit = if self.config.shared_initial_mapping {
             let initial = mappings[job.device * self.entries.len() + job.entry]
-                .get_or_init(|| reverse_traversal_mapping(&entry.circuit, device, self.config.seed))
+                .get_or_init(|| {
+                    reverse_traversal_mapping_scratch(
+                        &entry.circuit,
+                        device,
+                        self.config.seed,
+                        scratch,
+                    )
+                })
                 .clone();
             match variant.kind {
                 RouterKind::Codar => CodarRouter::with_config(device, variant.codar.clone())
-                    .route_with_mapping(&entry.circuit, initial),
+                    .route_with_scratch(&entry.circuit, initial, scratch),
                 RouterKind::Sabre => SabreRouter::with_config(device, variant.sabre.clone())
-                    .route_with_mapping(&entry.circuit, initial),
+                    .route_with_scratch(&entry.circuit, initial, scratch),
                 RouterKind::Greedy => {
-                    GreedyRouter::new(device).route_with_mapping(&entry.circuit, initial)
+                    GreedyRouter::new(device).route_with_scratch(&entry.circuit, initial, scratch)
                 }
             }
         } else {
             // Each variant builds its own placement from its config —
             // the initial-mapping study protocol.
             match variant.kind {
-                RouterKind::Codar => {
-                    CodarRouter::with_config(device, variant.codar.clone()).route(&entry.circuit)
+                RouterKind::Codar => CodarRouter::with_config(device, variant.codar.clone())
+                    .route_scratch(&entry.circuit, scratch),
+                RouterKind::Sabre => SabreRouter::with_config(device, variant.sabre.clone())
+                    .route_scratch(&entry.circuit, scratch),
+                RouterKind::Greedy => {
+                    GreedyRouter::new(device).route_scratch(&entry.circuit, scratch)
                 }
-                RouterKind::Sabre => {
-                    SabreRouter::with_config(device, variant.sabre.clone()).route(&entry.circuit)
-                }
-                RouterKind::Greedy => GreedyRouter::new(device).route(&entry.circuit),
             }
         }
         .map_err(|e| e.to_string())?;
