@@ -24,6 +24,7 @@
 
 pub mod corpus;
 pub mod generators;
+pub mod mix;
 pub mod suite;
 
 pub use generators::{
@@ -31,4 +32,5 @@ pub use generators::{
     ising_qaoa, phase_estimation, qft, quantum_volume, random_clifford_t, ripple_counter,
     toffoli_chain, vqe_ansatz, w_state,
 };
+pub use mix::CircuitMix;
 pub use suite::{full_suite, SuiteEntry};

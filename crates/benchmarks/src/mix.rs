@@ -1,0 +1,203 @@
+//! Deterministic client workload mixes for the routing service.
+//!
+//! Real compilation services see heavily repeated inputs: users rerun
+//! the same parameterised circuits, frameworks resubmit identical
+//! kernels, CI replays fixed suites. [`CircuitMix`] models that as a
+//! seeded infinite stream over a pool of benchmark circuits where each
+//! draw is, with probability `repeat_ratio`, taken from a small **hot
+//! set** (the first few pool entries) and otherwise drawn uniformly
+//! from the whole pool. A result cache keyed by circuit content turns
+//! the hot draws into O(1) lookups, which is exactly what `loadgen`
+//! measures.
+//!
+//! Determinism: the stream depends only on `(pool, hot, repeat_ratio,
+//! seed)` — two mixes built with the same arguments yield the same
+//! sequence of entries forever.
+
+use crate::suite::{full_suite, SuiteEntry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The default pool for service workloads: the suite entries small
+/// enough that a single request routes in well under routing-suite
+/// scale (at most `max_qubits` qubits), in suite order.
+///
+/// # Examples
+///
+/// ```
+/// let pool = codar_benchmarks::mix::service_pool(10);
+/// assert!(!pool.is_empty());
+/// assert!(pool.iter().all(|e| e.num_qubits <= 10));
+/// ```
+pub fn service_pool(max_qubits: usize) -> Vec<SuiteEntry> {
+    full_suite()
+        .into_iter()
+        .filter(|e| e.num_qubits <= max_qubits)
+        .collect()
+}
+
+/// A seeded, infinite iterator over benchmark circuits with a
+/// configurable repeat ratio (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use codar_benchmarks::mix::CircuitMix;
+///
+/// let names: Vec<String> = CircuitMix::new(7, 0.95)
+///     .take(100)
+///     .map(|e| e.name)
+///     .collect();
+/// let replay: Vec<String> = CircuitMix::new(7, 0.95)
+///     .take(100)
+///     .map(|e| e.name)
+///     .collect();
+/// assert_eq!(names, replay); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitMix {
+    pool: Vec<SuiteEntry>,
+    hot: usize,
+    repeat_ratio: f64,
+    rng: StdRng,
+}
+
+impl CircuitMix {
+    /// Qubit bound of the default pool ([`service_pool`]).
+    pub const DEFAULT_MAX_QUBITS: usize = 10;
+    /// Hot-set size of the default mix.
+    pub const DEFAULT_HOT: usize = 4;
+
+    /// A mix over the default pool with a hot set of
+    /// [`CircuitMix::DEFAULT_HOT`] circuits.
+    ///
+    /// `repeat_ratio` is clamped to `[0, 1]`; at `0.95` roughly 19 of
+    /// 20 requests replay a hot circuit.
+    pub fn new(seed: u64, repeat_ratio: f64) -> Self {
+        CircuitMix::with_pool(
+            service_pool(Self::DEFAULT_MAX_QUBITS),
+            Self::DEFAULT_HOT,
+            seed,
+            repeat_ratio,
+        )
+    }
+
+    /// A mix over an explicit pool. The first `hot` entries form the
+    /// hot set (`hot` is clamped to the pool size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty.
+    pub fn with_pool(pool: Vec<SuiteEntry>, hot: usize, seed: u64, repeat_ratio: f64) -> Self {
+        assert!(!pool.is_empty(), "CircuitMix needs a non-empty pool");
+        let hot = hot.clamp(1, pool.len());
+        CircuitMix {
+            pool,
+            hot,
+            repeat_ratio: repeat_ratio.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying pool, hot set first.
+    pub fn pool(&self) -> &[SuiteEntry] {
+        &self.pool
+    }
+
+    /// Size of the hot set.
+    pub fn hot(&self) -> usize {
+        self.hot
+    }
+
+    /// Index into [`CircuitMix::pool`] of the next draw.
+    pub fn next_index(&mut self) -> usize {
+        if self.rng.gen_bool(self.repeat_ratio) {
+            self.rng.gen_range(0..self.hot)
+        } else {
+            self.rng.gen_range(0..self.pool.len())
+        }
+    }
+}
+
+impl Iterator for CircuitMix {
+    type Item = SuiteEntry;
+
+    /// Never `None`: the mix is an infinite replay stream.
+    fn next(&mut self) -> Option<SuiteEntry> {
+        let index = self.next_index();
+        Some(self.pool[index].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pool_is_small_circuits_only() {
+        let pool = service_pool(CircuitMix::DEFAULT_MAX_QUBITS);
+        assert!(pool.len() >= 10, "pool too small: {}", pool.len());
+        assert!(pool.iter().all(|e| e.num_qubits <= 10));
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<usize> = {
+            let mut mix = CircuitMix::new(42, 0.9);
+            (0..200).map(|_| mix.next_index()).collect()
+        };
+        let b: Vec<usize> = {
+            let mut mix = CircuitMix::new(42, 0.9);
+            (0..200).map(|_| mix.next_index()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<usize> = {
+            let mut mix = CircuitMix::new(43, 0.9);
+            (0..200).map(|_| mix.next_index()).collect()
+        };
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn high_repeat_ratio_concentrates_on_hot_set() {
+        let mut mix = CircuitMix::new(1, 0.95);
+        let hot = mix.hot();
+        let draws: Vec<usize> = (0..1000).map(|_| mix.next_index()).collect();
+        let hot_share = draws.iter().filter(|&&i| i < hot).count() as f64 / 1000.0;
+        assert!(hot_share > 0.9, "hot share only {hot_share}");
+    }
+
+    #[test]
+    fn zero_repeat_ratio_spreads_over_pool() {
+        let mut mix = CircuitMix::new(2, 0.0);
+        let pool_len = mix.pool().len();
+        let mut seen = vec![false; pool_len];
+        for _ in 0..2000 {
+            seen[mix.next_index()] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(
+            covered > pool_len / 2,
+            "only {covered}/{pool_len} pool entries drawn"
+        );
+    }
+
+    #[test]
+    fn iterator_yields_pool_entries() {
+        let mix = CircuitMix::new(3, 0.5);
+        let names: std::collections::BTreeSet<String> =
+            mix.pool().iter().map(|e| e.name.clone()).collect();
+        for entry in CircuitMix::new(3, 0.5).take(50) {
+            assert!(names.contains(&entry.name));
+            assert!(!entry.circuit.is_empty());
+        }
+    }
+
+    #[test]
+    fn hot_is_clamped_to_pool() {
+        let pool = service_pool(4);
+        let n = pool.len();
+        let mix = CircuitMix::with_pool(pool, 10_000, 0, 1.0);
+        assert_eq!(mix.hot(), n);
+    }
+}

@@ -87,7 +87,11 @@
 pub mod job;
 pub mod report;
 pub mod runner;
+pub mod worker;
 
 pub use job::{EngineConfig, JobSpec, NoiseSpec, RouterKind, RouterVariant};
-pub use report::{Comparison, FidelityStats, RouteReport, RouterTiming, RunStats, Summary};
+pub use report::{
+    Comparison, FidelityStats, RouteReport, RouterTiming, RunStats, Summary, TIMINGS_SCHEMA_VERSION,
+};
 pub use runner::{JobFailure, SuiteResult, SuiteRunner};
+pub use worker::RouteWorker;

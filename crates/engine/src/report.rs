@@ -149,6 +149,13 @@ pub struct RunStats {
     pub per_router: Vec<RouterTiming>,
 }
 
+/// Schema version stamped into every [`RunStats::to_json`] payload
+/// (`BENCH_timings.json` and the CI artifact). Consumers comparing
+/// timing baselines should check it first; bump it whenever the JSON
+/// shape changes so old and new files can never be diffed silently.
+/// Version 1 was the pre-versioned format; version 2 added this field.
+pub const TIMINGS_SCHEMA_VERSION: u32 = 2;
+
 impl RunStats {
     /// Completed jobs per wall-clock second — each job routes one
     /// circuit, so this is the engine's circuits/sec throughput.
@@ -171,6 +178,7 @@ impl RunStats {
     /// run was parallel). Without a baseline both are `null`.
     pub fn to_json(&self, baseline: Option<&RunStats>) -> String {
         let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": {TIMINGS_SCHEMA_VERSION},");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(out, "  \"failures\": {},", self.failures);
@@ -444,8 +452,11 @@ fn per_router_json(timings: &[RouterTiming]) -> String {
     out
 }
 
-/// JSON string literal with escaping.
-fn json_string(s: &str) -> String {
+/// Renders `s` as a JSON string literal (quotes included), escaping
+/// quotes, backslashes and control characters. Public because the
+/// service crate's NDJSON responses must use byte-identical escaping
+/// to these summaries.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -654,6 +665,7 @@ mod tests {
             ..stats.clone()
         };
         let json = stats.to_json(Some(&single));
+        assert!(json.starts_with(&format!("{{\n  \"version\": {TIMINGS_SCHEMA_VERSION},\n")));
         assert!(json.contains("\"speedup_vs_1_thread\": 3.000"));
         assert!(json.contains("\"router\": \"codar\""));
         assert!(json.contains("\"mean_ms\": 200.000"));

@@ -18,13 +18,13 @@
 //! engine seed), never from scheduling order — which is what keeps
 //! fidelity summaries byte-identical across thread counts.
 
-use crate::job::{build_matrix, EngineConfig, JobSpec, NoiseSpec, RouterKind, RouterVariant};
+use crate::job::{build_matrix, EngineConfig, JobSpec, NoiseSpec, RouterVariant};
 use crate::report::{FidelityStats, RouteReport, RouterTiming, RunStats, Summary};
+use crate::worker::RouteWorker;
 use codar_arch::Device;
 use codar_benchmarks::suite::SuiteEntry;
-use codar_router::sabre::reverse_traversal_mapping_scratch;
 use codar_router::verify::{check_coupling, check_equivalence};
-use codar_router::{CodarRouter, GreedyRouter, Mapping, RoutedCircuit, RouterScratch, SabreRouter};
+use codar_router::{Mapping, RoutedCircuit};
 use codar_sim::FidelityReport;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -222,14 +222,15 @@ impl SuiteRunner {
                 let mappings = &mappings;
                 let variants = &variants;
                 scope.spawn(move || {
-                    // One scratch per worker: every route call on this
-                    // thread reuses the same buffers (results are
-                    // scratch-independent; see codar_router::scratch).
-                    let mut scratch = RouterScratch::new();
+                    // One RouteWorker per pool thread: every route call
+                    // on this thread reuses the same scratch buffers
+                    // (results are scratch-independent; see
+                    // codar_router::scratch).
+                    let mut worker = RouteWorker::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&job) = jobs.get(i) else { break };
-                        let outcome = self.run_job(job, variants, mappings, &mut scratch);
+                        let outcome = self.run_job(job, variants, mappings, &mut worker);
                         if tx.send((job, outcome)).is_err() {
                             break;
                         }
@@ -310,46 +311,32 @@ impl SuiteRunner {
         job: JobSpec,
         variants: &[RouterVariant],
         mappings: &[OnceLock<Mapping>],
-        scratch: &mut RouterScratch,
+        worker: &mut RouteWorker,
     ) -> Result<Vec<RouteReport>, String> {
         let entry = &self.entries[job.entry];
         let device = &self.devices[job.device];
         let variant = &variants[job.variant];
         let started = Instant::now();
-        let routed: RoutedCircuit = if self.config.shared_initial_mapping {
-            let initial = mappings[job.device * self.entries.len() + job.entry]
-                .get_or_init(|| {
-                    reverse_traversal_mapping_scratch(
-                        &entry.circuit,
-                        device,
-                        self.config.seed,
-                        scratch,
-                    )
-                })
-                .clone();
-            match variant.kind {
-                RouterKind::Codar => CodarRouter::with_config(device, variant.codar.clone())
-                    .route_with_scratch(&entry.circuit, initial, scratch),
-                RouterKind::Sabre => SabreRouter::with_config(device, variant.sabre.clone())
-                    .route_with_scratch(&entry.circuit, initial, scratch),
-                RouterKind::Greedy => {
-                    GreedyRouter::new(device).route_with_scratch(&entry.circuit, initial, scratch)
-                }
-            }
+        // With shared_initial_mapping every router job in a (entry,
+        // device) cell routes from the same reverse-traversal placement
+        // (the paper's protocol); otherwise each variant builds its own
+        // placement from its config — the initial-mapping study
+        // protocol (RouteWorker routes from the variant's own placement
+        // when no initial mapping is supplied).
+        let initial = if self.config.shared_initial_mapping {
+            Some(
+                mappings[job.device * self.entries.len() + job.entry]
+                    .get_or_init(|| {
+                        worker.initial_mapping(&entry.circuit, device, self.config.seed)
+                    })
+                    .clone(),
+            )
         } else {
-            // Each variant builds its own placement from its config —
-            // the initial-mapping study protocol.
-            match variant.kind {
-                RouterKind::Codar => CodarRouter::with_config(device, variant.codar.clone())
-                    .route_scratch(&entry.circuit, scratch),
-                RouterKind::Sabre => SabreRouter::with_config(device, variant.sabre.clone())
-                    .route_scratch(&entry.circuit, scratch),
-                RouterKind::Greedy => {
-                    GreedyRouter::new(device).route_scratch(&entry.circuit, scratch)
-                }
-            }
-        }
-        .map_err(|e| e.to_string())?;
+            None
+        };
+        let routed: RoutedCircuit = worker
+            .route(&entry.circuit, device, variant, initial)
+            .map_err(|e| e.to_string())?;
 
         let verified = if self.config.verify {
             Some(
@@ -428,6 +415,7 @@ impl SuiteRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::RouterKind;
     use codar_benchmarks::suite::full_suite;
     use codar_router::{CodarConfig, InitialMapping};
     use codar_sim::NoiseModel;

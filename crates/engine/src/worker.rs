@@ -1,0 +1,187 @@
+//! Per-worker routing state: one [`RouteWorker`] per pool thread.
+//!
+//! Both the batch engine ([`crate::SuiteRunner`]) and the online
+//! routing service (`codar-service`) run the same inner step — pick the
+//! router an incoming [`RouterVariant`] names, thread the worker's
+//! reusable [`RouterScratch`] through it, and hand back the
+//! [`RoutedCircuit`]. This module is that step's single implementation,
+//! so the two pools cannot drift apart: a worker owns exactly one
+//! scratch, reuses it for every call it serves, and the dispatch from
+//! variant to router lives here and nowhere else.
+
+use crate::job::{RouterKind, RouterVariant};
+use codar_arch::Device;
+use codar_circuit::Circuit;
+use codar_router::sabre::reverse_traversal_mapping_scratch;
+use codar_router::{
+    CodarRouter, GreedyRouter, Mapping, RouteError, RoutedCircuit, RouterScratch, SabreRouter,
+};
+
+/// One pool worker's reusable routing state.
+///
+/// Holds the [`RouterScratch`] every route call on the owning thread
+/// shares (results are scratch-independent; see
+/// `codar_router::scratch`) and performs the variant→router dispatch.
+///
+/// # Examples
+///
+/// ```
+/// use codar_arch::Device;
+/// use codar_circuit::Circuit;
+/// use codar_engine::{RouteWorker, RouterKind, RouterVariant};
+///
+/// let device = Device::ibm_q20_tokyo();
+/// let variant = RouterVariant::of_kind(RouterKind::Codar);
+/// let mut worker = RouteWorker::new();
+/// let mut c = Circuit::new(3);
+/// c.h(0);
+/// c.cx(0, 2);
+/// let initial = worker.initial_mapping(&c, &device, 0);
+/// let routed = worker
+///     .route(&c, &device, &variant, Some(initial))
+///     .expect("fits the device");
+/// assert_eq!(routed.gate_count(), 2 + routed.swaps_inserted);
+/// ```
+#[derive(Debug, Default)]
+pub struct RouteWorker {
+    scratch: RouterScratch,
+}
+
+impl RouteWorker {
+    /// A fresh worker; its scratch buffers grow on first use.
+    pub fn new() -> Self {
+        RouteWorker::default()
+    }
+
+    /// The paper-protocol initial placement (reverse traversal, two
+    /// SABRE passes), computed with this worker's scratch.
+    pub fn initial_mapping(&mut self, circuit: &Circuit, device: &Device, seed: u64) -> Mapping {
+        reverse_traversal_mapping_scratch(circuit, device, seed, &mut self.scratch)
+    }
+
+    /// Routes `circuit` on `device` with `variant`.
+    ///
+    /// With `initial = Some(mapping)` the router starts from that
+    /// placement (the shared-initial-mapping protocol); with `None`
+    /// each variant builds its own placement from its configuration
+    /// (the initial-mapping study protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the router's [`RouteError`] (circuit does not fit,
+    /// disconnected coupling, …).
+    pub fn route(
+        &mut self,
+        circuit: &Circuit,
+        device: &Device,
+        variant: &RouterVariant,
+        initial: Option<Mapping>,
+    ) -> Result<RoutedCircuit, RouteError> {
+        let scratch = &mut self.scratch;
+        match (variant.kind, initial) {
+            (RouterKind::Codar, Some(mapping)) => {
+                CodarRouter::with_config(device, variant.codar.clone())
+                    .route_with_scratch(circuit, mapping, scratch)
+            }
+            (RouterKind::Codar, None) => CodarRouter::with_config(device, variant.codar.clone())
+                .route_scratch(circuit, scratch),
+            (RouterKind::Sabre, Some(mapping)) => {
+                SabreRouter::with_config(device, variant.sabre.clone())
+                    .route_with_scratch(circuit, mapping, scratch)
+            }
+            (RouterKind::Sabre, None) => SabreRouter::with_config(device, variant.sabre.clone())
+                .route_scratch(circuit, scratch),
+            (RouterKind::Greedy, Some(mapping)) => {
+                GreedyRouter::new(device).route_with_scratch(circuit, mapping, scratch)
+            }
+            (RouterKind::Greedy, None) => GreedyRouter::new(device).route_scratch(circuit, scratch),
+        }
+    }
+
+    /// Direct access to the underlying scratch, for callers that need
+    /// to run other scratch-threaded router entry points.
+    pub fn scratch_mut(&mut self) -> &mut RouterScratch {
+        &mut self.scratch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codar_benchmarks::suite::full_suite;
+
+    /// The worker dispatch must produce exactly what calling the
+    /// routers directly produces — for every kind, shared or own
+    /// placement.
+    #[test]
+    fn dispatch_matches_direct_router_calls() {
+        let device = Device::ibm_q20_tokyo();
+        let entry = &full_suite()[4];
+        let mut worker = RouteWorker::new();
+        for kind in [RouterKind::Codar, RouterKind::Sabre, RouterKind::Greedy] {
+            let variant = RouterVariant::of_kind(kind);
+            let initial = worker.initial_mapping(&entry.circuit, &device, 0);
+            let via_worker = worker
+                .route(&entry.circuit, &device, &variant, Some(initial.clone()))
+                .expect("fits");
+            let direct = match kind {
+                RouterKind::Codar => CodarRouter::new(&device).route_with_scratch(
+                    &entry.circuit,
+                    initial,
+                    &mut RouterScratch::new(),
+                ),
+                RouterKind::Sabre => SabreRouter::new(&device).route_with_scratch(
+                    &entry.circuit,
+                    initial,
+                    &mut RouterScratch::new(),
+                ),
+                RouterKind::Greedy => GreedyRouter::new(&device).route_with_scratch(
+                    &entry.circuit,
+                    initial,
+                    &mut RouterScratch::new(),
+                ),
+            }
+            .expect("fits");
+            assert_eq!(via_worker.circuit.gates(), direct.circuit.gates());
+            assert_eq!(via_worker.weighted_depth, direct.weighted_depth);
+        }
+    }
+
+    /// `None` initial mapping routes from the variant's own placement.
+    #[test]
+    fn own_placement_path_verifies() {
+        let device = Device::ibm_q20_tokyo();
+        let entry = &full_suite()[2];
+        let mut worker = RouteWorker::new();
+        let variant = RouterVariant::of_kind(RouterKind::Codar);
+        let routed = worker
+            .route(&entry.circuit, &device, &variant, None)
+            .expect("fits");
+        codar_router::verify::check_coupling(&routed.circuit, &device).expect("coupling");
+        codar_router::verify::check_equivalence(&entry.circuit, &routed).expect("equivalence");
+    }
+
+    /// One worker reused across many calls gives the same results as a
+    /// fresh worker per call.
+    #[test]
+    fn reuse_across_calls_is_invisible() {
+        let device = Device::ibm_q16_melbourne();
+        let mut reused = RouteWorker::new();
+        for entry in full_suite().iter().take(6) {
+            for kind in [RouterKind::Codar, RouterKind::Sabre] {
+                let variant = RouterVariant::of_kind(kind);
+                let shared_initial = reused.initial_mapping(&entry.circuit, &device, 0);
+                let a = reused
+                    .route(&entry.circuit, &device, &variant, Some(shared_initial))
+                    .expect("fits");
+                let mut fresh = RouteWorker::new();
+                let fresh_initial = fresh.initial_mapping(&entry.circuit, &device, 0);
+                let b = fresh
+                    .route(&entry.circuit, &device, &variant, Some(fresh_initial))
+                    .expect("fits");
+                assert_eq!(a.circuit.gates(), b.circuit.gates(), "{}", entry.name);
+                assert_eq!(a.weighted_depth, b.weighted_depth, "{}", entry.name);
+            }
+        }
+    }
+}

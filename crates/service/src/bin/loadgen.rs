@@ -1,0 +1,147 @@
+//! `loadgen` — deterministic load generator for the routing daemon.
+//!
+//! ```text
+//! loadgen [--requests N] [--seed S] [--repeat-ratio R] [--device NAME]
+//!         [--router NAME] [--max-qubits N] [--hot N]
+//!         [--connect ADDR | in-process] [--latency-json PATH]
+//!         [--workers N] [--cache-capacity N] [--queue-capacity N]
+//! ```
+//!
+//! Replays a seeded mix of benchmark circuits (hot-set repeats with
+//! probability `--repeat-ratio`) and reports:
+//!
+//! * **stdout** — the deterministic summary JSON (counts, cache hit
+//!   rate, response-stream checksum; no timing). Two runs with the
+//!   same flags print byte-identical summaries — the CI check.
+//! * **stderr** — the latency summary (p50/p90/p99 µs), which is a
+//!   measurement and therefore *not* deterministic.
+//! * `--latency-json PATH` — the versioned latency JSON.
+//!
+//! Without `--connect` the run is closed-loop: loadgen starts an
+//! in-process daemon (configured by `--workers`/`--cache-capacity`/
+//! `--queue-capacity`) and drives it directly, no port involved.
+
+use codar_service::loadgen::{run, LoadgenConfig, TcpTransport};
+use codar_service::{Service, ServiceConfig};
+use std::process::ExitCode;
+
+struct Args {
+    config: LoadgenConfig,
+    service: ServiceConfig,
+    connect: Option<String>,
+    latency_json: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        config: LoadgenConfig::default(),
+        service: ServiceConfig::default(),
+        connect: None,
+        latency_json: None,
+    };
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--requests" | "--seed" | "--max-qubits" | "--hot" | "--workers"
+            | "--cache-capacity" | "--queue-capacity" => {
+                let text = value(args, i, flag)?;
+                let number: usize = text.parse().map_err(|e| format!("bad {flag}: {e}"))?;
+                match flag {
+                    "--requests" => parsed.config.requests = number,
+                    "--seed" => parsed.config.seed = number as u64,
+                    "--max-qubits" => parsed.config.max_qubits = number,
+                    "--hot" => parsed.config.hot = number,
+                    "--workers" => parsed.service.workers = number,
+                    "--cache-capacity" => parsed.service.cache_capacity = number,
+                    "--queue-capacity" => parsed.service.queue_capacity = number,
+                    _ => unreachable!(),
+                }
+                i += 2;
+            }
+            "--repeat-ratio" => {
+                parsed.config.repeat_ratio = value(args, i, flag)?
+                    .parse()
+                    .map_err(|e| format!("bad --repeat-ratio: {e}"))?;
+                i += 2;
+            }
+            "--device" => {
+                parsed.config.device = value(args, i, flag)?;
+                i += 2;
+            }
+            "--router" => {
+                parsed.config.router = value(args, i, flag)?;
+                i += 2;
+            }
+            "--connect" => {
+                parsed.connect = Some(value(args, i, flag)?);
+                i += 2;
+            }
+            "--latency-json" => {
+                parsed.latency_json = Some(value(args, i, flag)?);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run_load(args: &Args) -> Result<(), String> {
+    let report = match &args.connect {
+        Some(addr) => {
+            let mut transport = TcpTransport::connect(addr)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            run(&args.config, &mut transport)
+        }
+        None => {
+            // Closed-loop: drive an in-process daemon directly. The
+            // loadgen seed keeps the daemon's placement seed at its
+            // default so summaries depend only on the printed config.
+            let mut service = Service::start(args.service.clone());
+            run(&args.config, &mut service)
+        }
+    }
+    .map_err(|e| format!("load run failed: {e}"))?;
+
+    print!("{}", report.summary_json());
+    let latency = report.latency();
+    eprintln!(
+        "latency over {} requests: mean {:.1} us, p50 {} us, p90 {} us, p99 {} us, max {} us; \
+         cache hit rate {:.3}",
+        latency.count,
+        latency.mean_us,
+        latency.p50_us,
+        latency.p90_us,
+        latency.p99_us,
+        latency.max_us,
+        report.cache_hit_rate(),
+    );
+    if let Some(path) = &args.latency_json {
+        std::fs::write(path, latency.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if report.errors > 0 {
+        return Err(format!(
+            "{} of {} requests failed",
+            report.errors, report.config.requests
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|args| run_load(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

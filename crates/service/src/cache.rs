@@ -1,0 +1,428 @@
+//! Sharded LRU result cache.
+//!
+//! Routing is a pure function of (circuit, device, router config,
+//! placement seed), and real workloads repeat circuits heavily — so the
+//! daemon memoizes finished **response bodies** under an FNV-1a
+//! content hash of that identity ([`request_key`]). The cache is split
+//! into independently locked shards: a key's shard is a pure function
+//! of the key ([`ShardedCache::shard_of`]), so two requests contend
+//! only when they hash to the same shard. Each shard is a classic
+//! doubly-linked LRU list over a `HashMap` index with per-shard
+//! hit/miss/eviction counters.
+//!
+//! A capacity of `0` disables caching entirely (every probe is a miss,
+//! inserts are dropped) — the daemon's `--cache-capacity 0` mode, which
+//! the determinism gate diffs against a cache-enabled daemon.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The FNV-1a offset basis (shared by the key hash and the loadgen
+/// stream checksum).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a hash state.
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The full identity of a route request — its parts joined with `\0`
+/// (which no part can contain: QASM and names are control-free).
+/// Stored alongside each cache entry and compared on every probe, so
+/// a 64-bit hash collision degrades to a cache miss instead of serving
+/// another request's result.
+pub fn key_material(parts: &[&str]) -> String {
+    parts.join("\0")
+}
+
+/// FNV-1a over [`key_material`] — the cache key for a route request:
+/// canonical circuit text, device name, router label, seed.
+///
+/// # Examples
+///
+/// ```
+/// use codar_service::cache::request_key;
+///
+/// let a = request_key(&["qreg q[2];", "q20", "codar", "0"]);
+/// let b = request_key(&["qreg q[2];", "q20", "codar", "0"]);
+/// let c = request_key(&["qreg q[2];", "q20", "sabre", "0"]);
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn request_key(parts: &[&str]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, key_material(parts).as_bytes())
+}
+
+/// Aggregate counters across all shards (a point-in-time snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total capacity in entries (sum over shards).
+    pub capacity: usize,
+    /// Number of shards.
+    pub shards: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Probes that found their key.
+    pub hits: u64,
+    /// Probes that did not.
+    pub misses: u64,
+    /// Entries displaced by LRU eviction.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over probes, `0.0` when nothing was probed yet.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    key: u64,
+    /// Full request identity ([`key_material`]); compared on probe so
+    /// FNV collisions cannot serve a foreign result.
+    material: String,
+    /// Shared so a hit is a refcount bump inside the shard lock, not a
+    /// deep copy of a multi-KB response body.
+    value: Arc<str>,
+    prev: usize,
+    next: usize,
+}
+
+/// One independently locked LRU shard.
+#[derive(Debug, Default)]
+struct Shard {
+    index: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used node, `NIL` when empty.
+    head: usize,
+    /// Least recently used node, `NIL` when empty.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            head: NIL,
+            tail: NIL,
+            ..Shard::default()
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn get(&mut self, key: u64, material: &str) -> Option<Arc<str>> {
+        match self.index.get(&key).copied() {
+            Some(slot) if self.nodes[slot].material == material => {
+                self.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                Some(Arc::clone(&self.nodes[slot].value))
+            }
+            // A hash collision (same 64-bit key, different request)
+            // is a miss: routing fresh is always correct.
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, material: String, value: Arc<str>, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.index.get(&key) {
+            // Same request: concurrent fill, refresh recency and keep
+            // the (identical, routing is deterministic) value. A
+            // colliding request overwrites — last writer wins; probes
+            // compare materials, so correctness is unaffected either
+            // way.
+            self.nodes[slot].material = material;
+            self.nodes[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.index.len() >= capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.index.remove(&self.nodes[victim].key);
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let node = Node {
+            key,
+            material,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    /// Keys from most to least recently used (tests only).
+    #[cfg(test)]
+    fn lru_order(&self) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut slot = self.head;
+        while slot != NIL {
+            keys.push(self.nodes[slot].key);
+            slot = self.nodes[slot].next;
+        }
+        keys
+    }
+}
+
+/// The sharded LRU cache (see the module docs).
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl ShardedCache {
+    /// A cache of roughly `capacity` entries split over `shards`
+    /// independently locked shards (each shard holds
+    /// `ceil(capacity / shards)` entries, so the effective total is
+    /// rounded up to a multiple of the shard count). `capacity == 0`
+    /// disables caching; `shards` is clamped to at least 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_capacity,
+        }
+    }
+
+    /// The shard a key lives in — a pure function of `(key, shard
+    /// count)`, so placement is stable across calls and instances.
+    pub fn shard_of(&self, key: u64) -> usize {
+        (key % self.shards.len() as u64) as usize
+    }
+
+    /// Probes the cache, updating recency and the hit/miss counters.
+    /// `material` is the probe's [`key_material`]; a key whose stored
+    /// material differs (a 64-bit collision) reads as a miss.
+    pub fn get(&self, key: u64, material: &str) -> Option<Arc<str>> {
+        let shard = &self.shards[self.shard_of(key)];
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key, material)
+    }
+
+    /// Inserts a finished response body under its full identity
+    /// (no-op when capacity is 0).
+    pub fn insert(&self, key: u64, material: String, value: Arc<str>) {
+        let shard = &self.shards[self.shard_of(key)];
+        shard.lock().expect("cache shard poisoned").insert(
+            key,
+            material,
+            value,
+            self.per_shard_capacity,
+        );
+    }
+
+    /// Whether inserts are accepted at all.
+    pub fn enabled(&self) -> bool {
+        self.per_shard_capacity > 0
+    }
+
+    /// Point-in-time counters summed over the shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            capacity: self.per_shard_capacity * self.shards.len(),
+            shards: self.shards.len(),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            stats.entries += shard.index.len();
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.evictions += shard.evictions;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let cache = ShardedCache::new(8, 2);
+        assert_eq!(cache.get(1, "m1"), None);
+        cache.insert(1, "m1".into(), "one".into());
+        assert_eq!(cache.get(1, "m1").as_deref(), Some("one"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colliding_material_reads_as_miss_never_as_foreign_hit() {
+        // Same 64-bit key, different request identity: the probe must
+        // miss rather than serve another request's result.
+        let cache = ShardedCache::new(8, 2);
+        cache.insert(1, "request A".into(), "result A".into());
+        assert_eq!(cache.get(1, "request B"), None);
+        // The collision overwrite keeps probes honest both ways.
+        cache.insert(1, "request B".into(), "result B".into());
+        assert_eq!(cache.get(1, "request A"), None);
+        assert_eq!(cache.get(1, "request B").as_deref(), Some("result B"));
+    }
+
+    #[test]
+    fn lru_eviction_order_is_least_recently_used_first() {
+        // Single shard so the whole capacity is one LRU list.
+        let mut shard = Shard::new();
+        for key in 0..4 {
+            shard.insert(key, key.to_string(), key.to_string().into(), 4);
+        }
+        assert_eq!(shard.lru_order(), vec![3, 2, 1, 0]);
+        // Touch 0 and 2: recency becomes [2, 0, 3, 1].
+        shard.get(0, "0");
+        shard.get(2, "2");
+        assert_eq!(shard.lru_order(), vec![2, 0, 3, 1]);
+        // Inserting two more evicts 1 then 3 (the two LRU tails).
+        shard.insert(4, "4".into(), Arc::from("4"), 4);
+        assert_eq!(shard.lru_order(), vec![4, 2, 0, 3]);
+        shard.insert(5, "5".into(), Arc::from("5"), 4);
+        assert_eq!(shard.lru_order(), vec![5, 4, 2, 0]);
+        assert_eq!(shard.get(1, "1"), None);
+        assert_eq!(shard.get(3, "3"), None);
+        assert_eq!(shard.evictions, 2);
+        // The survivors are all still retrievable.
+        for key in [0, 2, 4, 5] {
+            assert_eq!(
+                shard.get(key, &key.to_string()).as_deref(),
+                Some(key.to_string().as_str()),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn reinserting_existing_key_refreshes_recency_without_eviction() {
+        let mut shard = Shard::new();
+        for key in 0..3 {
+            shard.insert(key, key.to_string(), Arc::from("v"), 3);
+        }
+        shard.insert(0, "0".into(), Arc::from("v2"), 3);
+        assert_eq!(shard.lru_order(), vec![0, 2, 1]);
+        assert_eq!(shard.evictions, 0);
+        assert_eq!(shard.get(0, "0").as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn shard_selection_is_stable() {
+        let cache_a = ShardedCache::new(64, 8);
+        let cache_b = ShardedCache::new(64, 8);
+        for key in (0..1000u64).map(|i| request_key(&[&i.to_string()])) {
+            let shard = cache_a.shard_of(key);
+            assert_eq!(shard, cache_a.shard_of(key), "stable across calls");
+            assert_eq!(shard, cache_b.shard_of(key), "stable across instances");
+            assert!(shard < 8);
+        }
+        // Keys spread over all shards (FNV mixes low bits well).
+        let mut seen = [false; 8];
+        for i in 0..100u64 {
+            seen[cache_a.shard_of(request_key(&[&i.to_string()]))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some shard never selected");
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let cache = ShardedCache::new(0, 4);
+        assert!(!cache.enabled());
+        cache.insert(1, "m".into(), "one".into());
+        assert_eq!(cache.get(1, "m"), None);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_shard_multiple() {
+        let cache = ShardedCache::new(10, 4);
+        assert_eq!(cache.stats().capacity, 12); // ceil(10/4) = 3 per shard
+        let single = ShardedCache::new(10, 1);
+        assert_eq!(single.stats().capacity, 10);
+    }
+
+    #[test]
+    fn request_key_separator_prevents_concatenation_collisions() {
+        assert_ne!(request_key(&["ab", "c"]), request_key(&["a", "bc"]));
+        assert_ne!(request_key(&["ab"]), request_key(&["ab", ""]));
+    }
+
+    #[test]
+    fn evictions_count_per_shard_and_entries_track_capacity() {
+        let cache = ShardedCache::new(4, 4); // 1 entry per shard
+        for key in 0..100u64 {
+            cache.insert(key, key.to_string(), Arc::from("x"));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.evictions, 100 - 4);
+    }
+}

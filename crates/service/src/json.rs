@@ -1,0 +1,391 @@
+//! Minimal JSON support for the wire protocol.
+//!
+//! The workspace has no crates.io access, so the service carries its
+//! own JSON layer: a strict recursive-descent parser into [`Json`]
+//! (objects, arrays, strings with full escape handling, numbers,
+//! booleans, `null`) and the [`escape`] helper used when emitting
+//! responses. The parser is for *requests* only — responses are built
+//! with deterministic hand-formatted field order so byte-level golden
+//! tests stay stable.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Maximum container nesting the parser accepts. Recursion depth is
+/// bounded by input depth, so an unbounded parser could be driven to a
+/// stack overflow (a process abort) by one hostile request line.
+const MAX_DEPTH: usize = 128;
+
+impl Json {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one.
+    /// Bounded to 2^53 so every accepted value is exactly
+    /// representable in the `f64` the number was parsed into — larger
+    /// inputs would silently round and echo back a *different* id.
+    pub fn as_u64(&self) -> Option<u64> {
+        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < EXACT => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let unit = parse_hex4(bytes, pos)?;
+                        // Combine surrogate pairs; lone surrogates are
+                        // replaced (requests are not trusted input).
+                        let c = if (0xD800..0xDC00).contains(&unit) {
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                let combined = 0x10000
+                                    + ((unit as u32 - 0xD800) << 10)
+                                    + (low as u32).wrapping_sub(0xDC00);
+                                char::from_u32(combined).unwrap_or('\u{FFFD}')
+                            } else {
+                                '\u{FFFD}'
+                            }
+                        } else {
+                            char::from_u32(unit as u32).unwrap_or('\u{FFFD}')
+                        };
+                        out.push(c);
+                        continue; // parse_hex4 already advanced pos
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(format!("unescaped control byte at {pos}", pos = *pos));
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (input is a &str, so slicing at
+                // the next char boundary is safe).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u16, String> {
+    let end = *pos + 4;
+    if end > bytes.len() {
+        return Err("truncated \\u escape".into());
+    }
+    let text = std::str::from_utf8(&bytes[*pos..end]).map_err(|e| e.to_string())?;
+    let v = u16::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape `{text}`"))?;
+    *pos = end;
+    Ok(v)
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Renders `s` as a JSON string literal (quotes included) — the
+/// engine's summary escaping, re-exported so NDJSON payloads
+/// containing QASM (newlines, quotes) stay one line each and cannot
+/// drift from the summaries' rules.
+pub fn escape(s: &str) -> String {
+    codar_engine::report::json_string(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-12.5e1").unwrap(), Json::Num(-125.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"a": [1, {"b": "c"}, null], "d": true}"#).unwrap();
+        assert_eq!(v.get("d").and_then(Json::as_bool), Some(true));
+        match v.get("a") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[1].get("b").and_then(Json::as_str), Some("c"));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for original in [
+            "line1\nline2\t\"quoted\" back\\slash",
+            "unicode: π ψ 😀",
+            "control:\u{0001}\u{001f}",
+            "",
+        ] {
+            let literal = escape(original);
+            let parsed = Json::parse(&literal).unwrap();
+            assert_eq!(parsed.as_str(), Some(original), "via {literal}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9""#).unwrap(),
+            Json::Str("Aé".into())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".into())
+        );
+        // Lone surrogate degrades to the replacement character.
+        assert_eq!(
+            Json::parse(r#""\ud83d!""#).unwrap(),
+            Json::Str("\u{FFFD}!".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,",
+            "\"open",
+            "{'a':1}",
+            "tru",
+            "1 2",
+            "{\"a\":1,}",
+            "\"\u{0001}\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn numeric_accessors_validate() {
+        assert_eq!(Json::parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(Json::parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-7").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("7.5").unwrap().as_f64(), Some(7.5));
+        assert_eq!(Json::parse("\"7\"").unwrap().as_u64(), None);
+        // Values that cannot round-trip exactly through f64 are
+        // rejected rather than silently rounded.
+        assert_eq!(
+            Json::parse("9007199254740991").unwrap().as_u64(),
+            Some((1 << 53) - 1)
+        );
+        assert_eq!(Json::parse("9007199254740993").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("18446744073709551616").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing_the_stack() {
+        let deep = "[".repeat(100_000);
+        let err = Json::parse(&deep).expect_err("must not abort");
+        assert!(err.contains("nesting"), "{err}");
+        // Depths inside the cap still parse.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn get_on_non_objects_is_none() {
+        assert_eq!(Json::parse("[1]").unwrap().get("a"), None);
+        assert_eq!(Json::parse("1").unwrap().get("a"), None);
+    }
+}

@@ -1,0 +1,325 @@
+//! Deterministic load generation against a daemon.
+//!
+//! `loadgen` replays a seeded [`CircuitMix`] of benchmark circuits —
+//! with a configurable repeat ratio, modeling the heavy input reuse of
+//! real compilation services — against either an **in-process**
+//! [`Service`] (the closed-loop benchmark and determinism gate; no
+//! ports involved) or a TCP daemon. It records one latency sample per
+//! request and splits its output the same way the engine splits
+//! `Summary` from `RunStats`:
+//!
+//! * [`LoadgenReport::summary_json`] — deterministic for a given
+//!   `(config, daemon config)`: request counts, cache hit rate, depth
+//!   and swap totals, and an FNV checksum of the concatenated response
+//!   stream. CI diffs two runs of this byte-for-byte.
+//! * [`LoadgenReport::latency`] — p50/p90/p99 microseconds, explicitly
+//!   nondeterministic, printed to stderr / written via
+//!   `--latency-json`.
+
+use crate::cache::{fnv1a_extend, FNV_OFFSET};
+use crate::json::{escape, Json};
+use crate::metrics::LatencySummary;
+use crate::server::Service;
+use crate::LOADGEN_SUMMARY_VERSION;
+use codar_benchmarks::mix::{service_pool, CircuitMix};
+use codar_circuit::from_qasm::circuit_to_qasm;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Route requests to send.
+    pub requests: usize,
+    /// Mix seed (same seed + config → same request stream).
+    pub seed: u64,
+    /// Probability a request replays the hot set (clamped to [0, 1]).
+    pub repeat_ratio: f64,
+    /// Target device name.
+    pub device: String,
+    /// Router to request.
+    pub router: String,
+    /// Pool bound: only suite circuits with ≤ this many qubits.
+    pub max_qubits: usize,
+    /// Hot-set size (first N pool entries).
+    pub hot: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 200,
+            seed: 7,
+            repeat_ratio: 0.95,
+            device: "q20".to_string(),
+            router: "codar".to_string(),
+            max_qubits: CircuitMix::DEFAULT_MAX_QUBITS,
+            hot: CircuitMix::DEFAULT_HOT,
+        }
+    }
+}
+
+/// Where requests go.
+pub trait Transport {
+    /// Sends one request line, returns the one response line.
+    fn call(&mut self, line: &str) -> std::io::Result<String>;
+}
+
+/// In-process transport: requests go straight into
+/// [`Service::handle_line`] — the closed-loop benchmark needs no port.
+impl Transport for Service {
+    fn call(&mut self, line: &str) -> std::io::Result<String> {
+        Ok(self.handle_line(line))
+    }
+}
+
+/// NDJSON-over-TCP transport to a running `coded` daemon.
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> std::io::Result<TcpTransport> {
+        let writer = TcpStream::connect(addr)?;
+        // Small request lines must not wait for Nagle coalescing.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(TcpTransport { reader, writer })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, line: &str) -> std::io::Result<String> {
+        // One write per request: line + newline in a single segment.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+/// Everything one loadgen run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// The configuration the run used.
+    pub config: LoadgenConfig,
+    /// `ok` route responses.
+    pub ok: usize,
+    /// Error / overloaded responses.
+    pub errors: usize,
+    /// Responses carrying `"verified":true`.
+    pub verified: usize,
+    /// Daemon-side cache hits over the run (from `stats`).
+    pub cache_hits: u64,
+    /// Daemon-side cache misses over the run (from `stats`).
+    pub cache_misses: u64,
+    /// Sum of reported SWAP insertions.
+    pub total_swaps: u64,
+    /// Sum of reported weighted depths.
+    pub total_weighted_depth: u64,
+    /// FNV-1a over the concatenated response lines (each + `\n`) —
+    /// byte-level fingerprint of the whole response stream.
+    pub stream_fnv: u64,
+    /// Per-request latencies, microseconds, request order.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadgenReport {
+    /// Cache hit rate over the run's probes (0 when nothing probed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+
+    /// The deterministic summary (no timing!). Two runs with the same
+    /// loadgen config against identically configured daemons emit
+    /// byte-identical summaries — the CI determinism check.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\n  \"version\": {LOADGEN_SUMMARY_VERSION},\n  \"requests\": {},\n  \
+             \"seed\": {},\n  \"repeat_ratio\": {:.6},\n  \"max_qubits\": {},\n  \
+             \"hot\": {},\n  \"device\": {},\n  \
+             \"router\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"verified\": {},\n  \
+             \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.6},\n  \
+             \"total_swaps\": {},\n  \"total_weighted_depth\": {},\n  \
+             \"response_stream_fnv\": \"{:016x}\"\n}}\n",
+            self.config.requests,
+            self.config.seed,
+            // Printed as applied: the mix clamps to [0, 1].
+            self.config.repeat_ratio.clamp(0.0, 1.0),
+            self.config.max_qubits,
+            self.config.hot,
+            escape(&self.config.device),
+            escape(&self.config.router),
+            self.ok,
+            self.errors,
+            self.verified,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
+            self.total_swaps,
+            self.total_weighted_depth,
+            self.stream_fnv,
+        )
+    }
+
+    /// Percentile summary of the recorded latencies.
+    pub fn latency(&self) -> LatencySummary {
+        LatencySummary::from_micros(&self.latencies_us)
+    }
+}
+
+/// Runs the load: `config.requests` route requests drawn from the mix,
+/// then one `stats` probe for the daemon-side cache counters.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors; protocol-level errors (error
+/// responses) are counted in the report instead.
+///
+pub fn run(
+    config: &LoadgenConfig,
+    transport: &mut dyn Transport,
+) -> std::io::Result<LoadgenReport> {
+    let pool = service_pool(config.max_qubits);
+    if pool.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "--max-qubits {} leaves no benchmark circuits in the pool",
+                config.max_qubits
+            ),
+        ));
+    }
+    let mut mix = CircuitMix::with_pool(pool, config.hot, config.seed, config.repeat_ratio);
+    // Serialize each pool entry once; requests reuse the strings.
+    let pool_qasm: Vec<String> = mix
+        .pool()
+        .iter()
+        .map(|entry| circuit_to_qasm(&entry.circuit).expect("suite circuits serialize"))
+        .collect();
+
+    let mut report = LoadgenReport {
+        config: config.clone(),
+        ok: 0,
+        errors: 0,
+        verified: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        total_swaps: 0,
+        total_weighted_depth: 0,
+        stream_fnv: FNV_OFFSET,
+        latencies_us: Vec::with_capacity(config.requests),
+    };
+
+    let device = escape(&config.device);
+    let router = escape(&config.router);
+    for _ in 0..config.requests {
+        let index = mix.next_index();
+        let line = format!(
+            "{{\"type\":\"route\",\"device\":{device},\"router\":{router},\"circuit\":{}}}",
+            escape(&pool_qasm[index])
+        );
+        let started = Instant::now();
+        let response = transport.call(&line)?;
+        report
+            .latencies_us
+            .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        report.stream_fnv = fnv1a_extend(report.stream_fnv, response.as_bytes());
+        report.stream_fnv = fnv1a_extend(report.stream_fnv, b"\n");
+        match Json::parse(&response) {
+            Ok(parsed) => {
+                if parsed.get("status").and_then(Json::as_str) == Some("ok") {
+                    report.ok += 1;
+                    if parsed.get("verified").and_then(Json::as_bool) == Some(true) {
+                        report.verified += 1;
+                    }
+                    report.total_swaps += parsed.get("swaps").and_then(Json::as_u64).unwrap_or(0);
+                    report.total_weighted_depth += parsed
+                        .get("weighted_depth")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                } else {
+                    report.errors += 1;
+                }
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+
+    // The daemon's cache counters cover our probes (on a fresh daemon,
+    // exactly our probes; on a shared daemon, everyone's).
+    let stats_line = transport.call("{\"type\":\"stats\"}")?;
+    if let Ok(stats) = Json::parse(&stats_line) {
+        if let Some(cache) = stats.get("cache") {
+            report.cache_hits = cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
+            report.cache_misses = cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServiceConfig;
+
+    #[test]
+    fn small_run_reports_hits_and_verifies() {
+        let mut service = Service::start(ServiceConfig::default());
+        let config = LoadgenConfig {
+            requests: 30,
+            seed: 11,
+            repeat_ratio: 0.9,
+            max_qubits: 5,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config, &mut service).unwrap();
+        assert_eq!(report.ok, 30);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.verified, 30);
+        assert_eq!(report.cache_hits + report.cache_misses, 30);
+        assert!(report.cache_hits > 0, "repeats must hit the cache");
+        assert_eq!(report.latencies_us.len(), 30);
+        let json = report.summary_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"ok\": 30"));
+    }
+
+    #[test]
+    fn summary_json_excludes_latency() {
+        let mut service = Service::start(ServiceConfig::default());
+        let config = LoadgenConfig {
+            requests: 5,
+            max_qubits: 4,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config, &mut service).unwrap();
+        let json = report.summary_json();
+        assert!(!json.contains("_us"), "latency leaked into summary: {json}");
+    }
+}

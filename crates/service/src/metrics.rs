@@ -1,0 +1,172 @@
+//! Daemon counters and the loadgen latency summary.
+//!
+//! [`ServiceMetrics`] are the daemon-side request counters reported by
+//! the `stats` request — plain atomics, updated on every request.
+//! [`LatencySummary`] is the client-side view: `loadgen` records one
+//! microsecond sample per request and summarizes them here. Latency is
+//! a *measurement* (inherently nondeterministic), so it is kept out of
+//! the deterministic loadgen summary JSON, exactly like the engine
+//! keeps `RunStats` out of its `Summary`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Request counters of one daemon instance.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Request lines received (any type, well-formed or not).
+    pub requests: AtomicU64,
+    /// Route requests answered from a fresh routing run.
+    pub routed: AtomicU64,
+    /// Requests answered with an error response.
+    pub errors: AtomicU64,
+    /// Route requests rejected by queue backpressure.
+    pub overloaded: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Fresh all-zero counters.
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// Increments a counter (relaxed; counters are independent).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Schema version of the loadgen latency JSON (`--latency-json`).
+/// Bump whenever its shape changes, as with
+/// [`codar_engine::TIMINGS_SCHEMA_VERSION`].
+pub const LATENCY_SCHEMA_VERSION: u32 = 1;
+
+/// Percentile summary of recorded per-request latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: usize,
+    /// Arithmetic mean, microseconds.
+    pub mean_us: f64,
+    /// Median (nearest-rank), microseconds.
+    pub p50_us: u64,
+    /// 90th percentile (nearest-rank), microseconds.
+    pub p90_us: u64,
+    /// 99th percentile (nearest-rank), microseconds.
+    pub p99_us: u64,
+    /// Slowest sample, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Nearest-rank summary of `samples` (order irrelevant). An empty
+    /// slice summarizes to all zeros.
+    pub fn from_micros(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0,
+                p90_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| -> u64 {
+            // Nearest-rank: smallest value with at least p of the mass
+            // at or below it.
+            let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        LatencySummary {
+            count: sorted.len(),
+            mean_us: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            p50_us: rank(0.50),
+            p90_us: rank(0.90),
+            p99_us: rank(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// The versioned latency JSON payload (see
+    /// [`LATENCY_SCHEMA_VERSION`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"version\": {LATENCY_SCHEMA_VERSION},\n  \"count\": {},\n  \
+             \"mean_us\": {:.3},\n  \"p50_us\": {},\n  \"p90_us\": {},\n  \
+             \"p99_us\": {},\n  \"max_us\": {}\n}}\n",
+            self.count, self.mean_us, self.p50_us, self.p90_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_set_is_all_zero() {
+        let summary = LatencySummary::from_micros(&[]);
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.p99_us, 0);
+        assert_eq!(summary.mean_us, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let summary = LatencySummary::from_micros(&samples);
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50_us, 50);
+        assert_eq!(summary.p90_us, 90);
+        assert_eq!(summary.p99_us, 99);
+        assert_eq!(summary.max_us, 100);
+        assert!((summary.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let summary = LatencySummary::from_micros(&[42]);
+        assert_eq!(
+            (
+                summary.p50_us,
+                summary.p90_us,
+                summary.p99_us,
+                summary.max_us
+            ),
+            (42, 42, 42, 42)
+        );
+    }
+
+    #[test]
+    fn input_order_is_irrelevant() {
+        let a = LatencySummary::from_micros(&[5, 1, 9, 3, 7]);
+        let b = LatencySummary::from_micros(&[9, 7, 5, 3, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_carries_schema_version() {
+        let json = LatencySummary::from_micros(&[10, 20]).to_json();
+        assert!(json.contains(&format!("\"version\": {LATENCY_SCHEMA_VERSION}")));
+        assert!(json.contains("\"p50_us\": 10"));
+        assert!(json.contains("\"max_us\": 20"));
+    }
+
+    #[test]
+    fn metrics_counters_bump() {
+        let metrics = ServiceMetrics::new();
+        ServiceMetrics::bump(&metrics.requests);
+        ServiceMetrics::bump(&metrics.requests);
+        ServiceMetrics::bump(&metrics.errors);
+        assert_eq!(ServiceMetrics::read(&metrics.requests), 2);
+        assert_eq!(ServiceMetrics::read(&metrics.errors), 1);
+        assert_eq!(ServiceMetrics::read(&metrics.overloaded), 0);
+    }
+}

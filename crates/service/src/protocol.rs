@@ -1,0 +1,306 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order.
+//! Requests are JSON objects dispatched on their `"type"` field:
+//!
+//! | request | fields | response |
+//! |---|---|---|
+//! | `route` | `circuit` (QASM source), `device`, optional `router` (default `codar`), optional `id` | routed QASM + depth/swap/duration metrics |
+//! | `stats` | optional `id` | request/cache counters |
+//! | `devices` | optional `id` | the device catalog |
+//! | `shutdown` | optional `id` | ack; the daemon stops serving |
+//!
+//! Responses always carry `"status"`: `"ok"`, `"error"` or
+//! `"overloaded"`. When the request had an `id`, the response echoes it
+//! as its first field. **Route response bodies are cache-transparent**:
+//! they never say whether they were served from the cache, so a
+//! cache-enabled and a cache-disabled daemon produce byte-identical
+//! response streams for the same route requests (the determinism gate);
+//! cache effectiveness is observable via `stats` instead.
+//!
+//! Responses are emitted with hand-formatted, fixed field order — they
+//! are diffed byte-for-byte by golden tests and the loadgen stream
+//! checksum.
+
+use crate::json::{escape, Json};
+use codar_circuit::schedule::Time;
+use codar_engine::RouterKind;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Route a QASM circuit on a named device.
+    Route {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+        /// Target device name (see `codar_arch::Device::by_name`).
+        device: String,
+        /// Router to use.
+        router: RouterKind,
+        /// OpenQASM 2.0 source of the circuit.
+        qasm: String,
+    },
+    /// Request/cache counters.
+    Stats {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+    /// The device catalog.
+    Devices {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+    /// Stop serving after replying.
+    Shutdown {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+}
+
+impl Request {
+    /// Parses one NDJSON request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, a missing
+    /// or unknown `type`, or missing/ill-typed fields.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let value = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        if !matches!(value, Json::Obj(_)) {
+            return Err("request must be a JSON object".into());
+        }
+        let id = match value.get("id") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "`id` must be a non-negative integer".to_string())?,
+            ),
+        };
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing `type` field".to_string())?;
+        match kind {
+            "route" => {
+                let device = value
+                    .get("device")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "route request needs a `device` string".to_string())?
+                    .to_string();
+                let qasm = value
+                    .get("circuit")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "route request needs a `circuit` string".to_string())?
+                    .to_string();
+                let router = match value.get("router") {
+                    None | Some(Json::Null) => RouterKind::Codar,
+                    Some(v) => {
+                        let name = v
+                            .as_str()
+                            .ok_or_else(|| "`router` must be a string".to_string())?;
+                        RouterKind::parse(name).ok_or_else(|| format!("unknown router `{name}`"))?
+                    }
+                };
+                Ok(Request::Route {
+                    id,
+                    device,
+                    router,
+                    qasm,
+                })
+            }
+            "stats" => Ok(Request::Stats { id }),
+            "devices" => Ok(Request::Devices { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+
+    /// The correlation id, for any request kind.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Request::Route { id, .. }
+            | Request::Stats { id }
+            | Request::Devices { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+}
+
+/// Everything a successful `route` reply reports.
+#[derive(Debug, Clone)]
+pub struct RouteOutcome {
+    /// Device the circuit was routed on.
+    pub device: String,
+    /// Router that produced the result.
+    pub router: RouterKind,
+    /// Qubits used by the input circuit.
+    pub qubits: usize,
+    /// Input gate count (after ≤2-qubit decomposition).
+    pub input_gates: usize,
+    /// Weighted depth (schedule makespan) of the routed circuit.
+    pub weighted_depth: Time,
+    /// Unweighted depth of the routed circuit.
+    pub depth: usize,
+    /// SWAPs inserted by the router.
+    pub swaps: usize,
+    /// Output gate count.
+    pub output_gates: usize,
+    /// Routed circuit as OpenQASM 2.0 (physical qubit indices).
+    pub qasm: String,
+}
+
+impl RouteOutcome {
+    /// The response body (no `id`; see [`attach_id`]).
+    pub fn body(&self) -> String {
+        format!(
+            "{{\"type\":\"route\",\"status\":\"ok\",\"device\":{},\"router\":{},\
+             \"qubits\":{},\"input_gates\":{},\"weighted_depth\":{},\"depth\":{},\
+             \"swaps\":{},\"output_gates\":{},\"verified\":true,\"qasm\":{}}}",
+            escape(&self.device),
+            escape(self.router.name()),
+            self.qubits,
+            self.input_gates,
+            self.weighted_depth,
+            self.depth,
+            self.swaps,
+            self.output_gates,
+            escape(&self.qasm),
+        )
+    }
+}
+
+/// An error response body.
+pub fn error_body(message: &str) -> String {
+    format!(
+        "{{\"type\":\"error\",\"status\":\"error\",\"error\":{}}}",
+        escape(message)
+    )
+}
+
+/// The backpressure response body: the bounded request queue was full.
+pub fn overloaded_body() -> String {
+    "{\"type\":\"error\",\"status\":\"overloaded\",\
+     \"error\":\"request queue full, retry later\"}"
+        .to_string()
+}
+
+/// The `shutdown` acknowledgement body.
+pub fn shutdown_body() -> String {
+    "{\"type\":\"shutdown\",\"status\":\"ok\"}".to_string()
+}
+
+/// Splices the echoed request `id` in front of a response body.
+pub fn attach_id(id: Option<u64>, body: &str) -> String {
+    match id {
+        None => body.to_string(),
+        Some(id) => {
+            debug_assert!(body.starts_with('{'));
+            format!("{{\"id\":{id},{}", &body[1..])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_route_requests() {
+        let req = Request::parse_line(
+            r#"{"type":"route","id":3,"device":"q20","router":"sabre","circuit":"qreg q[1];"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Route {
+                id: Some(3),
+                device: "q20".into(),
+                router: RouterKind::Sabre,
+                qasm: "qreg q[1];".into(),
+            }
+        );
+        assert_eq!(req.id(), Some(3));
+    }
+
+    #[test]
+    fn router_defaults_to_codar_and_id_is_optional() {
+        let req = Request::parse_line(r#"{"type":"route","device":"q5","circuit":"qreg q[1];"}"#)
+            .unwrap();
+        match req {
+            Request::Route { id, router, .. } => {
+                assert_eq!(id, None);
+                assert_eq!(router, RouterKind::Codar);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert_eq!(
+            Request::parse_line(r#"{"type":"stats"}"#).unwrap(),
+            Request::Stats { id: None }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"type":"devices","id":9}"#).unwrap(),
+            Request::Devices { id: Some(9) }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"type":"shutdown"}"#).unwrap(),
+            Request::Shutdown { id: None }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("{oops", "malformed JSON"),
+            ("[1]", "must be a JSON object"),
+            (r#"{"device":"q20"}"#, "missing `type`"),
+            (r#"{"type":"fly"}"#, "unknown request type"),
+            (r#"{"type":"route","device":"q20"}"#, "`circuit`"),
+            (r#"{"type":"route","circuit":"x"}"#, "`device`"),
+            (
+                r#"{"type":"route","device":"q20","circuit":"x","router":"qiskit"}"#,
+                "unknown router",
+            ),
+            (r#"{"type":"stats","id":-1}"#, "`id`"),
+            (r#"{"type":"stats","id":1.5}"#, "`id`"),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert!(err.contains(needle), "`{line}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn bodies_are_single_lines_with_ids_spliced() {
+        let outcome = RouteOutcome {
+            device: "q20".into(),
+            router: RouterKind::Codar,
+            qubits: 3,
+            input_gates: 5,
+            weighted_depth: 42,
+            depth: 6,
+            swaps: 1,
+            output_gates: 6,
+            qasm: "OPENQASM 2.0;\nqreg q[3];\n".into(),
+        };
+        let body = outcome.body();
+        assert!(!body.contains('\n'), "NDJSON bodies must be one line");
+        assert!(body.contains("\"verified\":true"));
+        assert!(body.contains("\\n"), "QASM newlines must be escaped");
+        let with = attach_id(Some(7), &body);
+        assert!(with.starts_with("{\"id\":7,\"type\":\"route\""));
+        assert_eq!(attach_id(None, &body), body);
+        // Every body kind parses back as JSON.
+        for b in [
+            body,
+            error_body("boom \"quoted\""),
+            overloaded_body(),
+            shutdown_body(),
+        ] {
+            let parsed = Json::parse(&b).expect(&b);
+            assert!(parsed.get("status").is_some());
+        }
+    }
+}

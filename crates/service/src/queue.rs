@@ -1,0 +1,190 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! The daemon never buffers unboundedly: accepted route requests go
+//! through a [`Bounded`] queue whose capacity limits how much work can
+//! be outstanding at once. When the queue is full, [`Bounded::try_push`]
+//! fails immediately and the server replies `overloaded` instead of
+//! queueing — memory stays bounded under any load. Workers block in
+//! [`Bounded::pop`]; closing the queue wakes them all so the pool can
+//! drain and exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`Bounded::try_push`] rejected an item (the item is returned).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure; reply `overloaded`.
+    Full(T),
+    /// The queue was closed — the daemon is shutting down.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue (see the module docs).
+#[derive(Debug)]
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items. Capacity `0` is legal
+    /// and rejects every push — useful for testing the overload path.
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`Bounded::close`]; both hand the item back.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is empty and open. Returns
+    /// `None` once the queue is closed **and** drained — the worker
+    /// exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail,
+    /// and blocked workers wake up.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued (racy outside tests, by nature).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = Bounded::new(3);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_item_returned() {
+        let q = Bounded::new(1);
+        q.try_push("a").unwrap();
+        assert_eq!(q.try_push("b"), Err(PushError::Full("b")));
+        // Draining one slot makes room again.
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn capacity_zero_always_overloads() {
+        let q = Bounded::new(0);
+        assert_eq!(q.try_push(1), Err(PushError::Full(1)));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(Bounded::new(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut pushed = 0;
+                for i in 0..100 {
+                    loop {
+                        match q.try_push(i) {
+                            Ok(()) => break,
+                            Err(PushError::Full(_)) => std::thread::yield_now(),
+                            Err(PushError::Closed(_)) => return pushed,
+                        }
+                    }
+                    pushed += 1;
+                }
+                q.close();
+                pushed
+            })
+        };
+        let mut received = Vec::new();
+        while let Some(item) = q.pop() {
+            received.push(item);
+        }
+        assert_eq!(producer.join().unwrap(), 100);
+        assert_eq!(received, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,527 @@
+//! The daemon core: request lifecycle, NDJSON stream serving, TCP.
+//!
+//! Request lifecycle (see ARCHITECTURE.md, "Service layer"):
+//!
+//! ```text
+//! accept line → parse → [route?] cache probe ──hit──────────────┐
+//!                          │ miss                               │
+//!                          ▼                                    ▼
+//!                    bounded queue ──full──► "overloaded"    respond
+//!                          │
+//!                          ▼
+//!                 worker (per-thread scratch)
+//!                 route → verify → serialize
+//!                          │
+//!                          ▼
+//!                    cache fill → respond
+//! ```
+//!
+//! A [`Service`] is cheaply cloneable (an `Arc` around the shared
+//! state); [`Service::handle_line`] is the synchronous core used by
+//! every front end — the `--stdin` NDJSON mode, per-connection TCP
+//! threads and the in-process loadgen transport. Responses for one
+//! stream are always emitted in request order because each stream is
+//! handled by one thread; concurrent streams share the worker pool and
+//! the cache.
+
+use crate::cache::{fnv1a_extend, key_material, CacheStats, ShardedCache, FNV_OFFSET};
+use crate::json::escape;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{attach_id, error_body, overloaded_body, shutdown_body, Request};
+use crate::queue::{Bounded, PushError};
+use crate::worker::{spawn_pool, RouteJob};
+use codar_arch::Device;
+use codar_circuit::decompose::decompose_three_qubit_gates;
+use codar_circuit::from_qasm::{circuit_from_flat, circuit_to_qasm};
+use codar_engine::RouterKind;
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Routing worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Bounded request-queue capacity; a full queue answers
+    /// `overloaded` instead of buffering.
+    pub queue_capacity: usize,
+    /// Seed of the reverse-traversal initial placement (part of the
+    /// cache key: different seeds are different results).
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            queue_capacity: 64,
+            seed: 0,
+        }
+    }
+}
+
+struct Inner {
+    config: ServiceConfig,
+    /// Preset catalog: (lookup key, shared device). Devices are built
+    /// once at startup so their all-pairs distance matrices are paid
+    /// once, never per request.
+    catalog: Vec<(String, Arc<Device>)>,
+    cache: Arc<ShardedCache>,
+    metrics: Arc<ServiceMetrics>,
+    queue: Arc<Bounded<RouteJob>>,
+    shutdown: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.lock().expect("worker handles").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The running daemon (see the module docs). Clones share one
+/// instance; the worker pool stops when the last clone drops.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<Inner>,
+}
+
+impl Service {
+    /// Builds the device catalog and starts the worker pool.
+    pub fn start(config: ServiceConfig) -> Service {
+        let catalog: Vec<(String, Arc<Device>)> = Device::presets()
+            .into_iter()
+            .map(|(key, device)| (key.to_string(), Arc::new(device)))
+            .collect();
+        let cache = Arc::new(ShardedCache::new(
+            config.cache_capacity,
+            config.cache_shards,
+        ));
+        let metrics = Arc::new(ServiceMetrics::new());
+        let queue = Arc::new(Bounded::new(config.queue_capacity));
+        let workers = spawn_pool(config.workers, &queue, &cache, &metrics, config.seed);
+        Service {
+            inner: Arc::new(Inner {
+                config,
+                catalog,
+                cache,
+                metrics,
+                queue,
+                shutdown: AtomicBool::new(false),
+                workers: Mutex::new(workers),
+            }),
+        }
+    }
+
+    /// Resolves a device by preset key or canonical name
+    /// (case-insensitive).
+    fn lookup_device(&self, name: &str) -> Option<Arc<Device>> {
+        let wanted = name.to_ascii_lowercase();
+        self.inner
+            .catalog
+            .iter()
+            .find(|(key, device)| *key == wanted || device.name().to_ascii_lowercase() == wanted)
+            .map(|(_, device)| Arc::clone(device))
+    }
+
+    /// Whether a `shutdown` request has been served.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Handles one request line and returns the one response line
+    /// (without trailing newline). Never panics on malformed input.
+    pub fn handle_line(&self, line: &str) -> String {
+        let metrics = &self.inner.metrics;
+        ServiceMetrics::bump(&metrics.requests);
+        let request = match Request::parse_line(line) {
+            Ok(request) => request,
+            Err(message) => {
+                ServiceMetrics::bump(&metrics.errors);
+                // Echo the id even for unparseable requests when the
+                // line is at least JSON with a usable `id`, so clients
+                // can correlate the rejection.
+                let id = crate::json::Json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(crate::json::Json::as_u64));
+                return attach_id(id, &error_body(&message));
+            }
+        };
+        let id = request.id();
+        match request {
+            Request::Route {
+                device,
+                router,
+                qasm,
+                ..
+            } => attach_id(id, &self.handle_route(&device, router, &qasm)),
+            Request::Stats { .. } => attach_id(id, &self.stats_body()),
+            Request::Devices { .. } => attach_id(id, &self.devices_body()),
+            Request::Shutdown { .. } => {
+                self.inner.shutdown.store(true, Ordering::SeqCst);
+                attach_id(id, &shutdown_body())
+            }
+        }
+    }
+
+    /// The route path: parse → fit check → cache probe → queue →
+    /// blocked wait for the worker's verified reply.
+    fn handle_route(&self, device_name: &str, router: RouterKind, qasm: &str) -> String {
+        let metrics = &self.inner.metrics;
+        let fail = |message: String| -> String {
+            ServiceMetrics::bump(&metrics.errors);
+            error_body(&message)
+        };
+        let Some(device) = self.lookup_device(device_name) else {
+            let known: Vec<&str> = self.inner.catalog.iter().map(|(k, _)| k.as_str()).collect();
+            return fail(format!(
+                "unknown device `{device_name}` (known: {})",
+                known.join(", ")
+            ));
+        };
+        let flat = match codar_qasm::parse_and_flatten(qasm) {
+            Ok(flat) => flat,
+            Err(e) => return fail(format!("QASM error: {e}")),
+        };
+        // Router-ready form: ≤2-qubit gates only, same normalization
+        // as the benchmark suite.
+        let circuit = decompose_three_qubit_gates(&circuit_from_flat(&flat));
+        if circuit.num_qubits() > device.num_qubits() {
+            return fail(format!(
+                "circuit uses {} qubits but {} has {}",
+                circuit.num_qubits(),
+                device.name(),
+                device.num_qubits()
+            ));
+        }
+        // The cache key hashes the *canonical* circuit text (parsed,
+        // decomposed, re-serialized), so formatting differences in the
+        // submitted QASM cannot split cache entries.
+        let canonical = match circuit_to_qasm(&circuit) {
+            Ok(canonical) => canonical,
+            Err(e) => return fail(format!("cannot canonicalize circuit: {e}")),
+        };
+        let seed_text = self.inner.config.seed.to_string();
+        let material = key_material(&[&canonical, device.name(), router.name(), &seed_text]);
+        let key = fnv1a_extend(FNV_OFFSET, material.as_bytes());
+        if let Some(body) = self.inner.cache.get(key, &material) {
+            // The deep copy happens here, outside the shard lock; the
+            // probe itself only bumped a refcount.
+            return body.as_ref().to_string();
+        }
+        let (reply, result) = mpsc::channel();
+        let job = RouteJob {
+            key,
+            material,
+            circuit,
+            device,
+            router,
+            reply,
+        };
+        match self.inner.queue.try_push(job) {
+            Ok(()) => match result.recv() {
+                Ok(body) => body,
+                Err(_) => fail("worker terminated".to_string()),
+            },
+            Err(PushError::Full(_)) => {
+                ServiceMetrics::bump(&metrics.overloaded);
+                overloaded_body()
+            }
+            Err(PushError::Closed(_)) => fail("service is shutting down".to_string()),
+        }
+    }
+
+    /// The `stats` response body.
+    pub fn stats_body(&self) -> String {
+        let metrics = &self.inner.metrics;
+        let cache = self.inner.cache.stats();
+        format!(
+            "{{\"type\":\"stats\",\"status\":\"ok\",\"requests\":{},\"routed\":{},\
+             \"errors\":{},\"overloaded\":{},\"cache\":{{\"capacity\":{},\"shards\":{},\
+             \"entries\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"hit_rate\":{:.6}}}}}",
+            ServiceMetrics::read(&metrics.requests),
+            ServiceMetrics::read(&metrics.routed),
+            ServiceMetrics::read(&metrics.errors),
+            ServiceMetrics::read(&metrics.overloaded),
+            cache.capacity,
+            cache.shards,
+            cache.entries,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate(),
+        )
+    }
+
+    /// The `devices` response body (catalog order).
+    pub fn devices_body(&self) -> String {
+        let mut out = String::from("{\"type\":\"devices\",\"status\":\"ok\",\"devices\":[");
+        for (i, (key, device)) in self.inner.catalog.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"device\":{},\"qubits\":{}}}",
+                escape(key),
+                escape(device.name()),
+                device.num_qubits()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serves one NDJSON stream: one response line per request line,
+    /// in order. Returns after EOF or a `shutdown` request. Blank
+    /// lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the reader or writer.
+    pub fn serve_ndjson(
+        &self,
+        reader: impl BufRead,
+        mut writer: impl Write,
+    ) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut response = self.handle_line(&line);
+            response.push('\n');
+            // One write per response line: a split write would put the
+            // newline in its own TCP segment and stall on
+            // Nagle/delayed-ACK interaction.
+            writer.write_all(response.as_bytes())?;
+            writer.flush()?;
+            if self.shutdown_requested() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept loop: one thread per connection, each serving its stream
+    /// through [`Service::serve_ndjson`]. Returns once a `shutdown`
+    /// request has been served (on any connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than `WouldBlock`.
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        loop {
+            if self.shutdown_requested() {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    // Per-connection setup failures (e.g. the client
+                    // RSTs immediately) only cost that client its
+                    // connection — they must never stop the accept
+                    // loop. Request/response lines are tiny, so Nagle
+                    // coalescing would cost tens of ms per line.
+                    if stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let Ok(reader) = stream.try_clone() else {
+                        continue;
+                    };
+                    let service = self.clone();
+                    std::thread::spawn(move || {
+                        let _ = service.serve_ndjson(std::io::BufReader::new(reader), stream);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    const GHZ3: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\n\
+                        h q[0];\ncx q[0], q[1];\ncx q[1], q[2];\nmeasure q -> c;\n";
+
+    fn route_line(device: &str, router: &str, qasm: &str) -> String {
+        format!(
+            "{{\"type\":\"route\",\"device\":{},\"router\":{},\"circuit\":{}}}",
+            escape(device),
+            escape(router),
+            escape(qasm)
+        )
+    }
+
+    #[test]
+    fn route_stats_devices_shutdown_lifecycle() {
+        let service = Service::start(ServiceConfig::default());
+        let response = service.handle_line(&route_line("q5", "codar", GHZ3));
+        let parsed = Json::parse(&response).unwrap();
+        assert_eq!(
+            parsed.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{response}"
+        );
+        assert_eq!(parsed.get("verified").and_then(Json::as_bool), Some(true));
+
+        // Identical request → cache hit, byte-identical response.
+        let again = service.handle_line(&route_line("q5", "codar", GHZ3));
+        assert_eq!(response, again);
+        let stats = Json::parse(&service.handle_line("{\"type\":\"stats\"}")).unwrap();
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("routed").and_then(Json::as_u64), Some(1));
+
+        let devices = Json::parse(&service.handle_line("{\"type\":\"devices\"}")).unwrap();
+        match devices.get("devices") {
+            Some(Json::Arr(items)) => assert_eq!(items.len(), Device::presets().len()),
+            other => panic!("expected device array, got {other:?}"),
+        }
+
+        assert!(!service.shutdown_requested());
+        let ack = service.handle_line("{\"type\":\"shutdown\",\"id\":5}");
+        assert_eq!(ack, "{\"id\":5,\"type\":\"shutdown\",\"status\":\"ok\"}");
+        assert!(service.shutdown_requested());
+    }
+
+    #[test]
+    fn canonicalization_merges_equivalent_formattings() {
+        let service = Service::start(ServiceConfig::default());
+        let compact = "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[3]; h q[0]; cx q[0], q[2];";
+        let spaced = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n\nqreg q[3];\n  h q[0];\n  \
+                      cx q[0],q[2];\n";
+        let a = service.handle_line(&route_line("q20", "sabre", compact));
+        let b = service.handle_line(&route_line("q20", "sabre", spaced));
+        assert_eq!(a, b, "formatting must not split cache entries");
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses() {
+        let service = Service::start(ServiceConfig::default());
+        for (line, needle) in [
+            ("{not json", "malformed JSON"),
+            (&route_line("warp-drive", "codar", GHZ3), "unknown device"),
+            (
+                &route_line("q5", "codar", "qreg q[2]; zz q[0];"),
+                "QASM error",
+            ),
+            (
+                &route_line("q5", "codar", "qreg q[9]; cx q[0], q[8];"),
+                "uses 9 qubits",
+            ),
+        ] {
+            let response = service.handle_line(line);
+            let parsed = Json::parse(&response).unwrap();
+            assert_eq!(
+                parsed.get("status").and_then(Json::as_str),
+                Some("error"),
+                "{line} -> {response}"
+            );
+            assert!(
+                parsed
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .contains(needle),
+                "{line} -> {response}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_queue_answers_overloaded() {
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let response = service.handle_line(&route_line("q5", "codar", GHZ3));
+        let parsed = Json::parse(&response).unwrap();
+        assert_eq!(
+            parsed.get("status").and_then(Json::as_str),
+            Some("overloaded"),
+            "{response}"
+        );
+        let stats = Json::parse(&service.stats_body()).unwrap();
+        assert_eq!(stats.get("overloaded").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn ndjson_stream_responds_in_order_and_stops_at_shutdown() {
+        let service = Service::start(ServiceConfig::default());
+        let input = format!(
+            "{}\n\n{{\"type\":\"stats\",\"id\":1}}\n{{\"type\":\"shutdown\"}}\n\
+             {{\"type\":\"stats\",\"id\":2}}\n",
+            route_line("q5", "greedy", GHZ3)
+        );
+        let mut output = Vec::new();
+        service
+            .serve_ndjson(std::io::BufReader::new(input.as_bytes()), &mut output)
+            .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Three responses: route, stats, shutdown ack; the post-
+        // shutdown stats line is never served.
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"router\":\"greedy\""));
+        assert!(lines[1].starts_with("{\"id\":1,\"type\":\"stats\""));
+        assert!(lines[2].contains("\"type\":\"shutdown\""));
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let service = Service::start(ServiceConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let service = service.clone();
+            std::thread::spawn(move || service.serve_tcp(listener))
+        };
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+
+        stream
+            .write_all(format!("{}\n", route_line("q20", "codar", GHZ3)).as_bytes())
+            .unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+
+        line.clear();
+        stream.write_all(b"{\"type\":\"shutdown\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"type\":\"shutdown\""), "{line}");
+        server.join().unwrap().expect("accept loop exits cleanly");
+    }
+}

@@ -1,0 +1,234 @@
+//! The routing worker pool.
+//!
+//! A fixed number of worker threads pop [`RouteJob`]s off the bounded
+//! queue, route them with a per-worker [`codar_engine::RouteWorker`]
+//! (one reusable scratch per thread, the same pattern as the engine's
+//! `SuiteRunner`), **verify** the result (coupling compliance +
+//! semantic equivalence), serialize the routed circuit back to QASM and
+//! reply with a finished response body. Successful bodies are inserted
+//! into the shared result cache before the reply is sent, so an
+//! identical request that arrives next probes straight into a hit.
+
+use crate::cache::ShardedCache;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{error_body, RouteOutcome};
+use crate::queue::Bounded;
+use codar_arch::Device;
+use codar_circuit::from_qasm::circuit_to_qasm;
+use codar_circuit::Circuit;
+use codar_engine::{RouteWorker, RouterKind, RouterVariant};
+use codar_router::verify::{check_coupling, check_equivalence};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// One queued route request, ready to route.
+#[derive(Debug)]
+pub struct RouteJob {
+    /// Result-cache key of the request (already probed: a miss).
+    pub key: u64,
+    /// Full request identity ([`crate::cache::key_material`]), stored
+    /// with the cache entry so key collisions cannot alias.
+    pub material: String,
+    /// The parsed, ≤2-qubit-decomposed logical circuit.
+    pub circuit: Circuit,
+    /// Target device (shared; distance matrices are per-device).
+    pub device: Arc<Device>,
+    /// Router to run.
+    pub router: RouterKind,
+    /// Where the finished response body goes (the blocked caller).
+    pub reply: mpsc::Sender<String>,
+}
+
+/// Spawns the pool; threads exit when the queue is closed and drained.
+pub fn spawn_pool(
+    workers: usize,
+    queue: &Arc<Bounded<RouteJob>>,
+    cache: &Arc<ShardedCache>,
+    metrics: &Arc<ServiceMetrics>,
+    seed: u64,
+) -> Vec<JoinHandle<()>> {
+    (0..workers.max(1))
+        .map(|i| {
+            let queue = Arc::clone(queue);
+            let cache = Arc::clone(cache);
+            let metrics = Arc::clone(metrics);
+            std::thread::Builder::new()
+                .name(format!("codar-worker-{i}"))
+                .spawn(move || {
+                    let mut worker = RouteWorker::new();
+                    while let Some(job) = queue.pop() {
+                        // A panicking route must not kill the pool:
+                        // later queued jobs would block their callers
+                        // forever. Catch it, answer with an error, and
+                        // rebuild the (possibly inconsistent) scratch.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                route_job(&mut worker, &job, seed)
+                            }));
+                        let (body, ok) = outcome.unwrap_or_else(|_| {
+                            worker = RouteWorker::new();
+                            (error_body("internal error: routing panicked"), false)
+                        });
+                        if ok {
+                            ServiceMetrics::bump(&metrics.routed);
+                            if cache.enabled() {
+                                cache.insert(
+                                    job.key,
+                                    job.material.clone(),
+                                    Arc::from(body.as_str()),
+                                );
+                            }
+                        } else {
+                            ServiceMetrics::bump(&metrics.errors);
+                        }
+                        // A dropped receiver (client gone) is fine.
+                        let _ = job.reply.send(body);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+/// Routes one job end to end; returns `(response body, success)`.
+/// Failed jobs (router error, verification failure, serialization
+/// error) produce error bodies and are **never cached**.
+fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bool) {
+    // The server checks fit before queueing; guard again here because
+    // the placement builders assume it.
+    if job.circuit.num_qubits() > job.device.num_qubits() {
+        return (
+            error_body(&format!(
+                "routing failed: circuit uses {} qubits but {} has {}",
+                job.circuit.num_qubits(),
+                job.device.name(),
+                job.device.num_qubits()
+            )),
+            false,
+        );
+    }
+    let variant = RouterVariant::of_kind(job.router);
+    let initial = worker.initial_mapping(&job.circuit, &job.device, seed);
+    let routed = match worker.route(&job.circuit, &job.device, &variant, Some(initial)) {
+        Ok(routed) => routed,
+        Err(e) => return (error_body(&format!("routing failed: {e}")), false),
+    };
+    if let Err(e) = check_coupling(&routed.circuit, &job.device) {
+        return (
+            error_body(&format!("verification failed (coupling): {e}")),
+            false,
+        );
+    }
+    if let Err(e) = check_equivalence(&job.circuit, &routed) {
+        return (
+            error_body(&format!("verification failed (equivalence): {e}")),
+            false,
+        );
+    }
+    let qasm = match circuit_to_qasm(&routed.circuit) {
+        Ok(qasm) => qasm,
+        Err(e) => {
+            return (
+                error_body(&format!("cannot serialize routed circuit: {e}")),
+                false,
+            )
+        }
+    };
+    let outcome = RouteOutcome {
+        device: job.device.name().to_string(),
+        router: job.router,
+        qubits: job.circuit.num_qubits(),
+        input_gates: job.circuit.len(),
+        weighted_depth: routed.weighted_depth,
+        depth: routed.depth(),
+        swaps: routed.swaps_inserted,
+        output_gates: routed.gate_count(),
+        qasm,
+    };
+    (outcome.body(), true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn job_for(source: &str, router: RouterKind) -> (RouteJob, mpsc::Receiver<String>) {
+        let circuit = codar_circuit::from_qasm::circuit_from_source(source).expect("parse");
+        let (tx, rx) = mpsc::channel();
+        (
+            RouteJob {
+                key: 1,
+                material: format!("{source}\0q5\0{}\00", router.name()),
+                circuit,
+                device: Arc::new(Device::ibm_q5_yorktown()),
+                router,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn routes_verify_and_report_metrics() {
+        let (job, _rx) = job_for(
+            "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[4]; creg c[4]; \
+             h q[0]; cx q[0], q[3]; cx q[1], q[2]; measure q -> c;",
+            RouterKind::Codar,
+        );
+        let mut worker = RouteWorker::new();
+        let (body, ok) = route_job(&mut worker, &job, 0);
+        assert!(ok, "{body}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(parsed.get("verified").and_then(Json::as_bool), Some(true));
+        let qasm = parsed.get("qasm").and_then(Json::as_str).unwrap();
+        // The routed QASM is itself valid and re-parses.
+        codar_circuit::from_qasm::circuit_from_source(qasm).expect("routed QASM parses");
+    }
+
+    #[test]
+    fn router_errors_become_error_bodies_not_panics() {
+        // 6 qubits cannot fit the 5-qubit Yorktown.
+        let (job, _rx) = job_for("qreg q[6]; cx q[0], q[5];", RouterKind::Sabre);
+        let mut worker = RouteWorker::new();
+        let (body, ok) = route_job(&mut worker, &job, 0);
+        assert!(!ok);
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("error"));
+        assert!(
+            parsed
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("routing failed"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn pool_drains_queue_then_exits() {
+        let queue = Arc::new(Bounded::new(16));
+        let cache = Arc::new(ShardedCache::new(8, 2));
+        let metrics = Arc::new(ServiceMetrics::new());
+        let handles = spawn_pool(2, &queue, &cache, &metrics, 0);
+        let mut receivers = Vec::new();
+        for _ in 0..4 {
+            let (job, rx) = job_for(
+                "qreg q[3]; cx q[0], q[2]; cx q[1], q[2];",
+                RouterKind::Codar,
+            );
+            queue.try_push(job).unwrap();
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            let body = rx.recv().expect("worker replies");
+            assert!(body.contains("\"status\":\"ok\""), "{body}");
+        }
+        queue.close();
+        for handle in handles {
+            handle.join().expect("worker exits cleanly");
+        }
+        assert_eq!(ServiceMetrics::read(&metrics.routed), 4);
+    }
+}

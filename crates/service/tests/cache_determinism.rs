@@ -1,0 +1,104 @@
+//! The cache-transparency property: for **any** route request
+//! sequence, a cache-enabled daemon and a cache-disabled daemon emit
+//! byte-identical response streams (the 1-CPU container's determinism
+//! gate — we cannot measure parallel speedup locally, so we gate on
+//! byte equality instead). Sequences mix repeated circuits (cache
+//! hits), distinct devices/routers (distinct cache keys) and invalid
+//! requests (never cached), drawn deterministically from the proptest
+//! seed.
+
+use codar_benchmarks::generators;
+use codar_circuit::from_qasm::circuit_to_qasm;
+use codar_service::json::escape;
+use codar_service::{Service, ServiceConfig};
+use proptest::prelude::*;
+
+/// A small deterministic circuit for request `pick` (3–5 qubits, so it
+/// fits every catalog device).
+fn circuit_qasm(pick: u64) -> String {
+    let n = 3 + (pick % 3) as usize;
+    let gates = 8 + (pick % 24) as usize;
+    circuit_to_qasm(&generators::random_clifford_t(n, gates, pick % 7)).expect("serializes")
+}
+
+/// Builds the `i`-th request of the sequence derived from `seed`.
+fn request_line(seed: u64, i: u64) -> String {
+    // Cheap splitmix-style per-request scrambling (deterministic).
+    let x = (seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    match x % 10 {
+        // Mostly route requests over a small circuit space so repeats
+        // (and therefore cache hits) actually occur.
+        0..=6 => {
+            let device = ["q5", "q16", "q20"][(x / 10 % 3) as usize];
+            let router = ["codar", "sabre", "greedy"][(x / 30 % 3) as usize];
+            format!(
+                "{{\"type\":\"route\",\"id\":{i},\"device\":\"{device}\",\
+                 \"router\":\"{router}\",\"circuit\":{}}}",
+                escape(&circuit_qasm(x / 90 % 6))
+            )
+        }
+        // Error paths: never cached, must still be byte-identical.
+        7 => format!(
+            "{{\"type\":\"route\",\"id\":{i},\"device\":\"nonexistent\",\"circuit\":\"x\"}}"
+        ),
+        8 => {
+            format!("{{\"type\":\"route\",\"id\":{i},\"device\":\"q5\",\"circuit\":\"qreg q[;\"}}")
+        }
+        _ => format!("{{\"type\":\"devices\",\"id\":{i}}}"),
+    }
+}
+
+fn response_stream(service: &Service, seed: u64, len: u64) -> String {
+    let mut out = String::new();
+    for i in 0..len {
+        out.push_str(&service.handle_line(&request_line(seed, i)));
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cache on vs cache off vs a tiny thrashing cache: identical
+    /// response streams for any request sequence.
+    #[test]
+    fn cache_configuration_is_invisible_in_responses(seed in 0u64..1000) {
+        let len = 24 + seed % 12;
+        let cached = Service::start(ServiceConfig::default());
+        let uncached = Service::start(ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        // A 2-entry cache evicts constantly: exercises the LRU path
+        // while still proving transparency.
+        let thrashing = Service::start(ServiceConfig {
+            cache_capacity: 2,
+            cache_shards: 1,
+            ..ServiceConfig::default()
+        });
+        let with_cache = response_stream(&cached, seed, len);
+        let without_cache = response_stream(&uncached, seed, len);
+        let with_thrashing = response_stream(&thrashing, seed, len);
+        prop_assert_eq!(&with_cache, &without_cache,
+            "cache-on vs cache-off streams differ (seed {})", seed);
+        prop_assert_eq!(&with_cache, &with_thrashing,
+            "thrashing-cache stream differs (seed {})", seed);
+        // And the cache-enabled daemon really did serve hits.
+        let stats = cached.cache_stats();
+        prop_assert!(stats.hits + stats.misses > 0);
+    }
+
+    /// Two fresh identically configured daemons replay the same
+    /// sequence to the same bytes (no hidden per-instance state).
+    #[test]
+    fn fresh_instances_replay_identically(seed in 0u64..1000) {
+        let len = 16 + seed % 8;
+        let first = Service::start(ServiceConfig::default());
+        let second = Service::start(ServiceConfig::default());
+        prop_assert_eq!(
+            response_stream(&first, seed, len),
+            response_stream(&second, seed, len)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! The end-to-end acceptance gate (ISSUE 4):
+//!
+//! `loadgen` against an in-process `coded` must route ≥ 500 requests
+//! with ≥ 0.9 cache hit rate at repeat ratio 0.95, every response
+//! verified, and the response stream must be byte-identical (a) across
+//! two identical seeded runs and (b) between a cache-enabled and a
+//! cache-disabled daemon — all on one worker thread (the 1-CPU
+//! container's determinism policy).
+
+use codar_service::loadgen::{run, LoadgenConfig};
+use codar_service::{Service, ServiceConfig};
+
+fn e2e_config() -> LoadgenConfig {
+    LoadgenConfig {
+        requests: 500,
+        seed: 42,
+        repeat_ratio: 0.95,
+        // Small circuits keep the cache-off control run fast in debug
+        // builds; the mix still spans four devices' worth of sizes.
+        max_qubits: 6,
+        ..LoadgenConfig::default()
+    }
+}
+
+fn one_worker(cache_capacity: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        cache_capacity,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn loadgen_closed_loop_meets_the_acceptance_bar() {
+    let config = e2e_config();
+
+    // Run 1: cache enabled.
+    let mut cached = Service::start(one_worker(1024));
+    let first = run(&config, &mut cached).expect("in-process transport cannot fail");
+    assert_eq!(first.ok, 500, "all 500 requests must route");
+    assert_eq!(first.errors, 0);
+    assert_eq!(first.verified, 500, "every response must be verified");
+    assert_eq!(first.cache_hits + first.cache_misses, 500);
+    assert!(
+        first.cache_hit_rate() >= 0.9,
+        "hit rate {:.3} below the 0.9 bar",
+        first.cache_hit_rate()
+    );
+
+    // Run 2: fresh identically configured daemon, same seed — the
+    // whole deterministic summary (stream checksum included) must be
+    // byte-identical.
+    let mut replay = Service::start(one_worker(1024));
+    let second = run(&config, &mut replay).expect("in-process transport cannot fail");
+    assert_eq!(
+        first.summary_json(),
+        second.summary_json(),
+        "two identical seeded runs diverged"
+    );
+
+    // Run 3: cache disabled. Counters differ (hit rate 0 by
+    // definition) but the route response *stream* must not.
+    let mut uncached = Service::start(one_worker(0));
+    let control = run(&config, &mut uncached).expect("in-process transport cannot fail");
+    assert_eq!(control.ok, 500);
+    assert_eq!(control.verified, 500);
+    assert_eq!(control.cache_hits, 0, "capacity 0 cannot hit");
+    assert_eq!(
+        first.stream_fnv, control.stream_fnv,
+        "cache-on vs cache-off response streams diverged"
+    );
+    assert_eq!(first.total_swaps, control.total_swaps);
+    assert_eq!(first.total_weighted_depth, control.total_weighted_depth);
+}

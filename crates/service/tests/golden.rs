@@ -1,0 +1,144 @@
+//! Golden-response regression test for `coded --stdin`.
+//!
+//! Drives the daemon binary end to end over a fixtures file of NDJSON
+//! requests (routes on three routers, a cache-hit repeat with
+//! different formatting, every error path, `devices`/`stats`/
+//! `shutdown`) and diffs stdout byte-for-byte against the committed
+//! golden responses — the same harness pattern as
+//! `crates/bench/tests/golden.rs`. Regenerate after an intentional
+//! protocol change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p codar-service --test golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_coded_stdin(extra_args: &[&str]) -> String {
+    let requests = std::fs::File::open(fixture("requests.ndjson")).expect("fixtures file");
+    let output = Command::new(env!("CARGO_BIN_EXE_coded"))
+        .arg("--stdin")
+        .args(extra_args)
+        .stdin(Stdio::from(requests))
+        .output()
+        .expect("spawn coded");
+    assert!(
+        output.status.success(),
+        "coded --stdin {extra_args:?} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("responses are UTF-8")
+}
+
+#[test]
+fn stdin_responses_match_golden_and_are_cache_invariant() {
+    let first = run_coded_stdin(&[]);
+    // Replays and a cache-disabled daemon must produce the same bytes.
+    assert_eq!(
+        first,
+        run_coded_stdin(&[]),
+        "two runs over the same requests diverged"
+    );
+    let uncached = run_coded_stdin(&["--cache-capacity", "0"]);
+    assert_eq!(
+        first.lines().count(),
+        uncached.lines().count(),
+        "cache-off run produced a different number of responses"
+    );
+    for (a, b) in first.lines().zip(uncached.lines()) {
+        // stats lines legitimately differ (they report the cache);
+        // everything else must not.
+        if a.contains("\"type\":\"stats\"") && b.contains("\"type\":\"stats\"") {
+            continue;
+        }
+        assert_eq!(a, b, "cache-off run diverged on a non-stats response");
+    }
+
+    let path = fixture("responses.golden.ndjson");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &first).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, first,
+        "responses drifted; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn malformed_cli_flags_fail_loudly() {
+    for args in [
+        &["--workers", "many"][..],
+        &["--cache-capacity"][..],
+        &["--seed", "-3"][..],
+        &["--bogus"][..],
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_coded"))
+            .args(args)
+            .output()
+            .expect("spawn coded");
+        assert!(
+            !output.status.success(),
+            "coded {args:?} must exit non-zero"
+        );
+        assert!(
+            !output.stderr.is_empty(),
+            "coded {args:?} must print an error"
+        );
+    }
+}
+
+#[test]
+fn loadgen_cli_is_strict_too() {
+    for args in [
+        &["--requests", "ten"][..],
+        &["--repeat-ratio", "often"][..],
+        &["--connect"][..],
+        &["--whatever"][..],
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+            .args(args)
+            .output()
+            .expect("spawn loadgen");
+        assert!(
+            !output.status.success(),
+            "loadgen {args:?} must exit non-zero"
+        );
+        assert!(
+            !output.stderr.is_empty(),
+            "loadgen {args:?} must print an error"
+        );
+    }
+}
+
+#[test]
+fn loadgen_summary_is_deterministic_across_runs() {
+    // The CI determinism check, as a test: identical summary JSON on
+    // stdout for two identical seeded runs (latency goes to stderr).
+    let run = || {
+        let output = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+            .args(["--requests", "40", "--seed", "7", "--max-qubits", "5"])
+            .output()
+            .expect("spawn loadgen");
+        assert!(
+            output.status.success(),
+            "loadgen exited with {:?}\nstderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).expect("summary is UTF-8")
+    };
+    let first = run();
+    assert_eq!(first, run(), "loadgen summaries diverged across runs");
+    assert!(first.contains("\"cache_hit_rate\""), "{first}");
+}

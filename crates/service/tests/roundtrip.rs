@@ -1,0 +1,89 @@
+//! QASM round-trip correctness for every benchmark circuit the service
+//! can serve.
+//!
+//! The daemon's `route` path serializes circuits to QASM twice — the
+//! canonical form that keys the cache, and the routed circuit in the
+//! response — and clients are expected to re-parse both. That makes
+//! `parse(write(parse(x)))` a **correctness dependency** of the
+//! service: a circuit that drifts across a write/parse cycle would
+//! split cache entries or hand clients a different program than was
+//! routed. These tests pin the property over the full 71-entry suite
+//! (every `loadgen --max-qubits` pool is a subset of it).
+
+use codar_benchmarks::suite::full_suite;
+use codar_circuit::from_qasm::{circuit_from_source, circuit_to_qasm};
+
+#[test]
+fn every_suite_circuit_round_trips_exactly() {
+    for entry in full_suite() {
+        let written = circuit_to_qasm(&entry.circuit)
+            .unwrap_or_else(|e| panic!("{}: cannot serialize: {e}", entry.name));
+        let reparsed = circuit_from_source(&written)
+            .unwrap_or_else(|e| panic!("{}: emitted QASM does not parse: {e}", entry.name));
+        assert_eq!(
+            entry.circuit.num_qubits(),
+            reparsed.num_qubits(),
+            "{}: qubit count drifted",
+            entry.name
+        );
+        assert_eq!(
+            entry.circuit.gates(),
+            reparsed.gates(),
+            "{}: gate sequence drifted across write/parse",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn second_write_parse_cycle_is_a_fixed_point() {
+    // parse(write(parse(x))) == parse(x) gate-for-gate implies the
+    // canonical text itself is stable: write(parse(write(c))) ==
+    // write(c). The cache key depends on exactly this.
+    for entry in full_suite() {
+        let first = circuit_to_qasm(&entry.circuit).expect("serializes");
+        let reparsed = circuit_from_source(&first).expect("parses");
+        let second = circuit_to_qasm(&reparsed).expect("serializes again");
+        assert_eq!(
+            first, second,
+            "{}: canonical QASM is not a fixed point",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn routed_outputs_round_trip_too() {
+    // The response-path variant: routed circuits contain inserted
+    // SWAPs and physical indices; their QASM must survive a cycle as
+    // well. One small representative per router is enough here — the
+    // e2e test covers the full mix.
+    use codar_arch::Device;
+    use codar_engine::{RouteWorker, RouterKind, RouterVariant};
+
+    let device = Device::ibm_q5_yorktown();
+    let entry = full_suite()
+        .into_iter()
+        .find(|e| e.num_qubits <= 5 && e.circuit.two_qubit_gate_count() > 3)
+        .expect("a small entry exists");
+    let mut worker = RouteWorker::new();
+    for kind in [RouterKind::Codar, RouterKind::Sabre, RouterKind::Greedy] {
+        let initial = worker.initial_mapping(&entry.circuit, &device, 0);
+        let routed = worker
+            .route(
+                &entry.circuit,
+                &device,
+                &RouterVariant::of_kind(kind),
+                Some(initial),
+            )
+            .expect("fits");
+        let written = circuit_to_qasm(&routed.circuit).expect("routed serializes");
+        let reparsed = circuit_from_source(&written).expect("routed QASM parses");
+        assert_eq!(
+            routed.circuit.gates(),
+            reparsed.gates(),
+            "routed {} output drifted",
+            kind.name()
+        );
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`sim`] — noisy state-vector simulation,
 //! * [`benchmarks`] — benchmark generators and the 71-circuit suite,
 //! * [`engine`] — the parallel suite-routing engine every paper
-//!   experiment runs on (see `ARCHITECTURE.md`).
+//!   experiment runs on (see `ARCHITECTURE.md`),
+//! * [`service`] — the online routing daemon (`coded`) and its
+//!   deterministic load generator (`loadgen`).
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@ pub use codar_circuit as circuit;
 pub use codar_engine as engine;
 pub use codar_qasm as qasm;
 pub use codar_router as router;
+pub use codar_service as service;
 pub use codar_sim as sim;
 
 /// Convenience prelude importing the most common types.
