@@ -44,6 +44,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             .cloned()
             .ok_or_else(|| format!("{flag} needs a value"))
     };
+    let mut daemon_flag: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -61,6 +62,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     "--cache-capacity" => parsed.service.cache_capacity = number,
                     "--queue-capacity" => parsed.service.queue_capacity = number,
                     _ => unreachable!(),
+                }
+                if matches!(flag, "--workers" | "--cache-capacity" | "--queue-capacity") {
+                    daemon_flag = Some(flag);
                 }
                 i += 2;
             }
@@ -88,6 +92,15 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    // Daemon-config flags only shape the in-process daemon; a remote
+    // daemon keeps its own config, so accepting them with --connect
+    // would silently do nothing.
+    if let (Some(addr), Some(flag)) = (&parsed.connect, daemon_flag) {
+        return Err(format!(
+            "{flag} configures the in-process daemon and has no effect with --connect {addr}; \
+             pass it to `coded` instead"
+        ));
     }
     Ok(parsed)
 }

@@ -124,16 +124,50 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Resul
     }
 }
 
+/// Parses a number with the exact JSON grammar:
+/// `-? (0 | [1-9][0-9]*) (. [0-9]+)? ([eE] [+-]? [0-9]+)?`.
+/// Forms Rust's `f64` parser would accept but JSON does not (`+5`,
+/// `.5`, `1.`, `01`, `1e`) are rejected here.
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
+    let err = |what: &str| format!("{what} in number at byte {start}");
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while matches!(
-        bytes.get(*pos),
-        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    ) {
+    match bytes.get(*pos) {
+        Some(b'0') => {
+            *pos += 1;
+            if matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                return Err(err("leading zero"));
+            }
+        }
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(err("missing integer part")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
         *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(err("missing fraction digits"));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(err("missing exponent digits"));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
     text.parse::<f64>()
@@ -166,19 +200,22 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         *pos += 1;
                         let unit = parse_hex4(bytes, pos)?;
-                        // Combine surrogate pairs; lone surrogates are
-                        // replaced (requests are not trusted input).
+                        // Combine surrogate pairs; lone or mispaired
+                        // surrogates degrade to U+FFFD (requests are
+                        // not trusted input). The second escape is
+                        // consumed only when it really is a low
+                        // surrogate, so `\ud800A` yields
+                        // "\u{FFFD}A" rather than swallowing the `A`.
                         let c = if (0xD800..0xDC00).contains(&unit) {
-                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
-                            {
-                                *pos += 2;
-                                let low = parse_hex4(bytes, pos)?;
-                                let combined = 0x10000
-                                    + ((unit as u32 - 0xD800) << 10)
-                                    + (low as u32).wrapping_sub(0xDC00);
-                                char::from_u32(combined).unwrap_or('\u{FFFD}')
-                            } else {
-                                '\u{FFFD}'
+                            match peek_low_surrogate(bytes, *pos) {
+                                Some(low) => {
+                                    *pos += 6; // the `\uXXXX` just peeked
+                                    let combined = 0x10000
+                                        + ((unit as u32 - 0xD800) << 10)
+                                        + (low as u32 - 0xDC00);
+                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                }
+                                None => '\u{FFFD}',
                             }
                         } else {
                             char::from_u32(unit as u32).unwrap_or('\u{FFFD}')
@@ -194,15 +231,38 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 return Err(format!("unescaped control byte at {pos}", pos = *pos));
             }
             Some(_) => {
-                // Copy one UTF-8 scalar (input is a &str, so slicing at
-                // the next char boundary is safe).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Copy the contiguous run up to the next quote, escape,
+                // or control byte in one shot (re-validating the whole
+                // remaining input per character would be O(n²)). Run
+                // boundaries are ASCII bytes, so they always fall on
+                // UTF-8 char boundaries of the original &str input.
+                let run_start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' || b < 0x20 {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run =
+                    std::str::from_utf8(&bytes[run_start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }
+}
+
+/// Reads the `\uXXXX` escape at `pos` without advancing, returning its
+/// value only when it is a low surrogate — the only unit that may
+/// legally follow a high surrogate. Anything else (no escape, a
+/// malformed escape, a non-surrogate, another high surrogate) returns
+/// `None` and is left for the main string loop to handle on its own.
+fn peek_low_surrogate(bytes: &[u8], pos: usize) -> Option<u16> {
+    if bytes.get(pos) != Some(&b'\\') || bytes.get(pos + 1) != Some(&b'u') {
+        return None;
+    }
+    let mut p = pos + 2;
+    let v = parse_hex4(bytes, &mut p).ok()?;
+    (0xDC00..=0xDFFF).contains(&v).then_some(v)
 }
 
 fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u16, String> {
@@ -335,6 +395,42 @@ mod tests {
             Json::parse(r#""\ud83d!""#).unwrap(),
             Json::Str("\u{FFFD}!".into())
         );
+    }
+
+    #[test]
+    fn mispaired_surrogates_degrade_without_panicking() {
+        // High surrogate followed by a non-surrogate escape: the
+        // second escape must survive as its own character (this input
+        // overflowed u32 arithmetic and panicked debug builds before
+        // the pairing check was added).
+        assert_eq!(
+            Json::parse(r#""\ud800\u0041""#).unwrap(),
+            Json::Str("\u{FFFD}A".into())
+        );
+        // Same with a literal (non-escape) character after the high
+        // surrogate.
+        assert_eq!(
+            Json::parse(r#""\ud800A""#).unwrap(),
+            Json::Str("\u{FFFD}A".into())
+        );
+        // High surrogate followed by another high surrogate that goes
+        // on to pair correctly with the escape after it.
+        assert_eq!(
+            Json::parse(r#""\ud800\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{FFFD}😀".into())
+        );
+        // High surrogate at end of string, and a lone low surrogate.
+        assert_eq!(
+            Json::parse(r#""\ud800""#).unwrap(),
+            Json::Str("\u{FFFD}".into())
+        );
+        assert_eq!(
+            Json::parse(r#""\udc00x""#).unwrap(),
+            Json::Str("\u{FFFD}x".into())
+        );
+        // A malformed second escape is still a parse error, not a
+        // silent replacement.
+        assert!(Json::parse(r#""\ud800\uZZZZ""#).is_err());
     }
 
     #[test]

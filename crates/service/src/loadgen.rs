@@ -169,7 +169,8 @@ impl LoadgenReport {
              \"response_stream_fnv\": \"{:016x}\"\n}}\n",
             self.config.requests,
             self.config.seed,
-            // Printed as applied: the mix clamps to [0, 1].
+            // Printed as applied: the mix clamps to [0, 1]. `hot` is
+            // already the applied (pool-clamped) value — see `run`.
             self.config.repeat_ratio.clamp(0.0, 1.0),
             self.config.max_qubits,
             self.config.hot,
@@ -216,6 +217,10 @@ pub fn run(
         ));
     }
     let mut mix = CircuitMix::with_pool(pool, config.hot, config.seed, config.repeat_ratio);
+    // The report records the hot-set size as applied (the mix clamps
+    // to [1, pool size]), so identical behavior prints an identical
+    // summary even when the requested --hot was out of range.
+    let applied_hot = mix.hot();
     // Serialize each pool entry once; requests reuse the strings.
     let pool_qasm: Vec<String> = mix
         .pool()
@@ -224,7 +229,10 @@ pub fn run(
         .collect();
 
     let mut report = LoadgenReport {
-        config: config.clone(),
+        config: LoadgenConfig {
+            hot: applied_hot,
+            ..config.clone()
+        },
         ok: 0,
         errors: 0,
         verified: 0,
@@ -308,6 +316,31 @@ mod tests {
         let json = report.summary_json();
         assert!(json.contains("\"version\": 1"));
         assert!(json.contains("\"ok\": 30"));
+    }
+
+    #[test]
+    fn summary_reports_hot_as_applied() {
+        // An out-of-range --hot is clamped by the mix; the summary
+        // must print the clamped value so identical behavior always
+        // prints an identical summary.
+        let run_with_hot = |hot: usize| {
+            let mut service = Service::start(ServiceConfig::default());
+            let config = LoadgenConfig {
+                requests: 5,
+                max_qubits: 4,
+                hot,
+                ..LoadgenConfig::default()
+            };
+            run(&config, &mut service).unwrap()
+        };
+        let oversized = run_with_hot(10_000);
+        let pool_size = service_pool(4).len();
+        assert_eq!(oversized.config.hot, pool_size);
+        assert!(oversized
+            .summary_json()
+            .contains(&format!("\"hot\": {pool_size}")));
+        let zero = run_with_hot(0);
+        assert_eq!(zero.config.hot, 1);
     }
 
     #[test]

@@ -105,6 +105,11 @@ fn loadgen_cli_is_strict_too() {
         &["--repeat-ratio", "often"][..],
         &["--connect"][..],
         &["--whatever"][..],
+        // Daemon-config flags shape the in-process daemon only; with
+        // --connect they would silently do nothing, so they must be
+        // rejected (in either flag order).
+        &["--connect", "127.0.0.1:1", "--cache-capacity", "0"][..],
+        &["--workers", "2", "--connect", "127.0.0.1:1"][..],
     ] {
         let output = Command::new(env!("CARGO_BIN_EXE_loadgen"))
             .args(args)
