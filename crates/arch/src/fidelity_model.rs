@@ -7,12 +7,36 @@
 //! numbers, complementing the trajectory simulator (which is exact but
 //! only feasible for small circuits).
 
+use crate::calibration::CalibrationSnapshot;
 use crate::duration::GateDurations;
 use crate::technology::TechnologyParams;
 use codar_circuit::schedule::Schedule;
-use codar_circuit::{Circuit, GateKind};
+use codar_circuit::{Circuit, Gate, GateKind};
+
+/// Per-edge/per-qubit fidelity tables derived from a non-uniform
+/// [`CalibrationSnapshot`] (see [`FidelityModel::from_snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+struct CalibrationTables {
+    num_qubits: usize,
+    /// `edge_fidelity[a * n + b]` for normalized `a < b`; `-1.0` marks
+    /// "no entry" (falls back to the scalar `two_qubit`).
+    edge_fidelity: Vec<f64>,
+    /// Per-qubit readout fidelity.
+    readout_fidelity: Vec<f64>,
+    /// Per-qubit T2 in cycles; `0.0` disables the idle penalty for
+    /// that qubit.
+    t2_cycles: Vec<f64>,
+}
 
 /// Per-operation fidelities of a device.
+///
+/// The scalar fields describe a *uniform* device (the Table I view).
+/// [`FidelityModel::from_snapshot`] generalizes the model to consume a
+/// [`CalibrationSnapshot`]: a uniform snapshot collapses back to the
+/// scalar model (so EPS stays bit-identical with the pre-calibration
+/// code path), while a drifted snapshot attaches per-edge and
+/// per-qubit tables that [`FidelityModel::success_probability`] reads
+/// per gate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FidelityModel {
     /// Single-qubit gate fidelity.
@@ -25,6 +49,9 @@ pub struct FidelityModel {
     /// qubits decay as `exp(-idle_cycles / t2_cycles)`. `None` disables
     /// the idle penalty.
     pub t2_cycles: Option<f64>,
+    /// Per-edge/per-qubit overrides from a non-uniform snapshot. The
+    /// scalar fields above then hold means, for display only.
+    calibration: Option<CalibrationTables>,
 }
 
 impl FidelityModel {
@@ -46,6 +73,7 @@ impl FidelityModel {
             two_qubit,
             readout,
             t2_cycles: None,
+            calibration: None,
         }
     }
 
@@ -77,6 +105,95 @@ impl FidelityModel {
         model
     }
 
+    /// Builds the model a [`CalibrationSnapshot`] describes.
+    ///
+    /// A **uniform** snapshot (every edge and qubit bit-identical —
+    /// what [`CalibrationSnapshot::uniform`] and
+    /// [`CalibrationSnapshot::from_technology`] produce) is the
+    /// degenerate case and collapses to the plain scalar model, so its
+    /// [`FidelityModel::success_probability`] runs the exact
+    /// pre-calibration code path and returns bit-identical EPS. A
+    /// non-uniform snapshot attaches per-edge and per-qubit tables:
+    /// each two-qubit gate is charged its own edge's fidelity, each
+    /// measurement its qubit's readout fidelity, and the idle penalty
+    /// integrates `idle_q / t2_q` per qubit.
+    ///
+    /// T2 is converted from microseconds with the snapshot's
+    /// `cycle_ns` using the same expression as
+    /// [`FidelityModel::from_technology`]
+    /// (`t2_us * 1000.0 / cycle_ns`); `cycle_ns == 0` disables the
+    /// idle penalty, like an unreported gate time.
+    pub fn from_snapshot(snapshot: &CalibrationSnapshot) -> FidelityModel {
+        let n = snapshot.num_qubits();
+        let single_qubit = 1.0 - snapshot.single_qubit_error;
+        let t2_cycles_of = |t2_us: f64| -> Option<f64> {
+            (snapshot.cycle_ns > 0.0 && t2_us > 0.0).then(|| t2_us * 1000.0 / snapshot.cycle_ns)
+        };
+        if snapshot.is_uniform() {
+            // The degenerate reduction: reconstruct the scalar model
+            // from any representative edge/qubit (they are all
+            // bit-identical). `1 - (1 - f)` is exact for f >= 0.5.
+            let two_qubit = 1.0 - snapshot.edges().first().map_or(0.0, |&(_, _, e)| e.error);
+            let readout = 1.0 - snapshot.qubits().first().map_or(0.05, |q| q.readout_error);
+            let mut model = FidelityModel::new(single_qubit, two_qubit, readout);
+            if let Some(t2) = snapshot
+                .qubits()
+                .first()
+                .and_then(|q| t2_cycles_of(q.t2_us))
+            {
+                model = model.with_t2_cycles(t2);
+            }
+            return model;
+        }
+        let mut edge_fidelity = vec![-1.0; n * n];
+        let mut error_sum = 0.0;
+        for &(a, b, e) in snapshot.edges() {
+            edge_fidelity[a * n + b] = 1.0 - e.error;
+            error_sum += e.error;
+        }
+        let readout_fidelity: Vec<f64> = snapshot
+            .qubits()
+            .iter()
+            .map(|q| 1.0 - q.readout_error)
+            .collect();
+        let t2_cycles: Vec<f64> = snapshot
+            .qubits()
+            .iter()
+            .map(|q| t2_cycles_of(q.t2_us).unwrap_or(0.0))
+            .collect();
+        let mean = |values: &[f64]| -> f64 {
+            if values.is_empty() {
+                1.0
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            }
+        };
+        let mean_t2: Vec<f64> = t2_cycles.iter().copied().filter(|&t| t > 0.0).collect();
+        FidelityModel {
+            single_qubit,
+            two_qubit: 1.0
+                - if snapshot.edges().is_empty() {
+                    0.0
+                } else {
+                    error_sum / snapshot.edges().len() as f64
+                },
+            readout: mean(&readout_fidelity),
+            t2_cycles: (!mean_t2.is_empty()).then(|| mean(&mean_t2)),
+            calibration: Some(CalibrationTables {
+                num_qubits: n,
+                edge_fidelity,
+                readout_fidelity,
+                t2_cycles,
+            }),
+        }
+    }
+
+    /// Whether this model carries per-edge/per-qubit calibration
+    /// tables (false for scalar models and uniform snapshots).
+    pub fn is_calibrated(&self) -> bool {
+        self.calibration.is_some()
+    }
+
     /// The fidelity charged for one gate.
     pub fn of_gate(&self, kind: GateKind) -> f64 {
         match kind {
@@ -90,10 +207,51 @@ impl FidelityModel {
         }
     }
 
+    /// The fidelity charged for one gate under the calibration tables
+    /// (two-qubit gates read their physical edge, measurements their
+    /// qubit's readout; everything else falls back to the scalars).
+    /// Gate endpoints must therefore be *physical* qubit indices —
+    /// i.e. the circuit has been routed.
+    fn of_gate_at(&self, gate: &Gate, tables: &CalibrationTables) -> f64 {
+        let edge = |qubits: &[usize]| -> f64 {
+            let (a, b) = (qubits[0].min(qubits[1]), qubits[0].max(qubits[1]));
+            match tables.edge_fidelity.get(a * tables.num_qubits + b) {
+                Some(&f) if f >= 0.0 => f,
+                _ => self.two_qubit,
+            }
+        };
+        match gate.kind {
+            GateKind::Barrier => 1.0,
+            GateKind::Measure => tables
+                .readout_fidelity
+                .get(gate.qubits[0])
+                .copied()
+                .unwrap_or(self.readout),
+            GateKind::Reset => self.single_qubit,
+            GateKind::Swap => edge(&gate.qubits).powi(3), // 3 CNOTs
+            GateKind::Ccx | GateKind::Cswap => self.two_qubit.powi(6),
+            k if k.is_two_qubit() => edge(&gate.qubits),
+            _ => self.single_qubit,
+        }
+    }
+
     /// Estimated success probability of `circuit`: the product of gate
     /// fidelities, times an idle-decoherence factor when T2 is set
     /// (idle time measured on the ASAP schedule under `durations`).
+    ///
+    /// With calibration tables attached (see
+    /// [`FidelityModel::from_snapshot`]) every factor is read from the
+    /// gate's own edge/qubit and the idle penalty uses each qubit's
+    /// own T2; the circuit's qubit indices must then be physical.
     pub fn success_probability(&self, circuit: &Circuit, durations: &GateDurations) -> f64 {
+        match &self.calibration {
+            None => self.success_probability_scalar(circuit, durations),
+            Some(tables) => self.success_probability_calibrated(circuit, durations, tables),
+        }
+    }
+
+    /// The scalar (pre-calibration) EPS path, byte-for-byte unchanged.
+    fn success_probability_scalar(&self, circuit: &Circuit, durations: &GateDurations) -> f64 {
         let mut p: f64 = circuit
             .gates()
             .iter()
@@ -118,6 +276,40 @@ impl FidelityModel {
                 .map(|&b| schedule.makespan.saturating_sub(b))
                 .sum();
             p *= (-(idle_total as f64) / t2).exp();
+        }
+        p
+    }
+
+    /// The table-driven EPS path: per-edge gate factors and a
+    /// per-qubit idle penalty `exp(-Σ_q idle_q / t2_q)`.
+    fn success_probability_calibrated(
+        &self,
+        circuit: &Circuit,
+        durations: &GateDurations,
+        tables: &CalibrationTables,
+    ) -> f64 {
+        let mut p: f64 = circuit
+            .gates()
+            .iter()
+            .map(|g| self.of_gate_at(g, tables))
+            .product();
+        if tables.t2_cycles.iter().any(|&t| t > 0.0) {
+            let schedule = Schedule::asap(circuit, |g| durations.of(g));
+            let mut busy = vec![0u64; circuit.num_qubits()];
+            for gate in circuit.gates() {
+                let dur = durations.of(gate);
+                for &q in &gate.qubits {
+                    busy[q] += dur;
+                }
+            }
+            let mut idle_ratio = 0.0;
+            for (q, &b) in busy.iter().enumerate() {
+                let t2 = tables.t2_cycles.get(q).copied().unwrap_or(0.0);
+                if b > 0 && t2 > 0.0 {
+                    idle_ratio += schedule.makespan.saturating_sub(b) as f64 / t2;
+                }
+            }
+            p *= (-idle_ratio).exp();
         }
         p
     }
@@ -207,5 +399,106 @@ mod tests {
     #[should_panic(expected = "fidelity")]
     fn invalid_fidelity_rejected() {
         FidelityModel::new(1.2, 0.9, 0.9);
+    }
+
+    #[test]
+    fn uniform_snapshot_collapses_to_the_scalar_model() {
+        use crate::devices::Device;
+        let device = Device::ibm_q5_yorktown();
+        let scalar = model();
+        let snap = CalibrationSnapshot::uniform(&device, &scalar);
+        let from_snap = FidelityModel::from_snapshot(&snap);
+        assert!(!from_snap.is_calibrated());
+        assert_eq!(from_snap, scalar);
+        // EPS runs the identical code path → bit-identical results.
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.swap(1, 2);
+        c.measure(2, 0);
+        let tau = GateDurations::superconducting();
+        assert_eq!(
+            from_snap.success_probability(&c, &tau).to_bits(),
+            scalar.success_probability(&c, &tau).to_bits()
+        );
+    }
+
+    #[test]
+    fn technology_snapshot_matches_from_technology_bit_for_bit() {
+        use crate::devices::Device;
+        let device = Device::ibm_q5_yorktown();
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.measure(0, 0);
+        let tau = device.durations();
+        for params in TechnologyParams::table1() {
+            let old = FidelityModel::from_technology(&params);
+            let snap = CalibrationSnapshot::from_technology(&device, &params);
+            let new = FidelityModel::from_snapshot(&snap);
+            assert_eq!(new, old, "{}", params.device);
+            assert_eq!(
+                new.success_probability(&c, tau).to_bits(),
+                old.success_probability(&c, tau).to_bits(),
+                "{}",
+                params.device
+            );
+        }
+    }
+
+    #[test]
+    fn drifted_snapshot_charges_per_edge_fidelities() {
+        use crate::devices::Device;
+        let device = Device::ibm_q5_yorktown();
+        let snap = CalibrationSnapshot::synthetic(&device, 3);
+        let model = FidelityModel::from_snapshot(&snap);
+        assert!(model.is_calibrated());
+        // A single CX on each edge: EPS must track that edge's error
+        // (modulo the identical idle penalty of a 1-gate circuit).
+        let tau = device.durations();
+        let mut eps_by_edge = Vec::new();
+        for &(a, b, e) in snap.edges() {
+            let mut c = Circuit::new(device.num_qubits());
+            c.cx(a, b);
+            eps_by_edge.push((e.error, model.success_probability(&c, tau)));
+        }
+        // Higher edge error → lower EPS, strictly.
+        let mut sorted = eps_by_edge.clone();
+        sorted.sort_by(|x, y| x.0.total_cmp(&y.0));
+        for w in sorted.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "edge with error {} scored below edge with error {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn per_qubit_readout_is_charged_for_measurements() {
+        use crate::devices::Device;
+        let device = Device::ibm_q5_yorktown();
+        let mut snap = CalibrationSnapshot::synthetic(&device, 5);
+        // Make qubit readout errors strongly unequal via drift.
+        snap = snap.drifted(2);
+        let model = FidelityModel::from_snapshot(&snap);
+        let tau = device.durations();
+        let eps_of = |q: usize| {
+            let mut c = Circuit::new(device.num_qubits());
+            c.measure(q, 0);
+            model.success_probability(&c, tau)
+        };
+        let (q_best, q_worst) = {
+            let mut idx: Vec<usize> = (0..device.num_qubits()).collect();
+            idx.sort_by(|&a, &b| {
+                snap.qubits()[a]
+                    .readout_error
+                    .total_cmp(&snap.qubits()[b].readout_error)
+            });
+            (idx[0], idx[device.num_qubits() - 1])
+        };
+        assert!(eps_of(q_best) > eps_of(q_worst));
     }
 }

@@ -25,6 +25,7 @@
 //! assert!(device.graph().are_adjacent(0, 1));
 //! ```
 
+pub mod calibration;
 pub mod devices;
 pub mod distance;
 pub mod duration;
@@ -33,6 +34,7 @@ pub mod graph;
 pub mod layout;
 pub mod technology;
 
+pub use calibration::{CalibrationSnapshot, EdgeCalibration, QubitCalibration};
 pub use devices::Device;
 pub use distance::DistanceMatrix;
 pub use duration::GateDurations;

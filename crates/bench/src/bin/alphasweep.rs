@@ -1,0 +1,201 @@
+//! Alpha sweep: the fidelity-vs-depth tradeoff of calibration-aware
+//! routing (`codar-cal`).
+//!
+//! Usage: `alphasweep [--device NAME] [--seed S] [--drift N]
+//!                    [--alphas a,b,..] [--max-gates N] [--threads N]`
+//!
+//! Routes every fitting benchmark on one device against a seeded,
+//! drifted [`codar_arch::CalibrationSnapshot`], once with plain
+//! (duration-only) CODAR and once per `codar-cal` alpha, then prints
+//! the deterministic tradeoff table: mean weighted depth, mean EPS
+//! (estimated success probability of the routed circuit under the
+//! snapshot) and the EPS delta vs the duration-only baseline. Output
+//! is byte-identical for any `--threads` value — snapshots, routing
+//! and EPS are all pure functions of the printed configuration.
+
+use codar_arch::Device;
+use codar_bench::{check_health, cli, report_timing};
+use codar_benchmarks::full_suite;
+use codar_engine::{CalibrationSpec, EngineConfig, RouterKind, RouterVariant, SuiteRunner};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: alphasweep [--device NAME] [--seed S] [--drift N] \
+                     [--alphas a,b,..] [--max-gates N] [--threads N]";
+
+struct Args {
+    device: Device,
+    seed: u64,
+    drift: usize,
+    alphas: Vec<f64>,
+    max_gates: usize,
+    threads: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        device: Device::ibm_q20_tokyo(),
+        seed: 11,
+        drift: 2,
+        alphas: vec![0.0, 0.25, 0.5, 1.0],
+        max_gates: 2000,
+        threads: 0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => {
+                let name: String = cli::flag_value(args, i, "--device")?;
+                parsed.device =
+                    Device::by_name(&name).ok_or_else(|| format!("unknown device `{name}`"))?;
+                i += 2;
+            }
+            "--seed" => {
+                parsed.seed = cli::flag_value(args, i, "--seed")?;
+                i += 2;
+            }
+            "--drift" => {
+                parsed.drift = cli::flag_value(args, i, "--drift")?;
+                i += 2;
+            }
+            "--alphas" => {
+                let list: String = cli::flag_value(args, i, "--alphas")?;
+                parsed.alphas = list
+                    .split(',')
+                    .map(|a| {
+                        a.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("bad alpha `{a}`: {e}"))
+                            .and_then(|a| {
+                                if a.is_finite() && (0.0..=8.0).contains(&a) {
+                                    Ok(a)
+                                } else {
+                                    Err(format!("alpha {a} out of [0, 8]"))
+                                }
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if parsed.alphas.is_empty() {
+                    return Err("--alphas needs at least one value".to_string());
+                }
+                i += 2;
+            }
+            "--max-gates" => {
+                parsed.max_gates = cli::flag_value(args, i, "--max-gates")?;
+                i += 2;
+            }
+            "--threads" => {
+                parsed.threads = cli::flag_value(args, i, "--threads")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut suite = full_suite();
+    suite.retain(|e| e.num_qubits <= args.device.num_qubits() && e.circuit.len() < args.max_gates);
+    let spec_label = format!("seed{}-drift{}", args.seed, args.drift);
+    println!(
+        "Alpha sweep on {} — snapshot {spec_label}, {} benchmarks",
+        args.device.name(),
+        suite.len()
+    );
+
+    let mut runner = SuiteRunner::new(EngineConfig {
+        threads: args.threads,
+        ..EngineConfig::default()
+    })
+    .device(args.device.clone())
+    .entries(suite)
+    .calibration(CalibrationSpec::synthetic(
+        spec_label.clone(),
+        args.seed,
+        args.drift,
+    ))
+    .variant(RouterVariant::of_kind(RouterKind::Codar));
+    for &alpha in &args.alphas {
+        let mut variant = RouterVariant::of_kind(RouterKind::CodarCal);
+        variant.label = format!("alpha={alpha:.2}");
+        variant.codar.cal_alpha = alpha;
+        runner = runner.variant(variant);
+    }
+    let result = runner.run();
+
+    // Per-variant aggregates over the deterministic rows.
+    let mut labels: Vec<String> = vec!["codar".to_string()];
+    labels.extend(args.alphas.iter().map(|a| format!("alpha={a:.2}")));
+    println!(
+        "\n{:<14} {:>16} {:>12} {:>14} {:>12}",
+        "variant", "mean wdepth", "mean eps", "Δeps vs codar", "eps wins"
+    );
+    let mut baseline_eps = 0.0f64;
+    let mut best: Option<(f64, String)> = None;
+    for label in &labels {
+        let rows: Vec<_> = result
+            .summary
+            .rows
+            .iter()
+            .filter(|r| &r.variant == label)
+            .collect();
+        if rows.is_empty() {
+            return Err(format!("variant `{label}` produced no rows"));
+        }
+        let n = rows.len() as f64;
+        let mean_depth = rows.iter().map(|r| r.weighted_depth as f64).sum::<f64>() / n;
+        let mean_eps = rows
+            .iter()
+            .map(|r| r.eps.expect("calibration axis attaches eps"))
+            .sum::<f64>()
+            / n;
+        if label == "codar" {
+            baseline_eps = mean_eps;
+        }
+        // Per-circuit wins: on how many benchmarks this variant's EPS
+        // beats the duration-only baseline.
+        let wins = rows
+            .iter()
+            .filter(|r| {
+                result
+                    .summary
+                    .rows
+                    .iter()
+                    .find(|b| b.variant == "codar" && b.circuit == r.circuit)
+                    .is_some_and(|b| r.eps > b.eps)
+            })
+            .count();
+        println!(
+            "{:<14} {:>16.2} {:>12.6} {:>+14.6} {:>9}/{}",
+            label,
+            mean_depth,
+            mean_eps,
+            mean_eps - baseline_eps,
+            wins,
+            rows.len()
+        );
+        if label != "codar" && best.as_ref().is_none_or(|(b, _)| mean_eps > *b) {
+            best = Some((mean_eps, label.clone()));
+        }
+    }
+    if let Some((best_eps, best_label)) = best {
+        println!(
+            "\nBest calibration-aware variant: {best_label} \
+             (mean EPS {best_eps:.6} vs duration-only {baseline_eps:.6}, {:+.6})",
+            best_eps - baseline_eps
+        );
+    }
+    report_timing(&result.stats);
+    check_health(&result)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

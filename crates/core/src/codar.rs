@@ -21,12 +21,12 @@
 
 use crate::error::RouteError;
 use crate::front::{CommutativeFront, DEFAULT_WINDOW};
-use crate::heuristic::{priority, SwapPriority};
+use crate::heuristic::{blend_cal, cal_penalty, priority, SwapPriority};
 use crate::locks::QubitLocks;
 use crate::mapping::{InitialMapping, Mapping};
 use crate::result::RoutedCircuit;
 use crate::scratch::RouterScratch;
-use codar_arch::{Device, GateDurations};
+use codar_arch::{CalibrationSnapshot, Device, GateDurations};
 use codar_circuit::schedule::{Schedule, Time};
 use codar_circuit::{Circuit, GateKind};
 
@@ -48,6 +48,15 @@ pub struct CodarConfig {
     pub enable_hfine: bool,
     /// Per-qubit lookahead window of the CF scan.
     pub window: usize,
+    /// Weight of the normalized per-edge calibration error blended
+    /// into the SWAP priority (the `codar-cal` variant). Takes effect
+    /// only when a [`CalibrationSnapshot`] is attached via
+    /// [`CodarRouter::with_snapshot`]; `0.0` reduces **byte-
+    /// identically** to duration-only CODAR (the differential tests
+    /// pin this). `alpha ≤ 1` re-orders distance ties toward
+    /// low-error edges; larger values trade distance progress for
+    /// reliability.
+    pub cal_alpha: f64,
 }
 
 impl Default for CodarConfig {
@@ -58,6 +67,7 @@ impl Default for CodarConfig {
             enable_duration_awareness: true,
             enable_hfine: true,
             window: DEFAULT_WINDOW,
+            cal_alpha: 0.0,
         }
     }
 }
@@ -91,6 +101,9 @@ impl Default for CodarConfig {
 pub struct CodarRouter<'d> {
     device: &'d Device,
     config: CodarConfig,
+    /// Calibration snapshot backing the `codar-cal` variant; `None`
+    /// routes exactly as the paper's duration-only CODAR.
+    snapshot: Option<&'d CalibrationSnapshot>,
 }
 
 impl<'d> CodarRouter<'d> {
@@ -99,12 +112,27 @@ impl<'d> CodarRouter<'d> {
         CodarRouter {
             device,
             config: CodarConfig::default(),
+            snapshot: None,
         }
     }
 
     /// Creates a router with an explicit configuration.
     pub fn with_config(device: &'d Device, config: CodarConfig) -> Self {
-        CodarRouter { device, config }
+        CodarRouter {
+            device,
+            config,
+            snapshot: None,
+        }
+    }
+
+    /// Attaches a calibration snapshot: candidate SWAPs are penalized
+    /// by `cal_alpha ×` their edge's normalized two-qubit error (the
+    /// `codar-cal` variant). With `cal_alpha = 0` the routed output is
+    /// byte-identical to a snapshot-less router.
+    #[must_use]
+    pub fn with_snapshot(mut self, snapshot: &'d CalibrationSnapshot) -> Self {
+        self.snapshot = Some(snapshot);
+        self
     }
 
     /// The configuration in use.
@@ -192,6 +220,21 @@ impl<'d> CodarRouter<'d> {
         };
         let swap_dur = route_tau.of_kind(GateKind::Swap);
         scratch.begin_device(num_qubits);
+        // Calibration blending (the `codar-cal` variant): precompute
+        // the integer penalty of every coupling once per route call.
+        // `cal_on = false` leaves the plain (unscaled) priority path
+        // untouched; `alpha = 0` fills an all-zero table, which orders
+        // candidates identically to the plain path by construction.
+        let cal_on = self.snapshot.is_some();
+        if let Some(snapshot) = self.snapshot {
+            scratch.begin_calibration(num_qubits);
+            let max_error = snapshot.max_edge_error();
+            for &(a, b) in graph.edges() {
+                let error = snapshot.edge_error(a, b).unwrap_or(max_error);
+                scratch.cal_penalty[a * num_qubits + b] =
+                    cal_penalty(self.config.cal_alpha, error, max_error);
+            }
+        }
 
         let mut pi = initial.clone();
         let mut locks = QubitLocks::new(num_qubits);
@@ -308,16 +351,19 @@ impl<'d> CodarRouter<'d> {
                     .candidates
                     .iter()
                     .map(|&edge| {
-                        (
-                            scratch.scorer.priority(
-                                edge,
-                                &scratch.cf_pairs,
-                                dist,
-                                layout,
-                                self.config.enable_hfine,
-                            ),
+                        let p = scratch.scorer.priority(
                             edge,
-                        )
+                            &scratch.cf_pairs,
+                            dist,
+                            layout,
+                            self.config.enable_hfine,
+                        );
+                        let p = if cal_on {
+                            blend_cal(p, scratch.cal_penalty[edge.0 * num_qubits + edge.1])
+                        } else {
+                            p
+                        };
+                        (p, edge)
                     })
                     .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
                 match best {
@@ -343,7 +389,8 @@ impl<'d> CodarRouter<'d> {
                 Some(t) => now = t,
                 None => {
                     if !launched && !swapped {
-                        let edge = self.forced_swap(circuit, &mut front, &pi)?;
+                        let penalties: &[i64] = if cal_on { &scratch.cal_penalty } else { &[] };
+                        let edge = self.forced_swap(circuit, &mut front, &pi, penalties)?;
                         locks.acquire(edge.0, now, swap_dur);
                         locks.acquire(edge.1, now, swap_dur);
                         inserted_swap_indices.push(out.len());
@@ -368,18 +415,22 @@ impl<'d> CodarRouter<'d> {
             inserted_swap_indices,
             initial_mapping: initial,
             final_mapping: pi,
-            router: "codar",
+            router: if cal_on { "codar-cal" } else { "codar" },
         })
     }
 
     /// Deadlock breaker: among lock-free edges adjacent to the oldest
     /// blocked CF gate's endpoints, pick the highest-priority SWAP that
-    /// strictly reduces that gate's distance.
+    /// strictly reduces that gate's distance. `penalties` is the
+    /// per-edge calibration table (empty = no blending), applied
+    /// exactly as in the greedy phase so the `codar-cal` ordering is
+    /// consistent across both insertion paths.
     fn forced_swap(
         &self,
         circuit: &Circuit,
         front: &mut CommutativeFront,
         pi: &Mapping,
+        penalties: &[i64],
     ) -> Result<(usize, usize), RouteError> {
         let graph = self.device.graph();
         let dist = self.device.distances();
@@ -412,7 +463,11 @@ impl<'d> CodarRouter<'d> {
                     continue; // must strictly shorten the oldest gate
                 }
                 let edge = (endpoint.min(nb), endpoint.max(nb));
-                let p = priority(edge, &[(pa, pb)], dist, layout, self.config.enable_hfine);
+                let mut p = priority(edge, &[(pa, pb)], dist, layout, self.config.enable_hfine);
+                if !penalties.is_empty() {
+                    let n = self.device.num_qubits();
+                    p = blend_cal(p, penalties[edge.0 * n + edge.1]);
+                }
                 if best.map_or(true, |(bp, be)| {
                     (p, std::cmp::Reverse(edge)) > (bp, std::cmp::Reverse(be))
                 }) {
@@ -637,6 +692,85 @@ mod tests {
         let r = route_identity(&device, &Circuit::new(2));
         assert_eq!(r.gate_count(), 0);
         assert_eq!(r.weighted_depth, 0);
+    }
+
+    #[test]
+    fn zero_alpha_with_snapshot_is_byte_identical_to_plain_codar() {
+        use codar_arch::CalibrationSnapshot;
+        let device = Device::ibm_q20_tokyo();
+        let snapshot = CalibrationSnapshot::synthetic(&device, 11).drifted(4);
+        let mut c = Circuit::new(8);
+        for i in 0..8 {
+            c.h(i);
+            c.cx(i, (i + 3) % 8);
+        }
+        c.cx(0, 7);
+        let config = CodarConfig {
+            initial_mapping: InitialMapping::Identity,
+            ..CodarConfig::default()
+        };
+        let plain = CodarRouter::with_config(&device, config.clone())
+            .route(&c)
+            .unwrap();
+        let cal = CodarRouter::with_config(&device, config)
+            .with_snapshot(&snapshot)
+            .route(&c)
+            .unwrap();
+        assert_eq!(plain.circuit.gates(), cal.circuit.gates());
+        assert_eq!(plain.start_times, cal.start_times);
+        assert_eq!(plain.weighted_depth, cal.weighted_depth);
+        assert_eq!(plain.final_mapping, cal.final_mapping);
+        assert_eq!(cal.router, "codar-cal");
+    }
+
+    #[test]
+    fn positive_alpha_avoids_the_poisoned_edge_on_ties() {
+        use codar_arch::{CalibrationSnapshot, EdgeCalibration, QubitCalibration};
+        // A 2x2 grid: routing cx(0,3) can swap over either of two
+        // symmetric edges. Poison one; alpha > 0 must pick the other.
+        let device = Device::grid(2, 2);
+        let qubit = QubitCalibration {
+            t1_us: 0.0,
+            t2_us: 0.0,
+            readout_error: 0.01,
+        };
+        let edge = |a: usize, b: usize, error: f64| (a, b, EdgeCalibration { error, duration: 2 });
+        let snapshot = CalibrationSnapshot::new(
+            device.name(),
+            1,
+            0.0,
+            0.001,
+            vec![qubit; 4],
+            vec![
+                edge(0, 1, 0.25), // poisoned
+                edge(0, 2, 0.002),
+                edge(1, 3, 0.002),
+                edge(2, 3, 0.002),
+            ],
+        )
+        .unwrap();
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let config = CodarConfig {
+            initial_mapping: InitialMapping::Identity,
+            cal_alpha: 1.0,
+            ..CodarConfig::default()
+        };
+        let routed = CodarRouter::with_config(&device, config)
+            .with_snapshot(&snapshot)
+            .route(&c)
+            .unwrap();
+        crate::verify::check_coupling(&routed.circuit, &device).unwrap();
+        crate::verify::check_equivalence(&c, &routed).unwrap();
+        for gate in routed.circuit.gates() {
+            if gate.kind == GateKind::Swap {
+                let (a, b) = (
+                    gate.qubits[0].min(gate.qubits[1]),
+                    gate.qubits[0].max(gate.qubits[1]),
+                );
+                assert_ne!((a, b), (0, 1), "swap routed over the poisoned edge");
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,41 @@ pub struct SwapPriority {
     pub fine: i64,
 }
 
+/// Fixed-point scale of the calibration-blended priority: with a
+/// calibration snapshot attached, `Hbasic` is multiplied by this scale
+/// and the candidate edge's penalty (`alpha × normalized error ×
+/// CAL_SCALE`, see [`cal_penalty`]) subtracted. Because the scale is a
+/// positive constant, a zero penalty table (no snapshot, or
+/// `cal_alpha = 0`) orders candidates **exactly** as plain `Hbasic`
+/// does — the `alpha = 0` ≡ CODAR reduction the differential tests
+/// pin. A power of two keeps the `f64 → i64` rounding exact.
+pub const CAL_SCALE: i64 = 1 << 20;
+
+/// The integer penalty of routing a SWAP over an edge with calibration
+/// error `error`, normalized by the snapshot's worst edge `max_error`
+/// and weighted by `alpha`. Zero when the snapshot is edgeless
+/// (`max_error = 0`).
+pub fn cal_penalty(alpha: f64, error: f64, max_error: f64) -> i64 {
+    if max_error <= 0.0 {
+        return 0;
+    }
+    (alpha * (error / max_error) * CAL_SCALE as f64).round() as i64
+}
+
+/// Blends a calibration penalty into a priority: `Hbasic` moves to the
+/// `CAL_SCALE` fixed-point grid and the penalty lands between grid
+/// points, so for `alpha ≤ 1` calibration only re-orders candidates
+/// whose distance reduction ties (and can veto a `+1` reduction over
+/// the very worst edge); larger `alpha` trades real distance progress
+/// for reliability.
+#[inline]
+pub fn blend_cal(p: SwapPriority, penalty: i64) -> SwapPriority {
+    SwapPriority {
+        basic: p.basic * CAL_SCALE - penalty,
+        fine: p.fine,
+    }
+}
+
 /// Remaps a physical endpoint through a candidate SWAP `(a, b)`.
 #[inline]
 fn through_swap(p: usize, swap: (usize, usize)) -> usize {
@@ -481,6 +516,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cal_penalty_normalizes_and_blend_preserves_zero_alpha_order() {
+        // alpha = 0 → zero penalty for every edge.
+        assert_eq!(cal_penalty(0.0, 0.05, 0.05), 0);
+        // The worst edge at alpha = 1 costs exactly one basic step.
+        assert_eq!(cal_penalty(1.0, 0.05, 0.05), CAL_SCALE);
+        assert_eq!(cal_penalty(0.5, 0.025, 0.05), CAL_SCALE / 4);
+        // Edgeless snapshots (max error 0) never penalize.
+        assert_eq!(cal_penalty(1.0, 0.0, 0.0), 0);
+        // Zero-penalty blending is a strictly monotone map of `basic`:
+        // every pairwise comparison, including the `> 0` gate, is
+        // preserved.
+        let priorities = [
+            SwapPriority { basic: -1, fine: 3 },
+            SwapPriority { basic: 0, fine: -2 },
+            SwapPriority { basic: 1, fine: 0 },
+            SwapPriority { basic: 2, fine: -5 },
+        ];
+        for a in priorities {
+            for b in priorities {
+                assert_eq!(
+                    blend_cal(a, 0).cmp(&blend_cal(b, 0)),
+                    a.cmp(&b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+            assert_eq!(blend_cal(a, 0).basic > 0, a.basic > 0);
+        }
+        // With a penalty, equal-basic candidates re-order by edge
+        // quality while a full distance step still dominates.
+        let good = blend_cal(SwapPriority { basic: 1, fine: -9 }, 0);
+        let bad = blend_cal(SwapPriority { basic: 1, fine: 9 }, CAL_SCALE / 2);
+        assert!(good > bad, "low-error edge must win the tie");
+        let closer = blend_cal(SwapPriority { basic: 2, fine: 0 }, CAL_SCALE / 2);
+        assert!(closer > good, "a whole distance step still dominates");
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! * [`mapping`] — the dynamic logical↔physical mapping `π`,
 //! * [`locks`] — qubit locks `tend` (Sec. IV-A),
 //! * [`front`] — commutative-front maintenance (Sec. IV-B),
-//! * [`heuristic`] — the SWAP priority `⟨Hbasic, Hfine⟩` (Sec. IV-D),
+//! * [`heuristic`] — the SWAP priority `⟨Hbasic, Hfine⟩` (Sec. IV-D)
+//!   and the calibration blend backing the `codar-cal` variant,
 //! * [`codar`] — the CODAR event loop (Sec. IV-C, Fig. 4),
 //! * [`sabre`] — the SABRE baseline (Li et al., ASPLOS 2019),
 //! * [`scratch`] — reusable buffers keeping the router hot loops

@@ -66,6 +66,10 @@ pub struct RouterScratch {
     pub(crate) stamp: u64,
     /// Incremental `⟨Hbasic, Hfine⟩` scorer (CODAR).
     pub(crate) scorer: SwapScorer,
+    /// Per-edge calibration penalty (`a * N + b`, normalized `a < b`),
+    /// refilled from the attached snapshot at the top of each
+    /// calibration-aware route call; only edge slots are ever read.
+    pub(crate) cal_penalty: Vec<i64>,
     /// Executable subset of the front layer (SABRE).
     pub(crate) executable: Vec<usize>,
     /// Extended (lookahead) set (SABRE).
@@ -97,6 +101,15 @@ impl RouterScratch {
         }
         if self.decay.len() < num_qubits {
             self.decay.resize(num_qubits, 1.0);
+        }
+    }
+
+    /// Sizes the calibration-penalty table (called only by
+    /// calibration-aware routes; the table is then refilled for every
+    /// edge of the current device, so stale entries are never read).
+    pub(crate) fn begin_calibration(&mut self, num_qubits: usize) {
+        if self.cal_penalty.len() < num_qubits * num_qubits {
+            self.cal_penalty.resize(num_qubits * num_qubits, 0);
         }
     }
 

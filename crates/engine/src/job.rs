@@ -2,7 +2,7 @@
 //! (× noise model, for fidelity runs) that the engine fans across its
 //! worker pool.
 
-use codar_arch::Device;
+use codar_arch::{CalibrationSnapshot, Device, FidelityModel, TechnologyParams};
 use codar_benchmarks::suite::SuiteEntry;
 use codar_router::{CodarConfig, SabreConfig};
 use codar_sim::NoiseModel;
@@ -13,6 +13,10 @@ use std::sync::Arc;
 pub enum RouterKind {
     /// The paper's context- and duration-aware remapper.
     Codar,
+    /// CODAR with the job's calibration snapshot blended into the SWAP
+    /// priority (weight = the variant's `codar.cal_alpha`). Without a
+    /// calibration axis it routes exactly as [`RouterKind::Codar`].
+    CodarCal,
     /// The SABRE baseline (Li et al., ASPLOS 2019).
     Sabre,
     /// The nearest-neighbor greedy baseline.
@@ -24,6 +28,7 @@ impl RouterKind {
     pub fn name(self) -> &'static str {
         match self {
             RouterKind::Codar => "codar",
+            RouterKind::CodarCal => "codar-cal",
             RouterKind::Sabre => "sabre",
             RouterKind::Greedy => "greedy",
         }
@@ -33,6 +38,7 @@ impl RouterKind {
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "codar" => Some(RouterKind::Codar),
+            "codar-cal" | "codar_cal" | "codarcal" => Some(RouterKind::CodarCal),
             "sabre" => Some(RouterKind::Sabre),
             "greedy" => Some(RouterKind::Greedy),
             _ => None,
@@ -124,6 +130,82 @@ impl NoiseSpec {
     }
 }
 
+/// How a [`CalibrationSpec`] derives each device's snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalKind {
+    /// The degenerate uniform snapshot of a Table I superconducting
+    /// column — every edge and qubit identical, EPS bit-identical to
+    /// the scalar [`FidelityModel`].
+    Uniform,
+    /// A seeded synthetic snapshot
+    /// ([`CalibrationSnapshot::synthetic`]) drifted `drift` times —
+    /// a deterministic point in a synthetic calibration sequence.
+    Synthetic {
+        /// Generator seed (folded with the device name).
+        seed: u64,
+        /// How many drift steps to apply after generation.
+        drift: usize,
+    },
+}
+
+/// One point on the engine's calibration axis. Snapshots are
+/// per-device (they cover a device's exact coupling map), so a spec
+/// records *how* to derive a snapshot and the runner instantiates it
+/// once per device — deterministically, so summaries stay
+/// byte-identical across thread counts.
+#[derive(Debug, Clone)]
+pub struct CalibrationSpec {
+    /// Stable axis label used in summaries, e.g. `"drift2"`.
+    pub label: String,
+    /// How the per-device snapshot is derived.
+    pub kind: CalKind,
+}
+
+impl CalibrationSpec {
+    /// A uniform (degenerate) calibration point.
+    pub fn uniform(label: impl Into<String>) -> Self {
+        CalibrationSpec {
+            label: label.into(),
+            kind: CalKind::Uniform,
+        }
+    }
+
+    /// A synthetic snapshot drifted `drift` times from `seed`.
+    pub fn synthetic(label: impl Into<String>, seed: u64, drift: usize) -> Self {
+        CalibrationSpec {
+            label: label.into(),
+            kind: CalKind::Synthetic { seed, drift },
+        }
+    }
+
+    /// Instantiates this spec's snapshot for `device`.
+    pub fn snapshot_for(&self, device: &Device) -> CalibrationSnapshot {
+        match self.kind {
+            CalKind::Uniform => {
+                let params = TechnologyParams::table1()
+                    .into_iter()
+                    .find(|p| p.technology == codar_arch::Technology::Superconducting)
+                    .expect("Table I has a superconducting column");
+                CalibrationSnapshot::from_technology(device, &params)
+            }
+            CalKind::Synthetic { seed, drift } => {
+                let mut snapshot = CalibrationSnapshot::synthetic(device, seed);
+                for _ in 0..drift {
+                    snapshot = snapshot.drifted(seed);
+                }
+                snapshot
+            }
+        }
+    }
+
+    /// The snapshot plus its EPS model, shared across a run's jobs.
+    pub fn instantiate(&self, device: &Device) -> (Arc<CalibrationSnapshot>, Arc<FidelityModel>) {
+        let snapshot = self.snapshot_for(device);
+        let model = FidelityModel::from_snapshot(&snapshot);
+        (Arc::new(snapshot), Arc::new(model))
+    }
+}
+
 /// Engine-wide knobs. The defaults reproduce the paper's protocol:
 /// CODAR and SABRE from identical reverse-traversal initial mappings.
 #[derive(Debug, Clone)]
@@ -184,29 +266,42 @@ pub struct JobSpec {
     pub device: usize,
     /// Index into the shared router-variant table.
     pub variant: usize,
+    /// Index into the shared calibration-spec table (`None` when the
+    /// run has no calibration axis).
+    pub cal: Option<usize>,
 }
 
 /// Expands the job matrix, skipping (entry, device) pairs where the
 /// circuit does not fit. Order is deterministic: device-major, then
-/// entry, then variant.
+/// entry, then variant, then calibration spec. `cal_specs == 0` keeps
+/// the pre-calibration matrix shape (every job's `cal` is `None`).
 pub fn build_matrix(
     entries: &[SuiteEntry],
     devices: &[Arc<Device>],
     variants: &[RouterVariant],
+    cal_specs: usize,
 ) -> Vec<JobSpec> {
     let mut jobs = Vec::new();
+    let cal_axis: Vec<Option<usize>> = if cal_specs == 0 {
+        vec![None]
+    } else {
+        (0..cal_specs).map(Some).collect()
+    };
     for (d, device) in devices.iter().enumerate() {
         for (e, entry) in entries.iter().enumerate() {
             if entry.num_qubits > device.num_qubits() {
                 continue;
             }
             for v in 0..variants.len() {
-                jobs.push(JobSpec {
-                    id: jobs.len(),
-                    entry: e,
-                    device: d,
-                    variant: v,
-                });
+                for &cal in &cal_axis {
+                    jobs.push(JobSpec {
+                        id: jobs.len(),
+                        entry: e,
+                        device: d,
+                        variant: v,
+                        cal,
+                    });
+                }
             }
         }
     }
@@ -220,9 +315,15 @@ mod tests {
 
     #[test]
     fn router_names_round_trip() {
-        for kind in [RouterKind::Codar, RouterKind::Sabre, RouterKind::Greedy] {
+        for kind in [
+            RouterKind::Codar,
+            RouterKind::CodarCal,
+            RouterKind::Sabre,
+            RouterKind::Greedy,
+        ] {
             assert_eq!(RouterKind::parse(kind.name()), Some(kind));
         }
+        assert_eq!(RouterKind::parse("codar_cal"), Some(RouterKind::CodarCal));
         assert_eq!(RouterKind::parse("unknown"), None);
     }
 
@@ -235,7 +336,7 @@ mod tests {
             RouterVariant::of_kind(RouterKind::Codar),
             RouterVariant::of_kind(RouterKind::Sabre),
         ];
-        let jobs = build_matrix(&entries, &[small.clone(), big], &variants);
+        let jobs = build_matrix(&entries, &[small.clone(), big], &variants, 0);
         // Every job fits its device, ids are dense, and both routers
         // appear for each (entry, device) pair.
         for (i, job) in jobs.iter().enumerate() {
@@ -262,8 +363,43 @@ mod tests {
             RouterVariant::of_kind(RouterKind::Codar),
             RouterVariant::of_kind(RouterKind::Sabre),
         ];
-        let jobs = build_matrix(&entries, &[device], &variants);
+        let jobs = build_matrix(&entries, &[device], &variants, 0);
         assert_eq!(jobs.len(), 3 * 2);
+    }
+
+    #[test]
+    fn calibration_axis_multiplies_the_matrix() {
+        let entries: Vec<_> = full_suite().into_iter().take(2).collect();
+        let device = Arc::new(Device::ibm_q20_tokyo());
+        let variants = [
+            RouterVariant::of_kind(RouterKind::Codar),
+            RouterVariant::of_kind(RouterKind::CodarCal),
+        ];
+        let none = build_matrix(&entries, std::slice::from_ref(&device), &variants, 0);
+        assert!(none.iter().all(|j| j.cal.is_none()));
+        let with = build_matrix(&entries, std::slice::from_ref(&device), &variants, 3);
+        assert_eq!(with.len(), none.len() * 3);
+        assert!(with.iter().all(|j| j.cal.is_some()));
+        // Dense ids, cal innermost.
+        for (i, job) in with.iter().enumerate() {
+            assert_eq!(job.id, i);
+            assert_eq!(job.cal, Some(i % 3));
+        }
+    }
+
+    #[test]
+    fn calibration_specs_instantiate_deterministic_snapshots() {
+        let device = Device::ibm_q20_tokyo();
+        let uniform = CalibrationSpec::uniform("uniform");
+        let (snap, model) = uniform.instantiate(&device);
+        assert!(snap.is_uniform());
+        assert!(!model.is_calibrated(), "uniform collapses to scalars");
+        let drifted = CalibrationSpec::synthetic("drift2", 7, 2);
+        let (a, _) = drifted.instantiate(&device);
+        let (b, _) = drifted.instantiate(&device);
+        assert_eq!(a, b, "instantiation must be deterministic");
+        assert_eq!(a.version, 3, "synthetic v1 + 2 drifts");
+        assert!(!a.is_uniform());
     }
 
     #[test]

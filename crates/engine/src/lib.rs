@@ -89,7 +89,9 @@ pub mod report;
 pub mod runner;
 pub mod worker;
 
-pub use job::{EngineConfig, JobSpec, NoiseSpec, RouterKind, RouterVariant};
+pub use job::{
+    CalKind, CalibrationSpec, EngineConfig, JobSpec, NoiseSpec, RouterKind, RouterVariant,
+};
 pub use report::{
     Comparison, FidelityStats, RouteReport, RouterTiming, RunStats, Summary, TIMINGS_SCHEMA_VERSION,
 };

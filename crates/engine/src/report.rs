@@ -48,6 +48,13 @@ pub struct RouteReport {
     pub variant: String,
     /// Noise regime label for fidelity jobs (`None` = routing only).
     pub noise: Option<String>,
+    /// Calibration-axis label (`None` when the run has no calibration
+    /// axis; serialized only when present, so pre-calibration outputs
+    /// stay byte-identical).
+    pub cal: Option<String>,
+    /// Estimated success probability of the routed circuit under the
+    /// job's calibration snapshot (present iff `cal` is).
+    pub eps: Option<f64>,
     /// Weighted depth (schedule makespan) of the routed circuit.
     pub weighted_depth: Time,
     /// Unweighted depth of the routed circuit.
@@ -81,6 +88,8 @@ pub struct Comparison {
     pub circuit: String,
     /// Noise regime label (fidelity runs only).
     pub noise: Option<String>,
+    /// Calibration-axis label (calibration runs only).
+    pub cal: Option<String>,
     /// CODAR weighted depth.
     pub codar_depth: Time,
     /// SABRE weighted depth.
@@ -139,6 +148,8 @@ pub struct RunStats {
     pub threads: usize,
     /// Jobs executed (including failed ones).
     pub jobs: usize,
+    /// Calibration points on the run's snapshot axis (`0` = no axis).
+    pub calibration_specs: usize,
     /// Jobs that returned a router error.
     pub failures: usize,
     /// End-to-end wall time of the run.
@@ -153,8 +164,11 @@ pub struct RunStats {
 /// (`BENCH_timings.json` and the CI artifact). Consumers comparing
 /// timing baselines should check it first; bump it whenever the JSON
 /// shape changes so old and new files can never be diffed silently.
-/// Version 1 was the pre-versioned format; version 2 added this field.
-pub const TIMINGS_SCHEMA_VERSION: u32 = 2;
+/// Version 1 was the pre-versioned format; version 2 added this
+/// field; version 3 added `calibration_specs` (runs with a
+/// calibration axis route a multiplied matrix, so their timings are
+/// only comparable to baselines with the same axis size).
+pub const TIMINGS_SCHEMA_VERSION: u32 = 3;
 
 impl RunStats {
     /// Completed jobs per wall-clock second — each job routes one
@@ -181,6 +195,7 @@ impl RunStats {
         let _ = writeln!(out, "  \"version\": {TIMINGS_SCHEMA_VERSION},");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"calibration_specs\": {},", self.calibration_specs);
         let _ = writeln!(out, "  \"failures\": {},", self.failures);
         let _ = writeln!(out, "  \"wall_seconds\": {:.6},", self.wall.as_secs_f64());
         let _ = writeln!(
@@ -247,17 +262,23 @@ impl Summary {
     /// Builds a summary from raw (unordered) reports.
     pub fn from_reports(seed: u64, mut rows: Vec<RouteReport>) -> Self {
         rows.sort_by(|a, b| {
-            (&a.device, &a.circuit, &a.variant, &a.noise)
-                .cmp(&(&b.device, &b.circuit, &b.variant, &b.noise))
+            (&a.device, &a.circuit, &a.variant, &a.noise, &a.cal)
+                .cmp(&(&b.device, &b.circuit, &b.variant, &b.noise, &b.cal))
         });
         type Cell = (
             Option<(Time, Option<FidelityStats>)>,
             Option<(Time, Option<FidelityStats>)>,
         );
-        let mut cells: BTreeMap<(String, String, Option<String>), Cell> = BTreeMap::new();
+        type CellKey = (String, String, Option<String>, Option<String>);
+        let mut cells: BTreeMap<CellKey, Cell> = BTreeMap::new();
         for row in &rows {
             let cell = cells
-                .entry((row.device.clone(), row.circuit.clone(), row.noise.clone()))
+                .entry((
+                    row.device.clone(),
+                    row.circuit.clone(),
+                    row.noise.clone(),
+                    row.cal.clone(),
+                ))
                 .or_default();
             match row.variant.as_str() {
                 "codar" => cell.0 = Some((row.weighted_depth, row.fidelity)),
@@ -267,12 +288,13 @@ impl Summary {
         }
         let comparisons = cells
             .into_iter()
-            .filter_map(|((device, circuit, noise), cell)| match cell {
+            .filter_map(|((device, circuit, noise, cal), cell)| match cell {
                 (Some((codar_depth, codar_fidelity)), Some((sabre_depth, sabre_fidelity))) => {
                     Some(Comparison {
                         device,
                         circuit,
                         noise,
+                        cal,
                         codar_depth,
                         sabre_depth,
                         codar_fidelity,
@@ -303,18 +325,32 @@ impl Summary {
     }
 
     /// Serializes the summary as deterministic JSON (stable key order,
-    /// fixed float formatting, no timing fields).
+    /// fixed float formatting, no timing fields). The calibration
+    /// columns (`cal`, `eps`) are emitted only on rows that carry
+    /// them, so runs without a calibration axis serialize exactly as
+    /// before the axis existed.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         out.push_str("  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
+            let cal_columns = match (&row.cal, row.eps) {
+                (Some(cal), Some(eps)) => {
+                    format!(
+                        ", \"cal\": {}, \"eps\": {}",
+                        json_string(cal),
+                        json_float(eps)
+                    )
+                }
+                (Some(cal), None) => format!(", \"cal\": {}", json_string(cal)),
+                _ => String::new(),
+            };
             let _ = write!(
                 out,
                 "    {{\"device\": {}, \"circuit\": {}, \"qubits\": {}, \"input_gates\": {}, \
                  \"router\": {}, \"variant\": {}, \"noise\": {}, \"weighted_depth\": {}, \
                  \"depth\": {}, \"swaps\": {}, \"output_gates\": {}, \"verified\": {}, \
-                 \"fidelity\": {}}}",
+                 \"fidelity\": {}{}}}",
                 json_string(&row.device),
                 json_string(&row.circuit),
                 row.num_qubits,
@@ -332,16 +368,21 @@ impl Summary {
                     None => "null",
                 },
                 json_fidelity(row.fidelity.as_ref()),
+                cal_columns,
             );
             out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ],\n  \"comparisons\": [\n");
         for (i, cmp) in self.comparisons.iter().enumerate() {
+            let cal_column = match &cmp.cal {
+                Some(cal) => format!(", \"cal\": {}", json_string(cal)),
+                None => String::new(),
+            };
             let _ = write!(
                 out,
                 "    {{\"device\": {}, \"circuit\": {}, \"noise\": {}, \"codar_depth\": {}, \
                  \"sabre_depth\": {}, \"speedup\": {}, \"codar_fidelity\": {}, \
-                 \"sabre_fidelity\": {}}}",
+                 \"sabre_fidelity\": {}{}}}",
                 json_string(&cmp.device),
                 json_string(&cmp.circuit),
                 json_opt_string(cmp.noise.as_deref()),
@@ -350,6 +391,7 @@ impl Summary {
                 json_float(cmp.speedup()),
                 json_fidelity(cmp.codar_fidelity.as_ref()),
                 json_fidelity(cmp.sabre_fidelity.as_ref()),
+                cal_column,
             );
             out.push_str(if i + 1 < self.comparisons.len() {
                 ",\n"
@@ -367,18 +409,22 @@ impl Summary {
         out
     }
 
-    /// Serializes the per-job rows as deterministic CSV.
+    /// Serializes the per-job rows as deterministic CSV. The `cal` and
+    /// `eps` columns (and their headers) appear only when the run had
+    /// a calibration axis, keeping pre-calibration CSVs byte-stable.
     pub fn to_csv(&self) -> String {
+        let calibrated = self.rows.iter().any(|r| r.cal.is_some());
         let mut out = String::from(
             "device,circuit,qubits,input_gates,router,variant,noise,weighted_depth,depth,\
-             swaps,output_gates,verified,fidelity_mean,fidelity_std_error\n",
+             swaps,output_gates,verified,fidelity_mean,fidelity_std_error",
         );
+        out.push_str(if calibrated { ",cal,eps\n" } else { "\n" });
         for row in &self.rows {
             let (fid_mean, fid_err) = match &row.fidelity {
                 Some(f) => (json_float(f.mean), json_float(f.std_error)),
                 None => (String::new(), String::new()),
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_field(&row.device),
@@ -400,6 +446,15 @@ impl Summary {
                 fid_mean,
                 fid_err,
             );
+            if calibrated {
+                let _ = write!(
+                    out,
+                    ",{},{}",
+                    csv_field(row.cal.as_deref().unwrap_or("")),
+                    row.eps.map(json_float).unwrap_or_default(),
+                );
+            }
+            out.push('\n');
         }
         out
     }
@@ -526,6 +581,8 @@ mod tests {
             router,
             variant: router.name().to_string(),
             noise: None,
+            cal: None,
+            eps: None,
             weighted_depth: wd,
             depth: 5,
             swaps: 2,
@@ -606,6 +663,44 @@ mod tests {
     }
 
     #[test]
+    fn calibration_columns_appear_only_on_calibrated_rows() {
+        // No calibration axis: bytes identical to the pre-axis shape.
+        let plain = Summary::from_reports(0, vec![report("q20", "qft_4", RouterKind::Codar, 60)]);
+        assert!(!plain.to_json().contains("\"cal\""));
+        assert!(!plain.to_json().contains("\"eps\""));
+        assert!(plain.to_csv().starts_with("device,"));
+        assert!(plain
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("fidelity_std_error"));
+
+        // With the axis: rows carry cal/eps, comparisons pair per cal
+        // point, and the CSV grows the two columns.
+        let mut rows = Vec::new();
+        for cal in ["drift0", "drift1"] {
+            let mut c = report("q20", "qft_4", RouterKind::Codar, 60);
+            c.cal = Some(cal.into());
+            c.eps = Some(0.5);
+            let mut s = report("q20", "qft_4", RouterKind::Sabre, 90);
+            s.cal = Some(cal.into());
+            s.eps = Some(0.25);
+            rows.push(c);
+            rows.push(s);
+        }
+        let summary = Summary::from_reports(0, rows);
+        assert_eq!(summary.comparisons.len(), 2);
+        assert_eq!(summary.comparisons[0].cal.as_deref(), Some("drift0"));
+        let json = summary.to_json();
+        assert!(json.contains("\"cal\": \"drift1\""));
+        assert!(json.contains("\"eps\": 0.500000"));
+        let csv = summary.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with(",cal,eps"));
+        assert!(csv.contains(",drift0,0.500000"));
+    }
+
+    #[test]
     fn serializations_are_stable_under_input_order() {
         let a = Summary::from_reports(
             0,
@@ -648,6 +743,7 @@ mod tests {
         let stats = RunStats {
             threads: 4,
             jobs: 40,
+            calibration_specs: 0,
             failures: 0,
             wall: Duration::from_secs(2),
             total_route_time: Duration::from_secs(6),

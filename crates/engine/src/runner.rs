@@ -18,10 +18,10 @@
 //! engine seed), never from scheduling order — which is what keeps
 //! fidelity summaries byte-identical across thread counts.
 
-use crate::job::{build_matrix, EngineConfig, JobSpec, NoiseSpec, RouterVariant};
+use crate::job::{build_matrix, CalibrationSpec, EngineConfig, JobSpec, NoiseSpec, RouterVariant};
 use crate::report::{FidelityStats, RouteReport, RouterTiming, RunStats, Summary};
 use crate::worker::RouteWorker;
-use codar_arch::Device;
+use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_benchmarks::suite::SuiteEntry;
 use codar_router::verify::{check_coupling, check_equivalence};
 use codar_router::{Mapping, RoutedCircuit};
@@ -97,6 +97,7 @@ pub struct SuiteRunner {
     entries: Vec<SuiteEntry>,
     variants: Vec<RouterVariant>,
     noise: Vec<NoiseSpec>,
+    calibrations: Vec<CalibrationSpec>,
 }
 
 impl SuiteRunner {
@@ -108,6 +109,7 @@ impl SuiteRunner {
             entries: Vec::new(),
             variants: Vec::new(),
             noise: Vec::new(),
+            calibrations: Vec::new(),
         }
     }
 
@@ -162,6 +164,26 @@ impl SuiteRunner {
         self
     }
 
+    /// Adds one calibration point: the job matrix gains a snapshot
+    /// axis (snapshot × circuit × device × variant), `codar-cal`
+    /// variants route against each point's per-device snapshot, and
+    /// every report gains an `eps` column (estimated success
+    /// probability of the routed circuit under that snapshot). Without
+    /// calibration points the matrix, reports and serializations are
+    /// byte-identical to the pre-calibration engine.
+    #[must_use]
+    pub fn calibration(mut self, spec: CalibrationSpec) -> Self {
+        self.calibrations.push(spec);
+        self
+    }
+
+    /// Adds several calibration points.
+    #[must_use]
+    pub fn calibrations(mut self, specs: impl IntoIterator<Item = CalibrationSpec>) -> Self {
+        self.calibrations.extend(specs);
+        self
+    }
+
     /// Worker threads the run will use (resolving `threads == 0`).
     pub fn effective_threads(&self) -> usize {
         if self.config.threads == 0 {
@@ -199,9 +221,27 @@ impl SuiteRunner {
     /// Panics if a worker thread panics (propagated by the scope).
     pub fn run(&self) -> SuiteResult {
         let variants = self.effective_variants();
-        let jobs = build_matrix(&self.entries, &self.devices, &variants);
+        let jobs = build_matrix(
+            &self.entries,
+            &self.devices,
+            &variants,
+            self.calibrations.len(),
+        );
         let threads = self.effective_threads().clamp(1, jobs.len().max(1));
         let started = Instant::now();
+
+        // One snapshot + EPS model per (calibration spec, device),
+        // instantiated up front (deterministically — snapshots are
+        // seeded) and shared by every job of that cell.
+        let cal_ctx: Vec<(Arc<CalibrationSnapshot>, Arc<FidelityModel>)> = self
+            .calibrations
+            .iter()
+            .flat_map(|spec| {
+                self.devices
+                    .iter()
+                    .map(move |device| spec.instantiate(device))
+            })
+            .collect();
 
         // One initial-mapping slot per (entry, device) cell: the
         // reverse-traversal mapping is itself two routing passes, and
@@ -221,6 +261,7 @@ impl SuiteRunner {
                 let jobs = &jobs;
                 let mappings = &mappings;
                 let variants = &variants;
+                let cal_ctx = &cal_ctx;
                 scope.spawn(move || {
                     // One RouteWorker per pool thread: every route call
                     // on this thread reuses the same scratch buffers
@@ -230,7 +271,7 @@ impl SuiteRunner {
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&job) = jobs.get(i) else { break };
-                        let outcome = self.run_job(job, variants, mappings, &mut worker);
+                        let outcome = self.run_job(job, variants, mappings, cal_ctx, &mut worker);
                         if tx.send((job, outcome)).is_err() {
                             break;
                         }
@@ -268,6 +309,7 @@ impl SuiteRunner {
         let stats = RunStats {
             threads,
             jobs: jobs.len(),
+            calibration_specs: self.calibrations.len(),
             failures: failures.len(),
             wall: started.elapsed(),
             total_route_time,
@@ -311,11 +353,19 @@ impl SuiteRunner {
         job: JobSpec,
         variants: &[RouterVariant],
         mappings: &[OnceLock<Mapping>],
+        cal_ctx: &[(Arc<CalibrationSnapshot>, Arc<FidelityModel>)],
         worker: &mut RouteWorker,
     ) -> Result<Vec<RouteReport>, String> {
         let entry = &self.entries[job.entry];
         let device = &self.devices[job.device];
         let variant = &variants[job.variant];
+        // Spec-major layout, matching the flat_map in `run`.
+        let cal = job.cal.map(|spec| {
+            (
+                &self.calibrations[spec],
+                &cal_ctx[spec * self.devices.len() + job.device],
+            )
+        });
         let started = Instant::now();
         // With shared_initial_mapping every router job in a (entry,
         // device) cell routes from the same reverse-traversal placement
@@ -334,8 +384,9 @@ impl SuiteRunner {
         } else {
             None
         };
+        let snapshot = cal.map(|(_, (snapshot, _))| snapshot.as_ref());
         let routed: RoutedCircuit = worker
-            .route(&entry.circuit, device, variant, initial)
+            .route(&entry.circuit, device, variant, initial, snapshot)
             .map_err(|e| e.to_string())?;
 
         let verified = if self.config.verify {
@@ -345,6 +396,18 @@ impl SuiteRunner {
             )
         } else {
             None
+        };
+
+        // EPS of the *routed* (physical) circuit under the job's
+        // calibration point — the fidelity-vs-depth axis of the alpha
+        // sweeps. Independent of thread count: snapshot and model are
+        // pure functions of (spec, device).
+        let (cal_label, eps) = match cal {
+            Some((spec, (_, model))) => (
+                Some(spec.label.clone()),
+                Some(model.success_probability(&routed.circuit, device.durations())),
+            ),
+            None => (None, None),
         };
 
         let base_report = |noise: Option<String>,
@@ -359,6 +422,8 @@ impl SuiteRunner {
             router: variant.kind,
             variant: variant.label.clone(),
             noise,
+            cal: cal_label.clone(),
+            eps,
             weighted_depth: routed.weighted_depth,
             depth: routed.depth(),
             swaps: routed.swaps_inserted,
@@ -559,6 +624,50 @@ mod tests {
             let routed = row.routed.as_ref().expect("keep_routed attaches circuits");
             assert_eq!(routed.gate_count(), row.output_gates);
         }
+    }
+
+    #[test]
+    fn calibration_axis_reports_eps_and_stays_deterministic() {
+        let run = |threads: usize| {
+            let mut cal_variant = RouterVariant::of_kind(RouterKind::CodarCal);
+            cal_variant.codar.cal_alpha = 0.5;
+            SuiteRunner::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            })
+            .device(Device::ibm_q20_tokyo())
+            .entries(small_entries(3))
+            .variant(RouterVariant::of_kind(RouterKind::Codar))
+            .variant(cal_variant)
+            .calibration(CalibrationSpec::uniform("uniform"))
+            .calibration(CalibrationSpec::synthetic("drift1", 7, 1))
+            .run()
+        };
+        let one = run(1);
+        let four = run(4);
+        // 3 circuits x 2 variants x 2 calibration points.
+        assert_eq!(one.stats.jobs, 12);
+        assert_eq!(one.stats.calibration_specs, 2);
+        assert!(one.failures.is_empty());
+        assert!(one.summary.rows.iter().all(|r| {
+            r.verified == Some(true)
+                && r.cal.is_some()
+                && r.eps.is_some_and(|e| e > 0.0 && e <= 1.0)
+        }));
+        assert_eq!(
+            one.summary.to_json(),
+            four.summary.to_json(),
+            "calibrated summaries must be byte-identical across thread counts"
+        );
+        // The json carries the new columns for calibrated rows.
+        assert!(one.summary.to_json().contains("\"cal\": \"drift1\""));
+        assert!(one
+            .summary
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with(",cal,eps"));
     }
 
     #[test]

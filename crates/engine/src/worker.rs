@@ -10,7 +10,7 @@
 //! variant to router lives here and nowhere else.
 
 use crate::job::{RouterKind, RouterVariant};
-use codar_arch::Device;
+use codar_arch::{CalibrationSnapshot, Device};
 use codar_circuit::Circuit;
 use codar_router::sabre::reverse_traversal_mapping_scratch;
 use codar_router::{
@@ -38,7 +38,7 @@ use codar_router::{
 /// c.cx(0, 2);
 /// let initial = worker.initial_mapping(&c, &device, 0);
 /// let routed = worker
-///     .route(&c, &device, &variant, Some(initial))
+///     .route(&c, &device, &variant, Some(initial), None)
 ///     .expect("fits the device");
 /// assert_eq!(routed.gate_count(), 2 + routed.swaps_inserted);
 /// ```
@@ -66,6 +66,12 @@ impl RouteWorker {
     /// each variant builds its own placement from its configuration
     /// (the initial-mapping study protocol).
     ///
+    /// `snapshot` is the job's calibration snapshot; only
+    /// [`RouterKind::CodarCal`] consumes it (blending
+    /// `variant.codar.cal_alpha ×` normalized edge error into the SWAP
+    /// priority). A `CodarCal` variant without a snapshot routes as
+    /// plain CODAR.
+    ///
     /// # Errors
     ///
     /// Propagates the router's [`RouteError`] (circuit does not fit,
@@ -76,6 +82,7 @@ impl RouteWorker {
         device: &Device,
         variant: &RouterVariant,
         initial: Option<Mapping>,
+        snapshot: Option<&CalibrationSnapshot>,
     ) -> Result<RoutedCircuit, RouteError> {
         let scratch = &mut self.scratch;
         match (variant.kind, initial) {
@@ -85,6 +92,16 @@ impl RouteWorker {
             }
             (RouterKind::Codar, None) => CodarRouter::with_config(device, variant.codar.clone())
                 .route_scratch(circuit, scratch),
+            (RouterKind::CodarCal, initial) => {
+                let mut router = CodarRouter::with_config(device, variant.codar.clone());
+                if let Some(snapshot) = snapshot {
+                    router = router.with_snapshot(snapshot);
+                }
+                match initial {
+                    Some(mapping) => router.route_with_scratch(circuit, mapping, scratch),
+                    None => router.route_scratch(circuit, scratch),
+                }
+            }
             (RouterKind::Sabre, Some(mapping)) => {
                 SabreRouter::with_config(device, variant.sabre.clone())
                     .route_with_scratch(circuit, mapping, scratch)
@@ -118,18 +135,27 @@ mod tests {
         let device = Device::ibm_q20_tokyo();
         let entry = &full_suite()[4];
         let mut worker = RouteWorker::new();
-        for kind in [RouterKind::Codar, RouterKind::Sabre, RouterKind::Greedy] {
+        for kind in [
+            RouterKind::Codar,
+            RouterKind::CodarCal,
+            RouterKind::Sabre,
+            RouterKind::Greedy,
+        ] {
             let variant = RouterVariant::of_kind(kind);
             let initial = worker.initial_mapping(&entry.circuit, &device, 0);
             let via_worker = worker
-                .route(&entry.circuit, &device, &variant, Some(initial.clone()))
+                .route(
+                    &entry.circuit,
+                    &device,
+                    &variant,
+                    Some(initial.clone()),
+                    None,
+                )
                 .expect("fits");
             let direct = match kind {
-                RouterKind::Codar => CodarRouter::new(&device).route_with_scratch(
-                    &entry.circuit,
-                    initial,
-                    &mut RouterScratch::new(),
-                ),
+                // Snapshot-less codar-cal routes exactly as CODAR.
+                RouterKind::Codar | RouterKind::CodarCal => CodarRouter::new(&device)
+                    .route_with_scratch(&entry.circuit, initial, &mut RouterScratch::new()),
                 RouterKind::Sabre => SabreRouter::new(&device).route_with_scratch(
                     &entry.circuit,
                     initial,
@@ -147,6 +173,56 @@ mod tests {
         }
     }
 
+    /// The codar-cal dispatch: without a snapshot (or with alpha 0) it
+    /// routes identically to plain CODAR; with a drifted snapshot and
+    /// alpha > 0 it still verifies.
+    #[test]
+    fn codar_cal_dispatch_reduces_and_verifies() {
+        use codar_arch::CalibrationSnapshot;
+        let device = Device::ibm_q20_tokyo();
+        let entry = &full_suite()[6];
+        let mut worker = RouteWorker::new();
+        let initial = worker.initial_mapping(&entry.circuit, &device, 0);
+        let plain = worker
+            .route(
+                &entry.circuit,
+                &device,
+                &RouterVariant::of_kind(RouterKind::Codar),
+                Some(initial.clone()),
+                None,
+            )
+            .expect("fits");
+        let snapshot = CalibrationSnapshot::synthetic(&device, 5).drifted(1);
+        let cal_variant = RouterVariant::of_kind(RouterKind::CodarCal);
+        // Default cal_alpha = 0: byte-identical to plain CODAR even
+        // with the snapshot attached.
+        let zero = worker
+            .route(
+                &entry.circuit,
+                &device,
+                &cal_variant,
+                Some(initial.clone()),
+                Some(&snapshot),
+            )
+            .expect("fits");
+        assert_eq!(plain.circuit.gates(), zero.circuit.gates());
+        assert_eq!(plain.weighted_depth, zero.weighted_depth);
+        // alpha > 0 may reroute but must stay valid and equivalent.
+        let mut blended_variant = RouterVariant::of_kind(RouterKind::CodarCal);
+        blended_variant.codar.cal_alpha = 1.0;
+        let blended = worker
+            .route(
+                &entry.circuit,
+                &device,
+                &blended_variant,
+                Some(initial),
+                Some(&snapshot),
+            )
+            .expect("fits");
+        codar_router::verify::check_coupling(&blended.circuit, &device).expect("coupling");
+        codar_router::verify::check_equivalence(&entry.circuit, &blended).expect("equivalence");
+    }
+
     /// `None` initial mapping routes from the variant's own placement.
     #[test]
     fn own_placement_path_verifies() {
@@ -155,7 +231,7 @@ mod tests {
         let mut worker = RouteWorker::new();
         let variant = RouterVariant::of_kind(RouterKind::Codar);
         let routed = worker
-            .route(&entry.circuit, &device, &variant, None)
+            .route(&entry.circuit, &device, &variant, None, None)
             .expect("fits");
         codar_router::verify::check_coupling(&routed.circuit, &device).expect("coupling");
         codar_router::verify::check_equivalence(&entry.circuit, &routed).expect("equivalence");
@@ -172,12 +248,18 @@ mod tests {
                 let variant = RouterVariant::of_kind(kind);
                 let shared_initial = reused.initial_mapping(&entry.circuit, &device, 0);
                 let a = reused
-                    .route(&entry.circuit, &device, &variant, Some(shared_initial))
+                    .route(
+                        &entry.circuit,
+                        &device,
+                        &variant,
+                        Some(shared_initial),
+                        None,
+                    )
                     .expect("fits");
                 let mut fresh = RouteWorker::new();
                 let fresh_initial = fresh.initial_mapping(&entry.circuit, &device, 0);
                 let b = fresh
-                    .route(&entry.circuit, &device, &variant, Some(fresh_initial))
+                    .route(&entry.circuit, &device, &variant, Some(fresh_initial), None)
                     .expect("fits");
                 assert_eq!(a.circuit.gates(), b.circuit.gates(), "{}", entry.name);
                 assert_eq!(a.weighted_depth, b.weighted_depth, "{}", entry.name);

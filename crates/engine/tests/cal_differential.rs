@@ -1,0 +1,120 @@
+//! Differential gates for the calibration subsystem.
+//!
+//! 1. `codar-cal` with `alpha = 0` must produce **byte-identical**
+//!    results to plain CODAR over the full 71-entry suite — same
+//!    routed gate stream, same start times, same weighted depth, same
+//!    serialized report fields (modulo the variant/router labels,
+//!    which name the algorithm, not the result).
+//! 2. The EPS of a *uniform* calibration snapshot must match the old
+//!    scalar [`FidelityModel`] **bit-for-bit** over the same suite —
+//!    the degenerate-snapshot reduction.
+
+use codar_arch::{CalibrationSnapshot, Device, FidelityModel, TechnologyParams};
+use codar_benchmarks::suite::full_suite;
+use codar_engine::{CalibrationSpec, EngineConfig, RouterKind, RouterVariant, SuiteRunner};
+
+/// Routes the full suite twice — plain CODAR and codar-cal(alpha=0)
+/// against a heavily drifted snapshot — and diffs every report.
+#[test]
+fn alpha_zero_reports_are_byte_identical_suite_wide() {
+    let suite = full_suite();
+    assert_eq!(suite.len(), 71, "the suite contract is 71 entries");
+    let mut cal_variant = RouterVariant::of_kind(RouterKind::CodarCal);
+    cal_variant.codar.cal_alpha = 0.0;
+    let result = SuiteRunner::new(EngineConfig {
+        threads: 0,
+        keep_routed: true,
+        ..EngineConfig::default()
+    })
+    .device(Device::ibm_q20_tokyo())
+    .device(Device::google_sycamore54())
+    .entries(suite)
+    .variant(RouterVariant::of_kind(RouterKind::Codar))
+    .variant(cal_variant)
+    .calibration(CalibrationSpec::synthetic("drift3", 23, 3))
+    .run();
+    assert!(result.failures.is_empty(), "{:?}", result.failures);
+    assert!(result.summary.rows.iter().all(|r| r.verified == Some(true)));
+
+    let rows_of = |variant: &str| {
+        let mut rows: Vec<_> = result
+            .summary
+            .rows
+            .iter()
+            .filter(|r| r.variant == variant)
+            .collect();
+        rows.sort_by_key(|r| (r.device.clone(), r.circuit.clone()));
+        rows
+    };
+    let plain = rows_of("codar");
+    let cal = rows_of("codar-cal");
+    assert_eq!(plain.len(), cal.len());
+    assert!(!plain.is_empty());
+    for (p, c) in plain.iter().zip(&cal) {
+        let context = format!("{} on {}", p.circuit, p.device);
+        assert_eq!(
+            (&p.device, &p.circuit),
+            (&c.device, &c.circuit),
+            "{context}"
+        );
+        assert_eq!(p.weighted_depth, c.weighted_depth, "{context}");
+        assert_eq!(p.depth, c.depth, "{context}");
+        assert_eq!(p.swaps, c.swaps, "{context}");
+        assert_eq!(p.output_gates, c.output_gates, "{context}");
+        // EPS is computed from the routed gate stream; identical
+        // streams must give bit-identical EPS.
+        assert_eq!(
+            p.eps.unwrap().to_bits(),
+            c.eps.unwrap().to_bits(),
+            "{context}"
+        );
+        let (pr, cr) = (p.routed.as_ref().unwrap(), c.routed.as_ref().unwrap());
+        assert_eq!(pr.circuit.gates(), cr.circuit.gates(), "{context}");
+        assert_eq!(pr.start_times, cr.start_times, "{context}");
+        assert_eq!(pr.final_mapping, cr.final_mapping, "{context}");
+    }
+}
+
+/// EPS of every suite entry under a uniform (degenerate) snapshot,
+/// for every Table I technology column, bit-for-bit against the old
+/// scalar model.
+#[test]
+fn uniform_snapshot_eps_matches_scalar_model_bit_for_bit() {
+    let device = Device::ibm_q20_tokyo();
+    let suite = full_suite();
+    for params in TechnologyParams::table1() {
+        let scalar = FidelityModel::from_technology(&params);
+        let snapshot = CalibrationSnapshot::from_technology(&device, &params);
+        let from_snapshot = FidelityModel::from_snapshot(&snapshot);
+        assert_eq!(from_snapshot, scalar, "{}", params.device);
+        for entry in &suite {
+            let old = scalar.success_probability(&entry.circuit, device.durations());
+            let new = from_snapshot.success_probability(&entry.circuit, device.durations());
+            assert_eq!(
+                old.to_bits(),
+                new.to_bits(),
+                "{} under {}",
+                entry.name,
+                params.device
+            );
+        }
+    }
+
+    // The same reduction holds for a plain model without T2.
+    let scalar = FidelityModel::new(0.999, 0.97, 0.95);
+    let uniform = CalibrationSnapshot::uniform(&device, &scalar);
+    let from_snapshot = FidelityModel::from_snapshot(&uniform);
+    assert_eq!(from_snapshot, scalar);
+    for entry in full_suite().iter().take(10) {
+        assert_eq!(
+            scalar
+                .success_probability(&entry.circuit, device.durations())
+                .to_bits(),
+            from_snapshot
+                .success_probability(&entry.circuit, device.durations())
+                .to_bits(),
+            "{}",
+            entry.name
+        );
+    }
+}

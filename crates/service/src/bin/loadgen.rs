@@ -136,7 +136,8 @@ fn run_load(args: &Args) -> Result<(), String> {
         report.cache_hit_rate(),
     );
     if let Some(path) = &args.latency_json {
-        std::fs::write(path, latency.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, report.latency_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     if report.errors > 0 {

@@ -13,8 +13,10 @@
 //!   and swap totals, and an FNV checksum of the concatenated response
 //!   stream. CI diffs two runs of this byte-for-byte.
 //! * [`LoadgenReport::latency`] — p50/p90/p99 microseconds, explicitly
-//!   nondeterministic, printed to stderr / written via
-//!   `--latency-json`.
+//!   nondeterministic, printed to stderr; `--latency-json` writes
+//!   [`LoadgenReport::latency_json`], the percentiles plus the run
+//!   context (daemon cache capacity/shards, active calibration
+//!   snapshot version) needed to compare two latency files.
 
 use crate::cache::{fnv1a_extend, FNV_OFFSET};
 use crate::json::{escape, Json};
@@ -133,6 +135,16 @@ pub struct LoadgenReport {
     pub cache_hits: u64,
     /// Daemon-side cache misses over the run (from `stats`).
     pub cache_misses: u64,
+    /// Daemon-side cache capacity (from `stats`; identifies the daemon
+    /// configuration two latency files must share to be comparable).
+    pub daemon_cache_capacity: u64,
+    /// Daemon-side cache shard count (from `stats`).
+    pub daemon_cache_shards: u64,
+    /// Version of the target device's active calibration snapshot at
+    /// the end of the run (from `calibration get`; 0 = none) — routing
+    /// work differs between snapshots, so latency comparisons must
+    /// match on it.
+    pub snapshot_version: u64,
     /// Sum of reported SWAP insertions.
     pub total_swaps: u64,
     /// Sum of reported weighted depths.
@@ -192,6 +204,30 @@ impl LoadgenReport {
     pub fn latency(&self) -> LatencySummary {
         LatencySummary::from_micros(&self.latencies_us)
     }
+
+    /// The versioned `--latency-json` payload: the percentiles plus
+    /// the run context (request count, seed, device/router, daemon
+    /// cache capacity/shards, active snapshot version) needed to tell
+    /// whether two latency files measured comparable runs. See
+    /// [`crate::LATENCY_SCHEMA_VERSION`].
+    pub fn latency_json(&self) -> String {
+        use crate::metrics::LATENCY_SCHEMA_VERSION;
+        format!(
+            "{{\n  \"version\": {LATENCY_SCHEMA_VERSION},\n{},\n  \
+             \"requests\": {},\n  \"seed\": {},\n  \"repeat_ratio\": {:.6},\n  \
+             \"device\": {},\n  \"router\": {},\n  \"cache_capacity\": {},\n  \
+             \"cache_shards\": {},\n  \"snapshot_version\": {}\n}}\n",
+            self.latency().json_fields(),
+            self.config.requests,
+            self.config.seed,
+            self.config.repeat_ratio.clamp(0.0, 1.0),
+            escape(&self.config.device),
+            escape(&self.config.router),
+            self.daemon_cache_capacity,
+            self.daemon_cache_shards,
+            self.snapshot_version,
+        )
+    }
 }
 
 /// Runs the load: `config.requests` route requests drawn from the mix,
@@ -238,6 +274,9 @@ pub fn run(
         verified: 0,
         cache_hits: 0,
         cache_misses: 0,
+        daemon_cache_capacity: 0,
+        daemon_cache_shards: 0,
+        snapshot_version: 0,
         total_swaps: 0,
         total_weighted_depth: 0,
         stream_fnv: FNV_OFFSET,
@@ -286,7 +325,19 @@ pub fn run(
         if let Some(cache) = stats.get("cache") {
             report.cache_hits = cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
             report.cache_misses = cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
+            report.daemon_cache_capacity =
+                cache.get("capacity").and_then(Json::as_u64).unwrap_or(0);
+            report.daemon_cache_shards = cache.get("shards").and_then(Json::as_u64).unwrap_or(0);
         }
+    }
+    // The active snapshot version of the target device: latency runs
+    // against different calibrations do different routing work, so the
+    // latency JSON records which one was live.
+    let cal_line = transport.call(&format!(
+        "{{\"type\":\"calibration\",\"action\":\"get\",\"device\":{device}}}"
+    ))?;
+    if let Ok(cal) = Json::parse(&cal_line) {
+        report.snapshot_version = cal.get("version").and_then(Json::as_u64).unwrap_or(0);
     }
     Ok(report)
 }
@@ -341,6 +392,38 @@ mod tests {
             .contains(&format!("\"hot\": {pool_size}")));
         let zero = run_with_hot(0);
         assert_eq!(zero.config.hot, 1);
+    }
+
+    #[test]
+    fn latency_json_carries_version_and_run_context() {
+        let mut service = Service::start(ServiceConfig::default());
+        // Activate a snapshot so the context has a non-zero version.
+        let ack = service.handle_line(
+            "{\"type\":\"calibration\",\"action\":\"set\",\"device\":\"q20\",\
+             \"synthetic\":{\"seed\":3}}",
+        );
+        assert!(ack.contains("\"version\":1"), "{ack}");
+        let config = LoadgenConfig {
+            requests: 5,
+            max_qubits: 4,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config, &mut service).unwrap();
+        let json = report.latency_json();
+        assert!(json.contains(&format!(
+            "\"version\": {}",
+            crate::metrics::LATENCY_SCHEMA_VERSION
+        )));
+        assert!(json.contains("\"p99_us\":"));
+        assert!(json.contains("\"requests\": 5"));
+        assert!(json.contains("\"device\": \"q20\""));
+        assert!(json.contains("\"cache_capacity\": 1024"));
+        assert!(json.contains("\"cache_shards\": 8"));
+        assert!(json.contains("\"snapshot_version\": 1"), "{json}");
+        // Without a snapshot the version reads 0.
+        let mut bare = Service::start(ServiceConfig::default());
+        let bare_report = run(&config, &mut bare).unwrap();
+        assert_eq!(bare_report.snapshot_version, 0);
     }
 
     #[test]

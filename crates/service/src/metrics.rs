@@ -42,8 +42,12 @@ impl ServiceMetrics {
 
 /// Schema version of the loadgen latency JSON (`--latency-json`).
 /// Bump whenever its shape changes, as with
-/// [`codar_engine::TIMINGS_SCHEMA_VERSION`].
-pub const LATENCY_SCHEMA_VERSION: u32 = 1;
+/// [`codar_engine::TIMINGS_SCHEMA_VERSION`]. Version 1 carried only
+/// the percentiles; version 2 added the run context (request count,
+/// seed, device/router, daemon cache capacity/shards and the active
+/// calibration snapshot version) so two latency files can be checked
+/// for comparability before being diffed.
+pub const LATENCY_SCHEMA_VERSION: u32 = 2;
 
 /// Percentile summary of recorded per-request latencies.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,13 +98,14 @@ impl LatencySummary {
         }
     }
 
-    /// The versioned latency JSON payload (see
-    /// [`LATENCY_SCHEMA_VERSION`]).
-    pub fn to_json(&self) -> String {
+    /// The percentile fields of the latency JSON, as `"key": value`
+    /// lines (the run context around them lives in
+    /// `LoadgenReport::latency_json`, which owns the versioned
+    /// payload).
+    pub fn json_fields(&self) -> String {
         format!(
-            "{{\n  \"version\": {LATENCY_SCHEMA_VERSION},\n  \"count\": {},\n  \
-             \"mean_us\": {:.3},\n  \"p50_us\": {},\n  \"p90_us\": {},\n  \
-             \"p99_us\": {},\n  \"max_us\": {}\n}}\n",
+            "  \"count\": {},\n  \"mean_us\": {:.3},\n  \"p50_us\": {},\n  \
+             \"p90_us\": {},\n  \"p99_us\": {},\n  \"max_us\": {}",
             self.count, self.mean_us, self.p50_us, self.p90_us, self.p99_us, self.max_us
         )
     }
@@ -152,11 +157,16 @@ mod tests {
     }
 
     #[test]
-    fn json_carries_schema_version() {
-        let json = LatencySummary::from_micros(&[10, 20]).to_json();
-        assert!(json.contains(&format!("\"version\": {LATENCY_SCHEMA_VERSION}")));
-        assert!(json.contains("\"p50_us\": 10"));
-        assert!(json.contains("\"max_us\": 20"));
+    fn json_fields_carry_every_percentile() {
+        let fields = LatencySummary::from_micros(&[10, 20]).json_fields();
+        assert!(fields.contains("\"count\": 2"));
+        assert!(fields.contains("\"p50_us\": 10"));
+        assert!(fields.contains("\"p99_us\": 20"));
+        assert!(fields.contains("\"max_us\": 20"));
+        assert!(
+            !fields.contains("version"),
+            "version belongs to the payload owner"
+        );
     }
 
     #[test]

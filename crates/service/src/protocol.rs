@@ -5,7 +5,8 @@
 //!
 //! | request | fields | response |
 //! |---|---|---|
-//! | `route` | `circuit` (QASM source), `device`, optional `router` (default `codar`), optional `id` | routed QASM + depth/swap/duration metrics |
+//! | `route` | `circuit` (QASM source), `device`, optional `router` (default `codar`), optional `alpha` (codar-cal only), optional `id` | routed QASM + depth/swap/duration metrics (+ `cal_version`/`eps` when the device has an active calibration snapshot) |
+//! | `calibration` | `device`, `action` (`get`/`set`); for `set`: `snapshot` (a calibration JSON document as a string) or `synthetic` (`{seed, drift}`) | the active snapshot / a versioned ack |
 //! | `stats` | optional `id` | request/cache counters |
 //! | `devices` | optional `id` | the device catalog |
 //! | `shutdown` | optional `id` | ack; the daemon stops serving |
@@ -26,6 +27,30 @@ use crate::json::{escape, Json};
 use codar_circuit::schedule::Time;
 use codar_engine::RouterKind;
 
+/// What a `calibration` request does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalAction {
+    /// Inspect the active snapshot.
+    Get,
+    /// Replace the active snapshot.
+    Set,
+}
+
+/// How a `calibration set` provides the new snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalPayload {
+    /// A full calibration JSON document, carried as a string (the same
+    /// convention as the `circuit` field carrying QASM).
+    Document(String),
+    /// Server-generated synthetic snapshot: seed + drift steps.
+    Synthetic {
+        /// Generator seed.
+        seed: u64,
+        /// Drift steps applied after generation.
+        drift: usize,
+    },
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -37,8 +62,21 @@ pub enum Request {
         device: String,
         /// Router to use.
         router: RouterKind,
+        /// Calibration blend weight (`codar-cal` only; default 0.5).
+        alpha: Option<f64>,
         /// OpenQASM 2.0 source of the circuit.
         qasm: String,
+    },
+    /// Inspect or replace a device's active calibration snapshot.
+    Calibration {
+        /// Echoed correlation id.
+        id: Option<u64>,
+        /// Target device name.
+        device: String,
+        /// Get or set.
+        action: CalAction,
+        /// The new snapshot (`set` only).
+        payload: Option<CalPayload>,
     },
     /// Request/cache counters.
     Stats {
@@ -101,12 +139,86 @@ impl Request {
                         RouterKind::parse(name).ok_or_else(|| format!("unknown router `{name}`"))?
                     }
                 };
+                let alpha = match value.get("alpha") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let alpha = v
+                            .as_f64()
+                            .filter(|a| a.is_finite() && (0.0..=8.0).contains(a))
+                            .ok_or_else(|| "`alpha` must be a number in [0, 8]".to_string())?;
+                        if router != RouterKind::CodarCal {
+                            return Err(format!(
+                                "`alpha` is only meaningful for router `codar-cal`, not `{}`",
+                                router.name()
+                            ));
+                        }
+                        Some(alpha)
+                    }
+                };
                 Ok(Request::Route {
                     id,
                     device,
                     router,
+                    alpha,
                     qasm,
                 })
+            }
+            "calibration" => {
+                let device = value
+                    .get("device")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "calibration request needs a `device` string".to_string())?
+                    .to_string();
+                let action = match value.get("action").and_then(Json::as_str) {
+                    Some("get") => CalAction::Get,
+                    Some("set") => CalAction::Set,
+                    Some(other) => return Err(format!("unknown calibration action `{other}`")),
+                    None => return Err("calibration request needs an `action` string".to_string()),
+                };
+                let payload = match (value.get("snapshot"), value.get("synthetic")) {
+                    (Some(_), Some(_)) => {
+                        return Err("pass `snapshot` or `synthetic`, not both".to_string())
+                    }
+                    (Some(doc), None) => Some(CalPayload::Document(
+                        doc.as_str()
+                            .ok_or_else(|| {
+                                "`snapshot` must be a string holding a calibration JSON document"
+                                    .to_string()
+                            })?
+                            .to_string(),
+                    )),
+                    (None, Some(synth)) => {
+                        let seed = synth
+                            .get("seed")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| "`synthetic` needs a `seed` integer".to_string())?;
+                        let drift = match synth.get("drift") {
+                            None | Some(Json::Null) => 0,
+                            Some(v) => {
+                                usize::try_from(v.as_u64().filter(|&d| d <= 1024).ok_or_else(
+                                    || "`drift` must be an integer in [0, 1024]".to_string(),
+                                )?)
+                                .expect("<= 1024 fits usize")
+                            }
+                        };
+                        Some(CalPayload::Synthetic { seed, drift })
+                    }
+                    (None, None) => None,
+                };
+                match (action, &payload) {
+                    (CalAction::Get, Some(_)) => {
+                        Err("calibration get takes no `snapshot`/`synthetic`".to_string())
+                    }
+                    (CalAction::Set, None) => {
+                        Err("calibration set needs `snapshot` or `synthetic`".to_string())
+                    }
+                    _ => Ok(Request::Calibration {
+                        id,
+                        device,
+                        action,
+                        payload,
+                    }),
+                }
             }
             "stats" => Ok(Request::Stats { id }),
             "devices" => Ok(Request::Devices { id }),
@@ -119,6 +231,7 @@ impl Request {
     pub fn id(&self) -> Option<u64> {
         match self {
             Request::Route { id, .. }
+            | Request::Calibration { id, .. }
             | Request::Stats { id }
             | Request::Devices { id }
             | Request::Shutdown { id } => *id,
@@ -145,6 +258,11 @@ pub struct RouteOutcome {
     pub swaps: usize,
     /// Output gate count.
     pub output_gates: usize,
+    /// Active-snapshot context: `(snapshot version, EPS of the routed
+    /// circuit under it)`. `None` when the device has no active
+    /// calibration snapshot — the body is then byte-identical to the
+    /// pre-calibration protocol.
+    pub calibration: Option<(u64, f64)>,
     /// Routed circuit as OpenQASM 2.0 (physical qubit indices).
     pub qasm: String,
 }
@@ -152,10 +270,14 @@ pub struct RouteOutcome {
 impl RouteOutcome {
     /// The response body (no `id`; see [`attach_id`]).
     pub fn body(&self) -> String {
+        let cal = match self.calibration {
+            Some((version, eps)) => format!(",\"cal_version\":{version},\"eps\":{eps:.6}"),
+            None => String::new(),
+        };
         format!(
             "{{\"type\":\"route\",\"status\":\"ok\",\"device\":{},\"router\":{},\
              \"qubits\":{},\"input_gates\":{},\"weighted_depth\":{},\"depth\":{},\
-             \"swaps\":{},\"output_gates\":{},\"verified\":true,\"qasm\":{}}}",
+             \"swaps\":{},\"output_gates\":{},\"verified\":true{},\"qasm\":{}}}",
             escape(&self.device),
             escape(self.router.name()),
             self.qubits,
@@ -164,9 +286,39 @@ impl RouteOutcome {
             self.depth,
             self.swaps,
             self.output_gates,
+            cal,
             escape(&self.qasm),
         )
     }
+}
+
+/// The `calibration get` response body: the active snapshot (carried
+/// as a JSON document in a string, the inverse of the `set`
+/// convention) or `null` with version 0.
+pub fn calibration_get_body(device: &str, snapshot: Option<(u64, &str)>) -> String {
+    match snapshot {
+        Some((version, document)) => format!(
+            "{{\"type\":\"calibration\",\"status\":\"ok\",\"device\":{},\
+             \"version\":{version},\"snapshot\":{}}}",
+            escape(device),
+            escape(document),
+        ),
+        None => format!(
+            "{{\"type\":\"calibration\",\"status\":\"ok\",\"device\":{},\
+             \"version\":0,\"snapshot\":null}}",
+            escape(device),
+        ),
+    }
+}
+
+/// The `calibration set` acknowledgement: the now-active version and
+/// whether a previous snapshot was replaced.
+pub fn calibration_set_body(device: &str, version: u64, replaced: bool) -> String {
+    format!(
+        "{{\"type\":\"calibration\",\"status\":\"ok\",\"device\":{},\
+         \"version\":{version},\"replaced\":{replaced}}}",
+        escape(device),
+    )
 }
 
 /// An error response body.
@@ -216,10 +368,128 @@ mod tests {
                 id: Some(3),
                 device: "q20".into(),
                 router: RouterKind::Sabre,
+                alpha: None,
                 qasm: "qreg q[1];".into(),
             }
         );
         assert_eq!(req.id(), Some(3));
+    }
+
+    #[test]
+    fn parses_codar_cal_routes_with_alpha() {
+        let req = Request::parse_line(
+            r#"{"type":"route","device":"q20","router":"codar-cal","alpha":0.25,"circuit":"qreg q[1];"}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Route { router, alpha, .. } => {
+                assert_eq!(router, RouterKind::CodarCal);
+                assert_eq!(alpha, Some(0.25));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // alpha without codar-cal is rejected; out-of-range too.
+        for (line, needle) in [
+            (
+                r#"{"type":"route","device":"q20","alpha":0.5,"circuit":"x"}"#,
+                "only meaningful for router `codar-cal`",
+            ),
+            (
+                r#"{"type":"route","device":"q20","router":"codar-cal","alpha":-1,"circuit":"x"}"#,
+                "`alpha` must be a number",
+            ),
+            (
+                r#"{"type":"route","device":"q20","router":"codar-cal","alpha":"big","circuit":"x"}"#,
+                "`alpha` must be a number",
+            ),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert!(err.contains(needle), "`{line}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn parses_calibration_requests() {
+        assert_eq!(
+            Request::parse_line(r#"{"type":"calibration","action":"get","device":"q5","id":2}"#)
+                .unwrap(),
+            Request::Calibration {
+                id: Some(2),
+                device: "q5".into(),
+                action: CalAction::Get,
+                payload: None,
+            }
+        );
+        assert_eq!(
+            Request::parse_line(
+                r#"{"type":"calibration","action":"set","device":"q5","synthetic":{"seed":42,"drift":2}}"#
+            )
+            .unwrap(),
+            Request::Calibration {
+                id: None,
+                device: "q5".into(),
+                action: CalAction::Set,
+                payload: Some(CalPayload::Synthetic { seed: 42, drift: 2 }),
+            }
+        );
+        assert_eq!(
+            Request::parse_line(
+                r#"{"type":"calibration","action":"set","device":"q5","snapshot":"{...}"}"#
+            )
+            .unwrap(),
+            Request::Calibration {
+                id: None,
+                device: "q5".into(),
+                action: CalAction::Set,
+                payload: Some(CalPayload::Document("{...}".into())),
+            }
+        );
+        for (line, needle) in [
+            (r#"{"type":"calibration","action":"get"}"#, "`device`"),
+            (r#"{"type":"calibration","device":"q5"}"#, "`action`"),
+            (
+                r#"{"type":"calibration","action":"drop","device":"q5"}"#,
+                "unknown calibration action",
+            ),
+            (
+                r#"{"type":"calibration","action":"set","device":"q5"}"#,
+                "needs `snapshot` or `synthetic`",
+            ),
+            (
+                r#"{"type":"calibration","action":"get","device":"q5","synthetic":{"seed":1}}"#,
+                "takes no",
+            ),
+            (
+                r#"{"type":"calibration","action":"set","device":"q5","snapshot":"a","synthetic":{"seed":1}}"#,
+                "not both",
+            ),
+            (
+                r#"{"type":"calibration","action":"set","device":"q5","synthetic":{"drift":1}}"#,
+                "`seed`",
+            ),
+            (
+                r#"{"type":"calibration","action":"set","device":"q5","synthetic":{"seed":1,"drift":9999}}"#,
+                "`drift`",
+            ),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert!(err.contains(needle), "`{line}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn calibration_bodies_are_well_formed() {
+        let get_some = calibration_get_body("q5", Some((3, "{\"k\":1}\n")));
+        let get_none = calibration_get_body("q5", None);
+        let set = calibration_set_body("q5", 4, true);
+        for body in [&get_some, &get_none, &set] {
+            assert!(!body.contains('\n'), "{body}");
+            let parsed = Json::parse(body).expect(body);
+            assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        }
+        assert!(get_some.contains("\"version\":3"));
+        assert!(get_none.contains("\"snapshot\":null"));
+        assert!(set.contains("\"replaced\":true"));
     }
 
     #[test]
@@ -274,7 +544,7 @@ mod tests {
 
     #[test]
     fn bodies_are_single_lines_with_ids_spliced() {
-        let outcome = RouteOutcome {
+        let mut outcome = RouteOutcome {
             device: "q20".into(),
             router: RouterKind::Codar,
             qubits: 3,
@@ -283,12 +553,22 @@ mod tests {
             depth: 6,
             swaps: 1,
             output_gates: 6,
+            calibration: None,
             qasm: "OPENQASM 2.0;\nqreg q[3];\n".into(),
         };
         let body = outcome.body();
         assert!(!body.contains('\n'), "NDJSON bodies must be one line");
         assert!(body.contains("\"verified\":true"));
         assert!(body.contains("\\n"), "QASM newlines must be escaped");
+        // Without a snapshot the body carries no calibration fields
+        // (pre-calibration byte compatibility); with one it does.
+        assert!(!body.contains("cal_version"));
+        outcome.calibration = Some((7, 0.75));
+        let cal_body = outcome.body();
+        assert!(
+            cal_body.contains("\"cal_version\":7,\"eps\":0.750000"),
+            "{cal_body}"
+        );
         let with = attach_id(Some(7), &body);
         assert!(with.starts_with("{\"id\":7,\"type\":\"route\""));
         assert_eq!(attach_id(None, &body), body);

@@ -27,13 +27,17 @@
 use crate::cache::{fnv1a_extend, key_material, CacheStats, ShardedCache, FNV_OFFSET};
 use crate::json::escape;
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{attach_id, error_body, overloaded_body, shutdown_body, Request};
+use crate::protocol::{
+    attach_id, calibration_get_body, calibration_set_body, error_body, overloaded_body,
+    shutdown_body, CalAction, CalPayload, Request,
+};
 use crate::queue::{Bounded, PushError};
 use crate::worker::{spawn_pool, RouteJob};
-use codar_arch::Device;
+use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_circuit::decompose::decompose_three_qubit_gates;
 use codar_circuit::from_qasm::{circuit_from_flat, circuit_to_qasm};
 use codar_engine::RouterKind;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
@@ -41,6 +45,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Default calibration blend weight of `codar-cal` route requests
+/// that do not pass an explicit `alpha`.
+pub const DEFAULT_CAL_ALPHA: f64 = 0.5;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +79,24 @@ impl Default for ServiceConfig {
     }
 }
 
+/// The per-device calibration state behind one mutex. The lock is
+/// held only for map reads and inserts — document parsing and model
+/// derivation happen outside it, so a large upload cannot stall
+/// concurrent route traffic.
+#[derive(Default)]
+struct CalibrationStore {
+    /// Active snapshot + its (precomputed) EPS model per canonical
+    /// device name; workers share these `Arc`s instead of re-deriving
+    /// the per-edge tables on every cache miss.
+    active: HashMap<String, (Arc<CalibrationSnapshot>, Arc<FidelityModel>)>,
+    /// Highest snapshot version ever active per device. Uploads must
+    /// *exceed* it (not merely differ from the active one): cache
+    /// entries of any previously-active version may still be
+    /// resident, so re-using an old number could serve them against
+    /// new snapshot content.
+    high_water: HashMap<String, u64>,
+}
+
 struct Inner {
     config: ServiceConfig,
     /// Preset catalog: (lookup key, shared device). Devices are built
@@ -80,6 +106,11 @@ struct Inner {
     cache: Arc<ShardedCache>,
     metrics: Arc<ServiceMetrics>,
     queue: Arc<Bounded<RouteJob>>,
+    /// Active calibration snapshots. The snapshot's `version` is
+    /// folded into every route cache key for that device, so replacing
+    /// a snapshot atomically invalidates the stale cached routes (they
+    /// simply stop being probed).
+    calibration: Mutex<CalibrationStore>,
     shutdown: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -121,6 +152,7 @@ impl Service {
                 cache,
                 metrics,
                 queue,
+                calibration: Mutex::new(CalibrationStore::default()),
                 shutdown: AtomicBool::new(false),
                 workers: Mutex::new(workers),
             }),
@@ -141,6 +173,26 @@ impl Service {
     /// Whether a `shutdown` request has been served.
     pub fn shutdown_requested(&self) -> bool {
         self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The active calibration snapshot of `device` (canonical name).
+    pub fn active_snapshot(&self, device_name: &str) -> Option<Arc<CalibrationSnapshot>> {
+        self.active_calibration(device_name)
+            .map(|(snapshot, _)| snapshot)
+    }
+
+    /// The active snapshot plus its shared EPS model.
+    fn active_calibration(
+        &self,
+        device_name: &str,
+    ) -> Option<(Arc<CalibrationSnapshot>, Arc<FidelityModel>)> {
+        self.inner
+            .calibration
+            .lock()
+            .expect("calibration store poisoned")
+            .active
+            .get(device_name)
+            .cloned()
     }
 
     /// Point-in-time cache counters.
@@ -171,9 +223,16 @@ impl Service {
             Request::Route {
                 device,
                 router,
+                alpha,
                 qasm,
                 ..
-            } => attach_id(id, &self.handle_route(&device, router, &qasm)),
+            } => attach_id(id, &self.handle_route(&device, router, alpha, &qasm)),
+            Request::Calibration {
+                device,
+                action,
+                payload,
+                ..
+            } => attach_id(id, &self.handle_calibration(&device, action, payload)),
             Request::Stats { .. } => attach_id(id, &self.stats_body()),
             Request::Devices { .. } => attach_id(id, &self.devices_body()),
             Request::Shutdown { .. } => {
@@ -185,7 +244,13 @@ impl Service {
 
     /// The route path: parse → fit check → cache probe → queue →
     /// blocked wait for the worker's verified reply.
-    fn handle_route(&self, device_name: &str, router: RouterKind, qasm: &str) -> String {
+    fn handle_route(
+        &self,
+        device_name: &str,
+        router: RouterKind,
+        alpha: Option<f64>,
+        qasm: &str,
+    ) -> String {
         let metrics = &self.inner.metrics;
         let fail = |message: String| -> String {
             ServiceMetrics::bump(&metrics.errors);
@@ -198,6 +263,15 @@ impl Service {
                 known.join(", ")
             ));
         };
+        let calibration = self.active_calibration(device.name());
+        if router == RouterKind::CodarCal && calibration.is_none() {
+            return fail(format!(
+                "router `codar-cal` needs an active calibration snapshot for {}; \
+                 set one with a `calibration` request",
+                device.name()
+            ));
+        }
+        let alpha = alpha.unwrap_or(DEFAULT_CAL_ALPHA);
         let flat = match codar_qasm::parse_and_flatten(qasm) {
             Ok(flat) => flat,
             Err(e) => return fail(format!("QASM error: {e}")),
@@ -221,7 +295,27 @@ impl Service {
             Err(e) => return fail(format!("cannot canonicalize circuit: {e}")),
         };
         let seed_text = self.inner.config.seed.to_string();
-        let material = key_material(&[&canonical, device.name(), router.name(), &seed_text]);
+        // The active snapshot's version is part of every route key (0
+        // = no snapshot): a calibration reload therefore misses every
+        // stale entry instead of serving it. codar-cal keys also fold
+        // in the blend weight — different alphas are different routes.
+        let cal_version = calibration
+            .as_ref()
+            .map_or(0, |(s, _)| s.version)
+            .to_string();
+        let alpha_text = if router == RouterKind::CodarCal {
+            format!("{alpha:.6}")
+        } else {
+            String::new()
+        };
+        let material = key_material(&[
+            &canonical,
+            device.name(),
+            router.name(),
+            &seed_text,
+            &cal_version,
+            &alpha_text,
+        ]);
         let key = fnv1a_extend(FNV_OFFSET, material.as_bytes());
         if let Some(body) = self.inner.cache.get(key, &material) {
             // The deep copy happens here, outside the shard lock; the
@@ -229,12 +323,19 @@ impl Service {
             return body.as_ref().to_string();
         }
         let (reply, result) = mpsc::channel();
+        let (snapshot, model) = match calibration {
+            Some((snapshot, model)) => (Some(snapshot), Some(model)),
+            None => (None, None),
+        };
         let job = RouteJob {
             key,
             material,
             circuit,
             device,
             router,
+            alpha,
+            snapshot,
+            model,
             reply,
         };
         match self.inner.queue.try_push(job) {
@@ -247,6 +348,109 @@ impl Service {
                 overloaded_body()
             }
             Err(PushError::Closed(_)) => fail("service is shutting down".to_string()),
+        }
+    }
+
+    /// The `calibration` path: inspect or replace a device's active
+    /// snapshot. A replacement must carry a version different from
+    /// the active one — the version is the cache-invalidation token,
+    /// so re-using it would keep serving stale cached routes.
+    fn handle_calibration(
+        &self,
+        device_name: &str,
+        action: CalAction,
+        payload: Option<CalPayload>,
+    ) -> String {
+        let metrics = &self.inner.metrics;
+        let fail = |message: String| -> String {
+            ServiceMetrics::bump(&metrics.errors);
+            error_body(&message)
+        };
+        let Some(device) = self.lookup_device(device_name) else {
+            let known: Vec<&str> = self.inner.catalog.iter().map(|(k, _)| k.as_str()).collect();
+            return fail(format!(
+                "unknown device `{device_name}` (known: {})",
+                known.join(", ")
+            ));
+        };
+        match action {
+            CalAction::Get => {
+                let snapshot = self.active_snapshot(device.name());
+                let document = snapshot.as_ref().map(|s| (s.version, s.to_json()));
+                calibration_get_body(
+                    device.name(),
+                    document.as_ref().map(|(v, doc)| (*v, doc.as_str())),
+                )
+            }
+            CalAction::Set => {
+                // Parse, validate and derive the EPS model *outside*
+                // the calibration lock: a large uploaded document must
+                // not stall concurrent route traffic. (The model never
+                // reads the version, so stamping a synthetic version
+                // under the lock below is safe.)
+                let payload = payload.expect("parser guarantees a set payload");
+                let is_document = matches!(payload, CalPayload::Document(_));
+                let mut snapshot = match payload {
+                    CalPayload::Document(document) => {
+                        let snapshot = match CalibrationSnapshot::from_json(&document) {
+                            Ok(snapshot) => snapshot,
+                            Err(e) => return fail(format!("calibration document rejected: {e}")),
+                        };
+                        if snapshot.device != device.name() {
+                            return fail(format!(
+                                "snapshot calibrates `{}` but the request targets `{}`",
+                                snapshot.device,
+                                device.name()
+                            ));
+                        }
+                        if let Err(e) = snapshot.validate_for(&device) {
+                            return fail(format!("calibration document rejected: {e}"));
+                        }
+                        snapshot
+                    }
+                    CalPayload::Synthetic { seed, drift } => {
+                        let mut snapshot = CalibrationSnapshot::synthetic(&device, seed);
+                        for _ in 0..drift {
+                            snapshot = snapshot.drifted(seed);
+                        }
+                        snapshot
+                    }
+                };
+                let model = Arc::new(FidelityModel::from_snapshot(&snapshot));
+                let mut store = self
+                    .inner
+                    .calibration
+                    .lock()
+                    .expect("calibration store poisoned");
+                let high_water = store.high_water.get(device.name()).copied().unwrap_or(0);
+                if is_document {
+                    // Versions are the cache-invalidation token; any
+                    // previously-active version may still have
+                    // resident cache entries, so uploads must strictly
+                    // exceed the high-water mark.
+                    if snapshot.version <= high_water {
+                        return fail(format!(
+                            "snapshot version {} does not exceed the highest version {} \
+                             already seen on {}; bump the version so stale cache entries \
+                             cannot be served",
+                            snapshot.version,
+                            high_water,
+                            device.name()
+                        ));
+                    }
+                } else {
+                    // Server-generated: stamp the next version so a
+                    // reload always invalidates.
+                    snapshot.version = high_water + 1;
+                }
+                let version = snapshot.version;
+                store.high_water.insert(device.name().to_string(), version);
+                let replaced = store
+                    .active
+                    .insert(device.name().to_string(), (Arc::new(snapshot), model))
+                    .is_some();
+                calibration_set_body(device.name(), version, replaced)
+            }
         }
     }
 

@@ -13,7 +13,7 @@ use crate::cache::ShardedCache;
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{error_body, RouteOutcome};
 use crate::queue::Bounded;
-use codar_arch::Device;
+use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_circuit::from_qasm::circuit_to_qasm;
 use codar_circuit::Circuit;
 use codar_engine::{RouteWorker, RouterKind, RouterVariant};
@@ -35,6 +35,16 @@ pub struct RouteJob {
     pub device: Arc<Device>,
     /// Router to run.
     pub router: RouterKind,
+    /// Calibration blend weight (`codar-cal` only).
+    pub alpha: f64,
+    /// The device's active calibration snapshot at probe time (its
+    /// version is already folded into `key`/`material`). `codar-cal`
+    /// routes against it; any router's response reports EPS under it.
+    pub snapshot: Option<Arc<CalibrationSnapshot>>,
+    /// The snapshot's EPS model, derived once at `calibration set`
+    /// time and shared — workers never rebuild the per-edge tables.
+    /// Present iff `snapshot` is.
+    pub model: Option<Arc<FidelityModel>>,
     /// Where the finished response body goes (the blocked caller).
     pub reply: mpsc::Sender<String>,
 }
@@ -107,9 +117,16 @@ fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bo
             false,
         );
     }
-    let variant = RouterVariant::of_kind(job.router);
+    let mut variant = RouterVariant::of_kind(job.router);
+    variant.codar.cal_alpha = job.alpha;
     let initial = worker.initial_mapping(&job.circuit, &job.device, seed);
-    let routed = match worker.route(&job.circuit, &job.device, &variant, Some(initial)) {
+    let routed = match worker.route(
+        &job.circuit,
+        &job.device,
+        &variant,
+        Some(initial),
+        job.snapshot.as_deref(),
+    ) {
         Ok(routed) => routed,
         Err(e) => return (error_body(&format!("routing failed: {e}")), false),
     };
@@ -134,6 +151,16 @@ fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bo
             )
         }
     };
+    // With an active snapshot every route response (any router)
+    // reports the routed circuit's EPS under it, alongside the
+    // snapshot version the result is bound to.
+    let calibration = match (&job.snapshot, &job.model) {
+        (Some(snapshot), Some(model)) => Some((
+            snapshot.version,
+            model.success_probability(&routed.circuit, job.device.durations()),
+        )),
+        _ => None,
+    };
     let outcome = RouteOutcome {
         device: job.device.name().to_string(),
         router: job.router,
@@ -143,6 +170,7 @@ fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bo
         depth: routed.depth(),
         swaps: routed.swaps_inserted,
         output_gates: routed.gate_count(),
+        calibration,
         qasm,
     };
     (outcome.body(), true)
@@ -163,6 +191,9 @@ mod tests {
                 circuit,
                 device: Arc::new(Device::ibm_q5_yorktown()),
                 router,
+                alpha: 0.0,
+                snapshot: None,
+                model: None,
                 reply: tx,
             },
             rx,

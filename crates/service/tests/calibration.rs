@@ -1,0 +1,271 @@
+//! Calibration-request tests: golden `--stdin` fixtures, cache
+//! invalidation on snapshot reload, and byte-stream determinism.
+
+use codar_service::json::Json;
+use codar_service::{Service, ServiceConfig};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+const GHZ3: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\n\
+                    h q[0];\ncx q[0], q[1];\ncx q[1], q[2];\nmeasure q -> c;\n";
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn route_line(device: &str, router: &str, alpha: Option<f64>, qasm: &str) -> String {
+    let alpha = alpha.map_or(String::new(), |a| format!("\"alpha\":{a},"));
+    format!(
+        "{{\"type\":\"route\",\"device\":{},\"router\":{},{alpha}\"circuit\":{}}}",
+        codar_service::json::escape(device),
+        codar_service::json::escape(router),
+        codar_service::json::escape(qasm)
+    )
+}
+
+fn set_line(device: &str, seed: u64) -> String {
+    format!(
+        "{{\"type\":\"calibration\",\"action\":\"set\",\"device\":\"{device}\",\
+         \"synthetic\":{{\"seed\":{seed}}}}}"
+    )
+}
+
+/// Golden regression over the calibration fixtures, byte-for-byte,
+/// with the cache-invariance cross-check the plain fixtures get.
+/// Regenerate intentionally with
+/// `UPDATE_GOLDEN=1 cargo test -p codar-service --test calibration`.
+#[test]
+fn calibration_stdin_responses_match_golden() {
+    let run = |extra_args: &[&str]| -> String {
+        let requests =
+            std::fs::File::open(fixture("calibration_requests.ndjson")).expect("fixtures file");
+        let output = Command::new(env!("CARGO_BIN_EXE_coded"))
+            .arg("--stdin")
+            .args(extra_args)
+            .stdin(Stdio::from(requests))
+            .output()
+            .expect("spawn coded");
+        assert!(
+            output.status.success(),
+            "coded --stdin {extra_args:?} exited with {:?}\nstderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).expect("responses are UTF-8")
+    };
+    let first = run(&[]);
+    assert_eq!(first, run(&[]), "two runs diverged");
+    let uncached = run(&["--cache-capacity", "0"]);
+    for (a, b) in first.lines().zip(uncached.lines()) {
+        if a.contains("\"type\":\"stats\"") && b.contains("\"type\":\"stats\"") {
+            continue;
+        }
+        assert_eq!(a, b, "cache-off run diverged on a non-stats response");
+    }
+
+    let path = fixture("calibration_responses.golden.ndjson");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &first).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, first,
+        "responses drifted; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// A snapshot reload must change the cache key: the old entry stops
+/// being probed (stale misses, counters move) and the fresh result is
+/// bound to the new snapshot version.
+#[test]
+fn snapshot_reload_invalidates_cached_routes() {
+    let service = Service::start(ServiceConfig::default());
+    assert!(service
+        .handle_line(&set_line("q5", 1))
+        .contains("\"version\":1"));
+
+    // Fill and hit: the same codar-cal route twice.
+    let line = route_line("q5", "codar-cal", Some(1.0), GHZ3);
+    let v1_body = service.handle_line(&line);
+    assert!(v1_body.contains("\"cal_version\":1"), "{v1_body}");
+    assert!(v1_body.contains("\"eps\":"), "{v1_body}");
+    assert_eq!(service.handle_line(&line), v1_body, "repeat must hit");
+    let stats = service.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+
+    // Reload: different synthetic snapshot, version bumps to 2.
+    let ack = service.handle_line(&set_line("q5", 2));
+    assert!(
+        ack.contains("\"version\":2") && ack.contains("\"replaced\":true"),
+        "{ack}"
+    );
+
+    // The same request now misses (the stale v1 entry is unreachable
+    // under the new key) and returns a v2-bound result.
+    let v2_body = service.handle_line(&line);
+    let stats = service.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (1, 2),
+        "reload must turn the repeat into a miss"
+    );
+    assert!(v2_body.contains("\"cal_version\":2"), "{v2_body}");
+    assert_ne!(
+        v1_body, v2_body,
+        "a drifted snapshot changes the result context"
+    );
+
+    // Plain-codar entries key on the snapshot version too: routing,
+    // reloading, and re-routing gives miss → miss, never a stale hit.
+    let plain = route_line("q5", "codar", None, GHZ3);
+    let before = service.handle_line(&plain);
+    service.handle_line(&set_line("q5", 3));
+    let after = service.handle_line(&plain);
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 1, "no stale plain-codar hit after reload");
+    assert!(before.contains("\"cal_version\":2") && after.contains("\"cal_version\":3"));
+}
+
+/// Different alphas are different cache entries (folded into the key),
+/// and the eps context changes with alpha when the routes differ.
+#[test]
+fn alpha_is_part_of_the_cache_key() {
+    let service = Service::start(ServiceConfig::default());
+    service.handle_line(&set_line("q20", 9));
+    let a = service.handle_line(&route_line("q20", "codar-cal", Some(0.0), GHZ3));
+    let b = service.handle_line(&route_line("q20", "codar-cal", Some(1.0), GHZ3));
+    assert!(a.contains("\"status\":\"ok\"") && b.contains("\"status\":\"ok\""));
+    let stats = service.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, 2),
+        "distinct alphas must not share an entry"
+    );
+}
+
+/// Byte-stream determinism across seeded reruns: the full sequence
+/// (calibration sets included) replayed against two fresh daemons
+/// yields identical byte streams, cache on or off.
+#[test]
+fn calibration_streams_are_deterministic_across_reruns() {
+    let lines = [
+        set_line("q5", 7),
+        route_line("q5", "codar-cal", Some(0.5), GHZ3),
+        route_line("q5", "codar", None, GHZ3),
+        set_line("q5", 8),
+        route_line("q5", "codar-cal", Some(0.5), GHZ3),
+        "{\"type\":\"calibration\",\"action\":\"get\",\"device\":\"q5\"}".to_string(),
+    ];
+    let stream = |config: ServiceConfig| -> String {
+        let service = Service::start(config);
+        lines
+            .iter()
+            .map(|line| service.handle_line(line) + "\n")
+            .collect()
+    };
+    let a = stream(ServiceConfig::default());
+    let b = stream(ServiceConfig::default());
+    assert_eq!(a, b, "seeded reruns must be byte-identical");
+    let uncached = stream(ServiceConfig {
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    assert_eq!(a, uncached, "the cache must be response-transparent");
+}
+
+/// An uploaded snapshot document round-trips through set → get, and
+/// re-uploading the same version is rejected (it could serve stale
+/// cache entries).
+#[test]
+fn uploaded_documents_round_trip_and_versions_must_bump() {
+    let service = Service::start(ServiceConfig::default());
+    service.handle_line(&set_line("q5", 5));
+    let get =
+        service.handle_line("{\"type\":\"calibration\",\"action\":\"get\",\"device\":\"q5\"}");
+    let parsed = Json::parse(&get).unwrap();
+    let document = parsed
+        .get("snapshot")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let version = parsed.get("version").and_then(Json::as_u64).unwrap();
+    assert_eq!(version, 1);
+
+    // Same version back → rejected.
+    let same = format!(
+        "{{\"type\":\"calibration\",\"action\":\"set\",\"device\":\"q5\",\"snapshot\":{}}}",
+        codar_service::json::escape(&document)
+    );
+    let rejected = service.handle_line(&same);
+    assert!(rejected.contains("does not exceed"), "{rejected}");
+
+    // Bumped version → accepted, and get returns the new document.
+    let bumped_doc = document.replace("\"version\": 1", "\"version\": 9");
+    let bumped = format!(
+        "{{\"type\":\"calibration\",\"action\":\"set\",\"device\":\"q5\",\"snapshot\":{}}}",
+        codar_service::json::escape(&bumped_doc)
+    );
+    let ack = service.handle_line(&bumped);
+    assert!(
+        ack.contains("\"version\":9") && ack.contains("\"replaced\":true"),
+        "{ack}"
+    );
+    let get2 =
+        service.handle_line("{\"type\":\"calibration\",\"action\":\"get\",\"device\":\"q5\"}");
+    assert!(get2.contains("\"version\":9"));
+
+    // Versions are a high-water mark, not just "different from the
+    // active one": re-uploading a *previously used* version (here 1,
+    // while 9 is active) must be rejected — its cache entries may
+    // still be resident and would be served against the new content.
+    let old_again = service.handle_line(&same);
+    assert!(old_again.contains("does not exceed"), "{old_again}");
+
+    // A document for the wrong device is rejected.
+    let wrong = format!(
+        "{{\"type\":\"calibration\",\"action\":\"set\",\"device\":\"q20\",\"snapshot\":{}}}",
+        codar_service::json::escape(&bumped_doc)
+    );
+    let err = service.handle_line(&wrong);
+    assert!(err.contains("targets"), "{err}");
+}
+
+/// The concrete staleness scenario behind the high-water rule: cache a
+/// route under version N, move past it, then try to bring N back —
+/// the daemon must refuse rather than let the old cached route be
+/// served against new snapshot content.
+#[test]
+fn resurrected_versions_cannot_serve_stale_cache_entries() {
+    let service = Service::start(ServiceConfig::default());
+    service.handle_line(&set_line("q5", 1));
+    let doc_v1 = {
+        let get =
+            service.handle_line("{\"type\":\"calibration\",\"action\":\"get\",\"device\":\"q5\"}");
+        Json::parse(&get)
+            .unwrap()
+            .get("snapshot")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    // Cache a route under version 1, then advance to version 2.
+    let line = route_line("q5", "codar-cal", Some(1.0), GHZ3);
+    service.handle_line(&line);
+    service.handle_line(&set_line("q5", 2));
+    // Re-uploading the v1 document (even with different content) is
+    // refused: its key space still holds the cached v1 route.
+    let resurrect = format!(
+        "{{\"type\":\"calibration\",\"action\":\"set\",\"device\":\"q5\",\"snapshot\":{}}}",
+        codar_service::json::escape(&doc_v1)
+    );
+    let refused = service.handle_line(&resurrect);
+    assert!(refused.contains("does not exceed"), "{refused}");
+    // The active snapshot is still v2.
+    let get =
+        service.handle_line("{\"type\":\"calibration\",\"action\":\"get\",\"device\":\"q5\"}");
+    assert!(get.contains("\"version\":2"), "{get}");
+}

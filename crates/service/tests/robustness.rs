@@ -1,0 +1,68 @@
+//! Protocol robustness: the hostile NDJSON corpus.
+//!
+//! `tests/fixtures/hostile.ndjson` is a checked-in file of adversarial
+//! request lines — deep nesting, mispaired surrogate escapes, huge and
+//! malformed numbers, truncated frames, raw control characters,
+//! oversized keys. Replayed against the real `coded --stdin` binary,
+//! the daemon must (a) never panic or crash, (b) emit exactly one
+//! well-formed JSON reply per line, and (c) reply deterministically.
+//! (The corpus is valid UTF-8 by construction: the line reader
+//! terminates the stream on invalid UTF-8 before any request parsing
+//! runs, which is transport framing, not protocol handling.)
+
+use codar_service::json::Json;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn corpus_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/hostile.ndjson")
+}
+
+fn replay() -> String {
+    let corpus = std::fs::File::open(corpus_path()).expect("hostile corpus fixture");
+    let output = Command::new(env!("CARGO_BIN_EXE_coded"))
+        .arg("--stdin")
+        .stdin(Stdio::from(corpus))
+        .output()
+        .expect("spawn coded");
+    assert!(
+        output.status.success(),
+        "coded --stdin crashed on the hostile corpus: {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("replies are UTF-8")
+}
+
+#[test]
+fn hostile_corpus_gets_one_well_formed_error_reply_per_line() {
+    let corpus = std::fs::read_to_string(corpus_path()).expect("read corpus");
+    let requests: Vec<&str> = corpus.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(requests.len() >= 30, "corpus shrank to {}", requests.len());
+
+    let replies = replay();
+    let reply_lines: Vec<&str> = replies.lines().collect();
+    assert_eq!(
+        reply_lines.len(),
+        requests.len(),
+        "exactly one reply per corpus line"
+    );
+    for (request, reply) in requests.iter().zip(&reply_lines) {
+        let parsed = Json::parse(reply)
+            .unwrap_or_else(|e| panic!("reply to `{request}` is not JSON ({e}): {reply}"));
+        let status = parsed.get("status").and_then(Json::as_str);
+        assert!(
+            status.is_some(),
+            "reply to `{request}` lacks a status: {reply}"
+        );
+        // Every corpus line is hostile; none may succeed as a route.
+        assert_ne!(
+            parsed.get("type").and_then(Json::as_str),
+            Some("route"),
+            "hostile line `{request}` routed successfully: {reply}"
+        );
+    }
+
+    // Deterministic: the same corpus replays to the same bytes.
+    assert_eq!(replies, replay(), "hostile replies diverged across runs");
+}

@@ -75,6 +75,7 @@ fn routed_outputs_round_trip_too() {
                 &device,
                 &RouterVariant::of_kind(kind),
                 Some(initial),
+                None,
             )
             .expect("fits");
         let written = circuit_to_qasm(&routed.circuit).expect("routed serializes");
