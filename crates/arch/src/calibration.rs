@@ -268,6 +268,16 @@ impl CalibrationSnapshot {
         .expect("synthetic values are in range by construction")
     }
 
+    /// The same snapshot restamped to `version` — the hook fuzzers and
+    /// generators use to play version games (stale, equal, far-future)
+    /// against the daemon's high-water-mark acceptance check without
+    /// re-deriving the physical numbers.
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
     /// The next calibration run: every parameter drifts by a seeded
     /// multiplicative factor (errors ×[0.6, 1.5], T1/T2 ±20 %), the
     /// version is bumped. Deterministic per `(self, seed)`; chaining

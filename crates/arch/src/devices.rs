@@ -320,6 +320,15 @@ impl Device {
         ]
     }
 
+    /// Canonical preset names, in [`Device::presets`] order — the list
+    /// generators draw device names from without building the devices.
+    pub fn preset_names() -> Vec<&'static str> {
+        Device::presets()
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect()
+    }
+
     /// The four architectures of the paper's Fig. 8, in paper order.
     pub fn paper_architectures() -> Vec<Device> {
         vec![

@@ -37,6 +37,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod generate;
 pub mod lexer;
 pub mod parser;
 pub mod semantic;

@@ -1,0 +1,345 @@
+//! `codar-fuzz` — seeded structured fuzzing of the daemon protocol.
+//!
+//! ```text
+//! codar-fuzz [--seed S] [--iterations N]
+//!            [--grammar all|protocol|qasm|calibration] [--stats-every N]
+//!            [--cache-capacity N] [--e2e] [--coded PATH]
+//!            [--emit-corpus PATH]
+//! ```
+//!
+//! Generates a corpus with `codar_service::fuzz` (a pure function of
+//! the seed — two runs at equal flags print byte-identical summaries)
+//! and replays it either in-process against `Service::handle_line`
+//! (default) or end-to-end against a spawned `coded --stdin` child
+//! (`--e2e`), holding every reply to the protocol contract: one
+//! single-line JSON reply per request, known status, exact id echo,
+//! monotone counters and bounded cache occupancy across `stats`
+//! probes.
+//!
+//! Exit status: 0 on a clean run, 1 with a minimized repro on any
+//! invariant violation, 2 on usage errors. A served `shutdown` in
+//! `--e2e` mode exits the child; the harness expects that, verifies
+//! the goodbye reply, and respawns for the rest of the corpus.
+
+use codar_service::fuzz::{
+    expected_id, generate_corpus, minimize, run_in_process, FuzzConfig, Grammar, InvariantChecker,
+    ReplyTally, DEFAULT_SEED,
+};
+use codar_service::{Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, ExitCode, Stdio};
+
+struct Args {
+    fuzz: FuzzConfig,
+    cache_capacity: usize,
+    e2e: bool,
+    coded: Option<String>,
+    emit_corpus: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        fuzz: FuzzConfig {
+            seed: DEFAULT_SEED,
+            iterations: 1000,
+            grammars: Grammar::ALL.to_vec(),
+            stats_every: 16,
+        },
+        cache_capacity: 64,
+        e2e: false,
+        coded: None,
+        emit_corpus: None,
+    };
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                parsed.fuzz.seed = value(args, i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+                i += 2;
+            }
+            "--iterations" => {
+                parsed.fuzz.iterations = value(args, i, "--iterations")?
+                    .parse()
+                    .map_err(|e| format!("bad --iterations value: {e}"))?;
+                i += 2;
+            }
+            "--stats-every" => {
+                parsed.fuzz.stats_every = value(args, i, "--stats-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --stats-every value: {e}"))?;
+                i += 2;
+            }
+            "--cache-capacity" => {
+                parsed.cache_capacity = value(args, i, "--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-capacity value: {e}"))?;
+                i += 2;
+            }
+            "--grammar" => {
+                let name = value(args, i, "--grammar")?;
+                parsed.fuzz.grammars = if name == "all" {
+                    Grammar::ALL.to_vec()
+                } else {
+                    vec![Grammar::parse(&name).ok_or_else(|| {
+                        format!("unknown grammar `{name}` (protocol|qasm|calibration|all)")
+                    })?]
+                };
+                i += 2;
+            }
+            "--e2e" => {
+                parsed.e2e = true;
+                i += 1;
+            }
+            "--coded" => {
+                parsed.coded = Some(value(args, i, "--coded")?);
+                i += 2;
+            }
+            "--emit-corpus" => {
+                parsed.emit_corpus = Some(value(args, i, "--emit-corpus")?);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Where the daemon binary lives for `--e2e`: an explicit `--coded`,
+/// or `coded` next to this executable (the cargo layout).
+fn coded_path(args: &Args) -> Result<std::path::PathBuf, String> {
+    if let Some(path) = &args.coded {
+        return Ok(path.into());
+    }
+    let me = std::env::current_exe().map_err(|e| format!("cannot locate self: {e}"))?;
+    let sibling = me.with_file_name("coded");
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err("cannot find `coded` next to codar-fuzz; pass --coded PATH".to_string())
+    }
+}
+
+struct Violation {
+    index: usize,
+    input: String,
+    reply: String,
+    message: String,
+}
+
+/// Replays the corpus against `coded --stdin` children, respawning
+/// after every served shutdown and verifying the stream stays in
+/// lockstep (one reply per line, nothing unsolicited at EOF).
+fn run_e2e(
+    corpus: &[String],
+    coded: &std::path::Path,
+    service_config: &ServiceConfig,
+) -> Result<(u64, ReplyTally), Violation> {
+    let spawn = || -> std::io::Result<(Child, BufReader<std::process::ChildStdout>)> {
+        let mut child = Command::new(coded)
+            .arg("--stdin")
+            .arg("--cache-capacity")
+            .arg(service_config.cache_capacity.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        Ok((child, BufReader::new(stdout)))
+    };
+    let fail = |index: usize, input: &str, reply: &str, message: String| Violation {
+        index,
+        input: input.to_string(),
+        reply: reply.to_string(),
+        message,
+    };
+    let mut reply_fnv = codar_service::cache::FNV_OFFSET;
+    let mut tally = ReplyTally::default();
+    let (mut child, mut reader) =
+        spawn().map_err(|e| fail(0, "", "", format!("cannot spawn coded: {e}")))?;
+    // Counter invariants hold per daemon lifetime, so the checker is
+    // reborn with every child.
+    let mut checker = InvariantChecker::new();
+    let mut respawn_next = false;
+    for (index, line) in corpus.iter().enumerate() {
+        if respawn_next {
+            let _ = child.wait();
+            tally.ok += checker.tally.ok;
+            tally.error += checker.tally.error;
+            tally.overloaded += checker.tally.overloaded;
+            let (c, r) =
+                spawn().map_err(|e| fail(index, line, "", format!("cannot respawn coded: {e}")))?;
+            child = c;
+            reader = r;
+            checker = InvariantChecker::new();
+            respawn_next = false;
+        }
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        if let Err(e) = writeln!(stdin, "{line}").and_then(|()| stdin.flush()) {
+            return Err(fail(
+                index,
+                line,
+                "",
+                format!("daemon dropped the stream: {e}"),
+            ));
+        }
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) => {
+                return Err(fail(
+                    index,
+                    line,
+                    "",
+                    "daemon exited without replying".to_string(),
+                ))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(fail(index, line, "", format!("broken reply stream: {e}"))),
+        }
+        let reply = reply.trim_end_matches('\n');
+        reply_fnv = codar_service::cache::fnv1a_extend(reply_fnv, reply.as_bytes());
+        reply_fnv = codar_service::cache::fnv1a_extend(reply_fnv, b"\n");
+        if let Err(message) = checker.check(line, reply) {
+            return Err(fail(index, line, reply, message));
+        }
+        // A served shutdown means this child is exiting; everything
+        // after it needs a fresh daemon.
+        if reply.contains("\"type\":\"shutdown\"") && reply.contains("\"status\":\"ok\"") {
+            respawn_next = true;
+        }
+    }
+    // Close the stream and make sure the daemon says nothing more:
+    // exactly one reply per line means silence at EOF.
+    drop(child.stdin.take());
+    let mut leftovers = String::new();
+    let _ = reader.read_to_string(&mut leftovers);
+    let _ = child.wait();
+    if !leftovers.trim().is_empty() {
+        return Err(fail(
+            corpus.len(),
+            "",
+            leftovers.trim(),
+            "unsolicited output after the last request".to_string(),
+        ));
+    }
+    tally.ok += checker.tally.ok;
+    tally.error += checker.tally.error;
+    tally.overloaded += checker.tally.overloaded;
+    Ok((reply_fnv, tally))
+}
+
+fn grammars_label(grammars: &[Grammar]) -> String {
+    grammars
+        .iter()
+        .map(|g| g.name())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn run(args: &Args) -> Result<(), (String, ExitCode)> {
+    let usage = |m: String| (m, ExitCode::from(2));
+    let corpus = generate_corpus(&args.fuzz);
+    let mut corpus_fnv = codar_service::cache::FNV_OFFSET;
+    for line in &corpus {
+        corpus_fnv = codar_service::cache::fnv1a_extend(corpus_fnv, line.as_bytes());
+        corpus_fnv = codar_service::cache::fnv1a_extend(corpus_fnv, b"\n");
+    }
+    if let Some(path) = &args.emit_corpus {
+        let mut text = corpus.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| usage(format!("cannot write {path}: {e}")))?;
+    }
+    let service_config = ServiceConfig {
+        cache_capacity: args.cache_capacity,
+        ..ServiceConfig::default()
+    };
+    println!(
+        "codar-fuzz: seed={} iterations={} grammars={} mode={}",
+        args.fuzz.seed,
+        args.fuzz.iterations,
+        grammars_label(&args.fuzz.grammars),
+        if args.e2e { "e2e" } else { "in-process" },
+    );
+    let (reply_fnv, tally) = if args.e2e {
+        let coded = coded_path(args).map_err(usage)?;
+        match run_e2e(&corpus, &coded, &service_config) {
+            Ok(result) => result,
+            Err(violation) => {
+                // Shrink against a fresh in-process service: nearly
+                // every e2e crasher reproduces there, and it avoids a
+                // process spawn per ddmin probe.
+                let config = service_config.clone();
+                let minimized = minimize(&violation.input, |candidate| {
+                    let fresh = Service::start(config.clone());
+                    let reply = fresh.handle_line(candidate);
+                    InvariantChecker::new().check(candidate, &reply).is_err()
+                });
+                return Err((
+                    format!(
+                        "invariant violation at corpus line {} (seed {}):\n  {}\n  \
+                         input:     {}\n  minimized: {}\n  reply:     {}\n  expected id: {:?}",
+                        violation.index,
+                        args.fuzz.seed,
+                        violation.message,
+                        violation.input,
+                        minimized,
+                        violation.reply,
+                        expected_id(&violation.input),
+                    ),
+                    ExitCode::FAILURE,
+                ));
+            }
+        }
+    } else {
+        let service = Service::start(service_config);
+        match run_in_process(&corpus, &service) {
+            Ok(report) => (report.reply_fnv, report.tally),
+            Err(violation) => {
+                return Err((
+                    format!(
+                        "invariant violation at corpus line {} (seed {}):\n  {}\n  \
+                         minimized: {}\n  reply:     {}\n  expected id: {:?}",
+                        violation.index,
+                        args.fuzz.seed,
+                        violation.message,
+                        violation.input,
+                        violation.reply,
+                        expected_id(&violation.input),
+                    ),
+                    ExitCode::FAILURE,
+                ));
+            }
+        }
+    };
+    println!("corpus fnv=0x{corpus_fnv:016x} replies fnv=0x{reply_fnv:016x}");
+    println!(
+        "replies ok={} error={} overloaded={}",
+        tally.ok, tally.error, tally.overloaded
+    );
+    println!("OK: {} lines, zero invariant violations", corpus.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((message, code)) => {
+            eprintln!("{message}");
+            code
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! coded [--stdin | --listen ADDR] [--workers N] [--cache-capacity N]
 //!       [--cache-shards N] [--queue-capacity N] [--seed S]
+//!       [--drain-ms N]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol of `codar_service::protocol`:
@@ -14,14 +15,21 @@
 //!
 //! `--cache-capacity 0` disables the result cache — responses stay
 //! byte-identical, only slower (the determinism gate diffs the two).
+//!
+//! On `shutdown` the TCP accept loop stops and **drains**: tracked
+//! per-connection threads are joined so in-flight responses complete;
+//! `--drain-ms` bounds how long readers parked on idle connections can
+//! hold up the exit (default 5000).
 
 use codar_service::{Service, ServiceConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     config: ServiceConfig,
     stdin: bool,
     listen: String,
+    drain: Duration,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -29,6 +37,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         config: ServiceConfig::default(),
         stdin: false,
         listen: "127.0.0.1:7878".to_string(),
+        drain: Duration::from_millis(5000),
     };
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
         args.get(i + 1)
@@ -74,6 +83,14 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("bad seed: {e}"))?;
                 i += 2;
             }
+            "--drain-ms" => {
+                parsed.drain = Duration::from_millis(
+                    value(args, i, "--drain-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --drain-ms value: {e}"))?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -100,7 +117,7 @@ fn run(args: &Args) -> Result<(), String> {
             args.config.cache_capacity,
         );
         service
-            .serve_tcp(listener)
+            .serve_tcp_with_drain(listener, args.drain)
             .map_err(|e| format!("accept loop failed: {e}"))
     }
 }

@@ -5,10 +5,13 @@
 //!         [--router NAME] [--max-qubits N] [--hot N]
 //!         [--connect ADDR | in-process] [--latency-json PATH]
 //!         [--workers N] [--cache-capacity N] [--queue-capacity N]
+//! loadgen --soak [--rounds N | --duration-secs S]
+//!         [--requests-per-round N] [--reload-every N] [--clients N]
+//!         [common flags as above]
 //! ```
 //!
-//! Replays a seeded mix of benchmark circuits (hot-set repeats with
-//! probability `--repeat-ratio`) and reports:
+//! The default mode replays a seeded mix of benchmark circuits
+//! (hot-set repeats with probability `--repeat-ratio`) and reports:
 //!
 //! * **stdout** — the deterministic summary JSON (counts, cache hit
 //!   rate, response-stream checksum; no timing). Two runs with the
@@ -17,19 +20,36 @@
 //!   measurement and therefore *not* deterministic.
 //! * `--latency-json PATH` — the versioned latency JSON.
 //!
+//! `--soak` switches to long-run mixed traffic (route hot-set +
+//! periodic calibration reloads + stats probes) under the fuzzer's
+//! protocol invariants — see `codar_service::soak`. `--rounds N` is
+//! fully deterministic (reruns print byte-identical summary lines);
+//! `--duration-secs S` runs on the wall clock instead. `--clients N`
+//! (with `--connect`) soaks through N concurrent TCP connections and
+//! checks each client's route replies match a solo run — the
+//! cache-transparency contract under real concurrency.
+//!
 //! Without `--connect` the run is closed-loop: loadgen starts an
 //! in-process daemon (configured by `--workers`/`--cache-capacity`/
 //! `--queue-capacity`) and drives it directly, no port involved.
 
 use codar_service::loadgen::{run, LoadgenConfig, TcpTransport};
+use codar_service::soak::{run_soak, run_soak_tcp_clients, SoakConfig};
 use codar_service::{Service, ServiceConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     config: LoadgenConfig,
     service: ServiceConfig,
     connect: Option<String>,
     latency_json: Option<String>,
+    soak: bool,
+    soak_rounds: Option<usize>,
+    soak_duration: Option<u64>,
+    requests_per_round: usize,
+    reload_every: usize,
+    clients: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -38,6 +58,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         service: ServiceConfig::default(),
         connect: None,
         latency_json: None,
+        soak: false,
+        soak_rounds: None,
+        soak_duration: None,
+        requests_per_round: 20,
+        reload_every: 10,
+        clients: 1,
     };
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
         args.get(i + 1)
@@ -49,8 +75,18 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     while i < args.len() {
         let flag = args[i].as_str();
         match flag {
-            "--requests" | "--seed" | "--max-qubits" | "--hot" | "--workers"
-            | "--cache-capacity" | "--queue-capacity" => {
+            "--requests"
+            | "--seed"
+            | "--max-qubits"
+            | "--hot"
+            | "--workers"
+            | "--cache-capacity"
+            | "--queue-capacity"
+            | "--rounds"
+            | "--duration-secs"
+            | "--requests-per-round"
+            | "--reload-every"
+            | "--clients" => {
                 let text = value(args, i, flag)?;
                 let number: usize = text.parse().map_err(|e| format!("bad {flag}: {e}"))?;
                 match flag {
@@ -61,6 +97,11 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     "--workers" => parsed.service.workers = number,
                     "--cache-capacity" => parsed.service.cache_capacity = number,
                     "--queue-capacity" => parsed.service.queue_capacity = number,
+                    "--rounds" => parsed.soak_rounds = Some(number),
+                    "--duration-secs" => parsed.soak_duration = Some(number as u64),
+                    "--requests-per-round" => parsed.requests_per_round = number,
+                    "--reload-every" => parsed.reload_every = number,
+                    "--clients" => parsed.clients = number,
                     _ => unreachable!(),
                 }
                 if matches!(flag, "--workers" | "--cache-capacity" | "--queue-capacity") {
@@ -90,6 +131,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 parsed.latency_json = Some(value(args, i, flag)?);
                 i += 2;
             }
+            "--soak" => {
+                parsed.soak = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -102,10 +147,88 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
              pass it to `coded` instead"
         ));
     }
+    if !parsed.soak {
+        for (set, flag) in [
+            (parsed.soak_rounds.is_some(), "--rounds"),
+            (parsed.soak_duration.is_some(), "--duration-secs"),
+            (parsed.clients != 1, "--clients"),
+        ] {
+            if set {
+                return Err(format!("{flag} only makes sense with --soak"));
+            }
+        }
+    }
+    if parsed.soak && parsed.soak_rounds.is_some() && parsed.soak_duration.is_some() {
+        return Err("--rounds and --duration-secs are mutually exclusive".to_string());
+    }
+    if parsed.soak && parsed.clients > 1 && parsed.connect.is_none() {
+        return Err("--clients needs --connect: concurrent soak clients are TCP".to_string());
+    }
     Ok(parsed)
 }
 
+fn run_soak_mode(args: &Args) -> Result<(), String> {
+    let config = SoakConfig {
+        seed: args.config.seed,
+        // --duration-secs switches to wall-clock mode (rounds = 0);
+        // otherwise --rounds (default 50) keeps the run deterministic.
+        rounds: match (args.soak_rounds, args.soak_duration) {
+            (_, Some(_)) => 0,
+            (Some(rounds), None) => rounds,
+            (None, None) => 50,
+        },
+        duration: Duration::from_secs(args.soak_duration.unwrap_or(30)),
+        requests_per_round: args.requests_per_round,
+        reload_every: args.reload_every,
+        device: args.config.device.clone(),
+        router: args.config.router.clone(),
+        max_qubits: args.config.max_qubits,
+        hot: args.config.hot,
+        repeat_ratio: args.config.repeat_ratio,
+    };
+    if args.clients > 1 {
+        let addr = args.connect.as_ref().expect("checked in parse_args");
+        let reports = run_soak_tcp_clients(addr, args.clients, &config)
+            .map_err(|e| format!("soak failed: {e}"))?;
+        for (i, report) in reports.iter().enumerate() {
+            let client_config = SoakConfig {
+                seed: config.seed + i as u64,
+                reload_every: 0,
+                ..config.clone()
+            };
+            println!("client {i}: {}", report.summary_line(&client_config));
+        }
+        println!(
+            "OK: {} clients x {} rounds, zero invariant violations",
+            reports.len(),
+            reports.first().map_or(0, |r| r.rounds),
+        );
+        return Ok(());
+    }
+    let report = match &args.connect {
+        Some(addr) => {
+            let mut transport = TcpTransport::connect(addr)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            run_soak(&config, &mut transport)
+        }
+        None => {
+            let mut service = Service::start(args.service.clone());
+            run_soak(&config, &mut service)
+        }
+    }
+    .map_err(|e| format!("soak failed: {e}"))?;
+    println!("{}", report.summary_line(&config));
+    println!(
+        "OK: {} rounds, {} requests, zero invariant violations",
+        report.rounds, report.requests
+    );
+    Ok(())
+}
+
 fn run_load(args: &Args) -> Result<(), String> {
+    if args.soak {
+        return run_soak_mode(args);
+    }
     let report = match &args.connect {
         Some(addr) => {
             let mut transport = TcpTransport::connect(addr)

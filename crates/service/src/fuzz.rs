@@ -1,0 +1,1000 @@
+//! Seeded structured fuzzing for the daemon's line protocol.
+//!
+//! The `codar-fuzz` bin and the CI smoke gate are thin shells around
+//! this module. Three grammar-aware generator/mutator families produce
+//! corpus lines that sit *near* the grammar boundary (valid skeletons
+//! with targeted corruptions), instead of random bytes the first token
+//! check would reject:
+//!
+//! * [`Grammar::Protocol`] — NDJSON request frames (`route`, `stats`,
+//!   `devices`, `calibration`, `shutdown`) mutated by field drops,
+//!   type swaps, boundary numbers, unicode/surrogate injection,
+//!   truncation and deep nesting;
+//! * [`Grammar::Qasm`] — valid OpenQASM 2 sources (from
+//!   [`codar_qasm::generate`]) mutated by index perturbation, operand
+//!   duplication and keyword corruption, embedded in `route` frames;
+//! * [`Grammar::Calibration`] — valid snapshot documents (from
+//!   [`CalibrationSnapshot::synthetic`]) mutated by version games,
+//!   NaN/Inf/denormal injection and missing sections, embedded in
+//!   `calibration set` frames.
+//!
+//! Every corpus is a pure function of `(seed, iterations, grammars)`
+//! — two runs at equal seeds are byte-identical, so any crasher is
+//! reproducible from its seed alone.
+//!
+//! [`InvariantChecker`] holds the contract the daemon must keep for
+//! *every* line, hostile or not: exactly one single-line well-formed
+//! JSON reply, `status` ∈ {`ok`, `error`, `overloaded`}, the request
+//! `id` echoed exactly when recoverable, and — across interleaved
+//! `stats` probes — monotone counters and cache occupancy within
+//! capacity. [`minimize`] shrinks a violating line ddmin-style before
+//! it is reported (and committed as a regression fixture).
+//!
+//! # Examples
+//!
+//! ```
+//! use codar_service::fuzz::{generate_corpus, run_in_process, FuzzConfig};
+//! use codar_service::{Service, ServiceConfig};
+//!
+//! let config = FuzzConfig { iterations: 64, ..FuzzConfig::default() };
+//! let corpus = generate_corpus(&config);
+//! assert_eq!(corpus, generate_corpus(&config)); // pure in the seed
+//! let service = Service::start(ServiceConfig::default());
+//! let report = run_in_process(&corpus, &service).expect("no invariant violations");
+//! assert_eq!(report.lines, corpus.len());
+//! ```
+
+use crate::json::{escape, Json};
+use crate::server::Service;
+use codar_arch::{CalibrationSnapshot, Device};
+use codar_qasm::generate::{random_source_with, GeneratorConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Seed used when the caller does not pick one.
+pub const DEFAULT_SEED: u64 = 0xC0DA_F022;
+
+/// The three corpus families. See the module docs for what each mutates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grammar {
+    /// NDJSON protocol frames.
+    Protocol,
+    /// OpenQASM 2 sources inside `route` frames.
+    Qasm,
+    /// Calibration documents inside `calibration set` frames.
+    Calibration,
+}
+
+impl Grammar {
+    /// All grammars, in generation order.
+    pub const ALL: [Grammar; 3] = [Grammar::Protocol, Grammar::Qasm, Grammar::Calibration];
+
+    /// The CLI name (`protocol` / `qasm` / `calibration`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Grammar::Protocol => "protocol",
+            Grammar::Qasm => "qasm",
+            Grammar::Calibration => "calibration",
+        }
+    }
+
+    /// Parses a CLI name; `all` is handled by the caller.
+    pub fn parse(name: &str) -> Option<Grammar> {
+        match name {
+            "protocol" => Some(Grammar::Protocol),
+            "qasm" => Some(Grammar::Qasm),
+            "calibration" => Some(Grammar::Calibration),
+            _ => None,
+        }
+    }
+}
+
+/// What to generate. The corpus is a pure function of this struct.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; every derived choice flows from it.
+    pub seed: u64,
+    /// Corpus lines to generate (stats probes are injected *within*
+    /// this budget, not on top of it).
+    pub iterations: usize,
+    /// Which families to draw from, round-robin.
+    pub grammars: Vec<Grammar>,
+    /// Inject a valid `stats` probe every N lines so the cache and
+    /// counter invariants are actually observed mid-stream. 0 = never.
+    pub stats_every: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: DEFAULT_SEED,
+            iterations: 1000,
+            grammars: Grammar::ALL.to_vec(),
+            stats_every: 16,
+        }
+    }
+}
+
+/// A corpus line that broke the contract, with the shrunk repro.
+#[derive(Debug, Clone)]
+pub struct InvariantViolation {
+    /// The exact line the daemon was fed.
+    pub input: String,
+    /// What the daemon replied (possibly empty on EOF).
+    pub reply: String,
+    /// Which invariant broke and how.
+    pub message: String,
+    /// 0-based index of the line within the corpus.
+    pub index: usize,
+}
+
+/// Reply status counts, for the deterministic run summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplyTally {
+    /// `"status":"ok"` replies.
+    pub ok: u64,
+    /// `"status":"error"` replies.
+    pub error: u64,
+    /// `"status":"overloaded"` replies.
+    pub overloaded: u64,
+}
+
+/// Summary of a completed (violation-free) fuzz run.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzReport {
+    /// Lines fed to the daemon.
+    pub lines: usize,
+    /// FNV-1a over every corpus line + `\n` — equal seeds must agree.
+    pub corpus_fnv: u64,
+    /// FNV-1a over every reply line + `\n`.
+    pub reply_fnv: u64,
+    /// Per-status reply counts.
+    pub tally: ReplyTally,
+}
+
+/// The id the daemon must echo for `line`: recoverable means the line
+/// parses as JSON and carries a non-negative integral `"id"`. This
+/// mirrors the server's own recovery rule exactly — both sides use the
+/// same parser, so there is no second source of truth to drift.
+pub fn expected_id(line: &str) -> Option<u64> {
+    Json::parse(line)
+        .ok()
+        .as_ref()
+        .and_then(|v| v.get("id"))
+        .and_then(Json::as_u64)
+}
+
+/// One `stats` observation, for cross-probe monotonicity checks.
+#[derive(Debug, Clone, Copy)]
+struct StatsObservation {
+    requests: u64,
+    routed: u64,
+    errors: u64,
+    overloaded: u64,
+    capacity: u64,
+    shards: u64,
+    entries: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl StatsObservation {
+    fn parse(reply: &Json) -> Result<StatsObservation, String> {
+        let field = |v: &Json, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stats reply lacks integer `{key}`"))
+        };
+        let cache = reply
+            .get("cache")
+            .ok_or_else(|| "stats reply lacks `cache`".to_string())?;
+        Ok(StatsObservation {
+            requests: field(reply, "requests")?,
+            routed: field(reply, "routed")?,
+            errors: field(reply, "errors")?,
+            overloaded: field(reply, "overloaded")?,
+            capacity: field(cache, "capacity")?,
+            shards: field(cache, "shards")?,
+            entries: field(cache, "entries")?,
+            hits: field(cache, "hits")?,
+            misses: field(cache, "misses")?,
+            evictions: field(cache, "evictions")?,
+        })
+    }
+}
+
+/// The per-line protocol contract, plus counter/cache invariants
+/// observed across `stats` probes. One checker per daemon lifetime —
+/// monotonicity state must reset when the process restarts.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    last: Option<StatsObservation>,
+    /// Running per-status reply counts.
+    pub tally: ReplyTally,
+}
+
+impl InvariantChecker {
+    /// A fresh checker with no stats history.
+    pub fn new() -> Self {
+        InvariantChecker::default()
+    }
+
+    /// Checks one request/reply pair. On `Err` the message names the
+    /// broken invariant; the caller owns minimization and reporting.
+    ///
+    /// # Errors
+    ///
+    /// Any broken invariant: empty or multi-line reply, malformed
+    /// JSON, unknown status, id mismatch, or a `stats` reply whose
+    /// counters regressed or whose cache overflowed its capacity.
+    pub fn check(&mut self, input: &str, reply: &str) -> Result<(), String> {
+        if reply.is_empty() {
+            return Err("empty reply".to_string());
+        }
+        if reply.contains('\n') || reply.contains('\r') {
+            return Err("reply spans multiple lines".to_string());
+        }
+        let parsed =
+            Json::parse(reply).map_err(|e| format!("reply is not well-formed JSON: {e}"))?;
+        let status = parsed
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "reply lacks a string `status`".to_string())?;
+        match status {
+            "ok" => self.tally.ok += 1,
+            "error" => self.tally.error += 1,
+            "overloaded" => self.tally.overloaded += 1,
+            other => return Err(format!("unknown status `{other}`")),
+        }
+        let expected = expected_id(input);
+        let echoed = parsed.get("id").and_then(Json::as_u64);
+        if echoed != expected {
+            return Err(format!(
+                "id mismatch: request carries {expected:?}, reply echoes {echoed:?}"
+            ));
+        }
+        if status == "ok" && parsed.get("type").and_then(Json::as_str) == Some("stats") {
+            self.observe_stats(&parsed)?;
+        }
+        Ok(())
+    }
+
+    fn observe_stats(&mut self, reply: &Json) -> Result<(), String> {
+        let now = StatsObservation::parse(reply)?;
+        if now.capacity > 0 && now.entries > now.capacity {
+            return Err(format!(
+                "cache holds {} entries over its capacity {}",
+                now.entries, now.capacity
+            ));
+        }
+        if now.requests < now.routed + now.errors + now.overloaded {
+            return Err(format!(
+                "counter accounting broken: requests {} < routed {} + errors {} + overloaded {}",
+                now.requests, now.routed, now.errors, now.overloaded
+            ));
+        }
+        if let Some(last) = self.last {
+            let monotone: [(&str, u64, u64); 7] = [
+                ("requests", last.requests, now.requests),
+                ("routed", last.routed, now.routed),
+                ("errors", last.errors, now.errors),
+                ("overloaded", last.overloaded, now.overloaded),
+                ("hits", last.hits, now.hits),
+                ("misses", last.misses, now.misses),
+                ("evictions", last.evictions, now.evictions),
+            ];
+            for (name, before, after) in monotone {
+                if after < before {
+                    return Err(format!(
+                        "counter `{name}` went backwards: {before} -> {after}"
+                    ));
+                }
+            }
+            if last.capacity != now.capacity || last.shards != now.shards {
+                return Err("cache geometry changed mid-run".to_string());
+            }
+            // Every cache probe is a request; probes cannot outnumber
+            // the requests that happened between the two observations.
+            if (now.hits - last.hits) + (now.misses - last.misses) > now.requests - last.requests {
+                return Err("more cache probes than requests between stats probes".to_string());
+            }
+        }
+        self.last = Some(now);
+        Ok(())
+    }
+}
+
+/// The full corpus for `config`, in feed order. Pure in the config:
+/// equal configs give byte-identical corpora, on any platform.
+pub fn generate_corpus(config: &FuzzConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let grammars = if config.grammars.is_empty() {
+        Grammar::ALL.to_vec()
+    } else {
+        config.grammars.clone()
+    };
+    let mut corpus = Vec::with_capacity(config.iterations);
+    for i in 0..config.iterations {
+        let line = if config.stats_every > 0 && i > 0 && i % config.stats_every == 0 {
+            // An untouched probe: the invariants it observes must hold
+            // regardless of the hostility around it.
+            format!("{{\"type\":\"stats\",\"id\":{i}}}")
+        } else {
+            match grammars[i % grammars.len()] {
+                Grammar::Protocol => protocol_line(&mut rng),
+                Grammar::Qasm => qasm_line(&mut rng),
+                Grammar::Calibration => calibration_line(&mut rng),
+            }
+        };
+        // NDJSON: the transport splits on newlines, so a corpus line
+        // containing one would silently become two requests. Blank
+        // lines are skipped (not answered) by the stream server, so a
+        // mutation that empties the line would desync an e2e replay.
+        let line = line.replace(['\n', '\r'], " ");
+        corpus.push(if line.trim().is_empty() {
+            "{".to_string()
+        } else {
+            line
+        });
+    }
+    corpus
+}
+
+/// Replays `corpus` against an in-process [`Service`], checking every
+/// reply. `shutdown` lines only raise the flag — [`Service::handle_line`]
+/// keeps answering, so one service instance survives the whole corpus.
+///
+/// # Errors
+///
+/// The first [`InvariantViolation`], input already minimized against a
+/// *fresh* service (replay context can matter; the shrunk line is the
+/// smallest that still fails from a clean start, or the original line
+/// verbatim when the failure needs its stream prefix).
+pub fn run_in_process(
+    corpus: &[String],
+    service: &Service,
+) -> Result<FuzzReport, InvariantViolation> {
+    let mut checker = InvariantChecker::new();
+    let mut corpus_fnv = crate::cache::FNV_OFFSET;
+    let mut reply_fnv = crate::cache::FNV_OFFSET;
+    for (index, line) in corpus.iter().enumerate() {
+        corpus_fnv = crate::cache::fnv1a_extend(corpus_fnv, line.as_bytes());
+        corpus_fnv = crate::cache::fnv1a_extend(corpus_fnv, b"\n");
+        let reply = service.handle_line(line);
+        reply_fnv = crate::cache::fnv1a_extend(reply_fnv, reply.as_bytes());
+        reply_fnv = crate::cache::fnv1a_extend(reply_fnv, b"\n");
+        if let Err(message) = checker.check(line, &reply) {
+            let config = service.config().clone();
+            let input = minimize(line, |candidate| {
+                let fresh = Service::start(config.clone());
+                let reply = fresh.handle_line(candidate);
+                InvariantChecker::new().check(candidate, &reply).is_err()
+            });
+            let reply = if input == *line {
+                reply
+            } else {
+                Service::start(config).handle_line(&input)
+            };
+            return Err(InvariantViolation {
+                input,
+                reply,
+                message,
+                index,
+            });
+        }
+    }
+    Ok(FuzzReport {
+        lines: corpus.len(),
+        corpus_fnv,
+        reply_fnv,
+        tally: checker.tally,
+    })
+}
+
+/// Shrinks `line` ddmin-style: repeatedly drops char chunks (halving
+/// the chunk size down to single chars) while `still_fails` keeps
+/// returning true. Returns `line` unchanged if it does not fail.
+pub fn minimize(line: &str, mut still_fails: impl FnMut(&str) -> bool) -> String {
+    if !still_fails(line) {
+        return line.to_string();
+    }
+    let mut current: Vec<char> = line.chars().collect();
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < current.len() {
+            let mut candidate = current.clone();
+            candidate.drain(start..(start + chunk).min(candidate.len()));
+            let text: String = candidate.iter().collect();
+            if !text.is_empty() && still_fails(&text) {
+                current = candidate;
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    current.into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Protocol frames
+// ---------------------------------------------------------------------------
+
+/// An ordered JSON object under construction: keys with *raw* JSON
+/// value text, so mutations can plant arbitrarily malformed values.
+struct Frame {
+    fields: Vec<(String, String)>,
+}
+
+impl Frame {
+    fn new() -> Frame {
+        Frame { fields: Vec::new() }
+    }
+
+    fn push(&mut self, key: &str, raw_value: impl Into<String>) {
+        self.fields.push((key.to_string(), raw_value.into()));
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(key));
+            out.push(':');
+            out.push_str(value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Hostile scalar replacements for type-swap mutations.
+const SWAPPED_VALUES: &[&str] = &[
+    "null",
+    "true",
+    "false",
+    "[]",
+    "{}",
+    "[[\"x\"]]",
+    "{\"a\":{\"b\":1}}",
+    "\"1\"",
+    "3.5",
+    "\"\"",
+];
+
+/// Boundary numbers: sign, precision and range edges the JSON layer
+/// and `as_u64` must classify correctly.
+const BOUNDARY_NUMBERS: &[&str] = &[
+    "-1",
+    "0",
+    "-0",
+    "1.5",
+    "1e308",
+    "-1e308",
+    "1e-320",
+    "9007199254740993",
+    "18446744073709551615",
+    "18446744073709551616",
+    "0.30000000000000004",
+];
+
+/// Hostile string payloads: NUL, lone surrogates (escaped — raw ones
+/// cannot exist in a Rust `&str`), astral pairs, RTL controls, and a
+/// long run to stress any fixed-size assumption.
+fn hostile_string(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..7u32) {
+        0 => "\"\\u0000\"".to_string(),
+        1 => "\"\\ud800\"".to_string(),
+        2 => "\"\\udc00\\ud800\"".to_string(),
+        3 => "\"\\ud83d\\ude00\"".to_string(),
+        4 => "\"\u{202e}drawkcab\u{202e}\"".to_string(),
+        5 => format!("\"{}\"", "A".repeat(rng.gen_range(256..4096usize))),
+        6 => "\"q20\\u0000\"".to_string(),
+        _ => unreachable!(),
+    }
+}
+
+/// A device name: usually a real preset, sometimes an alias-case or
+/// near-miss so the catalog lookup path gets exercised too.
+fn device_name(rng: &mut StdRng) -> String {
+    let presets = Device::preset_names();
+    match rng.gen_range(0..8u32) {
+        0 => "Q20".to_string(),
+        1 => "q21".to_string(),
+        2 => String::new(),
+        _ => presets[rng.gen_range(0..presets.len())].to_string(),
+    }
+}
+
+/// A small valid circuit for route skeletons.
+fn small_circuit(rng: &mut StdRng) -> String {
+    let config = GeneratorConfig {
+        max_qubits: 5,
+        max_gates: 8,
+        measure_probability: 0.3,
+        header_probability: 0.8,
+    };
+    random_source_with(rng, &config)
+}
+
+/// A valid request frame of a random type, ids on roughly half.
+fn valid_frame(rng: &mut StdRng) -> Frame {
+    let mut frame = Frame::new();
+    if rng.gen_bool(0.5) {
+        frame.push("id", rng.gen_range(0..1_000_000u64).to_string());
+    }
+    // Shutdown is deliberately rare: every served one costs the e2e
+    // harness a daemon respawn.
+    match rng.gen_range(0..16u32) {
+        0..=8 => {
+            frame.push("type", "\"route\"");
+            frame.push("device", escape(&device_name(rng)));
+            if rng.gen_bool(0.7) {
+                let router = ["codar", "codar-cal", "sabre", "greedy"][rng.gen_range(0..4usize)];
+                frame.push("router", escape(router));
+                if router == "codar-cal" && rng.gen_bool(0.7) {
+                    frame.push("alpha", format!("{:.3}", rng.gen::<f64>()));
+                }
+            }
+            frame.push("circuit", escape(&small_circuit(rng)));
+        }
+        9..=10 => {
+            frame.push("type", "\"stats\"");
+        }
+        11..=12 => {
+            frame.push("type", "\"devices\"");
+        }
+        13..=14 => {
+            frame.push("type", "\"calibration\"");
+            frame.push("device", escape(&device_name(rng)));
+            if rng.gen_bool(0.5) {
+                frame.push("action", "\"get\"");
+            } else {
+                frame.push("action", "\"set\"");
+                frame.push(
+                    "synthetic",
+                    format!(
+                        "{{\"seed\":{},\"drift\":{}}}",
+                        rng.gen_range(0..64u64),
+                        rng.gen_range(0..4u64)
+                    ),
+                );
+            }
+        }
+        _ => {
+            frame.push("type", "\"shutdown\"");
+        }
+    }
+    frame
+}
+
+/// Structural frame mutations (operate on the field list).
+fn mutate_frame(frame: &mut Frame, rng: &mut StdRng) {
+    if frame.fields.is_empty() {
+        frame.push("junk", "null");
+        return;
+    }
+    let i = rng.gen_range(0..frame.fields.len());
+    match rng.gen_range(0..6u32) {
+        // Drop a field — missing-required-field handling.
+        0 => {
+            frame.fields.remove(i);
+        }
+        // Swap a value's type.
+        1 => {
+            frame.fields[i].1 = SWAPPED_VALUES[rng.gen_range(0..SWAPPED_VALUES.len())].to_string();
+        }
+        // Plant a boundary number.
+        2 => {
+            frame.fields[i].1 =
+                BOUNDARY_NUMBERS[rng.gen_range(0..BOUNDARY_NUMBERS.len())].to_string();
+        }
+        // Plant a hostile string.
+        3 => {
+            frame.fields[i].1 = hostile_string(rng);
+        }
+        // Duplicate a key (last-wins vs first-wins must still echo
+        // whatever the server's own parse recovers).
+        4 => {
+            let clone = frame.fields[i].clone();
+            frame.fields.push(clone);
+        }
+        // Wrap the value in deep nesting.
+        5 => {
+            let depth = rng.gen_range(8..128usize);
+            let value = frame.fields[i].1.clone();
+            frame.fields[i].1 = format!("{}{}{}", "[".repeat(depth), value, "]".repeat(depth));
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Text-level mutations (operate on the rendered line).
+fn mutate_text(line: &mut String, rng: &mut StdRng) {
+    match rng.gen_range(0..4u32) {
+        // Truncate at a char boundary.
+        0 => {
+            if !line.is_empty() {
+                let mut cut = rng.gen_range(0..line.len());
+                while !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                line.truncate(cut);
+            }
+        }
+        // Trailing garbage after the close brace.
+        1 => line.push_str(["}", "]", " {}", ",", "\u{0}"][rng.gen_range(0..5usize)]),
+        // Leading whitespace and BOM-ish prefixes.
+        2 => {
+            *line = format!(
+                "{}{line}",
+                ["  ", "\t", "\u{feff}"][rng.gen_range(0..3usize)]
+            )
+        }
+        // Splice a printable rune mid-line at a char boundary.
+        3 => {
+            if !line.is_empty() {
+                let mut at = rng.gen_range(0..line.len());
+                while !line.is_char_boundary(at) {
+                    at -= 1;
+                }
+                let rune = ['"', '\\', '{', '\u{1f600}', ':'][rng.gen_range(0..5usize)];
+                line.insert(at, rune);
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// One protocol-grammar corpus line: a valid skeleton, 0–2 structural
+/// mutations, sometimes a text-level one. Zero mutations is on purpose
+/// — fully valid traffic keeps the ok-path invariants honest.
+fn protocol_line(rng: &mut StdRng) -> String {
+    let mut frame = valid_frame(rng);
+    for _ in 0..rng.gen_range(0..=2u32) {
+        mutate_frame(&mut frame, rng);
+    }
+    let mut line = frame.render();
+    if rng.gen_bool(0.25) {
+        mutate_text(&mut line, rng);
+    }
+    line
+}
+
+// ---------------------------------------------------------------------------
+// QASM sources
+// ---------------------------------------------------------------------------
+
+/// Replaces the `index`-th occurrence of `needle` (if any).
+fn replace_nth(text: &str, needle: &str, replacement: &str, index: usize) -> String {
+    let mut seen = 0;
+    let mut from = 0;
+    while let Some(at) = text[from..].find(needle) {
+        let at = from + at;
+        if seen == index {
+            let mut out = String::with_capacity(text.len());
+            out.push_str(&text[..at]);
+            out.push_str(replacement);
+            out.push_str(&text[at + needle.len()..]);
+            return out;
+        }
+        seen += 1;
+        from = at + needle.len();
+    }
+    text.to_string()
+}
+
+/// Source-level QASM mutations: each targets a distinct analyzer layer
+/// (lexer, parser, semantic bounds, broadcast rules).
+fn mutate_qasm(source: &str, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..7u32) {
+        // Index perturbation: out-of-range, negative, empty, huge.
+        0 => {
+            let hostile = ["999999", "-1", "", "18446744073709551616"][rng.gen_range(0..4usize)];
+            let opens = source.matches("q[").count();
+            if opens == 0 {
+                return source.to_string();
+            }
+            let target = rng.gen_range(0..opens);
+            // Rewrite `q[<digits>` at the target occurrence.
+            let mut seen = 0;
+            let mut out = String::with_capacity(source.len());
+            let mut rest = source;
+            while let Some(at) = rest.find("q[") {
+                out.push_str(&rest[..at + 2]);
+                rest = &rest[at + 2..];
+                if seen == target {
+                    let digits = rest.chars().take_while(char::is_ascii_digit).count();
+                    out.push_str(hostile);
+                    rest = &rest[digits..];
+                }
+                seen += 1;
+            }
+            out.push_str(rest);
+            out
+        }
+        // Operand duplication: `cx q[a], q[a]` must be rejected
+        // semantically, not crash the router.
+        1 => {
+            if let Some(at) = source.find(", q[") {
+                let operand_start = source[..at].rfind("q[").unwrap_or(at);
+                let operand = &source[operand_start..at];
+                let close = source[at + 2..].find(']').map(|c| at + 2 + c + 1);
+                match close {
+                    Some(close) => format!("{}, {}{}", &source[..at], operand, &source[close..]),
+                    None => source.to_string(),
+                }
+            } else {
+                source.to_string()
+            }
+        }
+        // Keyword corruption.
+        2 => {
+            let (from, to) = [
+                ("qreg", "qeg"),
+                ("creg", "cregg"),
+                ("measure", "measrue"),
+                ("OPENQASM", "OPENQSM"),
+                ("include", "inclde"),
+                ("qelib1.inc", "qelib9.inc"),
+            ][rng.gen_range(0..6usize)];
+            replace_nth(source, from, to, 0)
+        }
+        // Statement terminator loss.
+        3 => replace_nth(source, ";", "", rng.gen_range(0..4usize)),
+        // Truncation at a char boundary.
+        4 => {
+            let mut cut = rng.gen_range(0..source.len().max(1)).min(source.len());
+            while !source.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            source[..cut].to_string()
+        }
+        // Unicode/control injection into the token stream.
+        5 => replace_nth(
+            source,
+            " ",
+            ["\u{0}", "\u{202e}", "\u{1f600}"][rng.gen_range(0..3usize)],
+            0,
+        ),
+        // Register renamed at declaration only — every use dangles.
+        6 => replace_nth(source, "qreg q[", "qreg r[", 0),
+        _ => unreachable!(),
+    }
+}
+
+/// One QASM-grammar corpus line: a valid generated source, usually
+/// mutated, wrapped in an otherwise-valid `route` frame.
+fn qasm_line(rng: &mut StdRng) -> String {
+    let mut source = small_circuit(rng);
+    for _ in 0..rng.gen_range(0..=2u32) {
+        source = mutate_qasm(&source, rng);
+    }
+    let mut frame = Frame::new();
+    if rng.gen_bool(0.5) {
+        frame.push("id", rng.gen_range(0..1_000_000u64).to_string());
+    }
+    frame.push("type", "\"route\"");
+    frame.push("device", escape(&device_name(rng)));
+    frame.push("circuit", escape(&source));
+    frame.render()
+}
+
+// ---------------------------------------------------------------------------
+// Calibration documents
+// ---------------------------------------------------------------------------
+
+/// Document-level calibration mutations: version games, non-finite and
+/// denormal numbers, missing sections, device mismatches.
+fn mutate_calibration(document: &str, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..8u32) {
+        // Version games: zero, huge — the high-water check's edges.
+        0 => replace_nth(document, "\"version\":", "\"version\":0,\"was\":", 0),
+        1 => replace_nth(
+            document,
+            "\"version\":",
+            "\"version\":18446744073709551615,\"was\":",
+            0,
+        ),
+        // Non-finite and denormal numerics where errors live.
+        2 => replace_nth(document, "\"error\":0.", "\"error\":NaN,\"x\":0.", 0),
+        3 => replace_nth(document, "\"error\":0.", "\"error\":1e999,\"x\":0.", 0),
+        4 => replace_nth(document, "\"error\":0.", "\"error\":1e-320,\"x\":0.", 0),
+        // Missing sections.
+        5 => replace_nth(document, "\"qubits\":", "\"qbits\":", 0),
+        6 => replace_nth(document, "\"edges\":", "\"edgs\":", 0),
+        // Device mismatch against the frame's device.
+        7 => replace_nth(document, "\"device\":\"", "\"device\":\"not-", 0),
+        _ => unreachable!(),
+    }
+}
+
+/// One calibration-grammar corpus line: a genuine synthetic snapshot
+/// (version occasionally restamped), usually mutated, sent as a
+/// `calibration set` document.
+fn calibration_line(rng: &mut StdRng) -> String {
+    let presets = Device::preset_names();
+    let name = presets[rng.gen_range(0..presets.len())];
+    let device = Device::by_name(name).expect("preset names resolve");
+    let mut snapshot = CalibrationSnapshot::synthetic(&device, rng.gen_range(0..64u64));
+    if rng.gen_bool(0.3) {
+        // Replay/stale/future versions against the high-water mark.
+        snapshot = snapshot.with_version(rng.gen_range(0..5u64));
+    }
+    let mut document = snapshot.to_json();
+    for _ in 0..rng.gen_range(0..=2u32) {
+        document = mutate_calibration(&document, rng);
+    }
+    let mut frame = Frame::new();
+    if rng.gen_bool(0.5) {
+        frame.push("id", rng.gen_range(0..1_000_000u64).to_string());
+    }
+    frame.push("type", "\"calibration\"");
+    frame.push("action", "\"set\"");
+    frame.push("device", escape(name));
+    frame.push("snapshot", escape(&document));
+    let mut line = frame.render();
+    if rng.gen_bool(0.15) {
+        mutate_text(&mut line, rng);
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServiceConfig;
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let config = FuzzConfig {
+            iterations: 400,
+            ..FuzzConfig::default()
+        };
+        let a = generate_corpus(&config);
+        let b = generate_corpus(&config);
+        assert_eq!(a, b, "same seed must give a byte-identical corpus");
+        let other = generate_corpus(&FuzzConfig { seed: 1, ..config });
+        assert_ne!(a, other, "different seeds must actually vary the corpus");
+    }
+
+    #[test]
+    fn corpus_lines_are_single_line() {
+        let config = FuzzConfig {
+            iterations: 600,
+            ..FuzzConfig::default()
+        };
+        for line in generate_corpus(&config) {
+            assert!(!line.contains('\n') && !line.contains('\r'), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn single_grammar_configs_stay_in_family() {
+        // Calibration-only corpora must be calibration frames (stats
+        // probes excepted); qasm-only corpora must be route frames.
+        let config = FuzzConfig {
+            iterations: 120,
+            grammars: vec![Grammar::Calibration],
+            stats_every: 0,
+            ..FuzzConfig::default()
+        };
+        for line in generate_corpus(&config) {
+            assert!(line.contains("\"calibration\""), "{line}");
+        }
+        let config = FuzzConfig {
+            iterations: 120,
+            grammars: vec![Grammar::Qasm],
+            stats_every: 0,
+            ..FuzzConfig::default()
+        };
+        for line in generate_corpus(&config) {
+            assert!(line.contains("\"route\""), "{line}");
+        }
+    }
+
+    #[test]
+    fn in_process_run_holds_all_invariants() {
+        let config = FuzzConfig {
+            iterations: 500,
+            ..FuzzConfig::default()
+        };
+        let corpus = generate_corpus(&config);
+        let service = Service::start(ServiceConfig {
+            cache_capacity: 8,
+            ..ServiceConfig::default()
+        });
+        let report = run_in_process(&corpus, &service).unwrap_or_else(|v| {
+            panic!(
+                "violation at line {}: {} on {:?}",
+                v.index, v.message, v.input
+            )
+        });
+        assert_eq!(report.lines, 500);
+        assert!(report.tally.ok > 0, "some corpus lines must succeed");
+        assert!(report.tally.error > 0, "some corpus lines must be rejected");
+    }
+
+    #[test]
+    fn reports_are_reproducible() {
+        let config = FuzzConfig {
+            iterations: 200,
+            ..FuzzConfig::default()
+        };
+        let corpus = generate_corpus(&config);
+        let run = |corpus: &[String]| {
+            let service = Service::start(ServiceConfig::default());
+            run_in_process(corpus, &service).expect("clean run")
+        };
+        let (a, b) = (run(&corpus), run(&corpus));
+        assert_eq!(a.corpus_fnv, b.corpus_fnv);
+        // Cache-transparency makes even the replies byte-stable.
+        assert_eq!(a.reply_fnv, b.reply_fnv);
+        assert_eq!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn checker_flags_each_contract_break() {
+        let cases = [
+            ("{}", "", "empty reply"),
+            (
+                "{}",
+                "{\"status\":\"ok\"}\n{\"status\":\"ok\"}",
+                "multiple lines",
+            ),
+            ("{}", "{\"status\":\"ok\"", "well-formed"),
+            ("{}", "{\"status\":\"busy\"}", "unknown status"),
+            (
+                "{\"id\":3,\"type\":\"stats\"}",
+                "{\"status\":\"ok\"}",
+                "id mismatch",
+            ),
+            ("{}", "{\"id\":3,\"status\":\"ok\"}", "id mismatch"),
+        ];
+        for (input, reply, needle) in cases {
+            let err = InvariantChecker::new()
+                .check(input, reply)
+                .expect_err(reply);
+            assert!(err.contains(needle), "`{reply}` gave `{err}`");
+        }
+        InvariantChecker::new()
+            .check("{\"id\":3}", "{\"id\":3,\"status\":\"error\"}")
+            .expect("matched ids pass");
+    }
+
+    #[test]
+    fn checker_flags_counter_regressions() {
+        let stats = |requests: u64, hits: u64| {
+            format!(
+                "{{\"type\":\"stats\",\"status\":\"ok\",\"requests\":{requests},\"routed\":0,\
+                 \"errors\":0,\"overloaded\":0,\"cache\":{{\"capacity\":4,\"shards\":1,\
+                 \"entries\":0,\"hits\":{hits},\"misses\":0,\"evictions\":0}}}}"
+            )
+        };
+        let mut checker = InvariantChecker::new();
+        checker.check("{}", &stats(5, 2)).expect("first probe");
+        let err = checker.check("{}", &stats(4, 2)).expect_err("regressed");
+        assert!(err.contains("went backwards"), "{err}");
+        let mut checker = InvariantChecker::new();
+        checker.check("{}", &stats(5, 2)).expect("first probe");
+        let err = checker
+            .check("{}", &stats(6, 9))
+            .expect_err("more probes than requests");
+        assert!(err.contains("probes"), "{err}");
+    }
+
+    #[test]
+    fn minimizer_shrinks_to_the_failing_core() {
+        let line = "prefix NEEDLE suffix padding padding padding";
+        let shrunk = minimize(line, |candidate| candidate.contains("NEEDLE"));
+        assert_eq!(shrunk, "NEEDLE");
+        // Non-failing lines come back verbatim.
+        assert_eq!(minimize(line, |_| false), line);
+    }
+}

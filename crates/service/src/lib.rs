@@ -21,6 +21,10 @@
 //! * [`server`] — [`Service`]: lifecycle wiring, stdin/TCP front ends,
 //! * [`metrics`] — daemon counters and latency summaries,
 //! * [`loadgen`] — the deterministic load generator,
+//! * [`soak`] — seeded long-run mixed traffic under the fuzz
+//!   invariants (`loadgen --soak`),
+//! * [`fuzz`] — grammar-aware corpus generation and the protocol
+//!   invariant checker (the `codar-fuzz` bin),
 //! * [`json`] — the minimal JSON layer both sides share.
 //!
 //! # Determinism contract
@@ -51,19 +55,22 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fuzz;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod soak;
 pub mod worker;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use loadgen::{LoadgenConfig, LoadgenReport, TcpTransport, Transport};
 pub use metrics::{LatencySummary, LATENCY_SCHEMA_VERSION};
-pub use protocol::Request;
+pub use protocol::{ParseRejection, Request};
 pub use server::{Service, ServiceConfig};
+pub use soak::{SoakConfig, SoakError, SoakReport};
 
 /// Schema version of the deterministic loadgen summary JSON. Bump on
 /// any shape change, as with [`codar_engine::TIMINGS_SCHEMA_VERSION`].

@@ -51,6 +51,28 @@ pub enum CalPayload {
     },
 }
 
+/// Why a request line was rejected, plus the correlation id when one
+/// could still be recovered from the line (a well-formed JSON object
+/// with a well-formed `id`). Carrying the id here lets the server echo
+/// it without re-parsing the line — on hostile near-valid megabyte
+/// lines a second parse doubles the rejection cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRejection {
+    /// The `id` recovered from the rejected line, if any.
+    pub id: Option<u64>,
+    /// Human-readable rejection reason.
+    pub message: String,
+}
+
+impl ParseRejection {
+    fn new(id: Option<u64>, message: impl Into<String>) -> Self {
+        ParseRejection {
+            id,
+            message: message.into(),
+        }
+    }
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -100,10 +122,23 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for malformed JSON, a missing
-    /// or unknown `type`, or missing/ill-typed fields.
-    pub fn parse_line(line: &str) -> Result<Request, String> {
-        let value = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    /// Returns a [`ParseRejection`] — a human-readable message for
+    /// malformed JSON, a missing or unknown `type`, or missing or
+    /// ill-typed fields, together with the recovered `id` (when the
+    /// line was at least a JSON object with a well-formed `id`) so the
+    /// server can echo it without parsing the line a second time.
+    pub fn parse_line(line: &str) -> Result<Request, ParseRejection> {
+        let value = Json::parse(line)
+            .map_err(|e| ParseRejection::new(None, format!("malformed JSON: {e}")))?;
+        // Recovered once, up front: rejected lines echo this id so
+        // clients can correlate the rejection.
+        let recovered_id = value.get("id").and_then(Json::as_u64);
+        Request::parse_value(&value).map_err(|message| ParseRejection::new(recovered_id, message))
+    }
+
+    /// The structural half of [`Request::parse_line`]: dispatches an
+    /// already-parsed JSON value.
+    fn parse_value(value: &Json) -> Result<Request, String> {
         if !matches!(value, Json::Obj(_)) {
             return Err("request must be a JSON object".into());
         }
@@ -404,7 +439,7 @@ mod tests {
             ),
         ] {
             let err = Request::parse_line(line).expect_err(line);
-            assert!(err.contains(needle), "`{line}` gave `{err}`");
+            assert!(err.message.contains(needle), "`{line}` gave `{err:?}`");
         }
     }
 
@@ -473,7 +508,7 @@ mod tests {
             ),
         ] {
             let err = Request::parse_line(line).expect_err(line);
-            assert!(err.contains(needle), "`{line}` gave `{err}`");
+            assert!(err.message.contains(needle), "`{line}` gave `{err:?}`");
         }
     }
 
@@ -538,7 +573,7 @@ mod tests {
             (r#"{"type":"stats","id":1.5}"#, "`id`"),
         ] {
             let err = Request::parse_line(line).expect_err(line);
-            assert!(err.contains(needle), "`{line}` gave `{err}`");
+            assert!(err.message.contains(needle), "`{line}` gave `{err:?}`");
         }
     }
 

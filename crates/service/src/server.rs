@@ -200,6 +200,13 @@ impl Service {
         self.inner.cache.stats()
     }
 
+    /// The configuration this service was started with — what a fuzz
+    /// harness needs to spin up an identically-shaped fresh instance
+    /// when minimizing a failing line.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
     /// Handles one request line and returns the one response line
     /// (without trailing newline). Never panics on malformed input.
     pub fn handle_line(&self, line: &str) -> String {
@@ -207,15 +214,12 @@ impl Service {
         ServiceMetrics::bump(&metrics.requests);
         let request = match Request::parse_line(line) {
             Ok(request) => request,
-            Err(message) => {
+            Err(rejection) => {
                 ServiceMetrics::bump(&metrics.errors);
-                // Echo the id even for unparseable requests when the
-                // line is at least JSON with a usable `id`, so clients
-                // can correlate the rejection.
-                let id = crate::json::Json::parse(line)
-                    .ok()
-                    .and_then(|v| v.get("id").and_then(crate::json::Json::as_u64));
-                return attach_id(id, &error_body(&message));
+                // The rejection carries any recoverable `id` so clients
+                // can correlate it — extracted during the one parse, not
+                // by re-parsing a possibly-huge hostile line.
+                return attach_id(rejection.id, &error_body(&rejection.message));
             }
         };
         let id = request.id();
@@ -303,8 +307,11 @@ impl Service {
             .as_ref()
             .map_or(0, |(s, _)| s.version)
             .to_string();
+        // The exact bit pattern, not a rounded decimal: the router uses
+        // the exact f64, so two alphas closer than any fixed precision
+        // can still route differently and must not share a cache entry.
         let alpha_text = if router == RouterKind::CodarCal {
-            format!("{alpha:.6}")
+            format!("{:016x}", alpha.to_bits())
         } else {
             String::new()
         };
@@ -497,8 +504,11 @@ impl Service {
     }
 
     /// Serves one NDJSON stream: one response line per request line,
-    /// in order. Returns after EOF or a `shutdown` request. Blank
-    /// lines are skipped.
+    /// in order. Returns after EOF or a `shutdown` request — including
+    /// a shutdown served on *another* stream of the same service: the
+    /// flag is checked before every line is handled, so no stream
+    /// keeps serving new requests once any stream accepted a shutdown.
+    /// Blank lines are skipped.
     ///
     /// # Errors
     ///
@@ -510,6 +520,12 @@ impl Service {
     ) -> std::io::Result<()> {
         for line in reader.lines() {
             let line = line?;
+            // Before, not only after, handling: a shutdown served on a
+            // concurrent stream must stop this one at its next line,
+            // not let it keep serving indefinitely.
+            if self.shutdown_requested() {
+                break;
+            }
             if line.trim().is_empty() {
                 continue;
             }
@@ -529,19 +545,55 @@ impl Service {
 
     /// Accept loop: one thread per connection, each serving its stream
     /// through [`Service::serve_ndjson`]. Returns once a `shutdown`
-    /// request has been served (on any connection).
+    /// request has been served (on any connection) **and** the
+    /// per-connection threads have drained (default deadline 5 s) —
+    /// see [`Service::serve_tcp_with_drain`].
     ///
     /// # Errors
     ///
     /// Propagates accept errors other than `WouldBlock`.
     pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        self.serve_tcp_with_drain(listener, Duration::from_secs(5))
+    }
+
+    /// [`Service::serve_tcp`] with an explicit drain deadline.
+    ///
+    /// Connection threads are tracked, and after a `shutdown` has been
+    /// served the accept loop stops and joins them so in-flight
+    /// responses complete before the caller (typically `coded`'s
+    /// `main`) exits and would kill them mid-write. Threads parked in a
+    /// blocking read on an idle connection cannot be interrupted
+    /// portably, so the join is bounded by `drain`: any thread still
+    /// alive at the deadline is abandoned — it exits on its next read
+    /// wake-up via the per-line shutdown check, without serving
+    /// another request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than `WouldBlock`.
+    pub fn serve_tcp_with_drain(
+        &self,
+        listener: TcpListener,
+        drain: Duration,
+    ) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
-        loop {
-            if self.shutdown_requested() {
-                return Ok(());
-            }
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shutdown_requested() {
             match listener.accept() {
                 Ok((stream, _addr)) => {
+                    // Reap finished connections as we go so the handle
+                    // list tracks live connections, not history.
+                    connections = connections
+                        .into_iter()
+                        .filter_map(|handle| {
+                            if handle.is_finished() {
+                                let _ = handle.join();
+                                None
+                            } else {
+                                Some(handle)
+                            }
+                        })
+                        .collect();
                     // Per-connection setup failures (e.g. the client
                     // RSTs immediately) only cost that client its
                     // connection — they must never stop the accept
@@ -554,9 +606,9 @@ impl Service {
                         continue;
                     };
                     let service = self.clone();
-                    std::thread::spawn(move || {
+                    connections.push(std::thread::spawn(move || {
                         let _ = service.serve_ndjson(std::io::BufReader::new(reader), stream);
-                    });
+                    }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -564,6 +616,16 @@ impl Service {
                 Err(e) => return Err(e),
             }
         }
+        let deadline = std::time::Instant::now() + drain;
+        for handle in connections {
+            while !handle.is_finished() && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
+        Ok(())
     }
 }
 
@@ -700,6 +762,105 @@ mod tests {
         assert!(lines[0].contains("\"router\":\"greedy\""));
         assert!(lines[1].starts_with("{\"id\":1,\"type\":\"stats\""));
         assert!(lines[2].contains("\"type\":\"shutdown\""));
+    }
+
+    #[test]
+    fn sub_microscale_alpha_differences_get_distinct_cache_entries() {
+        // Regression: codar-cal cache keys used to fold a 6-decimal
+        // rounding of alpha, so two alphas closer than 1e-6 shared one
+        // cache entry even though the router blends the exact f64 and
+        // can route them differently. Keys now fold `alpha.to_bits()`.
+        let service = Service::start(ServiceConfig::default());
+        let ack = service.handle_line(
+            "{\"type\":\"calibration\",\"action\":\"set\",\"device\":\"q5\",\
+             \"synthetic\":{\"seed\":3,\"drift\":2}}",
+        );
+        assert!(ack.contains("\"status\":\"ok\""), "{ack}");
+        for alpha in ["0.1234567", "0.12345674"] {
+            let response = service.handle_line(&format!(
+                "{{\"type\":\"route\",\"device\":\"q5\",\"router\":\"codar-cal\",\
+                 \"alpha\":{alpha},\"circuit\":{}}}",
+                escape(GHZ3)
+            ));
+            assert!(response.contains("\"status\":\"ok\""), "{response}");
+        }
+        let stats = service.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 2),
+            "both alphas round to the same 6-decimal string; they must \
+             still be distinct cache entries"
+        );
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn rejected_lines_echo_a_recoverable_id_without_reparsing() {
+        let service = Service::start(ServiceConfig::default());
+        // Recoverable: well-formed JSON object, well-formed id.
+        let response = service.handle_line("{\"id\":7,\"type\":\"warp\"}");
+        assert!(response.starts_with("{\"id\":7,"), "{response}");
+        assert!(response.contains("unknown request type"), "{response}");
+        // Unrecoverable ids (ill-typed, or no JSON at all) stay absent.
+        for line in [
+            "{\"id\":-1,\"type\":\"stats\"}",
+            "{\"id\":1.5,\"type\":\"stats\"}",
+            "{\"id\":7,\"type\"",
+        ] {
+            let response = service.handle_line(line);
+            assert!(!response.contains("\"id\""), "{line} -> {response}");
+            assert!(response.contains("\"status\":\"error\""), "{response}");
+        }
+        // The rejection itself carries the id — the parse-error path
+        // must not pay a second full parse of a hostile line.
+        let rejection = Request::parse_line("{\"id\":9,\"type\":\"warp\"}").unwrap_err();
+        assert_eq!(rejection.id, Some(9));
+    }
+
+    #[test]
+    fn shutdown_on_one_connection_stops_and_drains_the_others() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let service = Service::start(ServiceConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                service.serve_tcp_with_drain(listener, Duration::from_millis(300))
+            })
+        };
+        let mut idle = std::net::TcpStream::connect(addr).expect("connect idle");
+        let mut idle_reader = BufReader::new(idle.try_clone().unwrap());
+        let mut control = std::net::TcpStream::connect(addr).expect("connect control");
+        let mut control_reader = BufReader::new(control.try_clone().unwrap());
+        let mut line = String::new();
+
+        // The idle connection serves a request first, proving its
+        // thread is up before the shutdown arrives elsewhere.
+        idle.write_all(b"{\"type\":\"stats\",\"id\":1}\n").unwrap();
+        idle_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+
+        line.clear();
+        control.write_all(b"{\"type\":\"shutdown\"}\n").unwrap();
+        control_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"type\":\"shutdown\""), "{line}");
+
+        // The accept loop returns despite the idle connection still
+        // being open: its parked reader is abandoned at the bounded
+        // drain deadline instead of keeping the daemon alive forever.
+        server
+            .join()
+            .unwrap()
+            .expect("accept loop drains and exits");
+
+        // New work on the idle connection is never served after the
+        // shutdown: its thread wakes, checks the flag *before*
+        // handling, and closes the stream without replying.
+        idle.write_all(b"{\"type\":\"stats\",\"id\":2}\n").unwrap();
+        line.clear();
+        let n = idle_reader.read_line(&mut line).unwrap();
+        assert_eq!(n, 0, "post-shutdown request was served: {line}");
     }
 
     #[test]
