@@ -250,6 +250,52 @@ impl Device {
         Device::from_graph("IBM Falcon 27 (heavy-hex)", CouplingGraph::new(27, &edges))
     }
 
+    /// IBM 127-qubit Eagle-class heavy-hex lattice (the
+    /// ibm_washington/ibm_brisbane-class topology, stylized like the
+    /// other presets): six 15-qubit rows and one 13-qubit row, joined
+    /// by four bridge qubits per row gap. Bridge columns alternate
+    /// between `{2, 6, 10, 14}` and `{0, 4, 8, 12}` on consecutive
+    /// gaps, so no row qubit carries more than one bridge — every
+    /// qubit has degree ≤ 3, the heavy-hex signature. 127 qubits
+    /// total; the scale target of the whole-device stabilizer
+    /// equivalence gate.
+    pub fn ibm_eagle127() -> Self {
+        const WIDTHS: [usize; 7] = [15, 15, 15, 15, 15, 15, 13];
+        let mut edges: Vec<(PhysQubit, PhysQubit)> = Vec::new();
+        let mut coords: Vec<(i32, i32)> = Vec::new();
+        let mut row_start = [0usize; 7];
+        let mut next = 0;
+        for (r, &w) in WIDTHS.iter().enumerate() {
+            row_start[r] = next;
+            for c in 0..w {
+                if c + 1 < w {
+                    edges.push((next + c, next + c + 1));
+                }
+                coords.push((2 * r as i32, 2 * c as i32));
+            }
+            next += w;
+        }
+        for gap in 0..WIDTHS.len() - 1 {
+            let cols: [usize; 4] = if gap % 2 == 0 {
+                [2, 6, 10, 14]
+            } else {
+                // The last row is 13 wide; odd-gap columns stay ≤ 12,
+                // which is what keeps the bottom gap at four bridges.
+                [0, 4, 8, 12]
+            };
+            for &c in &cols {
+                let bridge = next;
+                next += 1;
+                edges.push((row_start[gap] + c, bridge));
+                edges.push((bridge, row_start[gap + 1] + c));
+                coords.push((2 * gap as i32 + 1, 2 * c as i32));
+            }
+        }
+        debug_assert_eq!(next, 127);
+        Device::from_graph("IBM Eagle 127 (heavy-hex)", CouplingGraph::new(127, &edges))
+            .with_layout(Layout2d::new(coords))
+    }
+
     /// Rigetti Aspen-style 16-qubit device: two octagonal rings joined
     /// by two bridges (a stylized rendering of the Aspen lattice cell).
     pub fn rigetti_aspen16() -> Self {
@@ -301,6 +347,7 @@ impl Device {
             "q72" | "bristlecone" => Some(Device::google_bristlecone72()),
             "q5" | "yorktown" => Some(Device::ibm_q5_yorktown()),
             "falcon" | "falcon27" | "heavy-hex" => Some(Device::ibm_falcon27()),
+            "eagle" | "eagle127" | "q127" => Some(Device::ibm_eagle127()),
             "aspen" | "aspen16" => Some(Device::rigetti_aspen16()),
             _ => None,
         }
@@ -414,6 +461,28 @@ mod tests {
         for q in 0..72 {
             assert!(d.graph().degree(q) <= 4);
         }
+    }
+
+    #[test]
+    fn eagle127_heavy_hex_structure() {
+        let d = Device::ibm_eagle127();
+        assert_eq!(d.num_qubits(), 127);
+        assert!(d.graph().is_connected());
+        // 103 row qubits in 7 lines + 24 bridges of degree 2.
+        assert_eq!(d.graph().edges().len(), (6 * 14 + 12) + 24 * 2);
+        for q in 0..127 {
+            assert!(d.graph().degree(q) <= 3, "degree of {q}");
+        }
+        for bridge in 103..127 {
+            assert_eq!(d.graph().degree(bridge), 2, "bridge {bridge}");
+        }
+        assert!(d.layout().is_some());
+        // Aliases resolve to it; it is deliberately NOT a preset (the
+        // preset list is frozen into service golden fixtures).
+        for alias in ["eagle", "eagle127", "q127", "EAGLE"] {
+            assert_eq!(Device::by_name(alias).unwrap().num_qubits(), 127);
+        }
+        assert!(!Device::preset_names().contains(&"eagle127"));
     }
 
     #[test]

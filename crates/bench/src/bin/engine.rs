@@ -3,13 +3,21 @@
 //!
 //! ```text
 //! engine [--devices q16,q20] [--routers codar,sabre] [--threads N]
-//!        [--seed S] [--limit K] [--json PATH] [--csv PATH]
-//!        [--timings PATH] [--no-verify] [--check-determinism]
+//!        [--seed S] [--limit K] [--sim auto|dense|stabilizer|sparse]
+//!        [--json PATH] [--csv PATH] [--timings PATH] [--no-verify]
+//!        [--check-determinism]
 //! ```
 //!
 //! `--check-determinism` runs the same matrix once on 1 thread and
 //! once on N threads, asserts the two summaries are byte-identical,
 //! and reports the measured wall-clock speedup.
+//!
+//! `--sim BACKEND` adds the simulation differential check to every
+//! job: the routed circuit must reproduce the original's state on the
+//! selected backend (`auto` picks stabilizer for Clifford circuits,
+//! sparse for few-T ones, dense otherwise). Summary rows report the
+//! backend that ran on every non-dense job; a failed check fails the
+//! job, so the gates below apply.
 //!
 //! `--timings PATH` writes the run's [`codar_engine::RunStats`] as
 //! JSON — the `BENCH_timings.json` perf baseline (circuits/sec, mean
@@ -25,7 +33,7 @@
 use codar_arch::Device;
 use codar_bench::check_health;
 use codar_benchmarks::suite::full_suite;
-use codar_engine::{EngineConfig, RouterKind, RunStats, SuiteResult, SuiteRunner};
+use codar_engine::{Backend, EngineConfig, RouterKind, RunStats, SuiteResult, SuiteRunner};
 use std::process::ExitCode;
 
 struct Args {
@@ -37,6 +45,7 @@ struct Args {
     json: Option<String>,
     csv: Option<String>,
     timings: Option<String>,
+    sim: Option<Backend>,
     verify: bool,
     check_determinism: bool,
 }
@@ -51,6 +60,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         json: None,
         csv: None,
         timings: None,
+        sim: None,
         verify: true,
         check_determinism: false,
     };
@@ -114,6 +124,14 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 parsed.timings = Some(value(args, i, "--timings")?);
                 i += 2;
             }
+            "--sim" => {
+                let name = value(args, i, "--sim")?;
+                parsed.sim = Some(
+                    Backend::parse(&name)
+                        .ok_or_else(|| format!("unknown simulation backend `{name}`"))?,
+                );
+                i += 2;
+            }
             "--no-verify" => {
                 parsed.verify = false;
                 i += 1;
@@ -133,7 +151,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
 
 fn run_once(args: &Args, threads: usize) -> SuiteResult {
     let entries: Vec<_> = full_suite().into_iter().take(args.limit).collect();
-    SuiteRunner::new(EngineConfig {
+    let mut runner = SuiteRunner::new(EngineConfig {
         threads,
         seed: args.seed,
         verify: args.verify,
@@ -141,8 +159,11 @@ fn run_once(args: &Args, threads: usize) -> SuiteResult {
         ..EngineConfig::default()
     })
     .devices(args.devices.iter().cloned())
-    .entries(entries)
-    .run()
+    .entries(entries);
+    if let Some(backend) = args.sim {
+        runner = runner.sim_backend(backend);
+    }
+    runner.run()
 }
 
 fn print_result(result: &SuiteResult) {

@@ -62,6 +62,63 @@ pub fn ghz(n: usize) -> Circuit {
     c
 }
 
+/// `n`-qubit GHZ ladder: the log-depth GHZ preparation. After the
+/// seed Hadamard, every layer doubles the entangled frontier with a
+/// wave of parallel CNOTs (`0→1`, then `0→2, 1→3`, …). Clifford-only
+/// by construction — a stabilizer-backend workload that spreads
+/// routing pressure across the whole device instead of down one
+/// chain, which is what makes it a good whole-device-scale gate
+/// circuit (127-qubit instances are still exactly simulable).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ghz_ladder(n: usize) -> Circuit {
+    assert!(n > 0, "ghz ladder needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    let mut frontier = 1usize;
+    while frontier < n {
+        let spread = frontier.min(n - frontier);
+        for i in 0..spread {
+            c.cx(i, frontier + i);
+        }
+        frontier += spread;
+    }
+    c
+}
+
+/// Repetition-code syndrome-extraction cycles at `distance`:
+/// `distance` data qubits (even indices) interleaved with
+/// `distance - 1` syndrome ancillas (odd indices), the chain layout
+/// heavy-hex devices route natively. Encodes a logical `|+⟩`, then
+/// runs `rounds` Z-stabilizer extraction rounds (two CNOTs, measure,
+/// reset per ancilla). Clifford-only, so arbitrarily large distances
+/// stay exactly simulable on the stabilizer backend.
+///
+/// # Panics
+///
+/// Panics if `distance < 2`.
+pub fn syndrome_cycle(distance: usize, rounds: usize) -> Circuit {
+    assert!(distance >= 2, "syndrome cycle needs distance >= 2");
+    let stabilizers = distance - 1;
+    let mut c = Circuit::with_bits(2 * distance - 1, stabilizers * rounds.max(1));
+    c.h(0);
+    for i in 1..distance {
+        c.cx(2 * (i - 1), 2 * i);
+    }
+    for round in 0..rounds {
+        for s in 0..stabilizers {
+            let anc = 2 * s + 1;
+            c.cx(2 * s, anc);
+            c.cx(2 * s + 2, anc);
+            c.measure(anc, round * stabilizers + s);
+            c.add(GateKind::Reset, vec![anc], vec![]);
+        }
+    }
+    c
+}
+
 /// Cuccaro ripple-carry adder on two `n`-bit registers
 /// (`2n + 2` qubits: carry-in, interleaved a/b, carry-out).
 ///
@@ -630,6 +687,46 @@ mod tests {
         assert_eq!(c.count_kind(GateKind::X), 1);
         assert_eq!(c.count_kind(GateKind::Cu3), 4);
         assert_eq!(c.count_kind(GateKind::Cx), 4);
+    }
+
+    #[test]
+    fn ghz_ladder_doubles_the_frontier() {
+        let c = ghz_ladder(127);
+        assert_eq!(c.num_qubits(), 127);
+        assert_eq!(c.count_kind(GateKind::H), 1);
+        // Every qubit past the seed is entangled by exactly one CNOT.
+        assert_eq!(c.count_kind(GateKind::Cx), 126);
+        assert_eq!(c.len(), 127);
+        // Clifford-only: nothing but H and CX.
+        for g in c.gates() {
+            assert!(matches!(g.kind, GateKind::H | GateKind::Cx), "{}", g.kind);
+        }
+        // The doubling schedule: targets of the first CNOT wave.
+        assert_eq!(c.gates()[1].qubits, vec![0, 1]);
+        assert_eq!(c.gates()[2].qubits, vec![0, 2]);
+        assert_eq!(c.gates()[3].qubits, vec![1, 3]);
+    }
+
+    #[test]
+    fn syndrome_cycle_shape() {
+        let c = syndrome_cycle(5, 3);
+        assert_eq!(c.num_qubits(), 9);
+        // Encode 4 + 2 per stabilizer per round.
+        assert_eq!(c.count_kind(GateKind::Cx), 4 + 2 * 4 * 3);
+        assert_eq!(c.count_kind(GateKind::Measure), 4 * 3);
+        assert_eq!(c.count_kind(GateKind::Reset), 4 * 3);
+        // Clifford + measurement only: stabilizer-backend runnable at
+        // any distance.
+        for g in c.gates() {
+            assert!(
+                matches!(
+                    g.kind,
+                    GateKind::H | GateKind::Cx | GateKind::Measure | GateKind::Reset
+                ),
+                "{}",
+                g.kind
+            );
+        }
     }
 
     #[test]

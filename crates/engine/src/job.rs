@@ -5,7 +5,7 @@
 use codar_arch::{CalibrationSnapshot, Device, FidelityModel, TechnologyParams};
 use codar_benchmarks::suite::SuiteEntry;
 use codar_router::{CodarConfig, SabreConfig};
-use codar_sim::NoiseModel;
+use codar_sim::{Backend, NoiseModel};
 use std::sync::Arc;
 
 /// Which routing algorithm a variant runs.
@@ -269,6 +269,10 @@ pub struct JobSpec {
     /// Index into the shared calibration-spec table (`None` when the
     /// run has no calibration axis).
     pub cal: Option<usize>,
+    /// Simulation backend for the differential routed-vs-original
+    /// check (`None` when the run has no simulation axis — the
+    /// default, keeping all pre-existing outputs byte-identical).
+    pub sim: Option<Backend>,
 }
 
 /// Expands the job matrix, skipping (entry, device) pairs where the
@@ -300,6 +304,7 @@ pub fn build_matrix(
                         device: d,
                         variant: v,
                         cal,
+                        sim: None,
                     });
                 }
             }

@@ -97,3 +97,7 @@ pub use report::{
 };
 pub use runner::{JobFailure, SuiteResult, SuiteRunner};
 pub use worker::RouteWorker;
+
+// The simulation-axis selector, re-exported so engine callers (the
+// experiment binaries, the service) need no direct codar-sim import.
+pub use codar_sim::{Backend, SimBackend};

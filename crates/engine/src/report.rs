@@ -55,6 +55,11 @@ pub struct RouteReport {
     /// Estimated success probability of the routed circuit under the
     /// job's calibration snapshot (present iff `cal` is).
     pub eps: Option<f64>,
+    /// Resolved simulation backend of the differential
+    /// routed-vs-original check, set only on non-dense rows (dense
+    /// rows and runs without a simulation axis carry no new fields, so
+    /// pre-existing serializations stay byte-identical).
+    pub sim: Option<String>,
     /// Weighted depth (schedule makespan) of the routed circuit.
     pub weighted_depth: Time,
     /// Unweighted depth of the routed circuit.
@@ -262,8 +267,8 @@ impl Summary {
     /// Builds a summary from raw (unordered) reports.
     pub fn from_reports(seed: u64, mut rows: Vec<RouteReport>) -> Self {
         rows.sort_by(|a, b| {
-            (&a.device, &a.circuit, &a.variant, &a.noise, &a.cal)
-                .cmp(&(&b.device, &b.circuit, &b.variant, &b.noise, &b.cal))
+            (&a.device, &a.circuit, &a.variant, &a.noise, &a.cal, &a.sim)
+                .cmp(&(&b.device, &b.circuit, &b.variant, &b.noise, &b.cal, &b.sim))
         });
         type Cell = (
             Option<(Time, Option<FidelityStats>)>,
@@ -345,12 +350,16 @@ impl Summary {
                 (Some(cal), None) => format!(", \"cal\": {}", json_string(cal)),
                 _ => String::new(),
             };
+            let sim_column = match &row.sim {
+                Some(sim) => format!(", \"sim\": {}", json_string(sim)),
+                None => String::new(),
+            };
             let _ = write!(
                 out,
                 "    {{\"device\": {}, \"circuit\": {}, \"qubits\": {}, \"input_gates\": {}, \
                  \"router\": {}, \"variant\": {}, \"noise\": {}, \"weighted_depth\": {}, \
                  \"depth\": {}, \"swaps\": {}, \"output_gates\": {}, \"verified\": {}, \
-                 \"fidelity\": {}{}}}",
+                 \"fidelity\": {}{}{}}}",
                 json_string(&row.device),
                 json_string(&row.circuit),
                 row.num_qubits,
@@ -369,6 +378,7 @@ impl Summary {
                 },
                 json_fidelity(row.fidelity.as_ref()),
                 cal_columns,
+                sim_column,
             );
             out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
@@ -411,14 +421,23 @@ impl Summary {
 
     /// Serializes the per-job rows as deterministic CSV. The `cal` and
     /// `eps` columns (and their headers) appear only when the run had
-    /// a calibration axis, keeping pre-calibration CSVs byte-stable.
+    /// a calibration axis, and the `sim` column only when some row
+    /// resolved to a non-dense simulation backend, keeping pre-existing
+    /// CSVs byte-stable.
     pub fn to_csv(&self) -> String {
         let calibrated = self.rows.iter().any(|r| r.cal.is_some());
+        let simulated = self.rows.iter().any(|r| r.sim.is_some());
         let mut out = String::from(
             "device,circuit,qubits,input_gates,router,variant,noise,weighted_depth,depth,\
              swaps,output_gates,verified,fidelity_mean,fidelity_std_error",
         );
-        out.push_str(if calibrated { ",cal,eps\n" } else { "\n" });
+        if calibrated {
+            out.push_str(",cal,eps");
+        }
+        if simulated {
+            out.push_str(",sim");
+        }
+        out.push('\n');
         for row in &self.rows {
             let (fid_mean, fid_err) = match &row.fidelity {
                 Some(f) => (json_float(f.mean), json_float(f.std_error)),
@@ -453,6 +472,9 @@ impl Summary {
                     csv_field(row.cal.as_deref().unwrap_or("")),
                     row.eps.map(json_float).unwrap_or_default(),
                 );
+            }
+            if simulated {
+                let _ = write!(out, ",{}", csv_field(row.sim.as_deref().unwrap_or("")));
             }
             out.push('\n');
         }
@@ -583,6 +605,7 @@ mod tests {
             noise: None,
             cal: None,
             eps: None,
+            sim: None,
             weighted_depth: wd,
             depth: 5,
             swaps: 2,
@@ -698,6 +721,44 @@ mod tests {
         let csv = summary.to_csv();
         assert!(csv.lines().next().unwrap().ends_with(",cal,eps"));
         assert!(csv.contains(",drift0,0.500000"));
+    }
+
+    #[test]
+    fn sim_column_appears_only_on_non_dense_rows() {
+        // No simulation axis (or dense resolution): bytes identical to
+        // the pre-axis shape.
+        let plain = Summary::from_reports(0, vec![report("q20", "qft_4", RouterKind::Codar, 60)]);
+        assert!(!plain.to_json().contains("\"sim\""));
+        assert!(!plain.to_csv().lines().next().unwrap().contains(",sim"));
+
+        // A stabilizer-resolved row carries the column; its dense
+        // sibling row leaves the JSON field off and the CSV cell empty.
+        let mut stab = report("q20", "ghz_6", RouterKind::Codar, 40);
+        stab.sim = Some("stabilizer".into());
+        let rows = vec![stab, report("q20", "qft_4", RouterKind::Codar, 60)];
+        let summary = Summary::from_reports(0, rows);
+        let json = summary.to_json();
+        assert!(json.contains("\"sim\": \"stabilizer\""));
+        assert_eq!(json.matches("\"sim\"").count(), 1);
+        let csv = summary.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with(",sim"));
+        assert!(csv.contains(",stabilizer\n"));
+
+        // With a calibration axis too, sim trails cal/eps.
+        let mut both = report("q20", "ghz_6", RouterKind::Codar, 40);
+        both.cal = Some("drift0".into());
+        both.eps = Some(0.5);
+        both.sim = Some("sparse".into());
+        let summary = Summary::from_reports(0, vec![both]);
+        assert!(summary
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with(",cal,eps,sim"));
+        assert!(summary
+            .to_json()
+            .contains("\"eps\": 0.500000, \"sim\": \"sparse\""));
     }
 
     #[test]

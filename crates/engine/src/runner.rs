@@ -25,7 +25,7 @@ use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_benchmarks::suite::SuiteEntry;
 use codar_router::verify::{check_coupling, check_equivalence};
 use codar_router::{Mapping, RoutedCircuit};
-use codar_sim::FidelityReport;
+use codar_sim::{Backend, FidelityReport, SimBackend};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
@@ -98,6 +98,7 @@ pub struct SuiteRunner {
     variants: Vec<RouterVariant>,
     noise: Vec<NoiseSpec>,
     calibrations: Vec<CalibrationSpec>,
+    sim: Option<Backend>,
 }
 
 impl SuiteRunner {
@@ -110,6 +111,7 @@ impl SuiteRunner {
             variants: Vec::new(),
             noise: Vec::new(),
             calibrations: Vec::new(),
+            sim: None,
         }
     }
 
@@ -184,6 +186,19 @@ impl SuiteRunner {
         self
     }
 
+    /// Turns on the simulation axis: every job additionally verifies
+    /// its routed circuit *semantically* by simulating it against the
+    /// original under `backend` (see [`RouteWorker::simulation_check`]).
+    /// A failed check fails the job. Rows whose circuit resolved to a
+    /// non-dense engine report the resolved backend in a `sim` column;
+    /// dense rows (and runs without this axis) carry no new fields, so
+    /// pre-existing summaries stay byte-identical.
+    #[must_use]
+    pub fn sim_backend(mut self, backend: Backend) -> Self {
+        self.sim = Some(backend);
+        self
+    }
+
     /// Worker threads the run will use (resolving `threads == 0`).
     pub fn effective_threads(&self) -> usize {
         if self.config.threads == 0 {
@@ -221,12 +236,16 @@ impl SuiteRunner {
     /// Panics if a worker thread panics (propagated by the scope).
     pub fn run(&self) -> SuiteResult {
         let variants = self.effective_variants();
-        let jobs = build_matrix(
+        let mut jobs = build_matrix(
             &self.entries,
             &self.devices,
             &variants,
             self.calibrations.len(),
         );
+        for job in &mut jobs {
+            job.sim = self.sim;
+        }
+        let jobs = jobs;
         let threads = self.effective_threads().clamp(1, jobs.len().max(1));
         let started = Instant::now();
 
@@ -398,6 +417,20 @@ impl SuiteRunner {
             None
         };
 
+        // Simulation axis: semantically verify the routed circuit by
+        // simulating it against the original under the job's backend.
+        // Only non-dense resolutions are reported, so summaries without
+        // this axis (and dense rows within it) stay byte-identical.
+        let sim_label = match job.sim {
+            Some(backend) => {
+                let resolved = worker
+                    .simulation_check(&entry.circuit, &routed, backend)
+                    .map_err(|e| format!("simulation check failed: {e}"))?;
+                (resolved != SimBackend::Dense).then(|| resolved.name().to_string())
+            }
+            None => None,
+        };
+
         // EPS of the *routed* (physical) circuit under the job's
         // calibration point — the fidelity-vs-depth axis of the alpha
         // sweeps. Independent of thread count: snapshot and model are
@@ -424,6 +457,7 @@ impl SuiteRunner {
             noise,
             cal: cal_label.clone(),
             eps,
+            sim: sim_label.clone(),
             weighted_depth: routed.weighted_depth,
             depth: routed.depth(),
             swaps: routed.swaps_inserted,
@@ -668,6 +702,46 @@ mod tests {
             .next()
             .unwrap()
             .ends_with(",cal,eps"));
+    }
+
+    #[test]
+    fn sim_axis_verifies_and_reports_non_dense_backends() {
+        let run = |threads: usize| {
+            SuiteRunner::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            })
+            .device(Device::ibm_q20_tokyo())
+            .entries(small_entries(6))
+            .sim_backend(codar_sim::Backend::Auto)
+            .run()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one.failures.is_empty(), "{:?}", one.failures);
+        assert_eq!(
+            one.summary.to_json(),
+            four.summary.to_json(),
+            "sim-axis summaries must be byte-identical across thread counts"
+        );
+        // The suite mixes Clifford and non-Clifford circuits: at least
+        // one row must resolve off the dense engine, and every sim
+        // label is one of the two non-dense names.
+        assert!(one.summary.rows.iter().any(|r| r.sim.is_some()));
+        for row in &one.summary.rows {
+            if let Some(sim) = &row.sim {
+                assert!(sim == "stabilizer" || sim == "sparse", "{sim}");
+            }
+        }
+        // Without the axis the summary carries no sim fields at all.
+        let plain = SuiteRunner::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        })
+        .device(Device::ibm_q20_tokyo())
+        .entries(small_entries(6))
+        .run();
+        assert!(!plain.summary.to_json().contains("\"sim\""));
     }
 
     #[test]

@@ -13,9 +13,12 @@ use crate::job::{RouterKind, RouterVariant};
 use codar_arch::{CalibrationSnapshot, Device};
 use codar_circuit::Circuit;
 use codar_router::sabre::reverse_traversal_mapping_scratch;
+use codar_router::verify::reconstruct_logical;
 use codar_router::{
     CodarRouter, GreedyRouter, Mapping, RouteError, RoutedCircuit, RouterScratch, SabreRouter,
 };
+use codar_sim::backend::differential_check;
+use codar_sim::{Backend, SimBackend};
 
 /// One pool worker's reusable routing state.
 ///
@@ -119,6 +122,38 @@ impl RouteWorker {
     /// to run other scratch-threaded router entry points.
     pub fn scratch_mut(&mut self) -> &mut RouterScratch {
         &mut self.scratch
+    }
+
+    /// Differentially verifies a routed circuit against its original by
+    /// *simulating both*: the routed circuit is reconstructed back onto
+    /// logical qubits (undoing the router's SWAPs) and the two are run
+    /// under the engine `backend` resolves to — canonical-tableau
+    /// equality on the stabilizer backend, state fidelity on dense and
+    /// sparse. Stronger than [`codar_router::verify::check_equivalence`]
+    /// (which reasons syntactically about commutation) and, via the
+    /// stabilizer backend, the only equivalence check that scales to
+    /// whole-device Clifford circuits.
+    ///
+    /// Returns the resolved [`SimBackend`] on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the backend cannot run the circuit, the
+    /// reconstruction fails, or the simulated states differ.
+    pub fn simulation_check(
+        &self,
+        original: &Circuit,
+        routed: &RoutedCircuit,
+        backend: Backend,
+    ) -> Result<SimBackend, String> {
+        let logical = reconstruct_logical(
+            &routed.circuit,
+            &routed.initial_mapping,
+            original.num_qubits(),
+            &routed.inserted_swap_indices,
+        )
+        .map_err(|e| e.to_string())?;
+        differential_check(original, &logical, backend, 0)
     }
 }
 

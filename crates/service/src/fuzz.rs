@@ -9,7 +9,10 @@
 //! * [`Grammar::Protocol`] — NDJSON request frames (`route`, `stats`,
 //!   `devices`, `calibration`, `shutdown`) mutated by field drops,
 //!   type swaps, boundary numbers, unicode/surrogate injection,
-//!   truncation and deep nesting;
+//!   truncation and deep nesting. Route frames carry a `sim` mutator
+//!   family: valid backend names and aliases, unknown names, wrong
+//!   JSON types, and deliberate backend/circuit mismatches
+//!   (`"stabilizer"` on a T-heavy circuit);
 //! * [`Grammar::Qasm`] — valid OpenQASM 2 sources (from
 //!   [`codar_qasm::generate`]) mutated by index perturbation, operand
 //!   duplication and keyword corruption, embedded in `route` frames;
@@ -27,7 +30,10 @@
 //! JSON reply, `status` ∈ {`ok`, `error`, `overloaded`}, the request
 //! `id` echoed exactly when recoverable, and — across interleaved
 //! `stats` probes — monotone counters and cache occupancy within
-//! capacity. [`minimize`] shrinks a violating line ddmin-style before
+//! capacity. An `ok` reply to a route that requested a simulation
+//! backend must name the backend that actually ran (explicit requests
+//! must not be silently substituted — no silent dense fallback).
+//! [`minimize`] shrinks a violating line ddmin-style before
 //! it is reported (and committed as a regression fixture).
 //!
 //! # Examples
@@ -47,6 +53,7 @@
 use crate::json::{escape, Json};
 use crate::server::Service;
 use codar_arch::{CalibrationSnapshot, Device};
+use codar_engine::Backend;
 use codar_qasm::generate::{random_source_with, GeneratorConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -256,6 +263,9 @@ impl InvariantChecker {
         if status == "ok" && parsed.get("type").and_then(Json::as_str) == Some("stats") {
             self.observe_stats(&parsed)?;
         }
+        if status == "ok" {
+            check_sim_contract(input, &parsed)?;
+        }
         Ok(())
     }
 
@@ -302,6 +312,49 @@ impl InvariantChecker {
         self.last = Some(now);
         Ok(())
     }
+}
+
+/// The no-silent-fallback contract: when a route request names a
+/// recognizable simulation backend and the daemon answers `ok`, the
+/// reply must say which backend ran — and an *explicit* request must
+/// have run exactly that backend (a backend that cannot run the
+/// circuit is an `error`, never a quiet substitution). Requests whose
+/// `sim` value does not parse to a backend carry no obligation here:
+/// they must already have been rejected (checked via `status`).
+fn check_sim_contract(input: &str, reply: &Json) -> Result<(), String> {
+    // Mirror the server's own recovery rule: same parser, same `get`.
+    let Ok(request) = Json::parse(input) else {
+        return Ok(());
+    };
+    if request.get("type").and_then(Json::as_str) != Some("route") {
+        return Ok(());
+    }
+    let Some(requested) = request
+        .get("sim")
+        .and_then(Json::as_str)
+        .and_then(Backend::parse)
+    else {
+        return Ok(());
+    };
+    let Some(ran) = reply.get("sim").and_then(Json::as_str) else {
+        return Err(format!(
+            "ok reply to a `sim`:`{}` route reports no backend (silent fallback)",
+            requested.name()
+        ));
+    };
+    let allowed: &[&str] = match requested {
+        Backend::Auto => &["dense", "stabilizer", "sparse"],
+        Backend::Dense => &["dense"],
+        Backend::Stabilizer => &["stabilizer"],
+        Backend::Sparse => &["sparse"],
+    };
+    if !allowed.contains(&ran) {
+        return Err(format!(
+            "route requested backend `{}` but the reply reports `{ran}` ran",
+            requested.name()
+        ));
+    }
+    Ok(())
 }
 
 /// The full corpus for `config`, in feed order. Pure in the config:
@@ -512,6 +565,41 @@ fn device_name(rng: &mut StdRng) -> String {
     }
 }
 
+/// The `sim` mutator family: raw JSON values for a route frame's
+/// `sim` field. Valid names and aliases (any case), near-miss and
+/// unknown names, and wrong JSON types — the parse layer must reject
+/// the bad ones with a clean error, never panic or quietly ignore.
+fn sim_value(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..10u32) {
+        0 => "\"auto\"".to_string(),
+        1 => "\"dense\"".to_string(),
+        2 => "\"stabilizer\"".to_string(),
+        3 => "\"sparse\"".to_string(),
+        4 => ["\"statevector\"", "\"clifford\"", "\"AUTO\"", "\"Sparse\""]
+            [rng.gen_range(0..4usize)]
+        .to_string(),
+        5 => [
+            "\"gpu\"",
+            "\"tensor-network\"",
+            "\"chp\"",
+            "\"\"",
+            "\"auto \"",
+            "\"den se\"",
+        ][rng.gen_range(0..6usize)]
+        .to_string(),
+        6 => "null".to_string(),
+        7 => SWAPPED_VALUES[rng.gen_range(0..SWAPPED_VALUES.len())].to_string(),
+        8 => BOUNDARY_NUMBERS[rng.gen_range(0..BOUNDARY_NUMBERS.len())].to_string(),
+        9 => hostile_string(rng),
+        _ => unreachable!(),
+    }
+}
+
+/// A deliberately T-heavy circuit: a guaranteed backend/circuit
+/// mismatch when paired with `"sim":"stabilizer"` — the daemon must
+/// answer with a well-formed error, not fall back to dense.
+const T_HEAVY_CIRCUIT: &str = "qreg q[3]; t q[0]; cx q[0], q[1]; t q[1]; cx q[1], q[2]; tdg q[2];";
+
 /// A small valid circuit for route skeletons.
 fn small_circuit(rng: &mut StdRng) -> String {
     let config = GeneratorConfig {
@@ -542,7 +630,25 @@ fn valid_frame(rng: &mut StdRng) -> Frame {
                     frame.push("alpha", format!("{:.3}", rng.gen::<f64>()));
                 }
             }
-            frame.push("circuit", escape(&small_circuit(rng)));
+            let sim = if rng.gen_bool(0.4) {
+                Some(sim_value(rng))
+            } else {
+                None
+            };
+            // Half the Clifford-only-backend requests get a circuit
+            // the backend *cannot* run: the mismatch must be a clean
+            // error reply, and the contract checker would catch a
+            // silent dense fallback.
+            let mismatch = matches!(sim.as_deref(), Some("\"stabilizer\"" | "\"clifford\""))
+                && rng.gen_bool(0.5);
+            if let Some(sim) = sim {
+                frame.push("sim", sim);
+            }
+            if mismatch {
+                frame.push("circuit", escape(T_HEAVY_CIRCUIT));
+            } else {
+                frame.push("circuit", escape(&small_circuit(rng)));
+            }
         }
         9..=10 => {
             frame.push("type", "\"stats\"");
@@ -782,6 +888,11 @@ fn qasm_line(rng: &mut StdRng) -> String {
     }
     frame.push("type", "\"route\"");
     frame.push("device", escape(&device_name(rng)));
+    if rng.gen_bool(0.25) {
+        // Mutated sources against simulation backends: whatever the
+        // mutation did, a requested backend either runs or errors.
+        frame.push("sim", sim_value(rng));
+    }
     frame.push("circuit", escape(&source));
     frame.render()
 }
@@ -966,6 +1077,65 @@ mod tests {
         InvariantChecker::new()
             .check("{\"id\":3}", "{\"id\":3,\"status\":\"error\"}")
             .expect("matched ids pass");
+    }
+
+    #[test]
+    fn sim_family_appears_and_holds_the_contract() {
+        let config = FuzzConfig {
+            iterations: 800,
+            ..FuzzConfig::default()
+        };
+        let corpus = generate_corpus(&config);
+        let with_sim = corpus.iter().filter(|l| l.contains("\"sim\"")).count();
+        assert!(with_sim >= 20, "only {with_sim} sim lines in 800");
+        assert!(
+            corpus
+                .iter()
+                .any(|l| l.contains("\"sim\":\"stabilizer\"") && l.contains("t q[0]")),
+            "no stabilizer/T-heavy mismatch line generated"
+        );
+        let service = Service::start(ServiceConfig::default());
+        let report = run_in_process(&corpus, &service).unwrap_or_else(|v| {
+            panic!(
+                "violation at line {}: {} on {:?}",
+                v.index, v.message, v.input
+            )
+        });
+        assert_eq!(report.lines, 800);
+    }
+
+    #[test]
+    fn checker_rejects_silent_sim_fallback() {
+        let route = "{\"type\":\"route\",\"device\":\"q5\",\"sim\":\"stabilizer\",\
+                     \"circuit\":\"qreg q[2];\"}";
+        // ok without reporting a backend: silent fallback.
+        let err = InvariantChecker::new()
+            .check(route, "{\"status\":\"ok\",\"qasm\":\"\"}")
+            .expect_err("missing sim field must fail");
+        assert!(err.contains("silent fallback"), "{err}");
+        // ok reporting a *different* backend than the explicit request.
+        let err = InvariantChecker::new()
+            .check(route, "{\"status\":\"ok\",\"sim\":\"dense\",\"qasm\":\"\"}")
+            .expect_err("substituted backend must fail");
+        assert!(err.contains("reports `dense`"), "{err}");
+        // The honest replies pass: exact match, or any backend for auto.
+        InvariantChecker::new()
+            .check(
+                route,
+                "{\"status\":\"ok\",\"sim\":\"stabilizer\",\"qasm\":\"\"}",
+            )
+            .expect("matching backend passes");
+        let auto = route.replace("stabilizer", "auto");
+        InvariantChecker::new()
+            .check(
+                &auto,
+                "{\"status\":\"ok\",\"sim\":\"sparse\",\"qasm\":\"\"}",
+            )
+            .expect("auto may resolve to any backend");
+        // Error replies carry no obligation; nor do sim-less routes.
+        InvariantChecker::new()
+            .check(route, "{\"status\":\"error\",\"error\":\"x\"}")
+            .expect("error replies are fine");
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use crate::json::{escape, Json};
 use codar_circuit::schedule::Time;
-use codar_engine::RouterKind;
+use codar_engine::{Backend, RouterKind};
 
 /// What a `calibration` request does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +86,10 @@ pub enum Request {
         router: RouterKind,
         /// Calibration blend weight (`codar-cal` only; default 0.5).
         alpha: Option<f64>,
+        /// Simulation backend for the differential routed-vs-original
+        /// check (`None` = no simulation; the reply then carries no
+        /// `sim` field, keeping pre-existing replies byte-identical).
+        sim: Option<Backend>,
         /// OpenQASM 2.0 source of the circuit.
         qasm: String,
     },
@@ -190,11 +194,24 @@ impl Request {
                         Some(alpha)
                     }
                 };
+                let sim = match value.get("sim") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let name = v
+                            .as_str()
+                            .ok_or_else(|| "`sim` must be a string".to_string())?;
+                        Some(
+                            Backend::parse(name)
+                                .ok_or_else(|| format!("unknown simulation backend `{name}`"))?,
+                        )
+                    }
+                };
                 Ok(Request::Route {
                     id,
                     device,
                     router,
                     alpha,
+                    sim,
                     qasm,
                 })
             }
@@ -298,6 +315,13 @@ pub struct RouteOutcome {
     /// calibration snapshot — the body is then byte-identical to the
     /// pre-calibration protocol.
     pub calibration: Option<(u64, f64)>,
+    /// Resolved simulation backend of the differential
+    /// routed-vs-original check. Present exactly when the request asked
+    /// for one (`"sim"` field) — including dense resolutions, so a
+    /// client can always see which engine actually verified its
+    /// circuit (never a silent fallback). `None` keeps the body
+    /// byte-identical to the pre-simulation protocol.
+    pub sim: Option<String>,
     /// Routed circuit as OpenQASM 2.0 (physical qubit indices).
     pub qasm: String,
 }
@@ -309,10 +333,14 @@ impl RouteOutcome {
             Some((version, eps)) => format!(",\"cal_version\":{version},\"eps\":{eps:.6}"),
             None => String::new(),
         };
+        let sim = match &self.sim {
+            Some(backend) => format!(",\"sim\":{}", escape(backend)),
+            None => String::new(),
+        };
         format!(
             "{{\"type\":\"route\",\"status\":\"ok\",\"device\":{},\"router\":{},\
              \"qubits\":{},\"input_gates\":{},\"weighted_depth\":{},\"depth\":{},\
-             \"swaps\":{},\"output_gates\":{},\"verified\":true{},\"qasm\":{}}}",
+             \"swaps\":{},\"output_gates\":{},\"verified\":true{}{},\"qasm\":{}}}",
             escape(&self.device),
             escape(self.router.name()),
             self.qubits,
@@ -322,6 +350,7 @@ impl RouteOutcome {
             self.swaps,
             self.output_gates,
             cal,
+            sim,
             escape(&self.qasm),
         )
     }
@@ -404,6 +433,7 @@ mod tests {
                 device: "q20".into(),
                 router: RouterKind::Sabre,
                 alpha: None,
+                sim: None,
                 qasm: "qreg q[1];".into(),
             }
         );
@@ -436,6 +466,44 @@ mod tests {
             (
                 r#"{"type":"route","device":"q20","router":"codar-cal","alpha":"big","circuit":"x"}"#,
                 "`alpha` must be a number",
+            ),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert!(err.message.contains(needle), "`{line}` gave `{err:?}`");
+        }
+    }
+
+    #[test]
+    fn parses_route_sim_field() {
+        for (name, backend) in [
+            ("auto", Backend::Auto),
+            ("dense", Backend::Dense),
+            ("stabilizer", Backend::Stabilizer),
+            ("sparse", Backend::Sparse),
+        ] {
+            let line = format!(
+                r#"{{"type":"route","device":"q20","sim":"{name}","circuit":"qreg q[1];"}}"#
+            );
+            match Request::parse_line(&line).unwrap() {
+                Request::Route { sim, .. } => assert_eq!(sim, Some(backend), "{name}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Null and absent both mean "no simulation".
+        let line = r#"{"type":"route","device":"q20","sim":null,"circuit":"qreg q[1];"}"#;
+        match Request::parse_line(line).unwrap() {
+            Request::Route { sim, .. } => assert_eq!(sim, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown names and non-strings are parse errors.
+        for (line, needle) in [
+            (
+                r#"{"type":"route","device":"q20","sim":"gpu","circuit":"x"}"#,
+                "unknown simulation backend `gpu`",
+            ),
+            (
+                r#"{"type":"route","device":"q20","sim":7,"circuit":"x"}"#,
+                "`sim` must be a string",
             ),
         ] {
             let err = Request::parse_line(line).expect_err(line);
@@ -589,6 +657,7 @@ mod tests {
             swaps: 1,
             output_gates: 6,
             calibration: None,
+            sim: None,
             qasm: "OPENQASM 2.0;\nqreg q[3];\n".into(),
         };
         let body = outcome.body();
@@ -604,6 +673,17 @@ mod tests {
             cal_body.contains("\"cal_version\":7,\"eps\":0.750000"),
             "{cal_body}"
         );
+        // The sim field rides between the calibration fields and the
+        // QASM, only when the request asked for simulation.
+        assert!(!cal_body.contains("\"sim\""));
+        outcome.sim = Some("stabilizer".into());
+        let sim_body = outcome.body();
+        assert!(
+            sim_body.contains("\"eps\":0.750000,\"sim\":\"stabilizer\",\"qasm\""),
+            "{sim_body}"
+        );
+        outcome.calibration = None;
+        outcome.sim = None;
         let with = attach_id(Some(7), &body);
         assert!(with.starts_with("{\"id\":7,\"type\":\"route\""));
         assert_eq!(attach_id(None, &body), body);

@@ -36,7 +36,7 @@ use crate::worker::{spawn_pool, RouteJob};
 use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_circuit::decompose::decompose_three_qubit_gates;
 use codar_circuit::from_qasm::{circuit_from_flat, circuit_to_qasm};
-use codar_engine::RouterKind;
+use codar_engine::{Backend, RouterKind};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
@@ -228,9 +228,10 @@ impl Service {
                 device,
                 router,
                 alpha,
+                sim,
                 qasm,
                 ..
-            } => attach_id(id, &self.handle_route(&device, router, alpha, &qasm)),
+            } => attach_id(id, &self.handle_route(&device, router, alpha, sim, &qasm)),
             Request::Calibration {
                 device,
                 action,
@@ -253,6 +254,7 @@ impl Service {
         device_name: &str,
         router: RouterKind,
         alpha: Option<f64>,
+        sim: Option<Backend>,
         qasm: &str,
     ) -> String {
         let metrics = &self.inner.metrics;
@@ -315,14 +317,22 @@ impl Service {
         } else {
             String::new()
         };
-        let material = key_material(&[
+        // A `sim` request adds one trailing key element; sim-less
+        // requests keep the historical 6-element material byte for
+        // byte, so existing cache entries (and the golden fixtures
+        // that hash them) are untouched.
+        let mut parts: Vec<&str> = vec![
             &canonical,
             device.name(),
             router.name(),
             &seed_text,
             &cal_version,
             &alpha_text,
-        ]);
+        ];
+        if let Some(backend) = sim {
+            parts.push(backend.name());
+        }
+        let material = key_material(&parts);
         let key = fnv1a_extend(FNV_OFFSET, material.as_bytes());
         if let Some(body) = self.inner.cache.get(key, &material) {
             // The deep copy happens here, outside the shard lock; the
@@ -341,6 +351,7 @@ impl Service {
             device,
             router,
             alpha,
+            sim,
             snapshot,
             model,
             reply,
@@ -644,6 +655,37 @@ mod tests {
             escape(router),
             escape(qasm)
         )
+    }
+
+    #[test]
+    fn sim_requests_route_end_to_end_and_cache_separately() {
+        let service = Service::start(ServiceConfig::default());
+        // Sim-less request: no `sim` field in the response (historical
+        // shape, byte-compatible with the golden fixtures).
+        let plain = service.handle_line(&route_line("q5", "codar", GHZ3));
+        assert!(!plain.contains("\"sim\""), "{plain}");
+        // `auto` on a Clifford circuit resolves to the stabilizer
+        // backend, and the response reports it.
+        let line = format!(
+            "{{\"type\":\"route\",\"device\":\"q5\",\"router\":\"codar\",\
+             \"sim\":\"auto\",\"circuit\":{}}}",
+            escape(GHZ3)
+        );
+        let simmed = service.handle_line(&line);
+        let parsed = Json::parse(&simmed).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(parsed.get("sim").and_then(Json::as_str), Some("stabilizer"));
+        // The two are distinct cache entries: re-issuing each returns
+        // its own body (a shared key would alias the sim-less reply).
+        assert_eq!(service.handle_line(&route_line("q5", "codar", GHZ3)), plain);
+        assert_eq!(service.handle_line(&line), simmed);
+        // Unknown backend names are rejected at parse time.
+        let bad = service.handle_line(
+            "{\"type\":\"route\",\"device\":\"q5\",\"router\":\"codar\",\
+             \"sim\":\"gpu\",\"circuit\":\"qreg q[2];\"}",
+        );
+        assert!(bad.contains("unknown simulation backend"), "{bad}");
+        service.handle_line("{\"type\":\"shutdown\"}");
     }
 
     #[test]

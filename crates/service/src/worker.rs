@@ -16,7 +16,7 @@ use crate::queue::Bounded;
 use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_circuit::from_qasm::circuit_to_qasm;
 use codar_circuit::Circuit;
-use codar_engine::{RouteWorker, RouterKind, RouterVariant};
+use codar_engine::{Backend, RouteWorker, RouterKind, RouterVariant};
 use codar_router::verify::{check_coupling, check_equivalence};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -37,6 +37,9 @@ pub struct RouteJob {
     pub router: RouterKind,
     /// Calibration blend weight (`codar-cal` only).
     pub alpha: f64,
+    /// Requested simulation backend for differential verification
+    /// (`None` = syntactic verification only, the historical path).
+    pub sim: Option<Backend>,
     /// The device's active calibration snapshot at probe time (its
     /// version is already folded into `key`/`material`). `codar-cal`
     /// routes against it; any router's response reports EPS under it.
@@ -142,6 +145,17 @@ fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bo
             false,
         );
     }
+    // Requested simulation backends run the stronger differential
+    // check and are *reported back*: the resolved backend appears in
+    // the response even when `auto` lands on dense, so a client can
+    // always see what actually ran — no silent fallback.
+    let sim = match job.sim {
+        Some(backend) => match worker.simulation_check(&job.circuit, &routed, backend) {
+            Ok(resolved) => Some(resolved.name().to_string()),
+            Err(e) => return (error_body(&format!("simulation check failed: {e}")), false),
+        },
+        None => None,
+    };
     let qasm = match circuit_to_qasm(&routed.circuit) {
         Ok(qasm) => qasm,
         Err(e) => {
@@ -171,6 +185,7 @@ fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bo
         swaps: routed.swaps_inserted,
         output_gates: routed.gate_count(),
         calibration,
+        sim,
         qasm,
     };
     (outcome.body(), true)
@@ -192,6 +207,7 @@ mod tests {
                 device: Arc::new(Device::ibm_q5_yorktown()),
                 router,
                 alpha: 0.0,
+                sim: None,
                 snapshot: None,
                 model: None,
                 reply: tx,
@@ -216,6 +232,37 @@ mod tests {
         let qasm = parsed.get("qasm").and_then(Json::as_str).unwrap();
         // The routed QASM is itself valid and re-parses.
         codar_circuit::from_qasm::circuit_from_source(qasm).expect("routed QASM parses");
+    }
+
+    #[test]
+    fn sim_requests_verify_and_report_the_resolved_backend() {
+        // A Clifford circuit under `auto` resolves to the stabilizer
+        // backend and the response says so.
+        let (mut job, _rx) = job_for(
+            "qreg q[4]; h q[0]; cx q[0], q[3]; cx q[1], q[2];",
+            RouterKind::Codar,
+        );
+        job.sim = Some(Backend::Auto);
+        let mut worker = RouteWorker::new();
+        let (body, ok) = route_job(&mut worker, &job, 0);
+        assert!(ok, "{body}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("sim").and_then(Json::as_str), Some("stabilizer"));
+        // An explicit dense request is honored and still reported —
+        // the field is present exactly when the request asked.
+        job.sim = Some(Backend::Dense);
+        let (tx, _rx2) = mpsc::channel();
+        job.reply = tx;
+        let (body, ok) = route_job(&mut worker, &job, 0);
+        assert!(ok, "{body}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("sim").and_then(Json::as_str), Some("dense"));
+        // A backend that cannot run the circuit is a clean error body.
+        let (mut t_job, _rx3) = job_for("qreg q[3]; t q[0]; cx q[0], q[2];", RouterKind::Codar);
+        t_job.sim = Some(Backend::Stabilizer);
+        let (body, ok) = route_job(&mut worker, &t_job, 0);
+        assert!(!ok);
+        assert!(body.contains("simulation check failed"), "{body}");
     }
 
     #[test]

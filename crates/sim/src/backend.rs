@@ -1,0 +1,635 @@
+//! Simulation backend selection and the unified differential runner.
+//!
+//! Three engines simulate circuits in this crate:
+//!
+//! * **dense** — the [`StateVector`] simulator, exact for every gate but
+//!   capped at 26 qubits;
+//! * **stabilizer** — the [`StabilizerState`] tableau, polynomial in
+//!   qubit count but Clifford-only;
+//! * **sparse** — the [`SparseState`] amplitude map, bit-identical to
+//!   dense whenever both run, bounded by a nonzero budget instead of a
+//!   qubit cap.
+//!
+//! [`Backend`] is the user-facing selector (`auto` classifies the
+//! circuit per the rules below); [`SimBackend`] is the engine a circuit
+//! actually resolved to. Auto-selection:
+//!
+//! 1. Clifford-only circuit → **stabilizer**;
+//! 2. at most [`AUTO_SPARSE_MAX_NON_CLIFFORD`] non-Clifford gates →
+//!    **sparse**;
+//! 3. otherwise → **dense** (which requires ≤ 26 qubits).
+//!
+//! An explicitly requested backend never silently falls back: asking
+//! for `stabilizer` on a T-heavy circuit is an error, not a dense run.
+
+use crate::measure::sample_counts;
+use crate::sparse::SparseState;
+use crate::stabilizer::{is_clifford_kind, StabilizerState};
+use crate::state::StateVector;
+use codar_circuit::{Circuit, GateKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Dense state-vector qubit cap (see [`StateVector::zero`]).
+pub const DENSE_MAX_QUBITS: usize = 26;
+
+/// `auto` routes a circuit with at most this many non-Clifford gates to
+/// the sparse backend before falling back to dense.
+pub const AUTO_SPARSE_MAX_NON_CLIFFORD: usize = 16;
+
+/// A user-facing simulation backend choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Classify each circuit and pick the cheapest capable engine.
+    Auto,
+    /// Always the dense state vector (≤ 26 qubits).
+    Dense,
+    /// Always the stabilizer tableau (Clifford circuits only).
+    Stabilizer,
+    /// Always the sparse amplitude map (bounded support only).
+    Sparse,
+}
+
+impl Backend {
+    /// Every selectable backend.
+    pub const ALL: [Backend; 4] = [
+        Backend::Auto,
+        Backend::Dense,
+        Backend::Stabilizer,
+        Backend::Sparse,
+    ];
+
+    /// The CLI/protocol surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Auto => "auto",
+            Backend::Dense => "dense",
+            Backend::Stabilizer => "stabilizer",
+            Backend::Sparse => "sparse",
+        }
+    }
+
+    /// Parses a surface name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" => Some(Backend::Auto),
+            "dense" | "statevector" => Some(Backend::Dense),
+            "stabilizer" | "clifford" => Some(Backend::Stabilizer),
+            "sparse" => Some(Backend::Sparse),
+            _ => None,
+        }
+    }
+
+    /// Resolves the selection against a concrete circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] when the selected engine cannot run the
+    /// circuit (explicit selections never silently fall back).
+    pub fn resolve(self, circuit: &Circuit) -> Result<SimBackend, BackendError> {
+        let class = classify(circuit);
+        match self {
+            Backend::Dense => {
+                if circuit.num_qubits() > DENSE_MAX_QUBITS {
+                    Err(BackendError::TooManyQubits {
+                        qubits: circuit.num_qubits(),
+                        limit: DENSE_MAX_QUBITS,
+                    })
+                } else {
+                    Ok(SimBackend::Dense)
+                }
+            }
+            Backend::Stabilizer => match class.first_non_clifford {
+                Some(kind) => Err(BackendError::NonClifford { kind }),
+                None => Ok(SimBackend::Stabilizer),
+            },
+            Backend::Sparse => Ok(SimBackend::Sparse),
+            Backend::Auto => {
+                if class.non_clifford == 0 {
+                    Ok(SimBackend::Stabilizer)
+                } else if class.non_clifford <= AUTO_SPARSE_MAX_NON_CLIFFORD {
+                    Ok(SimBackend::Sparse)
+                } else if circuit.num_qubits() <= DENSE_MAX_QUBITS {
+                    Ok(SimBackend::Dense)
+                } else {
+                    Err(BackendError::TooManyQubits {
+                        qubits: circuit.num_qubits(),
+                        limit: DENSE_MAX_QUBITS,
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The engine a circuit resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimBackend {
+    /// The dense state vector.
+    Dense,
+    /// The stabilizer tableau.
+    Stabilizer,
+    /// The sparse amplitude map.
+    Sparse,
+}
+
+impl SimBackend {
+    /// The surface name (`"dense"` / `"stabilizer"` / `"sparse"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimBackend::Dense => "dense",
+            SimBackend::Stabilizer => "stabilizer",
+            SimBackend::Sparse => "sparse",
+        }
+    }
+}
+
+impl fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a backend could not run a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// The stabilizer backend met a non-Clifford gate.
+    NonClifford {
+        /// The offending gate kind.
+        kind: GateKind,
+    },
+    /// The dense backend (or auto's dense fallback) exceeded its cap.
+    TooManyQubits {
+        /// Circuit width.
+        qubits: usize,
+        /// The dense cap.
+        limit: usize,
+    },
+    /// The sparse backend outgrew its nonzero budget.
+    BudgetExceeded {
+        /// Support size the offending gate would have produced.
+        nonzeros: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The stabilizer support is too large to enumerate for sampling.
+    SupportTooLarge {
+        /// The affine-subspace dimension.
+        free: u32,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::NonClifford { kind } => write!(
+                f,
+                "backend `stabilizer` cannot simulate non-Clifford gate `{}`",
+                kind.name()
+            ),
+            BackendError::TooManyQubits { qubits, limit } => write!(
+                f,
+                "backend `dense` is capped at {limit} qubits, circuit has {qubits}"
+            ),
+            BackendError::BudgetExceeded { nonzeros, budget } => write!(
+                f,
+                "backend `sparse` exceeded its nonzero budget: {nonzeros} > {budget}"
+            ),
+            BackendError::SupportTooLarge { free } => write!(
+                f,
+                "stabilizer support too large to sample: 2^{free} members"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Gate census used by auto-selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// Total gates in the circuit.
+    pub gates: usize,
+    /// Non-Clifford gates (`T`, rotations, multi-controlled, …).
+    pub non_clifford: usize,
+    /// `Measure` + `Reset` operations.
+    pub non_unitary: usize,
+    /// Kind of the first non-Clifford gate, when any.
+    pub first_non_clifford: Option<GateKind>,
+}
+
+/// Counts Clifford vs non-Clifford gates (kind-based: rotations count
+/// as non-Clifford regardless of their angles).
+pub fn classify(circuit: &Circuit) -> Classification {
+    let mut non_clifford = 0;
+    let mut non_unitary = 0;
+    let mut first = None;
+    for gate in circuit.gates() {
+        if matches!(gate.kind, GateKind::Measure | GateKind::Reset) {
+            non_unitary += 1;
+        } else if !is_clifford_kind(gate.kind) {
+            non_clifford += 1;
+            if first.is_none() {
+                first = Some(gate.kind);
+            }
+        }
+    }
+    Classification {
+        gates: circuit.len(),
+        non_clifford,
+        non_unitary,
+        first_non_clifford: first,
+    }
+}
+
+/// Runs `circuit` under `backend` and samples `shots` whole-register
+/// measurements, all randomness drawn from one generator seeded with
+/// `seed` (gate-level measurements first, then sampling — the same
+/// consumption order on every backend). Returns the resolved engine and
+/// the counts keyed by 128-bit basis index.
+///
+/// # Errors
+///
+/// Returns [`BackendError`] when the selected backend cannot run or
+/// sample the circuit.
+pub fn run_counts(
+    backend: Backend,
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+) -> Result<(SimBackend, BTreeMap<u128, usize>), BackendError> {
+    let resolved = backend.resolve(circuit)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let counts = match resolved {
+        SimBackend::Dense => {
+            if circuit.num_qubits() > DENSE_MAX_QUBITS {
+                return Err(BackendError::TooManyQubits {
+                    qubits: circuit.num_qubits(),
+                    limit: DENSE_MAX_QUBITS,
+                });
+            }
+            let mut state = StateVector::zero(circuit.num_qubits());
+            for gate in circuit.gates() {
+                crate::gates::apply_gate(&mut state, gate, &mut rng);
+            }
+            sample_counts(&state, shots, &mut rng)
+                .into_iter()
+                .map(|(k, v)| (k as u128, v))
+                .collect()
+        }
+        SimBackend::Stabilizer => {
+            let mut state = StabilizerState::zero(circuit.num_qubits());
+            state
+                .apply_circuit(circuit, &mut rng)
+                .map_err(|e| BackendError::NonClifford { kind: e.kind })?;
+            state
+                .sample_counts(shots, &mut rng)
+                .map_err(|free| BackendError::SupportTooLarge { free })?
+        }
+        SimBackend::Sparse => {
+            let mut state = SparseState::zero(circuit.num_qubits());
+            state
+                .apply_circuit(circuit, &mut rng)
+                .map_err(|e| BackendError::BudgetExceeded {
+                    nonzeros: e.nonzeros,
+                    budget: e.budget,
+                })?;
+            state.sample_counts(shots, &mut rng)
+        }
+    };
+    Ok((resolved, counts))
+}
+
+/// Drops `Measure`, `Reset` and `Barrier`, keeping the unitary skeleton
+/// — the part differential equivalence checks compare. (Routers may
+/// reorder commuting measurements, which would de-align seeded
+/// measurement randomness between two equivalent circuits.)
+pub fn strip_nonunitary(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_bits(circuit.num_qubits(), circuit.num_bits());
+    for gate in circuit.gates() {
+        if gate.kind.is_unitary() {
+            out.push(gate.clone());
+        }
+    }
+    out
+}
+
+/// Differentially checks that two circuits over the *same* qubits (an
+/// original and the logical reconstruction of its routed form) prepare
+/// the same state, under the engine `selected` resolves to for
+/// `original`. Non-unitary operations are stripped from both sides
+/// first. Returns the resolved engine on success.
+///
+/// * stabilizer — canonical-tableau equality (exact, any width);
+/// * dense / sparse — state fidelity within `1e-9`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the backend cannot run the
+/// circuits or the states disagree.
+pub fn differential_check(
+    original: &Circuit,
+    candidate: &Circuit,
+    selected: Backend,
+    seed: u64,
+) -> Result<SimBackend, String> {
+    if original.num_qubits() != candidate.num_qubits() {
+        return Err(format!(
+            "qubit count mismatch: {} vs {}",
+            original.num_qubits(),
+            candidate.num_qubits()
+        ));
+    }
+    let resolved = selected.resolve(original).map_err(|e| e.to_string())?;
+    let a = strip_nonunitary(original);
+    let b = strip_nonunitary(candidate);
+    // The stripped circuits are unitary; the rng is never consumed but
+    // keeps the apply signatures uniform.
+    let mut rng = StdRng::seed_from_u64(seed);
+    match resolved {
+        SimBackend::Stabilizer => {
+            let mut sa = StabilizerState::zero(a.num_qubits());
+            sa.apply_circuit(&a, &mut rng).map_err(|e| e.to_string())?;
+            let mut sb = StabilizerState::zero(b.num_qubits());
+            sb.apply_circuit(&b, &mut rng).map_err(|e| e.to_string())?;
+            if sa.equiv(&sb) {
+                Ok(resolved)
+            } else {
+                Err("stabilizer tableaus of original and routed circuits differ".into())
+            }
+        }
+        SimBackend::Dense => {
+            if a.num_qubits() > DENSE_MAX_QUBITS {
+                return Err(BackendError::TooManyQubits {
+                    qubits: a.num_qubits(),
+                    limit: DENSE_MAX_QUBITS,
+                }
+                .to_string());
+            }
+            let mut sa = StateVector::zero(a.num_qubits());
+            for gate in a.gates() {
+                crate::gates::apply_gate(&mut sa, gate, &mut rng);
+            }
+            let mut sb = StateVector::zero(b.num_qubits());
+            for gate in b.gates() {
+                crate::gates::apply_gate(&mut sb, gate, &mut rng);
+            }
+            let fidelity = sa.fidelity_with(&sb);
+            if (fidelity - 1.0).abs() < 1e-9 {
+                Ok(resolved)
+            } else {
+                Err(format!(
+                    "dense fidelity between original and routed circuits is {fidelity:.12}"
+                ))
+            }
+        }
+        SimBackend::Sparse => {
+            let mut sa = SparseState::zero(a.num_qubits());
+            sa.apply_circuit(&a, &mut rng).map_err(|e| e.to_string())?;
+            let mut sb = SparseState::zero(b.num_qubits());
+            sb.apply_circuit(&b, &mut rng).map_err(|e| e.to_string())?;
+            let fidelity = sa.fidelity_with(&sb);
+            if (fidelity - 1.0).abs() < 1e-9 {
+                Ok(resolved)
+            } else {
+                Err(format!(
+                    "sparse fidelity between original and routed circuits is {fidelity:.12}"
+                ))
+            }
+        }
+    }
+}
+
+/// Whole-device routed-vs-original equivalence through the stabilizer
+/// backend: simulates the original (embedded into the device register)
+/// and the physical routed circuit, relabels the physical qubits back
+/// through `logical_of` (the router's final physical→logical mapping),
+/// and compares canonical tableaus. Scales to hundreds of qubits —
+/// this is the check the dense simulator could never run.
+///
+/// Non-unitary operations are stripped from both circuits.
+///
+/// # Errors
+///
+/// Returns a message naming the first non-Clifford gate, a mapping
+/// inconsistency, or the tableau mismatch.
+pub fn check_routed_equivalence_stabilizer(
+    original: &Circuit,
+    physical: &Circuit,
+    logical_of: &[Option<usize>],
+) -> Result<(), String> {
+    let n_phys = physical.num_qubits();
+    if logical_of.len() != n_phys {
+        return Err(format!(
+            "mapping covers {} physical qubits, circuit has {n_phys}",
+            logical_of.len()
+        ));
+    }
+    let n_log = original.num_qubits();
+    if n_log > n_phys {
+        return Err(format!(
+            "original uses {n_log} qubits but the device has {n_phys}"
+        ));
+    }
+    let a = strip_nonunitary(original);
+    let b = strip_nonunitary(physical);
+    let mut rng = StdRng::seed_from_u64(0);
+    // Original, embedded: unused device qubits stay |0⟩.
+    let mut sa = StabilizerState::zero(n_phys);
+    sa.apply_circuit(&a, &mut rng).map_err(|e| e.to_string())?;
+    // Routed physical state, then physical→logical relabeling; qubits
+    // holding no logical state fill the remaining slots (they must be
+    // |0⟩ for the tableaus to match, exactly like the embedded side).
+    let mut sb = StabilizerState::zero(n_phys);
+    sb.apply_circuit(&b, &mut rng).map_err(|e| e.to_string())?;
+    let mut perm = vec![usize::MAX; n_phys];
+    let mut taken = vec![false; n_phys];
+    for (phys, l) in logical_of.iter().enumerate() {
+        if let Some(l) = *l {
+            if l >= n_log || taken[l] {
+                return Err(format!("invalid physical→logical mapping at qubit {phys}"));
+            }
+            perm[phys] = l;
+            taken[l] = true;
+        }
+    }
+    let mut next_free = n_log;
+    for slot in &mut perm {
+        if *slot == usize::MAX {
+            *slot = next_free;
+            next_free += 1;
+        }
+    }
+    if next_free != n_phys {
+        return Err("physical→logical mapping is not a partial bijection".into());
+    }
+    sb.permute_qubits(&perm);
+    if sa.equiv(&sb) {
+        Ok(())
+    } else {
+        Err("routed circuit does not prepare the original state (stabilizer check)".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for backend in Backend::ALL {
+            assert_eq!(Backend::parse(backend.name()), Some(backend));
+        }
+        assert_eq!(Backend::parse("STABILIZER"), Some(Backend::Stabilizer));
+        assert_eq!(Backend::parse("gpu"), None);
+        assert_eq!(Backend::parse(""), None);
+    }
+
+    #[test]
+    fn auto_picks_stabilizer_for_clifford() {
+        assert_eq!(
+            Backend::Auto.resolve(&ghz(10)).unwrap(),
+            SimBackend::Stabilizer
+        );
+    }
+
+    #[test]
+    fn auto_picks_sparse_for_few_t() {
+        let mut c = ghz(10);
+        c.t(3);
+        c.t(7);
+        assert_eq!(Backend::Auto.resolve(&c).unwrap(), SimBackend::Sparse);
+    }
+
+    #[test]
+    fn auto_falls_back_to_dense_for_rotation_heavy() {
+        let mut c = Circuit::new(4);
+        for round in 0..5 {
+            for q in 0..4 {
+                c.ry(0.1 * (round * 4 + q) as f64 + 0.05, q);
+            }
+        }
+        assert!(classify(&c).non_clifford > AUTO_SPARSE_MAX_NON_CLIFFORD);
+        assert_eq!(Backend::Auto.resolve(&c).unwrap(), SimBackend::Dense);
+    }
+
+    #[test]
+    fn explicit_stabilizer_never_falls_back() {
+        let mut c = ghz(4);
+        c.t(0);
+        let err = Backend::Stabilizer.resolve(&c).unwrap_err();
+        assert_eq!(err, BackendError::NonClifford { kind: GateKind::T });
+        assert!(err.to_string().contains("non-Clifford"));
+    }
+
+    #[test]
+    fn explicit_dense_rejects_wide_circuits() {
+        let err = Backend::Dense.resolve(&ghz(30)).unwrap_err();
+        assert!(matches!(
+            err,
+            BackendError::TooManyQubits { qubits: 30, .. }
+        ));
+    }
+
+    #[test]
+    fn classification_counts() {
+        let mut c = ghz(3);
+        c.t(0);
+        c.measure(0, 0);
+        let class = classify(&c);
+        assert_eq!(class.gates, 5);
+        assert_eq!(class.non_clifford, 1);
+        assert_eq!(class.non_unitary, 1);
+        assert_eq!(class.first_non_clifford, Some(GateKind::T));
+    }
+
+    #[test]
+    fn run_counts_agree_across_backends_on_ghz() {
+        let c = ghz(6);
+        for seed in 0..8 {
+            let (be_d, dense) = run_counts(Backend::Dense, &c, 100, seed).unwrap();
+            let (be_st, stab) = run_counts(Backend::Stabilizer, &c, 100, seed).unwrap();
+            let (be_sp, sparse) = run_counts(Backend::Sparse, &c, 100, seed).unwrap();
+            assert_eq!(be_d, SimBackend::Dense);
+            assert_eq!(be_st, SimBackend::Stabilizer);
+            assert_eq!(be_sp, SimBackend::Sparse);
+            assert_eq!(dense, stab, "dense vs stabilizer, seed {seed}");
+            assert_eq!(dense, sparse, "dense vs sparse, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn run_counts_scales_past_dense_on_stabilizer() {
+        let c = ghz(100);
+        let (resolved, counts) = run_counts(Backend::Auto, &c, 50, 1).unwrap();
+        assert_eq!(resolved, SimBackend::Stabilizer);
+        assert_eq!(counts.values().sum::<usize>(), 50);
+        for &idx in counts.keys() {
+            assert!(idx == 0 || idx == (1u128 << 100) - 1);
+        }
+    }
+
+    #[test]
+    fn differential_check_accepts_commuting_reorder() {
+        let mut a = Circuit::new(3);
+        a.h(0);
+        a.cx(0, 1);
+        a.cx(0, 2);
+        let mut b = Circuit::new(3);
+        b.h(0);
+        b.cx(0, 2); // commutes with cx(0,1)
+        b.cx(0, 1);
+        assert_eq!(
+            differential_check(&a, &b, Backend::Auto, 0).unwrap(),
+            SimBackend::Stabilizer
+        );
+    }
+
+    #[test]
+    fn differential_check_rejects_differing_circuits() {
+        let a = ghz(3);
+        let mut b = ghz(3);
+        b.z(1);
+        assert!(differential_check(&a, &b, Backend::Auto, 0).is_err());
+        assert!(differential_check(&a, &b, Backend::Dense, 0).is_err());
+        assert!(differential_check(&a, &b, Backend::Sparse, 0).is_err());
+    }
+
+    #[test]
+    fn routed_equivalence_through_a_swap() {
+        // Original: cx(0,2) on 3 qubits. "Routed": swap(1,2); cx(0,1)
+        // leaves logical 2 on physical 1.
+        let mut original = Circuit::new(3);
+        original.h(0);
+        original.cx(0, 2);
+        let mut physical = Circuit::new(3);
+        physical.h(0);
+        physical.swap(1, 2);
+        physical.cx(0, 1);
+        let logical_of = vec![Some(0), Some(2), Some(1)];
+        check_routed_equivalence_stabilizer(&original, &physical, &logical_of).unwrap();
+        // The same mapping with the wrong target must fail.
+        let mut bad = Circuit::new(3);
+        bad.h(0);
+        bad.swap(1, 2);
+        bad.cx(0, 2);
+        assert!(check_routed_equivalence_stabilizer(&original, &bad, &logical_of).is_err());
+    }
+}

@@ -11,7 +11,13 @@
 //! * [`exec`] — schedule-aware execution: each qubit accumulates noise
 //!   for exactly the cycles it spends between gates, so *shorter
 //!   schedules suffer less decoherence* — the effect CODAR exploits,
-//! * [`mod@fidelity`] — Monte-Carlo trajectory fidelity estimation.
+//! * [`mod@fidelity`] — Monte-Carlo trajectory fidelity estimation,
+//! * [`stabilizer`] — a bit-packed Aaronson–Gottesman tableau for
+//!   Clifford circuits at device scale (hundreds of qubits),
+//! * [`sparse`] — an amplitude-map simulator, bit-identical to the
+//!   dense engine, bounded by support size instead of qubit count,
+//! * [`backend`] — the [`Backend`] selector unifying the three engines
+//!   with per-circuit auto-classification.
 //!
 //! # Examples
 //!
@@ -29,15 +35,21 @@
 //! assert!((state.probability_of(0b11) - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod backend;
 pub mod complex;
 pub mod exec;
 pub mod fidelity;
 pub mod gates;
 pub mod measure;
 pub mod noise;
+pub mod sparse;
+pub mod stabilizer;
 pub mod state;
 
+pub use backend::{Backend, BackendError, SimBackend};
 pub use complex::Complex64;
 pub use fidelity::{fidelity, FidelityReport};
 pub use noise::NoiseModel;
+pub use sparse::SparseState;
+pub use stabilizer::StabilizerState;
 pub use state::StateVector;

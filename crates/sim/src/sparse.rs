@@ -1,0 +1,560 @@
+//! Sparse amplitude-map simulation for few-branching circuits.
+//!
+//! Stores only nonzero amplitudes, keyed by 128-bit basis index in an
+//! ordered map, so circuits whose states stay concentrated on few basis
+//! states (GHZ ladders, adders on basis inputs, few-T Clifford mixes)
+//! simulate in memory proportional to the support instead of `2^n` —
+//! beyond the dense simulator's 26-qubit cap.
+//!
+//! Every primitive mirrors the dense [`crate::StateVector`] operation
+//! for operation: the same 2×2 matrix formulas, the same index-ordered
+//! probability sums (absent entries contribute an exact `+0.0`, which is
+//! an additive identity), the same `gen_bool`/`gen::<f64>` randomness
+//! shape. On any circuit both backends can run, the sparse amplitudes —
+//! and therefore measurement outcomes and sampled counts — are
+//! **bit-identical** to the dense ones.
+//!
+//! A configurable nonzero budget bounds memory: a gate that would grow
+//! the support past the budget fails with [`SparseOverflow`] instead of
+//! thrashing.
+
+use crate::complex::Complex64;
+use crate::gates::{single_qubit_matrix, u3_matrix};
+use codar_circuit::{Circuit, Gate, GateKind};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default cap on concurrently-nonzero amplitudes (1 MiB of keys).
+pub const DEFAULT_NONZERO_BUDGET: usize = 1 << 16;
+
+/// Error raised when a gate would push the support past the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseOverflow {
+    /// Support size the gate would have produced.
+    pub nonzeros: usize,
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl fmt::Display for SparseOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sparse state exceeded its nonzero-amplitude budget: {} > {}",
+            self.nonzeros, self.budget
+        )
+    }
+}
+
+impl std::error::Error for SparseOverflow {}
+
+/// A pure state stored as its nonzero amplitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseState {
+    num_qubits: usize,
+    amps: BTreeMap<u128, Complex64>,
+    budget: usize,
+}
+
+impl SparseState {
+    /// The all-zeros state with the [default budget](DEFAULT_NONZERO_BUDGET).
+    pub fn zero(num_qubits: usize) -> Self {
+        SparseState::zero_with_budget(num_qubits, DEFAULT_NONZERO_BUDGET)
+    }
+
+    /// The all-zeros state with an explicit nonzero budget.
+    pub fn zero_with_budget(num_qubits: usize, budget: usize) -> Self {
+        assert!(
+            num_qubits <= 128,
+            "sparse basis indices are 128-bit: {num_qubits} qubits"
+        );
+        let mut amps = BTreeMap::new();
+        amps.insert(0u128, Complex64::ONE);
+        SparseState {
+            num_qubits,
+            amps,
+            budget: budget.max(1),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Current support size.
+    pub fn nonzeros(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The configured nonzero budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Amplitude of one basis state (zero when absent).
+    pub fn amplitude(&self, index: u128) -> Complex64 {
+        self.amps.get(&index).copied().unwrap_or(Complex64::ZERO)
+    }
+
+    /// The nonzero amplitudes in ascending basis-index order.
+    pub fn entries(&self) -> impl Iterator<Item = (u128, Complex64)> + '_ {
+        self.amps.iter().map(|(&i, &a)| (i, a))
+    }
+
+    /// Squared norm, summed in basis-index order like the dense
+    /// simulator (absent entries add an exact `+0.0`).
+    pub fn norm_sqr(&self) -> f64 {
+        let mut acc = 0.0;
+        for a in self.amps.values() {
+            acc += a.norm_sqr();
+        }
+        acc
+    }
+
+    /// Probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let mask = 1u128 << q;
+        let mut acc = 0.0;
+        for (&i, a) in &self.amps {
+            if i & mask != 0 {
+                acc += a.norm_sqr();
+            }
+        }
+        acc
+    }
+
+    /// `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn inner_product(&self, other: &SparseState) -> Complex64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        let mut acc = Complex64::ZERO;
+        for (&i, a) in &self.amps {
+            if let Some(b) = other.amps.get(&i) {
+                acc += a.conj() * *b;
+            }
+        }
+        acc
+    }
+
+    /// `|⟨self|other⟩|²`.
+    pub fn fidelity_with(&self, other: &SparseState) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    fn check_budget(&self, nonzeros: usize) -> Result<(), SparseOverflow> {
+        if nonzeros > self.budget {
+            Err(SparseOverflow {
+                nonzeros,
+                budget: self.budget,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Applies a single-qubit unitary `m` (row-major 2×2) to qubit `q`,
+    /// with the dense simulator's exact pairing arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseOverflow`] if the result would exceed the budget.
+    pub fn apply_single(
+        &mut self,
+        q: usize,
+        m: &[[Complex64; 2]; 2],
+    ) -> Result<(), SparseOverflow> {
+        let mask = 1u128 << q;
+        let mut out = BTreeMap::new();
+        for (&idx, _) in &self.amps {
+            let base = idx & !mask;
+            if idx & mask != 0 && self.amps.contains_key(&base) {
+                continue; // pair already handled at its base index
+            }
+            let a0 = self.amplitude(base);
+            let a1 = self.amplitude(base | mask);
+            let n0 = m[0][0] * a0 + m[0][1] * a1;
+            let n1 = m[1][0] * a0 + m[1][1] * a1;
+            if n0.re != 0.0 || n0.im != 0.0 {
+                out.insert(base, n0);
+            }
+            if n1.re != 0.0 || n1.im != 0.0 {
+                out.insert(base | mask, n1);
+            }
+        }
+        self.check_budget(out.len())?;
+        self.amps = out;
+        Ok(())
+    }
+
+    /// Applies a single-qubit unitary to `target`, controlled on every
+    /// qubit in `controls` being 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseOverflow`] if the result would exceed the budget.
+    pub fn apply_controlled(
+        &mut self,
+        controls: &[usize],
+        target: usize,
+        m: &[[Complex64; 2]; 2],
+    ) -> Result<(), SparseOverflow> {
+        let tmask = 1u128 << target;
+        let cmask: u128 = controls.iter().map(|&c| 1u128 << c).sum();
+        let mut out = BTreeMap::new();
+        for (&idx, &amp) in &self.amps {
+            if idx & cmask != cmask {
+                out.insert(idx, amp);
+                continue;
+            }
+            let base = idx & !tmask;
+            if idx & tmask != 0 && self.amps.contains_key(&base) {
+                continue;
+            }
+            let a0 = self.amplitude(base);
+            let a1 = self.amplitude(base | tmask);
+            let n0 = m[0][0] * a0 + m[0][1] * a1;
+            let n1 = m[1][0] * a0 + m[1][1] * a1;
+            if n0.re != 0.0 || n0.im != 0.0 {
+                out.insert(base, n0);
+            }
+            if n1.re != 0.0 || n1.im != 0.0 {
+                out.insert(base | tmask, n1);
+            }
+        }
+        self.check_budget(out.len())?;
+        self.amps = out;
+        Ok(())
+    }
+
+    /// Swaps qubits `a` and `b` — a pure key relabeling, no arithmetic.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        let amask = 1u128 << a;
+        let bmask = 1u128 << b;
+        let mut out = BTreeMap::new();
+        for (&idx, &amp) in &self.amps {
+            let bit_a = idx & amask != 0;
+            let bit_b = idx & bmask != 0;
+            let mut new = idx;
+            if bit_a != bit_b {
+                new ^= amask | bmask;
+            }
+            out.insert(new, amp);
+        }
+        self.amps = out;
+    }
+
+    /// Projectively measures qubit `q`, collapsing the state; consumes
+    /// one `gen_bool` exactly like the dense simulator.
+    pub fn measure_qubit(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        self.project(q, outcome);
+        outcome
+    }
+
+    /// Projects qubit `q` onto `value` and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has zero probability.
+    pub fn project(&mut self, q: usize, value: bool) {
+        let mask = 1u128 << q;
+        self.amps.retain(|&i, _| ((i & mask) != 0) == value);
+        let norm = self.norm_sqr().sqrt();
+        assert!(norm > 1e-300, "cannot normalize the zero vector");
+        let inv = 1.0 / norm;
+        for a in self.amps.values_mut() {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Applies one IR gate, dispatching exactly like the dense
+    /// [`crate::gates::apply_gate`] (same decompositions for `rzz`, `rxx`,
+    /// `cswap`, same matrices for everything else).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseOverflow`] if the support outgrows the budget.
+    pub fn apply_gate(&mut self, gate: &Gate, rng: &mut impl Rng) -> Result<(), SparseOverflow> {
+        let q = &gate.qubits;
+        match gate.kind {
+            GateKind::Barrier => {}
+            GateKind::Measure => {
+                self.measure_qubit(q[0], rng);
+            }
+            GateKind::Reset => {
+                if self.measure_qubit(q[0], rng) {
+                    let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+                    self.apply_single(q[0], &x)?;
+                }
+            }
+            GateKind::Swap => self.apply_swap(q[0], q[1]),
+            GateKind::Cx => {
+                let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+                self.apply_controlled(&[q[0]], q[1], &x)?;
+            }
+            GateKind::Cy => {
+                let y = single_qubit_matrix(GateKind::Y, &[]).expect("Y is single-qubit");
+                self.apply_controlled(&[q[0]], q[1], &y)?;
+            }
+            GateKind::Cz => {
+                let z = single_qubit_matrix(GateKind::Z, &[]).expect("Z is single-qubit");
+                self.apply_controlled(&[q[0]], q[1], &z)?;
+            }
+            GateKind::Ch => {
+                let h = single_qubit_matrix(GateKind::H, &[]).expect("H is single-qubit");
+                self.apply_controlled(&[q[0]], q[1], &h)?;
+            }
+            GateKind::Crz => {
+                let m = [
+                    [
+                        Complex64::from_angle(-gate.params[0] / 2.0),
+                        Complex64::ZERO,
+                    ],
+                    [Complex64::ZERO, Complex64::from_angle(gate.params[0] / 2.0)],
+                ];
+                self.apply_controlled(&[q[0]], q[1], &m)?;
+            }
+            GateKind::Cu1 => {
+                let m = u3_matrix(0.0, 0.0, gate.params[0]);
+                self.apply_controlled(&[q[0]], q[1], &m)?;
+            }
+            GateKind::Cu3 => {
+                let m = u3_matrix(gate.params[0], gate.params[1], gate.params[2]);
+                self.apply_controlled(&[q[0]], q[1], &m)?;
+            }
+            GateKind::Rzz => {
+                self.apply_rzz(q[0], q[1], gate.params[0])?;
+            }
+            GateKind::Rxx => {
+                let h = single_qubit_matrix(GateKind::H, &[]).expect("H is single-qubit");
+                self.apply_single(q[0], &h)?;
+                self.apply_single(q[1], &h)?;
+                self.apply_rzz(q[0], q[1], gate.params[0])?;
+                self.apply_single(q[0], &h)?;
+                self.apply_single(q[1], &h)?;
+            }
+            GateKind::Ccx => {
+                let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+                self.apply_controlled(&[q[0], q[1]], q[2], &x)?;
+            }
+            GateKind::Cswap => {
+                let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+                self.apply_controlled(&[q[2]], q[1], &x)?;
+                self.apply_controlled(&[q[0], q[1]], q[2], &x)?;
+                self.apply_controlled(&[q[2]], q[1], &x)?;
+            }
+            kind => {
+                let m = single_qubit_matrix(kind, &gate.params)
+                    .expect("all remaining kinds are single-qubit");
+                self.apply_single(q[0], &m)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_rzz(&mut self, a: usize, b: usize, theta: f64) -> Result<(), SparseOverflow> {
+        let x = single_qubit_matrix(GateKind::X, &[]).expect("X is single-qubit");
+        let u1 = u3_matrix(0.0, 0.0, theta);
+        self.apply_controlled(&[a], b, &x)?;
+        self.apply_single(b, &u1)?;
+        self.apply_controlled(&[a], b, &x)?;
+        Ok(())
+    }
+
+    /// Runs a whole circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseOverflow`] at the first gate that would exceed
+    /// the budget.
+    pub fn apply_circuit(
+        &mut self,
+        circuit: &Circuit,
+        rng: &mut impl Rng,
+    ) -> Result<(), SparseOverflow> {
+        for gate in circuit.gates() {
+            self.apply_gate(gate, rng)?;
+        }
+        Ok(())
+    }
+
+    /// Samples `shots` whole-register measurements without collapsing,
+    /// mirroring [`crate::measure::sample_counts`]: cumulative probabilities in
+    /// basis-index order, one `gen::<f64>()` per shot. Bit-identical to
+    /// the dense sampler whenever both can run the circuit.
+    pub fn sample_counts(&self, shots: usize, rng: &mut impl Rng) -> BTreeMap<u128, usize> {
+        let mut indices = Vec::with_capacity(self.amps.len());
+        let mut cumulative = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0;
+        for (&i, a) in &self.amps {
+            acc += a.norm_sqr();
+            indices.push(i);
+            cumulative.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            let r = rng.gen::<f64>() * total;
+            let idx = cumulative.partition_point(|&c| c < r);
+            let member = indices[idx.min(indices.len() - 1)];
+            *counts.entry(member).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_ideal;
+    use crate::measure::sample_counts;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_sparse(circuit: &Circuit, seed: u64) -> SparseState {
+        let mut state = SparseState::zero(circuit.num_qubits());
+        let mut rng = StdRng::seed_from_u64(seed);
+        state.apply_circuit(circuit, &mut rng).expect("in budget");
+        state
+    }
+
+    #[test]
+    fn bell_pair_support() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let s = run_sparse(&c, 0);
+        // The u3-derived X matrix carries ~1e-17 off-diagonal residue
+        // (dense keeps the same residue — support mirrors it exactly).
+        assert!(s.nonzeros() <= 4, "support {}", s.nonzeros());
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert!((s.prob_one(0) - 0.5).abs() < 1e-12);
+        assert!((s.amplitude(0b00).norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((s.amplitude(0b11).norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitudes_are_bitwise_dense() {
+        // A mixed Clifford+T+rotation circuit both backends can run:
+        // every sparse amplitude must equal the dense one bit for bit.
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 1);
+        c.t(1);
+        c.rz(0.37, 2);
+        c.cx(1, 2);
+        c.h(3);
+        c.rzz(0.9, 2, 3);
+        c.ccx(0, 1, 3);
+        let sparse = run_sparse(&c, 0);
+        let dense = run_ideal(&c);
+        for (i, &amp) in dense.amplitudes().iter().enumerate() {
+            let s = sparse.amplitude(i as u128);
+            assert_eq!(s.re.to_bits(), amp.re.to_bits(), "re mismatch at {i}");
+            assert_eq!(s.im.to_bits(), amp.im.to_bits(), "im mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_bitwise_dense() {
+        let mut c = Circuit::new(5);
+        c.h(0);
+        c.cx(0, 1);
+        c.t(0);
+        c.h(2);
+        c.cu1(0.4, 2, 3);
+        c.cx(3, 4);
+        let sparse = run_sparse(&c, 0);
+        let dense = run_ideal(&c);
+        for seed in 0..5 {
+            let a = sparse.sample_counts(200, &mut StdRng::seed_from_u64(seed));
+            let b = sample_counts(&dense, 200, &mut StdRng::seed_from_u64(seed));
+            let b128: BTreeMap<u128, usize> = b.into_iter().map(|(k, v)| (k as u128, v)).collect();
+            assert_eq!(a, b128, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn measurement_stream_matches_dense() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.measure(0, 0);
+        c.h(2);
+        c.measure(2, 1);
+        for seed in 0..16 {
+            let sparse = run_sparse(&c, seed);
+            let mut dense = crate::StateVector::zero(3);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for g in c.gates() {
+                crate::gates::apply_gate(&mut dense, g, &mut rng);
+            }
+            for (i, &amp) in dense.amplitudes().iter().enumerate() {
+                let s = sparse.amplitude(i as u128);
+                assert_eq!(s.re.to_bits(), amp.re.to_bits(), "seed {seed} idx {i}");
+                assert_eq!(s.im.to_bits(), amp.im.to_bits(), "seed {seed} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_overflow_is_reported() {
+        let mut s = SparseState::zero_with_budget(4, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        let err = s.apply_circuit(&c, &mut rng).unwrap_err();
+        assert_eq!(err.budget, 3);
+        assert!(err.nonzeros > 3);
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn ghz_beyond_dense_cap() {
+        // 100 qubits: two dominant members plus one ~1e-17 residue per
+        // CX (the dense simulator's u3-derived X matrix is not exactly
+        // off-diagonal); support stays linear in n, far under budget.
+        let n = 100;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        let s = run_sparse(&c, 0);
+        assert!(s.nonzeros() <= 2 * n, "support {}", s.nonzeros());
+        assert!((s.amplitude(0).norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((s.amplitude((1u128 << n) - 1).norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_relabels_keys() {
+        let mut c = Circuit::new(3);
+        c.x(0);
+        c.h(1);
+        c.swap(0, 2);
+        let s = run_sparse(&c, 0);
+        assert!((s.prob_one(2) - 1.0).abs() < 1e-12);
+        assert!(s.prob_one(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_equivalent_preparations() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        a.z(0);
+        a.h(0); // = X
+        let mut b = Circuit::new(2);
+        b.x(0);
+        let sa = run_sparse(&a, 0);
+        let sb = run_sparse(&b, 0);
+        assert!((sa.fidelity_with(&sb) - 1.0).abs() < 1e-12);
+    }
+}

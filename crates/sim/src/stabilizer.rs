@@ -1,0 +1,938 @@
+//! Aaronson–Gottesman stabilizer tableau simulation.
+//!
+//! Represents an `n`-qubit stabilizer state as the standard `2n + 1`-row
+//! tableau: `n` destabilizer rows, `n` stabilizer rows, and one scratch
+//! row used for deterministic-measurement phase computation. Each row is
+//! a signed Pauli string encoded as an X bit, a Z bit per qubit and a
+//! phase bit (`(x, z) = (1, 1)` encodes `Y`).
+//!
+//! The tableau is stored **column-major and bit-packed**: for each qubit
+//! the X (and Z) bits of all `2n + 1` rows are packed into `u64` words,
+//! so a Clifford gate touches a constant number of columns and updates
+//! all rows with `⌈(2n + 1) / 64⌉` word operations per column — the
+//! whole-tableau cost of a gate is `O(n / w)` words instead of `O(n)`
+//! bit flips, and a full `O(n²)`-gate Clifford circuit costs `O(n² / w)`
+//! word operations.
+//!
+//! Measurement follows the CHP algorithm: a qubit whose X column is
+//! empty across the stabilizer rows has a deterministic outcome
+//! (computed into the scratch row via `rowsum`); otherwise the outcome
+//! is a fair coin consumed from the caller's [`Rng`] with the same
+//! `gen_bool` call shape the dense simulator uses, so seeded runs stay
+//! aligned between backends.
+
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use codar_circuit::{Circuit, Gate, GateKind};
+
+/// Hard cap on `2^k` support enumeration (`k` = free qubits) when
+/// sampling: beyond this the member list would not fit in memory.
+pub const SUPPORT_ENUMERATION_LIMIT: u32 = 26;
+
+/// Error returned when a non-Clifford gate reaches the tableau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonCliffordGate {
+    /// The offending gate kind.
+    pub kind: GateKind,
+}
+
+impl fmt::Display for NonCliffordGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate `{}` is not Clifford and cannot run on the stabilizer backend",
+            self.kind.name()
+        )
+    }
+}
+
+impl std::error::Error for NonCliffordGate {}
+
+/// True when `kind` is simulable on the tableau: the Clifford generators
+/// available in the IR plus the non-unitary `Measure`/`Reset`/`Barrier`.
+pub fn is_clifford_kind(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::Id
+            | GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::H
+            | GateKind::S
+            | GateKind::Sdg
+            | GateKind::Cx
+            | GateKind::Cy
+            | GateKind::Cz
+            | GateKind::Swap
+            | GateKind::Measure
+            | GateKind::Reset
+            | GateKind::Barrier
+    )
+}
+
+/// A canonical signed Pauli generator in row-major packing (one word
+/// stream over qubits for X, one for Z, plus the sign bit). Produced by
+/// [`StabilizerState::canonical_generators`]; two states are equal up to
+/// global phase iff their canonical generator lists are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliRow {
+    /// X bits, packed little-endian over qubit index.
+    pub x: Vec<u64>,
+    /// Z bits, packed little-endian over qubit index.
+    pub z: Vec<u64>,
+    /// Sign bit: the generator is `(-1)^r · P`.
+    pub r: bool,
+}
+
+impl PauliRow {
+    fn bit(words: &[u64], q: usize) -> bool {
+        words[q >> 6] >> (q & 63) & 1 == 1
+    }
+
+    /// Multiplies `other` into `self` (`self := other · self`),
+    /// accumulating the sign through the Aaronson–Gottesman `g`
+    /// function. Both operands must commute (true for members of one
+    /// stabilizer group), so the resulting `i`-power is always even.
+    fn mul_assign(&mut self, other: &PauliRow, num_qubits: usize) {
+        let mut sum: i32 = 2 * (self.r as i32) + 2 * (other.r as i32);
+        for q in 0..num_qubits {
+            let x1 = PauliRow::bit(&other.x, q) as i32;
+            let z1 = PauliRow::bit(&other.z, q) as i32;
+            let x2 = PauliRow::bit(&self.x, q) as i32;
+            let z2 = PauliRow::bit(&self.z, q) as i32;
+            sum += g_phase(x1, z1, x2, z2);
+        }
+        for (a, b) in self.x.iter_mut().zip(&other.x) {
+            *a ^= b;
+        }
+        for (a, b) in self.z.iter_mut().zip(&other.z) {
+            *a ^= b;
+        }
+        let rem = sum.rem_euclid(4);
+        debug_assert!(rem == 0 || rem == 2, "odd i-power in stabilizer product");
+        self.r = rem == 2;
+    }
+}
+
+/// The exponent of `i` contributed by multiplying single-qubit Paulis
+/// `(x1, z1) · (x2, z2)` (Aaronson–Gottesman's `g`).
+fn g_phase(x1: i32, z1: i32, x2: i32, z2: i32) -> i32 {
+    match (x1, z1) {
+        (0, 0) => 0,
+        (1, 1) => z2 - x2,
+        (1, 0) => z2 * (2 * x2 - 1),
+        _ => x2 * (1 - 2 * z2),
+    }
+}
+
+/// The basis-state support of a stabilizer state: a uniform distribution
+/// over `2^k` members of an affine subspace of `F₂ⁿ`.
+#[derive(Debug, Clone)]
+pub struct Support {
+    /// All support members as basis indices (qubit `q` is bit `q`),
+    /// ascending. Every member has probability `2^-free` exactly.
+    pub members: Vec<u128>,
+    /// Affine-subspace dimension `k` (`members.len() == 2^k`).
+    pub free: u32,
+}
+
+/// An `n`-qubit stabilizer state.
+#[derive(Debug, Clone)]
+pub struct StabilizerState {
+    num_qubits: usize,
+    /// Words per column (`⌈(2n + 1) / 64⌉` rows packed little-endian).
+    words: usize,
+    /// X bit columns, `num_qubits * words` long; column `q` occupies
+    /// `x[q * words .. (q + 1) * words]`.
+    x: Vec<u64>,
+    /// Z bit columns, same layout as `x`.
+    z: Vec<u64>,
+    /// Phase bits of all rows, packed like one extra column.
+    r: Vec<u64>,
+}
+
+impl StabilizerState {
+    /// The all-zeros state `|0…0⟩`: destabilizer `i` is `Xᵢ`, stabilizer
+    /// `i` is `Zᵢ`.
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(
+            num_qubits <= 128,
+            "stabilizer basis indices are 128-bit: {num_qubits} qubits"
+        );
+        let rows = 2 * num_qubits + 1;
+        let words = rows.div_ceil(64);
+        let mut state = StabilizerState {
+            num_qubits,
+            words,
+            x: vec![0; num_qubits * words],
+            z: vec![0; num_qubits * words],
+            r: vec![0; words],
+        };
+        for q in 0..num_qubits {
+            state.set_bit_x(q, q, true);
+            state.set_bit_z(q, num_qubits + q, true);
+        }
+        state
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    #[inline]
+    fn col(&self, q: usize) -> usize {
+        q * self.words
+    }
+
+    #[inline]
+    fn bit_x(&self, q: usize, row: usize) -> bool {
+        self.x[self.col(q) + (row >> 6)] >> (row & 63) & 1 == 1
+    }
+
+    #[inline]
+    fn bit_z(&self, q: usize, row: usize) -> bool {
+        self.z[self.col(q) + (row >> 6)] >> (row & 63) & 1 == 1
+    }
+
+    #[inline]
+    fn bit_r(&self, row: usize) -> bool {
+        self.r[row >> 6] >> (row & 63) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit_x(&mut self, q: usize, row: usize, value: bool) {
+        let idx = self.col(q) + (row >> 6);
+        let mask = 1u64 << (row & 63);
+        if value {
+            self.x[idx] |= mask;
+        } else {
+            self.x[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn set_bit_z(&mut self, q: usize, row: usize, value: bool) {
+        let idx = self.col(q) + (row >> 6);
+        let mask = 1u64 << (row & 63);
+        if value {
+            self.z[idx] |= mask;
+        } else {
+            self.z[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn set_bit_r(&mut self, row: usize, value: bool) {
+        let mask = 1u64 << (row & 63);
+        if value {
+            self.r[row >> 6] |= mask;
+        } else {
+            self.r[row >> 6] &= !mask;
+        }
+    }
+
+    // ---- Clifford generators (all rows updated per word) -------------
+
+    /// Hadamard on `q`: swaps the X and Z columns, `r ^= x·z`.
+    pub fn h(&mut self, q: usize) {
+        let off = self.col(q);
+        for w in 0..self.words {
+            let xv = self.x[off + w];
+            let zv = self.z[off + w];
+            self.r[w] ^= xv & zv;
+            self.x[off + w] = zv;
+            self.z[off + w] = xv;
+        }
+    }
+
+    /// Phase gate S on `q`: `r ^= x·z`, then `z ^= x`.
+    pub fn s(&mut self, q: usize) {
+        let off = self.col(q);
+        for w in 0..self.words {
+            let xv = self.x[off + w];
+            self.r[w] ^= xv & self.z[off + w];
+            self.z[off + w] ^= xv;
+        }
+    }
+
+    /// S†: `z ^= x`, then `r ^= x·z` (with the updated Z).
+    pub fn sdg(&mut self, q: usize) {
+        let off = self.col(q);
+        for w in 0..self.words {
+            let xv = self.x[off + w];
+            self.z[off + w] ^= xv;
+            self.r[w] ^= xv & self.z[off + w];
+        }
+    }
+
+    /// Pauli-X on `q`: flips signs of rows anticommuting with X.
+    pub fn x(&mut self, q: usize) {
+        let off = self.col(q);
+        for w in 0..self.words {
+            self.r[w] ^= self.z[off + w];
+        }
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) {
+        let off = self.col(q);
+        for w in 0..self.words {
+            self.r[w] ^= self.x[off + w] ^ self.z[off + w];
+        }
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: usize) {
+        let off = self.col(q);
+        for w in 0..self.words {
+            self.r[w] ^= self.x[off + w];
+        }
+    }
+
+    /// CNOT with control `a`, target `b`.
+    pub fn cx(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "cx needs distinct qubits");
+        let (ca, cb) = (self.col(a), self.col(b));
+        for w in 0..self.words {
+            let xa = self.x[ca + w];
+            let za = self.z[ca + w];
+            let xb = self.x[cb + w];
+            let zb = self.z[cb + w];
+            self.r[w] ^= xa & zb & (xb ^ za ^ !0);
+            self.x[cb + w] = xb ^ xa;
+            self.z[ca + w] = za ^ zb;
+        }
+    }
+
+    /// Controlled-Z (symmetric), via `H_b · CX_ab · H_b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// Controlled-Y, via `S_b · CX_ab · S†_b`.
+    pub fn cy(&mut self, a: usize, b: usize) {
+        self.sdg(b);
+        self.cx(a, b);
+        self.s(b);
+    }
+
+    /// SWAP of qubits `a` and `b` — a column exchange, no phase change.
+    pub fn swap_qubits(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (ca, cb) = (self.col(a), self.col(b));
+        for w in 0..self.words {
+            self.x.swap(ca + w, cb + w);
+            self.z.swap(ca + w, cb + w);
+        }
+    }
+
+    /// Relabels qubits: `perm[old] = new` (must be a permutation).
+    pub fn permute_qubits(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.num_qubits, "permutation length mismatch");
+        let words = self.words;
+        let mut new_x = vec![0u64; self.x.len()];
+        let mut new_z = vec![0u64; self.z.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            new_x[new * words..(new + 1) * words]
+                .copy_from_slice(&self.x[old * words..(old + 1) * words]);
+            new_z[new * words..(new + 1) * words]
+                .copy_from_slice(&self.z[old * words..(old + 1) * words]);
+        }
+        self.x = new_x;
+        self.z = new_z;
+    }
+
+    // ---- rowsum and measurement --------------------------------------
+
+    /// `row h := row i · row h` with Aaronson–Gottesman sign tracking.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut sum: i32 = 2 * (self.bit_r(h) as i32) + 2 * (self.bit_r(i) as i32);
+        for q in 0..self.num_qubits {
+            let x1 = self.bit_x(q, i) as i32;
+            let z1 = self.bit_z(q, i) as i32;
+            let x2 = self.bit_x(q, h) as i32;
+            let z2 = self.bit_z(q, h) as i32;
+            sum += g_phase(x1, z1, x2, z2);
+            if x1 == 1 {
+                self.set_bit_x(q, h, x2 == 0);
+            }
+            if z1 == 1 {
+                self.set_bit_z(q, h, z2 == 0);
+            }
+        }
+        let rem = sum.rem_euclid(4);
+        // Destabilizer rows may legitimately accumulate an odd i-power:
+        // measurement rowsums combine row i with a pivot it can
+        // anticommute with (D_j vs its paired S_j). Their signs are
+        // never observed, so truncating the phase is harmless — but
+        // stabilizer and scratch rows must always stay even.
+        debug_assert!(
+            h < self.num_qubits || rem == 0 || rem == 2,
+            "odd i-power in stabilizer rowsum"
+        );
+        self.set_bit_r(h, rem >= 2);
+    }
+
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        for q in 0..self.num_qubits {
+            let xv = self.bit_x(q, src);
+            let zv = self.bit_z(q, src);
+            self.set_bit_x(q, dst, xv);
+            self.set_bit_z(q, dst, zv);
+        }
+        let rv = self.bit_r(src);
+        self.set_bit_r(dst, rv);
+    }
+
+    fn clear_row(&mut self, row: usize) {
+        for q in 0..self.num_qubits {
+            self.set_bit_x(q, row, false);
+            self.set_bit_z(q, row, false);
+        }
+        self.set_bit_r(row, false);
+    }
+
+    /// First stabilizer row with an X bit on qubit `q`, if any.
+    fn x_pivot(&self, q: usize) -> Option<usize> {
+        let n = self.num_qubits;
+        (n..2 * n).find(|&row| self.bit_x(q, row))
+    }
+
+    /// The deterministic outcome of measuring `q` when no stabilizer
+    /// anticommutes with `Z_q` (computed via the scratch row).
+    fn deterministic_outcome(&mut self, q: usize) -> bool {
+        let n = self.num_qubits;
+        let scratch = 2 * n;
+        self.clear_row(scratch);
+        for i in 0..n {
+            if self.bit_x(q, i) {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        self.bit_r(scratch)
+    }
+
+    /// Probability that measuring `q` yields 1: exactly `0.0`, `0.5` or
+    /// `1.0` for a stabilizer state. Mutates only the scratch row.
+    pub fn prob_one(&mut self, q: usize) -> f64 {
+        if self.x_pivot(q).is_some() {
+            0.5
+        } else if self.deterministic_outcome(q) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Projectively measures qubit `q`, collapsing the tableau; returns
+    /// the observed bit.
+    ///
+    /// Always consumes exactly one `gen_bool` from `rng` — the same
+    /// randomness shape as the dense [`crate::StateVector::measure_qubit`]
+    /// — so mixed-backend runs sharing a seed stay reproducible.
+    pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        let n = self.num_qubits;
+        let pivot = self.x_pivot(q);
+        let p1 = match pivot {
+            Some(_) => 0.5,
+            None => {
+                if self.deterministic_outcome(q) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        let outcome = rng.gen_bool(p1);
+        if let Some(p) = pivot {
+            for i in 0..2 * n {
+                if i != p && self.bit_x(q, i) {
+                    self.rowsum(i, p);
+                }
+            }
+            self.copy_row(p - n, p);
+            self.clear_row(p);
+            self.set_bit_z(q, p, true);
+            self.set_bit_r(p, outcome);
+        }
+        outcome
+    }
+
+    /// Applies one IR gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonCliffordGate`] when the gate has no Clifford tableau
+    /// update (`T`, rotations, multi-controlled gates, …).
+    pub fn apply_gate(&mut self, gate: &Gate, rng: &mut impl Rng) -> Result<(), NonCliffordGate> {
+        let q = &gate.qubits;
+        match gate.kind {
+            GateKind::Id | GateKind::Barrier => {}
+            GateKind::X => self.x(q[0]),
+            GateKind::Y => self.y(q[0]),
+            GateKind::Z => self.z(q[0]),
+            GateKind::H => self.h(q[0]),
+            GateKind::S => self.s(q[0]),
+            GateKind::Sdg => self.sdg(q[0]),
+            GateKind::Cx => self.cx(q[0], q[1]),
+            GateKind::Cy => self.cy(q[0], q[1]),
+            GateKind::Cz => self.cz(q[0], q[1]),
+            GateKind::Swap => self.swap_qubits(q[0], q[1]),
+            GateKind::Measure => {
+                self.measure(q[0], rng);
+            }
+            GateKind::Reset => {
+                if self.measure(q[0], rng) {
+                    self.x(q[0]);
+                }
+            }
+            kind => return Err(NonCliffordGate { kind }),
+        }
+        Ok(())
+    }
+
+    /// Runs a whole circuit on the tableau.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonCliffordGate`] at the first unsupported gate.
+    pub fn apply_circuit(
+        &mut self,
+        circuit: &Circuit,
+        rng: &mut impl Rng,
+    ) -> Result<(), NonCliffordGate> {
+        for gate in circuit.gates() {
+            self.apply_gate(gate, rng)?;
+        }
+        Ok(())
+    }
+
+    // ---- canonical form, equivalence, support ------------------------
+
+    /// Extracts the stabilizer rows in row-major packing.
+    fn stabilizer_rows(&self) -> Vec<PauliRow> {
+        let n = self.num_qubits;
+        let qwords = n.div_ceil(64).max(1);
+        (n..2 * n)
+            .map(|row| {
+                let mut x = vec![0u64; qwords];
+                let mut z = vec![0u64; qwords];
+                for q in 0..n {
+                    if self.bit_x(q, row) {
+                        x[q >> 6] |= 1u64 << (q & 63);
+                    }
+                    if self.bit_z(q, row) {
+                        z[q >> 6] |= 1u64 << (q & 63);
+                    }
+                }
+                PauliRow {
+                    x,
+                    z,
+                    r: self.bit_r(row),
+                }
+            })
+            .collect()
+    }
+
+    /// The canonical generator list of the stabilizer group: Gaussian
+    /// elimination first over X bits (qubit-ascending pivots), then over
+    /// Z bits of the X-free rows. Two stabilizer states are equal (up to
+    /// global phase) iff their canonical generators are identical.
+    pub fn canonical_generators(&self) -> Vec<PauliRow> {
+        let n = self.num_qubits;
+        let mut rows = self.stabilizer_rows();
+        let mut done = 0;
+        for q in 0..n {
+            if let Some(p) = (done..rows.len()).find(|&i| PauliRow::bit(&rows[i].x, q)) {
+                rows.swap(done, p);
+                let pivot = rows[done].clone();
+                for (i, row) in rows.iter_mut().enumerate() {
+                    if i != done && PauliRow::bit(&row.x, q) {
+                        row.mul_assign(&pivot, n);
+                    }
+                }
+                done += 1;
+            }
+        }
+        for q in 0..n {
+            if let Some(p) = (done..rows.len()).find(|&i| PauliRow::bit(&rows[i].z, q)) {
+                rows.swap(done, p);
+                let pivot = rows[done].clone();
+                for (i, row) in rows.iter_mut().enumerate() {
+                    if i != done && row.x.iter().all(|&w| w == 0) && PauliRow::bit(&row.z, q) {
+                        row.mul_assign(&pivot, n);
+                    }
+                }
+                done += 1;
+            }
+        }
+        rows
+    }
+
+    /// True when `self` and `other` denote the same quantum state (up to
+    /// global phase).
+    pub fn equiv(&self, other: &StabilizerState) -> bool {
+        self.num_qubits == other.num_qubits
+            && self.canonical_generators() == other.canonical_generators()
+    }
+
+    /// The exact basis-state support: the state is uniform (`2^-k` each)
+    /// over an affine subspace of dimension `k`. Returns `None` when
+    /// `k` exceeds [`SUPPORT_ENUMERATION_LIMIT`] (the member list would
+    /// be too large to enumerate).
+    pub fn support(&self) -> Option<Support> {
+        let n = self.num_qubits;
+        let rows = self.canonical_generators();
+        // Z-only rows are linear constraints `z · y ≡ r (mod 2)` on the
+        // support bitstring `y`; the X-pivot rows contribute nothing.
+        let z_rows: Vec<&PauliRow> = rows
+            .iter()
+            .filter(|row| row.x.iter().all(|&w| w == 0))
+            .collect();
+        // Pivot qubit of each constraint (lowest set Z bit — unique per
+        // row after canonicalization).
+        let mut pivots = Vec::with_capacity(z_rows.len());
+        for row in &z_rows {
+            let pivot = (0..n).find(|&q| PauliRow::bit(&row.z, q))?;
+            pivots.push(pivot);
+        }
+        let is_pivot = {
+            let mut mask = vec![false; n];
+            for &p in &pivots {
+                mask[p] = true;
+            }
+            mask
+        };
+        let free_cols: Vec<usize> = (0..n).filter(|&q| !is_pivot[q]).collect();
+        let k = free_cols.len() as u32;
+        if k > SUPPORT_ENUMERATION_LIMIT {
+            return None;
+        }
+        // Particular solution: free bits 0, pivot bits from the signs
+        // (rows are in reduced form over the pivot columns).
+        let mut y0: u128 = 0;
+        for (row, &p) in z_rows.iter().zip(&pivots) {
+            if row.r {
+                y0 |= 1u128 << p;
+            }
+        }
+        // Null-space basis: one vector per free column.
+        let mut basis = Vec::with_capacity(free_cols.len());
+        for &f in &free_cols {
+            let mut v: u128 = 1u128 << f;
+            for (row, &p) in z_rows.iter().zip(&pivots) {
+                if PauliRow::bit(&row.z, f) {
+                    v |= 1u128 << p;
+                }
+            }
+            basis.push(v);
+        }
+        let mut members = Vec::with_capacity(1usize << k);
+        for combo in 0..(1u64 << k) {
+            let mut y = y0;
+            for (j, &v) in basis.iter().enumerate() {
+                if combo >> j & 1 == 1 {
+                    y ^= v;
+                }
+            }
+            members.push(y);
+        }
+        members.sort_unstable();
+        Some(Support { members, free: k })
+    }
+
+    /// Samples `shots` whole-register measurements without collapsing,
+    /// mirroring the dense [`crate::measure::sample_counts`] contract: one
+    /// `gen::<f64>()` per shot against the index-ordered cumulative
+    /// distribution. Member probabilities are exact powers of two, so
+    /// the cumulative sums carry no rounding error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the affine dimension `k` when the support is too large to
+    /// enumerate (`k > `[`SUPPORT_ENUMERATION_LIMIT`]).
+    pub fn sample_counts(
+        &self,
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> Result<BTreeMap<u128, usize>, u32> {
+        let support = match self.support() {
+            Some(s) => s,
+            None => {
+                // Rank of the free space, for the error report.
+                let rows = self.canonical_generators();
+                let z_rows = rows
+                    .iter()
+                    .filter(|row| row.x.iter().all(|&w| w == 0))
+                    .count();
+                return Err((self.num_qubits - z_rows) as u32);
+            }
+        };
+        let p = (support.free as f64).exp2().recip();
+        let mut cumulative = Vec::with_capacity(support.members.len());
+        let mut acc = 0.0;
+        for _ in &support.members {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            let r = rng.gen::<f64>() * total;
+            let idx = cumulative.partition_point(|&c| c < r);
+            let member = support.members[idx.min(support.members.len() - 1)];
+            *counts.entry(member).or_insert(0) += 1;
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(circuit: &Circuit, seed: u64) -> StabilizerState {
+        let mut state = StabilizerState::zero(circuit.num_qubits());
+        let mut rng = StdRng::seed_from_u64(seed);
+        state.apply_circuit(circuit, &mut rng).expect("clifford");
+        state
+    }
+
+    #[test]
+    fn zero_state_measures_zero() {
+        let mut s = StabilizerState::zero(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for q in 0..3 {
+            assert_eq!(s.prob_one(q), 0.0);
+            assert!(!s.measure(q, &mut rng));
+        }
+    }
+
+    #[test]
+    fn x_flips_outcome() {
+        let mut s = StabilizerState::zero(2);
+        s.x(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.prob_one(1), 1.0);
+        assert!(s.measure(1, &mut rng));
+        assert_eq!(s.prob_one(0), 0.0);
+    }
+
+    #[test]
+    fn hadamard_is_fair_and_collapses() {
+        let mut s = StabilizerState::zero(1);
+        s.h(0);
+        assert_eq!(s.prob_one(0), 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = s.measure(0, &mut rng);
+        // Collapsed: re-measuring is deterministic and agrees.
+        assert_eq!(s.prob_one(0), if outcome { 1.0 } else { 0.0 });
+        assert_eq!(s.measure(0, &mut rng), outcome);
+    }
+
+    #[test]
+    fn bell_pair_correlates() {
+        for seed in 0..32 {
+            let mut s = StabilizerState::zero(2);
+            s.h(0);
+            s.cx(0, 1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = s.measure(0, &mut rng);
+            let b = s.measure(1, &mut rng);
+            assert_eq!(a, b, "Bell outcomes must correlate (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn ghz_support_is_two_members() {
+        let mut c = Circuit::new(5);
+        c.h(0);
+        for i in 0..4 {
+            c.cx(i, i + 1);
+        }
+        let s = run(&c, 0);
+        let support = s.support().expect("small support");
+        assert_eq!(support.free, 1);
+        assert_eq!(support.members, vec![0, 0b11111]);
+    }
+
+    #[test]
+    fn plus_state_support_is_full() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.h(q);
+        }
+        let s = run(&c, 0);
+        let support = s.support().expect("small support");
+        assert_eq!(support.free, 3);
+        assert_eq!(support.members, (0..8).collect::<Vec<u128>>());
+    }
+
+    #[test]
+    fn s_gates_compose_to_z() {
+        // H S S H = H Z H = X.
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.s(0);
+        c.s(0);
+        c.h(0);
+        let mut s = run(&c, 0);
+        assert_eq!(s.prob_one(0), 1.0);
+        // And S · Sdg = I.
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.s(0);
+        c.sdg(0);
+        c.h(0);
+        let mut s = run(&c, 0);
+        assert_eq!(s.prob_one(0), 0.0);
+    }
+
+    #[test]
+    fn cz_matches_h_cx_h() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        a.h(1);
+        a.cz(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0);
+        b.h(1);
+        b.h(1);
+        b.cx(0, 1);
+        b.h(1);
+        assert!(run(&a, 0).equiv(&run(&b, 0)));
+    }
+
+    #[test]
+    fn swap_is_column_exchange() {
+        let mut c = Circuit::new(3);
+        c.x(0);
+        c.swap(0, 2);
+        let mut s = run(&c, 0);
+        assert_eq!(s.prob_one(0), 0.0);
+        assert_eq!(s.prob_one(2), 1.0);
+    }
+
+    #[test]
+    fn swap_equals_three_cnots() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        a.s(0);
+        a.swap(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0);
+        b.s(0);
+        b.cx(0, 1);
+        b.cx(1, 0);
+        b.cx(0, 1);
+        assert!(run(&a, 0).equiv(&run(&b, 0)));
+    }
+
+    #[test]
+    fn equiv_distinguishes_phase() {
+        // |+⟩ vs |−⟩ differ only in a stabilizer sign.
+        let mut plus = StabilizerState::zero(1);
+        plus.h(0);
+        let mut minus = StabilizerState::zero(1);
+        minus.x(0);
+        minus.h(0);
+        assert!(!plus.equiv(&minus));
+        assert!(plus.equiv(&plus.clone()));
+    }
+
+    /// Regression: measuring a state whose *destabilizer* carries an X
+    /// bit on the measured qubit rowsums an anticommuting pair (D_j
+    /// with its paired S_j). The sign truncation there must not trip
+    /// the even-phase invariant — minimal case `S·H|0⟩` then measure.
+    #[test]
+    fn measure_tolerates_anticommuting_destabilizer_rowsum() {
+        for seed in 0..16u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = StabilizerState::zero(1);
+            s.s(0);
+            s.h(0);
+            let outcome = s.measure(0, &mut rng);
+            // Collapsed: the outcome is now deterministic and repeats.
+            assert_eq!(s.prob_one(0), if outcome { 1.0 } else { 0.0 });
+            assert_eq!(s.measure(0, &mut rng), outcome);
+        }
+    }
+
+    #[test]
+    fn reset_restores_zero() {
+        for seed in 0..8 {
+            let mut c = Circuit::new(1);
+            c.h(0);
+            c.add(GateKind::Reset, vec![0], vec![]);
+            let mut s = run(&c, seed);
+            assert_eq!(s.prob_one(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn non_clifford_gate_is_rejected() {
+        let mut s = StabilizerState::zero(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let gate = Gate::new(GateKind::T, vec![0], vec![]);
+        let err = s.apply_gate(&gate, &mut rng).unwrap_err();
+        assert_eq!(err.kind, GateKind::T);
+        assert!(err.to_string().contains("not Clifford"));
+    }
+
+    #[test]
+    fn permutation_relabels_qubits() {
+        let mut c = Circuit::new(3);
+        c.x(0);
+        c.h(2);
+        let mut s = run(&c, 0);
+        s.permute_qubits(&[2, 1, 0]);
+        assert_eq!(s.prob_one(2), 1.0);
+        assert_eq!(s.prob_one(0), 0.5);
+        assert_eq!(s.prob_one(1), 0.0);
+    }
+
+    #[test]
+    fn large_ghz_scales_past_the_dense_cap() {
+        // 120 qubits — far beyond the 26-qubit dense limit.
+        let n = 120;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        let s = run(&c, 0);
+        let support = s.support().expect("GHZ support is 2 members");
+        assert_eq!(support.members.len(), 2);
+        assert_eq!(support.members[1], (1u128 << n) - 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 1);
+        c.h(2);
+        c.cx(2, 3);
+        let s = run(&c, 0);
+        let a = s.sample_counts(100, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = s.sample_counts(100, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.values().sum::<usize>(), 100);
+        // All sampled outcomes are Bell-pair-correlated on both halves.
+        for &idx in a.keys() {
+            let low = idx & 0b11;
+            let high = idx >> 2 & 0b11;
+            assert!(low == 0 || low == 3, "bad member {idx:b}");
+            assert!(high == 0 || high == 3, "bad member {idx:b}");
+        }
+    }
+}

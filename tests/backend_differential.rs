@@ -1,0 +1,168 @@
+//! Backend differential tests: the stabilizer and sparse simulation
+//! backends must be *bit-identical* to the dense statevector reference
+//! — not approximately equal. Every backend consumes the seeded RNG in
+//! the same order (gate-level measurements first, then sampling), so
+//! for the same `(circuit, seed, shots)` the three engines must emit
+//! the same outcome multiset, down to the last shot.
+//!
+//! Coverage:
+//! * every ≤20-qubit Clifford circuit in the 71-entry evaluation suite
+//!   (stabilizer vs dense),
+//! * every ≤20-qubit few-T circuit in the suite (sparse vs dense),
+//! * random Clifford circuits: `auto` must select the stabilizer
+//!   backend and still match dense shot-for-shot,
+//! * the engine's `sim` axis across the full device catalog: suite
+//!   summaries byte-identical between 1 and 4 worker threads.
+
+use codar_repro::arch::Device;
+use codar_repro::benchmarks::suite::{full_suite, SuiteEntry};
+use codar_repro::circuit::Circuit;
+use codar_repro::engine::{Backend, EngineConfig, SuiteRunner};
+use codar_repro::sim::backend::{classify, run_counts, AUTO_SPARSE_MAX_NON_CLIFFORD};
+use codar_repro::sim::SimBackend;
+use proptest::prelude::*;
+
+const SHOTS: usize = 48;
+
+/// Seeds per circuit: two on small registers, one once the dense
+/// reference itself gets expensive.
+fn seeds_for(qubits: usize) -> &'static [u64] {
+    if qubits <= 14 {
+        &[1, 0xC0DA]
+    } else {
+        &[1]
+    }
+}
+
+/// Stabilizer vs dense on every Clifford-only suite circuit that the
+/// dense reference can still run: identical outcome multisets under
+/// identical seeds.
+#[test]
+fn suite_clifford_circuits_match_dense_on_the_stabilizer_backend() {
+    let mut covered = 0;
+    for entry in full_suite() {
+        if entry.circuit.num_qubits() > 20 || classify(&entry.circuit).non_clifford != 0 {
+            continue;
+        }
+        covered += 1;
+        for &seed in seeds_for(entry.circuit.num_qubits()) {
+            let (kind, dense) =
+                run_counts(Backend::Dense, &entry.circuit, SHOTS, seed).expect(&entry.name);
+            assert_eq!(kind, SimBackend::Dense);
+            let (kind, stab) =
+                run_counts(Backend::Stabilizer, &entry.circuit, SHOTS, seed).expect(&entry.name);
+            assert_eq!(kind, SimBackend::Stabilizer);
+            assert_eq!(stab, dense, "{} diverges at seed {seed}", entry.name);
+        }
+    }
+    assert!(covered >= 8, "only {covered} Clifford suite circuits");
+}
+
+/// Sparse vs dense on every few-T suite circuit (at most the auto
+/// threshold of non-Clifford gates): the sparse engine is a bitwise
+/// twin of dense, so even the rounding residue must agree.
+#[test]
+fn suite_few_t_circuits_match_dense_on_the_sparse_backend() {
+    let mut covered = 0;
+    for entry in full_suite() {
+        let info = classify(&entry.circuit);
+        if entry.circuit.num_qubits() > 20 || info.non_clifford > AUTO_SPARSE_MAX_NON_CLIFFORD {
+            continue;
+        }
+        covered += 1;
+        for &seed in seeds_for(entry.circuit.num_qubits()) {
+            let (kind, dense) =
+                run_counts(Backend::Dense, &entry.circuit, SHOTS, seed).expect(&entry.name);
+            assert_eq!(kind, SimBackend::Dense);
+            let (kind, sparse) =
+                run_counts(Backend::Sparse, &entry.circuit, SHOTS, seed).expect(&entry.name);
+            assert_eq!(kind, SimBackend::Sparse);
+            assert_eq!(sparse, dense, "{} diverges at seed {seed}", entry.name);
+        }
+    }
+    assert!(covered >= 12, "only {covered} few-T suite circuits");
+}
+
+/// Strategy: a random Clifford circuit (tableau-simulable gates only,
+/// including mid-circuit measurement and reset).
+fn random_clifford_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0u8..11, 0..n, 0..n);
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |ops| {
+        let mut c = Circuit::with_bits(n, n);
+        for (kind, a, b) in ops {
+            let b = if a == b { (a + 1) % n } else { b };
+            match kind {
+                0 => c.h(a),
+                1 => c.s(a),
+                2 => c.sdg(a),
+                3 => c.x(a),
+                4 => c.y(a),
+                5 => c.z(a),
+                6 => c.cx(a, b),
+                7 => c.cz(a, b),
+                8 => c.swap(a, b),
+                9 => c.measure(a, a),
+                _ => c.add(codar_repro::circuit::GateKind::Reset, vec![a], vec![]),
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Auto-selection picks the stabilizer backend for any Clifford
+    /// circuit, and its shots match the explicit dense run bit for bit.
+    #[test]
+    fn auto_selects_stabilizer_and_matches_dense(
+        circuit in random_clifford_circuit(6, 40),
+        seed in 0u64..1024,
+    ) {
+        let resolved = Backend::Auto.resolve(&circuit).expect("clifford resolves");
+        prop_assert_eq!(resolved, SimBackend::Stabilizer);
+        let (kind, auto_counts) =
+            run_counts(Backend::Auto, &circuit, 32, seed).expect("auto runs");
+        prop_assert_eq!(kind, SimBackend::Stabilizer);
+        let (_, dense_counts) =
+            run_counts(Backend::Dense, &circuit, 32, seed).expect("dense runs");
+        prop_assert_eq!(auto_counts, dense_counts);
+    }
+
+    /// The engine's sim axis across the preset device catalog: a
+    /// random Clifford circuit routes with the differential stabilizer
+    /// check on every preset, every report row carries the stabilizer
+    /// label, and the summary JSON is byte-identical between one and
+    /// four worker threads.
+    #[test]
+    fn suite_runner_sim_axis_is_thread_invariant_across_the_catalog(
+        circuit in random_clifford_circuit(5, 24),
+        device_index in 0usize..8,
+        seed in 0u64..64,
+    ) {
+        let (name, _) = Device::presets()[device_index].clone();
+        let run = |threads: usize| {
+            let (_, device) = Device::presets()[device_index].clone();
+            SuiteRunner::new(EngineConfig {
+                threads,
+                seed,
+                ..EngineConfig::default()
+            })
+            .device(device)
+            .entries(vec![SuiteEntry {
+                name: "random_clifford".into(),
+                num_qubits: circuit.num_qubits(),
+                circuit: circuit.clone(),
+            }])
+            .sim_backend(Backend::Auto)
+            .run()
+        };
+        let one = run(1);
+        let four = run(4);
+        prop_assert!(one.failures.is_empty(), "{name}: {:?}", one.failures);
+        prop_assert_eq!(one.summary.to_json(), four.summary.to_json());
+        for row in &one.summary.rows {
+            prop_assert_eq!(row.sim.as_deref(), Some("stabilizer"));
+        }
+    }
+}
