@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! codar-fuzz [--seed S] [--iterations N]
-//!            [--grammar all|protocol|qasm|calibration] [--stats-every N]
+//!            [--grammar all|protocol|qasm|calibration|proxy] [--stats-every N]
 //!            [--cache-capacity N] [--e2e] [--coded PATH]
 //!            [--emit-corpus PATH]
 //! ```
@@ -88,7 +88,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     Grammar::ALL.to_vec()
                 } else {
                     vec![Grammar::parse(&name).ok_or_else(|| {
-                        format!("unknown grammar `{name}` (protocol|qasm|calibration|all)")
+                        format!("unknown grammar `{name}` (protocol|qasm|calibration|proxy|all)")
                     })?]
                 };
                 i += 2;

@@ -3,7 +3,7 @@
 //! ```text
 //! coded [--stdin | --listen ADDR] [--workers N] [--cache-capacity N]
 //!       [--cache-shards N] [--queue-capacity N] [--seed S]
-//!       [--drain-ms N]
+//!       [--drain-ms N] [--fault-plan PLAN]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol of `codar_service::protocol`:
@@ -20,7 +20,15 @@
 //! per-connection threads are joined so in-flight responses complete;
 //! `--drain-ms` bounds how long readers parked on idle connections can
 //! hold up the exit (default 5000).
+//!
+//! `--fault-plan` arms deterministic transport-fault injection (see
+//! `codar_service::faults` for the grammar, e.g.
+//! `delay:50@3;close:17@9;kill@40`): the plan's `kill` events call
+//! `process::exit(9)` so a supervisor — or the CI proxy smoke's
+//! restart wrapper — observes a real crash. Strictly a test/chaos
+//! facility; production daemons run without it.
 
+use codar_service::faults::FaultPlan;
 use codar_service::{Service, ServiceConfig};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -89,6 +97,15 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("bad --drain-ms value: {e}"))?,
                 );
+                i += 2;
+            }
+            "--fault-plan" => {
+                parsed.config.fault_plan = Some(
+                    FaultPlan::parse(&value(args, i, "--fault-plan")?)
+                        .map_err(|e| format!("bad --fault-plan value: {e}"))?,
+                );
+                // In the real bin a planned kill is a real crash.
+                parsed.config.fault_exit = true;
                 i += 2;
             }
             other => return Err(format!("unknown flag `{other}`")),

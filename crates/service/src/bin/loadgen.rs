@@ -3,7 +3,8 @@
 //! ```text
 //! loadgen [--requests N] [--seed S] [--repeat-ratio R] [--device NAME]
 //!         [--router NAME] [--max-qubits N] [--hot N]
-//!         [--connect ADDR | in-process] [--latency-json PATH]
+//!         [--connect ADDR | --proxy ADDR | in-process]
+//!         [--arrival-us MEAN] [--latency-json PATH]
 //!         [--workers N] [--cache-capacity N] [--queue-capacity N]
 //! loadgen --soak [--rounds N | --duration-secs S]
 //!         [--requests-per-round N] [--reload-every N] [--clients N]
@@ -32,8 +33,17 @@
 //! Without `--connect` the run is closed-loop: loadgen starts an
 //! in-process daemon (configured by `--workers`/`--cache-capacity`/
 //! `--queue-capacity`) and drives it directly, no port involved.
+//!
+//! `--proxy ADDR` targets a `codar-proxy` front tier instead of a bare
+//! daemon: same protocol and byte-identical route replies, but the run
+//! fails unless the target really answers as a proxy, and the latency
+//! JSON reports the tier's retry/failover counters. `--arrival-us MEAN`
+//! switches from the closed loop to **open-loop** issue (TCP targets
+//! only): a seeded exponential arrival schedule paces sends regardless
+//! of outstanding replies, and latency is measured from each request's
+//! scheduled departure — no coordinated omission.
 
-use codar_service::loadgen::{run, LoadgenConfig, TcpTransport};
+use codar_service::loadgen::{run, run_open_loop, LoadgenConfig, TcpTransport};
 use codar_service::soak::{run_soak, run_soak_tcp_clients, SoakConfig};
 use codar_service::{Service, ServiceConfig};
 use std::process::ExitCode;
@@ -43,6 +53,8 @@ struct Args {
     config: LoadgenConfig,
     service: ServiceConfig,
     connect: Option<String>,
+    /// `--proxy` targets must answer as one ("proxy":true stats).
+    expect_proxy: bool,
     latency_json: Option<String>,
     soak: bool,
     soak_rounds: Option<usize>,
@@ -57,6 +69,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         config: LoadgenConfig::default(),
         service: ServiceConfig::default(),
         connect: None,
+        expect_proxy: false,
         latency_json: None,
         soak: false,
         soak_rounds: None,
@@ -127,6 +140,21 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 parsed.connect = Some(value(args, i, flag)?);
                 i += 2;
             }
+            "--proxy" => {
+                parsed.connect = Some(value(args, i, flag)?);
+                parsed.expect_proxy = true;
+                i += 2;
+            }
+            "--arrival-us" => {
+                let mean: u64 = value(args, i, flag)?
+                    .parse()
+                    .map_err(|e| format!("bad --arrival-us: {e}"))?;
+                if mean == 0 {
+                    return Err("--arrival-us must be at least 1".to_string());
+                }
+                parsed.config.arrival_us = Some(mean);
+                i += 2;
+            }
             "--latency-json" => {
                 parsed.latency_json = Some(value(args, i, flag)?);
                 i += 2;
@@ -163,6 +191,14 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     if parsed.soak && parsed.clients > 1 && parsed.connect.is_none() {
         return Err("--clients needs --connect: concurrent soak clients are TCP".to_string());
+    }
+    if parsed.config.arrival_us.is_some() && parsed.connect.is_none() {
+        return Err(
+            "--arrival-us needs --connect or --proxy: open-loop issue is TCP-only".to_string(),
+        );
+    }
+    if parsed.config.arrival_us.is_some() && parsed.soak {
+        return Err("--arrival-us does not apply to --soak".to_string());
     }
     Ok(parsed)
 }
@@ -229,13 +265,14 @@ fn run_load(args: &Args) -> Result<(), String> {
     if args.soak {
         return run_soak_mode(args);
     }
-    let report = match &args.connect {
-        Some(addr) => {
+    let report = match (&args.connect, args.config.arrival_us) {
+        (Some(addr), Some(_)) => run_open_loop(&args.config, addr),
+        (Some(addr), None) => {
             let mut transport = TcpTransport::connect(addr)
                 .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             run(&args.config, &mut transport)
         }
-        None => {
+        (None, _) => {
             // Closed-loop: drive an in-process daemon directly. The
             // loadgen seed keeps the daemon's placement seed at its
             // default so summaries depend only on the printed config.
@@ -244,6 +281,13 @@ fn run_load(args: &Args) -> Result<(), String> {
         }
     }
     .map_err(|e| format!("load run failed: {e}"))?;
+    if args.expect_proxy && !report.proxy {
+        return Err(
+            "--proxy target did not answer as a proxy (no \"proxy\":true in stats); \
+             use --connect for a bare daemon"
+                .to_string(),
+        );
+    }
 
     print!("{}", report.summary_json());
     let latency = report.latency();
@@ -258,6 +302,12 @@ fn run_load(args: &Args) -> Result<(), String> {
         latency.max_us,
         report.cache_hit_rate(),
     );
+    if report.proxy {
+        eprintln!(
+            "proxy tier: {} retries, {} failovers over the run",
+            report.proxy_retries, report.proxy_failovers,
+        );
+    }
     if let Some(path) = &args.latency_json {
         std::fs::write(path, report.latency_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;

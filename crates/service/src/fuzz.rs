@@ -19,7 +19,13 @@
 //! * [`Grammar::Calibration`] — valid snapshot documents (from
 //!   [`CalibrationSnapshot::synthetic`]) mutated by version games,
 //!   NaN/Inf/denormal injection and missing sections, embedded in
-//!   `calibration set` frames.
+//!   `calibration set` frames;
+//! * [`Grammar::Proxy`] — the sharded-tier surface: `health`/`metrics`
+//!   frames with the usual mutations, and hashed-key boundary routes —
+//!   the same circuit under different surface forms (whitespace,
+//!   device case, an `id`) that must land on one shard, next to
+//!   one-gate neighbors that must be free to land elsewhere. Valid
+//!   against a bare daemon too, so every harness runs it.
 //!
 //! Every corpus is a pure function of `(seed, iterations, grammars)`
 //! — two runs at equal seeds are byte-identical, so any crasher is
@@ -60,7 +66,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// Seed used when the caller does not pick one.
 pub const DEFAULT_SEED: u64 = 0xC0DA_F022;
 
-/// The three corpus families. See the module docs for what each mutates.
+/// The four corpus families. See the module docs for what each mutates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Grammar {
     /// NDJSON protocol frames.
@@ -69,18 +75,27 @@ pub enum Grammar {
     Qasm,
     /// Calibration documents inside `calibration set` frames.
     Calibration,
+    /// Sharded-tier frames: health/metrics mutations and hashed-key
+    /// boundary routes.
+    Proxy,
 }
 
 impl Grammar {
     /// All grammars, in generation order.
-    pub const ALL: [Grammar; 3] = [Grammar::Protocol, Grammar::Qasm, Grammar::Calibration];
+    pub const ALL: [Grammar; 4] = [
+        Grammar::Protocol,
+        Grammar::Qasm,
+        Grammar::Calibration,
+        Grammar::Proxy,
+    ];
 
-    /// The CLI name (`protocol` / `qasm` / `calibration`).
+    /// The CLI name (`protocol` / `qasm` / `calibration` / `proxy`).
     pub fn name(self) -> &'static str {
         match self {
             Grammar::Protocol => "protocol",
             Grammar::Qasm => "qasm",
             Grammar::Calibration => "calibration",
+            Grammar::Proxy => "proxy",
         }
     }
 
@@ -90,6 +105,7 @@ impl Grammar {
             "protocol" => Some(Grammar::Protocol),
             "qasm" => Some(Grammar::Qasm),
             "calibration" => Some(Grammar::Calibration),
+            "proxy" => Some(Grammar::Proxy),
             _ => None,
         }
     }
@@ -260,8 +276,19 @@ impl InvariantChecker {
                 "id mismatch: request carries {expected:?}, reply echoes {echoed:?}"
             ));
         }
-        if status == "ok" && parsed.get("type").and_then(Json::as_str) == Some("stats") {
+        let reply_type = parsed.get("type").and_then(Json::as_str);
+        // A `"proxy":true` stats reply is the front tier answering for
+        // itself: its counters are retry/failover gauges with no cache
+        // section, so the daemon cache invariants do not apply.
+        let from_proxy = parsed.get("proxy").and_then(Json::as_bool) == Some(true);
+        if status == "ok" && reply_type == Some("stats") && !from_proxy {
             self.observe_stats(&parsed)?;
+        }
+        if status == "ok" && reply_type == Some("metrics") {
+            check_metrics_shape(&parsed)?;
+        }
+        if status == "ok" && reply_type == Some("health") {
+            check_health_shape(&parsed)?;
         }
         if status == "ok" {
             check_sim_contract(input, &parsed)?;
@@ -312,6 +339,44 @@ impl InvariantChecker {
         self.last = Some(now);
         Ok(())
     }
+}
+
+/// The metrics-flatness contract: a `metrics` reply is the scrapeable
+/// superset of `stats` and must stay **flat** — every top-level value
+/// a scalar, with at least the `requests` counter present. (Daemon and
+/// proxy metrics carry different gauges; flatness and a request count
+/// are the shared shape.)
+fn check_metrics_shape(reply: &Json) -> Result<(), String> {
+    let Json::Obj(fields) = reply else {
+        return Err("metrics reply is not an object".to_string());
+    };
+    for (key, value) in fields {
+        if matches!(value, Json::Obj(_) | Json::Arr(_)) {
+            return Err(format!("metrics field `{key}` is not flat"));
+        }
+    }
+    if reply.get("requests").and_then(Json::as_u64).is_none() {
+        return Err("metrics reply lacks integer `requests`".to_string());
+    }
+    Ok(())
+}
+
+/// The health-shape contract: a `health` reply must carry the two
+/// booleans supervisors and the proxy's prober key off — `ready` and
+/// `draining` — and they must never both be true.
+fn check_health_shape(reply: &Json) -> Result<(), String> {
+    let ready = reply
+        .get("ready")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| "health reply lacks boolean `ready`".to_string())?;
+    let draining = reply
+        .get("draining")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| "health reply lacks boolean `draining`".to_string())?;
+    if ready && draining {
+        return Err("health reply claims ready while draining".to_string());
+    }
+    Ok(())
 }
 
 /// The no-silent-fallback contract: when a route request names a
@@ -377,6 +442,7 @@ pub fn generate_corpus(config: &FuzzConfig) -> Vec<String> {
                 Grammar::Protocol => protocol_line(&mut rng),
                 Grammar::Qasm => qasm_line(&mut rng),
                 Grammar::Calibration => calibration_line(&mut rng),
+                Grammar::Proxy => proxy_line(&mut rng),
             }
         };
         // NDJSON: the transport splits on newlines, so a corpus line
@@ -619,7 +685,7 @@ fn valid_frame(rng: &mut StdRng) -> Frame {
     }
     // Shutdown is deliberately rare: every served one costs the e2e
     // harness a daemon respawn.
-    match rng.gen_range(0..16u32) {
+    match rng.gen_range(0..20u32) {
         0..=8 => {
             frame.push("type", "\"route\"");
             frame.push("device", escape(&device_name(rng)));
@@ -672,6 +738,12 @@ fn valid_frame(rng: &mut StdRng) -> Frame {
                     ),
                 );
             }
+        }
+        15..=16 => {
+            frame.push("type", "\"health\"");
+        }
+        17..=18 => {
+            frame.push("type", "\"metrics\"");
         }
         _ => {
             frame.push("type", "\"shutdown\"");
@@ -771,6 +843,97 @@ fn protocol_line(rng: &mut StdRng) -> String {
         mutate_text(&mut line, rng);
     }
     line
+}
+
+// ---------------------------------------------------------------------------
+// Proxy frames
+// ---------------------------------------------------------------------------
+
+/// One proxy-grammar corpus line. Three sub-families:
+///
+/// * mutated `health`/`metrics` frames (the verbs the tier answers
+///   itself — and the daemon answers too, so the line is valid
+///   everywhere);
+/// * **hashed-key boundary** routes: one base circuit emitted under a
+///   surface form that must not change its rendezvous key — extra
+///   whitespace, flipped device case, an added `id` — so a sharded
+///   replay exercises the canonicalization seam of
+///   `codar_service::proxy::shard_key`;
+/// * one-gate neighbors of the base circuit, which *may* hash
+///   elsewhere — the keyspace-splitting side of the same boundary.
+fn proxy_line(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..8u32) {
+        0..=2 => {
+            let mut frame = Frame::new();
+            if rng.gen_bool(0.5) {
+                frame.push("id", rng.gen_range(0..1_000_000u64).to_string());
+            }
+            frame.push(
+                "type",
+                if rng.gen_bool(0.5) {
+                    "\"health\""
+                } else {
+                    "\"metrics\""
+                },
+            );
+            for _ in 0..rng.gen_range(0..=2u32) {
+                mutate_frame(&mut frame, rng);
+            }
+            let mut line = frame.render();
+            if rng.gen_bool(0.2) {
+                mutate_text(&mut line, rng);
+            }
+            line
+        }
+        3..=5 => {
+            // The boundary family reuses a small deterministic pool of
+            // base circuits so surface variants of the *same* circuit
+            // actually recur within one corpus.
+            let base = [
+                "qreg q[3]; h q[0]; cx q[0], q[2];",
+                "qreg q[4]; cx q[0], q[3]; cx q[1], q[2]; h q[3];",
+                "qreg q[2]; h q[0]; h q[1]; cx q[0], q[1];",
+            ][rng.gen_range(0..3usize)];
+            let circuit = match rng.gen_range(0..3u32) {
+                // Whitespace-only variant: same canonical form.
+                0 => base.replace("; ", ";   ").replace(", ", " , "),
+                // One-gate neighbor: a genuinely different circuit.
+                1 => format!("{base} h q[1];"),
+                _ => base.to_string(),
+            };
+            let device = if rng.gen_bool(0.3) { "Q20" } else { "q20" };
+            let mut frame = Frame::new();
+            if rng.gen_bool(0.4) {
+                frame.push("id", rng.gen_range(0..1_000_000u64).to_string());
+            }
+            frame.push("type", "\"route\"");
+            frame.push("device", escape(device));
+            frame.push("circuit", escape(&circuit));
+            frame.render()
+        }
+        6 => {
+            // Boundary ids on the locally-answered verbs.
+            let verb = ["\"stats\"", "\"health\"", "\"metrics\""][rng.gen_range(0..3usize)];
+            let mut frame = Frame::new();
+            frame.push(
+                "id",
+                BOUNDARY_NUMBERS[rng.gen_range(0..BOUNDARY_NUMBERS.len())].to_string(),
+            );
+            frame.push("type", verb);
+            frame.render()
+        }
+        _ => {
+            // Calibration-get through the tier (forwarded verbatim).
+            let mut frame = Frame::new();
+            if rng.gen_bool(0.5) {
+                frame.push("id", rng.gen_range(0..1_000_000u64).to_string());
+            }
+            frame.push("type", "\"calibration\"");
+            frame.push("action", "\"get\"");
+            frame.push("device", escape(&device_name(rng)));
+            frame.render()
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1081,8 +1244,12 @@ mod tests {
 
     #[test]
     fn sim_family_appears_and_holds_the_contract() {
+        // The sim mutators live in the protocol and qasm families;
+        // pinning the grammars keeps the mismatch-line probe stable as
+        // more families join the default rotation.
         let config = FuzzConfig {
             iterations: 800,
+            grammars: vec![Grammar::Protocol, Grammar::Qasm],
             ..FuzzConfig::default()
         };
         let corpus = generate_corpus(&config);
@@ -1136,6 +1303,103 @@ mod tests {
         InvariantChecker::new()
             .check(route, "{\"status\":\"error\",\"error\":\"x\"}")
             .expect("error replies are fine");
+    }
+
+    #[test]
+    fn proxy_family_covers_the_tier_surface_and_holds_invariants() {
+        let config = FuzzConfig {
+            iterations: 300,
+            grammars: vec![Grammar::Proxy],
+            stats_every: 16,
+            ..FuzzConfig::default()
+        };
+        let corpus = generate_corpus(&config);
+        assert!(corpus.iter().any(|l| l.contains("\"health\"")));
+        assert!(corpus.iter().any(|l| l.contains("\"metrics\"")));
+        // Both sides of the hashed-key boundary appear: a surface
+        // variant (same canonical circuit) and a one-gate neighbor.
+        assert!(
+            corpus.iter().any(|l| l.contains(";   ")),
+            "no whitespace variant generated"
+        );
+        assert!(
+            corpus.iter().any(|l| l.contains("cx q[0], q[2]; h q[1];")),
+            "no one-gate neighbor generated"
+        );
+        // The family is valid against a bare daemon too.
+        let service = Service::start(ServiceConfig::default());
+        let report = run_in_process(&corpus, &service).unwrap_or_else(|v| {
+            panic!(
+                "violation at line {}: {} on {:?}",
+                v.index, v.message, v.input
+            )
+        });
+        assert_eq!(report.lines, 300);
+        assert!(report.tally.ok > 0);
+    }
+
+    #[test]
+    fn checker_skips_cache_invariants_on_proxy_stats() {
+        // A proxy stats reply has no cache section; the checker must
+        // accept it rather than demand daemon-shaped counters.
+        let mut checker = InvariantChecker::new();
+        checker
+            .check(
+                "{\"type\":\"stats\"}",
+                "{\"type\":\"stats\",\"status\":\"ok\",\"proxy\":true,\"requests\":4,\
+                 \"forwarded\":3,\"retries\":1,\"failovers\":1,\"overloaded\":0,\
+                 \"backends_alive\":2,\"backends_total\":3}",
+            )
+            .expect("proxy stats pass without a cache section");
+        // The same reply without the proxy marker must fail — a daemon
+        // stats reply that lost its cache section is a real bug.
+        let err = InvariantChecker::new()
+            .check(
+                "{\"type\":\"stats\"}",
+                "{\"type\":\"stats\",\"status\":\"ok\",\"requests\":4,\"routed\":3,\
+                 \"errors\":1,\"overloaded\":0}",
+            )
+            .expect_err("daemon stats without cache must fail");
+        assert!(err.contains("cache"), "{err}");
+    }
+
+    #[test]
+    fn checker_enforces_metrics_flatness_and_health_shape() {
+        let err = InvariantChecker::new()
+            .check(
+                "{\"type\":\"metrics\"}",
+                "{\"type\":\"metrics\",\"status\":\"ok\",\"requests\":1,\
+                 \"cache\":{\"hits\":0}}",
+            )
+            .expect_err("nested metrics must fail");
+        assert!(err.contains("not flat"), "{err}");
+        let err = InvariantChecker::new()
+            .check(
+                "{\"type\":\"metrics\"}",
+                "{\"type\":\"metrics\",\"status\":\"ok\",\"draining\":false}",
+            )
+            .expect_err("metrics without requests must fail");
+        assert!(err.contains("requests"), "{err}");
+        let err = InvariantChecker::new()
+            .check(
+                "{\"type\":\"health\"}",
+                "{\"type\":\"health\",\"status\":\"ok\",\"ready\":true}",
+            )
+            .expect_err("health without draining must fail");
+        assert!(err.contains("draining"), "{err}");
+        let err = InvariantChecker::new()
+            .check(
+                "{\"type\":\"health\"}",
+                "{\"type\":\"health\",\"status\":\"ok\",\"ready\":true,\"draining\":true}",
+            )
+            .expect_err("ready while draining must fail");
+        assert!(err.contains("ready while draining"), "{err}");
+        InvariantChecker::new()
+            .check(
+                "{\"type\":\"health\"}",
+                "{\"type\":\"health\",\"status\":\"ok\",\"ready\":false,\"draining\":true}",
+            )
+            .expect("a draining daemon is honestly unready");
     }
 
     #[test]

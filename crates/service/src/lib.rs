@@ -19,6 +19,12 @@
 //!   unbounded memory),
 //! * [`worker`] — the routing pool (per-thread scratch, verification),
 //! * [`server`] — [`Service`]: lifecycle wiring, stdin/TCP front ends,
+//! * [`proxy`] — the sharded front tier: rendezvous-hashed fan-out
+//!   over N `coded` backends with health probes, bounded retry and
+//!   failover (`codar-proxy`),
+//! * [`faults`] — deterministic transport-fault injection: seeded
+//!   [`FaultPlan`]s consumed by `coded --fault-plan` and the
+//!   in-process [`ShardFleet`] harness,
 //! * [`metrics`] — daemon counters and latency summaries,
 //! * [`loadgen`] — the deterministic load generator,
 //! * [`soak`] — seeded long-run mixed traffic under the fuzz
@@ -55,20 +61,24 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod fuzz;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
+pub mod proxy;
 pub mod queue;
 pub mod server;
 pub mod soak;
 pub mod worker;
 
 pub use cache::{CacheStats, ShardedCache};
+pub use faults::{FaultKind, FaultPlan, ShardFleet};
 pub use loadgen::{LoadgenConfig, LoadgenReport, TcpTransport, Transport};
 pub use metrics::{LatencySummary, LATENCY_SCHEMA_VERSION};
 pub use protocol::{ParseRejection, Request};
+pub use proxy::{Proxy, ProxyConfig};
 pub use server::{Service, ServiceConfig};
 pub use soak::{SoakConfig, SoakError, SoakReport};
 

@@ -17,6 +17,22 @@
 //!   [`LoadgenReport::latency_json`], the percentiles plus the run
 //!   context (daemon cache capacity/shards, active calibration
 //!   snapshot version) needed to compare two latency files.
+//!
+//! Two issue disciplines:
+//!
+//! * **Closed loop** (default, [`run`]) — send, wait for the reply,
+//!   send the next. Measures service time; throughput adapts to the
+//!   daemon.
+//! * **Open loop** ([`run_open_loop`], `--arrival-us`) — requests
+//!   depart on a seeded exponential arrival schedule regardless of
+//!   outstanding replies (a writer thread paces sends, the reader
+//!   drains in order). Latency is measured from the *scheduled*
+//!   arrival, so a stalled daemon shows up as queueing delay instead
+//!   of being silently absorbed — no coordinated omission.
+//!
+//! Both disciplines speak to `coded` or `codar-proxy` alike; the
+//! trailing probes detect a proxy (`"proxy":true` stats) and record
+//! its retry/failover counters instead of cache geometry.
 
 use crate::cache::{fnv1a_extend, FNV_OFFSET};
 use crate::json::{escape, Json};
@@ -25,9 +41,10 @@ use crate::server::Service;
 use crate::LOADGEN_SUMMARY_VERSION;
 use codar_benchmarks::mix::{service_pool, CircuitMix};
 use codar_circuit::from_qasm::circuit_to_qasm;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -46,6 +63,10 @@ pub struct LoadgenConfig {
     pub max_qubits: usize,
     /// Hot-set size (first N pool entries).
     pub hot: usize,
+    /// `Some(mean)` switches to open-loop issue: seeded exponential
+    /// inter-arrival gaps with this mean, in microseconds (see
+    /// [`run_open_loop`]). `None` is the classic closed loop.
+    pub arrival_us: Option<u64>,
 }
 
 impl Default for LoadgenConfig {
@@ -58,6 +79,7 @@ impl Default for LoadgenConfig {
             router: "codar".to_string(),
             max_qubits: CircuitMix::DEFAULT_MAX_QUBITS,
             hot: CircuitMix::DEFAULT_HOT,
+            arrival_us: None,
         }
     }
 }
@@ -152,6 +174,16 @@ pub struct LoadgenReport {
     /// FNV-1a over the concatenated response lines (each + `\n`) —
     /// byte-level fingerprint of the whole response stream.
     pub stream_fnv: u64,
+    /// Whether the target answered its `stats` probe with
+    /// `"proxy":true` — i.e. the run went through `codar-proxy` and
+    /// the cache fields above are absent (scrape backends directly).
+    pub proxy: bool,
+    /// Failed forwarding attempts the proxy retried over the run
+    /// (proxy targets only; 0 against a bare daemon).
+    pub proxy_retries: u64,
+    /// Retries that moved to a different backend shard (proxy targets
+    /// only) — the failover events the latency JSON reports.
+    pub proxy_failovers: u64,
     /// Per-request latencies, microseconds, request order.
     pub latencies_us: Vec<u64>,
 }
@@ -206,16 +238,19 @@ impl LoadgenReport {
     }
 
     /// The versioned `--latency-json` payload: the percentiles plus
-    /// the run context (request count, seed, device/router, daemon
-    /// cache capacity/shards, active snapshot version) needed to tell
-    /// whether two latency files measured comparable runs. See
+    /// the run context (request count, seed, device/router, issue
+    /// mode, daemon cache capacity/shards, active snapshot version,
+    /// and — through a proxy — the retry/failover counts) needed to
+    /// tell whether two latency files measured comparable runs. See
     /// [`crate::LATENCY_SCHEMA_VERSION`].
     pub fn latency_json(&self) -> String {
         use crate::metrics::LATENCY_SCHEMA_VERSION;
         format!(
             "{{\n  \"version\": {LATENCY_SCHEMA_VERSION},\n{},\n  \
              \"requests\": {},\n  \"seed\": {},\n  \"repeat_ratio\": {:.6},\n  \
-             \"device\": {},\n  \"router\": {},\n  \"cache_capacity\": {},\n  \
+             \"device\": {},\n  \"router\": {},\n  \
+             \"mode\": {},\n  \"arrival_us\": {},\n  \"proxy\": {},\n  \
+             \"retries\": {},\n  \"failovers\": {},\n  \"cache_capacity\": {},\n  \
              \"cache_shards\": {},\n  \"snapshot_version\": {}\n}}\n",
             self.latency().json_fields(),
             self.config.requests,
@@ -223,6 +258,15 @@ impl LoadgenReport {
             self.config.repeat_ratio.clamp(0.0, 1.0),
             escape(&self.config.device),
             escape(&self.config.router),
+            if self.config.arrival_us.is_some() {
+                "\"open\""
+            } else {
+                "\"closed\""
+            },
+            self.config.arrival_us.unwrap_or(0),
+            self.proxy,
+            self.proxy_retries,
+            self.proxy_failovers,
             self.daemon_cache_capacity,
             self.daemon_cache_shards,
             self.snapshot_version,
@@ -230,18 +274,9 @@ impl LoadgenReport {
     }
 }
 
-/// Runs the load: `config.requests` route requests drawn from the mix,
-/// then one `stats` probe for the daemon-side cache counters.
-///
-/// # Errors
-///
-/// Propagates transport I/O errors; protocol-level errors (error
-/// responses) are counted in the report instead.
-///
-pub fn run(
-    config: &LoadgenConfig,
-    transport: &mut dyn Transport,
-) -> std::io::Result<LoadgenReport> {
+/// The deterministic request stream of a run: every route line, in
+/// order, plus the report skeleton recording the applied config.
+fn prepare(config: &LoadgenConfig) -> std::io::Result<(Vec<String>, LoadgenReport)> {
     let pool = service_pool(config.max_qubits);
     if pool.is_empty() {
         return Err(std::io::Error::new(
@@ -263,8 +298,18 @@ pub fn run(
         .iter()
         .map(|entry| circuit_to_qasm(&entry.circuit).expect("suite circuits serialize"))
         .collect();
-
-    let mut report = LoadgenReport {
+    let device = escape(&config.device);
+    let router = escape(&config.router);
+    let lines = (0..config.requests)
+        .map(|_| {
+            let index = mix.next_index();
+            format!(
+                "{{\"type\":\"route\",\"device\":{device},\"router\":{router},\"circuit\":{}}}",
+                escape(&pool_qasm[index])
+            )
+        })
+        .collect();
+    let report = LoadgenReport {
         config: LoadgenConfig {
             hot: applied_hot,
             ..config.clone()
@@ -280,48 +325,56 @@ pub fn run(
         total_swaps: 0,
         total_weighted_depth: 0,
         stream_fnv: FNV_OFFSET,
+        proxy: false,
+        proxy_retries: 0,
+        proxy_failovers: 0,
         latencies_us: Vec::with_capacity(config.requests),
     };
+    Ok((lines, report))
+}
 
-    let device = escape(&config.device);
-    let router = escape(&config.router);
-    for _ in 0..config.requests {
-        let index = mix.next_index();
-        let line = format!(
-            "{{\"type\":\"route\",\"device\":{device},\"router\":{router},\"circuit\":{}}}",
-            escape(&pool_qasm[index])
-        );
-        let started = Instant::now();
-        let response = transport.call(&line)?;
-        report
-            .latencies_us
-            .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-        report.stream_fnv = fnv1a_extend(report.stream_fnv, response.as_bytes());
-        report.stream_fnv = fnv1a_extend(report.stream_fnv, b"\n");
-        match Json::parse(&response) {
-            Ok(parsed) => {
-                if parsed.get("status").and_then(Json::as_str) == Some("ok") {
-                    report.ok += 1;
-                    if parsed.get("verified").and_then(Json::as_bool) == Some(true) {
-                        report.verified += 1;
-                    }
-                    report.total_swaps += parsed.get("swaps").and_then(Json::as_u64).unwrap_or(0);
-                    report.total_weighted_depth += parsed
-                        .get("weighted_depth")
-                        .and_then(Json::as_u64)
-                        .unwrap_or(0);
-                } else {
-                    report.errors += 1;
+/// Folds one response line into the report (stream checksum + counts).
+fn observe(report: &mut LoadgenReport, response: &str) {
+    report.stream_fnv = fnv1a_extend(report.stream_fnv, response.as_bytes());
+    report.stream_fnv = fnv1a_extend(report.stream_fnv, b"\n");
+    match Json::parse(response) {
+        Ok(parsed) => {
+            if parsed.get("status").and_then(Json::as_str) == Some("ok") {
+                report.ok += 1;
+                if parsed.get("verified").and_then(Json::as_bool) == Some(true) {
+                    report.verified += 1;
                 }
+                report.total_swaps += parsed.get("swaps").and_then(Json::as_u64).unwrap_or(0);
+                report.total_weighted_depth += parsed
+                    .get("weighted_depth")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+            } else {
+                report.errors += 1;
             }
-            Err(_) => report.errors += 1,
         }
+        Err(_) => report.errors += 1,
     }
+}
 
+/// The trailing context probes: one `stats` (cache counters on a
+/// daemon, retry/failover counters on a proxy — `"proxy":true`
+/// disambiguates) and one `calibration get` for the active snapshot
+/// version (forwarded transparently through a proxy).
+fn probe_target(
+    config: &LoadgenConfig,
+    transport: &mut dyn Transport,
+    report: &mut LoadgenReport,
+) -> std::io::Result<()> {
     // The daemon's cache counters cover our probes (on a fresh daemon,
     // exactly our probes; on a shared daemon, everyone's).
     let stats_line = transport.call("{\"type\":\"stats\"}")?;
     if let Ok(stats) = Json::parse(&stats_line) {
+        if stats.get("proxy").and_then(Json::as_bool) == Some(true) {
+            report.proxy = true;
+            report.proxy_retries = stats.get("retries").and_then(Json::as_u64).unwrap_or(0);
+            report.proxy_failovers = stats.get("failovers").and_then(Json::as_u64).unwrap_or(0);
+        }
         if let Some(cache) = stats.get("cache") {
             report.cache_hits = cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
             report.cache_misses = cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
@@ -334,11 +387,135 @@ pub fn run(
     // against different calibrations do different routing work, so the
     // latency JSON records which one was live.
     let cal_line = transport.call(&format!(
-        "{{\"type\":\"calibration\",\"action\":\"get\",\"device\":{device}}}"
+        "{{\"type\":\"calibration\",\"action\":\"get\",\"device\":{}}}",
+        escape(&config.device)
     ))?;
     if let Ok(cal) = Json::parse(&cal_line) {
         report.snapshot_version = cal.get("version").and_then(Json::as_u64).unwrap_or(0);
     }
+    Ok(())
+}
+
+/// Runs the closed loop: `config.requests` route requests drawn from
+/// the mix, each waiting for its reply, then the context probes.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors; protocol-level errors (error
+/// responses) are counted in the report instead.
+///
+pub fn run(
+    config: &LoadgenConfig,
+    transport: &mut dyn Transport,
+) -> std::io::Result<LoadgenReport> {
+    let (lines, mut report) = prepare(config)?;
+    for line in &lines {
+        let started = Instant::now();
+        let response = transport.call(line)?;
+        report
+            .latencies_us
+            .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        observe(&mut report, &response);
+    }
+    probe_target(config, transport, &mut report)?;
+    Ok(report)
+}
+
+/// Runs the open loop over TCP: a writer thread issues the same
+/// deterministic request stream on a seeded exponential arrival
+/// schedule (mean `config.arrival_us`, independent of outstanding
+/// replies), while this thread drains responses in order. Latency is
+/// measured from each request's **scheduled** departure, so daemon
+/// stalls surface as queueing delay — the closed loop would silently
+/// slow its own arrivals instead (coordinated omission).
+///
+/// The responses — and therefore the summary JSON — are byte-identical
+/// to a closed-loop run with the same config: only the timing
+/// discipline differs.
+///
+/// # Errors
+///
+/// Propagates connect/transport I/O errors from either side of the
+/// stream; the writer's error wins when both fail.
+pub fn run_open_loop(config: &LoadgenConfig, addr: &str) -> std::io::Result<LoadgenReport> {
+    let mean = config.arrival_us.unwrap_or(1_000).max(1);
+    let (lines, mut report) = prepare(config)?;
+    // The arrival schedule is part of the experiment definition:
+    // seeded exponential gaps, fixed before the first byte moves.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0A11_0A11_0A11_0A11);
+    let mut offsets = Vec::with_capacity(lines.len());
+    let mut at = 0.0f64;
+    for _ in 0..lines.len() {
+        let u: f64 = rng.gen();
+        at += -(mean as f64) * (1.0 - u).ln();
+        offsets.push(Duration::from_micros(at as u64));
+    }
+
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream.try_clone()?;
+    let start = Instant::now();
+    let send_offsets = offsets.clone();
+    let sender = std::thread::Builder::new()
+        .name("loadgen-open-loop".to_string())
+        .spawn(move || -> std::io::Result<()> {
+            for (line, offset) in lines.iter().zip(&send_offsets) {
+                let deadline = start + *offset;
+                let now = Instant::now();
+                if deadline > now {
+                    std::thread::sleep(deadline - now);
+                }
+                let mut framed = String::with_capacity(line.len() + 1);
+                framed.push_str(line);
+                framed.push('\n');
+                writer.write_all(framed.as_bytes())?;
+                writer.flush()?;
+            }
+            Ok(())
+        })
+        .expect("spawn open-loop writer");
+
+    let mut read_error = None;
+    for offset in &offsets {
+        let mut response = String::new();
+        let n = match reader.read_line(&mut response) {
+            Ok(n) => n,
+            Err(e) => {
+                read_error = Some(e);
+                break;
+            }
+        };
+        if n == 0 {
+            read_error = Some(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-run",
+            ));
+            break;
+        }
+        // Latency from the scheduled arrival, not the actual send.
+        report.latencies_us.push(
+            start
+                .elapsed()
+                .saturating_sub(*offset)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64,
+        );
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        observe(&mut report, &response);
+    }
+    let send_result = sender.join().expect("open-loop writer joins");
+    send_result?;
+    if let Some(e) = read_error {
+        return Err(e);
+    }
+    let mut probe = TcpTransport {
+        reader,
+        writer: stream,
+    };
+    probe_target(config, &mut probe, &mut report)?;
     Ok(report)
 }
 
@@ -424,6 +601,59 @@ mod tests {
         let mut bare = Service::start(ServiceConfig::default());
         let bare_report = run(&config, &mut bare).unwrap();
         assert_eq!(bare_report.snapshot_version, 0);
+    }
+
+    #[test]
+    fn open_loop_matches_closed_loop_bytes() {
+        // The issue discipline is timing-only: a seeded open-loop run
+        // over TCP answers with exactly the bytes the closed loop gets
+        // in-process, and its latency JSON says which mode measured.
+        let config = LoadgenConfig {
+            requests: 12,
+            max_qubits: 4,
+            arrival_us: Some(200),
+            ..LoadgenConfig::default()
+        };
+        let mut closed_service = Service::start(ServiceConfig::default());
+        let closed = run(
+            &LoadgenConfig {
+                arrival_us: None,
+                ..config.clone()
+            },
+            &mut closed_service,
+        )
+        .unwrap();
+
+        let service = Service::start(ServiceConfig::default());
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = {
+            let service = service.clone();
+            std::thread::spawn(move || service.serve_tcp(listener))
+        };
+        let open = run_open_loop(&config, &addr).unwrap();
+        let mut shutdown = TcpTransport::connect(&addr).unwrap();
+        shutdown.call("{\"type\":\"shutdown\"}").unwrap();
+        server.join().unwrap().unwrap();
+
+        assert_eq!(open.ok, 12);
+        assert_eq!(open.errors, 0);
+        assert_eq!(open.latencies_us.len(), 12);
+        assert_eq!(
+            open.stream_fnv, closed.stream_fnv,
+            "open vs closed loop must not change response bytes"
+        );
+        let json = open.latency_json();
+        assert!(json.contains("\"mode\": \"open\""), "{json}");
+        assert!(json.contains("\"arrival_us\": 200"), "{json}");
+        assert!(json.contains("\"proxy\": false"), "{json}");
+        assert!(json.contains("\"failovers\": 0"), "{json}");
+        let closed_json = closed.latency_json();
+        assert!(
+            closed_json.contains("\"mode\": \"closed\""),
+            "{closed_json}"
+        );
+        assert!(closed_json.contains("\"arrival_us\": 0"), "{closed_json}");
     }
 
     #[test]

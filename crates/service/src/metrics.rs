@@ -21,6 +21,24 @@ pub struct ServiceMetrics {
     pub errors: AtomicU64,
     /// Route requests rejected by queue backpressure.
     pub overloaded: AtomicU64,
+    /// Route jobs currently inside a worker (gauge, not a counter:
+    /// incremented when a worker picks the job up, decremented when
+    /// its reply is sent).
+    pub in_flight: AtomicU64,
+    /// Well-formed `route` requests (cache hits included).
+    pub verb_route: AtomicU64,
+    /// Well-formed `calibration` requests.
+    pub verb_calibration: AtomicU64,
+    /// Well-formed `stats` requests.
+    pub verb_stats: AtomicU64,
+    /// Well-formed `devices` requests.
+    pub verb_devices: AtomicU64,
+    /// Well-formed `health` requests.
+    pub verb_health: AtomicU64,
+    /// Well-formed `metrics` requests.
+    pub verb_metrics: AtomicU64,
+    /// Well-formed `shutdown` requests.
+    pub verb_shutdown: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -32,6 +50,12 @@ impl ServiceMetrics {
     /// Increments a counter (relaxed; counters are independent).
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge (relaxed, saturating at zero in practice:
+    /// every decrement is paired with an earlier increment).
+    pub fn drop_one(gauge: &AtomicU64) {
+        gauge.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Reads a counter.
@@ -46,8 +70,11 @@ impl ServiceMetrics {
 /// the percentiles; version 2 added the run context (request count,
 /// seed, device/router, daemon cache capacity/shards and the active
 /// calibration snapshot version) so two latency files can be checked
-/// for comparability before being diffed.
-pub const LATENCY_SCHEMA_VERSION: u32 = 2;
+/// for comparability before being diffed; version 3 added the traffic
+/// mode (`mode`, `arrival_us`) and the failover context (`proxy`,
+/// `retries`, `failovers`) so tail latencies measured through the
+/// sharded tier carry the fault story that produced them.
+pub const LATENCY_SCHEMA_VERSION: u32 = 3;
 
 /// Percentile summary of recorded per-request latencies.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -178,5 +205,19 @@ mod tests {
         assert_eq!(ServiceMetrics::read(&metrics.requests), 2);
         assert_eq!(ServiceMetrics::read(&metrics.errors), 1);
         assert_eq!(ServiceMetrics::read(&metrics.overloaded), 0);
+    }
+
+    #[test]
+    fn in_flight_gauge_rises_and_falls() {
+        let metrics = ServiceMetrics::new();
+        ServiceMetrics::bump(&metrics.in_flight);
+        ServiceMetrics::bump(&metrics.in_flight);
+        ServiceMetrics::drop_one(&metrics.in_flight);
+        assert_eq!(ServiceMetrics::read(&metrics.in_flight), 1);
+        ServiceMetrics::bump(&metrics.verb_route);
+        ServiceMetrics::bump(&metrics.verb_health);
+        assert_eq!(ServiceMetrics::read(&metrics.verb_route), 1);
+        assert_eq!(ServiceMetrics::read(&metrics.verb_health), 1);
+        assert_eq!(ServiceMetrics::read(&metrics.verb_metrics), 0);
     }
 }

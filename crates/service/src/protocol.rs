@@ -8,6 +8,8 @@
 //! | `route` | `circuit` (QASM source), `device`, optional `router` (default `codar`), optional `alpha` (codar-cal only), optional `id` | routed QASM + depth/swap/duration metrics (+ `cal_version`/`eps` when the device has an active calibration snapshot) |
 //! | `calibration` | `device`, `action` (`get`/`set`); for `set`: `snapshot` (a calibration JSON document as a string) or `synthetic` (`{seed, drift}`) | the active snapshot / a versioned ack |
 //! | `stats` | optional `id` | request/cache counters |
+//! | `health` | optional `id` | readiness + draining state (a draining daemon reports `ready:false` and refuses new route work) |
+//! | `metrics` | optional `id` | everything `stats` reports plus queue depth, in-flight gauge and per-verb counters, as scrape-friendly flat JSON |
 //! | `devices` | optional `id` | the device catalog |
 //! | `shutdown` | optional `id` | ack; the daemon stops serving |
 //!
@@ -106,6 +108,16 @@ pub enum Request {
     },
     /// Request/cache counters.
     Stats {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+    /// Readiness + draining state.
+    Health {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+    /// Flat scrape-friendly counters (the `stats` superset).
+    Metrics {
         /// Echoed correlation id.
         id: Option<u64>,
     },
@@ -273,6 +285,8 @@ impl Request {
                 }
             }
             "stats" => Ok(Request::Stats { id }),
+            "health" => Ok(Request::Health { id }),
+            "metrics" => Ok(Request::Metrics { id }),
             "devices" => Ok(Request::Devices { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             other => Err(format!("unknown request type `{other}`")),
@@ -285,6 +299,8 @@ impl Request {
             Request::Route { id, .. }
             | Request::Calibration { id, .. }
             | Request::Stats { id }
+            | Request::Health { id }
+            | Request::Metrics { id }
             | Request::Devices { id }
             | Request::Shutdown { id } => *id,
         }
@@ -617,6 +633,14 @@ mod tests {
         assert_eq!(
             Request::parse_line(r#"{"type":"devices","id":9}"#).unwrap(),
             Request::Devices { id: Some(9) }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"type":"health","id":4}"#).unwrap(),
+            Request::Health { id: Some(4) }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"type":"metrics"}"#).unwrap(),
+            Request::Metrics { id: None }
         );
         assert_eq!(
             Request::parse_line(r#"{"type":"shutdown"}"#).unwrap(),

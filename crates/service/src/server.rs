@@ -25,6 +25,7 @@
 //! the cache.
 
 use crate::cache::{fnv1a_extend, key_material, CacheStats, ShardedCache, FNV_OFFSET};
+use crate::faults::{FaultAction, FaultInjector, FaultPlan, KILL_EXIT_CODE};
 use crate::json::escape;
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{
@@ -40,7 +41,7 @@ use codar_engine::{Backend, RouterKind};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
-use std::net::TcpListener;
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -65,6 +66,13 @@ pub struct ServiceConfig {
     /// Seed of the reverse-traversal initial placement (part of the
     /// cache key: different seeds are different results).
     pub seed: u64,
+    /// Deterministic transport-fault schedule (`None` = no faults,
+    /// the production shape). See [`crate::faults`].
+    pub fault_plan: Option<FaultPlan>,
+    /// Whether a `kill` fault exits the process (`coded
+    /// --fault-plan`) or merely latches [`Service::fault_killed`]
+    /// (the in-process harness).
+    pub fault_exit: bool,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +83,8 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             queue_capacity: 64,
             seed: 0,
+            fault_plan: None,
+            fault_exit: false,
         }
     }
 }
@@ -112,6 +122,10 @@ struct Inner {
     /// simply stop being probed).
     calibration: Mutex<CalibrationStore>,
     shutdown: AtomicBool,
+    /// The transport-fault injector, present iff the config carries a
+    /// plan. Serve loops consult it per request line; `handle_line`
+    /// never does (faults model the transport, not the router).
+    faults: Option<FaultInjector>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -145,6 +159,10 @@ impl Service {
         let metrics = Arc::new(ServiceMetrics::new());
         let queue = Arc::new(Bounded::new(config.queue_capacity));
         let workers = spawn_pool(config.workers, &queue, &cache, &metrics, config.seed);
+        let faults = config
+            .fault_plan
+            .clone()
+            .map(|plan| FaultInjector::new(plan, config.fault_exit));
         Service {
             inner: Arc::new(Inner {
                 config,
@@ -154,6 +172,7 @@ impl Service {
                 queue,
                 calibration: Mutex::new(CalibrationStore::default()),
                 shutdown: AtomicBool::new(false),
+                faults,
                 workers: Mutex::new(workers),
             }),
         }
@@ -173,6 +192,35 @@ impl Service {
     /// Whether a `shutdown` request has been served.
     pub fn shutdown_requested(&self) -> bool {
         self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Whether an injected `kill` fault has fired (in-process harness
+    /// mode; the real binary exits instead). Serve loops treat it like
+    /// a shutdown with no drain courtesy — a dead process writes
+    /// nothing.
+    pub fn fault_killed(&self) -> bool {
+        self.inner
+            .faults
+            .as_ref()
+            .is_some_and(FaultInjector::killed)
+    }
+
+    /// Whether an injected `refuse` fault has fired: the accept loop
+    /// must close its listener (existing connections keep serving).
+    pub fn fault_refusing(&self) -> bool {
+        self.inner
+            .faults
+            .as_ref()
+            .is_some_and(FaultInjector::refusing)
+    }
+
+    /// Counts one request line against the fault plan and returns the
+    /// serve loop's marching orders.
+    fn fault_action(&self) -> FaultAction {
+        self.inner
+            .faults
+            .as_ref()
+            .map_or(FaultAction::None, FaultInjector::on_request)
     }
 
     /// The active calibration snapshot of `device` (canonical name).
@@ -231,16 +279,37 @@ impl Service {
                 sim,
                 qasm,
                 ..
-            } => attach_id(id, &self.handle_route(&device, router, alpha, sim, &qasm)),
+            } => {
+                ServiceMetrics::bump(&metrics.verb_route);
+                attach_id(id, &self.handle_route(&device, router, alpha, sim, &qasm))
+            }
             Request::Calibration {
                 device,
                 action,
                 payload,
                 ..
-            } => attach_id(id, &self.handle_calibration(&device, action, payload)),
-            Request::Stats { .. } => attach_id(id, &self.stats_body()),
-            Request::Devices { .. } => attach_id(id, &self.devices_body()),
+            } => {
+                ServiceMetrics::bump(&metrics.verb_calibration);
+                attach_id(id, &self.handle_calibration(&device, action, payload))
+            }
+            Request::Stats { .. } => {
+                ServiceMetrics::bump(&metrics.verb_stats);
+                attach_id(id, &self.stats_body())
+            }
+            Request::Health { .. } => {
+                ServiceMetrics::bump(&metrics.verb_health);
+                attach_id(id, &self.health_body())
+            }
+            Request::Metrics { .. } => {
+                ServiceMetrics::bump(&metrics.verb_metrics);
+                attach_id(id, &self.metrics_body())
+            }
+            Request::Devices { .. } => {
+                ServiceMetrics::bump(&metrics.verb_devices);
+                attach_id(id, &self.devices_body())
+            }
             Request::Shutdown { .. } => {
+                ServiceMetrics::bump(&metrics.verb_shutdown);
                 self.inner.shutdown.store(true, Ordering::SeqCst);
                 attach_id(id, &shutdown_body())
             }
@@ -262,6 +331,13 @@ impl Service {
             ServiceMetrics::bump(&metrics.errors);
             error_body(&message)
         };
+        // New work is refused the moment drain starts: a draining
+        // daemon only finishes what it already accepted. The error
+        // message leads with "draining" — the proxy keys its failover
+        // on that prefix.
+        if self.shutdown_requested() {
+            return fail("draining: shutting down, not accepting new route work".to_string());
+        }
         let Some(device) = self.lookup_device(device_name) else {
             let known: Vec<&str> = self.inner.catalog.iter().map(|(k, _)| k.as_str()).collect();
             return fail(format!(
@@ -495,6 +571,64 @@ impl Service {
         )
     }
 
+    /// The `health` response body: readiness (`false` once drain has
+    /// started — a draining daemon refuses new route work, and the
+    /// proxy's prober takes `ready:false` as "stop routing here").
+    pub fn health_body(&self) -> String {
+        let draining = self.shutdown_requested();
+        format!(
+            "{{\"type\":\"health\",\"status\":\"ok\",\"ready\":{},\"draining\":{},\
+             \"workers\":{},\"queue_depth\":{},\"queue_capacity\":{}}}",
+            !draining,
+            draining,
+            self.inner.config.workers.max(1),
+            self.inner.queue.len(),
+            self.inner.config.queue_capacity,
+        )
+    }
+
+    /// The `metrics` response body: everything `stats` reports plus
+    /// queue depth, the in-flight gauge and per-verb counters — flat
+    /// (every top-level value a scalar), so a scraper needs no nested
+    /// traversal. `stats` keeps its historical nested shape untouched.
+    pub fn metrics_body(&self) -> String {
+        let metrics = &self.inner.metrics;
+        let cache = self.inner.cache.stats();
+        format!(
+            "{{\"type\":\"metrics\",\"status\":\"ok\",\"requests\":{},\"routed\":{},\
+             \"errors\":{},\"overloaded\":{},\"in_flight\":{},\"queue_depth\":{},\
+             \"queue_capacity\":{},\"workers\":{},\"draining\":{},\"verb_route\":{},\
+             \"verb_calibration\":{},\"verb_stats\":{},\"verb_devices\":{},\
+             \"verb_health\":{},\"verb_metrics\":{},\"verb_shutdown\":{},\
+             \"cache_capacity\":{},\"cache_shards\":{},\"cache_entries\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"cache_hit_rate\":{:.6}}}",
+            ServiceMetrics::read(&metrics.requests),
+            ServiceMetrics::read(&metrics.routed),
+            ServiceMetrics::read(&metrics.errors),
+            ServiceMetrics::read(&metrics.overloaded),
+            ServiceMetrics::read(&metrics.in_flight),
+            self.inner.queue.len(),
+            self.inner.config.queue_capacity,
+            self.inner.config.workers.max(1),
+            self.shutdown_requested(),
+            ServiceMetrics::read(&metrics.verb_route),
+            ServiceMetrics::read(&metrics.verb_calibration),
+            ServiceMetrics::read(&metrics.verb_stats),
+            ServiceMetrics::read(&metrics.verb_devices),
+            ServiceMetrics::read(&metrics.verb_health),
+            ServiceMetrics::read(&metrics.verb_metrics),
+            ServiceMetrics::read(&metrics.verb_shutdown),
+            cache.capacity,
+            cache.shards,
+            cache.entries,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate(),
+        )
+    }
+
     /// The `devices` response body (catalog order).
     pub fn devices_body(&self) -> String {
         let mut out = String::from("{\"type\":\"devices\",\"status\":\"ok\",\"devices\":[");
@@ -533,12 +667,41 @@ impl Service {
             let line = line?;
             // Before, not only after, handling: a shutdown served on a
             // concurrent stream must stop this one at its next line,
-            // not let it keep serving indefinitely.
-            if self.shutdown_requested() {
+            // not let it keep serving indefinitely. A fired kill fault
+            // stops every stream the same way.
+            if self.shutdown_requested() || self.fault_killed() {
                 break;
             }
             if line.trim().is_empty() {
                 continue;
+            }
+            // The fault plan counts request lines globally across this
+            // daemon's streams; most lines get `None` and cost one
+            // atomic increment.
+            match self.fault_action() {
+                FaultAction::None => {}
+                FaultAction::Delay(pause) => std::thread::sleep(pause),
+                FaultAction::Hang(pause) => {
+                    // A stuck shard: park, then close without a reply.
+                    std::thread::sleep(pause);
+                    break;
+                }
+                FaultAction::Kill => {
+                    if self.inner.config.fault_exit {
+                        std::process::exit(KILL_EXIT_CODE);
+                    }
+                    break;
+                }
+                FaultAction::CloseAfter(bytes) => {
+                    // The torn frame: a prefix of the real reply, then
+                    // the stream ends.
+                    let mut response = self.handle_line(&line);
+                    response.push('\n');
+                    let cut = bytes.min(response.len());
+                    writer.write_all(&response.as_bytes()[..cut])?;
+                    writer.flush()?;
+                    break;
+                }
             }
             let mut response = self.handle_line(&line);
             response.push('\n');
@@ -574,10 +737,12 @@ impl Service {
     /// responses complete before the caller (typically `coded`'s
     /// `main`) exits and would kill them mid-write. Threads parked in a
     /// blocking read on an idle connection cannot be interrupted
-    /// portably, so the join is bounded by `drain`: any thread still
-    /// alive at the deadline is abandoned — it exits on its next read
-    /// wake-up via the per-line shutdown check, without serving
-    /// another request.
+    /// portably, so the join is bounded by `drain`: a connection still
+    /// open at the deadline is sent one final well-formed
+    /// `error:"draining"` line and its socket is shut down — the
+    /// client sees an explicit goodbye and a clean EOF, never silence
+    /// or a torn frame (the socket shutdown also wakes the parked
+    /// reader so the thread exits).
     ///
     /// # Errors
     ///
@@ -588,20 +753,30 @@ impl Service {
         drain: Duration,
     ) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
-        let mut connections: Vec<JoinHandle<()>> = Vec::new();
-        while !self.shutdown_requested() {
-            match listener.accept() {
+        // Inside an Option so a `refuse` fault can close it mid-loop
+        // while existing connections keep being served.
+        let mut listener = Some(listener);
+        let mut connections: Vec<(JoinHandle<()>, SharedWriter)> = Vec::new();
+        while !self.shutdown_requested() && !self.fault_killed() {
+            if self.fault_refusing() {
+                listener = None;
+            }
+            let Some(active) = listener.as_ref() else {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            };
+            match active.accept() {
                 Ok((stream, _addr)) => {
                     // Reap finished connections as we go so the handle
                     // list tracks live connections, not history.
                     connections = connections
                         .into_iter()
-                        .filter_map(|handle| {
+                        .filter_map(|(handle, shared)| {
                             if handle.is_finished() {
                                 let _ = handle.join();
                                 None
                             } else {
-                                Some(handle)
+                                Some((handle, shared))
                             }
                         })
                         .collect();
@@ -616,10 +791,15 @@ impl Service {
                     let Ok(reader) = stream.try_clone() else {
                         continue;
                     };
+                    let shared = SharedWriter::new(stream);
+                    let writer = shared.clone();
                     let service = self.clone();
-                    connections.push(std::thread::spawn(move || {
-                        let _ = service.serve_ndjson(std::io::BufReader::new(reader), stream);
-                    }));
+                    connections.push((
+                        std::thread::spawn(move || {
+                            let _ = service.serve_ndjson(std::io::BufReader::new(reader), writer);
+                        }),
+                        shared,
+                    ));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -628,15 +808,87 @@ impl Service {
             }
         }
         let deadline = std::time::Instant::now() + drain;
-        for handle in connections {
+        // A killed daemon is a dead process: it writes no goodbye. A
+        // draining one owes every still-open connection a final
+        // well-formed line before the close.
+        let courtesy = !self.fault_killed();
+        for (handle, shared) in connections {
             while !handle.is_finished() && std::time::Instant::now() < deadline {
                 std::thread::sleep(Duration::from_millis(2));
+            }
+            if !handle.is_finished() {
+                shared.close(courtesy);
+                // The shutdown wakes the parked reader with EOF, so
+                // the thread exits promptly; a short grace bounds the
+                // join (a hang-faulted thread may sleep past it — it
+                // holds nothing but its stack by now).
+                let grace = std::time::Instant::now() + Duration::from_millis(250);
+                while !handle.is_finished() && std::time::Instant::now() < grace {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
             }
             if handle.is_finished() {
                 let _ = handle.join();
             }
         }
         Ok(())
+    }
+}
+
+/// A cloneable TCP writer shared between a connection's serve thread
+/// and the drain path, so drain can deliver one final well-formed
+/// `error:"draining"` line instead of silently abandoning the client.
+/// Each [`Write::write`] takes the lock once and writes the whole
+/// buffer, so response lines written by either side never interleave
+/// mid-line.
+#[derive(Clone)]
+pub(crate) struct SharedWriter {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl SharedWriter {
+    pub(crate) fn new(stream: TcpStream) -> SharedWriter {
+        SharedWriter {
+            stream: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Ends the connection: with `courtesy`, first writes the final
+    /// draining error line; either way shuts the socket down both
+    /// directions (waking any parked reader with EOF). Write failures
+    /// are ignored — the client may already be gone.
+    pub(crate) fn close(&self, courtesy: bool) {
+        let Ok(mut stream) = self.stream.lock() else {
+            return;
+        };
+        if courtesy {
+            let mut line = error_body("draining: connection closed by server shutdown");
+            line.push('\n');
+            let _ = stream.write_all(line.as_bytes());
+            let _ = stream.flush();
+        }
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+impl Write for SharedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut stream = self
+            .stream
+            .lock()
+            .map_err(|_| std::io::Error::other("writer lock poisoned"))?;
+        // All-or-nothing under one lock hold: `write_all` on the
+        // wrapper must not interleave with the drain line.
+        stream.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let mut stream = self
+            .stream
+            .lock()
+            .map_err(|_| std::io::Error::other("writer lock poisoned"))?;
+        stream.flush()
     }
 }
 
@@ -889,20 +1141,159 @@ mod tests {
         assert!(line.contains("\"type\":\"shutdown\""), "{line}");
 
         // The accept loop returns despite the idle connection still
-        // being open: its parked reader is abandoned at the bounded
-        // drain deadline instead of keeping the daemon alive forever.
+        // being open: at the bounded drain deadline the idle client is
+        // told goodbye and its socket is closed, instead of keeping
+        // the daemon alive forever.
         server
             .join()
             .unwrap()
             .expect("accept loop drains and exits");
 
-        // New work on the idle connection is never served after the
-        // shutdown: its thread wakes, checks the flag *before*
-        // handling, and closes the stream without replying.
-        idle.write_all(b"{\"type\":\"stats\",\"id\":2}\n").unwrap();
+        // Regression (the old behavior silently abandoned the parked
+        // connection): the client must receive one final well-formed
+        // `error:"draining"` line, then a clean EOF — never bare
+        // silence, never a torn frame.
         line.clear();
         let n = idle_reader.read_line(&mut line).unwrap();
-        assert_eq!(n, 0, "post-shutdown request was served: {line}");
+        assert!(n > 0, "drain must say goodbye, not just vanish");
+        assert!(line.ends_with('\n'), "drain line must be a whole frame");
+        let parsed = Json::parse(line.trim_end()).expect("drain line is valid JSON");
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("error"));
+        assert!(
+            parsed
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .starts_with("draining"),
+            "{line}"
+        );
+        line.clear();
+        let n = idle_reader.read_line(&mut line).unwrap();
+        assert_eq!(n, 0, "after the goodbye the stream is closed: {line}");
+    }
+
+    #[test]
+    fn health_reports_readiness_and_flips_on_drain() {
+        let service = Service::start(ServiceConfig::default());
+        let health = Json::parse(&service.handle_line("{\"type\":\"health\",\"id\":3}")).unwrap();
+        assert_eq!(health.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(health.get("ready").and_then(Json::as_bool), Some(true));
+        assert_eq!(health.get("draining").and_then(Json::as_bool), Some(false));
+        assert_eq!(health.get("queue_depth").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            health.get("queue_capacity").and_then(Json::as_u64),
+            Some(64)
+        );
+        service.handle_line("{\"type\":\"shutdown\"}");
+        let drained = Json::parse(&service.handle_line("{\"type\":\"health\"}")).unwrap();
+        assert_eq!(drained.get("ready").and_then(Json::as_bool), Some(false));
+        assert_eq!(drained.get("draining").and_then(Json::as_bool), Some(true));
+        // Draining refuses new route work with a well-formed error
+        // whose message leads with "draining" (the proxy's failover
+        // cue) — it never queues the job.
+        let refused = service.handle_line(&route_line("q5", "codar", GHZ3));
+        let parsed = Json::parse(&refused).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("error"));
+        assert!(
+            parsed
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .starts_with("draining"),
+            "{refused}"
+        );
+    }
+
+    #[test]
+    fn metrics_are_flat_and_count_per_verb() {
+        let service = Service::start(ServiceConfig::default());
+        service.handle_line(&route_line("q5", "codar", GHZ3));
+        service.handle_line(&route_line("q5", "codar", GHZ3)); // cache hit
+        service.handle_line("{\"type\":\"stats\"}");
+        service.handle_line("{\"type\":\"devices\"}");
+        service.handle_line("{\"type\":\"health\"}");
+        service.handle_line("not json at all");
+        let body = service.handle_line("{\"type\":\"metrics\",\"id\":9}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        // Flat: every top-level value is a scalar — a scraper never
+        // recurses. (`stats` keeps its nested `cache` object.)
+        match &parsed {
+            Json::Obj(fields) => {
+                for (key, value) in fields {
+                    assert!(
+                        !matches!(value, Json::Obj(_) | Json::Arr(_)),
+                        "metrics field `{key}` is not a scalar"
+                    );
+                }
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let count = |key: &str| parsed.get(key).and_then(Json::as_u64);
+        assert_eq!(count("requests"), Some(7));
+        assert_eq!(count("verb_route"), Some(2));
+        assert_eq!(count("verb_stats"), Some(1));
+        assert_eq!(count("verb_devices"), Some(1));
+        assert_eq!(count("verb_health"), Some(1));
+        assert_eq!(count("verb_metrics"), Some(1), "counts itself");
+        assert_eq!(count("errors"), Some(1), "the malformed line");
+        assert_eq!(count("routed"), Some(1));
+        assert_eq!(count("cache_hits"), Some(1));
+        assert_eq!(count("cache_misses"), Some(1));
+        assert_eq!(count("in_flight"), Some(0), "all work finished");
+        assert_eq!(count("queue_depth"), Some(0));
+        // The old `stats` shape is untouched: nested cache object, no
+        // new fields.
+        let stats = service.handle_line("{\"type\":\"stats\"}");
+        assert!(stats.contains("\"cache\":{"), "{stats}");
+        assert!(!stats.contains("verb_"), "{stats}");
+        assert!(!stats.contains("in_flight"), "{stats}");
+        service.handle_line("{\"type\":\"shutdown\"}");
+    }
+
+    #[test]
+    fn fault_plan_delays_truncates_and_kills_the_stream() {
+        use crate::faults::FaultPlan;
+        // delay@1 serves normally (slowly); close:10@2 tears reply 2
+        // after 10 bytes; the stream ends there.
+        let service = Service::start(ServiceConfig {
+            fault_plan: Some(FaultPlan::parse("delay:1@1;close:10@2").unwrap()),
+            ..ServiceConfig::default()
+        });
+        let input = "{\"type\":\"stats\",\"id\":1}\n{\"type\":\"stats\",\"id\":2}\n\
+                     {\"type\":\"stats\",\"id\":3}\n";
+        let mut output = Vec::new();
+        service
+            .serve_ndjson(std::io::BufReader::new(input.as_bytes()), &mut output)
+            .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.split('\n').collect();
+        assert!(lines[0].contains("\"id\":1"), "{text}");
+        assert_eq!(lines[1], "{\"id\":2,\"t", "10-byte torn frame: {text}");
+        assert_eq!(lines.len(), 2, "the stream closed after the tear: {text}");
+
+        // A kill fault stops the daemon mid-stream: replies before it,
+        // nothing at or after it, and the killed flag latches so every
+        // other stream of the same service stops too.
+        let service = Service::start(ServiceConfig {
+            fault_plan: Some(FaultPlan::parse("kill@2").unwrap()),
+            ..ServiceConfig::default()
+        });
+        let mut output = Vec::new();
+        service
+            .serve_ndjson(std::io::BufReader::new(input.as_bytes()), &mut output)
+            .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(service.fault_killed());
+        let mut other = Vec::new();
+        service
+            .serve_ndjson(
+                std::io::BufReader::new(&b"{\"type\":\"stats\"}\n"[..]),
+                &mut other,
+            )
+            .unwrap();
+        assert!(other.is_empty(), "killed daemons serve no stream");
     }
 
     #[test]

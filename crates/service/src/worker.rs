@@ -70,6 +70,10 @@ pub fn spawn_pool(
                 .spawn(move || {
                     let mut worker = RouteWorker::new();
                     while let Some(job) = queue.pop() {
+                        // The in-flight gauge spans pickup → reply
+                        // handoff, so `metrics` can tell queued work
+                        // (queue_depth) from work already on a core.
+                        ServiceMetrics::bump(&metrics.in_flight);
                         // A panicking route must not kill the pool:
                         // later queued jobs would block their callers
                         // forever. Catch it, answer with an error, and
@@ -94,6 +98,14 @@ pub fn spawn_pool(
                         } else {
                             ServiceMetrics::bump(&metrics.errors);
                         }
+                        // Decrement BEFORE the reply goes out: the
+                        // caller synchronizes on the reply channel, so
+                        // any request it serves afterwards (a `metrics`
+                        // probe, say) observes the gauge already
+                        // dropped. Decrementing after the send would
+                        // leave the gauge to worker-thread scheduling
+                        // and make `metrics` output nondeterministic.
+                        ServiceMetrics::drop_one(&metrics.in_flight);
                         // A dropped receiver (client gone) is fine.
                         let _ = job.reply.send(body);
                     }

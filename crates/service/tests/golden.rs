@@ -54,9 +54,12 @@ fn stdin_responses_match_golden_and_are_cache_invariant() {
         "cache-off run produced a different number of responses"
     );
     for (a, b) in first.lines().zip(uncached.lines()) {
-        // stats lines legitimately differ (they report the cache);
-        // everything else must not.
-        if a.contains("\"type\":\"stats\"") && b.contains("\"type\":\"stats\"") {
+        // stats and metrics lines legitimately differ (they report
+        // the cache); everything else must not.
+        let reveals_cache = |line: &str| {
+            line.contains("\"type\":\"stats\"") || line.contains("\"type\":\"metrics\"")
+        };
+        if reveals_cache(a) && reveals_cache(b) {
             continue;
         }
         assert_eq!(a, b, "cache-off run diverged on a non-stats response");
