@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! codar-fuzz [--seed S] [--iterations N]
-//!            [--grammar all|protocol|qasm|calibration|proxy] [--stats-every N]
+//!            [--grammar all|protocol|qasm|calibration|proxy|trace] [--stats-every N]
 //!            [--cache-capacity N] [--e2e] [--coded PATH]
 //!            [--emit-corpus PATH]
 //! ```
@@ -88,7 +88,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     Grammar::ALL.to_vec()
                 } else {
                     vec![Grammar::parse(&name).ok_or_else(|| {
-                        format!("unknown grammar `{name}` (protocol|qasm|calibration|proxy|all)")
+                        format!(
+                            "unknown grammar `{name}` (protocol|qasm|calibration|proxy|trace|all)"
+                        )
                     })?]
                 };
                 i += 2;
@@ -203,7 +205,13 @@ fn run_e2e(
             Err(e) => return Err(fail(index, line, "", format!("broken reply stream: {e}"))),
         }
         let reply = reply.trim_end_matches('\n');
-        reply_fnv = codar_service::cache::fnv1a_extend(reply_fnv, reply.as_bytes());
+        // Same normalization as the in-process report: measurements
+        // (histogram sums/buckets, span clocks) are zeroed before
+        // hashing, everything decided stays byte-checked.
+        reply_fnv = codar_service::cache::fnv1a_extend(
+            reply_fnv,
+            codar_service::fuzz::normalize_reply(reply).as_bytes(),
+        );
         reply_fnv = codar_service::cache::fnv1a_extend(reply_fnv, b"\n");
         if let Err(message) = checker.check(line, reply) {
             return Err(fail(index, line, reply, message));

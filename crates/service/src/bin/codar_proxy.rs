@@ -5,6 +5,7 @@
 //!             [--retries N] [--connect-timeout-ms N] [--read-timeout-ms N]
 //!             [--backoff-base-ms N] [--backoff-cap-ms N]
 //!             [--probe-interval-ms N] [--seed S] [--drain-ms N]
+//!             [--trace-log FILE]
 //! ```
 //!
 //! Speaks the same NDJSON protocol as `coded` on the client side and
@@ -14,6 +15,12 @@
 //! configuration**; replies are then byte-identical regardless of
 //! which shard answers, and the tier is transparent: clients cannot
 //! tell one shard from eight, even across failovers.
+//!
+//! `--trace-log FILE` attaches the structured trace sink: the proxy
+//! records its shard-pick/attempt span trees to FILE and injects
+//! minted `p-N` trace ids into untraced forwarded route lines, so
+//! `codar-trace --merge` can stitch proxy and shard logs into
+//! per-request waterfalls.
 
 use codar_service::{Proxy, ProxyConfig};
 use std::process::ExitCode;
@@ -95,6 +102,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             }
             "--drain-ms" => {
                 parsed.drain = parse_ms(value(args, i, "--drain-ms")?, "--drain-ms")?;
+                i += 2;
+            }
+            "--trace-log" => {
+                parsed.config.trace_log = Some(value(args, i, "--trace-log")?);
                 i += 2;
             }
             other => return Err(format!("unknown flag `{other}`")),

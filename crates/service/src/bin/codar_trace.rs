@@ -1,0 +1,351 @@
+//! `codar-trace` — offline trace-log tooling for the service tier.
+//!
+//! ```text
+//! codar-trace --normalize FILE...
+//! codar-trace --merge --proxy FILE --shard FILE [--shard FILE ...]
+//!             [--require-join] [--limit N]
+//! codar-trace --profile FILE...
+//! ```
+//!
+//! Consumes the NDJSON trace logs written by `coded --trace-log` and
+//! `codar-proxy --trace-log` (one span line per request-tree node, see
+//! `codar_service::trace`).
+//!
+//! * `--normalize` prints every span line with the two wall-clock
+//!   fields (`t_us`, `dur_us`) zeroed. Two seeded reruns of the same
+//!   workload must produce byte-identical normalized output — the CI
+//!   trace smoke diffs exactly this.
+//! * `--merge` joins the proxy log with the shard logs by trace id and
+//!   prints a per-request waterfall: the proxy's shard-pick/attempt
+//!   timeline followed by the owning shard's phase timeline.
+//!   `--require-join` additionally asserts that every proxy request
+//!   tree that reached a backend (root outcome not `overloaded`) joins
+//!   **exactly one** shard tree, and fails the run otherwise.
+//! * `--profile` aggregates phase spans across logs into a table of
+//!   count / total / mean / share per phase name.
+
+use codar_service::json::Json;
+use codar_service::normalize_line;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+/// One parsed span line. Field names mirror the serialized form.
+struct SpanLine {
+    trace: String,
+    ord: u64,
+    kind: String,
+    name: String,
+    detail: Option<String>,
+    t_us: u64,
+    dur_us: Option<u64>,
+}
+
+fn parse_span(line: &str) -> Result<SpanLine, String> {
+    let json = Json::parse(line)?;
+    let field = |key: &str| -> Result<String, String> {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("span line missing string field `{key}`"))
+    };
+    Ok(SpanLine {
+        trace: field("trace")?,
+        ord: json
+            .get("ord")
+            .and_then(Json::as_u64)
+            .ok_or("span line missing `ord`")?,
+        kind: field("kind")?,
+        name: field("name")?,
+        detail: json
+            .get("detail")
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        t_us: json
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .ok_or("span line missing `t_us`")?,
+        dur_us: json.get("dur_us").and_then(Json::as_u64),
+    })
+}
+
+fn read_lines(path: &str) -> Result<Vec<String>, String> {
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open trace log `{path}`: {e}"))?;
+    BufReader::new(file)
+        .lines()
+        .map(|line| line.map_err(|e| format!("cannot read `{path}`: {e}")))
+        .collect()
+}
+
+fn read_spans(path: &str) -> Result<Vec<SpanLine>, String> {
+    read_lines(path)?
+        .iter()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| parse_span(line).map_err(|e| format!("{path}: {e}")))
+        .collect()
+}
+
+/// Spans of one log grouped into per-trace trees, first-seen order.
+struct Trees {
+    order: Vec<String>,
+    by_trace: HashMap<String, Vec<SpanLine>>,
+}
+
+fn group(spans: Vec<SpanLine>) -> Trees {
+    let mut order = Vec::new();
+    let mut by_trace: HashMap<String, Vec<SpanLine>> = HashMap::new();
+    for span in spans {
+        if !by_trace.contains_key(&span.trace) {
+            order.push(span.trace.clone());
+        }
+        by_trace.entry(span.trace.clone()).or_default().push(span);
+    }
+    for tree in by_trace.values_mut() {
+        tree.sort_by_key(|s| s.ord);
+    }
+    Trees { order, by_trace }
+}
+
+fn root_of(tree: &[SpanLine]) -> Option<&SpanLine> {
+    tree.iter().find(|s| s.ord == 0 && s.kind == "request")
+}
+
+fn print_tier(tier: &str, tree: &[SpanLine]) {
+    for span in tree.iter().filter(|s| s.ord != 0) {
+        let mut label = span.name.clone();
+        if let Some(detail) = &span.detail {
+            label.push(' ');
+            label.push_str(detail);
+        }
+        match span.dur_us {
+            Some(dur) => println!("  {tier:<5} {label:<42} @{:<8} {dur}us", span.t_us),
+            None => println!("  {tier:<5} {label:<42} @{}", span.t_us),
+        }
+    }
+}
+
+fn merge(
+    proxy_path: &str,
+    shard_paths: &[String],
+    require_join: bool,
+    limit: usize,
+) -> Result<(), String> {
+    let proxy = group(read_spans(proxy_path)?);
+    let mut shard_spans = Vec::new();
+    for path in shard_paths {
+        shard_spans.extend(read_spans(path)?);
+    }
+    let shards = group(shard_spans);
+    let mut violations = 0usize;
+    let mut printed = 0usize;
+    for trace in &proxy.order {
+        let tree = &proxy.by_trace[trace];
+        let Some(root) = root_of(tree) else {
+            eprintln!("codar-trace: proxy trace `{trace}` has no root span");
+            violations += 1;
+            continue;
+        };
+        let outcome = root.detail.as_deref().unwrap_or("?");
+        let shard_tree = shards.by_trace.get(trace);
+        // A forwarded request that got a backend answer must have
+        // recorded exactly one shard tree under the same id; local
+        // proxy verbs never share an id with a shard (the `p-` mint
+        // namespace is the proxy's own).
+        let joinable = root.name == "route" && outcome != "overloaded";
+        if require_join && joinable {
+            let shard_roots = shard_tree.map_or(0, |tree| {
+                tree.iter()
+                    .filter(|s| s.ord == 0 && s.kind == "request")
+                    .count()
+            });
+            if shard_roots != 1 {
+                eprintln!(
+                    "codar-trace: trace `{trace}` joins {shard_roots} shard trees, expected 1"
+                );
+                violations += 1;
+            }
+        }
+        if printed < limit {
+            printed += 1;
+            let shard_total = shard_tree
+                .and_then(|tree| root_of(tree))
+                .and_then(|root| root.dur_us);
+            match (root.dur_us, shard_total) {
+                (Some(p), Some(s)) => {
+                    println!("{trace} {} {outcome} (proxy {p}us, shard {s}us)", root.name);
+                }
+                (Some(p), None) => println!("{trace} {} {outcome} (proxy {p}us)", root.name),
+                _ => println!("{trace} {} {outcome}", root.name),
+            }
+            print_tier("proxy", tree);
+            if let Some(shard_tree) = shard_tree {
+                print_tier("shard", shard_tree);
+            }
+            println!();
+        }
+    }
+    let joined = proxy
+        .order
+        .iter()
+        .filter(|t| shards.by_trace.contains_key(*t))
+        .count();
+    println!(
+        "merged {} proxy traces with {} shard trees ({} joined, {} shown)",
+        proxy.order.len(),
+        shards.order.len(),
+        joined,
+        printed,
+    );
+    if violations > 0 {
+        return Err(format!("{violations} join violations"));
+    }
+    Ok(())
+}
+
+fn profile(paths: &[String]) -> Result<(), String> {
+    // Name -> (count, total_us); insertion-ordered for stable output.
+    let mut names: Vec<String> = Vec::new();
+    let mut stats: HashMap<String, (u64, u64)> = HashMap::new();
+    for path in paths {
+        for span in read_spans(path)? {
+            if span.kind != "phase" {
+                continue;
+            }
+            if !stats.contains_key(&span.name) {
+                names.push(span.name.clone());
+            }
+            let entry = stats.entry(span.name).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += span.dur_us.unwrap_or(0);
+        }
+    }
+    let grand: u64 = stats.values().map(|(_, total)| total).sum();
+    println!(
+        "{:<12} {:>8} {:>12} {:>10} {:>7}",
+        "phase", "count", "total_us", "mean_us", "share"
+    );
+    for name in &names {
+        let (count, total) = stats[name];
+        let mean = if count == 0 { 0 } else { total / count };
+        let share = if grand == 0 {
+            0.0
+        } else {
+            100.0 * total as f64 / grand as f64
+        };
+        println!("{name:<12} {count:>8} {total:>12} {mean:>10} {share:>6.1}%");
+    }
+    Ok(())
+}
+
+fn normalize(paths: &[String]) -> Result<(), String> {
+    for path in paths {
+        for line in read_lines(path)? {
+            if line.trim().is_empty() {
+                continue;
+            }
+            println!("{}", normalize_line(&line));
+        }
+    }
+    Ok(())
+}
+
+enum Mode {
+    Normalize,
+    Merge,
+    Profile,
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut mode = None;
+    let mut files = Vec::new();
+    let mut proxy_log = None;
+    let mut shard_logs = Vec::new();
+    let mut require_join = false;
+    let mut limit = 10usize;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let set_mode = |m: Mode, current: &mut Option<Mode>| -> Result<(), String> {
+        if current.is_some() {
+            return Err("pick exactly one of --normalize / --merge / --profile".into());
+        }
+        *current = Some(m);
+        Ok(())
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--normalize" => {
+                set_mode(Mode::Normalize, &mut mode)?;
+                i += 1;
+            }
+            "--merge" => {
+                set_mode(Mode::Merge, &mut mode)?;
+                i += 1;
+            }
+            "--profile" => {
+                set_mode(Mode::Profile, &mut mode)?;
+                i += 1;
+            }
+            "--proxy" => {
+                proxy_log = Some(value(args, i, "--proxy")?);
+                i += 2;
+            }
+            "--shard" => {
+                shard_logs.push(value(args, i, "--shard")?);
+                i += 2;
+            }
+            "--require-join" => {
+                require_join = true;
+                i += 1;
+            }
+            "--limit" => {
+                limit = value(args, i, "--limit")?
+                    .parse()
+                    .map_err(|e| format!("bad --limit value: {e}"))?;
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => {
+                files.push(file.to_string());
+                i += 1;
+            }
+        }
+    }
+    match mode {
+        Some(Mode::Normalize) => {
+            if files.is_empty() {
+                return Err("--normalize needs at least one FILE".into());
+            }
+            normalize(&files)
+        }
+        Some(Mode::Profile) => {
+            if files.is_empty() {
+                return Err("--profile needs at least one FILE".into());
+            }
+            profile(&files)
+        }
+        Some(Mode::Merge) => {
+            let proxy_log = proxy_log.ok_or("--merge needs --proxy FILE")?;
+            if shard_logs.is_empty() {
+                return Err("--merge needs at least one --shard FILE".into());
+            }
+            merge(&proxy_log, &shard_logs, require_join, limit)
+        }
+        None => Err("pick one of --normalize / --merge / --profile".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("codar-trace: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

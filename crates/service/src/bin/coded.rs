@@ -3,7 +3,7 @@
 //! ```text
 //! coded [--stdin | --listen ADDR] [--workers N] [--cache-capacity N]
 //!       [--cache-shards N] [--queue-capacity N] [--seed S]
-//!       [--drain-ms N] [--fault-plan PLAN]
+//!       [--drain-ms N] [--fault-plan PLAN] [--trace-log FILE]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol of `codar_service::protocol`:
@@ -20,6 +20,12 @@
 //! per-connection threads are joined so in-flight responses complete;
 //! `--drain-ms` bounds how long readers parked on idle connections can
 //! hold up the exit (default 5000).
+//!
+//! `--trace-log FILE` attaches the structured trace sink: one NDJSON
+//! span line per request-tree node is appended to FILE (see
+//! `codar_service::trace`; `codar-trace` merges and profiles the
+//! logs). Without the flag, tracing stays id-echo-only and mints
+//! nothing.
 //!
 //! `--fault-plan` arms deterministic transport-fault injection (see
 //! `codar_service::faults` for the grammar, e.g.
@@ -106,6 +112,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 );
                 // In the real bin a planned kill is a real crash.
                 parsed.config.fault_exit = true;
+                i += 2;
+            }
+            "--trace-log" => {
+                parsed.config.trace_log = Some(value(args, i, "--trace-log")?);
                 i += 2;
             }
             other => return Err(format!("unknown flag `{other}`")),

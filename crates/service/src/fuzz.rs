@@ -1,7 +1,7 @@
 //! Seeded structured fuzzing for the daemon's line protocol.
 //!
 //! The `codar-fuzz` bin and the CI smoke gate are thin shells around
-//! this module. Three grammar-aware generator/mutator families produce
+//! this module. Five grammar-aware generator/mutator families produce
 //! corpus lines that sit *near* the grammar boundary (valid skeletons
 //! with targeted corruptions), instead of random bytes the first token
 //! check would reject:
@@ -25,7 +25,12 @@
 //!   the same circuit under different surface forms (whitespace,
 //!   device case, an `id`) that must land on one shard, next to
 //!   one-gate neighbors that must be free to land elsewhere. Valid
-//!   against a bare daemon too, so every harness runs it.
+//!   against a bare daemon too, so every harness runs it;
+//! * [`Grammar::Trace`] — the observability surface: requests carrying
+//!   hostile `trace` ids (huge, empty, non-string, duplicated — only a
+//!   *valid* id may ever be echoed), mutated `trace`-verb frames (the
+//!   span-ring readback with boundary `n` values), and
+//!   `metrics`/`hist` probes against the histogram fields.
 //!
 //! Every corpus is a pure function of `(seed, iterations, grammars)`
 //! — two runs at equal seeds are byte-identical, so any crasher is
@@ -34,9 +39,11 @@
 //! [`InvariantChecker`] holds the contract the daemon must keep for
 //! *every* line, hostile or not: exactly one single-line well-formed
 //! JSON reply, `status` ∈ {`ok`, `error`, `overloaded`}, the request
-//! `id` echoed exactly when recoverable, and — across interleaved
-//! `stats` probes — monotone counters and cache occupancy within
-//! capacity. An `ok` reply to a route that requested a simulation
+//! `id` echoed exactly when recoverable, the request's **valid**
+//! `trace` id echoed exactly (and invalid ones never echoed), and —
+//! across interleaved `stats` probes — monotone counters and cache
+//! occupancy within capacity; `metrics` histogram totals must stay
+//! monotone too, with every bucket row summing to its total. An `ok` reply to a route that requested a simulation
 //! backend must name the backend that actually ran (explicit requests
 //! must not be silently substituted — no silent dense fallback).
 //! [`minimize`] shrinks a violating line ddmin-style before
@@ -66,7 +73,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// Seed used when the caller does not pick one.
 pub const DEFAULT_SEED: u64 = 0xC0DA_F022;
 
-/// The four corpus families. See the module docs for what each mutates.
+/// The five corpus families. See the module docs for what each mutates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Grammar {
     /// NDJSON protocol frames.
@@ -78,24 +85,30 @@ pub enum Grammar {
     /// Sharded-tier frames: health/metrics mutations and hashed-key
     /// boundary routes.
     Proxy,
+    /// Observability frames: hostile `trace` ids, `trace`-verb
+    /// mutations and histogram-field probes.
+    Trace,
 }
 
 impl Grammar {
     /// All grammars, in generation order.
-    pub const ALL: [Grammar; 4] = [
+    pub const ALL: [Grammar; 5] = [
         Grammar::Protocol,
         Grammar::Qasm,
         Grammar::Calibration,
         Grammar::Proxy,
+        Grammar::Trace,
     ];
 
-    /// The CLI name (`protocol` / `qasm` / `calibration` / `proxy`).
+    /// The CLI name (`protocol` / `qasm` / `calibration` / `proxy` /
+    /// `trace`).
     pub fn name(self) -> &'static str {
         match self {
             Grammar::Protocol => "protocol",
             Grammar::Qasm => "qasm",
             Grammar::Calibration => "calibration",
             Grammar::Proxy => "proxy",
+            Grammar::Trace => "trace",
         }
     }
 
@@ -106,6 +119,7 @@ impl Grammar {
             "qasm" => Some(Grammar::Qasm),
             "calibration" => Some(Grammar::Calibration),
             "proxy" => Some(Grammar::Proxy),
+            "trace" => Some(Grammar::Trace),
             _ => None,
         }
     }
@@ -168,7 +182,10 @@ pub struct FuzzReport {
     pub lines: usize,
     /// FNV-1a over every corpus line + `\n` — equal seeds must agree.
     pub corpus_fnv: u64,
-    /// FNV-1a over every reply line + `\n`.
+    /// FNV-1a over every reply line + `\n`, each first passed through
+    /// [`normalize_reply`]: what the daemon *decides* is byte-checked,
+    /// what it *measures* (histogram sums/buckets, span clocks) is
+    /// zeroed — measurements legitimately vary between equal runs.
     pub reply_fnv: u64,
     /// Per-status reply counts.
     pub tally: ReplyTally,
@@ -184,6 +201,64 @@ pub fn expected_id(line: &str) -> Option<u64> {
         .as_ref()
         .and_then(|v| v.get("id"))
         .and_then(Json::as_u64)
+}
+
+/// The trace id the daemon must echo for `line`: a string `"trace"`
+/// field that passes [`crate::trace::valid_trace_id`] (non-empty, at
+/// most 128 bytes). Anything else — missing, wrong type, empty, or
+/// oversized — must NOT be echoed. Mirrors the server's recovery rule
+/// with the same parser, like [`expected_id`].
+pub fn expected_trace(line: &str) -> Option<String> {
+    Json::parse(line)
+        .ok()
+        .as_ref()
+        .and_then(|v| v.get("trace"))
+        .and_then(Json::as_str)
+        .filter(|id| crate::trace::valid_trace_id(id))
+        .map(str::to_string)
+}
+
+/// Zeroes every measurement field in a reply line before it is
+/// hashed into [`FuzzReport::reply_fnv`]: span `t_us`/`dur_us`
+/// clocks (via [`crate::trace::normalize_line`]), histogram `_sum_us`
+/// sums, and `_buckets` rows (their *distribution* is timing-shaped
+/// even when their total is deterministic). Every marker contains a
+/// `"` — escaped payloads cannot fake one — so only genuine reply
+/// fields are touched.
+pub fn normalize_reply(line: &str) -> String {
+    let out = crate::trace::normalize_line(line);
+    let out = zero_digits_after(&out, "_sum_us\":");
+    // Blank the bucket rows: `_buckets":"1,0,2"` → `_buckets":""`.
+    let mut result = String::with_capacity(out.len());
+    let mut rest = out.as_str();
+    while let Some(at) = rest.find("_buckets\":\"") {
+        let end = at + "_buckets\":\"".len();
+        result.push_str(&rest[..end]);
+        rest = &rest[end..];
+        if let Some(close) = rest.find('"') {
+            rest = &rest[close..];
+        }
+    }
+    result.push_str(rest);
+    result
+}
+
+/// Replaces the digit run after every occurrence of `marker` with `0`.
+fn zero_digits_after(line: &str, marker: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(at) = rest.find(marker) {
+        let end = at + marker.len();
+        out.push_str(&rest[..end]);
+        rest = &rest[end..];
+        let digits = rest.chars().take_while(char::is_ascii_digit).count();
+        if digits > 0 {
+            out.push('0');
+            rest = &rest[digits..];
+        }
+    }
+    out.push_str(rest);
+    out
 }
 
 /// One `stats` observation, for cross-probe monotonicity checks.
@@ -232,6 +307,9 @@ impl StatsObservation {
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
     last: Option<StatsObservation>,
+    /// Last-seen `hist_*_total` values from `metrics` replies, for the
+    /// histogram monotonicity check.
+    hist_totals: std::collections::HashMap<String, u64>,
     /// Running per-status reply counts.
     pub tally: ReplyTally,
 }
@@ -276,6 +354,18 @@ impl InvariantChecker {
                 "id mismatch: request carries {expected:?}, reply echoes {echoed:?}"
             ));
         }
+        // The trace-echo rule: a valid client trace id comes back
+        // verbatim, an invalid or absent one must never be invented.
+        let expected_trace = expected_trace(input);
+        let echoed_trace = parsed
+            .get("trace")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        if echoed_trace != expected_trace {
+            return Err(format!(
+                "trace mismatch: request carries {expected_trace:?}, reply echoes {echoed_trace:?}"
+            ));
+        }
         let reply_type = parsed.get("type").and_then(Json::as_str);
         // A `"proxy":true` stats reply is the front tier answering for
         // itself: its counters are retry/failover gauges with no cache
@@ -286,6 +376,7 @@ impl InvariantChecker {
         }
         if status == "ok" && reply_type == Some("metrics") {
             check_metrics_shape(&parsed)?;
+            self.observe_histograms(&parsed)?;
         }
         if status == "ok" && reply_type == Some("health") {
             check_health_shape(&parsed)?;
@@ -337,6 +428,52 @@ impl InvariantChecker {
             }
         }
         self.last = Some(now);
+        Ok(())
+    }
+
+    /// The histogram contract on extended `metrics` replies: every
+    /// `hist_<name>_total` is monotone across probes of one daemon,
+    /// and its bucket row sums exactly to it (samples are recorded
+    /// atomically: no lost or double-counted entries).
+    fn observe_histograms(&mut self, reply: &Json) -> Result<(), String> {
+        let Json::Obj(fields) = reply else {
+            return Ok(());
+        };
+        for (key, value) in fields {
+            let Some(name) = key
+                .strip_prefix("hist_")
+                .and_then(|k| k.strip_suffix("_total"))
+            else {
+                continue;
+            };
+            let total = value
+                .as_u64()
+                .ok_or_else(|| format!("histogram total `{key}` is not an integer"))?;
+            if let Some(&before) = self.hist_totals.get(key) {
+                if total < before {
+                    return Err(format!(
+                        "histogram total `{key}` went backwards: {before} -> {total}"
+                    ));
+                }
+            }
+            self.hist_totals.insert(key.clone(), total);
+            let buckets_key = format!("hist_{name}_buckets");
+            let Some(buckets) = reply.get(&buckets_key).and_then(Json::as_str) else {
+                return Err(format!("`{key}` has no matching `{buckets_key}`"));
+            };
+            let mut sum = 0u64;
+            for count in buckets.split(',') {
+                sum += count
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("`{buckets_key}` holds a non-integer bucket `{count}`"))?;
+            }
+            if sum != total {
+                return Err(format!(
+                    "`{buckets_key}` buckets sum to {sum} but `{key}` says {total}"
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -443,6 +580,7 @@ pub fn generate_corpus(config: &FuzzConfig) -> Vec<String> {
                 Grammar::Qasm => qasm_line(&mut rng),
                 Grammar::Calibration => calibration_line(&mut rng),
                 Grammar::Proxy => proxy_line(&mut rng),
+                Grammar::Trace => trace_line(&mut rng),
             }
         };
         // NDJSON: the transport splits on newlines, so a corpus line
@@ -480,7 +618,7 @@ pub fn run_in_process(
         corpus_fnv = crate::cache::fnv1a_extend(corpus_fnv, line.as_bytes());
         corpus_fnv = crate::cache::fnv1a_extend(corpus_fnv, b"\n");
         let reply = service.handle_line(line);
-        reply_fnv = crate::cache::fnv1a_extend(reply_fnv, reply.as_bytes());
+        reply_fnv = crate::cache::fnv1a_extend(reply_fnv, normalize_reply(&reply).as_bytes());
         reply_fnv = crate::cache::fnv1a_extend(reply_fnv, b"\n");
         if let Err(message) = checker.check(line, &reply) {
             let config = service.config().clone();
@@ -934,6 +1072,123 @@ fn proxy_line(rng: &mut StdRng) -> String {
             frame.render()
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Trace frames
+// ---------------------------------------------------------------------------
+
+/// A raw JSON value for a request's `trace` field. Valid ids (which
+/// must come back verbatim) sit next to every way an id can be
+/// invalid: empty, oversized (the cap is 128 bytes — both sides of it
+/// appear), wrong JSON type, hostile string content.
+fn trace_value(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..9u32) {
+        // Valid client ids, including ones squatting the daemon's and
+        // the proxy's mint namespaces (`t-N` / `p-N`).
+        0 => escape(&format!("req-{}", rng.gen_range(0..1000u64))),
+        1 => escape(&format!("t-{}", rng.gen_range(0..1000u64))),
+        2 => escape(&format!("p-{}", rng.gen_range(0..1000u64))),
+        // Exactly around the 128-byte validity cap.
+        3 => format!("\"{}\"", "x".repeat(rng.gen_range(120..=136usize))),
+        // Empty and huge: both invalid, must never be echoed.
+        4 => "\"\"".to_string(),
+        5 => format!("\"{}\"", "T".repeat(rng.gen_range(256..4096usize))),
+        // Wrong types and boundary numbers.
+        6 => SWAPPED_VALUES[rng.gen_range(0..SWAPPED_VALUES.len())].to_string(),
+        7 => BOUNDARY_NUMBERS[rng.gen_range(0..BOUNDARY_NUMBERS.len())].to_string(),
+        8 => hostile_string(rng),
+        _ => unreachable!(),
+    }
+}
+
+/// One trace-grammar corpus line. Three sub-families:
+///
+/// * ordinary verbs carrying a hostile `trace` field (sometimes
+///   duplicated — last-wins vs first-wins must match the server's own
+///   parse, the echo mirror catches any drift);
+/// * `trace`-verb frames with boundary `n` values (the span-ring
+///   readback must clamp, not crash or allocate unboundedly);
+/// * `metrics` frames probing the `hist` switch with non-boolean
+///   values — the histogram fields are opt-in and the opt-in must not
+///   be spoofable into a malformed reply.
+fn trace_line(rng: &mut StdRng) -> String {
+    let mut frame = Frame::new();
+    if rng.gen_bool(0.5) {
+        frame.push("id", rng.gen_range(0..1_000_000u64).to_string());
+    }
+    match rng.gen_range(0..8u32) {
+        0..=3 => {
+            // A traced ordinary request: route keeps the trace id on
+            // the longest path (queue, worker, cache), the probe verbs
+            // answer inline.
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    frame.push("type", "\"route\"");
+                    frame.push("trace", trace_value(rng));
+                    frame.push("device", escape(&device_name(rng)));
+                    frame.push("circuit", escape(&small_circuit(rng)));
+                }
+                1 => {
+                    frame.push("type", "\"stats\"");
+                    frame.push("trace", trace_value(rng));
+                }
+                2 => {
+                    frame.push("type", "\"health\"");
+                    frame.push("trace", trace_value(rng));
+                }
+                _ => {
+                    frame.push("type", "\"metrics\"");
+                    frame.push("trace", trace_value(rng));
+                    if rng.gen_bool(0.5) {
+                        frame.push("hist", "true");
+                    }
+                }
+            }
+            if rng.gen_bool(0.25) {
+                // Duplicate the trace key, possibly with a different
+                // value: whatever the parser recovers is what must be
+                // echoed — the mirror uses the same parser.
+                frame.push("trace", trace_value(rng));
+            }
+        }
+        4..=5 => {
+            frame.push("type", "\"trace\"");
+            match rng.gen_range(0..4u32) {
+                0 => frame.push("n", rng.gen_range(0..64u64).to_string()),
+                1 => frame.push(
+                    "n",
+                    BOUNDARY_NUMBERS[rng.gen_range(0..BOUNDARY_NUMBERS.len())].to_string(),
+                ),
+                2 => frame.push(
+                    "n",
+                    SWAPPED_VALUES[rng.gen_range(0..SWAPPED_VALUES.len())].to_string(),
+                ),
+                _ => {} // no n: the default window
+            }
+            if rng.gen_bool(0.3) {
+                frame.push("trace", trace_value(rng));
+            }
+        }
+        6..=7 => {
+            frame.push("type", "\"metrics\"");
+            frame.push(
+                "hist",
+                match rng.gen_range(0..4u32) {
+                    0 => "true".to_string(),
+                    1 => "false".to_string(),
+                    2 => SWAPPED_VALUES[rng.gen_range(0..SWAPPED_VALUES.len())].to_string(),
+                    _ => BOUNDARY_NUMBERS[rng.gen_range(0..BOUNDARY_NUMBERS.len())].to_string(),
+                },
+            );
+        }
+        _ => unreachable!(),
+    }
+    let mut line = frame.render();
+    if rng.gen_bool(0.15) {
+        mutate_text(&mut line, rng);
+    }
+    line
 }
 
 // ---------------------------------------------------------------------------
@@ -1421,6 +1676,113 @@ mod tests {
             .check("{}", &stats(6, 9))
             .expect_err("more probes than requests");
         assert!(err.contains("probes"), "{err}");
+    }
+
+    #[test]
+    fn trace_family_covers_the_surface_and_holds_invariants() {
+        let config = FuzzConfig {
+            iterations: 400,
+            grammars: vec![Grammar::Trace],
+            stats_every: 16,
+            ..FuzzConfig::default()
+        };
+        let corpus = generate_corpus(&config);
+        assert!(corpus.iter().any(|l| l.contains("\"trace\":\"req-")));
+        assert!(
+            corpus.iter().any(|l| l.contains("\"trace\":\"\"")),
+            "no empty trace id generated"
+        );
+        assert!(
+            corpus.iter().any(|l| l.contains(&"T".repeat(256))),
+            "no oversized trace id generated"
+        );
+        assert!(
+            corpus.iter().any(|l| l.matches("\"trace\":").count() >= 2),
+            "no duplicated trace key generated"
+        );
+        assert!(corpus.iter().any(|l| l.contains("\"type\":\"trace\"")));
+        assert!(corpus.iter().any(|l| l.contains("\"hist\":true")));
+        let service = Service::start(ServiceConfig::default());
+        let report = run_in_process(&corpus, &service).unwrap_or_else(|v| {
+            panic!(
+                "violation at line {}: {} on {:?}",
+                v.index, v.message, v.input
+            )
+        });
+        assert_eq!(report.lines, 400);
+        assert!(report.tally.ok > 0);
+    }
+
+    #[test]
+    fn expected_trace_mirrors_the_validity_rule() {
+        assert_eq!(
+            expected_trace("{\"type\":\"stats\",\"trace\":\"abc\"}"),
+            Some("abc".to_string())
+        );
+        // Invalid ids carry no echo obligation — and must not be echoed.
+        assert_eq!(expected_trace("{\"type\":\"stats\",\"trace\":\"\"}"), None);
+        assert_eq!(expected_trace("{\"type\":\"stats\",\"trace\":7}"), None);
+        let oversized = format!("{{\"trace\":\"{}\"}}", "x".repeat(129));
+        assert_eq!(expected_trace(&oversized), None);
+        let max = format!("{{\"trace\":\"{}\"}}", "x".repeat(128));
+        assert_eq!(expected_trace(&max), Some("x".repeat(128)));
+        assert_eq!(expected_trace("not json"), None);
+    }
+
+    #[test]
+    fn checker_enforces_the_trace_echo() {
+        // A valid trace id must come back verbatim...
+        let err = InvariantChecker::new()
+            .check(
+                "{\"type\":\"stats\",\"trace\":\"abc\"}",
+                "{\"type\":\"stats\",\"status\":\"ok\",\"proxy\":true,\"requests\":1,\
+                 \"forwarded\":0,\"retries\":0,\"failovers\":0,\"overloaded\":0,\
+                 \"backends_alive\":1,\"backends_total\":1}",
+            )
+            .expect_err("swallowed trace id must fail");
+        assert!(err.contains("trace mismatch"), "{err}");
+        // ...an invalid one must never be invented into the reply...
+        let err = InvariantChecker::new()
+            .check(
+                "{\"type\":\"health\",\"trace\":\"\"}",
+                "{\"trace\":\"\",\"type\":\"health\",\"status\":\"ok\",\
+                 \"ready\":true,\"draining\":false}",
+            )
+            .expect_err("echoed invalid trace must fail");
+        assert!(err.contains("trace mismatch"), "{err}");
+        // ...and the honest echo passes.
+        InvariantChecker::new()
+            .check(
+                "{\"type\":\"health\",\"trace\":\"abc\"}",
+                "{\"trace\":\"abc\",\"type\":\"health\",\"status\":\"ok\",\
+                 \"ready\":true,\"draining\":false}",
+            )
+            .expect("exact echo passes");
+    }
+
+    #[test]
+    fn checker_enforces_histogram_monotonicity_and_bucket_sums() {
+        let metrics = |total: u64, buckets: &str| {
+            format!(
+                "{{\"type\":\"metrics\",\"status\":\"ok\",\"requests\":1,\
+                 \"hist_route_total\":{total},\"hist_route_sum_us\":10,\
+                 \"hist_route_buckets\":\"{buckets}\"}}"
+            )
+        };
+        // Buckets must sum to the total.
+        let err = InvariantChecker::new()
+            .check("{\"type\":\"metrics\"}", &metrics(3, "1,1,0"))
+            .expect_err("bucket undercount must fail");
+        assert!(err.contains("sum to 2"), "{err}");
+        // Totals must not regress between probes of one daemon.
+        let mut checker = InvariantChecker::new();
+        checker
+            .check("{\"type\":\"metrics\"}", &metrics(3, "1,1,1"))
+            .expect("first probe");
+        let err = checker
+            .check("{\"type\":\"metrics\"}", &metrics(2, "1,1,0"))
+            .expect_err("regressed total must fail");
+        assert!(err.contains("went backwards"), "{err}");
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //! * [`faults`] — deterministic transport-fault injection: seeded
 //!   [`FaultPlan`]s consumed by `coded --fault-plan` and the
 //!   in-process [`ShardFleet`] harness,
-//! * [`metrics`] — daemon counters and latency summaries,
+//! * [`metrics`] — daemon counters, latency histograms and summaries,
+//! * [`trace`] — structured request tracing: span trees, per-thread
+//!   rings, the NDJSON trace log (`--trace-log`, the `trace` verb and
+//!   the `codar-trace` merge tool),
 //! * [`loadgen`] — the deterministic load generator,
 //! * [`soak`] — seeded long-run mixed traffic under the fuzz
 //!   invariants (`loadgen --soak`),
@@ -71,16 +74,18 @@ pub mod proxy;
 pub mod queue;
 pub mod server;
 pub mod soak;
+pub mod trace;
 pub mod worker;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use faults::{FaultKind, FaultPlan, ShardFleet};
 pub use loadgen::{LoadgenConfig, LoadgenReport, TcpTransport, Transport};
 pub use metrics::{LatencySummary, LATENCY_SCHEMA_VERSION};
-pub use protocol::{ParseRejection, Request};
+pub use protocol::{Envelope, ParseRejection, Request};
 pub use proxy::{Proxy, ProxyConfig};
 pub use server::{Service, ServiceConfig};
 pub use soak::{SoakConfig, SoakError, SoakReport};
+pub use trace::{normalize_line, PhaseSample, TraceCtx, TraceRecorder};
 
 /// Schema version of the deterministic loadgen summary JSON. Bump on
 /// any shape change, as with [`codar_engine::TIMINGS_SCHEMA_VERSION`].

@@ -36,12 +36,13 @@
 
 use crate::cache::{fnv1a_extend, FNV_OFFSET};
 use crate::json::{escape, Json};
-use crate::metrics::LatencySummary;
+use crate::metrics::{Histogram, LatencySummary, PHASE_NAMES};
 use crate::server::Service;
 use crate::LOADGEN_SUMMARY_VERSION;
 use codar_benchmarks::mix::{service_pool, CircuitMix};
 use codar_circuit::from_qasm::circuit_to_qasm;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fmt::Write as _;
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -142,6 +143,19 @@ impl Transport for TcpTransport {
     }
 }
 
+/// One daemon-side phase's histogram totals, scraped from the target's
+/// `{"type":"metrics","hist":true}` reply at the end of a run. `name`
+/// is the field stem (`queue_wait`, `phase_route`, ...).
+#[derive(Debug, Clone)]
+pub struct PhaseTotals {
+    /// Metrics field stem the totals were scraped from.
+    pub name: String,
+    /// Samples recorded.
+    pub total: u64,
+    /// Summed duration, microseconds.
+    pub sum_us: u64,
+}
+
 /// Everything one loadgen run measured.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
@@ -186,6 +200,11 @@ pub struct LoadgenReport {
     pub proxy_failovers: u64,
     /// Per-request latencies, microseconds, request order.
     pub latencies_us: Vec<u64>,
+    /// Daemon-side phase profile at the end of the run (queue wait +
+    /// the worker phases), scraped via `{"type":"metrics","hist":true}`.
+    /// All zeros through a proxy (it has no phase fields; scrape the
+    /// backends directly).
+    pub daemon_phases: Vec<PhaseTotals>,
 }
 
 impl LoadgenReport {
@@ -241,17 +260,25 @@ impl LoadgenReport {
     /// the run context (request count, seed, device/router, issue
     /// mode, daemon cache capacity/shards, active snapshot version,
     /// and — through a proxy — the retry/failover counts) needed to
-    /// tell whether two latency files measured comparable runs. See
-    /// [`crate::LATENCY_SCHEMA_VERSION`].
+    /// tell whether two latency files measured comparable runs. Since
+    /// schema 4 it also embeds the full client-side latency histogram
+    /// (the same fixed log2 buckets the daemon's `metrics` histograms
+    /// use, so the two distributions line up bucket for bucket) and
+    /// the daemon's end-of-run phase profile — where the measured time
+    /// went. See [`crate::LATENCY_SCHEMA_VERSION`].
     pub fn latency_json(&self) -> String {
         use crate::metrics::LATENCY_SCHEMA_VERSION;
-        format!(
+        let client = Histogram::new();
+        for &us in &self.latencies_us {
+            client.record(us);
+        }
+        let mut json = format!(
             "{{\n  \"version\": {LATENCY_SCHEMA_VERSION},\n{},\n  \
              \"requests\": {},\n  \"seed\": {},\n  \"repeat_ratio\": {:.6},\n  \
              \"device\": {},\n  \"router\": {},\n  \
              \"mode\": {},\n  \"arrival_us\": {},\n  \"proxy\": {},\n  \
              \"retries\": {},\n  \"failovers\": {},\n  \"cache_capacity\": {},\n  \
-             \"cache_shards\": {},\n  \"snapshot_version\": {}\n}}\n",
+             \"cache_shards\": {},\n  \"snapshot_version\": {}",
             self.latency().json_fields(),
             self.config.requests,
             self.config.seed,
@@ -270,7 +297,24 @@ impl LoadgenReport {
             self.daemon_cache_capacity,
             self.daemon_cache_shards,
             self.snapshot_version,
-        )
+        );
+        let _ = write!(
+            json,
+            ",\n  \"hist_client_total\": {},\n  \"hist_client_sum_us\": {},\n  \
+             \"hist_client_buckets\": \"{}\"",
+            client.total(),
+            client.sum_us(),
+            client.render_buckets(),
+        );
+        for phase in &self.daemon_phases {
+            let _ = write!(
+                json,
+                ",\n  \"daemon_{0}_total\": {1},\n  \"daemon_{0}_sum_us\": {2}",
+                phase.name, phase.total, phase.sum_us,
+            );
+        }
+        json.push_str("\n}\n");
+        json
     }
 }
 
@@ -329,6 +373,16 @@ fn prepare(config: &LoadgenConfig) -> std::io::Result<(Vec<String>, LoadgenRepor
         proxy_retries: 0,
         proxy_failovers: 0,
         latencies_us: Vec::with_capacity(config.requests),
+        // The full stem list up front, zeroed, so the latency JSON
+        // schema is stable even when the scrape finds no fields.
+        daemon_phases: std::iter::once("queue_wait".to_string())
+            .chain(PHASE_NAMES.iter().map(|name| format!("phase_{name}")))
+            .map(|name| PhaseTotals {
+                name,
+                total: 0,
+                sum_us: 0,
+            })
+            .collect(),
     };
     Ok((lines, report))
 }
@@ -359,7 +413,8 @@ fn observe(report: &mut LoadgenReport, response: &str) {
 
 /// The trailing context probes: one `stats` (cache counters on a
 /// daemon, retry/failover counters on a proxy — `"proxy":true`
-/// disambiguates) and one `calibration get` for the active snapshot
+/// disambiguates), one `metrics` with `hist:true` for the daemon's
+/// phase profile, and one `calibration get` for the active snapshot
 /// version (forwarded transparently through a proxy).
 fn probe_target(
     config: &LoadgenConfig,
@@ -381,6 +436,22 @@ fn probe_target(
             report.daemon_cache_capacity =
                 cache.get("capacity").and_then(Json::as_u64).unwrap_or(0);
             report.daemon_cache_shards = cache.get("shards").and_then(Json::as_u64).unwrap_or(0);
+        }
+    }
+    // The daemon's phase profile (histogram totals per worker phase):
+    // where the run's time went, recorded next to the client-side
+    // percentiles it explains.
+    let metrics_line = transport.call("{\"type\":\"metrics\",\"hist\":true}")?;
+    if let Ok(metrics) = Json::parse(&metrics_line) {
+        for phase in &mut report.daemon_phases {
+            phase.total = metrics
+                .get(&format!("hist_{}_total", phase.name))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            phase.sum_us = metrics
+                .get(&format!("hist_{}_sum_us", phase.name))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
         }
     }
     // The active snapshot version of the target device: latency runs
@@ -597,6 +668,19 @@ mod tests {
         assert!(json.contains("\"cache_capacity\": 1024"));
         assert!(json.contains("\"cache_shards\": 8"));
         assert!(json.contains("\"snapshot_version\": 1"), "{json}");
+        // Schema 4: the client-side latency histogram (all 5 samples
+        // bucketed) and the daemon's scraped phase profile ride along.
+        assert!(json.contains("\"hist_client_total\": 5"), "{json}");
+        assert!(json.contains("\"hist_client_buckets\": \""), "{json}");
+        assert!(json.contains("\"daemon_queue_wait_total\":"), "{json}");
+        assert!(json.contains("\"daemon_phase_route_total\":"), "{json}");
+        let route_total: u64 = json
+            .split("\"daemon_phase_route_total\": ")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|digits| digits.trim().parse().ok())
+            .unwrap();
+        assert!(route_total >= 1, "cache misses must route: {json}");
         // Without a snapshot the version reads 0.
         let mut bare = Service::start(ServiceConfig::default());
         let bare_report = run(&config, &mut bare).unwrap();

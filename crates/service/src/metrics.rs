@@ -1,14 +1,119 @@
-//! Daemon counters and the loadgen latency summary.
+//! Daemon counters, latency histograms and the loadgen summary.
 //!
 //! [`ServiceMetrics`] are the daemon-side request counters reported by
 //! the `stats` request — plain atomics, updated on every request.
-//! [`LatencySummary`] is the client-side view: `loadgen` records one
-//! microsecond sample per request and summarizes them here. Latency is
-//! a *measurement* (inherently nondeterministic), so it is kept out of
-//! the deterministic loadgen summary JSON, exactly like the engine
-//! keeps `RunStats` out of its `Summary`.
+//! [`Histogram`] adds where-did-the-time-go depth: fixed log2-bucket
+//! latency histograms per verb, for queue wait, and for every routing
+//! phase, scraped via `{"type":"metrics","hist":true}` (the plain
+//! `metrics` body is byte-frozen by the golden fixtures, so the
+//! histogram fields are strictly opt-in). [`LatencySummary`] is the
+//! client-side view: `loadgen` records one microsecond sample per
+//! request and summarizes them here. Latency is a *measurement*
+//! (inherently nondeterministic), so it is kept out of the
+//! deterministic loadgen summary JSON, exactly like the engine keeps
+//! `RunStats` out of its `Summary`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per [`Histogram`]: bucket `i` covers `[2^i, 2^(i+1))`
+/// microseconds (bucket 0 also holds zero), the last bucket is
+/// open-ended at ~8.4 s. Compile-time constant, so two scrapes of the
+/// same request stream bucket identically.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// Routing phases with a dedicated histogram, in pipeline order. The
+/// queue wait sits between `cache_lookup` and `route` but is tracked
+/// separately (it measures the queue, not a worker phase).
+pub const PHASE_NAMES: [&str; 7] = [
+    "parse",
+    "canonicalize",
+    "cache_lookup",
+    "route",
+    "verify",
+    "simulate",
+    "serialize",
+];
+
+/// Verbs with a dedicated end-to-end latency histogram, in the
+/// emission order of the extended `metrics` body.
+pub const VERB_NAMES: [&str; 8] = [
+    "route",
+    "calibration",
+    "stats",
+    "devices",
+    "health",
+    "metrics",
+    "shutdown",
+    "trace",
+];
+
+/// A fixed-boundary log2-bucket latency histogram (microseconds).
+/// Lock-free: every field is an independent relaxed atomic — `total`
+/// is the monotone event count the fuzz checker watches, `sum_us` and
+/// the buckets are the measurement side.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh all-zero histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index `us` falls into: `floor(log2(us))`, clamped.
+    pub fn bucket_index(us: u64) -> usize {
+        if us <= 1 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, us: u64) {
+        self.buckets[Histogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far (monotone).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Bucket counts as a comma-joined string — a *scalar* JSON value,
+    /// so the extended `metrics` body stays flat under the fuzz
+    /// checker's flatness contract.
+    pub fn render_buckets(&self) -> String {
+        let counts: Vec<String> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed).to_string())
+            .collect();
+        counts.join(",")
+    }
+
+    /// The three extended-metrics fields of this histogram, named
+    /// `hist_<name>_total` / `_sum_us` / `_buckets`, comma-separated
+    /// and ready to splice into a flat JSON body.
+    pub fn json_fields(&self, name: &str) -> String {
+        format!(
+            "\"hist_{name}_total\":{},\"hist_{name}_sum_us\":{},\"hist_{name}_buckets\":\"{}\"",
+            self.total(),
+            self.sum_us(),
+            self.render_buckets()
+        )
+    }
+}
 
 /// Request counters of one daemon instance.
 #[derive(Debug, Default)]
@@ -39,6 +144,16 @@ pub struct ServiceMetrics {
     pub verb_metrics: AtomicU64,
     /// Well-formed `shutdown` requests.
     pub verb_shutdown: AtomicU64,
+    /// Well-formed `trace` requests (ring reads; counted like the
+    /// other verbs but kept out of the byte-frozen plain bodies).
+    pub verb_trace: AtomicU64,
+    /// End-to-end latency per verb, indexed like [`VERB_NAMES`].
+    pub hist_verbs: [Histogram; 8],
+    /// Time accepted route jobs spent queued before a worker picked
+    /// them up.
+    pub hist_queue_wait: Histogram,
+    /// Per-phase routing breakdown, indexed like [`PHASE_NAMES`].
+    pub hist_phases: [Histogram; 7],
 }
 
 impl ServiceMetrics {
@@ -52,10 +167,42 @@ impl ServiceMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Decrements a gauge (relaxed, saturating at zero in practice:
-    /// every decrement is paired with an earlier increment).
+    /// Decrements a gauge, saturating at zero. A plain `fetch_sub`
+    /// would wrap an unpaired decrement to `u64::MAX` — a future
+    /// pairing bug would then read as 18 quintillion in-flight jobs in
+    /// `metrics` output instead of the honest 0 — so this is a CAS
+    /// loop that refuses to go below zero.
     pub fn drop_one(gauge: &AtomicU64) {
-        gauge.fetch_sub(1, Ordering::Relaxed);
+        let mut current = gauge.load(Ordering::Relaxed);
+        while current != 0 {
+            match gauge.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The per-phase histogram for `name`, if `name` is one of
+    /// [`PHASE_NAMES`].
+    pub fn phase_histogram(&self, name: &str) -> Option<&Histogram> {
+        PHASE_NAMES
+            .iter()
+            .position(|&p| p == name)
+            .map(|i| &self.hist_phases[i])
+    }
+
+    /// The per-verb latency histogram for `name`, if `name` is one of
+    /// [`VERB_NAMES`].
+    pub fn verb_histogram(&self, name: &str) -> Option<&Histogram> {
+        VERB_NAMES
+            .iter()
+            .position(|&v| v == name)
+            .map(|i| &self.hist_verbs[i])
     }
 
     /// Reads a counter.
@@ -73,8 +220,13 @@ impl ServiceMetrics {
 /// for comparability before being diffed; version 3 added the traffic
 /// mode (`mode`, `arrival_us`) and the failover context (`proxy`,
 /// `retries`, `failovers`) so tail latencies measured through the
-/// sharded tier carry the fault story that produced them.
-pub const LATENCY_SCHEMA_VERSION: u32 = 3;
+/// sharded tier carry the fault story that produced them; version 4
+/// made the file self-diagnosing — the client-side log2-bucket latency
+/// histogram (same compile-time buckets as the daemon's) and the
+/// daemon's per-phase profile scraped via `metrics` `hist:true` at end
+/// of run, so a p99 spike in the percentiles can be attributed to
+/// queue wait vs routing phases without rerunning anything.
+pub const LATENCY_SCHEMA_VERSION: u32 = 4;
 
 /// Percentile summary of recorded per-request latencies.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,6 +357,61 @@ mod tests {
         assert_eq!(ServiceMetrics::read(&metrics.requests), 2);
         assert_eq!(ServiceMetrics::read(&metrics.errors), 1);
         assert_eq!(ServiceMetrics::read(&metrics.overloaded), 0);
+    }
+
+    #[test]
+    fn drop_one_saturates_at_zero() {
+        // Regression: an unpaired decrement used to wrap the gauge to
+        // u64::MAX via fetch_sub; it must clamp at zero instead.
+        let metrics = ServiceMetrics::new();
+        ServiceMetrics::drop_one(&metrics.in_flight);
+        assert_eq!(ServiceMetrics::read(&metrics.in_flight), 0);
+        ServiceMetrics::bump(&metrics.in_flight);
+        ServiceMetrics::drop_one(&metrics.in_flight);
+        ServiceMetrics::drop_one(&metrics.in_flight);
+        ServiceMetrics::drop_one(&metrics.in_flight);
+        assert_eq!(ServiceMetrics::read(&metrics.in_flight), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(1025), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_renders_flat() {
+        let hist = Histogram::new();
+        for us in [0, 1, 2, 3, 1024, u64::MAX / 2] {
+            hist.record(us);
+        }
+        assert_eq!(hist.total(), 6);
+        let buckets = hist.render_buckets();
+        assert_eq!(buckets.split(',').count(), HISTOGRAM_BUCKETS);
+        let counts: Vec<u64> = buckets.split(',').map(|c| c.parse().unwrap()).collect();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[10], 1);
+        assert_eq!(counts[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(counts.iter().sum::<u64>(), hist.total());
+        let fields = hist.json_fields("route");
+        assert!(fields.starts_with("\"hist_route_total\":6,\"hist_route_sum_us\":"));
+        assert!(fields.contains("\"hist_route_buckets\":\"2,2,0"));
+    }
+
+    #[test]
+    fn phase_histograms_resolve_by_name() {
+        let metrics = ServiceMetrics::new();
+        metrics.phase_histogram("route").unwrap().record(7);
+        assert_eq!(metrics.hist_phases[3].total(), 1);
+        assert!(metrics.phase_histogram("queue_wait").is_none());
+        assert!(metrics.phase_histogram("nope").is_none());
     }
 
     #[test]

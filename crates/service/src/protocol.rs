@@ -9,9 +9,18 @@
 //! | `calibration` | `device`, `action` (`get`/`set`); for `set`: `snapshot` (a calibration JSON document as a string) or `synthetic` (`{seed, drift}`) | the active snapshot / a versioned ack |
 //! | `stats` | optional `id` | request/cache counters |
 //! | `health` | optional `id` | readiness + draining state (a draining daemon reports `ready:false` and refuses new route work) |
-//! | `metrics` | optional `id` | everything `stats` reports plus queue depth, in-flight gauge and per-verb counters, as scrape-friendly flat JSON |
+//! | `metrics` | optional `id`, optional `hist` (boolean; `true` appends the log2-bucket latency histograms) | everything `stats` reports plus queue depth, in-flight gauge and per-verb counters, as scrape-friendly flat JSON |
 //! | `devices` | optional `id` | the device catalog |
+//! | `trace` | optional `id`, optional `n` (default 32, capped) | the last `n` span lines from the daemon's trace ring |
 //! | `shutdown` | optional `id` | ack; the daemon stops serving |
+//!
+//! Every request additionally accepts an optional `"trace"` field — a
+//! non-empty string of at most
+//! [`TRACE_ID_MAX_BYTES`](crate::trace::TRACE_ID_MAX_BYTES) bytes used
+//! as the request's trace id. When (and only when) a request carries a
+//! valid trace id, the response echoes it right after the `id`; absent
+//! the field, responses are byte-identical to the pre-tracing
+//! protocol.
 //!
 //! Responses always carry `"status"`: `"ok"`, `"error"` or
 //! `"overloaded"`. When the request had an `id`, the response echoes it
@@ -26,8 +35,15 @@
 //! checksum.
 
 use crate::json::{escape, Json};
+use crate::trace::valid_trace_id;
 use codar_circuit::schedule::Time;
 use codar_engine::{Backend, RouterKind};
+
+/// Most span lines a `trace` request may ask for (`n` is clamped).
+pub const TRACE_REPLY_MAX: u64 = 256;
+
+/// Span lines a `trace` request returns when `n` is absent.
+pub const TRACE_REPLY_DEFAULT: u64 = 32;
 
 /// What a `calibration` request does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,26 +69,44 @@ pub enum CalPayload {
     },
 }
 
-/// Why a request line was rejected, plus the correlation id when one
-/// could still be recovered from the line (a well-formed JSON object
-/// with a well-formed `id`). Carrying the id here lets the server echo
-/// it without re-parsing the line — on hostile near-valid megabyte
-/// lines a second parse doubles the rejection cost.
+/// Why a request line was rejected, plus the correlation id and trace
+/// id when they could still be recovered from the line (a well-formed
+/// JSON object with a well-formed `id`/`trace`). Carrying them here
+/// lets the server echo both without re-parsing the line — on hostile
+/// near-valid megabyte lines a second parse doubles the rejection
+/// cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseRejection {
     /// The `id` recovered from the rejected line, if any.
     pub id: Option<u64>,
+    /// The valid `trace` id recovered from the rejected line, if any
+    /// (an ill-formed trace value is never echoed).
+    pub trace: Option<String>,
     /// Human-readable rejection reason.
     pub message: String,
 }
 
 impl ParseRejection {
-    fn new(id: Option<u64>, message: impl Into<String>) -> Self {
+    fn new(id: Option<u64>, trace: Option<String>, message: impl Into<String>) -> Self {
         ParseRejection {
             id,
+            trace,
             message: message.into(),
         }
     }
+}
+
+/// A parsed request line plus its transport-level trace id. The trace
+/// id rides outside [`Request`] because it belongs to the request's
+/// *journey* (span correlation), not its semantics — two requests that
+/// differ only in trace id are the same request, hit the same cache
+/// entry, and route identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The request itself.
+    pub request: Request,
+    /// The validated trace id, when the line carried one.
+    pub trace: Option<String>,
 }
 
 /// A parsed request line.
@@ -120,11 +154,22 @@ pub enum Request {
     Metrics {
         /// Echoed correlation id.
         id: Option<u64>,
+        /// Append the log2-bucket latency histograms. Opt-in because
+        /// the plain `metrics` body is byte-frozen by golden fixtures.
+        hist: bool,
     },
     /// The device catalog.
     Devices {
         /// Echoed correlation id.
         id: Option<u64>,
+    },
+    /// The last `n` span lines from the daemon's trace ring.
+    Trace {
+        /// Echoed correlation id.
+        id: Option<u64>,
+        /// How many span lines to return (default
+        /// [`TRACE_REPLY_DEFAULT`], clamped to [`TRACE_REPLY_MAX`]).
+        n: Option<u64>,
     },
     /// Stop serving after replying.
     Shutdown {
@@ -134,22 +179,58 @@ pub enum Request {
 }
 
 impl Request {
-    /// Parses one NDJSON request line.
+    /// Parses one NDJSON request line, dropping the envelope. Prefer
+    /// [`Request::parse_envelope`] when the trace id matters; this
+    /// shorthand keeps call sites that only care about semantics
+    /// simple.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Request::parse_envelope`].
+    pub fn parse_line(line: &str) -> Result<Request, ParseRejection> {
+        Request::parse_envelope(line).map(|envelope| envelope.request)
+    }
+
+    /// Parses one NDJSON request line into the request plus its
+    /// optional trace id.
     ///
     /// # Errors
     ///
     /// Returns a [`ParseRejection`] — a human-readable message for
-    /// malformed JSON, a missing or unknown `type`, or missing or
-    /// ill-typed fields, together with the recovered `id` (when the
-    /// line was at least a JSON object with a well-formed `id`) so the
-    /// server can echo it without parsing the line a second time.
-    pub fn parse_line(line: &str) -> Result<Request, ParseRejection> {
+    /// malformed JSON, a missing or unknown `type`, missing or
+    /// ill-typed fields, or an invalid `trace` value — together with
+    /// the recovered `id` and valid `trace` (when the line was at
+    /// least a JSON object carrying well-formed ones) so the server
+    /// can echo both without parsing the line a second time.
+    pub fn parse_envelope(line: &str) -> Result<Envelope, ParseRejection> {
         let value = Json::parse(line)
-            .map_err(|e| ParseRejection::new(None, format!("malformed JSON: {e}")))?;
-        // Recovered once, up front: rejected lines echo this id so
+            .map_err(|e| ParseRejection::new(None, None, format!("malformed JSON: {e}")))?;
+        // Recovered once, up front: rejected lines echo these so
         // clients can correlate the rejection.
         let recovered_id = value.get("id").and_then(Json::as_u64);
-        Request::parse_value(&value).map_err(|message| ParseRejection::new(recovered_id, message))
+        let recovered_trace = value
+            .get("trace")
+            .and_then(Json::as_str)
+            .filter(|t| valid_trace_id(t))
+            .map(str::to_string);
+        let reject = |message| ParseRejection::new(recovered_id, recovered_trace.clone(), message);
+        let trace = match value.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let id = v
+                    .as_str()
+                    .ok_or_else(|| reject("`trace` must be a string".to_string()))?;
+                if !valid_trace_id(id) {
+                    return Err(reject(format!(
+                        "`trace` must be a non-empty string of at most {} bytes",
+                        crate::trace::TRACE_ID_MAX_BYTES
+                    )));
+                }
+                Some(id.to_string())
+            }
+        };
+        let request = Request::parse_value(&value).map_err(|message| reject(message))?;
+        Ok(Envelope { request, trace })
     }
 
     /// The structural half of [`Request::parse_line`]: dispatches an
@@ -286,8 +367,26 @@ impl Request {
             }
             "stats" => Ok(Request::Stats { id }),
             "health" => Ok(Request::Health { id }),
-            "metrics" => Ok(Request::Metrics { id }),
+            "metrics" => {
+                let hist = match value.get("hist") {
+                    None | Some(Json::Null) => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| "`hist` must be a boolean".to_string())?,
+                };
+                Ok(Request::Metrics { id, hist })
+            }
             "devices" => Ok(Request::Devices { id }),
+            "trace" => {
+                let n = match value.get("n") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or_else(|| "`n` must be a non-negative integer".to_string())?,
+                    ),
+                };
+                Ok(Request::Trace { id, n })
+            }
             "shutdown" => Ok(Request::Shutdown { id }),
             other => Err(format!("unknown request type `{other}`")),
         }
@@ -300,9 +399,26 @@ impl Request {
             | Request::Calibration { id, .. }
             | Request::Stats { id }
             | Request::Health { id }
-            | Request::Metrics { id }
+            | Request::Metrics { id, .. }
             | Request::Devices { id }
+            | Request::Trace { id, .. }
             | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// The verb name of this request, matching
+    /// [`crate::metrics::VERB_NAMES`] — the root span's name and the
+    /// per-verb latency histogram key.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Route { .. } => "route",
+            Request::Calibration { .. } => "calibration",
+            Request::Stats { .. } => "stats",
+            Request::Health { .. } => "health",
+            Request::Metrics { .. } => "metrics",
+            Request::Devices { .. } => "devices",
+            Request::Trace { .. } => "trace",
+            Request::Shutdown { .. } => "shutdown",
         }
     }
 }
@@ -428,6 +544,20 @@ pub fn attach_id(id: Option<u64>, body: &str) -> String {
         Some(id) => {
             debug_assert!(body.starts_with('{'));
             format!("{{\"id\":{id},{}", &body[1..])
+        }
+    }
+}
+
+/// Splices the echoed `trace` id in front of a response body. Applied
+/// *before* [`attach_id`], so an id-carrying traced reply reads
+/// `{"id":N,"trace":"...",...}` — the id stays the first field, as the
+/// pre-tracing protocol promised.
+pub fn attach_trace(trace: Option<&str>, body: &str) -> String {
+    match trace {
+        None => body.to_string(),
+        Some(trace) => {
+            debug_assert!(body.starts_with('{'));
+            format!("{{\"trace\":{},{}", escape(trace), &body[1..])
         }
     }
 }
@@ -640,12 +770,106 @@ mod tests {
         );
         assert_eq!(
             Request::parse_line(r#"{"type":"metrics"}"#).unwrap(),
-            Request::Metrics { id: None }
+            Request::Metrics {
+                id: None,
+                hist: false
+            }
         );
+        assert_eq!(
+            Request::parse_line(r#"{"type":"metrics","hist":true,"id":5}"#).unwrap(),
+            Request::Metrics {
+                id: Some(5),
+                hist: true
+            }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"type":"trace"}"#).unwrap(),
+            Request::Trace { id: None, n: None }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"type":"trace","n":8,"id":2}"#).unwrap(),
+            Request::Trace {
+                id: Some(2),
+                n: Some(8)
+            }
+        );
+        for (line, needle) in [
+            (r#"{"type":"metrics","hist":1}"#, "`hist` must be a boolean"),
+            (
+                r#"{"type":"trace","n":-3}"#,
+                "`n` must be a non-negative integer",
+            ),
+            (
+                r#"{"type":"trace","n":"all"}"#,
+                "`n` must be a non-negative integer",
+            ),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert!(err.message.contains(needle), "`{line}` gave `{err:?}`");
+        }
         assert_eq!(
             Request::parse_line(r#"{"type":"shutdown"}"#).unwrap(),
             Request::Shutdown { id: None }
         );
+    }
+
+    #[test]
+    fn trace_envelope_rides_every_verb() {
+        let envelope = Request::parse_envelope(r#"{"type":"stats","trace":"abc","id":4}"#).unwrap();
+        assert_eq!(envelope.trace.as_deref(), Some("abc"));
+        assert_eq!(envelope.request, Request::Stats { id: Some(4) });
+        // Absent and null both mean untraced; the request is unchanged.
+        for line in [r#"{"type":"stats"}"#, r#"{"type":"stats","trace":null}"#] {
+            let envelope = Request::parse_envelope(line).unwrap();
+            assert_eq!(envelope.trace, None, "{line}");
+        }
+        // parse_line drops the envelope but applies the same checks.
+        assert_eq!(
+            Request::parse_line(r#"{"type":"stats","trace":"abc"}"#).unwrap(),
+            Request::Stats { id: None }
+        );
+    }
+
+    #[test]
+    fn invalid_trace_values_are_rejected_and_not_echoed() {
+        for (line, needle) in [
+            (r#"{"type":"stats","trace":""}"#, "non-empty string"),
+            (r#"{"type":"stats","trace":7}"#, "`trace` must be a string"),
+            (
+                r#"{"type":"stats","trace":{"a":1}}"#,
+                "`trace` must be a string",
+            ),
+        ] {
+            let err = Request::parse_envelope(line).expect_err(line);
+            assert!(err.message.contains(needle), "`{line}` gave `{err:?}`");
+            assert_eq!(err.trace, None, "invalid trace must not be echoed");
+        }
+        let long = format!(
+            r#"{{"type":"stats","trace":"{}"}}"#,
+            "x".repeat(crate::trace::TRACE_ID_MAX_BYTES + 1)
+        );
+        let err = Request::parse_envelope(&long).expect_err("oversized trace");
+        assert!(err.message.contains("at most"), "{err:?}");
+        assert_eq!(err.trace, None);
+        // A *valid* trace on an otherwise-rejected line is recovered
+        // for echoing, exactly like the id.
+        let err = Request::parse_envelope(r#"{"type":"fly","trace":"t-9","id":3}"#)
+            .expect_err("unknown type");
+        assert_eq!(err.id, Some(3));
+        assert_eq!(err.trace.as_deref(), Some("t-9"));
+    }
+
+    #[test]
+    fn attach_trace_splices_behind_the_id() {
+        let body = shutdown_body();
+        assert_eq!(attach_trace(None, &body), body);
+        let traced = attach_trace(Some("t-1"), &body);
+        assert!(traced.starts_with("{\"trace\":\"t-1\",\"type\":\"shutdown\""));
+        let both = attach_id(Some(9), &traced);
+        assert!(both.starts_with("{\"id\":9,\"trace\":\"t-1\",\"type\":\"shutdown\""));
+        let parsed = Json::parse(&both).expect("traced reply parses");
+        assert_eq!(parsed.get("trace").and_then(Json::as_str), Some("t-1"));
+        assert_eq!(parsed.get("id").and_then(Json::as_u64), Some(9));
     }
 
     #[test]

@@ -33,9 +33,13 @@
 
 use crate::cache::{fnv1a_extend, key_material, FNV_OFFSET};
 use crate::json::Json;
-use crate::metrics::ServiceMetrics;
-use crate::protocol::{attach_id, overloaded_body, shutdown_body, CalAction, Request};
+use crate::metrics::{Histogram, ServiceMetrics};
+use crate::protocol::{
+    attach_id, attach_trace, overloaded_body, shutdown_body, CalAction, Request,
+    TRACE_REPLY_DEFAULT, TRACE_REPLY_MAX,
+};
 use crate::server::{SharedWriter, DEFAULT_CAL_ALPHA};
+use crate::trace::{phase_sample, TraceCtx, TraceRecorder};
 use codar_circuit::decompose::decompose_three_qubit_gates;
 use codar_circuit::from_qasm::{circuit_from_flat, circuit_to_qasm};
 use codar_engine::RouterKind;
@@ -46,7 +50,7 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Front-tier configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +75,11 @@ pub struct ProxyConfig {
     pub probe_interval: Duration,
     /// Seed of the per-connection jitter streams.
     pub seed: u64,
+    /// NDJSON trace log path (`codar-proxy --trace-log`). When set,
+    /// untraced route lines get a proxy-minted id (`p-N`) *injected*
+    /// into the forwarded bytes, so each shard's span tree joins the
+    /// proxy's in the merged waterfall (`codar-trace --merge`).
+    pub trace_log: Option<String>,
 }
 
 impl Default for ProxyConfig {
@@ -84,6 +93,7 @@ impl Default for ProxyConfig {
             backoff_cap: Duration::from_millis(200),
             probe_interval: Duration::from_millis(250),
             seed: 0,
+            trace_log: None,
         }
     }
 }
@@ -103,6 +113,10 @@ pub struct ProxyMetrics {
     pub failovers: AtomicU64,
     /// Requests answered `overloaded` because no shard could.
     pub overloaded: AtomicU64,
+    /// End-to-end forwarded-request latency (first write → final
+    /// reply, retries included), log2 buckets. Served by the proxy's
+    /// extended `{"type":"metrics","hist":true}` body.
+    pub hist_forward: Histogram,
 }
 
 struct ProxyInner {
@@ -116,6 +130,10 @@ struct ProxyInner {
     metrics: ProxyMetrics,
     shutdown: AtomicBool,
     conn_seq: AtomicU64,
+    /// Span rings + optional NDJSON sink; mints `p-N` ids (a distinct
+    /// namespace from the daemons' `t-N`) exactly when the config
+    /// carries a `trace_log`.
+    recorder: TraceRecorder,
     prober: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -209,11 +227,17 @@ impl Proxy {
     ///
     /// # Errors
     ///
-    /// Returns a message when `config.backends` is empty.
+    /// Returns a message when `config.backends` is empty or the trace
+    /// log cannot be created.
     pub fn start(config: ProxyConfig) -> Result<Proxy, String> {
         if config.backends.is_empty() {
             return Err("codar-proxy needs at least one backend".to_string());
         }
+        let recorder = match &config.trace_log {
+            Some(path) => TraceRecorder::with_sink_prefix(path, "p")
+                .map_err(|e| format!("cannot create trace log `{path}`: {e}"))?,
+            None => TraceRecorder::new(),
+        };
         let n = config.backends.len();
         let inner = Arc::new(ProxyInner {
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
@@ -221,6 +245,7 @@ impl Proxy {
             metrics: ProxyMetrics::default(),
             shutdown: AtomicBool::new(false),
             conn_seq: AtomicU64::new(0),
+            recorder,
             prober: Mutex::new(None),
             config,
         });
@@ -311,13 +336,51 @@ impl Proxy {
 
     /// Handles one client line and always returns exactly one
     /// well-formed response line (the tier's core contract).
+    ///
+    /// Tracing: locally-answered verbs echo any client trace id;
+    /// forwarded lines carry theirs through to the backend (which
+    /// echoes it). With a trace log attached, untraced route lines
+    /// additionally get a proxy-minted `p-N` id *injected* into the
+    /// forwarded bytes, so the shard's span tree records under the
+    /// same id and `codar-trace --merge` can join the two tiers.
     pub fn handle_line(&self, line: &str, conns: &mut BackendConns) -> String {
+        let t0 = Instant::now();
         let metrics = &self.inner.metrics;
         ServiceMetrics::bump(&metrics.requests);
-        match Request::parse_line(line) {
-            Ok(Request::Stats { id }) => return attach_id(id, &self.stats_body()),
-            Ok(Request::Metrics { id }) => return attach_id(id, &self.metrics_body()),
-            Ok(Request::Health { id }) => return attach_id(id, &self.health_body()),
+        let parsed = Request::parse_envelope(line);
+        // Validated during the one parse; also recovered from
+        // rejected lines, mirroring the backends.
+        let client_trace = match &parsed {
+            Ok(envelope) => envelope.trace.clone(),
+            Err(rejection) => rejection.trace.clone(),
+        };
+        match parsed.as_ref().map(|envelope| &envelope.request) {
+            Ok(Request::Stats { id }) => {
+                return attach_id(
+                    *id,
+                    &attach_trace(client_trace.as_deref(), &self.stats_body()),
+                )
+            }
+            Ok(Request::Metrics { id, hist }) => {
+                let body = if *hist {
+                    self.metrics_body_hist()
+                } else {
+                    self.metrics_body()
+                };
+                return attach_id(*id, &attach_trace(client_trace.as_deref(), &body));
+            }
+            Ok(Request::Health { id }) => {
+                return attach_id(
+                    *id,
+                    &attach_trace(client_trace.as_deref(), &self.health_body()),
+                )
+            }
+            Ok(Request::Trace { id, n }) => {
+                return attach_id(
+                    *id,
+                    &attach_trace(client_trace.as_deref(), &self.trace_body(*n)),
+                )
+            }
             Ok(Request::Shutdown { id }) => {
                 // Best-effort broadcast so the whole deployment drains,
                 // then the proxy acks and stops serving itself.
@@ -328,24 +391,76 @@ impl Proxy {
                     }
                 }
                 self.inner.shutdown.store(true, Ordering::SeqCst);
-                return attach_id(id, &shutdown_body());
+                return attach_id(
+                    *id,
+                    &attach_trace(client_trace.as_deref(), &shutdown_body()),
+                );
             }
             Ok(Request::Calibration {
                 action: CalAction::Set,
                 ..
-            }) => return self.broadcast(line, conns),
+            }) => return self.broadcast(line, conns, client_trace.as_deref()),
             // Route, calibration get, devices — and parse rejections,
             // which the backends answer so the tier adds no error
             // shapes of its own.
             _ => {}
         }
-        self.forward(line, shard_key(line), conns)
+        let is_route = matches!(
+            parsed.as_ref().map(|envelope| &envelope.request),
+            Ok(Request::Route { .. })
+        );
+        let verb = match &parsed {
+            Ok(envelope) => envelope.request.verb(),
+            Err(_) => "opaque",
+        };
+        // Span recording is armed by `--trace-log`, exactly like the
+        // backend daemons: an untraced proxy neither mints nor records,
+        // so its behavior (and the bytes it forwards) are unchanged.
+        let minted = if client_trace.is_none() && is_route {
+            self.inner.recorder.mint()
+        } else {
+            None
+        };
+        let injected = minted.is_some();
+        let trace_id = if self.inner.recorder.minting() {
+            client_trace.clone().or(minted)
+        } else {
+            None
+        };
+        let mut ctx = trace_id.map(|trace_id| TraceCtx::begin_at(trace_id, verb, t0));
+        // Placement hashes the original identity — route keys are
+        // canonical and trace-free, so injection cannot re-home the
+        // request.
+        let key = shard_key(line);
+        let rewritten;
+        let outbound = if injected {
+            let ctx = ctx.as_mut().expect("minted implies a trace context");
+            ctx.event("inject", 0, None);
+            rewritten = attach_trace(Some(ctx.id()), line);
+            rewritten.as_str()
+        } else {
+            line
+        };
+        let reply = self.forward(outbound, key, conns, &mut ctx, t0, client_trace.as_deref());
+        metrics
+            .hist_forward
+            .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        if let Some(mut ctx) = ctx {
+            ctx.finish_root(crate::server::outcome_of(&reply));
+            self.inner.recorder.commit(ctx);
+        }
+        reply
     }
 
     /// Broadcasts a line to every backend (calibration uploads must
     /// reach all shards — each keeps its own snapshot store). Replies
     /// with the first success, `overloaded` if nobody answered.
-    fn broadcast(&self, line: &str, conns: &mut BackendConns) -> String {
+    fn broadcast(
+        &self,
+        line: &str,
+        conns: &mut BackendConns,
+        client_trace: Option<&str>,
+    ) -> String {
         let framed = frame(line);
         let mut reply = None;
         for i in 0..self.inner.config.backends.len() {
@@ -368,7 +483,9 @@ impl Proxy {
             }
             None => {
                 ServiceMetrics::bump(&self.inner.metrics.overloaded);
-                overloaded_body()
+                // Backend replies echo the trace themselves; this body
+                // is proxy-fabricated, so the echo is on us.
+                attach_trace(client_trace, &overloaded_body())
             }
         }
     }
@@ -377,7 +494,15 @@ impl Proxy {
     /// on failure demote, back off (capped exponential + deterministic
     /// jitter), re-pick among survivors; `overloaded` when the budget
     /// or the fleet is exhausted.
-    fn forward(&self, line: &str, key: u64, conns: &mut BackendConns) -> String {
+    fn forward(
+        &self,
+        line: &str,
+        key: u64,
+        conns: &mut BackendConns,
+        ctx: &mut Option<TraceCtx>,
+        t0: Instant,
+        client_trace: Option<&str>,
+    ) -> String {
         let metrics = &self.inner.metrics;
         let framed = frame(line);
         let mut banned = vec![false; self.inner.config.backends.len()];
@@ -391,7 +516,24 @@ impl Proxy {
                 ServiceMetrics::bump(&metrics.failovers);
                 self.backoff(&mut conns.rng, attempt);
             }
-            match self.call(choice, conns, &framed) {
+            if let Some(ctx) = ctx.as_mut() {
+                ctx.event("shard_pick", 0, Some(format!("backend={choice}")));
+            }
+            let attempt_started = Instant::now();
+            let attempted = self.call(choice, conns, &framed);
+            let outcome = match &attempted {
+                Ok(reply) if !reply_is_draining(reply) => "ok",
+                Ok(_) => "draining",
+                Err(_) => "io_error",
+            };
+            if let Some(ctx) = ctx.as_mut() {
+                ctx.sample_with_detail(
+                    phase_sample("attempt", t0, attempt_started, Instant::now()),
+                    0,
+                    Some(format!("backend={choice} outcome={outcome}")),
+                );
+            }
+            match attempted {
                 Ok(reply) if !reply_is_draining(&reply) => {
                     ServiceMetrics::bump(&metrics.forwarded);
                     ServiceMetrics::bump(&self.inner.served[choice]);
@@ -417,7 +559,7 @@ impl Proxy {
             }
         }
         ServiceMetrics::bump(&metrics.overloaded);
-        overloaded_body()
+        attach_trace(client_trace, &overloaded_body())
     }
 
     /// One framed request/reply exchange with backend `i` over the
@@ -538,6 +680,51 @@ impl Proxy {
         }
         body.push('}');
         body
+    }
+
+    /// [`Proxy::metrics_body`] plus the extended observability fields
+    /// (requested with `"hist":true`): the forwarded-request latency
+    /// histogram, end-to-end including retries. Opt-in keeps the plain
+    /// body's bytes frozen.
+    pub fn metrics_body_hist(&self) -> String {
+        let mut body = self.metrics_body();
+        body.pop();
+        let _ = write!(
+            body,
+            ",{}",
+            self.inner.metrics.hist_forward.json_fields("forward")
+        );
+        body.push('}');
+        body
+    }
+
+    /// The proxy's `trace` body: the tier's own most recent span lines
+    /// (verbatim), `"proxy":true` marking the answering tier like its
+    /// other locally-served verbs.
+    pub fn trace_body(&self, n: Option<u64>) -> String {
+        let n = n.unwrap_or(TRACE_REPLY_DEFAULT).min(TRACE_REPLY_MAX);
+        let spans = self
+            .inner
+            .recorder
+            .recent(usize::try_from(n).unwrap_or(usize::MAX));
+        let mut body = format!(
+            "{{\"type\":\"trace\",\"status\":\"ok\",\"proxy\":true,\"count\":{},\"spans\":[",
+            spans.len()
+        );
+        for (i, span) in spans.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(span);
+        }
+        body.push_str("]}");
+        body
+    }
+
+    /// The proxy's most recent committed span lines, oldest first
+    /// (test/tooling access mirroring [`crate::Service::recent_spans`]).
+    pub fn recent_spans(&self, n: usize) -> Vec<String> {
+        self.inner.recorder.recent(n)
     }
 
     /// Serves one NDJSON stream through the tier: one response line

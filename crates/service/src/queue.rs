@@ -7,6 +7,11 @@
 //! queueing — memory stays bounded under any load. Workers block in
 //! [`Bounded::pop`]; closing the queue wakes them all so the pool can
 //! drain and exit.
+//!
+//! The queue also keeps a depth **high-water mark** — the deepest it
+//! has ever been — surfaced by the extended `metrics` body so a tail
+//! latency seen in tracing can be checked against how close the queue
+//! came to its backpressure limit.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -24,6 +29,7 @@ pub enum PushError<T> {
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+    high_water: usize,
 }
 
 /// The bounded queue (see the module docs).
@@ -42,6 +48,7 @@ impl<T> Bounded<T> {
             state: Mutex::new(State {
                 items: VecDeque::new(),
                 closed: false,
+                high_water: 0,
             }),
             not_empty: Condvar::new(),
             capacity,
@@ -63,6 +70,7 @@ impl<T> Bounded<T> {
             return Err(PushError::Full(item));
         }
         state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -100,6 +108,11 @@ impl<T> Bounded<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The deepest the queue has ever been (monotone; never reset).
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue poisoned").high_water
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +146,23 @@ mod tests {
     fn capacity_zero_always_overloads() {
         let q = Bounded::new(0);
         assert_eq!(q.try_push(1), Err(PushError::Full(1)));
+    }
+
+    #[test]
+    fn high_water_tracks_the_deepest_fill() {
+        let q = Bounded::new(4);
+        assert_eq!(q.high_water(), 0);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.high_water(), 3);
+        // Draining does not lower the mark; refilling shallower
+        // does not either.
+        q.pop();
+        q.pop();
+        q.pop();
+        q.try_push(4).unwrap();
+        assert_eq!(q.high_water(), 3);
     }
 
     #[test]

@@ -27,12 +27,14 @@
 use crate::cache::{fnv1a_extend, key_material, CacheStats, ShardedCache, FNV_OFFSET};
 use crate::faults::{FaultAction, FaultInjector, FaultPlan, KILL_EXIT_CODE};
 use crate::json::escape;
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{ServiceMetrics, PHASE_NAMES, VERB_NAMES};
 use crate::protocol::{
-    attach_id, calibration_get_body, calibration_set_body, error_body, overloaded_body,
-    shutdown_body, CalAction, CalPayload, Request,
+    attach_id, attach_trace, calibration_get_body, calibration_set_body, error_body,
+    overloaded_body, shutdown_body, CalAction, CalPayload, Request, TRACE_REPLY_DEFAULT,
+    TRACE_REPLY_MAX,
 };
 use crate::queue::{Bounded, PushError};
+use crate::trace::{phase_sample, TraceCtx, TraceRecorder};
 use crate::worker::{spawn_pool, RouteJob};
 use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_circuit::decompose::decompose_three_qubit_gates;
@@ -45,7 +47,7 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default calibration blend weight of `codar-cal` route requests
 /// that do not pass an explicit `alpha`.
@@ -73,6 +75,13 @@ pub struct ServiceConfig {
     /// --fault-plan`) or merely latches [`Service::fault_killed`]
     /// (the in-process harness).
     pub fault_exit: bool,
+    /// NDJSON trace log path (`coded --trace-log`). When set, every
+    /// route/calibration request is traced (ids are minted for
+    /// requests that carry none) and committed span trees are
+    /// appended to this file. `None` keeps the untraced hot path:
+    /// only requests carrying a `"trace"` field build span trees,
+    /// and those stay in the in-memory rings.
+    pub trace_log: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +94,7 @@ impl Default for ServiceConfig {
             seed: 0,
             fault_plan: None,
             fault_exit: false,
+            trace_log: None,
         }
     }
 }
@@ -126,6 +136,10 @@ struct Inner {
     /// plan. Serve loops consult it per request line; `handle_line`
     /// never does (faults model the transport, not the router).
     faults: Option<FaultInjector>,
+    /// Per-thread span rings + optional NDJSON sink (see
+    /// [`crate::trace`]). Minting is on exactly when the config
+    /// carries a `trace_log`.
+    recorder: TraceRecorder,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -163,6 +177,14 @@ impl Service {
             .fault_plan
             .clone()
             .map(|plan| FaultInjector::new(plan, config.fault_exit));
+        // A trace log that cannot be created is a startup
+        // misconfiguration (bad path, unwritable directory) — fail
+        // loudly instead of silently dropping every span.
+        let recorder = match &config.trace_log {
+            Some(path) => TraceRecorder::with_sink(path)
+                .unwrap_or_else(|e| panic!("cannot create trace log `{path}`: {e}")),
+            None => TraceRecorder::new(),
+        };
         Service {
             inner: Arc::new(Inner {
                 config,
@@ -173,6 +195,7 @@ impl Service {
                 calibration: Mutex::new(CalibrationStore::default()),
                 shutdown: AtomicBool::new(false),
                 faults,
+                recorder,
                 workers: Mutex::new(workers),
             }),
         }
@@ -257,21 +280,62 @@ impl Service {
 
     /// Handles one request line and returns the one response line
     /// (without trailing newline). Never panics on malformed input.
+    ///
+    /// Tracing: a request carrying a `"trace"` field gets its whole
+    /// lifecycle recorded as a span tree (committed to the recorder,
+    /// served by the `trace` verb) and the id echoed in the reply.
+    /// With a trace log attached (`--trace-log`), untraced **work**
+    /// requests (route, calibration) additionally get daemon-minted
+    /// ids — control probes never mint, so health/stats pollers
+    /// cannot make the log nondeterministic — and minted ids appear
+    /// in the log only, never in the reply, keeping untraced clients'
+    /// bytes unchanged.
     pub fn handle_line(&self, line: &str) -> String {
+        let t0 = Instant::now();
         let metrics = &self.inner.metrics;
         ServiceMetrics::bump(&metrics.requests);
-        let request = match Request::parse_line(line) {
-            Ok(request) => request,
+        let envelope = match Request::parse_envelope(line) {
+            Ok(envelope) => envelope,
             Err(rejection) => {
                 ServiceMetrics::bump(&metrics.errors);
-                // The rejection carries any recoverable `id` so clients
-                // can correlate it — extracted during the one parse, not
-                // by re-parsing a possibly-huge hostile line.
-                return attach_id(rejection.id, &error_body(&rejection.message));
+                // The rejection carries any recoverable `id`/`trace`
+                // so clients can correlate it — extracted during the
+                // one parse, not by re-parsing a possibly-huge hostile
+                // line.
+                let body =
+                    attach_trace(rejection.trace.as_deref(), &error_body(&rejection.message));
+                return attach_id(rejection.id, &body);
             }
         };
+        let parsed_at = Instant::now();
+        let request = envelope.request;
         let id = request.id();
-        match request {
+        let verb = request.verb();
+        let mint = envelope.trace.is_none()
+            && matches!(request, Request::Route { .. } | Request::Calibration { .. });
+        // Span recording is armed by `--trace-log`. Without a sink the
+        // daemon is id-echo-only: no minting, no ring writes — so
+        // seeded replays (and their `trace`-verb readbacks) stay
+        // byte-reproducible, and the untraced hot path builds no tree.
+        let trace_id = if self.inner.recorder.minting() {
+            envelope.trace.clone().or_else(|| {
+                if mint {
+                    self.inner.recorder.mint()
+                } else {
+                    None
+                }
+            })
+        } else {
+            None
+        };
+        let mut ctx = trace_id.map(|trace_id| {
+            let mut ctx = TraceCtx::begin_at(trace_id, verb, t0);
+            // Protocol parse finished before the tree existed; its
+            // sample still offsets from t0 correctly.
+            ctx.sample(phase_sample("parse", t0, t0, parsed_at), 0);
+            ctx
+        });
+        let body = match request {
             Request::Route {
                 device,
                 router,
@@ -281,7 +345,7 @@ impl Service {
                 ..
             } => {
                 ServiceMetrics::bump(&metrics.verb_route);
-                attach_id(id, &self.handle_route(&device, router, alpha, sim, &qasm))
+                self.handle_route(&mut ctx, t0, &device, router, alpha, sim, &qasm)
             }
             Request::Calibration {
                 device,
@@ -290,36 +354,59 @@ impl Service {
                 ..
             } => {
                 ServiceMetrics::bump(&metrics.verb_calibration);
-                attach_id(id, &self.handle_calibration(&device, action, payload))
+                self.handle_calibration(&device, action, payload)
             }
             Request::Stats { .. } => {
                 ServiceMetrics::bump(&metrics.verb_stats);
-                attach_id(id, &self.stats_body())
+                self.stats_body()
             }
             Request::Health { .. } => {
                 ServiceMetrics::bump(&metrics.verb_health);
-                attach_id(id, &self.health_body())
+                self.health_body()
             }
-            Request::Metrics { .. } => {
+            Request::Metrics { hist, .. } => {
                 ServiceMetrics::bump(&metrics.verb_metrics);
-                attach_id(id, &self.metrics_body())
+                if hist {
+                    self.metrics_body_hist()
+                } else {
+                    self.metrics_body()
+                }
             }
             Request::Devices { .. } => {
                 ServiceMetrics::bump(&metrics.verb_devices);
-                attach_id(id, &self.devices_body())
+                self.devices_body()
+            }
+            Request::Trace { n, .. } => {
+                ServiceMetrics::bump(&metrics.verb_trace);
+                self.trace_body(n)
             }
             Request::Shutdown { .. } => {
                 ServiceMetrics::bump(&metrics.verb_shutdown);
                 self.inner.shutdown.store(true, Ordering::SeqCst);
-                attach_id(id, &shutdown_body())
+                shutdown_body()
             }
+        };
+        if let Some(hist) = metrics.verb_histogram(verb) {
+            hist.record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
         }
+        if let Some(mut ctx) = ctx {
+            ctx.finish_root(outcome_of(&body));
+            self.inner.recorder.commit(ctx);
+        }
+        // Echo the trace id exactly when the request carried one;
+        // minted ids live in the log, not the reply.
+        attach_id(id, &attach_trace(envelope.trace.as_deref(), &body))
     }
 
     /// The route path: parse → fit check → cache probe → queue →
-    /// blocked wait for the worker's verified reply.
+    /// blocked wait for the worker's verified reply. With a trace
+    /// context, the canonicalize/cache phases plus the worker's
+    /// shipped-back samples are recorded under the root span, in
+    /// deterministic (logical) order.
     fn handle_route(
         &self,
+        ctx: &mut Option<TraceCtx>,
+        t0: Instant,
         device_name: &str,
         router: RouterKind,
         alpha: Option<f64>,
@@ -354,27 +441,42 @@ impl Service {
             ));
         }
         let alpha = alpha.unwrap_or(DEFAULT_CAL_ALPHA);
-        let flat = match codar_qasm::parse_and_flatten(qasm) {
-            Ok(flat) => flat,
-            Err(e) => return fail(format!("QASM error: {e}")),
-        };
-        // Router-ready form: ≤2-qubit gates only, same normalization
-        // as the benchmark suite.
-        let circuit = decompose_three_qubit_gates(&circuit_from_flat(&flat));
-        if circuit.num_qubits() > device.num_qubits() {
-            return fail(format!(
-                "circuit uses {} qubits but {} has {}",
-                circuit.num_qubits(),
-                device.name(),
-                device.num_qubits()
-            ));
+        // Canonicalization (QASM parse → ≤2-qubit decompose → fit
+        // check → re-serialize) is one traced phase bracketing the
+        // whole block, recorded whether it succeeds or fails, so the
+        // span *set* stays a pure function of the request.
+        let canon_started = Instant::now();
+        let canonicalized = (|| {
+            let flat =
+                codar_qasm::parse_and_flatten(qasm).map_err(|e| format!("QASM error: {e}"))?;
+            // Router-ready form: ≤2-qubit gates only, same
+            // normalization as the benchmark suite.
+            let circuit = decompose_three_qubit_gates(&circuit_from_flat(&flat));
+            if circuit.num_qubits() > device.num_qubits() {
+                return Err(format!(
+                    "circuit uses {} qubits but {} has {}",
+                    circuit.num_qubits(),
+                    device.name(),
+                    device.num_qubits()
+                ));
+            }
+            // The cache key hashes the *canonical* circuit text
+            // (parsed, decomposed, re-serialized), so formatting
+            // differences in the submitted QASM cannot split cache
+            // entries.
+            let canonical = circuit_to_qasm(&circuit)
+                .map_err(|e| format!("cannot canonicalize circuit: {e}"))?;
+            Ok((circuit, canonical))
+        })();
+        if let Some(ctx) = ctx.as_mut() {
+            ctx.sample(
+                phase_sample("canonicalize", t0, canon_started, Instant::now()),
+                0,
+            );
         }
-        // The cache key hashes the *canonical* circuit text (parsed,
-        // decomposed, re-serialized), so formatting differences in the
-        // submitted QASM cannot split cache entries.
-        let canonical = match circuit_to_qasm(&circuit) {
-            Ok(canonical) => canonical,
-            Err(e) => return fail(format!("cannot canonicalize circuit: {e}")),
+        let (circuit, canonical) = match canonicalized {
+            Ok(pair) => pair,
+            Err(message) => return fail(message),
         };
         let seed_text = self.inner.config.seed.to_string();
         // The active snapshot's version is part of every route key (0
@@ -410,7 +512,24 @@ impl Service {
         }
         let material = key_material(&parts);
         let key = fnv1a_extend(FNV_OFFSET, material.as_bytes());
-        if let Some(body) = self.inner.cache.get(key, &material) {
+        let lookup_started = Instant::now();
+        let cached = self.inner.cache.get(key, &material);
+        if let Some(ctx) = ctx.as_mut() {
+            ctx.sample(
+                phase_sample("cache_lookup", t0, lookup_started, Instant::now()),
+                0,
+            );
+            ctx.event(
+                if cached.is_some() {
+                    "cache_hit"
+                } else {
+                    "cache_miss"
+                },
+                0,
+                None,
+            );
+        }
+        if let Some(body) = cached {
             // The deep copy happens here, outside the shard lock; the
             // probe itself only bumped a refcount.
             return body.as_ref().to_string();
@@ -430,15 +549,30 @@ impl Service {
             sim,
             snapshot,
             model,
+            t0,
+            enqueued: Instant::now(),
             reply,
         };
         match self.inner.queue.try_push(job) {
             Ok(()) => match result.recv() {
-                Ok(body) => body,
+                Ok(reply) => {
+                    // The worker ships its samples back (queue wait
+                    // first, then execution order) so the tree is
+                    // assembled here, on one thread, in logical order.
+                    if let Some(ctx) = ctx.as_mut() {
+                        for sample in &reply.phases {
+                            ctx.sample(*sample, 0);
+                        }
+                    }
+                    reply.body
+                }
                 Err(_) => fail("worker terminated".to_string()),
             },
             Err(PushError::Full(_)) => {
                 ServiceMetrics::bump(&metrics.overloaded);
+                if let Some(ctx) = ctx.as_mut() {
+                    ctx.event("enqueue_reject", 0, None);
+                }
                 overloaded_body()
             }
             Err(PushError::Closed(_)) => fail("service is shutting down".to_string()),
@@ -627,6 +761,70 @@ impl Service {
             cache.evictions,
             cache.hit_rate(),
         )
+    }
+
+    /// [`Service::metrics_body`] plus the extended observability
+    /// fields, served for `{"type":"metrics","hist":true}`: the queue
+    /// depth high-water mark, the `trace` verb counter and the
+    /// fixed-boundary log2 latency histograms (per verb, queue wait,
+    /// per routing phase). Opt-in so the plain body's bytes stay
+    /// frozen for historical clients and the golden fixtures; still
+    /// flat — bucket counts are one comma-joined string scalar each,
+    /// never a nested array.
+    pub fn metrics_body_hist(&self) -> String {
+        let metrics = &self.inner.metrics;
+        let mut out = self.metrics_body();
+        out.pop(); // reopen the object; extension fields follow
+        let _ = write!(
+            out,
+            ",\"verb_trace\":{},\"queue_depth_high_water\":{}",
+            ServiceMetrics::read(&metrics.verb_trace),
+            self.inner.queue.high_water(),
+        );
+        for (name, hist) in VERB_NAMES.iter().zip(&metrics.hist_verbs) {
+            let _ = write!(out, ",{}", hist.json_fields(name));
+        }
+        let _ = write!(
+            out,
+            ",{}",
+            metrics.hist_queue_wait.json_fields("queue_wait")
+        );
+        for (name, hist) in PHASE_NAMES.iter().zip(&metrics.hist_phases) {
+            let _ = write!(out, ",{}", hist.json_fields(&format!("phase_{name}")));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The `trace` response body: the last `n` committed span lines
+    /// (default [`TRACE_REPLY_DEFAULT`], clamped to
+    /// [`TRACE_REPLY_MAX`]), oldest first, embedded as raw span
+    /// objects — the same lines the NDJSON sink receives.
+    pub fn trace_body(&self, n: Option<u64>) -> String {
+        let n = n.unwrap_or(TRACE_REPLY_DEFAULT).min(TRACE_REPLY_MAX);
+        let spans = self
+            .inner
+            .recorder
+            .recent(usize::try_from(n).unwrap_or(usize::MAX));
+        let mut out = format!(
+            "{{\"type\":\"trace\",\"status\":\"ok\",\"count\":{},\"spans\":[",
+            spans.len()
+        );
+        for (i, span) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(span);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The last `n` committed span lines (oldest first) — what the
+    /// `trace` verb serves, exposed directly for tests and property
+    /// harnesses that assert on span-tree structure.
+    pub fn recent_spans(&self, n: usize) -> Vec<String> {
+        self.inner.recorder.recent(n)
     }
 
     /// The `devices` response body (catalog order).
@@ -832,6 +1030,19 @@ impl Service {
             }
         }
         Ok(())
+    }
+}
+
+/// The deterministic root-span outcome annotation of a response body.
+/// Every body renders `"status"` with the string escaped, so the
+/// needle cannot occur inside an embedded payload.
+pub(crate) fn outcome_of(body: &str) -> &'static str {
+    if body.contains("\"status\":\"error\"") {
+        "error"
+    } else if body.contains("\"status\":\"overloaded\"") {
+        "overloaded"
+    } else {
+        "ok"
     }
 }
 

@@ -8,11 +8,19 @@
 //! reply with a finished response body. Successful bodies are inserted
 //! into the shared result cache before the reply is sent, so an
 //! identical request that arrives next probes straight into a hit.
+//!
+//! Workers are also where the per-phase observability data is born:
+//! every job's queue wait and routing phases (route, verify, simulate,
+//! serialize) are measured against the serving thread's clock origin,
+//! recorded into the shared phase histograms, and shipped back with
+//! the reply as [`PhaseSample`]s so the serving thread can assemble
+//! the request's span tree in one deterministic place.
 
 use crate::cache::ShardedCache;
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{error_body, RouteOutcome};
 use crate::queue::Bounded;
+use crate::trace::{phase_sample, PhaseSample};
 use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_circuit::from_qasm::circuit_to_qasm;
 use codar_circuit::Circuit;
@@ -20,6 +28,7 @@ use codar_engine::{Backend, RouteWorker, RouterKind, RouterVariant};
 use codar_router::verify::{check_coupling, check_equivalence};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One queued route request, ready to route.
 #[derive(Debug)]
@@ -48,8 +57,28 @@ pub struct RouteJob {
     /// time and shared — workers never rebuild the per-edge tables.
     /// Present iff `snapshot` is.
     pub model: Option<Arc<FidelityModel>>,
-    /// Where the finished response body goes (the blocked caller).
-    pub reply: mpsc::Sender<String>,
+    /// When the serving thread received the request line — the zero of
+    /// the request's trace timeline; phase offsets are measured
+    /// against it.
+    pub t0: Instant,
+    /// When the job was pushed onto the queue (queue wait = pickup −
+    /// enqueue).
+    pub enqueued: Instant,
+    /// Where the finished reply goes (the blocked caller).
+    pub reply: mpsc::Sender<RouteReply>,
+}
+
+/// What a worker hands back: the response body plus the phase
+/// measurements (queue wait first, then routing phases in execution
+/// order). The *set* of phases is a deterministic function of the
+/// request — only the `t_us`/`dur_us` values inside each sample are
+/// wall-clock.
+#[derive(Debug)]
+pub struct RouteReply {
+    /// The finished response body (no id/trace attached yet).
+    pub body: String,
+    /// Queue wait + routing phases, in execution order.
+    pub phases: Vec<PhaseSample>,
 }
 
 /// Spawns the pool; threads exit when the queue is closed and drained.
@@ -70,6 +99,9 @@ pub fn spawn_pool(
                 .spawn(move || {
                     let mut worker = RouteWorker::new();
                     while let Some(job) = queue.pop() {
+                        let picked = Instant::now();
+                        let queue_wait = phase_sample("queue_wait", job.t0, job.enqueued, picked);
+                        metrics.hist_queue_wait.record(queue_wait.dur_us);
                         // The in-flight gauge spans pickup → reply
                         // handoff, so `metrics` can tell queued work
                         // (queue_depth) from work already on a core.
@@ -82,10 +114,20 @@ pub fn spawn_pool(
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 route_job(&mut worker, &job, seed)
                             }));
-                        let (body, ok) = outcome.unwrap_or_else(|_| {
+                        let (body, ok, mut phases) = outcome.unwrap_or_else(|_| {
                             worker = RouteWorker::new();
-                            (error_body("internal error: routing panicked"), false)
+                            (
+                                error_body("internal error: routing panicked"),
+                                false,
+                                Vec::new(),
+                            )
                         });
+                        for phase in &phases {
+                            if let Some(hist) = metrics.phase_histogram(phase.name) {
+                                hist.record(phase.dur_us);
+                            }
+                        }
+                        phases.insert(0, queue_wait);
                         if ok {
                             ServiceMetrics::bump(&metrics.routed);
                             if cache.enabled() {
@@ -107,7 +149,7 @@ pub fn spawn_pool(
                         // and make `metrics` output nondeterministic.
                         ServiceMetrics::drop_one(&metrics.in_flight);
                         // A dropped receiver (client gone) is fine.
-                        let _ = job.reply.send(body);
+                        let _ = job.reply.send(RouteReply { body, phases });
                     }
                 })
                 .expect("spawn worker thread")
@@ -115,10 +157,17 @@ pub fn spawn_pool(
         .collect()
 }
 
-/// Routes one job end to end; returns `(response body, success)`.
-/// Failed jobs (router error, verification failure, serialization
-/// error) produce error bodies and are **never cached**.
-fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bool) {
+/// Routes one job end to end; returns `(response body, success,
+/// phases)`. Failed jobs (router error, verification failure,
+/// serialization error) produce error bodies and are **never cached**;
+/// their phase list stops at the phase that failed, which keeps the
+/// span structure a deterministic function of the request.
+fn route_job(
+    worker: &mut RouteWorker,
+    job: &RouteJob,
+    seed: u64,
+) -> (String, bool, Vec<PhaseSample>) {
+    let mut phases: Vec<PhaseSample> = Vec::with_capacity(4);
     // The server checks fit before queueing; guard again here because
     // the placement builders assume it.
     if job.circuit.num_qubits() > job.device.num_qubits() {
@@ -130,51 +179,68 @@ fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bo
                 job.device.num_qubits()
             )),
             false,
+            phases,
         );
     }
+    let from = Instant::now();
     let mut variant = RouterVariant::of_kind(job.router);
     variant.codar.cal_alpha = job.alpha;
     let initial = worker.initial_mapping(&job.circuit, &job.device, seed);
-    let routed = match worker.route(
+    let routed = worker.route(
         &job.circuit,
         &job.device,
         &variant,
         Some(initial),
         job.snapshot.as_deref(),
-    ) {
+    );
+    phases.push(phase_sample("route", job.t0, from, Instant::now()));
+    let routed = match routed {
         Ok(routed) => routed,
-        Err(e) => return (error_body(&format!("routing failed: {e}")), false),
+        Err(e) => return (error_body(&format!("routing failed: {e}")), false, phases),
     };
-    if let Err(e) = check_coupling(&routed.circuit, &job.device) {
-        return (
-            error_body(&format!("verification failed (coupling): {e}")),
-            false,
-        );
-    }
-    if let Err(e) = check_equivalence(&job.circuit, &routed) {
-        return (
-            error_body(&format!("verification failed (equivalence): {e}")),
-            false,
-        );
+    let from = Instant::now();
+    let verified = check_coupling(&routed.circuit, &job.device)
+        .map_err(|e| format!("verification failed (coupling): {e}"))
+        .and_then(|()| {
+            check_equivalence(&job.circuit, &routed)
+                .map_err(|e| format!("verification failed (equivalence): {e}"))
+        });
+    phases.push(phase_sample("verify", job.t0, from, Instant::now()));
+    if let Err(message) = verified {
+        return (error_body(&message), false, phases);
     }
     // Requested simulation backends run the stronger differential
     // check and are *reported back*: the resolved backend appears in
     // the response even when `auto` lands on dense, so a client can
     // always see what actually ran — no silent fallback.
     let sim = match job.sim {
-        Some(backend) => match worker.simulation_check(&job.circuit, &routed, backend) {
-            Ok(resolved) => Some(resolved.name().to_string()),
-            Err(e) => return (error_body(&format!("simulation check failed: {e}")), false),
-        },
+        Some(backend) => {
+            let from = Instant::now();
+            let checked = worker.simulation_check(&job.circuit, &routed, backend);
+            phases.push(phase_sample("simulate", job.t0, from, Instant::now()));
+            match checked {
+                Ok(resolved) => Some(resolved.name().to_string()),
+                Err(e) => {
+                    return (
+                        error_body(&format!("simulation check failed: {e}")),
+                        false,
+                        phases,
+                    )
+                }
+            }
+        }
         None => None,
     };
+    let from = Instant::now();
     let qasm = match circuit_to_qasm(&routed.circuit) {
         Ok(qasm) => qasm,
         Err(e) => {
+            phases.push(phase_sample("serialize", job.t0, from, Instant::now()));
             return (
                 error_body(&format!("cannot serialize routed circuit: {e}")),
                 false,
-            )
+                phases,
+            );
         }
     };
     // With an active snapshot every route response (any router)
@@ -200,7 +266,9 @@ fn route_job(worker: &mut RouteWorker, job: &RouteJob, seed: u64) -> (String, bo
         sim,
         qasm,
     };
-    (outcome.body(), true)
+    let body = outcome.body();
+    phases.push(phase_sample("serialize", job.t0, from, Instant::now()));
+    (body, true, phases)
 }
 
 #[cfg(test)]
@@ -208,9 +276,10 @@ mod tests {
     use super::*;
     use crate::json::Json;
 
-    fn job_for(source: &str, router: RouterKind) -> (RouteJob, mpsc::Receiver<String>) {
+    fn job_for(source: &str, router: RouterKind) -> (RouteJob, mpsc::Receiver<RouteReply>) {
         let circuit = codar_circuit::from_qasm::circuit_from_source(source).expect("parse");
         let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
         (
             RouteJob {
                 key: 1,
@@ -222,10 +291,16 @@ mod tests {
                 sim: None,
                 snapshot: None,
                 model: None,
+                t0: now,
+                enqueued: now,
                 reply: tx,
             },
             rx,
         )
+    }
+
+    fn phase_names(phases: &[PhaseSample]) -> Vec<&'static str> {
+        phases.iter().map(|p| p.name).collect()
     }
 
     #[test]
@@ -236,8 +311,11 @@ mod tests {
             RouterKind::Codar,
         );
         let mut worker = RouteWorker::new();
-        let (body, ok) = route_job(&mut worker, &job, 0);
+        let (body, ok, phases) = route_job(&mut worker, &job, 0);
         assert!(ok, "{body}");
+        // No sim was requested, so the phase set is exactly the
+        // sim-less pipeline, in execution order.
+        assert_eq!(phase_names(&phases), ["route", "verify", "serialize"]);
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(parsed.get("verified").and_then(Json::as_bool), Some(true));
@@ -256,8 +334,14 @@ mod tests {
         );
         job.sim = Some(Backend::Auto);
         let mut worker = RouteWorker::new();
-        let (body, ok) = route_job(&mut worker, &job, 0);
+        let (body, ok, phases) = route_job(&mut worker, &job, 0);
         assert!(ok, "{body}");
+        // Sim requests add exactly one `simulate` phase between
+        // verify and serialize.
+        assert_eq!(
+            phase_names(&phases),
+            ["route", "verify", "simulate", "serialize"]
+        );
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("sim").and_then(Json::as_str), Some("stabilizer"));
         // An explicit dense request is honored and still reported —
@@ -265,16 +349,18 @@ mod tests {
         job.sim = Some(Backend::Dense);
         let (tx, _rx2) = mpsc::channel();
         job.reply = tx;
-        let (body, ok) = route_job(&mut worker, &job, 0);
+        let (body, ok, _) = route_job(&mut worker, &job, 0);
         assert!(ok, "{body}");
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("sim").and_then(Json::as_str), Some("dense"));
-        // A backend that cannot run the circuit is a clean error body.
+        // A backend that cannot run the circuit is a clean error body
+        // whose phase list stops at the failing phase.
         let (mut t_job, _rx3) = job_for("qreg q[3]; t q[0]; cx q[0], q[2];", RouterKind::Codar);
         t_job.sim = Some(Backend::Stabilizer);
-        let (body, ok) = route_job(&mut worker, &t_job, 0);
+        let (body, ok, phases) = route_job(&mut worker, &t_job, 0);
         assert!(!ok);
         assert!(body.contains("simulation check failed"), "{body}");
+        assert_eq!(phase_names(&phases), ["route", "verify", "simulate"]);
     }
 
     #[test]
@@ -282,8 +368,10 @@ mod tests {
         // 6 qubits cannot fit the 5-qubit Yorktown.
         let (job, _rx) = job_for("qreg q[6]; cx q[0], q[5];", RouterKind::Sabre);
         let mut worker = RouteWorker::new();
-        let (body, ok) = route_job(&mut worker, &job, 0);
+        let (body, ok, phases) = route_job(&mut worker, &job, 0);
         assert!(!ok);
+        // The fit guard fires before any phase starts.
+        assert!(phases.is_empty());
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("status").and_then(Json::as_str), Some("error"));
         assert!(
@@ -312,8 +400,10 @@ mod tests {
             receivers.push(rx);
         }
         for rx in receivers {
-            let body = rx.recv().expect("worker replies");
-            assert!(body.contains("\"status\":\"ok\""), "{body}");
+            let reply = rx.recv().expect("worker replies");
+            assert!(reply.body.contains("\"status\":\"ok\""), "{}", reply.body);
+            // Queue wait rides in front of the routing phases.
+            assert_eq!(reply.phases[0].name, "queue_wait");
         }
         queue.close();
         for handle in handles {

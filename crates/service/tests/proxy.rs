@@ -49,6 +49,7 @@ fn tier_config(backends: Vec<String>) -> ProxyConfig {
         backoff_cap: Duration::from_micros(400),
         probe_interval: Duration::from_secs(3600),
         seed: 7,
+        trace_log: None,
     }
 }
 

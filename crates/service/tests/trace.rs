@@ -1,0 +1,149 @@
+//! Trace determinism gates.
+//!
+//! The tracing contract splits structure from measurement: the span
+//! *tree* (ordinals, parents, kinds, names, details, minted-id stream)
+//! is a pure function of the request stream, while wall time lives
+//! only in `t_us`/`dur_us` (zeroed by `trace::normalize_line`) and in
+//! the histogram sums/buckets (zeroed by `fuzz::normalize_reply`).
+//! These tests replay one seeded stream twice and diff everything the
+//! contract says must match — and check that arming the trace log
+//! changes nothing an untraced client can see.
+
+use codar_service::fuzz::normalize_reply;
+use codar_service::trace::normalize_line;
+use codar_service::{Service, ServiceConfig};
+
+fn temp_log(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("codar_trace_it_{}_{}", tag, std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn traced_service(tag: &str) -> (Service, String) {
+    let path = temp_log(tag);
+    let service = Service::start(ServiceConfig {
+        trace_log: Some(path.clone()),
+        ..ServiceConfig::default()
+    });
+    (service, path)
+}
+
+/// A stream exercising every span shape: minted route miss + hit,
+/// client-traced route, traced and untraced control probes, histogram
+/// metrics, a bad-device error, a QASM error, an envelope rejection,
+/// and a `trace` readback.
+const STREAM: &[&str] = &[
+    r#"{"type":"route","device":"q20","circuit":"qreg q[2]; cx q[0], q[1];"}"#,
+    r#"{"type":"route","device":"q20","circuit":"qreg q[2]; cx q[0], q[1];"}"#,
+    r#"{"type":"route","trace":"cli-1","device":"q5","circuit":"qreg q[3]; cx q[0], q[2];"}"#,
+    r#"{"type":"stats","trace":"cli-2"}"#,
+    r#"{"type":"health"}"#,
+    r#"{"type":"metrics","hist":true}"#,
+    r#"{"type":"route","device":"nope","circuit":"qreg q[1];"}"#,
+    r#"{"type":"route","trace":"cli-3","device":"q20","circuit":"qreg q["}"#,
+    r#"not json at all"#,
+    r#"{"type":"trace","n":64}"#,
+];
+
+#[test]
+fn traced_replay_has_deterministic_normalized_structure() {
+    let run = |tag: &str| -> (Vec<String>, Vec<String>, String) {
+        let (service, path) = traced_service(tag);
+        let replies: Vec<String> = STREAM
+            .iter()
+            .map(|line| normalize_reply(&service.handle_line(line)))
+            .collect();
+        let spans: Vec<String> = service
+            .recent_spans(usize::MAX)
+            .iter()
+            .map(|l| normalize_line(l))
+            .collect();
+        let log: String = std::fs::read_to_string(&path)
+            .expect("trace log readable")
+            .lines()
+            .map(normalize_line)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = std::fs::remove_file(&path);
+        (replies, spans, log)
+    };
+    let (replies_a, spans_a, log_a) = run("det_a");
+    let (replies_b, spans_b, log_b) = run("det_b");
+    assert_eq!(replies_a, replies_b, "normalized replies diverged");
+    assert_eq!(spans_a, spans_b, "normalized ring spans diverged");
+    assert_eq!(log_a, log_b, "normalized trace logs diverged");
+
+    // The stream mints for exactly the three untraced routes, in
+    // arrival order, and echoes exactly the client-supplied ids.
+    let all = spans_a.join("\n");
+    for id in ["t-1", "t-2", "t-3", "cli-1", "cli-2", "cli-3"] {
+        assert!(all.contains(&format!("\"trace\":\"{id}\"")), "missing {id}");
+    }
+    assert!(
+        !all.contains("\"trace\":\"t-4\""),
+        "minted beyond the routes"
+    );
+    // Roots carry the decided outcome.
+    assert!(all.contains("\"name\":\"route\",\"detail\":\"ok\""));
+    assert!(all.contains("\"name\":\"route\",\"detail\":\"error\""));
+    // Replies never leak a minted id — except the `trace` readback
+    // (the final stream line), whose whole point is serving the
+    // recorded span objects back.
+    assert!(
+        replies_a[..replies_a.len() - 1]
+            .iter()
+            .all(|r| !r.contains("\"trace\":\"t-")),
+        "minted id escaped into a reply body"
+    );
+}
+
+/// Arming `--trace-log` must be invisible to untraced clients: same
+/// stream, one daemon with a sink and one without, byte-identical
+/// replies (after measurement normalization for the histogram probe).
+#[test]
+fn arming_the_trace_log_does_not_change_untraced_replies() {
+    let stream = [
+        r#"{"type":"route","device":"q20","circuit":"qreg q[2]; cx q[0], q[1];"}"#,
+        r#"{"type":"route","device":"q20","circuit":"qreg q[2]; cx q[0], q[1];"}"#,
+        r#"{"type":"stats"}"#,
+        r#"{"type":"health"}"#,
+        r#"{"type":"metrics","hist":true}"#,
+        r#"{"type":"route","device":"nope","circuit":"qreg q[1];"}"#,
+    ];
+    let (armed, path) = traced_service("invisible");
+    let unarmed = Service::start(ServiceConfig::default());
+    for line in stream {
+        let a = armed.handle_line(line);
+        let b = unarmed.handle_line(line);
+        assert!(!a.contains("\"trace\""), "untraced reply grew a trace: {a}");
+        assert_eq!(
+            normalize_reply(&a),
+            normalize_reply(&b),
+            "armed and unarmed replies diverged for {line}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Without a sink the daemon is id-echo-only: the `"trace"` field
+/// still round-trips, but no span tree is built, nothing is minted,
+/// and the `trace` verb serves an empty ring.
+#[test]
+fn without_a_sink_tracing_is_echo_only() {
+    let service = Service::start(ServiceConfig::default());
+    let reply = service.handle_line(r#"{"type":"stats","trace":"probe-9"}"#);
+    assert!(
+        reply.contains("\"trace\":\"probe-9\""),
+        "echo lost: {reply}"
+    );
+    let routed = service
+        .handle_line(r#"{"type":"route","trace":"r-1","device":"q20","circuit":"qreg q[1];"}"#);
+    assert!(routed.contains("\"trace\":\"r-1\""), "echo lost: {routed}");
+    assert_eq!(service.recent_spans(usize::MAX), Vec::<String>::new());
+    let readback = service.handle_line(r#"{"type":"trace"}"#);
+    assert!(
+        readback.contains("\"count\":0,\"spans\":[]"),
+        "unarmed ring was not empty: {readback}"
+    );
+}

@@ -1,0 +1,191 @@
+//! Property tests: span trees are well-formed for arbitrary request
+//! mixes.
+//!
+//! Across random streams of routes (hits, misses, QASM errors) and
+//! control probes, traced or not, against caches of every size, the
+//! committed spans must always group into well-formed trees: one root
+//! per trace id at ordinal 0, contiguous ordinals, every parent
+//! pointing at an earlier span of the same tree, decided outcomes on
+//! the root — and cache-hit trees must never contain worker phases,
+//! because a hit never reaches the queue.
+
+use codar_service::json::Json;
+use codar_service::{Service, ServiceConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_log(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "codar_trace_prop_{}_{}_{}",
+            tag,
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[derive(Debug)]
+struct SpanRec {
+    ord: u64,
+    parent: Option<u64>,
+    kind: String,
+    name: String,
+    detail: Option<String>,
+}
+
+/// Parses the recorder's span lines and groups them by trace id,
+/// preserving commit order within each trace.
+fn span_trees(spans: &[String]) -> HashMap<String, Vec<SpanRec>> {
+    let mut trees: HashMap<String, Vec<SpanRec>> = HashMap::new();
+    for line in spans {
+        let parsed = Json::parse(line).unwrap_or_else(|e| panic!("bad span line ({e}): {line}"));
+        let field = |key: &str| parsed.get(key).and_then(Json::as_str).map(String::from);
+        let trace = field("trace").expect("span has a trace id");
+        trees.entry(trace).or_default().push(SpanRec {
+            ord: parsed.get("ord").and_then(Json::as_u64).expect("ord"),
+            parent: parsed.get("parent").and_then(Json::as_u64),
+            kind: field("kind").expect("kind"),
+            name: field("name").expect("name"),
+            detail: field("detail"),
+        });
+    }
+    trees
+}
+
+const DEVICES: [&str; 2] = ["q5", "q20"];
+const CIRCUITS: [&str; 4] = [
+    "qreg q[1];",
+    "qreg q[2]; cx q[0], q[1];",
+    "qreg q[3]; cx q[0], q[1]; cx q[1], q[2];",
+    "qreg q[", // QASM error: traced, error outcome, no worker phases
+];
+
+/// One generated request: (verb selector, device, circuit, traced?).
+/// Verbs 0..=2 are routes (mint when untraced), 3 stats, 4 health,
+/// 5 metrics with histograms.
+type Mix = Vec<(u8, u8, u8, u8)>;
+
+fn build_line(index: usize, &(verb, device, circuit, traced): &(u8, u8, u8, u8)) -> String {
+    let trace = if traced % 2 == 0 {
+        format!(",\"trace\":\"req-{index}\"")
+    } else {
+        String::new()
+    };
+    let device = DEVICES[device as usize % DEVICES.len()];
+    let circuit = CIRCUITS[circuit as usize % CIRCUITS.len()];
+    match verb % 6 {
+        0..=2 => format!(
+            "{{\"type\":\"route\"{trace},\"device\":\"{device}\",\"circuit\":\"{circuit}\"}}"
+        ),
+        3 => format!("{{\"type\":\"stats\"{trace}}}"),
+        4 => format!("{{\"type\":\"health\"{trace}}}"),
+        _ => format!("{{\"type\":\"metrics\"{trace},\"hist\":true}}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn span_trees_are_well_formed(
+        mix in collection::vec((0u8..6, 0u8..4, 0u8..4, 0u8..2), 1..24),
+        cache_capacity in 0usize..80,
+    ) {
+        let mix: Mix = mix;
+        let path = temp_log("wellformed");
+        let service = Service::start(ServiceConfig {
+            cache_capacity,
+            trace_log: Some(path.clone()),
+            ..ServiceConfig::default()
+        });
+        for (index, request) in mix.iter().enumerate() {
+            service.handle_line(&build_line(index, request));
+        }
+        let spans = service.recent_spans(usize::MAX);
+        let _ = std::fs::remove_file(&path);
+        let trees = span_trees(&spans);
+
+        // Every route is traced (carried or minted); control probes
+        // are traced exactly when they carry an id.
+        let expected = mix
+            .iter()
+            .filter(|(verb, _, _, traced)| verb % 6 <= 2 || traced % 2 == 0)
+            .count();
+        prop_assert_eq!(trees.len(), expected, "trace count off in {:?}", mix);
+
+        for (trace, tree) in &trees {
+            // Contiguous ordinals in commit order, rooted at 0.
+            for (at, span) in tree.iter().enumerate() {
+                prop_assert_eq!(span.ord, at as u64, "ords of {} not contiguous", trace);
+            }
+            let root = &tree[0];
+            prop_assert_eq!(&root.kind, "request", "trace {} lacks a root", trace);
+            prop_assert!(root.parent.is_none(), "root of {} has a parent", trace);
+            let outcome = root.detail.as_deref().unwrap_or("");
+            prop_assert!(
+                ["ok", "error", "overloaded"].contains(&outcome),
+                "root of {} has undecided outcome {:?}", trace, outcome
+            );
+            // Exactly one root; every child points at an earlier span.
+            for span in &tree[1..] {
+                prop_assert!(span.kind != "request", "{} has two roots", trace);
+                let parent = span.parent;
+                prop_assert!(
+                    parent.is_some_and(|p| p < span.ord),
+                    "span {} of {} has orphan parent {:?}", span.ord, trace, parent
+                );
+            }
+            // A cache hit never reaches the queue: no worker phases.
+            if tree.iter().any(|s| s.name == "cache_hit") {
+                for worker in ["queue_wait", "route", "verify", "simulate", "serialize"] {
+                    prop_assert!(
+                        !tree.iter().any(|s| s.kind == "phase" && s.name == worker),
+                        "cache-hit trace {} ran worker phase {}", trace, worker
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_queue_overloads_every_route_miss(
+        mix in collection::vec((0u8..4, 0u8..3, 0u8..2), 1..12),
+    ) {
+        let path = temp_log("zeroqueue");
+        let service = Service::start(ServiceConfig {
+            cache_capacity: 0, // no hits, so every route must enqueue
+            queue_capacity: 0,
+            trace_log: Some(path.clone()),
+            ..ServiceConfig::default()
+        });
+        for (index, &(device, circuit, traced)) in mix.iter().enumerate() {
+            let reply = service.handle_line(&build_line(
+                index,
+                &(0, device, circuit % 3, traced), // valid circuits only
+            ));
+            prop_assert!(
+                reply.contains("\"status\":\"overloaded\""),
+                "zero-queue route was not refused: {}", reply
+            );
+        }
+        let spans = service.recent_spans(usize::MAX);
+        let _ = std::fs::remove_file(&path);
+        let trees = span_trees(&spans);
+        prop_assert_eq!(trees.len(), mix.len());
+        for (trace, tree) in &trees {
+            prop_assert_eq!(
+                tree[0].detail.as_deref(), Some("overloaded"),
+                "root of {} not overloaded", trace
+            );
+            prop_assert!(
+                tree.iter().any(|s| s.kind == "event" && s.name == "enqueue_reject"),
+                "trace {} lacks the enqueue_reject event", trace
+            );
+        }
+    }
+}
