@@ -315,6 +315,29 @@ impl FidelityModel {
     }
 }
 
+/// The portfolio selection score of one routed candidate: EPS under
+/// `model` when a calibration model is active, otherwise the
+/// depth+swap fallback `1 / (1 + weighted_depth + swaps)`.
+///
+/// Both branches are strictly positive finite f64s, so ordering by
+/// `score.to_bits()` descending is exactly numeric descending — the
+/// property the portfolio's deterministic tie-break (score bits, then
+/// variant label) relies on. The fallback prefers fewer weighted-depth
+/// cycles and fewer SWAPs, which is monotone with the scalar EPS model
+/// on a uniform device.
+pub fn selection_score(
+    model: Option<&FidelityModel>,
+    circuit: &Circuit,
+    durations: &GateDurations,
+    weighted_depth: u64,
+    swaps: u64,
+) -> f64 {
+    match model {
+        Some(model) => model.success_probability(circuit, durations),
+        None => 1.0 / (1.0 + weighted_depth as f64 + swaps as f64),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,7 +38,7 @@ pub use calibration::{CalibrationSnapshot, EdgeCalibration, QubitCalibration};
 pub use devices::Device;
 pub use distance::DistanceMatrix;
 pub use duration::GateDurations;
-pub use fidelity_model::FidelityModel;
+pub use fidelity_model::{selection_score, FidelityModel};
 pub use graph::{CouplingGraph, PhysQubit};
 pub use layout::Layout2d;
 pub use technology::{Technology, TechnologyParams};

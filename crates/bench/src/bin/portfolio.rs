@@ -1,0 +1,252 @@
+//! Portfolio routing sweep: `auto` (route under every member, keep the
+//! verified winner) against each fixed member variant.
+//!
+//! Usage: `portfolio [--device NAME] [--seed S] [--drift N]
+//!                   [--alpha A] [--max-gates N] [--threads N]`
+//!
+//! Routes every fitting benchmark on one device against a seeded,
+//! drifted [`codar_arch::CalibrationSnapshot`], once per fixed member
+//! (CODAR, calibration-blended CODAR, greedy, SABRE) and once with the
+//! portfolio (`auto`), then prints the deterministic comparison table:
+//! mean weighted depth, mean EPS, the EPS gap to the portfolio, and
+//! how often each member *was* the portfolio's pick. The run fails if
+//! the portfolio's mean EPS falls below any fixed member's — the
+//! selection rule scores exactly the quantity the table reports, so
+//! per-circuit max must dominate every per-member mean. Output is
+//! byte-identical for any `--threads` value and across reruns.
+
+use codar_arch::Device;
+use codar_bench::{check_health, cli, report_timing};
+use codar_benchmarks::full_suite;
+use codar_engine::{
+    CalibrationSpec, EngineConfig, RouterVariant, SuiteRunner, DEFAULT_PORTFOLIO_ALPHA,
+};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: portfolio [--device NAME] [--seed S] [--drift N] \
+                     [--alpha A] [--max-gates N] [--threads N]";
+
+struct Args {
+    device: Device,
+    seed: u64,
+    drift: usize,
+    alpha: f64,
+    max_gates: usize,
+    threads: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        device: Device::ibm_q20_tokyo(),
+        seed: 11,
+        drift: 2,
+        alpha: DEFAULT_PORTFOLIO_ALPHA,
+        max_gates: 2000,
+        threads: 0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => {
+                let name: String = cli::flag_value(args, i, "--device")?;
+                parsed.device =
+                    Device::by_name(&name).ok_or_else(|| format!("unknown device `{name}`"))?;
+                i += 2;
+            }
+            "--seed" => {
+                parsed.seed = cli::flag_value(args, i, "--seed")?;
+                i += 2;
+            }
+            "--drift" => {
+                parsed.drift = cli::flag_value(args, i, "--drift")?;
+                i += 2;
+            }
+            "--alpha" => {
+                parsed.alpha = cli::flag_value(args, i, "--alpha")?;
+                if !parsed.alpha.is_finite() || !(0.0..=8.0).contains(&parsed.alpha) {
+                    return Err(format!("alpha {} out of [0, 8]", parsed.alpha));
+                }
+                i += 2;
+            }
+            "--max-gates" => {
+                parsed.max_gates = cli::flag_value(args, i, "--max-gates")?;
+                i += 2;
+            }
+            "--threads" => {
+                parsed.threads = cli::flag_value(args, i, "--threads")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut suite = full_suite();
+    suite.retain(|e| e.num_qubits <= args.device.num_qubits() && e.circuit.len() < args.max_gates);
+    let spec_label = format!("seed{}-drift{}", args.seed, args.drift);
+    println!(
+        "Portfolio sweep on {} — snapshot {spec_label}, alpha {:.2}, {} benchmarks",
+        args.device.name(),
+        args.alpha,
+        suite.len()
+    );
+
+    // The four fixed members under their portfolio labels, then the
+    // portfolio itself: same circuits, same snapshot, same shared
+    // initial mapping — the only difference is who routes.
+    let members = RouterVariant::portfolio_members(args.alpha);
+    let mut runner = SuiteRunner::new(EngineConfig {
+        threads: args.threads,
+        ..EngineConfig::default()
+    })
+    .device(args.device.clone())
+    .entries(suite)
+    .calibration(CalibrationSpec::synthetic(
+        spec_label.clone(),
+        args.seed,
+        args.drift,
+    ));
+    let mut labels: Vec<String> = Vec::new();
+    for member in &members {
+        labels.push(member.label.clone());
+        runner = runner.variant(member.clone());
+    }
+    runner = runner.variant(RouterVariant::portfolio(args.alpha));
+    let result = runner.run();
+
+    let auto_rows: Vec<_> = result
+        .summary
+        .rows
+        .iter()
+        .filter(|r| r.variant == "auto")
+        .collect();
+    if auto_rows.is_empty() {
+        return Err("portfolio produced no rows".to_string());
+    }
+    let auto_eps = |circuit: &str| -> f64 {
+        auto_rows
+            .iter()
+            .find(|r| r.circuit == circuit)
+            .and_then(|r| r.eps)
+            .expect("calibration axis attaches eps to every row")
+    };
+    let n = auto_rows.len() as f64;
+    let auto_mean = auto_rows
+        .iter()
+        .map(|r| r.eps.expect("calibration axis attaches eps"))
+        .sum::<f64>()
+        / n;
+
+    println!(
+        "\n{:<12} {:>16} {:>12} {:>14} {:>12}",
+        "variant", "mean wdepth", "mean eps", "Δeps vs auto", "picked"
+    );
+    let mut dominated = true;
+    let mut table: Vec<(String, f64)> = Vec::new();
+    for label in &labels {
+        let rows: Vec<_> = result
+            .summary
+            .rows
+            .iter()
+            .filter(|r| &r.variant == label)
+            .collect();
+        if rows.len() != auto_rows.len() {
+            return Err(format!(
+                "variant `{label}` produced {} rows, portfolio {}",
+                rows.len(),
+                auto_rows.len()
+            ));
+        }
+        let mean_depth = rows.iter().map(|r| r.weighted_depth as f64).sum::<f64>() / n;
+        let mean_eps = rows
+            .iter()
+            .map(|r| r.eps.expect("calibration axis attaches eps"))
+            .sum::<f64>()
+            / n;
+        // On how many benchmarks the portfolio's winner was this
+        // member (label match on the auto row's `chosen` column).
+        let picked = auto_rows
+            .iter()
+            .filter(|r| r.chosen.as_deref() == Some(label.as_str()))
+            .count();
+        println!(
+            "{:<12} {:>16.2} {:>12.6} {:>+14.6} {:>9}/{}",
+            label,
+            mean_depth,
+            mean_eps,
+            mean_eps - auto_mean,
+            picked,
+            rows.len()
+        );
+        // Selection scores each member with the same EPS the table
+        // averages, so the per-circuit winner can never lose in the
+        // mean; enforce it per circuit and in aggregate.
+        for row in &rows {
+            let member = row.eps.expect("calibration axis attaches eps");
+            if member > auto_eps(&row.circuit) {
+                dominated = false;
+            }
+        }
+        if mean_eps > auto_mean {
+            dominated = false;
+        }
+        table.push((label.clone(), mean_eps));
+    }
+    let auto_depth = auto_rows
+        .iter()
+        .map(|r| r.weighted_depth as f64)
+        .sum::<f64>()
+        / n;
+    println!(
+        "{:<12} {:>16.2} {:>12.6} {:>+14.6} {:>9}/{}",
+        "auto",
+        auto_depth,
+        auto_mean,
+        0.0,
+        auto_rows.len(),
+        auto_rows.len()
+    );
+
+    // How often each member won, in deterministic label order — the
+    // fleet-level answer to "which router should I default to?".
+    let mut picks: BTreeMap<&str, usize> = BTreeMap::new();
+    for row in &auto_rows {
+        *picks
+            .entry(row.chosen.as_deref().expect("portfolio rows name a winner"))
+            .or_insert(0) += 1;
+    }
+    let picks: Vec<String> = picks.iter().map(|(k, v)| format!("{k} {v}")).collect();
+    println!("\nChosen-member distribution: {}", picks.join(", "));
+
+    let (best_label, best_eps) = table
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+        .expect("at least one fixed member");
+    if !dominated {
+        return Err(format!(
+            "portfolio mean EPS {auto_mean:.6} fails to dominate fixed variant \
+             `{best_label}` ({best_eps:.6})"
+        ));
+    }
+    println!(
+        "Portfolio dominance: auto mean EPS {auto_mean:.6} >= every fixed member \
+         (best fixed: {best_label} {best_eps:.6}, margin {:+.6})",
+        auto_mean - best_eps
+    );
+    report_timing(&result.stats);
+    check_health(&result)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,6 +14,14 @@
 //! scratch across calls cannot change results — the scratch-threading
 //! property tests route with fresh and shared scratches and assert
 //! gate-for-gate identical outputs.
+//!
+//! Portfolio routing leans on this directly: one worker routes the
+//! *same* circuit under every member variant back to back — CODAR,
+//! calibration-blended CODAR, greedy, SABRE — through one scratch, with
+//! no fresh allocation per member. That interleaving (router A dirties
+//! buffers router B then reads) is exactly the pattern
+//! [`RouterScratch`]'s clear-or-stamp discipline makes safe, and
+//! the `interleaved_router_kinds_share_one_scratch` test pins it.
 
 use crate::heuristic::{PairDistIndex, SwapScorer};
 use std::collections::VecDeque;
@@ -142,6 +150,63 @@ mod tests {
         assert_eq!(scratch.edge_stamp[5], s1);
         let s2 = scratch.next_stamp();
         assert_ne!(scratch.edge_stamp[5], s2, "old stamp reads as unseen");
+    }
+
+    /// The portfolio access pattern: every router kind (including a
+    /// calibration-aware route, which fills `cal_penalty`) interleaved
+    /// through ONE scratch must produce the same circuits as fresh
+    /// scratches per call — no router may read another's leftovers.
+    #[test]
+    fn interleaved_router_kinds_share_one_scratch() {
+        use crate::{CodarRouter, GreedyRouter, Mapping, SabreRouter};
+        use codar_arch::{CalibrationSnapshot, Device};
+        use codar_circuit::Circuit;
+
+        let device = Device::ibm_q20_tokyo();
+        let snapshot = CalibrationSnapshot::synthetic(&device, 11).drifted(1);
+        let mut circuit = Circuit::new(6);
+        for i in 0..5 {
+            circuit.h(i);
+            circuit.cx(i, i + 1);
+        }
+        circuit.cx(0, 5);
+        circuit.cx(2, 4);
+        let initial = Mapping::identity(6, device.num_qubits());
+
+        let mut shared = RouterScratch::new();
+        for _round in 0..2 {
+            let plain = CodarRouter::new(&device)
+                .route_with_scratch(&circuit, initial.clone(), &mut shared)
+                .unwrap();
+            let cal = CodarRouter::new(&device)
+                .with_snapshot(&snapshot)
+                .route_with_scratch(&circuit, initial.clone(), &mut shared)
+                .unwrap();
+            let sabre = SabreRouter::new(&device)
+                .route_with_scratch(&circuit, initial.clone(), &mut shared)
+                .unwrap();
+            let greedy = GreedyRouter::new(&device)
+                .route_with_scratch(&circuit, initial.clone(), &mut shared)
+                .unwrap();
+            // Each result equals a fresh-scratch route of the same call.
+            let fresh_plain = CodarRouter::new(&device)
+                .route_with_scratch(&circuit, initial.clone(), &mut RouterScratch::new())
+                .unwrap();
+            assert_eq!(plain.circuit.gates(), fresh_plain.circuit.gates());
+            let fresh_cal = CodarRouter::new(&device)
+                .with_snapshot(&snapshot)
+                .route_with_scratch(&circuit, initial.clone(), &mut RouterScratch::new())
+                .unwrap();
+            assert_eq!(cal.circuit.gates(), fresh_cal.circuit.gates());
+            let fresh_sabre = SabreRouter::new(&device)
+                .route_with_scratch(&circuit, initial.clone(), &mut RouterScratch::new())
+                .unwrap();
+            assert_eq!(sabre.circuit.gates(), fresh_sabre.circuit.gates());
+            let fresh_greedy = GreedyRouter::new(&device)
+                .route_with_scratch(&circuit, initial.clone(), &mut RouterScratch::new())
+                .unwrap();
+            assert_eq!(greedy.circuit.gates(), fresh_greedy.circuit.gates());
+        }
     }
 
     #[test]

@@ -21,9 +21,24 @@ pub enum RouterKind {
     Sabre,
     /// The nearest-neighbor greedy baseline.
     Greedy,
+    /// The portfolio: route under every member variant, score each
+    /// verified result ([`codar_arch::selection_score`]), keep the
+    /// winner. Named `auto` on every surface (CLI and daemon).
+    Portfolio,
 }
 
 impl RouterKind {
+    /// Every kind, in stable declaration order — the single name table
+    /// both surfaces (engine CLI and daemon protocol) are tested
+    /// against.
+    pub const ALL: [RouterKind; 5] = [
+        RouterKind::Codar,
+        RouterKind::CodarCal,
+        RouterKind::Sabre,
+        RouterKind::Greedy,
+        RouterKind::Portfolio,
+    ];
+
     /// Stable lowercase name used in summaries and CLI flags.
     pub fn name(self) -> &'static str {
         match self {
@@ -31,20 +46,31 @@ impl RouterKind {
             RouterKind::CodarCal => "codar-cal",
             RouterKind::Sabre => "sabre",
             RouterKind::Greedy => "greedy",
+            RouterKind::Portfolio => "auto",
         }
     }
 
-    /// Parses a CLI name.
+    /// Parses a router name. This is the **only** router-name parser in
+    /// the stack — the engine CLI and the daemon protocol both call it,
+    /// so a request string valid on one surface is valid on the other.
+    /// Accepted aliases: case-insensitive canonical names, plus
+    /// `codar_cal`/`codarcal` for `codar-cal` and `portfolio` for
+    /// `auto`.
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "codar" => Some(RouterKind::Codar),
             "codar-cal" | "codar_cal" | "codarcal" => Some(RouterKind::CodarCal),
             "sabre" => Some(RouterKind::Sabre),
             "greedy" => Some(RouterKind::Greedy),
+            "auto" | "portfolio" => Some(RouterKind::Portfolio),
             _ => None,
         }
     }
 }
+
+/// The calibration blend weight portfolio codar-cal members run with
+/// when no explicit alpha is configured (the daemon's default alpha).
+pub const DEFAULT_PORTFOLIO_ALPHA: f64 = 0.5;
 
 /// One column of the job matrix: a routing algorithm plus the exact
 /// configuration it runs with, under a stable label.
@@ -65,17 +91,30 @@ pub struct RouterVariant {
     pub codar: CodarConfig,
     /// SABRE configuration (used when `kind == Sabre`).
     pub sabre: SabreConfig,
+    /// Portfolio members (used when `kind == Portfolio`): the fixed
+    /// variants this variant routes under before keeping the winner.
+    /// Empty for every non-portfolio variant. Nested portfolio members
+    /// are skipped at route time, so the recursion is bounded.
+    pub members: Vec<RouterVariant>,
 }
 
 impl RouterVariant {
     /// A variant of `kind` under its default configuration, labelled
-    /// with the algorithm name.
+    /// with the algorithm name. `Portfolio` gets the default member
+    /// list ([`RouterVariant::portfolio_members`] at
+    /// [`DEFAULT_PORTFOLIO_ALPHA`]).
     pub fn of_kind(kind: RouterKind) -> Self {
+        let members = if kind == RouterKind::Portfolio {
+            RouterVariant::portfolio_members(DEFAULT_PORTFOLIO_ALPHA)
+        } else {
+            Vec::new()
+        };
         RouterVariant {
             label: kind.name().to_string(),
             kind,
             codar: CodarConfig::default(),
             sabre: SabreConfig::default(),
+            members,
         }
     }
 
@@ -86,6 +125,7 @@ impl RouterVariant {
             kind: RouterKind::Codar,
             codar: config,
             sabre: SabreConfig::default(),
+            members: Vec::new(),
         }
     }
 
@@ -96,6 +136,36 @@ impl RouterVariant {
             kind: RouterKind::Sabre,
             codar: CodarConfig::default(),
             sabre: config,
+            members: Vec::new(),
+        }
+    }
+
+    /// The default portfolio member list: one default-config variant
+    /// per fixed kind, with the codar-cal member's blend weight set to
+    /// `alpha`. Labels are the canonical kind names, so the
+    /// deterministic tie-break (score bits descending, then label
+    /// ascending) prefers `codar` over `codar-cal` over `greedy` over
+    /// `sabre` on exact score ties.
+    pub fn portfolio_members(alpha: f64) -> Vec<RouterVariant> {
+        let mut cal = RouterVariant::of_kind(RouterKind::CodarCal);
+        cal.codar.cal_alpha = alpha;
+        vec![
+            RouterVariant::of_kind(RouterKind::Codar),
+            cal,
+            RouterVariant::of_kind(RouterKind::Greedy),
+            RouterVariant::of_kind(RouterKind::Sabre),
+        ]
+    }
+
+    /// A portfolio variant labelled `auto` whose codar-cal member
+    /// blends at `alpha`.
+    pub fn portfolio(alpha: f64) -> Self {
+        RouterVariant {
+            label: RouterKind::Portfolio.name().to_string(),
+            kind: RouterKind::Portfolio,
+            codar: CodarConfig::default(),
+            sabre: SabreConfig::default(),
+            members: RouterVariant::portfolio_members(alpha),
         }
     }
 }
@@ -320,16 +390,34 @@ mod tests {
 
     #[test]
     fn router_names_round_trip() {
-        for kind in [
-            RouterKind::Codar,
-            RouterKind::CodarCal,
-            RouterKind::Sabre,
-            RouterKind::Greedy,
-        ] {
+        for kind in RouterKind::ALL {
             assert_eq!(RouterKind::parse(kind.name()), Some(kind));
+            assert_eq!(
+                RouterKind::parse(&kind.name().to_ascii_uppercase()),
+                Some(kind)
+            );
         }
         assert_eq!(RouterKind::parse("codar_cal"), Some(RouterKind::CodarCal));
+        assert_eq!(RouterKind::parse("codarcal"), Some(RouterKind::CodarCal));
+        assert_eq!(RouterKind::parse("auto"), Some(RouterKind::Portfolio));
+        assert_eq!(RouterKind::parse("portfolio"), Some(RouterKind::Portfolio));
         assert_eq!(RouterKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn portfolio_variant_carries_default_members() {
+        let auto = RouterVariant::of_kind(RouterKind::Portfolio);
+        assert_eq!(auto.label, "auto");
+        let labels: Vec<&str> = auto.members.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, ["codar", "codar-cal", "greedy", "sabre"]);
+        assert!(auto.members.iter().all(|m| m.members.is_empty()));
+        let cal = &auto.members[1];
+        assert_eq!(cal.kind, RouterKind::CodarCal);
+        assert_eq!(cal.codar.cal_alpha, DEFAULT_PORTFOLIO_ALPHA);
+        let blended = RouterVariant::portfolio(0.75);
+        assert_eq!(blended.members[1].codar.cal_alpha, 0.75);
+        // Non-portfolio variants never carry members.
+        assert!(RouterVariant::of_kind(RouterKind::Codar).members.is_empty());
     }
 
     #[test]

@@ -91,12 +91,13 @@ pub mod worker;
 
 pub use job::{
     CalKind, CalibrationSpec, EngineConfig, JobSpec, NoiseSpec, RouterKind, RouterVariant,
+    DEFAULT_PORTFOLIO_ALPHA,
 };
 pub use report::{
     Comparison, FidelityStats, RouteReport, RouterTiming, RunStats, Summary, TIMINGS_SCHEMA_VERSION,
 };
 pub use runner::{JobFailure, SuiteResult, SuiteRunner};
-pub use worker::RouteWorker;
+pub use worker::{PortfolioOutcome, RouteWorker};
 
 // The simulation-axis selector, re-exported so engine callers (the
 // experiment binaries, the service) need no direct codar-sim import.

@@ -60,6 +60,10 @@ pub struct RouteReport {
     /// rows and runs without a simulation axis carry no new fields, so
     /// pre-existing serializations stay byte-identical).
     pub sim: Option<String>,
+    /// Winning member label of a portfolio job (`None` on every
+    /// fixed-variant row; serialized only when present, so
+    /// pre-portfolio outputs stay byte-identical).
+    pub chosen: Option<String>,
     /// Weighted depth (schedule makespan) of the routed circuit.
     pub weighted_depth: Time,
     /// Unweighted depth of the routed circuit.
@@ -354,12 +358,16 @@ impl Summary {
                 Some(sim) => format!(", \"sim\": {}", json_string(sim)),
                 None => String::new(),
             };
+            let chosen_column = match &row.chosen {
+                Some(chosen) => format!(", \"chosen\": {}", json_string(chosen)),
+                None => String::new(),
+            };
             let _ = write!(
                 out,
                 "    {{\"device\": {}, \"circuit\": {}, \"qubits\": {}, \"input_gates\": {}, \
                  \"router\": {}, \"variant\": {}, \"noise\": {}, \"weighted_depth\": {}, \
                  \"depth\": {}, \"swaps\": {}, \"output_gates\": {}, \"verified\": {}, \
-                 \"fidelity\": {}{}{}}}",
+                 \"fidelity\": {}{}{}{}}}",
                 json_string(&row.device),
                 json_string(&row.circuit),
                 row.num_qubits,
@@ -379,6 +387,7 @@ impl Summary {
                 json_fidelity(row.fidelity.as_ref()),
                 cal_columns,
                 sim_column,
+                chosen_column,
             );
             out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
@@ -427,6 +436,7 @@ impl Summary {
     pub fn to_csv(&self) -> String {
         let calibrated = self.rows.iter().any(|r| r.cal.is_some());
         let simulated = self.rows.iter().any(|r| r.sim.is_some());
+        let portfolio = self.rows.iter().any(|r| r.chosen.is_some());
         let mut out = String::from(
             "device,circuit,qubits,input_gates,router,variant,noise,weighted_depth,depth,\
              swaps,output_gates,verified,fidelity_mean,fidelity_std_error",
@@ -436,6 +446,9 @@ impl Summary {
         }
         if simulated {
             out.push_str(",sim");
+        }
+        if portfolio {
+            out.push_str(",chosen");
         }
         out.push('\n');
         for row in &self.rows {
@@ -475,6 +488,9 @@ impl Summary {
             }
             if simulated {
                 let _ = write!(out, ",{}", csv_field(row.sim.as_deref().unwrap_or("")));
+            }
+            if portfolio {
+                let _ = write!(out, ",{}", csv_field(row.chosen.as_deref().unwrap_or("")));
             }
             out.push('\n');
         }
@@ -606,6 +622,7 @@ mod tests {
             cal: None,
             eps: None,
             sim: None,
+            chosen: None,
             weighted_depth: wd,
             depth: 5,
             swaps: 2,
@@ -759,6 +776,45 @@ mod tests {
         assert!(summary
             .to_json()
             .contains("\"eps\": 0.500000, \"sim\": \"sparse\""));
+    }
+
+    #[test]
+    fn chosen_column_appears_only_on_portfolio_rows() {
+        // No portfolio rows: bytes identical to the pre-portfolio shape.
+        let plain = Summary::from_reports(0, vec![report("q20", "qft_4", RouterKind::Codar, 60)]);
+        assert!(!plain.to_json().contains("\"chosen\""));
+        assert!(!plain.to_csv().lines().next().unwrap().contains(",chosen"));
+
+        // A portfolio row carries the winner; fixed-variant siblings
+        // leave the JSON field off and the CSV cell empty.
+        let mut auto = report("q20", "qft_4", RouterKind::Portfolio, 55);
+        auto.chosen = Some("codar-cal".into());
+        let rows = vec![auto, report("q20", "qft_4", RouterKind::Codar, 60)];
+        let summary = Summary::from_reports(0, rows);
+        let json = summary.to_json();
+        assert!(json.contains("\"router\": \"auto\""));
+        assert!(json.contains("\"chosen\": \"codar-cal\""));
+        assert_eq!(json.matches("\"chosen\"").count(), 1);
+        let csv = summary.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with(",chosen"));
+        assert!(csv.contains(",codar-cal\n"));
+
+        // With cal and sim columns too, chosen trails everything.
+        let mut full = report("q20", "ghz_6", RouterKind::Portfolio, 40);
+        full.cal = Some("drift0".into());
+        full.eps = Some(0.5);
+        full.sim = Some("stabilizer".into());
+        full.chosen = Some("codar".into());
+        let summary = Summary::from_reports(0, vec![full]);
+        assert!(summary
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with(",cal,eps,sim,chosen"));
+        assert!(summary
+            .to_json()
+            .contains("\"sim\": \"stabilizer\", \"chosen\": \"codar\""));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! engine seed), never from scheduling order — which is what keeps
 //! fidelity summaries byte-identical across thread counts.
 
-use crate::job::{build_matrix, CalibrationSpec, EngineConfig, JobSpec, NoiseSpec, RouterVariant};
+use crate::job::{
+    build_matrix, CalibrationSpec, EngineConfig, JobSpec, NoiseSpec, RouterKind, RouterVariant,
+    DEFAULT_PORTFOLIO_ALPHA,
+};
 use crate::report::{FidelityStats, RouteReport, RouterTiming, RunStats, Summary};
 use crate::worker::RouteWorker;
 use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
@@ -222,6 +225,11 @@ impl SuiteRunner {
                     kind,
                     codar: self.config.codar.clone(),
                     sabre: self.config.sabre.clone(),
+                    members: if kind == RouterKind::Portfolio {
+                        RouterVariant::portfolio_members(DEFAULT_PORTFOLIO_ALPHA)
+                    } else {
+                        Vec::new()
+                    },
                 })
                 .collect()
         } else {
@@ -404,9 +412,31 @@ impl SuiteRunner {
             None
         };
         let snapshot = cal.map(|(_, (snapshot, _))| snapshot.as_ref());
-        let routed: RoutedCircuit = worker
-            .route(&entry.circuit, device, variant, initial, snapshot)
-            .map_err(|e| e.to_string())?;
+        // Portfolio jobs route under every member and keep the winner
+        // (scored against the job's calibration model when one is
+        // active); the chosen member's label rides along into the
+        // report's `chosen` column. Fixed-variant jobs route exactly as
+        // before.
+        let (routed, chosen): (RoutedCircuit, Option<String>) =
+            if variant.kind == RouterKind::Portfolio {
+                let model = cal.map(|(_, (_, model))| model.as_ref());
+                let outcome = worker
+                    .route_portfolio(
+                        &entry.circuit,
+                        device,
+                        &variant.members,
+                        initial.as_ref(),
+                        snapshot,
+                        model,
+                    )
+                    .map_err(|e| e.to_string())?;
+                (outcome.routed, Some(outcome.chosen))
+            } else {
+                let routed = worker
+                    .route(&entry.circuit, device, variant, initial, snapshot)
+                    .map_err(|e| e.to_string())?;
+                (routed, None)
+            };
 
         let verified = if self.config.verify {
             Some(
@@ -458,6 +488,7 @@ impl SuiteRunner {
             cal: cal_label.clone(),
             eps,
             sim: sim_label.clone(),
+            chosen: chosen.clone(),
             weighted_depth: routed.weighted_depth,
             depth: routed.depth(),
             swaps: routed.swaps_inserted,
@@ -742,6 +773,62 @@ mod tests {
         .entries(small_entries(6))
         .run();
         assert!(!plain.summary.to_json().contains("\"sim\""));
+    }
+
+    #[test]
+    fn portfolio_axis_reports_chosen_and_stays_deterministic() {
+        let run = |threads: usize| {
+            SuiteRunner::new(EngineConfig {
+                threads,
+                routers: vec![RouterKind::Codar, RouterKind::Portfolio],
+                ..EngineConfig::default()
+            })
+            .device(Device::ibm_q20_tokyo())
+            .entries(small_entries(4))
+            .calibration(CalibrationSpec::synthetic("drift2", 7, 2))
+            .run()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one.failures.is_empty(), "{:?}", one.failures);
+        assert_eq!(
+            one.summary.to_json(),
+            four.summary.to_json(),
+            "portfolio summaries must be byte-identical across thread counts"
+        );
+        let auto_rows: Vec<_> = one
+            .summary
+            .rows
+            .iter()
+            .filter(|r| r.router == RouterKind::Portfolio)
+            .collect();
+        assert_eq!(auto_rows.len(), 4);
+        for row in &auto_rows {
+            assert_eq!(row.verified, Some(true));
+            let chosen = row.chosen.as_deref().expect("portfolio rows carry chosen");
+            assert!(
+                ["codar", "codar-cal", "greedy", "sabre"].contains(&chosen),
+                "{chosen}"
+            );
+            // Per circuit, the portfolio's EPS is at least the fixed
+            // codar variant's EPS on the same cell.
+            let fixed = one
+                .summary
+                .rows
+                .iter()
+                .find(|r| {
+                    r.circuit == row.circuit && r.device == row.device && r.variant == "codar"
+                })
+                .expect("codar sibling row");
+            assert!(row.eps.unwrap() >= fixed.eps.unwrap(), "{}", row.circuit);
+        }
+        // Fixed-variant rows never carry the column.
+        assert!(one
+            .summary
+            .rows
+            .iter()
+            .filter(|r| r.router != RouterKind::Portfolio)
+            .all(|r| r.chosen.is_none()));
     }
 
     #[test]

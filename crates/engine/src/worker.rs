@@ -10,15 +10,30 @@
 //! variant to router lives here and nowhere else.
 
 use crate::job::{RouterKind, RouterVariant};
-use codar_arch::{CalibrationSnapshot, Device};
+use codar_arch::{selection_score, CalibrationSnapshot, Device, FidelityModel};
 use codar_circuit::Circuit;
 use codar_router::sabre::reverse_traversal_mapping_scratch;
-use codar_router::verify::reconstruct_logical;
+use codar_router::verify::{check_coupling, check_equivalence, reconstruct_logical};
 use codar_router::{
     CodarRouter, GreedyRouter, Mapping, RouteError, RoutedCircuit, RouterScratch, SabreRouter,
 };
 use codar_sim::backend::differential_check;
 use codar_sim::{Backend, SimBackend};
+
+/// What a portfolio route produced: the winning member's result plus
+/// the selection evidence.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The winning member's routed circuit.
+    pub routed: RoutedCircuit,
+    /// The winning member's variant label (e.g. `"codar-cal"`).
+    pub chosen: String,
+    /// The winner's [`selection_score`] — EPS when a calibration model
+    /// was active, else the depth+swap fallback.
+    pub score: f64,
+    /// How many members routed **and** verified (losers included).
+    pub evaluated: usize,
+}
 
 /// One pool worker's reusable routing state.
 ///
@@ -87,6 +102,18 @@ impl RouteWorker {
         initial: Option<Mapping>,
         snapshot: Option<&CalibrationSnapshot>,
     ) -> Result<RoutedCircuit, RouteError> {
+        if variant.kind == RouterKind::Portfolio {
+            return self
+                .route_portfolio(
+                    circuit,
+                    device,
+                    &variant.members,
+                    initial.as_ref(),
+                    snapshot,
+                    None,
+                )
+                .map(|outcome| outcome.routed);
+        }
         let scratch = &mut self.scratch;
         match (variant.kind, initial) {
             (RouterKind::Codar, Some(mapping)) => {
@@ -115,6 +142,88 @@ impl RouteWorker {
                 GreedyRouter::new(device).route_with_scratch(circuit, mapping, scratch)
             }
             (RouterKind::Greedy, None) => GreedyRouter::new(device).route_scratch(circuit, scratch),
+            // Handled by the early return above.
+            (RouterKind::Portfolio, _) => unreachable!("portfolio dispatch happens above"),
+        }
+    }
+
+    /// Routes `circuit` under every `members` variant — reusing this
+    /// worker's one scratch across all of them, no fresh allocation per
+    /// member — verifies each result (coupling + equivalence), scores
+    /// the verified ones with [`selection_score`] (`model` present ⇒
+    /// EPS; absent ⇒ depth+swap fallback), and keeps the winner.
+    ///
+    /// Selection is fully deterministic and member-order-independent:
+    /// highest `score.to_bits()` wins, exact ties broken by
+    /// lexicographically smallest variant label. Members of kind
+    /// [`RouterKind::Portfolio`] are skipped (no recursion).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last member's error when **no** member produced a
+    /// verified result (or a [`RouteError::Verification`] when the
+    /// member list is empty).
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_portfolio(
+        &mut self,
+        circuit: &Circuit,
+        device: &Device,
+        members: &[RouterVariant],
+        initial: Option<&Mapping>,
+        snapshot: Option<&CalibrationSnapshot>,
+        model: Option<&FidelityModel>,
+    ) -> Result<PortfolioOutcome, RouteError> {
+        let mut best: Option<PortfolioOutcome> = None;
+        let mut evaluated = 0usize;
+        let mut last_err = RouteError::Verification("portfolio: no members configured".to_string());
+        for member in members {
+            if member.kind == RouterKind::Portfolio {
+                continue;
+            }
+            let routed = match self.route(circuit, device, member, initial.cloned(), snapshot) {
+                Ok(routed) => routed,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            if let Err(e) = check_coupling(&routed.circuit, device)
+                .and_then(|()| check_equivalence(circuit, &routed))
+            {
+                last_err = e;
+                continue;
+            }
+            evaluated += 1;
+            let score = selection_score(
+                model,
+                &routed.circuit,
+                device.durations(),
+                routed.weighted_depth,
+                routed.swaps_inserted as u64,
+            );
+            let wins = match &best {
+                None => true,
+                Some(current) => {
+                    score.to_bits() > current.score.to_bits()
+                        || (score.to_bits() == current.score.to_bits()
+                            && member.label < current.chosen)
+                }
+            };
+            if wins {
+                best = Some(PortfolioOutcome {
+                    routed,
+                    chosen: member.label.clone(),
+                    score,
+                    evaluated: 0,
+                });
+            }
+        }
+        match best {
+            Some(mut outcome) => {
+                outcome.evaluated = evaluated;
+                Ok(outcome)
+            }
+            None => Err(last_err),
         }
     }
 
@@ -201,6 +310,7 @@ mod tests {
                     initial,
                     &mut RouterScratch::new(),
                 ),
+                RouterKind::Portfolio => unreachable!("not in this test's kind list"),
             }
             .expect("fits");
             assert_eq!(via_worker.circuit.gates(), direct.circuit.gates());
@@ -270,6 +380,140 @@ mod tests {
             .expect("fits");
         codar_router::verify::check_coupling(&routed.circuit, &device).expect("coupling");
         codar_router::verify::check_equivalence(&entry.circuit, &routed).expect("equivalence");
+    }
+
+    /// The portfolio winner is the member with the best selection
+    /// score, the tie-break is member-order-independent, and scratch
+    /// reuse across members never changes the outcome.
+    #[test]
+    fn portfolio_selects_best_member_deterministically() {
+        use crate::job::DEFAULT_PORTFOLIO_ALPHA;
+        use codar_arch::{selection_score, CalibrationSnapshot, FidelityModel};
+        let device = Device::ibm_q20_tokyo();
+        let snapshot = CalibrationSnapshot::synthetic(&device, 9).drifted(2);
+        let model = FidelityModel::from_snapshot(&snapshot);
+        let members = RouterVariant::portfolio_members(DEFAULT_PORTFOLIO_ALPHA);
+        for entry in full_suite().iter().take(5) {
+            let mut worker = RouteWorker::new();
+            let initial = worker.initial_mapping(&entry.circuit, &device, 0);
+            let outcome = worker
+                .route_portfolio(
+                    &entry.circuit,
+                    &device,
+                    &members,
+                    Some(&initial),
+                    Some(&snapshot),
+                    Some(&model),
+                )
+                .expect("fits");
+            assert_eq!(outcome.evaluated, members.len(), "{}", entry.name);
+            // The winner's score is the max over every member routed
+            // independently with a fresh worker.
+            let mut best_score = f64::NEG_INFINITY;
+            for member in &members {
+                let mut fresh = RouteWorker::new();
+                let routed = fresh
+                    .route(
+                        &entry.circuit,
+                        &device,
+                        member,
+                        Some(initial.clone()),
+                        Some(&snapshot),
+                    )
+                    .expect("fits");
+                let score = selection_score(
+                    Some(&model),
+                    &routed.circuit,
+                    device.durations(),
+                    routed.weighted_depth,
+                    routed.swaps_inserted as u64,
+                );
+                best_score = best_score.max(score);
+            }
+            assert_eq!(
+                outcome.score.to_bits(),
+                best_score.to_bits(),
+                "{}: portfolio must pick the max-score member",
+                entry.name
+            );
+            // Member-order independence: reversing the list picks the
+            // identical winner (label and routed bytes).
+            let mut reversed_members = members.clone();
+            reversed_members.reverse();
+            let reversed = worker
+                .route_portfolio(
+                    &entry.circuit,
+                    &device,
+                    &reversed_members,
+                    Some(&initial),
+                    Some(&snapshot),
+                    Some(&model),
+                )
+                .expect("fits");
+            assert_eq!(outcome.chosen, reversed.chosen, "{}", entry.name);
+            assert_eq!(
+                outcome.routed.circuit.gates(),
+                reversed.routed.circuit.gates(),
+                "{}",
+                entry.name
+            );
+            // The winner is valid and equivalent.
+            check_coupling(&outcome.routed.circuit, &device).expect("coupling");
+            check_equivalence(&entry.circuit, &outcome.routed).expect("equivalence");
+        }
+    }
+
+    /// Without a model the fallback score prefers lower weighted depth
+    /// + swaps; nested portfolio members are skipped, and an empty
+    /// member list is an error, not a panic.
+    #[test]
+    fn portfolio_fallback_and_edge_cases() {
+        let device = Device::ibm_q20_tokyo();
+        let entry = &full_suite()[4];
+        let mut worker = RouteWorker::new();
+        let initial = worker.initial_mapping(&entry.circuit, &device, 0);
+        let members = RouterVariant::portfolio_members(0.5);
+        let outcome = worker
+            .route_portfolio(
+                &entry.circuit,
+                &device,
+                &members,
+                Some(&initial),
+                None,
+                None,
+            )
+            .expect("fits");
+        // Fallback score = 1 / (1 + weighted_depth + swaps), so the
+        // winner minimizes weighted_depth + swaps.
+        let winner_cost = outcome.routed.weighted_depth + outcome.routed.swaps_inserted as u64;
+        for member in &members {
+            let routed = worker
+                .route(&entry.circuit, &device, member, Some(initial.clone()), None)
+                .expect("fits");
+            assert!(
+                winner_cost <= routed.weighted_depth + routed.swaps_inserted as u64,
+                "{} beat the portfolio winner",
+                member.label
+            );
+        }
+        // A nested portfolio member is skipped, not recursed into.
+        let mut nested = vec![RouterVariant::of_kind(RouterKind::Portfolio)];
+        nested.push(RouterVariant::of_kind(RouterKind::Codar));
+        let outcome = worker
+            .route_portfolio(&entry.circuit, &device, &nested, Some(&initial), None, None)
+            .expect("the codar member still routes");
+        assert_eq!(outcome.chosen, "codar");
+        assert_eq!(outcome.evaluated, 1);
+        // No members at all: an error, not a panic.
+        assert!(worker
+            .route_portfolio(&entry.circuit, &device, &[], Some(&initial), None, None)
+            .is_err());
+        // The generic dispatch path delegates and returns the winner.
+        let auto = RouterVariant::of_kind(RouterKind::Portfolio);
+        let via_route = worker
+            .route(&entry.circuit, &device, &auto, Some(initial.clone()), None)
+            .expect("fits");
+        check_coupling(&via_route.circuit, &device).expect("coupling");
     }
 
     /// One worker reused across many calls gives the same results as a

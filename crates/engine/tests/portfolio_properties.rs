@@ -1,0 +1,146 @@
+//! Portfolio selection properties: the winner is a pure function of
+//! (circuit, device, members, snapshot) — invisible to scratch reuse,
+//! member-list order, and engine thread count.
+//!
+//! * **Scratch reuse**: one [`RouteWorker`] racing the portfolio for
+//!   many circuits and devices through its single scratch must pick
+//!   the same winner (same label, same score bits, same routed gates)
+//!   as a fresh worker per call.
+//! * **Order independence**: permuting the member list changes neither
+//!   the winner nor its routed circuit — the `to_bits` descending /
+//!   label-ascending tie-break has no positional component.
+//! * **Thread independence**: a `SuiteRunner` portfolio axis serializes
+//!   byte-identically on 1 and 4 threads.
+
+use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
+use codar_benchmarks::generators;
+use codar_engine::{
+    CalibrationSpec, EngineConfig, RouteWorker, RouterKind, RouterVariant, SuiteRunner,
+};
+use codar_router::Mapping;
+use proptest::prelude::*;
+
+/// The full 8-device catalog.
+fn catalog() -> Vec<Device> {
+    Device::presets().into_iter().map(|(_, d)| d).collect()
+}
+
+/// A deterministic random circuit sized to fit every catalog device.
+fn random_circuit(seed: u64) -> codar_circuit::Circuit {
+    let n = 3 + (seed % 3) as usize;
+    let gates = 10 + (seed % 40) as usize;
+    generators::random_clifford_t(n, gates, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fresh worker per call == one shared worker across the whole
+    /// circuit × device × snapshot matrix; member order irrelevant.
+    /// Even seeds race without a snapshot (depth+swap fallback
+    /// scoring), odd seeds under a drifted synthetic snapshot with its
+    /// EPS model.
+    #[test]
+    fn portfolio_winner_survives_scratch_reuse_and_member_order(seed in 0u64..1000) {
+        let circuit = random_circuit(seed);
+        let members = RouterVariant::portfolio_members(0.5);
+        let mut shared = RouteWorker::new();
+        for device in catalog() {
+            let (snapshot, model) = if seed % 2 == 1 {
+                let snapshot =
+                    CalibrationSnapshot::synthetic(&device, seed).drifted(seed % 3);
+                let model = FidelityModel::from_snapshot(&snapshot);
+                (Some(snapshot), Some(model))
+            } else {
+                (None, None)
+            };
+            let initial =
+                Mapping::identity(circuit.num_qubits(), device.num_qubits());
+            let reused = shared
+                .route_portfolio(
+                    &circuit,
+                    &device,
+                    &members,
+                    Some(&initial),
+                    snapshot.as_ref(),
+                    model.as_ref(),
+                )
+                .expect("fits");
+            let fresh = RouteWorker::new()
+                .route_portfolio(
+                    &circuit,
+                    &device,
+                    &members,
+                    Some(&initial),
+                    snapshot.as_ref(),
+                    model.as_ref(),
+                )
+                .expect("fits");
+            let context = format!("seed {seed} on {}", device.name());
+            prop_assert_eq!(&reused.chosen, &fresh.chosen, "winner diverges: {}", &context);
+            prop_assert_eq!(
+                reused.score.to_bits(),
+                fresh.score.to_bits(),
+                "score diverges: {}", &context
+            );
+            prop_assert_eq!(
+                reused.routed.circuit.gates(),
+                fresh.routed.circuit.gates(),
+                "routed gates diverge: {}", &context
+            );
+            // Member order cannot matter: reversed and rotated lists
+            // elect the same winner with the same routed output.
+            let mut reversed = members.clone();
+            reversed.reverse();
+            let mut rotated = members.clone();
+            rotated.rotate_left((seed % members.len() as u64) as usize);
+            for permuted in [reversed, rotated] {
+                let outcome = shared
+                    .route_portfolio(
+                        &circuit,
+                        &device,
+                        &permuted,
+                        Some(&initial),
+                        snapshot.as_ref(),
+                        model.as_ref(),
+                    )
+                    .expect("fits");
+                prop_assert_eq!(&outcome.chosen, &fresh.chosen, "order leaked: {}", &context);
+                prop_assert_eq!(
+                    outcome.routed.circuit.gates(),
+                    fresh.routed.circuit.gates(),
+                    "order changed the routed circuit: {}", &context
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The engine's portfolio axis is thread-count invariant for random
+    /// snapshot seeds and drifts — same contract the fixed axes keep.
+    #[test]
+    fn portfolio_axis_is_thread_invariant(seed in 0u64..100, drift in 0usize..3) {
+        let entries: Vec<_> = codar_benchmarks::full_suite()
+            .into_iter()
+            .filter(|e| e.num_qubits <= 20 && e.circuit.len() < 120)
+            .take(4)
+            .collect();
+        let run = |threads: usize| {
+            SuiteRunner::new(EngineConfig { threads, ..EngineConfig::default() })
+                .device(Device::ibm_q20_tokyo())
+                .entries(entries.clone())
+                .calibration(CalibrationSpec::synthetic("prop", seed, drift))
+                .variant(RouterVariant::of_kind(RouterKind::Codar))
+                .variant(RouterVariant::portfolio(0.5))
+                .run()
+        };
+        let one = run(1);
+        let four = run(4);
+        prop_assert!(one.failures.is_empty(), "{:?}", one.failures);
+        prop_assert_eq!(one.summary.to_json(), four.summary.to_json());
+        prop_assert_eq!(one.summary.to_csv(), four.summary.to_csv());
+    }
+}

@@ -89,7 +89,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 } else {
                     vec![Grammar::parse(&name).ok_or_else(|| {
                         format!(
-                            "unknown grammar `{name}` (protocol|qasm|calibration|proxy|trace|all)"
+                            "unknown grammar `{name}` \
+                             (protocol|qasm|calibration|proxy|trace|portfolio|all)"
                         )
                     })?]
                 };

@@ -1,7 +1,7 @@
 //! Seeded structured fuzzing for the daemon's line protocol.
 //!
 //! The `codar-fuzz` bin and the CI smoke gate are thin shells around
-//! this module. Five grammar-aware generator/mutator families produce
+//! this module. Six grammar-aware generator/mutator families produce
 //! corpus lines that sit *near* the grammar boundary (valid skeletons
 //! with targeted corruptions), instead of random bytes the first token
 //! check would reject:
@@ -30,7 +30,14 @@
 //!   hostile `trace` ids (huge, empty, non-string, duplicated — only a
 //!   *valid* id may ever be echoed), mutated `trace`-verb frames (the
 //!   span-ring readback with boundary `n` values), and
-//!   `metrics`/`hist` probes against the histogram fields.
+//!   `metrics`/`hist` probes against the histogram fields;
+//! * [`Grammar::Portfolio`] — the `auto` routing surface: recurring
+//!   base circuits per (device, class) so explore→exploit transitions
+//!   and win-table churn happen inside one corpus, the `portfolio`
+//!   alias and case variants of `auto`, hostile `alpha` values
+//!   (NaN/Inf/huge/wrong-typed — rejected at parse time, never allowed
+//!   to poison the win table) and client-smuggled `chosen` fields (the
+//!   winner is server-elected, never client-asserted).
 //!
 //! Every corpus is a pure function of `(seed, iterations, grammars)`
 //! — two runs at equal seeds are byte-identical, so any crasher is
@@ -73,7 +80,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// Seed used when the caller does not pick one.
 pub const DEFAULT_SEED: u64 = 0xC0DA_F022;
 
-/// The five corpus families. See the module docs for what each mutates.
+/// The six corpus families. See the module docs for what each mutates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Grammar {
     /// NDJSON protocol frames.
@@ -88,20 +95,24 @@ pub enum Grammar {
     /// Observability frames: hostile `trace` ids, `trace`-verb
     /// mutations and histogram-field probes.
     Trace,
+    /// Portfolio (`auto`) route frames: recurring circuit classes,
+    /// hostile alphas and client-smuggled `chosen` fields.
+    Portfolio,
 }
 
 impl Grammar {
     /// All grammars, in generation order.
-    pub const ALL: [Grammar; 5] = [
+    pub const ALL: [Grammar; 6] = [
         Grammar::Protocol,
         Grammar::Qasm,
         Grammar::Calibration,
         Grammar::Proxy,
         Grammar::Trace,
+        Grammar::Portfolio,
     ];
 
     /// The CLI name (`protocol` / `qasm` / `calibration` / `proxy` /
-    /// `trace`).
+    /// `trace` / `portfolio`).
     pub fn name(self) -> &'static str {
         match self {
             Grammar::Protocol => "protocol",
@@ -109,6 +120,7 @@ impl Grammar {
             Grammar::Calibration => "calibration",
             Grammar::Proxy => "proxy",
             Grammar::Trace => "trace",
+            Grammar::Portfolio => "portfolio",
         }
     }
 
@@ -120,6 +132,7 @@ impl Grammar {
             "calibration" => Some(Grammar::Calibration),
             "proxy" => Some(Grammar::Proxy),
             "trace" => Some(Grammar::Trace),
+            "portfolio" => Some(Grammar::Portfolio),
             _ => None,
         }
     }
@@ -581,6 +594,7 @@ pub fn generate_corpus(config: &FuzzConfig) -> Vec<String> {
                 Grammar::Calibration => calibration_line(&mut rng),
                 Grammar::Proxy => proxy_line(&mut rng),
                 Grammar::Trace => trace_line(&mut rng),
+                Grammar::Portfolio => portfolio_line(&mut rng),
             }
         };
         // NDJSON: the transport splits on newlines, so a corpus line
@@ -1100,6 +1114,66 @@ fn trace_value(rng: &mut StdRng) -> String {
         8 => hostile_string(rng),
         _ => unreachable!(),
     }
+}
+
+/// One portfolio-grammar corpus line. Route frames under `"auto"`
+/// (plus its `portfolio` alias and case variants) built from a small
+/// recurring circuit pool, so the same (device, circuit-class) pair
+/// reappears across one corpus and the win table actually transitions
+/// from explore to exploit mid-run. Sub-families:
+///
+/// * clean `auto` routes — the cached/exploited replies must stay
+///   byte-stable under the invariant checker's monotone-counter eye;
+/// * hostile `alpha` values (NaN/Inf/denormal/huge/wrong-typed) that
+///   must be rejected at parse time and never reach the win table;
+/// * a client-smuggled `chosen` field — the winner is server-elected,
+///   a spoofed label must not leak into the reply or the cache key;
+/// * the usual frame/text mutations on top.
+fn portfolio_line(rng: &mut StdRng) -> String {
+    let base = [
+        "qreg q[3]; h q[0]; cx q[0], q[2];",
+        "qreg q[4]; cx q[0], q[3]; cx q[1], q[2]; h q[3];",
+        "qreg q[5]; h q[0]; cx q[0], q[4]; cx q[1], q[3];",
+    ][rng.gen_range(0..3usize)];
+    let device = ["q5", "q20", "q16"][rng.gen_range(0..3usize)];
+    let router = match rng.gen_range(0..8u32) {
+        0 => "\"portfolio\"",
+        1 => "\"AUTO\"",
+        2 => "\"Auto\"",
+        3 => "\"auto \"",
+        _ => "\"auto\"",
+    };
+    let mut frame = Frame::new();
+    if rng.gen_bool(0.5) {
+        frame.push("id", rng.gen_range(0..1_000_000u64).to_string());
+    }
+    frame.push("type", "\"route\"");
+    frame.push("device", escape(device));
+    frame.push("router", router);
+    match rng.gen_range(0..6u32) {
+        0 => frame.push("alpha", "0.5"),
+        1 => frame.push("alpha", "0.25"),
+        2 => {
+            let hostile = [
+                "NaN", "-1.0", "1e308", "-0.0", "5e-324", "\"0.5\"", "[0.5]", "null",
+            ];
+            frame.push("alpha", hostile[rng.gen_range(0..hostile.len())]);
+        }
+        3 => {
+            let smuggled = ["\"sabre\"", "\"codar\"", "\"nonsense\"", "42"];
+            frame.push("chosen", smuggled[rng.gen_range(0..smuggled.len())]);
+        }
+        _ => {}
+    }
+    frame.push("circuit", escape(base));
+    for _ in 0..rng.gen_range(0..=1u32) {
+        mutate_frame(&mut frame, rng);
+    }
+    let mut line = frame.render();
+    if rng.gen_bool(0.15) {
+        mutate_text(&mut line, rng);
+    }
+    line
 }
 
 /// One trace-grammar corpus line. Three sub-families:

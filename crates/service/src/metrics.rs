@@ -13,7 +13,9 @@
 //! deterministic loadgen summary JSON, exactly like the engine keeps
 //! `RunStats` out of its `Summary`.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Buckets per [`Histogram`]: bucket `i` covers `[2^i, 2^(i+1))`
 /// microseconds (bucket 0 also holds zero), the last bucket is
@@ -147,6 +149,20 @@ pub struct ServiceMetrics {
     /// Well-formed `trace` requests (ring reads; counted like the
     /// other verbs but kept out of the byte-frozen plain bodies).
     pub verb_trace: AtomicU64,
+    /// `route` requests with `"router":"auto"` that ran the whole
+    /// portfolio because the (device, circuit-class) pair had no win
+    /// history yet.
+    pub portfolio_explore: AtomicU64,
+    /// `route` requests with `"router":"auto"` answered by the class's
+    /// current leader (single-member route or cache hit under the
+    /// leader's key).
+    pub portfolio_exploit: AtomicU64,
+    /// Per-(device, circuit-class, member-label) win counts, keyed
+    /// `device\0class\0label`. A `BTreeMap` so iteration — and with it
+    /// the extended `metrics` body and leader election — is
+    /// deterministic. Kept out of the byte-frozen plain `metrics` and
+    /// `stats` bodies; surfaced only via `metrics` `hist:true`.
+    pub portfolio_wins: Mutex<BTreeMap<String, u64>>,
     /// End-to-end latency per verb, indexed like [`VERB_NAMES`].
     pub hist_verbs: [Histogram; 8],
     /// Time accepted route jobs spent queued before a worker picked
@@ -208,6 +224,52 @@ impl ServiceMetrics {
     /// Reads a counter.
     pub fn read(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+
+    /// Credits one portfolio win to `label` for (`device`, `class`).
+    pub fn record_portfolio_win(&self, device: &str, class: &str, label: &str) {
+        let key = format!("{device}\0{class}\0{label}");
+        let mut wins = self.portfolio_wins.lock().expect("win table poisoned");
+        *wins.entry(key).or_insert(0) += 1;
+    }
+
+    /// The current leader for (`device`, `class`): the member label
+    /// with the most recorded wins, ties broken by lexicographically
+    /// smaller label (the `BTreeMap` iterates labels in ascending
+    /// order, so "first strictly greater wins" implements exactly
+    /// that). `None` until the pair has any history — the explore
+    /// signal.
+    pub fn portfolio_leader(&self, device: &str, class: &str) -> Option<String> {
+        let prefix = format!("{device}\0{class}\0");
+        let wins = self.portfolio_wins.lock().expect("win table poisoned");
+        let mut leader: Option<(&str, u64)> = None;
+        for (key, &count) in wins.range(prefix.clone()..) {
+            let Some(label) = key.strip_prefix(prefix.as_str()) else {
+                break; // past the (device, class) block
+            };
+            if leader.map_or(true, |(_, best)| count > best) {
+                leader = Some((label, count));
+            }
+        }
+        leader.map(|(label, _)| label.to_string())
+    }
+
+    /// The win-table entries as flat JSON fields
+    /// (`"portfolio_wins_<device>_<class>_<label>":count`, NUL
+    /// separators and spaces rendered as `_`), comma-*prefixed* so the
+    /// caller can splice them after the histogram fields. Empty when
+    /// the table is.
+    pub fn portfolio_win_fields(&self) -> String {
+        let wins = self.portfolio_wins.lock().expect("win table poisoned");
+        let mut out = String::new();
+        for (key, count) in wins.iter() {
+            let flat: String = key
+                .chars()
+                .map(|c| if c == '\0' || c == ' ' { '_' } else { c })
+                .collect();
+            out.push_str(&format!(",\"portfolio_wins_{flat}\":{count}"));
+        }
+        out
     }
 }
 
@@ -412,6 +474,37 @@ mod tests {
         assert_eq!(metrics.hist_phases[3].total(), 1);
         assert!(metrics.phase_histogram("queue_wait").is_none());
         assert!(metrics.phase_histogram("nope").is_none());
+    }
+
+    #[test]
+    fn portfolio_win_table_elects_deterministic_leaders() {
+        let metrics = ServiceMetrics::new();
+        assert_eq!(metrics.portfolio_leader("q20", "q6g3"), None);
+        metrics.record_portfolio_win("q20", "q6g3", "sabre");
+        metrics.record_portfolio_win("q20", "q6g3", "codar");
+        // Tie at 1–1: the lexicographically smaller label leads.
+        assert_eq!(
+            metrics.portfolio_leader("q20", "q6g3").as_deref(),
+            Some("codar")
+        );
+        metrics.record_portfolio_win("q20", "q6g3", "sabre");
+        assert_eq!(
+            metrics.portfolio_leader("q20", "q6g3").as_deref(),
+            Some("sabre")
+        );
+        // Other (device, class) pairs have independent histories.
+        assert_eq!(metrics.portfolio_leader("q5", "q6g3"), None);
+        metrics.record_portfolio_win("q5", "q2g1", "greedy");
+        assert_eq!(
+            metrics.portfolio_leader("q5", "q2g1").as_deref(),
+            Some("greedy")
+        );
+        let fields = metrics.portfolio_win_fields();
+        assert!(fields.starts_with(','), "{fields}");
+        assert!(fields.contains("\"portfolio_wins_q20_q6g3_sabre\":2"));
+        assert!(fields.contains("\"portfolio_wins_q20_q6g3_codar\":1"));
+        assert!(fields.contains("\"portfolio_wins_q5_q2g1_greedy\":1"));
+        assert!(ServiceMetrics::new().portfolio_win_fields().is_empty());
     }
 
     #[test]

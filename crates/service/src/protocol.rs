@@ -5,7 +5,7 @@
 //!
 //! | request | fields | response |
 //! |---|---|---|
-//! | `route` | `circuit` (QASM source), `device`, optional `router` (default `codar`), optional `alpha` (codar-cal only), optional `id` | routed QASM + depth/swap/duration metrics (+ `cal_version`/`eps` when the device has an active calibration snapshot) |
+//! | `route` | `circuit` (QASM source), `device`, optional `router` (default `codar`; `auto` routes the whole portfolio and keeps the winner), optional `alpha` (codar-cal and auto only), optional `id` | routed QASM + depth/swap/duration metrics (+ `cal_version`/`eps` when the device has an active calibration snapshot, + `chosen` for `auto` requests) |
 //! | `calibration` | `device`, `action` (`get`/`set`); for `set`: `snapshot` (a calibration JSON document as a string) or `synthetic` (`{seed, drift}`) | the active snapshot / a versioned ack |
 //! | `stats` | optional `id` | request/cache counters |
 //! | `health` | optional `id` | readiness + draining state (a draining daemon reports `ready:false` and refuses new route work) |
@@ -278,9 +278,13 @@ impl Request {
                             .as_f64()
                             .filter(|a| a.is_finite() && (0.0..=8.0).contains(a))
                             .ok_or_else(|| "`alpha` must be a number in [0, 8]".to_string())?;
-                        if router != RouterKind::CodarCal {
+                        // `auto` legitimately carries codar-cal
+                        // portfolio members, so alpha configures them;
+                        // for plain fixed routers it stays an error.
+                        if router != RouterKind::CodarCal && router != RouterKind::Portfolio {
                             return Err(format!(
-                                "`alpha` is only meaningful for router `codar-cal`, not `{}`",
+                                "`alpha` is only meaningful for router `codar-cal` or `auto`, \
+                                 not `{}`",
                                 router.name()
                             ));
                         }
@@ -454,25 +458,40 @@ pub struct RouteOutcome {
     /// circuit (never a silent fallback). `None` keeps the body
     /// byte-identical to the pre-simulation protocol.
     pub sim: Option<String>,
+    /// Winning portfolio member label (`auto` requests only). `None`
+    /// keeps fixed-router bodies byte-identical to the pre-portfolio
+    /// protocol.
+    pub chosen: Option<String>,
     /// Routed circuit as OpenQASM 2.0 (physical qubit indices).
     pub qasm: String,
 }
 
 impl RouteOutcome {
     /// The response body (no `id`; see [`attach_id`]).
+    ///
+    /// `eps` is formatted with `{}` — Rust's shortest round-trip f64
+    /// form (never scientific notation), the same discipline as the
+    /// calibration JSON writer — so a client re-parsing the reply
+    /// recovers the bit-identical f64. A fixed `{:.6}` would collapse
+    /// distinct EPS values, which portfolio win decisions and the
+    /// alphasweep deltas (order 1e-3) cannot afford.
     pub fn body(&self) -> String {
         let cal = match self.calibration {
-            Some((version, eps)) => format!(",\"cal_version\":{version},\"eps\":{eps:.6}"),
+            Some((version, eps)) => format!(",\"cal_version\":{version},\"eps\":{eps}"),
             None => String::new(),
         };
         let sim = match &self.sim {
             Some(backend) => format!(",\"sim\":{}", escape(backend)),
             None => String::new(),
         };
+        let chosen = match &self.chosen {
+            Some(label) => format!(",\"chosen\":{}", escape(label)),
+            None => String::new(),
+        };
         format!(
             "{{\"type\":\"route\",\"status\":\"ok\",\"device\":{},\"router\":{},\
              \"qubits\":{},\"input_gates\":{},\"weighted_depth\":{},\"depth\":{},\
-             \"swaps\":{},\"output_gates\":{},\"verified\":true{}{},\"qasm\":{}}}",
+             \"swaps\":{},\"output_gates\":{},\"verified\":true{}{}{},\"qasm\":{}}}",
             escape(&self.device),
             escape(self.router.name()),
             self.qubits,
@@ -483,6 +502,7 @@ impl RouteOutcome {
             self.output_gates,
             cal,
             sim,
+            chosen,
             escape(&self.qasm),
         )
     }
@@ -586,6 +606,56 @@ mod tests {
         assert_eq!(req.id(), Some(3));
     }
 
+    /// The daemon surface and the engine CLI share one router-name
+    /// parser ([`RouterKind::parse`]); this drives the daemon's route
+    /// parse through the full canonical name table — every
+    /// `RouterKind::ALL` name, the alias set, and case variants — so
+    /// the two surfaces cannot drift apart.
+    #[test]
+    fn daemon_accepts_every_canonical_router_name_and_alias() {
+        let cases: Vec<(String, RouterKind)> = RouterKind::ALL
+            .iter()
+            .flat_map(|&kind| {
+                [
+                    (kind.name().to_string(), kind),
+                    (kind.name().to_ascii_uppercase(), kind),
+                ]
+            })
+            .chain([
+                ("codar_cal".to_string(), RouterKind::CodarCal),
+                ("codarcal".to_string(), RouterKind::CodarCal),
+                ("portfolio".to_string(), RouterKind::Portfolio),
+                ("Portfolio".to_string(), RouterKind::Portfolio),
+            ])
+            .collect();
+        for (name, expected) in cases {
+            let line = format!(
+                r#"{{"type":"route","device":"q20","router":"{name}","circuit":"qreg q[1];"}}"#
+            );
+            match Request::parse_line(&line)
+                .unwrap_or_else(|e| panic!("`{name}` rejected: {}", e.message))
+            {
+                Request::Route { router, .. } => {
+                    assert_eq!(router, expected, "`{name}` parsed to the wrong kind")
+                }
+                other => panic!("unexpected request for `{name}`: {other:?}"),
+            }
+        }
+        // Near-misses stay rejected on this surface exactly like on
+        // the CLI: the shared parser does not trim or fuzzy-match.
+        for bad in ["auto ", " auto", "portfolio!", "codar cal", "best"] {
+            let line = format!(
+                r#"{{"type":"route","device":"q20","router":"{bad}","circuit":"qreg q[1];"}}"#
+            );
+            let err = Request::parse_line(&line).expect_err("near-miss must be rejected");
+            assert!(
+                err.message.contains("unknown router"),
+                "`{bad}` -> {}",
+                err.message
+            );
+        }
+    }
+
     #[test]
     fn parses_codar_cal_routes_with_alpha() {
         let req = Request::parse_line(
@@ -599,11 +669,33 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        // alpha without codar-cal is rejected; out-of-range too.
+        // alpha with `auto` configures the portfolio's codar-cal
+        // members instead of erroring.
+        let req = Request::parse_line(
+            r#"{"type":"route","device":"q20","router":"auto","alpha":0.25,"circuit":"qreg q[1];"}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Route { router, alpha, .. } => {
+                assert_eq!(router, RouterKind::Portfolio);
+                assert_eq!(alpha, Some(0.25));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // alpha on plain fixed routers is rejected (default codar,
+        // explicit sabre/greedy alike); out-of-range too.
         for (line, needle) in [
             (
                 r#"{"type":"route","device":"q20","alpha":0.5,"circuit":"x"}"#,
-                "only meaningful for router `codar-cal`",
+                "only meaningful for router `codar-cal` or `auto`",
+            ),
+            (
+                r#"{"type":"route","device":"q20","router":"sabre","alpha":0.5,"circuit":"x"}"#,
+                "only meaningful for router `codar-cal` or `auto`",
+            ),
+            (
+                r#"{"type":"route","device":"q20","router":"greedy","alpha":0.5,"circuit":"x"}"#,
+                "only meaningful for router `codar-cal` or `auto`",
             ),
             (
                 r#"{"type":"route","device":"q20","router":"codar-cal","alpha":-1,"circuit":"x"}"#,
@@ -906,6 +998,7 @@ mod tests {
             output_gates: 6,
             calibration: None,
             sim: None,
+            chosen: None,
             qasm: "OPENQASM 2.0;\nqreg q[3];\n".into(),
         };
         let body = outcome.body();
@@ -918,7 +1011,7 @@ mod tests {
         outcome.calibration = Some((7, 0.75));
         let cal_body = outcome.body();
         assert!(
-            cal_body.contains("\"cal_version\":7,\"eps\":0.750000"),
+            cal_body.contains("\"cal_version\":7,\"eps\":0.75"),
             "{cal_body}"
         );
         // The sim field rides between the calibration fields and the
@@ -927,11 +1020,20 @@ mod tests {
         outcome.sim = Some("stabilizer".into());
         let sim_body = outcome.body();
         assert!(
-            sim_body.contains("\"eps\":0.750000,\"sim\":\"stabilizer\",\"qasm\""),
+            sim_body.contains("\"eps\":0.75,\"sim\":\"stabilizer\",\"qasm\""),
             "{sim_body}"
+        );
+        // The chosen field trails sim, only on portfolio replies.
+        assert!(!sim_body.contains("\"chosen\""));
+        outcome.chosen = Some("codar-cal".into());
+        let chosen_body = outcome.body();
+        assert!(
+            chosen_body.contains("\"sim\":\"stabilizer\",\"chosen\":\"codar-cal\",\"qasm\""),
+            "{chosen_body}"
         );
         outcome.calibration = None;
         outcome.sim = None;
+        outcome.chosen = None;
         let with = attach_id(Some(7), &body);
         assert!(with.starts_with("{\"id\":7,\"type\":\"route\""));
         assert_eq!(attach_id(None, &body), body);
@@ -945,5 +1047,67 @@ mod tests {
             let parsed = Json::parse(&b).expect(&b);
             assert!(parsed.get("status").is_some());
         }
+    }
+
+    /// Regression for the lossy `{:.6}` eps formatting: every reply's
+    /// `eps` must re-parse to the bit-identical f64, including values
+    /// whose 6-decimal roundings collide and extremes whose shortest
+    /// form must still avoid scientific notation.
+    #[test]
+    fn reply_eps_re_parses_bit_identical() {
+        for eps in [
+            0.75,
+            0.834782,
+            0.123456789012345,
+            0.1234567,
+            0.12345674, // collides with the line above under {:.6}
+            1.0,
+            0.000001234,
+            f64::MIN_POSITIVE,
+            1.0 - f64::EPSILON,
+        ] {
+            let outcome = RouteOutcome {
+                device: "q20".into(),
+                router: RouterKind::CodarCal,
+                qubits: 3,
+                input_gates: 5,
+                weighted_depth: 42,
+                depth: 6,
+                swaps: 1,
+                output_gates: 6,
+                calibration: Some((3, eps)),
+                sim: None,
+                chosen: None,
+                qasm: "qreg q[3];".into(),
+            };
+            let body = outcome.body();
+            let parsed = Json::parse(&body).expect(&body);
+            let round_tripped = parsed.get("eps").and_then(Json::as_f64).expect(&body);
+            assert_eq!(
+                round_tripped.to_bits(),
+                eps.to_bits(),
+                "eps {eps:?} lost precision through the reply: {body}"
+            );
+            assert!(
+                !body.contains("\"eps\":-") && !body.to_lowercase().contains("e-"),
+                "shortest form must stay plain decimal: {body}"
+            );
+        }
+        // Two alphas closer than 1e-6 produce distinct reply bytes now.
+        let at = |eps: f64| RouteOutcome {
+            device: "q20".into(),
+            router: RouterKind::CodarCal,
+            qubits: 3,
+            input_gates: 5,
+            weighted_depth: 42,
+            depth: 6,
+            swaps: 1,
+            output_gates: 6,
+            calibration: Some((3, eps)),
+            sim: None,
+            chosen: None,
+            qasm: "qreg q[3];".into(),
+        };
+        assert_ne!(at(0.1234567).body(), at(0.12345674).body());
     }
 }

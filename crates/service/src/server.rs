@@ -39,7 +39,7 @@ use crate::worker::{spawn_pool, RouteJob};
 use codar_arch::{CalibrationSnapshot, Device, FidelityModel};
 use codar_circuit::decompose::decompose_three_qubit_gates;
 use codar_circuit::from_qasm::{circuit_from_flat, circuit_to_qasm};
-use codar_engine::{Backend, RouterKind};
+use codar_engine::{Backend, RouterKind, RouterVariant};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
@@ -490,7 +490,10 @@ impl Service {
         // The exact bit pattern, not a rounded decimal: the router uses
         // the exact f64, so two alphas closer than any fixed precision
         // can still route differently and must not share a cache entry.
-        let alpha_text = if router == RouterKind::CodarCal {
+        // `auto` folds it in too (alpha configures the portfolio's
+        // codar-cal member); every other router keeps the historical
+        // empty element, so pre-existing key bytes are untouched.
+        let alpha_text = if router == RouterKind::CodarCal || router == RouterKind::Portfolio {
             format!("{:016x}", alpha.to_bits())
         } else {
             String::new()
@@ -510,10 +513,40 @@ impl Service {
         if let Some(backend) = sim {
             parts.push(backend.name());
         }
-        let material = key_material(&parts);
+        let mut material = key_material(&parts);
+        // `auto` requests append one more element: the member label the
+        // result is bound to. With win history for this (device,
+        // circuit-class) the leader is known now — key on it and probe
+        // the cache (exploit). Without history the winner is only known
+        // after the race, so the worker finalizes the key (explore) and
+        // the probe below is skipped. Non-`auto` requests never reach
+        // this branch: their material stays byte-identical to before.
+        let class = circuit_class(&circuit);
+        let leader = if router == RouterKind::Portfolio {
+            let leader = metrics.portfolio_leader(device.name(), &class);
+            match &leader {
+                Some(label) => {
+                    ServiceMetrics::bump(&metrics.portfolio_exploit);
+                    material.push('\0');
+                    material.push_str(label);
+                }
+                None => ServiceMetrics::bump(&metrics.portfolio_explore),
+            }
+            leader
+        } else {
+            None
+        };
+        let explore = router == RouterKind::Portfolio && leader.is_none();
         let key = fnv1a_extend(FNV_OFFSET, material.as_bytes());
         let lookup_started = Instant::now();
-        let cached = self.inner.cache.get(key, &material);
+        // Explore requests cannot hit: their final key is unknown until
+        // the portfolio has raced. The lookup phase is still recorded so
+        // the span set stays a pure function of the request type.
+        let cached = if explore {
+            None
+        } else {
+            self.inner.cache.get(key, &material)
+        };
         if let Some(ctx) = ctx.as_mut() {
             ctx.sample(
                 phase_sample("cache_lookup", t0, lookup_started, Instant::now()),
@@ -539,6 +572,27 @@ impl Service {
             Some((snapshot, model)) => (Some(snapshot), Some(model)),
             None => (None, None),
         };
+        // Exploit jobs route just the leader; explore jobs race the
+        // whole portfolio. A leader label that no longer names a member
+        // (it can only come from the member labels, but be defensive)
+        // degrades to a full explore-style race under the exploit key.
+        let members = if router == RouterKind::Portfolio {
+            let all = RouterVariant::portfolio_members(alpha);
+            match &leader {
+                Some(label) => {
+                    let picked: Vec<RouterVariant> =
+                        all.iter().filter(|m| &m.label == label).cloned().collect();
+                    if picked.is_empty() {
+                        all
+                    } else {
+                        picked
+                    }
+                }
+                None => all,
+            }
+        } else {
+            Vec::new()
+        };
         let job = RouteJob {
             key,
             material,
@@ -546,6 +600,9 @@ impl Service {
             device,
             router,
             alpha,
+            members,
+            class,
+            explore,
             sim,
             snapshot,
             model,
@@ -792,6 +849,17 @@ impl Service {
         for (name, hist) in PHASE_NAMES.iter().zip(&metrics.hist_phases) {
             let _ = write!(out, ",{}", hist.json_fields(&format!("phase_{name}")));
         }
+        // Portfolio (`auto`) telemetry: the explore/exploit split and
+        // the per-(device, class, member) win table — new flat keys
+        // only, so the plain `metrics` and `stats` bodies stay
+        // byte-frozen.
+        let _ = write!(
+            out,
+            ",\"portfolio_explore\":{},\"portfolio_exploit\":{}{}",
+            ServiceMetrics::read(&metrics.portfolio_explore),
+            ServiceMetrics::read(&metrics.portfolio_exploit),
+            metrics.portfolio_win_fields(),
+        );
         out.push('}');
         out
     }
@@ -1033,6 +1101,32 @@ impl Service {
     }
 }
 
+/// The circuit class that keys portfolio (`auto`) win history:
+/// `q<qubits>g<bucket>` where the bucket is the log2 band of the gate
+/// count (`floor(log2(gates)) + 1`, 0 for an empty circuit). Coarse on
+/// purpose — classes must recur across requests for the win table to
+/// converge on a leader, and which member wins is driven by circuit
+/// width and scale far more than by exact gate counts.
+///
+/// # Examples
+///
+/// ```
+/// use codar_circuit::Circuit;
+/// use codar_service::server::circuit_class;
+///
+/// let mut c = Circuit::new(4);
+/// c.h(0);
+/// c.cx(0, 3);
+/// c.cx(1, 2);
+/// assert_eq!(circuit_class(&c), "q4g2"); // 3 gates → band [2, 4)
+/// assert_eq!(circuit_class(&Circuit::new(2)), "q2g0");
+/// ```
+pub fn circuit_class(circuit: &codar_circuit::Circuit) -> String {
+    let gates = circuit.len() as u64;
+    let bucket = (u64::BITS - gates.leading_zeros()) as u64;
+    format!("q{}g{bucket}", circuit.num_qubits())
+}
+
 /// The deterministic root-span outcome annotation of a response body.
 /// Every body renders `"status"` with the string escaped, so the
 /// needle cannot occur inside an embedded payload.
@@ -1182,6 +1276,60 @@ mod tests {
         let ack = service.handle_line("{\"type\":\"shutdown\",\"id\":5}");
         assert_eq!(ack, "{\"id\":5,\"type\":\"shutdown\",\"status\":\"ok\"}");
         assert!(service.shutdown_requested());
+    }
+
+    #[test]
+    fn auto_router_explores_then_exploits_the_leader() {
+        let service = Service::start(ServiceConfig::default());
+        // Explore: no win history for (q5, q3g3) yet, so the whole
+        // portfolio races and the reply names the winner. No snapshot
+        // is active — `auto` must still work (the codar-cal member is
+        // skipped, scoring falls back to depth + swaps).
+        let first = service.handle_line(&route_line("q5", "auto", GHZ3));
+        let parsed = Json::parse(&first).unwrap();
+        assert_eq!(
+            parsed.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{first}"
+        );
+        assert_eq!(parsed.get("router").and_then(Json::as_str), Some("auto"));
+        let chosen = parsed
+            .get("chosen")
+            .and_then(Json::as_str)
+            .expect("auto replies carry the winner")
+            .to_string();
+        assert!(
+            ["codar", "codar-cal", "greedy", "sabre"].contains(&chosen.as_str()),
+            "{chosen}"
+        );
+        // Exploit: the identical request keys on the leader, which is
+        // exactly the label the explore insert was filed under — a
+        // cache hit, byte for byte. (Explore skipped the probe, so the
+        // only counted lookup is this hit.)
+        let second = service.handle_line(&route_line("q5", "auto", GHZ3));
+        assert_eq!(first, second);
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        // A fixed-router request keeps its historical cache identity
+        // and never reports a winner.
+        let fixed = service.handle_line(&route_line("q5", "codar", GHZ3));
+        assert!(!fixed.contains("\"chosen\""), "{fixed}");
+        // Plain `metrics` and `stats` bodies stay byte-frozen: the
+        // portfolio telemetry only rides the extended body.
+        let metrics = service.metrics_body();
+        assert!(!metrics.contains("portfolio"), "{metrics}");
+        let stats_body = service.handle_line("{\"type\":\"stats\"}");
+        assert!(!stats_body.contains("portfolio"), "{stats_body}");
+        let hist = service.metrics_body_hist();
+        assert!(hist.contains("\"portfolio_explore\":1"), "{hist}");
+        assert!(hist.contains("\"portfolio_exploit\":1"), "{hist}");
+        assert!(
+            hist.contains(&format!(
+                "\"portfolio_wins_IBM_Q5_Yorktown_q3g3_{chosen}\":1"
+            )),
+            "{hist}"
+        );
+        service.handle_line("{\"type\":\"shutdown\"}");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! the reply as [`PhaseSample`]s so the serving thread can assemble
 //! the request's span tree in one deterministic place.
 
-use crate::cache::ShardedCache;
+use crate::cache::{fnv1a_extend, ShardedCache, FNV_OFFSET};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{error_body, RouteOutcome};
 use crate::queue::Bounded;
@@ -44,8 +44,22 @@ pub struct RouteJob {
     pub device: Arc<Device>,
     /// Router to run.
     pub router: RouterKind,
-    /// Calibration blend weight (`codar-cal` only).
+    /// Calibration blend weight (`codar-cal`; for `auto` it configures
+    /// the portfolio's codar-cal member).
     pub alpha: f64,
+    /// Portfolio members to race (`auto` only; empty for fixed
+    /// routers). Explore jobs carry the full member list; exploit jobs
+    /// carry just the class leader.
+    pub members: Vec<RouterVariant>,
+    /// Circuit class of the request (`auto` only; wins are tallied per
+    /// (device, class)). Empty for fixed routers.
+    pub class: String,
+    /// `auto` with no win history for this (device, class): the worker
+    /// races every member, appends the winning label to `material`,
+    /// recomputes `key` for the cache insert, and credits the win
+    /// *before* the reply goes out — the caller's next `auto` request
+    /// already sees the leader.
+    pub explore: bool,
     /// Requested simulation backend for differential verification
     /// (`None` = syntactic verification only, the historical path).
     pub sim: Option<Backend>,
@@ -114,12 +128,13 @@ pub fn spawn_pool(
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 route_job(&mut worker, &job, seed)
                             }));
-                        let (body, ok, mut phases) = outcome.unwrap_or_else(|_| {
+                        let (body, ok, mut phases, chosen) = outcome.unwrap_or_else(|_| {
                             worker = RouteWorker::new();
                             (
                                 error_body("internal error: routing panicked"),
                                 false,
                                 Vec::new(),
+                                None,
                             )
                         });
                         for phase in &phases {
@@ -130,12 +145,28 @@ pub fn spawn_pool(
                         phases.insert(0, queue_wait);
                         if ok {
                             ServiceMetrics::bump(&metrics.routed);
+                            // Explore jobs only learn their winner here,
+                            // so the cache identity is finalized by the
+                            // worker: the winning label joins the
+                            // material and the key is recomputed — the
+                            // same bytes the serving thread probes with
+                            // once this class has a leader.
+                            let (key, material) = match (&chosen, job.explore) {
+                                (Some(label), true) => {
+                                    let material = format!("{}\0{label}", job.material);
+                                    (fnv1a_extend(FNV_OFFSET, material.as_bytes()), material)
+                                }
+                                _ => (job.key, job.material.clone()),
+                            };
                             if cache.enabled() {
-                                cache.insert(
-                                    job.key,
-                                    job.material.clone(),
-                                    Arc::from(body.as_str()),
-                                );
+                                cache.insert(key, material, Arc::from(body.as_str()));
+                            }
+                            // Credit the win before the reply: the
+                            // caller synchronizes on the reply channel,
+                            // so its next `auto` request observes the
+                            // updated table.
+                            if let (Some(label), true) = (&chosen, job.explore) {
+                                metrics.record_portfolio_win(job.device.name(), &job.class, label);
                             }
                         } else {
                             ServiceMetrics::bump(&metrics.errors);
@@ -158,15 +189,18 @@ pub fn spawn_pool(
 }
 
 /// Routes one job end to end; returns `(response body, success,
-/// phases)`. Failed jobs (router error, verification failure,
-/// serialization error) produce error bodies and are **never cached**;
-/// their phase list stops at the phase that failed, which keeps the
-/// span structure a deterministic function of the request.
+/// phases, chosen portfolio member)`. Failed jobs (router error,
+/// verification failure, serialization error) produce error bodies and
+/// are **never cached**; their phase list stops at the phase that
+/// failed, which keeps the span structure a deterministic function of
+/// the request. Portfolio (`auto`) jobs race `job.members` through the
+/// worker's one scratch inside the single `route` phase, so the phase
+/// *set* is identical to a fixed router's.
 fn route_job(
     worker: &mut RouteWorker,
     job: &RouteJob,
     seed: u64,
-) -> (String, bool, Vec<PhaseSample>) {
+) -> (String, bool, Vec<PhaseSample>, Option<String>) {
     let mut phases: Vec<PhaseSample> = Vec::with_capacity(4);
     // The server checks fit before queueing; guard again here because
     // the placement builders assume it.
@@ -180,23 +214,48 @@ fn route_job(
             )),
             false,
             phases,
+            None,
         );
     }
     let from = Instant::now();
-    let mut variant = RouterVariant::of_kind(job.router);
-    variant.codar.cal_alpha = job.alpha;
     let initial = worker.initial_mapping(&job.circuit, &job.device, seed);
-    let routed = worker.route(
-        &job.circuit,
-        &job.device,
-        &variant,
-        Some(initial),
-        job.snapshot.as_deref(),
-    );
+    let (routed, chosen) = if job.router == RouterKind::Portfolio {
+        match worker.route_portfolio(
+            &job.circuit,
+            &job.device,
+            &job.members,
+            Some(&initial),
+            job.snapshot.as_deref(),
+            job.model.as_deref(),
+        ) {
+            Ok(outcome) => (Ok(outcome.routed), Some(outcome.chosen)),
+            Err(e) => (Err(e), None),
+        }
+    } else {
+        let mut variant = RouterVariant::of_kind(job.router);
+        variant.codar.cal_alpha = job.alpha;
+        (
+            worker.route(
+                &job.circuit,
+                &job.device,
+                &variant,
+                Some(initial),
+                job.snapshot.as_deref(),
+            ),
+            None,
+        )
+    };
     phases.push(phase_sample("route", job.t0, from, Instant::now()));
     let routed = match routed {
         Ok(routed) => routed,
-        Err(e) => return (error_body(&format!("routing failed: {e}")), false, phases),
+        Err(e) => {
+            return (
+                error_body(&format!("routing failed: {e}")),
+                false,
+                phases,
+                None,
+            )
+        }
     };
     let from = Instant::now();
     let verified = check_coupling(&routed.circuit, &job.device)
@@ -207,7 +266,7 @@ fn route_job(
         });
     phases.push(phase_sample("verify", job.t0, from, Instant::now()));
     if let Err(message) = verified {
-        return (error_body(&message), false, phases);
+        return (error_body(&message), false, phases, None);
     }
     // Requested simulation backends run the stronger differential
     // check and are *reported back*: the resolved backend appears in
@@ -225,6 +284,7 @@ fn route_job(
                         error_body(&format!("simulation check failed: {e}")),
                         false,
                         phases,
+                        None,
                     )
                 }
             }
@@ -240,6 +300,7 @@ fn route_job(
                 error_body(&format!("cannot serialize routed circuit: {e}")),
                 false,
                 phases,
+                None,
             );
         }
     };
@@ -264,11 +325,12 @@ fn route_job(
         output_gates: routed.gate_count(),
         calibration,
         sim,
+        chosen: chosen.clone(),
         qasm,
     };
     let body = outcome.body();
     phases.push(phase_sample("serialize", job.t0, from, Instant::now()));
-    (body, true, phases)
+    (body, true, phases, chosen)
 }
 
 #[cfg(test)]
@@ -288,6 +350,9 @@ mod tests {
                 device: Arc::new(Device::ibm_q5_yorktown()),
                 router,
                 alpha: 0.0,
+                members: Vec::new(),
+                class: String::new(),
+                explore: false,
                 sim: None,
                 snapshot: None,
                 model: None,
@@ -311,8 +376,9 @@ mod tests {
             RouterKind::Codar,
         );
         let mut worker = RouteWorker::new();
-        let (body, ok, phases) = route_job(&mut worker, &job, 0);
+        let (body, ok, phases, chosen) = route_job(&mut worker, &job, 0);
         assert!(ok, "{body}");
+        assert_eq!(chosen, None, "fixed routers never report a winner");
         // No sim was requested, so the phase set is exactly the
         // sim-less pipeline, in execution order.
         assert_eq!(phase_names(&phases), ["route", "verify", "serialize"]);
@@ -334,7 +400,7 @@ mod tests {
         );
         job.sim = Some(Backend::Auto);
         let mut worker = RouteWorker::new();
-        let (body, ok, phases) = route_job(&mut worker, &job, 0);
+        let (body, ok, phases, _) = route_job(&mut worker, &job, 0);
         assert!(ok, "{body}");
         // Sim requests add exactly one `simulate` phase between
         // verify and serialize.
@@ -349,7 +415,7 @@ mod tests {
         job.sim = Some(Backend::Dense);
         let (tx, _rx2) = mpsc::channel();
         job.reply = tx;
-        let (body, ok, _) = route_job(&mut worker, &job, 0);
+        let (body, ok, _, _) = route_job(&mut worker, &job, 0);
         assert!(ok, "{body}");
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("sim").and_then(Json::as_str), Some("dense"));
@@ -357,7 +423,7 @@ mod tests {
         // whose phase list stops at the failing phase.
         let (mut t_job, _rx3) = job_for("qreg q[3]; t q[0]; cx q[0], q[2];", RouterKind::Codar);
         t_job.sim = Some(Backend::Stabilizer);
-        let (body, ok, phases) = route_job(&mut worker, &t_job, 0);
+        let (body, ok, phases, _) = route_job(&mut worker, &t_job, 0);
         assert!(!ok);
         assert!(body.contains("simulation check failed"), "{body}");
         assert_eq!(phase_names(&phases), ["route", "verify", "simulate"]);
@@ -368,7 +434,7 @@ mod tests {
         // 6 qubits cannot fit the 5-qubit Yorktown.
         let (job, _rx) = job_for("qreg q[6]; cx q[0], q[5];", RouterKind::Sabre);
         let mut worker = RouteWorker::new();
-        let (body, ok, phases) = route_job(&mut worker, &job, 0);
+        let (body, ok, phases, _) = route_job(&mut worker, &job, 0);
         assert!(!ok);
         // The fit guard fires before any phase starts.
         assert!(phases.is_empty());
@@ -382,6 +448,61 @@ mod tests {
                 .contains("routing failed"),
             "{body}"
         );
+    }
+
+    #[test]
+    fn portfolio_explore_jobs_finalize_key_and_credit_the_win() {
+        use crate::cache::{fnv1a_extend, FNV_OFFSET};
+
+        let queue = Arc::new(Bounded::new(4));
+        let cache = Arc::new(ShardedCache::new(8, 2));
+        let metrics = Arc::new(ServiceMetrics::new());
+        let handles = spawn_pool(1, &queue, &cache, &metrics, 0);
+        let (mut job, rx) = job_for(
+            "qreg q[4]; h q[0]; cx q[0], q[3]; cx q[1], q[2];",
+            RouterKind::Portfolio,
+        );
+        job.alpha = 0.5;
+        job.members = RouterVariant::portfolio_members(0.5);
+        job.class = "q4g2".to_string();
+        job.explore = true;
+        let base_material = job.material.clone();
+        queue.try_push(job).unwrap();
+        let reply = rx.recv().expect("worker replies");
+        let parsed = Json::parse(&reply.body).unwrap();
+        assert_eq!(parsed.get("router").and_then(Json::as_str), Some("auto"));
+        let chosen = parsed
+            .get("chosen")
+            .and_then(Json::as_str)
+            .expect("explore replies carry the winner")
+            .to_string();
+        assert!(
+            ["codar", "codar-cal", "greedy", "sabre"].contains(&chosen.as_str()),
+            "{chosen}"
+        );
+        // The phase set matches a fixed router's — the member race
+        // happens inside the single `route` phase.
+        let names: Vec<_> = reply.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["queue_wait", "route", "verify", "serialize"]);
+        // The win was credited before the reply...
+        assert_eq!(
+            metrics
+                .portfolio_leader("IBM Q5 Yorktown", "q4g2")
+                .as_deref(),
+            Some(chosen.as_str())
+        );
+        // ...and the body was cached under the winner-qualified key,
+        // the same bytes an exploit probe recomputes.
+        let material = format!("{base_material}\0{chosen}");
+        let key = fnv1a_extend(FNV_OFFSET, material.as_bytes());
+        assert_eq!(
+            cache.get(key, &material).as_deref(),
+            Some(reply.body.as_str())
+        );
+        queue.close();
+        for handle in handles {
+            handle.join().expect("worker exits cleanly");
+        }
     }
 
     #[test]
